@@ -1,0 +1,112 @@
+// Ablation A4 (§4.4): the paper chooses the stump-linear BStump
+// "because of the existence of such noise in the training data,
+// sophisticated non-linear models overfit easily". Two probes:
+//   1. boosting-rounds sweep — accuracy at the budget should saturate,
+//      not collapse, as T grows (noise robustness);
+//   2. extra injected label noise — flipping a fraction of the training
+//      positives to negatives (unreported problems) should degrade
+//      accuracy gracefully.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ml/adaboost.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+using namespace nevermind;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv, 12000);
+  util::print_banner(std::cout,
+                     "Ablation A4 — boosting rounds and label-noise "
+                     "robustness of BStump");
+  std::cout << "lines=" << args.n_lines << " seed=" << args.seed << "\n";
+
+  const dslsim::SimDataset data =
+      dslsim::Simulator(bench::default_sim(args)).run();
+  const bench::PaperSplits splits;
+  const std::size_t budget = bench::scaled_top_n(args.n_lines);
+  const int n_test_weeks = splits.test_to - splits.test_from + 1;
+  const std::size_t cutoff = budget * static_cast<std::size_t>(n_test_weeks);
+  const features::TicketLabeler labeler{28};
+
+  // Shared encoding: base features, fixed selection via one reference
+  // predictor so only the final ensemble varies.
+  core::PredictorConfig ref_cfg;
+  ref_cfg.top_n = budget;
+  ref_cfg.use_derived_features = false;
+  std::cout << "selecting features once...\n";
+  core::TicketPredictor reference(ref_cfg);
+  reference.train(data, splits.train_from, splits.train_to);
+  const auto& encoder_cfg = reference.full_encoder_config();
+
+  const auto train_block = features::encode_weeks(
+      data, splits.train_from, splits.train_to, encoder_cfg, labeler);
+  const auto test_block = features::encode_weeks(
+      data, splits.test_from, splits.test_to, encoder_cfg, labeler);
+  std::vector<std::size_t> sel = reference.selected_features();
+  const ml::Dataset train = train_block.dataset.select_columns(sel);
+  const ml::Dataset test = test_block.dataset.select_columns(sel);
+
+  auto precision_at_budget = [&](const ml::BStumpModel& model,
+                                 const ml::Dataset& eval) {
+    const auto scores = model.score_dataset(eval);
+    const std::size_t cuts[] = {cutoff};
+    return ml::precision_curve(scores, eval.labels(), cuts)[0];
+  };
+
+  std::cout << "\n-- boosting rounds sweep --\n";
+  util::Table rounds_table({"rounds T", "accuracy at 1x budget"});
+  for (const std::size_t rounds : {25UL, 50UL, 100UL, 200UL, 400UL, 800UL}) {
+    ml::BStumpConfig bcfg;
+    bcfg.iterations = rounds;
+    const auto model = ml::train_bstump(train, bcfg);
+    rounds_table.add_row({std::to_string(rounds),
+                          util::fmt_percent(precision_at_budget(model, test))});
+  }
+  rounds_table.print(std::cout);
+
+  std::cout << "\n-- injected label noise (positives flipped to negative in "
+               "training): stump-linear BStump vs boosted depth-3 trees --\n";
+  util::Table noise_table({"flip rate", "BStump (linear)",
+                           "boosted trees (non-linear)"});
+  for (const double flip : {0.0, 0.2, 0.4, 0.6}) {
+    util::Rng rng(args.seed ^ 0xBADFEED);
+    std::vector<std::uint8_t> noisy(train.n_rows());
+    for (std::size_t r = 0; r < train.n_rows(); ++r) {
+      const bool positive = train.label(r) && !rng.bernoulli(flip);
+      noisy[r] = positive ? 1 : 0;
+    }
+    ml::Dataset noisy_train = train;
+    noisy_train.relabel(noisy);
+
+    ml::BStumpConfig bcfg;
+    bcfg.iterations = 200;
+    const auto stump_model = ml::train_bstump(noisy_train, bcfg);
+
+    // The "sophisticated non-linear model" the paper declines to use
+    // (§4.4): same boosting, depth-3 trees instead of stumps.
+    ml::BoostedTreesConfig tcfg;
+    tcfg.iterations = 70;  // ~same count of weak-learner node tests
+    tcfg.tree.max_depth = 3;
+    const auto tree_model = ml::train_boosted_trees(noisy_train, tcfg);
+    const auto tree_scores = tree_model.score_dataset(test);
+    const std::size_t cuts[] = {cutoff};
+    const double tree_prec =
+        ml::precision_curve(tree_scores, test.labels(), cuts)[0];
+
+    noise_table.add_row(
+        {util::fmt_percent(flip, 0),
+         util::fmt_percent(precision_at_budget(stump_model, test)),
+         util::fmt_percent(tree_prec)});
+  }
+  noise_table.print(std::cout);
+
+  std::cout << "\nExpected shape: accuracy saturates with rounds (no "
+               "catastrophic overfit); under hidden-positive label noise "
+               "the stump-linear model degrades gracefully and holds up "
+               "against the non-linear comparator — the paper's §4.4 "
+               "argument for choosing BStump.\n";
+  return 0;
+}

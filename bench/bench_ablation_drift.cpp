@@ -1,0 +1,58 @@
+// Ablation A5 (§5.1/§5.2 observation): "the correlation between line
+// measurements and future customer tickets becomes weak as the time gap
+// increases". One model trained on the Aug–Sep split is evaluated on
+// each subsequent week separately — accuracy at the budget should decay
+// slowly with distance from training, which also tells an operator how
+// often the deployed model needs retraining.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ml/metrics.hpp"
+
+using namespace nevermind;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv, 12000);
+  util::print_banner(std::cout,
+                     "Ablation A5 — accuracy decay with distance from the "
+                     "training period (retraining cadence)");
+  std::cout << "lines=" << args.n_lines << " seed=" << args.seed << "\n";
+
+  const dslsim::SimDataset data =
+      dslsim::Simulator(bench::default_sim(args)).run();
+  const bench::PaperSplits splits;
+  const std::size_t budget = bench::scaled_top_n(args.n_lines);
+
+  core::PredictorConfig cfg;
+  cfg.top_n = budget;
+  cfg.use_derived_features = false;
+  std::cout << "training once on weeks " << splits.train_from << "-"
+            << splits.train_to << "...\n";
+  core::TicketPredictor predictor(cfg);
+  predictor.train(data, splits.train_from, splits.train_to);
+
+  const features::TicketLabeler labeler{cfg.horizon_days};
+  util::Table table({"test week", "weeks past training", "accuracy at budget",
+                     "positive rate"});
+  const int last_usable = data.n_weeks() - 1 - 4;  // label horizon fits
+  for (int week = splits.train_to + 1; week <= last_usable; week += 2) {
+    const auto block = features::encode_weeks(
+        data, week, week, predictor.full_encoder_config(), labeler);
+    const auto scores = predictor.score_block(block);
+    const std::size_t cuts[] = {budget};
+    const auto prec =
+        ml::precision_curve(scores, block.dataset.labels(), cuts);
+    const double base =
+        static_cast<double>(block.dataset.positives()) /
+        static_cast<double>(block.dataset.n_rows());
+    table.add_row({std::to_string(week),
+                   std::to_string(week - splits.train_to),
+                   util::fmt_percent(prec[0]), util::fmt_percent(base, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: a slow decay — the physical couplings are "
+               "stationary, so one training refresh per quarter suffices; a "
+               "cliff would argue for weekly retraining.\n";
+  return 0;
+}

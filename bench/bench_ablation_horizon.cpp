@@ -1,0 +1,57 @@
+// Ablation A3 (§4.1): the prediction horizon T. The paper chooses
+// T = 4 weeks so that slow-burn problems (intermittent connections,
+// away customers) have time to be reported; shorter horizons target
+// only connection-killing faults. This sweep shows base rate and
+// achieved accuracy across T.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ml/metrics.hpp"
+
+using namespace nevermind;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv, 12000);
+  util::print_banner(std::cout,
+                     "Ablation A3 — prediction horizon T (paper: 4 weeks)");
+  std::cout << "lines=" << args.n_lines << " seed=" << args.seed << "\n";
+
+  const dslsim::SimDataset data =
+      dslsim::Simulator(bench::default_sim(args)).run();
+  const bench::PaperSplits splits;
+  const std::size_t budget = bench::scaled_top_n(args.n_lines);
+  const int n_test_weeks = splits.test_to - splits.test_from + 1;
+  const std::size_t cutoff = budget * static_cast<std::size_t>(n_test_weeks);
+
+  util::Table table({"horizon T", "positive rate", "accuracy at 1x budget",
+                     "lift over random"});
+  for (const int horizon_days : {7, 14, 28, 56}) {
+    core::PredictorConfig cfg;
+    cfg.top_n = budget;
+    cfg.horizon_days = horizon_days;
+    cfg.use_derived_features = false;
+    std::cout << "training with T = " << horizon_days << " days...\n";
+    core::TicketPredictor predictor(cfg);
+    predictor.train(data, splits.train_from, splits.train_to);
+
+    const features::TicketLabeler labeler{horizon_days};
+    const auto test =
+        features::encode_weeks(data, splits.test_from, splits.test_to,
+                               predictor.full_encoder_config(), labeler);
+    const auto scores = predictor.score_block(test);
+    const std::size_t cuts[] = {cutoff};
+    const auto prec = ml::precision_curve(scores, test.dataset.labels(), cuts);
+    const double base_rate =
+        static_cast<double>(test.dataset.positives()) /
+        static_cast<double>(test.dataset.n_rows());
+    table.add_row(
+        {std::to_string(horizon_days / 7) + " week(s)",
+         util::fmt_percent(base_rate, 2), util::fmt_percent(prec[0]),
+         util::fmt_double(base_rate > 0 ? prec[0] / base_rate : 0.0, 1) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: absolute accuracy grows with T (more "
+               "tickets qualify) while the lift over random shrinks; T = 4 "
+               "weeks balances the two, as the paper argues.\n";
+  return 0;
+}

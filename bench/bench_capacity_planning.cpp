@@ -1,0 +1,78 @@
+// Capacity planning: the operational question behind the paper's
+// N = 20K — "how much proactive capacity is worth staffing?" Sweeps the
+// weekly ATDS budget and reports, per budget: precision of the batch,
+// future tickets prevented, silent problems fixed, clean (wasted) truck
+// rolls, and total dispatch hours. The knee of the prevented-tickets
+// curve is where marginal capacity stops paying for itself.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/atds.hpp"
+#include "core/trouble_locator.hpp"
+
+using namespace nevermind;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  util::print_banner(std::cout,
+                     "Capacity planning — proactive outcomes vs weekly ATDS "
+                     "budget (the paper's N = 20K choice)");
+  std::cout << "lines=" << args.n_lines << " seed=" << args.seed << "\n";
+
+  const dslsim::SimDataset data =
+      dslsim::Simulator(bench::default_sim(args)).run();
+  const bench::PaperSplits splits;
+  const std::size_t base_budget = bench::scaled_top_n(args.n_lines);
+
+  core::PredictorConfig pcfg;
+  pcfg.top_n = base_budget;
+  std::cout << "training predictor...\n";
+  core::TicketPredictor predictor(pcfg);
+  predictor.train(data, splits.train_from, splits.train_to);
+
+  core::LocatorConfig lcfg;
+  lcfg.min_occurrences = std::max<std::size_t>(10, args.n_lines / 2000);
+  std::cout << "training locator...\n";
+  core::TroubleLocator locator(lcfg);
+  locator.train(data, splits.train_from, splits.train_to);
+
+  util::Table table({"budget (x paper ratio)", "submitted", "precision",
+                     "tickets prevented", "silent fixed", "clean rolls",
+                     "dispatch hours"});
+  for (const double multiple : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    core::AtdsConfig atds;
+    atds.weekly_capacity = std::max<std::size_t>(
+        static_cast<std::size_t>(multiple * static_cast<double>(base_budget)),
+        5);
+    std::size_t submitted = 0;
+    std::size_t would_ticket = 0;
+    std::size_t prevented = 0;
+    std::size_t silent = 0;
+    std::size_t clean = 0;
+    double minutes = 0.0;
+    for (int week = splits.test_from; week <= splits.test_to; ++week) {
+      const auto ranked = predictor.predict_week(data, week);
+      const auto report = core::run_proactive_week(data, ranked, locator,
+                                                   atds, week,
+                                                   pcfg.horizon_days);
+      submitted += report.submitted;
+      would_ticket += report.would_ticket;
+      prevented += report.tickets_prevented;
+      silent += report.silent_fixed;
+      clean += report.clean_dispatches;
+      minutes += report.locator_minutes;
+    }
+    table.add_row(
+        {util::fmt_double(multiple, 2) + "x", std::to_string(submitted),
+         util::fmt_percent(static_cast<double>(would_ticket) /
+                           static_cast<double>(std::max<std::size_t>(
+                               submitted, 1))),
+         std::to_string(prevented), std::to_string(silent),
+         std::to_string(clean), util::fmt_double(minutes / 60.0, 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: precision falls as the budget grows (the "
+               "ranked tail dilutes) while prevented tickets rise with "
+               "diminishing returns — the operator picks the knee.\n";
+  return 0;
+}

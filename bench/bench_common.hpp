@@ -1,0 +1,82 @@
+// Shared helpers for the benchmark harness: canonical simulation
+// configurations, the paper's calendar splits, and evaluation plumbing
+// every bench binary reuses so that figures/tables come from one
+// consistent experimental setup.
+//
+// Scale note: the paper ranks millions of lines and submits the top
+// 20K (~1%) to ATDS. Benches default to tens of thousands of simulated
+// lines with the budget kept at the same ~1% ratio; pass a line count
+// argv[1] and seed argv[2] to any bench to rescale.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/ticket_predictor.hpp"
+#include "dslsim/simulator.hpp"
+#include "features/encoder.hpp"
+#include "util/calendar.hpp"
+#include "util/table.hpp"
+
+namespace nevermind::bench {
+
+struct BenchArgs {
+  std::uint32_t n_lines = 20000;
+  std::uint64_t seed = 42;
+};
+
+inline BenchArgs parse_args(int argc, char** argv,
+                            std::uint32_t default_lines = 20000) {
+  BenchArgs args;
+  args.n_lines = default_lines;
+  if (argc > 1) args.n_lines = static_cast<std::uint32_t>(std::atoi(argv[1]));
+  if (argc > 2) args.seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+  return args;
+}
+
+/// The paper's evaluation calendar (Section 5): predictor trains on
+/// 08/01-09/30 measurements, tests on 4 contiguous weeks from 10/31,
+/// history features accumulate from 01/01. Locator splits (Section
+/// 6.3): 7 weeks 08/01-09/18 train, 7 weeks 09/19-11/06 test.
+struct PaperSplits {
+  int train_from = util::test_week_of(util::day_from_date(8, 1));
+  int train_to = util::test_week_of(util::day_from_date(9, 30));
+  int test_from = util::test_week_of(util::day_from_date(10, 31));
+  int test_to = util::test_week_of(util::day_from_date(10, 31)) + 3;
+  int locator_train_from = util::test_week_of(util::day_from_date(8, 1));
+  int locator_train_to = util::test_week_of(util::day_from_date(9, 18));
+  int locator_test_from = util::test_week_of(util::day_from_date(9, 19));
+  int locator_test_to = util::test_week_of(util::day_from_date(11, 6));
+};
+
+/// Canonical simulation config for benches.
+inline dslsim::SimConfig default_sim(const BenchArgs& args) {
+  dslsim::SimConfig cfg;
+  cfg.seed = args.seed;
+  cfg.topology.n_lines = args.n_lines;
+  return cfg;
+}
+
+/// The weekly ATDS budget at simulation scale: the paper's 20K of
+/// ~2.5M lines (~0.8%); we round to 1%.
+inline std::size_t scaled_top_n(std::uint32_t n_lines) {
+  return std::max<std::size_t>(n_lines / 100, 10);
+}
+
+/// "Number of predictions selected" cutoffs for accuracy curves, as
+/// multiples of the weekly budget (the paper's x-axis runs to 10x the
+/// 20K capacity).
+inline std::vector<std::size_t> budget_cutoffs(std::size_t top_n,
+                                               std::size_t n_rows) {
+  const double multiples[] = {0.25, 0.5, 1.0, 2.0, 4.0, 7.0, 10.0};
+  std::vector<std::size_t> cutoffs;
+  for (double m : multiples) {
+    const auto k = static_cast<std::size_t>(m * static_cast<double>(top_n));
+    if (k >= 1 && k <= n_rows) cutoffs.push_back(k);
+  }
+  return cutoffs;
+}
+
+}  // namespace nevermind::bench

@@ -1,0 +1,85 @@
+// Reproduces Fig 10: how much the trouble locator improves on the basic
+// (experience) rank of the true disposition, binned by that basic rank,
+// for the flat and the combined models. Paper shape: both models
+// improve every bin; the gain grows as the basic rank gets deeper
+// (~ +4 positions for basic ranks 16-20); the combined model wins for
+// the low-ranked (rare) problems.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/trouble_locator.hpp"
+#include "util/stats.hpp"
+
+using namespace nevermind;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv, 40000);
+  util::print_banner(std::cout,
+                     "Fig 10 — average rank improvement over the basic rank, "
+                     "by basic-rank bin");
+  std::cout << "lines=" << args.n_lines << " seed=" << args.seed << "\n";
+
+  const dslsim::SimDataset data =
+      dslsim::Simulator(bench::default_sim(args)).run();
+  const bench::PaperSplits splits;
+
+  core::LocatorConfig cfg;
+  cfg.min_occurrences = std::max<std::size_t>(10, args.n_lines / 2000);
+  std::cout << "training locator...\n";
+  core::TroubleLocator locator(cfg);
+  locator.train(data, splits.locator_train_from, splits.locator_train_to);
+
+  const auto test = features::encode_at_dispatch(
+      data, splits.locator_test_from, splits.locator_test_to, cfg.encoder);
+
+  auto is_covered = [&](dslsim::DispositionId d) {
+    for (auto c : locator.covered()) {
+      if (c == d) return true;
+    }
+    return false;
+  };
+
+  // Bin dispatches by basic rank; accumulate the rank change
+  // (basic - model; positive = technician tests fewer locations).
+  constexpr std::size_t kBins = 5;  // 1-5, 6-10, 11-15, 16-20, 21+
+  struct Bin {
+    double flat_gain = 0.0;
+    double combined_gain = 0.0;
+    std::size_t count = 0;
+  };
+  std::array<Bin, kBins> bins{};
+
+  std::vector<float> row(test.dataset.n_cols());
+  for (std::size_t r = 0; r < test.dataset.n_rows(); ++r) {
+    const auto& note = data.notes()[test.note_of_row[r]];
+    if (!is_covered(note.disposition)) continue;
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] = test.dataset.at(r, j);
+    const auto basic = locator.rank_of(row, note.disposition,
+                                       core::LocatorModelKind::kExperience);
+    const auto flat =
+        locator.rank_of(row, note.disposition, core::LocatorModelKind::kFlat);
+    const auto combined = locator.rank_of(row, note.disposition,
+                                          core::LocatorModelKind::kCombined);
+    const std::size_t bin = std::min<std::size_t>((basic - 1) / 5, kBins - 1);
+    bins[bin].flat_gain += static_cast<double>(basic) - static_cast<double>(flat);
+    bins[bin].combined_gain +=
+        static_cast<double>(basic) - static_cast<double>(combined);
+    ++bins[bin].count;
+  }
+
+  util::Table table({"basic rank bin", "#dispatches", "flat: avg rank gain",
+                     "combined: avg rank gain"});
+  const char* labels[kBins] = {"1-5", "6-10", "11-15", "16-20", "21+"};
+  for (std::size_t b = 0; b < kBins; ++b) {
+    const double n = std::max<double>(static_cast<double>(bins[b].count), 1.0);
+    table.add_row({labels[b], std::to_string(bins[b].count),
+                   util::fmt_double(bins[b].flat_gain / n, 2),
+                   util::fmt_double(bins[b].combined_gain / n, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper shape: gains grow with basic-rank depth (~+4 at "
+               "16-20); the combined model adds most for deep (rare) "
+               "dispositions.\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Reproduces Fig 4: histograms of the top-N average precision AP(N) of
+// single-feature predictors, for (a) history + customer features, (b)
+// quadratic features, and (c) product features. The paper reads
+// selection thresholds off these histograms: 0.2 for (a)/(b), where the
+// distribution is bimodal, and 0.3 for (c), since a product should beat
+// both of its factors.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ml/feature_selection.hpp"
+#include "util/stats.hpp"
+
+using namespace nevermind;
+
+namespace {
+
+void print_histogram(const char* title, std::span<const double> scores,
+                     double threshold) {
+  util::Histogram hist(0.0, 0.25, 10);
+  double best = 0.0;
+  std::size_t above = 0;
+  for (double s : scores) {
+    hist.add(s);
+    best = std::max(best, s);
+    if (s > threshold) ++above;
+  }
+  std::cout << "\n" << title << "  (features: " << scores.size()
+            << ", above threshold " << threshold << ": " << above
+            << ", max AP: " << util::fmt_double(best, 3) << ")\n";
+  util::Table table({"AP(N) bin", "#features", "bar"});
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    const std::size_t count = hist.bin_count(b);
+    table.add_row({util::fmt_double(hist.bin_low(b), 2) + "-" +
+                       util::fmt_double(hist.bin_high(b), 2),
+                   std::to_string(count),
+                   std::string(std::min<std::size_t>(count, 60), '#')});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  util::print_banner(std::cout,
+                     "Fig 4 — top-N average precision of single-feature "
+                     "predictors, by feature type");
+  std::cout << "lines=" << args.n_lines << " seed=" << args.seed << "\n";
+
+  const dslsim::SimDataset data =
+      dslsim::Simulator(bench::default_sim(args)).run();
+  const bench::PaperSplits splits;
+  const std::size_t top_n = bench::scaled_top_n(args.n_lines);
+
+  // Selection split inside the training period, as the predictor does:
+  // first 2/3 of the training weeks to train single-feature models,
+  // the rest to score them.
+  const int n_train = splits.train_to - splits.train_from + 1;
+  const int sel_to = splits.train_from + (2 * n_train) / 3 - 1;
+
+  features::EncoderConfig cfg;  // base features
+  const features::TicketLabeler labeler{28};
+  const auto sel_train_block = features::encode_weeks(
+      data, splits.train_from, sel_to, cfg, labeler);
+  const auto sel_val_block =
+      features::encode_weeks(data, sel_to + 1, splits.train_to, cfg, labeler);
+
+  ml::FeatureScoringConfig scoring;
+  scoring.top_n = top_n * static_cast<std::size_t>(splits.train_to - sel_to);
+
+  std::cout << "scoring " << sel_train_block.dataset.n_cols()
+            << " history+customer features...\n";
+  const auto base_scores =
+      ml::score_features(sel_train_block.dataset, sel_val_block.dataset,
+                         ml::SelectionMethod::kTopNAp, scoring);
+  print_histogram("(a) history and customer features", base_scores,
+                  core::PredictorConfig{}.history_threshold);
+
+  // Quadratic features over every base feature.
+  features::EncoderConfig qcfg = cfg;
+  qcfg.include_quadratic = true;
+  const auto q_train =
+      features::encode_weeks(data, splits.train_from, sel_to, qcfg, labeler);
+  const auto q_val =
+      features::encode_weeks(data, sel_to + 1, splits.train_to, qcfg, labeler);
+  const std::size_t n_base = base_scores.size();
+  std::cout << "scoring " << n_base << " quadratic features...\n";
+  const auto all_q = ml::score_features(q_train.dataset, q_val.dataset,
+                                        ml::SelectionMethod::kTopNAp, scoring,
+                                        n_base);
+  print_histogram("(b) quadratic features",
+                  std::span(all_q).subspan(n_base),
+                  core::PredictorConfig{}.quadratic_threshold);
+
+  // Product features: pairs over the strongest base features. The
+  // paper evaluates thousands of products; we pair the top-P bases
+  // (P^2/2 pairs) in chunks to bound memory.
+  const std::size_t pool_size = std::min<std::size_t>(n_base, 36);
+  const auto pool = ml::select_top_k(base_scores, pool_size);
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    for (std::size_t j = i + 1; j < pool.size(); ++j) {
+      pairs.emplace_back(pool[i], pool[j]);
+    }
+  }
+  std::cout << "scoring " << pairs.size() << " product features...\n";
+  std::vector<double> product_scores;
+  const std::size_t chunk = 180;
+  for (std::size_t start = 0; start < pairs.size(); start += chunk) {
+    features::EncoderConfig pcfg = cfg;
+    for (std::size_t i = start; i < std::min(start + chunk, pairs.size()); ++i) {
+      pcfg.product_pairs.push_back(pairs[i]);
+    }
+    const auto p_train =
+        features::encode_weeks(data, splits.train_from, sel_to, pcfg, labeler);
+    const auto p_val =
+        features::encode_weeks(data, sel_to + 1, splits.train_to, pcfg, labeler);
+    const auto scores =
+        ml::score_features(p_train.dataset, p_val.dataset,
+                           ml::SelectionMethod::kTopNAp, scoring, n_base);
+    for (std::size_t j = n_base; j < scores.size(); ++j) {
+      product_scores.push_back(scores[j]);
+    }
+  }
+  print_histogram("(c) product features", product_scores,
+                  core::PredictorConfig{}.product_threshold);
+
+  std::cout << "\nPaper reads thresholds 0.2 / 0.2 / 0.3 off its histograms;\n"
+               "our simulated AP scale is compressed, so the thresholds sit\n"
+               "at the same bimodal gap of these histograms instead. The\n"
+               "shapes to compare: bimodal (a)/(b), heavier high tail with a\n"
+               "stricter threshold in (c).\n";
+  return 0;
+}

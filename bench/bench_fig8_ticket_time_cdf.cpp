@@ -1,0 +1,76 @@
+// Reproduces Fig 8: CDF of the time from a prediction to the customer's
+// ticket, for the top 10K / 20K / 100K-equivalent prediction sets.
+// Paper landmarks: ~80% of predicted tickets arrive within two weeks;
+// fixing everything by Monday (2 days) misses at most 15% of them and
+// fixing within three days misses at most 20%.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+using namespace nevermind;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  util::print_banner(std::cout,
+                     "Fig 8 — CDF of days from prediction to the customer's "
+                     "ticket, by prediction-set size");
+  std::cout << "lines=" << args.n_lines << " seed=" << args.seed << "\n";
+
+  const dslsim::SimDataset data =
+      dslsim::Simulator(bench::default_sim(args)).run();
+  const bench::PaperSplits splits;
+  const std::size_t top_n = bench::scaled_top_n(args.n_lines);
+
+  core::PredictorConfig cfg;
+  cfg.top_n = top_n;
+  std::cout << "training predictor...\n";
+  core::TicketPredictor predictor(cfg);
+  predictor.train(data, splits.train_from, splits.train_to);
+
+  // Paper's 10K / 20K / 100K of a 20K budget -> 0.5x / 1x / 5x.
+  struct Set {
+    const char* label;
+    double multiple;
+    std::vector<double> arrival_days;
+  };
+  Set sets[] = {{"top 0.5x budget (10K)", 0.5, {}},
+                {"top 1x budget (20K)", 1.0, {}},
+                {"top 5x budget (100K)", 5.0, {}}};
+
+  for (int week = splits.test_from; week <= splits.test_to; ++week) {
+    const auto ranked = predictor.predict_week(data, week);
+    const util::Day day = util::saturday_of_week(week);
+    for (auto& set : sets) {
+      const auto take = static_cast<std::size_t>(
+          set.multiple * static_cast<double>(top_n));
+      for (std::size_t i = 0; i < take && i < ranked.size(); ++i) {
+        const auto next = data.next_edge_ticket_after(ranked[i].line, day);
+        if (next.has_value() && *next <= day + cfg.horizon_days) {
+          set.arrival_days.push_back(static_cast<double>(*next - day));
+        }
+      }
+    }
+  }
+
+  util::Table table({"days", sets[0].label, sets[1].label, sets[2].label});
+  std::vector<util::EmpiricalCdf> cdfs;
+  cdfs.reserve(3);
+  for (auto& set : sets) cdfs.emplace_back(std::move(set.arrival_days));
+  for (int d = 0; d <= 28; d += 2) {
+    table.add_row({std::to_string(d), util::fmt_percent(cdfs[0].at(d)),
+                   util::fmt_percent(cdfs[1].at(d)),
+                   util::fmt_percent(cdfs[2].at(d))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npredicted tickets in sets: " << cdfs[0].size() << " / "
+            << cdfs[1].size() << " / " << cdfs[2].size() << "\n";
+  std::cout << "Missed if all predicted problems fixed by Monday (2 days): "
+            << util::fmt_percent(cdfs[1].at(2.0)) << " (paper: at most 15%)\n"
+            << "Missed if fixed within three days: "
+            << util::fmt_percent(cdfs[1].at(3.0)) << " (paper: at most 20%)\n"
+            << "Arrived within two weeks: "
+            << util::fmt_percent(cdfs[1].at(14.0)) << " (paper: ~80%)\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Model zoo: the §4.4 model choice, evaluated head-to-head on the real
+// task. Same selected features, same training split; four learners:
+//   * BStump        — the paper's choice (stump-linear boosting),
+//   * boosted trees — the non-linear alternative the paper rejects,
+//   * logistic reg. — the classical linear baseline,
+//   * single tree   — depth-5 CART, the weakest reasonable comparator.
+// Reported: accuracy at the ATDS budget and AUC on the test weeks.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/linear_model.hpp"
+#include "ml/metrics.hpp"
+
+using namespace nevermind;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv, 12000);
+  util::print_banner(std::cout,
+                     "Model zoo — BStump vs boosted trees vs logistic "
+                     "regression vs single CART (same features/split)");
+  std::cout << "lines=" << args.n_lines << " seed=" << args.seed << "\n";
+
+  const dslsim::SimDataset data =
+      dslsim::Simulator(bench::default_sim(args)).run();
+  const bench::PaperSplits splits;
+  const std::size_t budget = bench::scaled_top_n(args.n_lines);
+  const int n_test_weeks = splits.test_to - splits.test_from + 1;
+  const std::size_t cutoff = budget * static_cast<std::size_t>(n_test_weeks);
+  const features::TicketLabeler labeler{28};
+
+  // One selection pass; every model consumes the same columns.
+  core::PredictorConfig ref_cfg;
+  ref_cfg.top_n = budget;
+  std::cout << "selecting features...\n";
+  core::TicketPredictor reference(ref_cfg);
+  reference.train(data, splits.train_from, splits.train_to);
+
+  const auto train_block =
+      features::encode_weeks(data, splits.train_from, splits.train_to,
+                             reference.full_encoder_config(), labeler);
+  const auto test_block =
+      features::encode_weeks(data, splits.test_from, splits.test_to,
+                             reference.full_encoder_config(), labeler);
+  const auto& sel = reference.selected_features();
+  const ml::Dataset train = train_block.dataset.select_columns(sel);
+  const ml::Dataset test = test_block.dataset.select_columns(sel);
+
+  util::Table table({"model", "accuracy at 1x budget", "AUC"});
+  const auto report = [&](const char* name, const std::vector<double>& scores) {
+    const std::size_t cuts[] = {cutoff};
+    const auto prec = ml::precision_curve(scores, test.labels(), cuts);
+    table.add_row({name, util::fmt_percent(prec[0]),
+                   util::fmt_double(ml::auc(scores, test.labels()), 3)});
+  };
+
+  std::cout << "training BStump...\n";
+  ml::BStumpConfig bstump_cfg;
+  bstump_cfg.iterations = 300;
+  report("BStump (paper)", ml::train_bstump(train, bstump_cfg)
+                               .score_dataset(test));
+
+  std::cout << "training boosted depth-3 trees...\n";
+  ml::BoostedTreesConfig trees_cfg;
+  trees_cfg.iterations = 100;
+  trees_cfg.tree.max_depth = 3;
+  report("boosted trees d=3",
+         ml::train_boosted_trees(train, trees_cfg).score_dataset(test));
+
+  std::cout << "training logistic regression...\n";
+  report("logistic regression",
+         ml::train_linear_model(train).score_dataset(test));
+
+  std::cout << "training single depth-5 CART...\n";
+  const std::vector<double> w(train.n_rows(),
+                              1.0 / static_cast<double>(train.n_rows()));
+  ml::TreeConfig cart_cfg;
+  cart_cfg.max_depth = 5;
+  const auto cart = ml::train_tree(train, w, cart_cfg);
+  std::vector<double> cart_scores(test.n_rows());
+  for (std::size_t r = 0; r < test.n_rows(); ++r) {
+    cart_scores[r] = cart.score_row(test, r);
+  }
+  report("single CART d=5", cart_scores);
+
+  table.print(std::cout);
+  std::cout << "\nExpected shape: BStump at or near the top at the budget "
+               "(the paper's operating point); trees competitive on AUC but "
+               "noisier at the top of the ranking; logistic regression "
+               "behind both (no thresholds, hurt by imputation); a lone "
+               "CART last.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reproduces the §6.3 headline: the number of locations a technician
+// must test to find the true problem, comparing the basic experience
+// ranking with the flat and combined inference models. Paper: locating
+// 50% of problems takes up to 9 tests with basic ranks but only 4 with
+// either learned model — half the dispatch time saved in half of all
+// dispatches.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/trouble_locator.hpp"
+#include "util/stats.hpp"
+
+using namespace nevermind;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv, 40000);
+  util::print_banner(std::cout,
+                     "Sec 6.3 — tests needed to locate problems: experience "
+                     "vs flat vs combined models");
+  std::cout << "lines=" << args.n_lines << " seed=" << args.seed << "\n";
+
+  const dslsim::SimDataset data =
+      dslsim::Simulator(bench::default_sim(args)).run();
+  const bench::PaperSplits splits;
+
+  core::LocatorConfig cfg;
+  // The paper's >20-occurrence rule at millions of lines; scale the
+  // threshold with our dispatch volume.
+  cfg.min_occurrences = std::max<std::size_t>(10, args.n_lines / 2000);
+  std::cout << "training locator on dispatch weeks "
+            << splits.locator_train_from << "-" << splits.locator_train_to
+            << "...\n";
+  core::TroubleLocator locator(cfg);
+  locator.train(data, splits.locator_train_from, splits.locator_train_to);
+
+  const auto test = features::encode_at_dispatch(
+      data, splits.locator_test_from, splits.locator_test_to, cfg.encoder);
+
+  // Coverage, as the paper reports it (81.9% with 52 dispositions).
+  std::size_t covered_notes = 0;
+  auto is_covered = [&](dslsim::DispositionId d) {
+    for (auto c : locator.covered()) {
+      if (c == d) return true;
+    }
+    return false;
+  };
+  for (std::uint32_t idx : test.note_of_row) {
+    if (is_covered(data.notes()[idx].disposition)) ++covered_notes;
+  }
+  std::cout << "locator covers " << locator.covered().size()
+            << " dispositions accounting for "
+            << util::fmt_percent(static_cast<double>(covered_notes) /
+                                 static_cast<double>(test.note_of_row.size()))
+            << " of " << test.note_of_row.size() << " test dispatches\n\n";
+
+  const core::LocatorModelKind kinds[] = {core::LocatorModelKind::kExperience,
+                                          core::LocatorModelKind::kFlat,
+                                          core::LocatorModelKind::kCombined};
+  std::vector<std::vector<double>> ranks(3);
+  std::vector<float> row(test.dataset.n_cols());
+  for (std::size_t r = 0; r < test.dataset.n_rows(); ++r) {
+    const auto& note = data.notes()[test.note_of_row[r]];
+    if (!is_covered(note.disposition)) continue;
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] = test.dataset.at(r, j);
+    for (std::size_t k = 0; k < 3; ++k) {
+      ranks[k].push_back(static_cast<double>(
+          locator.rank_of(row, note.disposition, kinds[k])));
+    }
+  }
+
+  util::Table table({"% of problems located", "experience (basic)", "flat",
+                     "combined"});
+  for (double q : {0.25, 0.50, 0.75, 0.90}) {
+    table.add_row({util::fmt_percent(q, 0),
+                   util::fmt_double(util::quantile(ranks[0], q), 0),
+                   util::fmt_double(util::quantile(ranks[1], q), 0),
+                   util::fmt_double(util::quantile(ranks[2], q), 0)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nmean tests per dispatch: experience "
+            << util::fmt_double(util::mean(ranks[0]), 2) << ", flat "
+            << util::fmt_double(util::mean(ranks[1]), 2) << ", combined "
+            << util::fmt_double(util::mean(ranks[2]), 2) << "\n";
+  std::cout << "Paper: locating 50% of problems needs up to 9 tests with "
+               "basic ranks, only 4 with either model.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Table 2: the 25 weekly line-test metrics, with summary
+// statistics from one simulated Saturday — a sanity check that the
+// measurement substrate produces physically plausible values (bit rates
+// capped by profiles, attenuation growing with loop length, counters
+// heavy-tailed) and the expected missing-record rate (modem off).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+using namespace nevermind;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  util::print_banner(std::cout,
+                     "Table 2 — the 25 line features, one simulated Saturday");
+  std::cout << "lines=" << args.n_lines << " seed=" << args.seed << "\n";
+
+  const dslsim::SimDataset data =
+      dslsim::Simulator(bench::default_sim(args)).run();
+  const int week = util::test_week_of(util::day_from_date(8, 1));
+  std::cout << "week " << week << " ("
+            << util::format_date(util::saturday_of_week(week)) << ")\n\n";
+
+  std::array<util::RunningStats, dslsim::kNumLineMetrics> stats;
+  std::size_t missing = 0;
+  for (dslsim::LineId u = 0; u < data.n_lines(); ++u) {
+    const auto& m = data.measurement(week, u);
+    if (!dslsim::record_present(m)) {
+      ++missing;
+      continue;
+    }
+    for (std::size_t i = 0; i < dslsim::kNumLineMetrics; ++i) {
+      if (!ml::is_missing(m[i])) stats[i].add(m[i]);
+    }
+  }
+
+  util::Table table({"feature", "mean", "stddev", "min", "max"});
+  for (std::size_t i = 0; i < dslsim::kNumLineMetrics; ++i) {
+    table.add_row({std::string(dslsim::metric_name(i)),
+                   util::fmt_double(stats[i].mean(), 1),
+                   util::fmt_double(stats[i].stddev(), 1),
+                   util::fmt_double(stats[i].min(), 1),
+                   util::fmt_double(stats[i].max(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nmissing records (modem off during the test): " << missing
+            << " of " << data.n_lines() << " ("
+            << util::fmt_percent(static_cast<double>(missing) /
+                                 static_cast<double>(data.n_lines()))
+            << ")\n";
+  return 0;
+}

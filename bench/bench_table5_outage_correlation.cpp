@@ -1,0 +1,110 @@
+// Reproduces Table 5 (§5.2, "Outage problems and IVR"): how many
+// "incorrect" predictions are explained by DSLAM outages whose IVR
+// absorbed the customer's call, and the logistic-regression evidence
+// that per-DSLAM prediction counts foreshadow outages.
+//
+// Paper values: 12.7 / 18.4 / 26.4 / 31.5 % of incorrect predictions
+// have an outage on their DSLAM within T = 1..4 weeks; the regression
+// logit(outage) ~ #predictions has a positive coefficient with
+// p-value < 0.05 at every horizon.
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "ml/logreg.hpp"
+
+using namespace nevermind;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  util::print_banner(std::cout,
+                     "Table 5 — incorrect predictions explained by outages; "
+                     "prediction counts vs future outages");
+  std::cout << "lines=" << args.n_lines << " seed=" << args.seed << "\n";
+
+  const dslsim::SimDataset data =
+      dslsim::Simulator(bench::default_sim(args)).run();
+  const bench::PaperSplits splits;
+  const std::size_t top_n = bench::scaled_top_n(args.n_lines);
+
+  core::PredictorConfig cfg;
+  cfg.top_n = top_n;
+  std::cout << "training predictor...\n";
+  core::TicketPredictor predictor(cfg);
+  predictor.train(data, splits.train_from, splits.train_to);
+
+  // Collect per test week: the top-budget predictions, which of them
+  // are incorrect (no edge ticket within 4 weeks), and per-DSLAM
+  // prediction counts.
+  struct WeekPredictions {
+    util::Day day;
+    std::vector<dslsim::LineId> incorrect;
+    std::map<dslsim::DslamId, int> counts;
+  };
+  std::vector<WeekPredictions> weeks;
+  std::size_t total_incorrect = 0;
+  for (int week = splits.test_from; week <= splits.test_to; ++week) {
+    const auto ranked = predictor.predict_week(data, week);
+    WeekPredictions wp;
+    wp.day = util::saturday_of_week(week);
+    for (std::size_t i = 0; i < top_n && i < ranked.size(); ++i) {
+      const dslsim::LineId line = ranked[i].line;
+      ++wp.counts[data.topology().dslam_of(line)];
+      const auto next = data.next_edge_ticket_after(line, wp.day);
+      if (!next.has_value() || *next > wp.day + cfg.horizon_days) {
+        wp.incorrect.push_back(line);
+      }
+    }
+    total_incorrect += wp.incorrect.size();
+    weeks.push_back(std::move(wp));
+  }
+  std::cout << "incorrect predictions across " << weeks.size()
+            << " test weeks: " << total_incorrect << " of "
+            << weeks.size() * top_n << "\n\n";
+
+  util::Table table({"horizon T", "% incorrect explained by outage",
+                     "coef (#predictions)", "p-value"});
+  for (int t_weeks = 1; t_weeks <= 4; ++t_weeks) {
+    const int horizon = t_weeks * 7;
+
+    // Row 1: incorrect predictions whose DSLAM had an outage within T.
+    std::size_t explained = 0;
+    for (const auto& wp : weeks) {
+      for (dslsim::LineId line : wp.incorrect) {
+        if (data.dslam_outage_within(data.topology().dslam_of(line), wp.day,
+                                     wp.day + horizon)) {
+          ++explained;
+        }
+      }
+    }
+    const double pct = total_incorrect > 0
+                           ? static_cast<double>(explained) /
+                                 static_cast<double>(total_incorrect)
+                           : 0.0;
+
+    // Rows 2-3: logistic regression outage(d, t, T) ~ #predictions(d, t)
+    // over every (DSLAM, test week) cell.
+    std::vector<double> x;
+    std::vector<std::uint8_t> y;
+    for (const auto& wp : weeks) {
+      for (dslsim::DslamId d = 0; d < data.topology().n_dslams(); ++d) {
+        const auto it = wp.counts.find(d);
+        x.push_back(it == wp.counts.end() ? 0.0
+                                          : static_cast<double>(it->second));
+        y.push_back(data.dslam_outage_within(d, wp.day, wp.day + horizon) ? 1
+                                                                          : 0);
+      }
+    }
+    const ml::LogisticModel reg = ml::fit_logistic_simple(x, y);
+
+    table.add_row({std::to_string(t_weeks) + " week" + (t_weeks > 1 ? "s" : ""),
+                   util::fmt_percent(pct),
+                   util::fmt_double(reg.coefficients[1], 4),
+                   util::fmt_double(reg.p_values[1], 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper: 12.7 -> 31.5% explained as T grows 1 -> 4 weeks; "
+               "coefficient positive with p < 0.05 at every T.\n";
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Model-ops walkthrough: the production lifecycle of a NEVERMIND
+// predictor. Train on the modeling side, persist the model bundle to a
+// file, reload it on the "scoring side", verify identical rankings,
+// then run the drift monitor against later weeks to decide when a
+// retrain is due.
+//
+//   $ ./model_ops [n_lines] [seed]
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/monitoring.hpp"
+#include "core/ticket_predictor.hpp"
+#include "ml/serialization.hpp"
+#include "util/calendar.hpp"
+#include "util/table.hpp"
+
+using namespace nevermind;
+
+int main(int argc, char** argv) {
+  const std::uint32_t n_lines =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 10000;
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 42;
+
+  dslsim::SimConfig sim_cfg;
+  sim_cfg.seed = seed;
+  sim_cfg.topology.n_lines = n_lines;
+  std::cout << "Simulating " << n_lines << " lines...\n";
+  const dslsim::SimDataset data = dslsim::Simulator(sim_cfg).run();
+
+  // ---- 1. modeling side: train and persist -----------------------------
+  core::PredictorConfig cfg;
+  cfg.top_n = n_lines / 100;
+  cfg.use_derived_features = false;
+  const int train_from = util::test_week_of(util::day_from_date(8, 1));
+  const int train_to = util::test_week_of(util::day_from_date(9, 30));
+  std::cout << "Training on weeks " << train_from << "-" << train_to
+            << "...\n";
+  core::TicketPredictor predictor(cfg);
+  predictor.train(data, train_from, train_to);
+
+  ml::ModelBundle bundle;
+  bundle.model = predictor.model();
+  for (const auto& col : predictor.selected_columns()) {
+    bundle.feature_names.push_back(col.name);
+  }
+  const char* path = "/tmp/nevermind_model.txt";
+  {
+    std::ofstream out(path);
+    ml::save_bundle(out, bundle);
+  }
+  std::cout << "Saved bundle (" << bundle.model.stumps().size()
+            << " stumps, " << bundle.feature_names.size() << " features) to "
+            << path << "\n";
+
+  // ---- 2. scoring side: reload and verify -------------------------------
+  std::ifstream in(path);
+  const auto loaded = ml::load_bundle(in);
+  if (!loaded.has_value()) {
+    std::cerr << "failed to reload bundle\n";
+    return 1;
+  }
+  const int week = util::test_week_of(util::day_from_date(10, 31));
+  const features::TicketLabeler labeler{cfg.horizon_days};
+  const auto block = features::encode_weeks(
+      data, week, week, predictor.full_encoder_config(), labeler);
+  const auto selected =
+      block.dataset.select_columns(predictor.selected_features());
+
+  std::size_t mismatches = 0;
+  std::vector<float> row(selected.n_cols());
+  for (std::size_t r = 0; r < selected.n_rows(); r += 37) {
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] = selected.at(r, j);
+    if (loaded->model.score_features(row) !=
+        predictor.model().score_features(row)) {
+      ++mismatches;
+    }
+  }
+  std::cout << "Reloaded model reproduces training-side scores: "
+            << (mismatches == 0 ? "YES" : "NO") << "\n\n";
+
+  // ---- 3. drift watch over the following weeks --------------------------
+  const auto reference_block = features::encode_weeks(
+      data, train_from, train_to, predictor.full_encoder_config(), labeler);
+  core::DriftMonitor monitor;
+  monitor.fit(reference_block.dataset.select_columns(
+      predictor.selected_features()));
+
+  util::Table drift({"week", "date", "max feature PSI", "alerts (>0.25)"});
+  for (int w = train_to + 1; w <= week; w += 2) {
+    const auto wk = features::encode_weeks(
+        data, w, w, predictor.full_encoder_config(), labeler);
+    const auto current =
+        wk.dataset.select_columns(predictor.selected_features());
+    const auto psi = monitor.column_psi(current);
+    double max_psi = 0.0;
+    for (double p : psi) max_psi = std::max(max_psi, p);
+    drift.add_row({std::to_string(w),
+                   util::format_date(util::saturday_of_week(w)),
+                   util::fmt_double(max_psi, 3),
+                   std::to_string(monitor.alerts(current).size())});
+  }
+  drift.print(std::cout);
+  std::cout << "\nPSI below 0.1 = stable, 0.1-0.25 = watch, above 0.25 = "
+               "retrain. On this stationary simulation the stream stays "
+               "quiet; plant or firmware changes in a live network would "
+               "trip the alerts before accuracy visibly decayed.\n";
+  return 0;
+}

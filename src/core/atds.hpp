@@ -1,0 +1,57 @@
+// ATDS — the Automatic Testing and Dispatching System NEVERMIND plugs
+// into (paper Fig 3). Customer-reported tickets get absolute priority;
+// the *remaining* weekly capacity absorbs NEVERMIND's predicted
+// tickets, bounded by the top-N budget. This module simulates that
+// workflow for a prediction batch and scores its operational outcome
+// against the simulator's ground truth: how many predicted lines really
+// had live problems, how many future tickets were headed off (fixed
+// before the customer called), and how much dispatch time the trouble
+// locator saved.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/ticket_predictor.hpp"
+#include "core/trouble_locator.hpp"
+#include "dslsim/simulator.hpp"
+
+namespace nevermind::core {
+
+struct AtdsConfig {
+  /// Weekly capacity for predicted tickets (the paper's 20K, scaled).
+  std::size_t weekly_capacity = 200;
+  /// Days after the Saturday prediction by which proactive dispatches
+  /// complete (paper Fig 8: fixing by Monday misses at most 15%).
+  int days_to_fix = 2;
+  /// Minutes to test one candidate location during a dispatch.
+  double minutes_per_test = 18.0;
+  /// Fixed dispatch overhead (drive + setup), minutes.
+  double dispatch_overhead_minutes = 45.0;
+};
+
+/// Outcome of pushing one week's predictions through ATDS.
+struct AtdsWeekReport {
+  int week = 0;
+  std::size_t submitted = 0;         // predictions accepted (<= capacity)
+  std::size_t with_live_fault = 0;   // ground truth: a fault was active
+  std::size_t tickets_prevented = 0; // fixed before the customer called
+  std::size_t silent_fixed = 0;      // live fault fixed that would never
+                                     // have been reported (§5.2 cases)
+  std::size_t would_ticket = 0;      // predicted lines whose customers
+                                     // would have called within 4 weeks
+  std::size_t clean_dispatches = 0;  // nothing found (wasted truck roll)
+  double locator_minutes = 0.0;      // dispatch time with the locator
+  double experience_minutes = 0.0;   // dispatch time with prior ranking
+};
+
+/// Simulate a proactive week: take the top predictions at `week`,
+/// dispatch within config.days_to_fix days, use the locator to order
+/// tests, and account outcomes against ground truth. Pure function of
+/// the dataset — it does not mutate the simulation.
+[[nodiscard]] AtdsWeekReport run_proactive_week(
+    const dslsim::SimDataset& data, const std::vector<Prediction>& ranked,
+    const TroubleLocator& locator, const AtdsConfig& config, int week,
+    int horizon_days = 28);
+
+}  // namespace nevermind::core

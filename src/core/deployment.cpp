@@ -1,0 +1,77 @@
+#include "core/deployment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nevermind::core {
+
+RollingDeployment::RollingDeployment(DeploymentConfig config)
+    : config_(std::move(config)),
+      predictor_(config_.predictor),
+      locator_(config_.locator) {}
+
+void RollingDeployment::train_at(const dslsim::SimDataset& data,
+                                 int week_before) {
+  const int train_to = week_before;
+  const int train_from =
+      std::max(0, train_to - config_.training_window_weeks + 1);
+  predictor_.train(data, train_from, train_to);
+  locator_.train(data, train_from, train_to);
+
+  // Reference distributions for drift monitoring: the selected feature
+  // columns over the training window.
+  const features::TicketLabeler labeler{config_.predictor.horizon_days};
+  const auto block = features::encode_weeks(
+      data, train_from, train_to, predictor_.full_encoder_config(), labeler);
+  drift_.fit(block.dataset.select_columns(predictor_.selected_features()));
+}
+
+std::vector<DeploymentWeekReport> RollingDeployment::run(
+    const dslsim::SimDataset& data, int first_week, int last_week) {
+  if (first_week < config_.training_window_weeks) {
+    throw std::invalid_argument(
+        "RollingDeployment: not enough history before first_week");
+  }
+  train_at(data, first_week - 1);
+
+  std::vector<DeploymentWeekReport> reports;
+  int weeks_since_training = 0;
+  for (int week = first_week; week <= last_week; ++week) {
+    DeploymentWeekReport report;
+    report.week = week;
+
+    if (config_.retrain_every_weeks > 0 &&
+        weeks_since_training >= config_.retrain_every_weeks) {
+      train_at(data, week - 1);
+      weeks_since_training = 0;
+      report.retrained = true;
+    }
+    ++weeks_since_training;
+
+    const auto predictions = predictor_.predict_week(data, week);
+    report.atds = run_proactive_week(data, predictions, locator_,
+                                     config_.atds, week,
+                                     config_.predictor.horizon_days);
+    report.precision =
+        report.atds.submitted > 0
+            ? static_cast<double>(report.atds.would_ticket) /
+                  static_cast<double>(report.atds.submitted)
+            : 0.0;
+
+    // Drift check on this week's selected-feature stream.
+    const features::TicketLabeler labeler{config_.predictor.horizon_days};
+    const auto block = features::encode_weeks(
+        data, week, week, predictor_.full_encoder_config(), labeler);
+    const auto current =
+        block.dataset.select_columns(predictor_.selected_features());
+    const auto psi = drift_.column_psi(current);
+    for (double p : psi) {
+      report.max_psi = std::max(report.max_psi, p);
+      report.drift_alerts += p > config_.psi_alert_threshold ? 1 : 0;
+    }
+    reports.push_back(report);
+  }
+  return reports;
+}
+
+}  // namespace nevermind::core

@@ -1,0 +1,65 @@
+// Rolling operational deployment — the paper's conclusion says "We are
+// currently focusing on trialing an operational deployment in a large
+// DSL network"; this is that loop, runnable end-to-end: every Saturday
+// predict, submit the top-N to ATDS, dispatch with the locator, and
+// periodically retrain on a trailing window. A DriftMonitor watches the
+// selected features' distributions so operators see *why* retraining is
+// (or is not yet) needed.
+#pragma once
+
+#include <vector>
+
+#include "core/atds.hpp"
+#include "core/monitoring.hpp"
+#include "core/ticket_predictor.hpp"
+#include "core/trouble_locator.hpp"
+
+namespace nevermind::core {
+
+struct DeploymentConfig {
+  PredictorConfig predictor;
+  LocatorConfig locator;
+  AtdsConfig atds;
+  /// Trailing measurement weeks each (re)training uses.
+  int training_window_weeks = 9;
+  /// Retrain cadence; 0 trains once before the first week and never
+  /// again (the bench_ablation_drift regime).
+  int retrain_every_weeks = 0;
+  /// PSI above which a feature counts as drifted in the weekly report.
+  double psi_alert_threshold = 0.25;
+};
+
+struct DeploymentWeekReport {
+  int week = 0;
+  bool retrained = false;
+  AtdsWeekReport atds;
+  /// Precision of the submitted batch (would-ticket / submitted).
+  double precision = 0.0;
+  /// Selected-feature columns whose PSI exceeded the alert threshold.
+  std::size_t drift_alerts = 0;
+  double max_psi = 0.0;
+};
+
+class RollingDeployment {
+ public:
+  explicit RollingDeployment(DeploymentConfig config);
+
+  /// Run the proactive loop over measurement weeks [first, last]
+  /// (inclusive). Initial training happens on the window ending the
+  /// week before `first`.
+  [[nodiscard]] std::vector<DeploymentWeekReport> run(
+      const dslsim::SimDataset& data, int first_week, int last_week);
+
+  [[nodiscard]] const TicketPredictor& predictor() const { return predictor_; }
+  [[nodiscard]] const TroubleLocator& locator() const { return locator_; }
+
+ private:
+  void train_at(const dslsim::SimDataset& data, int week_before);
+
+  DeploymentConfig config_;
+  TicketPredictor predictor_;
+  TroubleLocator locator_;
+  DriftMonitor drift_;
+};
+
+}  // namespace nevermind::core

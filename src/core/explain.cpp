@@ -1,0 +1,89 @@
+#include "core/explain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace nevermind::core {
+
+namespace {
+
+std::string feature_name_of(std::span<const ml::ColumnInfo> columns,
+                            std::size_t feature) {
+  if (feature < columns.size()) return columns[feature].name;
+  return "f" + std::to_string(feature);
+}
+
+std::string condition_of(const ml::Stump& stump,
+                         std::span<const ml::ColumnInfo> columns) {
+  const std::string name = feature_name_of(columns, stump.feature);
+  const char* op = stump.categorical ? " == " : " >= ";
+  return name + op + util::fmt_double(stump.threshold, 2);
+}
+
+}  // namespace
+
+EnsembleExplanation explain_score(const ml::BStumpModel& model,
+                                  std::span<const float> features,
+                                  std::span<const ml::ColumnInfo> columns,
+                                  std::size_t top_k) {
+  EnsembleExplanation out;
+
+  // Merge stump votes per feature; keep the strongest single stump's
+  // condition as the representative test.
+  struct Accum {
+    StumpContribution repr;
+    double total = 0.0;
+    double strongest = -1.0;
+  };
+  std::map<std::size_t, Accum> by_feature;
+
+  for (const auto& stump : model.stumps()) {
+    const float v = features[stump.feature];
+    const double s = stump.evaluate(v);
+    out.total_score += s;
+
+    auto& acc = by_feature[stump.feature];
+    acc.total += s;
+    const double magnitude = std::fabs(s);
+    if (magnitude > acc.strongest) {
+      acc.strongest = magnitude;
+      acc.repr.feature = stump.feature;
+      acc.repr.feature_name = feature_name_of(columns, stump.feature);
+      acc.repr.condition = condition_of(stump, columns);
+      acc.repr.missing = ml::is_missing(v);
+      acc.repr.passed =
+          !acc.repr.missing &&
+          (stump.categorical ? v == stump.threshold : v >= stump.threshold);
+    }
+  }
+
+  out.contributions.reserve(by_feature.size());
+  for (auto& [feature, acc] : by_feature) {
+    acc.repr.score = acc.total;
+    out.contributions.push_back(std::move(acc.repr));
+  }
+  std::sort(out.contributions.begin(), out.contributions.end(),
+            [](const StumpContribution& a, const StumpContribution& b) {
+              return std::fabs(a.score) > std::fabs(b.score);
+            });
+  if (out.contributions.size() > top_k) out.contributions.resize(top_k);
+  return out;
+}
+
+void print_explanation(std::ostream& os, const EnsembleExplanation& exp,
+                       std::size_t top_k) {
+  os << "score " << util::fmt_double(exp.total_score, 3)
+     << " — strongest feature votes:\n";
+  for (std::size_t i = 0; i < exp.contributions.size() && i < top_k; ++i) {
+    const auto& c = exp.contributions[i];
+    os << "  " << (c.score >= 0 ? "+" : "") << util::fmt_double(c.score, 3)
+       << "  " << c.condition << "  ["
+       << (c.missing ? "missing" : (c.passed ? "true" : "false")) << "]\n";
+  }
+}
+
+}  // namespace nevermind::core

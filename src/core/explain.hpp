@@ -1,0 +1,58 @@
+// Fig-9 style explanations of a combined-model inference.
+//
+// The paper illustrates (Fig 9) how the combined model's verdict for
+// "inside wiring at the home network" decomposes: bottom nodes are
+// partitions of line-feature values, arrows carry the weak learners'
+// S+/S- scores into the two intermediate classifiers f_Cij and f_Ci.,
+// and the top node is the stacked posterior. This module extracts that
+// structure from trained models so operators (and the
+// dispatch_assistant example) can see *why* a location was ranked
+// first, not just that it was.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/adaboost.hpp"
+#include "ml/dataset.hpp"
+
+namespace nevermind::core {
+
+/// One weak learner's contribution to an ensemble's score for a
+/// specific feature vector.
+struct StumpContribution {
+  std::size_t feature = 0;
+  std::string feature_name;
+  /// Human-readable test, e.g. "d.upbr >= -112" or "bt == 1".
+  std::string condition;
+  /// Whether this example satisfied the condition (false also covers
+  /// the missing-value abstain branch).
+  bool passed = false;
+  bool missing = false;
+  /// The score the stump emitted for this example (an S+ or S-).
+  double score = 0.0;
+};
+
+/// Explanation of one BStump ensemble's score: the per-feature
+/// aggregate contributions, largest magnitude first.
+struct EnsembleExplanation {
+  double total_score = 0.0;
+  /// Aggregated per feature (several stumps may test one feature).
+  std::vector<StumpContribution> contributions;
+};
+
+/// Decompose `model`'s score on `features`. Contributions from stumps
+/// testing the same feature are merged; the list is sorted by absolute
+/// contribution. `columns` supplies names (may be shorter than the
+/// feature space; missing names render as "f<i>").
+[[nodiscard]] EnsembleExplanation explain_score(
+    const ml::BStumpModel& model, std::span<const float> features,
+    std::span<const ml::ColumnInfo> columns, std::size_t top_k = 8);
+
+/// Pretty-print an explanation as an indented list.
+void print_explanation(std::ostream& os, const EnsembleExplanation& exp,
+                       std::size_t top_k = 8);
+
+}  // namespace nevermind::core

@@ -1,0 +1,114 @@
+#include "core/monitoring.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nevermind::core {
+
+namespace {
+
+constexpr double kFloor = 1e-4;  // keeps the PSI log finite on empty bins
+
+/// Interior equal-frequency edges from a sorted present-value sample.
+std::vector<float> quantile_edges(std::vector<float>& sorted,
+                                  std::size_t bins) {
+  std::vector<float> edges;
+  if (sorted.empty() || bins < 2) return edges;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t b = 1; b < bins; ++b) {
+    const std::size_t idx =
+        std::min(sorted.size() - 1, b * sorted.size() / bins);
+    const float edge = sorted[idx];
+    if (edges.empty() || edge > edges.back()) edges.push_back(edge);
+  }
+  return edges;
+}
+
+std::vector<double> bin_fractions(std::span<const float> values,
+                                  std::span<const float> edges) {
+  // edges.size()+1 value bins, +1 trailing missing bin.
+  std::vector<double> counts(edges.size() + 2, 0.0);
+  for (float v : values) {
+    if (ml::is_missing(v)) {
+      counts.back() += 1.0;
+      continue;
+    }
+    const auto it = std::upper_bound(edges.begin(), edges.end(), v);
+    counts[static_cast<std::size_t>(it - edges.begin())] += 1.0;
+  }
+  const double total = std::max<double>(static_cast<double>(values.size()), 1.0);
+  for (auto& c : counts) c /= total;
+  return counts;
+}
+
+double psi_between(std::span<const double> expected,
+                   std::span<const double> actual) {
+  double psi = 0.0;
+  for (std::size_t b = 0; b < expected.size() && b < actual.size(); ++b) {
+    const double e = std::max(expected[b], kFloor);
+    const double a = std::max(actual[b], kFloor);
+    psi += (a - e) * std::log(a / e);
+  }
+  return psi;
+}
+
+}  // namespace
+
+double population_stability_index(std::span<const float> reference,
+                                  std::span<const float> current,
+                                  std::size_t bins) {
+  std::vector<float> present;
+  present.reserve(reference.size());
+  for (float v : reference) {
+    if (!ml::is_missing(v)) present.push_back(v);
+  }
+  const auto edges = quantile_edges(present, bins);
+  const auto expected = bin_fractions(reference, edges);
+  const auto actual = bin_fractions(current, edges);
+  return psi_between(expected, actual);
+}
+
+void DriftMonitor::fit(const ml::Dataset& reference, std::size_t bins) {
+  columns_.clear();
+  columns_.reserve(reference.n_cols());
+  for (std::size_t j = 0; j < reference.n_cols(); ++j) {
+    ColumnReference ref;
+    ref.name = reference.column_info(j).name;
+    std::vector<float> present;
+    for (float v : reference.column(j)) {
+      if (!ml::is_missing(v)) present.push_back(v);
+    }
+    ref.edges = quantile_edges(present, bins);
+    ref.expected = bin_fractions(reference.column(j), ref.edges);
+    columns_.push_back(std::move(ref));
+  }
+}
+
+std::vector<double> DriftMonitor::occupancy(const ColumnReference& ref,
+                                            std::span<const float> values) {
+  return bin_fractions(values, ref.edges);
+}
+
+std::vector<double> DriftMonitor::column_psi(const ml::Dataset& current) const {
+  std::vector<double> out;
+  out.reserve(columns_.size());
+  for (std::size_t j = 0; j < columns_.size() && j < current.n_cols(); ++j) {
+    const auto actual = occupancy(columns_[j], current.column(j));
+    out.push_back(psi_between(columns_[j].expected, actual));
+  }
+  return out;
+}
+
+std::vector<DriftMonitor::Alert> DriftMonitor::alerts(
+    const ml::Dataset& current, double threshold) const {
+  const auto psi = column_psi(current);
+  std::vector<Alert> out;
+  for (std::size_t j = 0; j < psi.size(); ++j) {
+    if (psi[j] > threshold) out.push_back({j, columns_[j].name, psi[j]});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Alert& a, const Alert& b) { return a.psi > b.psi; });
+  return out;
+}
+
+}  // namespace nevermind::core

@@ -1,0 +1,69 @@
+// Deployment monitoring: population-stability tracking of the feature
+// stream. A deployed NEVERMIND scores fresh measurements with a model
+// trained months earlier (the paper's trial plan, §8); when the
+// distribution of the selected features drifts — plant upgrades, new
+// modem firmware, seasonal weather — prediction quality decays before
+// anyone notices from ticket counts alone. The population stability
+// index (PSI) against the training reference is the standard early
+// warning; bench_ablation_drift shows the accuracy decay it predicts.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace nevermind::core {
+
+/// PSI between a reference sample and a current sample, using
+/// equal-frequency bins fitted on the reference (plus a bin for
+/// missing values). Conventional reading: < 0.1 stable, 0.1–0.25 worth
+/// watching, > 0.25 significant shift.
+[[nodiscard]] double population_stability_index(
+    std::span<const float> reference, std::span<const float> current,
+    std::size_t bins = 10);
+
+/// Per-column drift monitor fitted once on the training block.
+class DriftMonitor {
+ public:
+  DriftMonitor() = default;
+
+  /// Learn per-column reference bins (equal-frequency) and expected
+  /// occupancy from the training data.
+  void fit(const ml::Dataset& reference, std::size_t bins = 10);
+
+  [[nodiscard]] bool fitted() const noexcept { return !columns_.empty(); }
+  [[nodiscard]] std::size_t n_columns() const noexcept {
+    return columns_.size();
+  }
+
+  /// PSI per column for a scoring-time block (columns must align with
+  /// the reference layout).
+  [[nodiscard]] std::vector<double> column_psi(
+      const ml::Dataset& current) const;
+
+  struct Alert {
+    std::size_t column = 0;
+    std::string name;
+    double psi = 0.0;
+  };
+
+  /// Columns whose PSI exceeds `threshold`, worst first.
+  [[nodiscard]] std::vector<Alert> alerts(const ml::Dataset& current,
+                                          double threshold = 0.25) const;
+
+ private:
+  struct ColumnReference {
+    std::string name;
+    std::vector<float> edges;        // ascending interior bin edges
+    std::vector<double> expected;    // fractions per bin (+1 missing bin)
+  };
+  std::vector<ColumnReference> columns_;
+
+  [[nodiscard]] static std::vector<double> occupancy(
+      const ColumnReference& ref, std::span<const float> values);
+};
+
+}  // namespace nevermind::core

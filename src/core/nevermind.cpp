@@ -1,0 +1,27 @@
+#include "core/nevermind.hpp"
+
+namespace nevermind::core {
+
+Nevermind::Nevermind(NevermindConfig config)
+    : config_(std::move(config)),
+      predictor_(config_.predictor),
+      locator_(config_.locator) {}
+
+void Nevermind::train(const dslsim::SimDataset& data, int predictor_from,
+                      int predictor_to, int locator_from, int locator_to) {
+  predictor_.train(data, predictor_from, predictor_to);
+  locator_.train(data, locator_from, locator_to);
+}
+
+WeeklyCycle Nevermind::run_week(const dslsim::SimDataset& data,
+                                int week) const {
+  WeeklyCycle cycle;
+  cycle.week = week;
+  cycle.predictions = predictor_.predict_week(data, week);
+  cycle.atds = run_proactive_week(data, cycle.predictions, locator_,
+                                  config_.atds, week,
+                                  config_.predictor.horizon_days);
+  return cycle;
+}
+
+}  // namespace nevermind::core

@@ -1,0 +1,57 @@
+// Facade tying the whole proactive pipeline together (paper Fig 3,
+// bottom box): line measurements -> ticket predictor -> ATDS -> trouble
+// locator -> field dispatch. This is the entry point example apps and
+// operators use; the individual components stay directly usable for
+// experiments.
+#pragma once
+
+#include <vector>
+
+#include "core/atds.hpp"
+#include "core/ticket_predictor.hpp"
+#include "core/trouble_locator.hpp"
+#include "dslsim/simulator.hpp"
+
+namespace nevermind::core {
+
+struct NevermindConfig {
+  PredictorConfig predictor;
+  LocatorConfig locator;
+  AtdsConfig atds;
+};
+
+/// One proactive cycle's artefacts: the ranked predictions and the
+/// simulated ATDS outcome.
+struct WeeklyCycle {
+  int week = 0;
+  std::vector<Prediction> predictions;  // all lines, ranked
+  AtdsWeekReport atds;
+};
+
+class Nevermind {
+ public:
+  explicit Nevermind(NevermindConfig config);
+
+  /// Train both components. The predictor uses measurement weeks
+  /// [predictor_from, predictor_to]; the locator trains on dispatches
+  /// in [locator_from, locator_to] (the paper uses different spans for
+  /// the two).
+  void train(const dslsim::SimDataset& data, int predictor_from,
+             int predictor_to, int locator_from, int locator_to);
+
+  /// Run one proactive Saturday: predict, submit the top-N to ATDS,
+  /// dispatch with the locator, account the outcome.
+  [[nodiscard]] WeeklyCycle run_week(const dslsim::SimDataset& data,
+                                     int week) const;
+
+  [[nodiscard]] const TicketPredictor& predictor() const { return predictor_; }
+  [[nodiscard]] const TroubleLocator& locator() const { return locator_; }
+  [[nodiscard]] const NevermindConfig& config() const { return config_; }
+
+ private:
+  NevermindConfig config_;
+  TicketPredictor predictor_;
+  TroubleLocator locator_;
+};
+
+}  // namespace nevermind::core

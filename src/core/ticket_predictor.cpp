@@ -1,0 +1,212 @@
+#include "core/ticket_predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "ml/cross_validation.hpp"
+#include "ml/metrics.hpp"
+
+namespace nevermind::core {
+
+namespace {
+
+/// Row indices of a block whose week lies in [from, to].
+std::vector<std::size_t> rows_in_weeks(const features::EncodedBlock& block,
+                                       int from, int to) {
+  std::vector<std::size_t> rows;
+  for (std::size_t r = 0; r < block.week_of_row.size(); ++r) {
+    if (block.week_of_row[r] >= from && block.week_of_row[r] <= to) {
+      rows.push_back(r);
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+TicketPredictor::TicketPredictor(PredictorConfig config)
+    : config_(std::move(config)) {}
+
+void TicketPredictor::train(const dslsim::SimDataset& data, int train_from,
+                            int train_to) {
+  if (train_to < train_from) {
+    throw std::invalid_argument("TicketPredictor::train: empty week range");
+  }
+  const int n_weeks = train_to - train_from + 1;
+  const int n_val = std::clamp(
+      static_cast<int>(std::lround(n_weeks * config_.validation_fraction)), 1,
+      std::max(1, n_weeks - 1));
+  const int sel_train_to = train_to - n_val;  // may equal train_from
+
+  const features::TicketLabeler labeler{config_.horizon_days};
+
+  // ---- stage 1: score base features on the validation split ----------
+  features::EncoderConfig base_cfg = config_.encoder;
+  base_cfg.include_quadratic = false;
+  base_cfg.product_pairs.clear();
+
+  ml::FeatureScoringConfig scoring;
+  scoring.boost_iterations = config_.selection_boost_iterations;
+  scoring.top_n = config_.top_n * static_cast<std::size_t>(n_val);
+
+  features::EncodedBlock base_block =
+      features::encode_weeks(data, train_from, train_to, base_cfg, labeler);
+  const auto train_rows = rows_in_weeks(base_block, train_from, sel_train_to);
+  const auto val_rows = rows_in_weeks(base_block, sel_train_to + 1, train_to);
+  ml::Dataset sel_train = base_block.dataset.select_rows(train_rows);
+  ml::Dataset sel_val = base_block.dataset.select_rows(val_rows);
+
+  const std::vector<double> base_scores =
+      ml::score_features(sel_train, sel_val, config_.selection, scoring);
+
+  // Base features above the history/customer threshold. Baseline
+  // methods (Fig 6) have no comparable absolute threshold; they take
+  // the top-k directly.
+  std::vector<std::size_t> base_selected;
+  if (config_.selection == ml::SelectionMethod::kTopNAp) {
+    base_selected =
+        ml::select_above_threshold(base_scores, config_.history_threshold);
+    if (base_selected.empty()) {
+      base_selected = ml::select_top_k(base_scores, 10);
+    }
+  } else {
+    base_selected =
+        ml::select_top_k(base_scores, config_.max_selected_features);
+  }
+
+  // ---- stage 2: derived features over the strongest base features ----
+  full_config_ = base_cfg;
+  std::vector<double> full_scores = base_scores;
+  if (config_.use_derived_features) {
+    full_config_.include_quadratic = true;
+    const auto pool = ml::select_top_k(
+        base_scores, std::min(config_.product_pool, base_scores.size()));
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      for (std::size_t j = i + 1; j < pool.size(); ++j) {
+        full_config_.product_pairs.emplace_back(pool[i], pool[j]);
+      }
+    }
+
+    features::EncodedBlock full_block = features::encode_weeks(
+        data, train_from, train_to, full_config_, labeler);
+    const auto ftrain = rows_in_weeks(full_block, train_from, sel_train_to);
+    const auto fval = rows_in_weeks(full_block, sel_train_to + 1, train_to);
+    ml::Dataset dsel_train = full_block.dataset.select_rows(ftrain);
+    ml::Dataset dsel_val = full_block.dataset.select_rows(fval);
+
+    const std::size_t n_base = base_scores.size();
+    const std::size_t n_all = full_block.dataset.n_cols();
+    full_scores.resize(n_all, 0.0);
+    const std::vector<double> all_scores = ml::score_features(
+        dsel_train, dsel_val, config_.selection, scoring,
+        config_.selection == ml::SelectionMethod::kTopNAp ? n_base : 0);
+    for (std::size_t j = n_base; j < n_all; ++j) full_scores[j] = all_scores[j];
+
+    const std::size_t n_quadratic = n_base;  // one square per base column
+    selected_ = base_selected;
+    if (config_.selection == ml::SelectionMethod::kTopNAp) {
+      for (std::size_t j = n_base; j < n_base + n_quadratic && j < n_all; ++j) {
+        if (full_scores[j] > config_.quadratic_threshold) selected_.push_back(j);
+      }
+      // A product earns a slot only when it clearly beats BOTH of its
+      // factors (the paper's rationale for the stricter threshold):
+      // otherwise it is a redundant echo of a strong base feature.
+      for (std::size_t j = n_base + n_quadratic; j < n_all; ++j) {
+        const auto& pair =
+            full_config_.product_pairs[j - n_base - n_quadratic];
+        const double factor_best =
+            std::max(base_scores[pair.first], base_scores[pair.second]);
+        if (full_scores[j] > config_.product_threshold &&
+            full_scores[j] > 1.2 * factor_best) {
+          selected_.push_back(j);
+        }
+      }
+    } else {
+      for (std::size_t j = n_base; j < n_all; ++j) {
+        if (all_scores[j] > 0.0) selected_.push_back(j);
+      }
+    }
+  } else {
+    selected_ = base_selected;
+  }
+
+  // Cap the feature count, keeping the strongest.
+  if (selected_.size() > config_.max_selected_features) {
+    std::stable_sort(selected_.begin(), selected_.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return full_scores[a] > full_scores[b];
+                     });
+    selected_.resize(config_.max_selected_features);
+    std::sort(selected_.begin(), selected_.end());
+  }
+
+  // ---- stage 3: final ensemble on the selected columns ----------------
+  features::EncodedBlock final_block = features::encode_weeks(
+      data, train_from, train_to, full_config_, labeler);
+  ml::Dataset final_train =
+      final_block.dataset.select_rows(rows_in_weeks(final_block, train_from,
+                                                    sel_train_to))
+          .select_columns(selected_);
+  ml::Dataset final_val =
+      final_block.dataset.select_rows(rows_in_weeks(final_block,
+                                                    sel_train_to + 1, train_to))
+          .select_columns(selected_);
+
+  selected_columns_ = final_train.columns();
+
+  ml::BStumpConfig boost;
+  boost.iterations = config_.boost_iterations;
+  if (config_.tune_boost_iterations) {
+    const std::size_t base = std::max<std::size_t>(config_.boost_iterations, 4);
+    const std::size_t candidates[] = {base / 4, base / 2, base, base * 2};
+    const auto tuned = ml::select_boosting_rounds(
+        final_train, candidates, config_.top_n * static_cast<std::size_t>(n_val));
+    if (tuned.best_rounds > 0) boost.iterations = tuned.best_rounds;
+  }
+  model_ = ml::train_bstump(final_train, boost);
+
+  // Calibrate on the held-out split so probabilities are honest.
+  const std::vector<double> val_scores = model_.score_dataset(final_val);
+  calibrator_ = ml::fit_platt(val_scores, final_val.labels());
+}
+
+std::vector<double> TicketPredictor::score_block(
+    const features::EncodedBlock& block) const {
+  if (model_.empty()) {
+    throw std::logic_error("TicketPredictor: predict before train");
+  }
+  // The model's stump feature indices refer to selected columns; map
+  // through `selected_` into the full block.
+  std::vector<double> scores(block.dataset.n_rows(), 0.0);
+  for (const auto& stump : model_.stumps()) {
+    const auto col = block.dataset.column(selected_.at(stump.feature));
+    for (std::size_t r = 0; r < col.size(); ++r) {
+      scores[r] += stump.evaluate(col[r]);
+    }
+  }
+  return scores;
+}
+
+std::vector<Prediction> TicketPredictor::predict_week(
+    const dslsim::SimDataset& data, int week) const {
+  const features::TicketLabeler labeler{config_.horizon_days};
+  const features::EncodedBlock block =
+      features::encode_weeks(data, week, week, full_config_, labeler);
+  const std::vector<double> scores = score_block(block);
+
+  std::vector<Prediction> out(scores.size());
+  for (std::size_t r = 0; r < scores.size(); ++r) {
+    out[r].line = block.line_of_row[r];
+    out[r].score = scores[r];
+    out[r].probability = calibrator_.probability(scores[r]);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Prediction& a, const Prediction& b) {
+                     return a.score > b.score;
+                   });
+  return out;
+}
+
+}  // namespace nevermind::core

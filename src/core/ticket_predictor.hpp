@@ -1,0 +1,111 @@
+// The ticket predictor (paper Section 4): ranks every DSL line by the
+// probability that its customer opens a trouble ticket within T = 4
+// weeks, so the top-N can be submitted to ATDS and fixed proactively.
+//
+// Pipeline: encode Table-3 features -> top-N-AP feature selection
+// (thresholds read off the Fig-4 bimodal histograms, with a stricter
+// bar for product features) -> BStump ensemble -> Platt calibration ->
+// weekly ranking.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dslsim/simulator.hpp"
+#include "features/encoder.hpp"
+#include "ml/adaboost.hpp"
+#include "ml/calibration.hpp"
+#include "ml/feature_selection.hpp"
+
+namespace nevermind::core {
+
+struct PredictorConfig {
+  /// Base feature families (derived features are controlled below).
+  features::EncoderConfig encoder;
+  /// Add quadratic and product derived features (Fig 7's "all selected
+  /// features" curve vs the dotted history+customer curve).
+  bool use_derived_features = true;
+  /// Boosting rounds of the final ensemble (paper: 800).
+  std::size_t boost_iterations = 300;
+  /// When true, pick the boosting rounds by cross-validation on the
+  /// training split (the paper's procedure: "the number of iterations
+  /// is set to 800 based on cross-validation"), choosing among
+  /// {1/4, 1/2, 1, 2} x boost_iterations.
+  bool tune_boost_iterations = false;
+  /// Boosting rounds of the per-feature selection predictors.
+  std::size_t selection_boost_iterations = 12;
+  /// Weekly prediction budget N — ATDS capacity (paper: 20,000 of
+  /// millions of lines; keep the same ~1% ratio at simulation scale).
+  std::size_t top_n = 200;
+  /// Feature-selection criterion (Fig 6 swaps this out).
+  ml::SelectionMethod selection = ml::SelectionMethod::kTopNAp;
+  /// AP thresholds read off the bimodal histograms of Fig 4. The paper
+  /// uses 0.2 / 0.2 / 0.3 on its data; our simulated AP(N) scale is
+  /// compressed (~2.5x), so the defaults sit at the same bimodal gap of
+  /// our histograms (see bench_fig4_feature_ap). The product threshold
+  /// stays well above the base one for the paper's reason: a product
+  /// must beat both of its factors to earn a slot.
+  double history_threshold = 0.05;
+  double quadratic_threshold = 0.055;
+  double product_threshold = 0.15;
+  /// Product features pair the strongest `product_pool` base features.
+  std::size_t product_pool = 28;
+  /// Hard cap on the selected feature count (a scalability guard; the
+  /// Fig 6 baseline comparison fixes 50 separately).
+  std::size_t max_selected_features = 100;
+  /// Prediction horizon T (paper: 4 weeks).
+  int horizon_days = 28;
+  /// Fraction of training weeks reserved as the selection/calibration
+  /// validation split.
+  double validation_fraction = 0.3;
+};
+
+struct Prediction {
+  dslsim::LineId line = 0;
+  double score = 0.0;        // raw BStump margin
+  double probability = 0.0;  // calibrated P(Tkt(u) | x)
+};
+
+class TicketPredictor {
+ public:
+  explicit TicketPredictor(PredictorConfig config);
+
+  /// Train on measurement weeks [train_from, train_to] (inclusive).
+  /// The last `validation_fraction` of those weeks drive feature
+  /// selection scoring and Platt calibration.
+  void train(const dslsim::SimDataset& data, int train_from, int train_to);
+
+  /// Rank all lines at the given test week, best first.
+  [[nodiscard]] std::vector<Prediction> predict_week(
+      const dslsim::SimDataset& data, int week) const;
+
+  /// Scores for an externally encoded block (columns must match the
+  /// encoder config returned by full_encoder_config()).
+  [[nodiscard]] std::vector<double> score_block(
+      const features::EncodedBlock& block) const;
+
+  /// Encoder configuration including the derived features the model
+  /// was trained with; benches encode test blocks with this.
+  [[nodiscard]] const features::EncoderConfig& full_encoder_config() const {
+    return full_config_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& selected_features() const {
+    return selected_;
+  }
+  [[nodiscard]] const std::vector<ml::ColumnInfo>& selected_columns() const {
+    return selected_columns_;
+  }
+  [[nodiscard]] const ml::BStumpModel& model() const { return model_; }
+  [[nodiscard]] bool trained() const { return !model_.empty(); }
+  [[nodiscard]] const PredictorConfig& config() const { return config_; }
+
+ private:
+  PredictorConfig config_;
+  features::EncoderConfig full_config_;  // encoder + chosen product pairs
+  std::vector<std::size_t> selected_;    // into full_config_ columns
+  std::vector<ml::ColumnInfo> selected_columns_;
+  ml::BStumpModel model_;
+  ml::PlattCalibrator calibrator_;
+};
+
+}  // namespace nevermind::core

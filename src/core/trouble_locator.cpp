@@ -1,0 +1,174 @@
+#include "core/trouble_locator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "util/mathx.hpp"
+
+namespace nevermind::core {
+
+const char* locator_model_name(LocatorModelKind k) noexcept {
+  switch (k) {
+    case LocatorModelKind::kExperience: return "experience";
+    case LocatorModelKind::kFlat: return "flat";
+    case LocatorModelKind::kCombined: return "combined";
+  }
+  return "?";
+}
+
+TroubleLocator::TroubleLocator(LocatorConfig config)
+    : config_(std::move(config)) {}
+
+void TroubleLocator::train(const dslsim::SimDataset& data, int week_from,
+                           int week_to) {
+  const features::LocatorBlock block =
+      features::encode_at_dispatch(data, week_from, week_to, config_.encoder);
+  const std::size_t n = block.dataset.n_rows();
+  if (n == 0) throw std::invalid_argument("TroubleLocator: no dispatches");
+
+  // Truth labels per row.
+  std::vector<dslsim::DispositionId> truth(n);
+  std::vector<dslsim::MajorLocation> truth_loc(n);
+  std::map<dslsim::DispositionId, std::size_t> counts;
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto& note = data.notes()[block.note_of_row[r]];
+    truth[r] = note.disposition;
+    truth_loc[r] = note.location;
+    ++counts[note.disposition];
+  }
+
+  covered_.clear();
+  for (const auto& [disp, count] : counts) {
+    if (count >= config_.min_occurrences) covered_.push_back(disp);
+  }
+
+  ml::BStumpConfig boost;
+  boost.iterations = config_.boost_iterations;
+
+  // ---- major-location classifiers f_Ci. -------------------------------
+  ml::Dataset working = block.dataset;  // relabelled repeatedly
+  std::vector<std::uint8_t> labels(n);
+  for (std::size_t loc = 0; loc < dslsim::kNumMajorLocations; ++loc) {
+    for (std::size_t r = 0; r < n; ++r) {
+      labels[r] = truth_loc[r] == static_cast<dslsim::MajorLocation>(loc);
+    }
+    working.relabel(labels);
+    location_models_[loc] = ml::train_bstump(working, boost);
+  }
+
+  // ---- per-disposition flat models + Eq. 2 stacking --------------------
+  models_.clear();
+  models_.reserve(covered_.size());
+  for (dslsim::DispositionId disp : covered_) {
+    ClassModel cm;
+    cm.disposition = disp;
+    cm.location = data.catalog().signature(disp).location;
+    cm.prior = static_cast<double>(counts[disp]) / static_cast<double>(n);
+
+    for (std::size_t r = 0; r < n; ++r) labels[r] = truth[r] == disp;
+    working.relabel(labels);
+    cm.flat = ml::train_bstump(working, boost);
+
+    const std::vector<double> flat_scores = cm.flat.score_dataset(working);
+    cm.flat_cal = ml::fit_platt(flat_scores, working.labels());
+
+    const auto loc = static_cast<std::size_t>(
+        data.catalog().signature(disp).location);
+    const std::vector<double> loc_scores =
+        location_models_[loc].score_dataset(working);
+
+    // Combined model: logistic regression of the truth on
+    // [f_Cij(x), f_Ci.(x)] (Eq. 2's gamma coefficients).
+    std::vector<double> covariates(n * 2);
+    for (std::size_t r = 0; r < n; ++r) {
+      covariates[r * 2] = flat_scores[r];
+      covariates[r * 2 + 1] = loc_scores[r];
+    }
+    cm.combined = ml::fit_logistic(covariates, 2, working.labels(), 1e-4);
+    models_.push_back(std::move(cm));
+  }
+}
+
+std::vector<RankedDisposition> TroubleLocator::rank(
+    std::span<const float> features, LocatorModelKind kind) const {
+  std::vector<RankedDisposition> out;
+  out.reserve(models_.size());
+  for (const auto& cm : models_) {
+    RankedDisposition rd;
+    rd.disposition = cm.disposition;
+    switch (kind) {
+      case LocatorModelKind::kExperience:
+        rd.probability = cm.prior;
+        break;
+      case LocatorModelKind::kFlat:
+        rd.probability =
+            cm.flat_cal.probability(cm.flat.score_features(features));
+        break;
+      case LocatorModelKind::kCombined: {
+        const double f_ij = cm.flat.score_features(features);
+        // f_Ci. of the disposition's own major location.
+        const double f_i =
+            location_models_[static_cast<std::size_t>(cm.location)]
+                .score_features(features);
+        const double cov[2] = {f_ij, f_i};
+        rd.probability = cm.combined.predict(cov);
+        break;
+      }
+    }
+    out.push_back(rd);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RankedDisposition& a, const RankedDisposition& b) {
+                     return a.probability > b.probability;
+                   });
+  return out;
+}
+
+std::vector<TroubleLocator::RankedLocation> TroubleLocator::rank_locations(
+    std::span<const float> features) const {
+  std::vector<RankedLocation> out;
+  out.reserve(dslsim::kNumMajorLocations);
+  double max_score = -std::numeric_limits<double>::infinity();
+  std::array<double, dslsim::kNumMajorLocations> scores{};
+  for (std::size_t loc = 0; loc < dslsim::kNumMajorLocations; ++loc) {
+    scores[loc] = location_models_[loc].score_features(features);
+    max_score = std::max(max_score, scores[loc]);
+  }
+  double total = 0.0;
+  for (std::size_t loc = 0; loc < dslsim::kNumMajorLocations; ++loc) {
+    scores[loc] = std::exp(scores[loc] - max_score);
+    total += scores[loc];
+  }
+  for (std::size_t loc = 0; loc < dslsim::kNumMajorLocations; ++loc) {
+    out.push_back({static_cast<dslsim::MajorLocation>(loc),
+                   total > 0.0 ? scores[loc] / total : 0.25});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RankedLocation& a, const RankedLocation& b) {
+                     return a.probability > b.probability;
+                   });
+  return out;
+}
+
+const ml::BStumpModel* TroubleLocator::flat_model(
+    dslsim::DispositionId disposition) const {
+  for (const auto& cm : models_) {
+    if (cm.disposition == disposition) return &cm.flat;
+  }
+  return nullptr;
+}
+
+std::size_t TroubleLocator::rank_of(std::span<const float> features,
+                                    dslsim::DispositionId truth,
+                                    LocatorModelKind kind) const {
+  const auto ranking = rank(features, kind);
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    if (ranking[i].disposition == truth) return i + 1;
+  }
+  return ranking.size() + 1;
+}
+
+}  // namespace nevermind::core

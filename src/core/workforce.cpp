@@ -1,0 +1,107 @@
+#include "core/workforce.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nevermind::core {
+
+double location_test_factor(dslsim::MajorLocation loc) noexcept {
+  switch (loc) {
+    case dslsim::MajorLocation::kHomeNetwork:
+      return 0.7;  // swap a filter, reboot a modem
+    case dslsim::MajorLocation::kF2:
+      return 1.0;  // drop wire / protector checks
+    case dslsim::MajorLocation::kF1:
+      return 1.5;  // buried plant, crossbox work
+    case dslsim::MajorLocation::kDslam:
+      return 1.2;  // CO/DSLAM equipment checks
+  }
+  return 1.0;
+}
+
+TechnicianProfile sample_technician(util::Rng& rng) {
+  TechnicianProfile tech;
+  tech.skill = std::clamp(rng.lognormal(0.0, 0.3), 0.5, 2.5);
+  tech.minutes_per_test = rng.uniform(14.0, 22.0);
+  tech.travel_minutes = rng.uniform(8.0, 16.0);
+  tech.overhead_minutes = rng.uniform(35.0, 55.0);
+  return tech;
+}
+
+namespace {
+
+double test_minutes(const TechnicianProfile& tech,
+                    dslsim::MajorLocation loc) {
+  return tech.minutes_per_test * location_test_factor(loc) / tech.skill;
+}
+
+}  // namespace
+
+DispatchSimResult simulate_dispatch(std::span<const RankedDisposition> plan,
+                                    dslsim::DispositionId truth,
+                                    const dslsim::FaultCatalog& catalog,
+                                    const TechnicianProfile& tech) {
+  DispatchSimResult result;
+  result.minutes = tech.overhead_minutes;
+  bool has_location = false;
+  dslsim::MajorLocation current = dslsim::MajorLocation::kHomeNetwork;
+  for (const auto& candidate : plan) {
+    const auto loc = catalog.signature(candidate.disposition).location;
+    if (has_location && loc != current) {
+      result.minutes += tech.travel_minutes;
+      ++result.location_changes;
+    }
+    current = loc;
+    has_location = true;
+    result.minutes += test_minutes(tech, loc);
+    ++result.tests_run;
+    if (candidate.disposition == truth) {
+      result.found = true;
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<RankedDisposition> plan_cost_aware(
+    std::span<const RankedDisposition> ranked,
+    const dslsim::FaultCatalog& catalog, const TechnicianProfile& tech,
+    double slack) {
+  std::vector<RankedDisposition> remaining(ranked.begin(), ranked.end());
+  std::vector<RankedDisposition> plan;
+  plan.reserve(remaining.size());
+
+  bool has_location = false;
+  dslsim::MajorLocation current = dslsim::MajorLocation::kHomeNetwork;
+  while (!remaining.empty()) {
+    // Best probability-per-minute ratio.
+    double best_ratio = -1.0;
+    for (const auto& c : remaining) {
+      const auto loc = catalog.signature(c.disposition).location;
+      const double ratio = c.probability / test_minutes(tech, loc);
+      best_ratio = std::max(best_ratio, ratio);
+    }
+    // Among near-best candidates, prefer staying put (save travel).
+    std::size_t pick = 0;
+    double pick_key = -1.0;
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      const auto loc = catalog.signature(remaining[i].disposition).location;
+      const double ratio =
+          remaining[i].probability / test_minutes(tech, loc);
+      if (ratio < best_ratio * slack) continue;
+      const double stay_bonus = (has_location && loc == current) ? 1.15 : 1.0;
+      const double key = ratio * stay_bonus;
+      if (key > pick_key) {
+        pick_key = key;
+        pick = i;
+      }
+    }
+    current = catalog.signature(remaining[pick].disposition).location;
+    has_location = true;
+    plan.push_back(remaining[pick]);
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  return plan;
+}
+
+}  // namespace nevermind::core

@@ -1,0 +1,84 @@
+#include "dslsim/customer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nevermind::dslsim {
+
+CustomerBehavior sample_customer(util::Rng& rng,
+                                 const CustomerModelConfig& cfg) {
+  CustomerBehavior c;
+  c.usage_intensity_mb = static_cast<float>(
+      std::clamp(rng.lognormal(cfg.usage_mu, cfg.usage_sigma), 1.0, 20000.0));
+  c.report_propensity = static_cast<float>(std::clamp(
+      rng.lognormal(0.0, 0.45), 0.2, 4.0));
+  c.modem_off_base = static_cast<float>(
+      rng.uniform(0.0, cfg.modem_off_base_max));
+  c.weekend_factor = static_cast<float>(rng.uniform(1.0, 1.7));
+  c.online_prob = static_cast<float>(
+      1.0 - std::exp(-c.usage_intensity_mb / cfg.daily_online_scale));
+  c.activity_seed = rng.next();
+
+  const auto n_vacations = rng.poisson(cfg.mean_vacations_per_year);
+  for (std::uint64_t i = 0; i < n_vacations; ++i) {
+    const auto start = static_cast<util::Day>(rng.uniform_index(400));
+    const auto len = static_cast<util::Day>(rng.uniform(
+        cfg.vacation_min_days, cfg.vacation_max_days));
+    c.vacations.emplace_back(start, start + len);
+  }
+  if (rng.bernoulli(cfg.seasonal_fraction)) {
+    const auto start = static_cast<util::Day>(rng.uniform_index(330));
+    const auto len = static_cast<util::Day>(
+        rng.uniform(cfg.seasonal_min_days, cfg.seasonal_max_days));
+    c.vacations.emplace_back(start, start + len);
+  }
+  std::sort(c.vacations.begin(), c.vacations.end());
+  return c;
+}
+
+bool is_away(const CustomerBehavior& c, util::Day day) noexcept {
+  for (const auto& [start, end] : c.vacations) {
+    if (day >= start && day < end) return true;
+    if (start > day) break;
+  }
+  return false;
+}
+
+namespace {
+
+/// Deterministic per-(customer, day) uniform for the online/offline
+/// gate — stable across every consumer of the usage model.
+double day_uniform(std::uint64_t seed, util::Day day) noexcept {
+  std::uint64_t x =
+      seed ^ (static_cast<std::uint64_t>(day) * 0x9E3779B97F4A7C15ULL);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double usage_on_day(const CustomerBehavior& c, util::Day day) noexcept {
+  if (is_away(c, day)) return 0.0;
+  if (day_uniform(c.activity_seed, day) >= c.online_prob) return 0.0;
+  const auto wd = util::weekday_of(day);
+  const bool weekend =
+      wd == util::Weekday::kSaturday || wd == util::Weekday::kSunday;
+  return c.usage_intensity_mb * (weekend ? c.weekend_factor : 1.0);
+}
+
+double call_day_weight(util::Day day) noexcept {
+  switch (util::weekday_of(day)) {
+    case util::Weekday::kMonday: return 1.00;
+    case util::Weekday::kTuesday: return 0.85;
+    case util::Weekday::kWednesday: return 0.80;
+    case util::Weekday::kThursday: return 0.75;
+    case util::Weekday::kFriday: return 0.70;
+    case util::Weekday::kSaturday: return 0.35;
+    case util::Weekday::kSunday: return 0.30;
+  }
+  return 0.5;
+}
+
+}  // namespace nevermind::dslsim

@@ -1,0 +1,74 @@
+// Customer behaviour model: who uses their line how much, when they are
+// away from home, and how readily they notice and report problems.
+//
+// This is what turns physical faults into (or not into) trouble
+// tickets, and it encodes the paper's two classes of silent problems
+// (§5.2): customers who are not on site when the fault is live, and
+// light users who never feel an intermittent degradation.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "util/calendar.hpp"
+#include "util/rng.hpp"
+
+namespace nevermind::dslsim {
+
+struct CustomerBehavior {
+  /// Mean daily traffic when home (MB); log-normal across the base.
+  float usage_intensity_mb = 150.0F;
+  /// Multiplier on the probability of noticing a live symptom.
+  float report_propensity = 1.0F;
+  /// Chance the modem is powered off during a Saturday test even with
+  /// no fault (paper: the modem feature "reflects the usage pattern").
+  float modem_off_base = 0.05F;
+  /// Weekend usage multiplier.
+  float weekend_factor = 1.3F;
+  /// Probability the customer goes online at all on a given day; light
+  /// users are offline most days (their lines produce the zero-traffic
+  /// stretches behind the §5.2 not-on-site analysis even outside
+  /// vacations).
+  float online_prob = 1.0F;
+  /// Seed for the deterministic day-level online/offline pattern.
+  std::uint64_t activity_seed = 0;
+  /// Away-from-home intervals [start, end).
+  std::vector<std::pair<util::Day, util::Day>> vacations;
+};
+
+struct CustomerModelConfig {
+  double usage_mu = 4.6;            // ln MB/day; e^4.6 ~ 100 MB
+  double usage_sigma = 1.1;
+  double mean_vacations_per_year = 1.2;
+  double vacation_min_days = 3;
+  double vacation_max_days = 21;
+  double modem_off_base_max = 0.12;
+  /// Fraction of customers with one long seasonal absence (second
+  /// homes, snowbirds) — the population behind the paper's §5.2
+  /// "customer not on site" incorrect predictions. Their modems stay
+  /// powered, so the line tests keep running while nobody is home to
+  /// notice (or report) a fault.
+  double seasonal_fraction = 0.10;
+  double seasonal_min_days = 45;
+  double seasonal_max_days = 150;
+  /// Scale (MB/day) at which a customer is online nearly every day;
+  /// online_prob = 1 - exp(-intensity / this).
+  double daily_online_scale = 20.0;
+};
+
+[[nodiscard]] CustomerBehavior sample_customer(util::Rng& rng,
+                                               const CustomerModelConfig& cfg);
+
+[[nodiscard]] bool is_away(const CustomerBehavior& c, util::Day day) noexcept;
+
+/// Expected traffic for the day: zero when away, weekday/weekend shaped
+/// otherwise. Callers add their own multiplicative noise.
+[[nodiscard]] double usage_on_day(const CustomerBehavior& c,
+                                  util::Day day) noexcept;
+
+/// Relative propensity to place a support call on a given weekday.
+/// Produces the paper's observed arrival pattern: tickets peak on
+/// Monday and bottom out over the weekend.
+[[nodiscard]] double call_day_weight(util::Day day) noexcept;
+
+}  // namespace nevermind::dslsim

@@ -1,0 +1,111 @@
+#include "dslsim/export.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+
+#include "dslsim/profile.hpp"
+#include "ml/dataset.hpp"
+#include "util/csv.hpp"
+
+namespace nevermind::dslsim {
+
+namespace {
+
+std::string cell(float v) {
+  return ml::is_missing(v) ? std::string{} : std::to_string(v);
+}
+
+const char* category_name(TicketCategory c) {
+  switch (c) {
+    case TicketCategory::kCustomerEdge: return "customer-edge";
+    case TicketCategory::kBilling: return "billing";
+    case TicketCategory::kOther: return "other";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void export_measurements_csv(const SimDataset& data, std::ostream& os,
+                             int week_from, int week_to) {
+  week_from = std::max(week_from, 0);
+  week_to = std::min(week_to, data.n_weeks() - 1);
+  util::CsvWriter csv(os);
+  std::vector<std::string> header = {"week", "line", "date"};
+  for (std::size_t i = 0; i < kNumLineMetrics; ++i) {
+    header.emplace_back(metric_name(i));
+  }
+  csv.write_row(header);
+  std::vector<std::string> row;
+  for (int w = week_from; w <= week_to; ++w) {
+    const util::Day day = util::saturday_of_week(w);
+    for (LineId u = 0; u < data.n_lines(); ++u) {
+      const MetricVector& m = data.measurement(w, u);
+      row.clear();
+      row.push_back(std::to_string(w));
+      row.push_back(std::to_string(u));
+      row.push_back(util::format_date(day));
+      for (std::size_t i = 0; i < kNumLineMetrics; ++i) {
+        row.push_back(cell(m[i]));
+      }
+      csv.write_row(row);
+    }
+  }
+}
+
+void export_tickets_csv(const SimDataset& data, std::ostream& os) {
+  util::CsvWriter csv(os);
+  csv.write_row({"id", "line", "reported", "category", "resolved",
+                 "disposition"});
+  for (const auto& t : data.tickets()) {
+    std::string disposition;
+    if (t.note != kNoTicket) {
+      disposition = data.catalog()
+                        .signature(data.notes()[static_cast<std::size_t>(
+                                                    t.note)]
+                                       .disposition)
+                        .code;
+    }
+    csv.write_row({std::to_string(t.id), std::to_string(t.line),
+                   util::format_date(t.reported), category_name(t.category),
+                   util::format_date(t.resolved), disposition});
+  }
+}
+
+void export_notes_csv(const SimDataset& data, std::ostream& os) {
+  util::CsvWriter csv(os);
+  csv.write_row({"ticket_id", "line", "dispatch", "disposition", "location"});
+  for (const auto& note : data.notes()) {
+    csv.write_row({std::to_string(note.ticket_id), std::to_string(note.line),
+                   util::format_date(note.dispatch_day),
+                   data.catalog().signature(note.disposition).code,
+                   major_location_name(note.location)});
+  }
+}
+
+void export_profiles_csv(const SimDataset& data, std::ostream& os) {
+  util::CsvWriter csv(os);
+  csv.write_row({"line", "dslam", "bras", "profile", "down_kbps", "up_kbps"});
+  for (LineId u = 0; u < data.n_lines(); ++u) {
+    const ServiceProfile& prof = profile(data.plant(u).profile);
+    csv.write_row({std::to_string(u),
+                   std::to_string(data.topology().dslam_of(u)),
+                   std::to_string(data.topology().bras_of_line(u)),
+                   std::string(prof.name), std::to_string(prof.down_kbps),
+                   std::to_string(prof.up_kbps)});
+  }
+}
+
+void export_outages_csv(const SimDataset& data, std::ostream& os) {
+  util::CsvWriter csv(os);
+  csv.write_row({"dslam", "precursor_start", "outage_start", "outage_end"});
+  for (const auto& o : data.outages()) {
+    csv.write_row({std::to_string(o.dslam),
+                   util::format_date(o.precursor_start),
+                   util::format_date(o.outage_start),
+                   util::format_date(o.outage_end)});
+  }
+}
+
+}  // namespace nevermind::dslsim

@@ -1,0 +1,35 @@
+// CSV export of the simulator's datasets, in the shape the paper's
+// four data feeds would arrive in: weekly line measurements, customer
+// tickets, disposition notes, subscriber profiles — plus outage events
+// and the daily byte feed. Lets the synthetic data be inspected or
+// consumed outside this library (plotting, spreadsheet checks,
+// cross-language reimplementation).
+#pragma once
+
+#include <iosfwd>
+
+#include "dslsim/simulator.hpp"
+
+namespace nevermind::dslsim {
+
+/// One row per (week, line): week, line, date, then the 25 Table-2
+/// metrics (empty cells for missing). `week_from`/`week_to` bound the
+/// export (inclusive); pass 0 / n_weeks()-1 for everything.
+void export_measurements_csv(const SimDataset& data, std::ostream& os,
+                             int week_from, int week_to);
+
+/// One row per ticket: id, line, reported date, category, resolved
+/// date, disposition code (empty when no dispatch ran).
+void export_tickets_csv(const SimDataset& data, std::ostream& os);
+
+/// One row per disposition note: ticket id, line, dispatch date,
+/// disposition code, major location.
+void export_notes_csv(const SimDataset& data, std::ostream& os);
+
+/// One row per line: line, DSLAM, BRAS, profile name, advertised rates.
+void export_profiles_csv(const SimDataset& data, std::ostream& os);
+
+/// One row per outage event: dslam, precursor start, start, end dates.
+void export_outages_csv(const SimDataset& data, std::ostream& os);
+
+}  // namespace nevermind::dslsim

@@ -1,0 +1,284 @@
+#include "dslsim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nevermind::dslsim {
+
+const char* major_location_name(MajorLocation loc) noexcept {
+  switch (loc) {
+    case MajorLocation::kHomeNetwork: return "HN";
+    case MajorLocation::kF1: return "F1";
+    case MajorLocation::kDslam: return "DS";
+    case MajorLocation::kF2: return "F2";
+  }
+  return "?";
+}
+
+int end_host_proximity(MajorLocation loc) noexcept {
+  switch (loc) {
+    case MajorLocation::kHomeNetwork: return 0;
+    case MajorLocation::kF2: return 1;
+    case MajorLocation::kF1: return 2;
+    case MajorLocation::kDslam: return 3;
+  }
+  return 4;
+}
+
+namespace {
+
+using D = FaultDynamics;
+using L = MajorLocation;
+
+FaultSignature sig(std::string code, std::string desc, L loc, D dyn,
+                   double freq, FaultEffects fx, double perceived,
+                   double sev_mu = -0.35, double sev_sigma = 0.45) {
+  FaultSignature s;
+  s.code = std::move(code);
+  s.description = std::move(desc);
+  s.location = loc;
+  s.dynamics = dyn;
+  s.frequency_weight = freq;
+  s.effects = fx;
+  s.perceived_weight = perceived;
+  s.severity_mu = sev_mu;
+  s.severity_sigma = sev_sigma;
+  return s;
+}
+
+/// The canonical Table-1 dispositions. Effects encode the operational
+/// folklore the paper describes: home-network device problems show up
+/// as unreachable modems and collapsed rates; outside-plant wire
+/// problems as attenuation/noise/code-violation growth; DSLAM equipment
+/// problems as errored seconds and FEC churn with healthy loop metrics.
+std::vector<FaultSignature> canonical_catalog() {
+  std::vector<FaultSignature> v;
+
+  // ---- Home network (HN) ------------------------------------------
+  v.push_back(sig("HN-MODEM", "Defective DSL modem", L::kHomeNetwork,
+                  D::kIntermittent, 3.2,
+                  {.rate_mult = 0.45, .cv_rate = 18, .es_rate = 25,
+                   .modem_off_prob = 0.45, .cells_mult = 0.5,
+                   .instability = 0.9},
+                  1.5));
+  v.push_back(sig("HN-FILTER", "Filter issues", L::kHomeNetwork,
+                  D::kSudden, 1.8,
+                  {.noise_db = 5, .cv_rate = 45, .es_rate = 12,
+                   .crosstalk_prob = 0.55, .cells_mult = 0.9},
+                  0.9));
+  v.push_back(sig("HN-SPLIT", "Splitter issues", L::kHomeNetwork,
+                  D::kSudden, 1.1,
+                  {.noise_db = 6, .cv_rate = 30, .es_rate = 20,
+                   .crosstalk_prob = 0.3},
+                  0.8));
+  v.push_back(sig("HN-CABLE", "Network cable issues", L::kHomeNetwork,
+                  D::kIntermittent, 1.4,
+                  {.rate_mult = 0.7, .cv_rate = 10,
+                   .modem_off_prob = 0.35, .cells_mult = 0.6,
+                   .instability = 0.8},
+                  1.1));
+  v.push_back(sig("HN-IW", "Inside wire (wet, corroded, cut)",
+                  L::kHomeNetwork, D::kDegrading, 2.4,
+                  {.atten_db = 4, .noise_db = 7, .cv_rate = 60,
+                   .es_rate = 30, .fec_rate = 40, .crosstalk_prob = 0.35},
+                  1.0));
+  v.push_back(sig("HN-JACK", "Jack, software, NIC, etc.", L::kHomeNetwork,
+                  D::kIntermittent, 1.6,
+                  {.rate_mult = 0.85, .modem_off_prob = 0.5,
+                   .cells_mult = 0.4, .instability = 0.7},
+                  1.2));
+
+  // ---- F1: crossbox <-> DSLAM path --------------------------------
+  v.push_back(sig("F1-XFER", "Transfer service to another cable pair",
+                  L::kF1, D::kDegrading, 1.0,
+                  {.atten_db = 6, .noise_db = 4, .attain_mult = 0.65,
+                   .cv_rate = 25, .es_rate = 10},
+                  0.8));
+  v.push_back(sig("F1-BTAP", "Bridge tap of the customer's facilities",
+                  L::kF1, D::kSudden, 0.8,
+                  {.atten_db = 5, .attain_mult = 0.7, .cv_rate = 15,
+                   .bridge_tap_prob = 0.9, .hicar_shift = -40},
+                  0.6));
+  v.push_back(sig("F1-WET", "Wet or corroded wire conductor", L::kF1,
+                  D::kDegrading, 2.0,
+                  {.atten_db = 8, .noise_db = 9, .rate_mult = 0.8,
+                   .cv_rate = 90, .es_rate = 45, .fec_rate = 70},
+                  1.0));
+  v.push_back(sig("F1-XBOX", "Defect found in a crossbox", L::kF1,
+                  D::kIntermittent, 1.2,
+                  {.noise_db = 6, .rate_mult = 0.85, .cv_rate = 50,
+                   .es_rate = 35, .modem_off_prob = 0.2, .instability = 0.6},
+                  0.9));
+  v.push_back(sig("F1-BRAT", "Defective buried ready access terminal",
+                  L::kF1, D::kDegrading, 0.9,
+                  {.atten_db = 6, .noise_db = 5, .cv_rate = 40,
+                   .es_rate = 25, .crosstalk_prob = 0.25},
+                  0.8));
+  v.push_back(sig("F1-CUT", "Pair cut, defect cable, stub, etc.", L::kF1,
+                  D::kSudden, 1.3,
+                  {.rate_mult = 0.05, .modem_off_prob = 0.85,
+                   .cells_mult = 0.05},
+                  2.0, -0.1, 0.3));
+
+  // ---- DSLAM (DS) ---------------------------------------------------
+  v.push_back(sig("DS-SPEED", "Reduce speed to stabilize the line",
+                  L::kDslam, D::kDegrading, 1.5,
+                  {.noise_db = 5, .attain_mult = 0.75, .cv_rate = 70,
+                   .es_rate = 30, .fec_rate = 90},
+                  0.7));
+  v.push_back(sig("DS-DST", "Digital stream transport", L::kDslam,
+                  D::kSudden, 0.8,
+                  {.rate_mult = 0.3, .es_rate = 60, .modem_off_prob = 0.4,
+                   .cells_mult = 0.3},
+                  1.4));
+  v.push_back(sig("DS-WIRE", "Wiring at DSLAM", L::kDslam,
+                  D::kIntermittent, 0.9,
+                  {.cv_rate = 35, .es_rate = 70, .fec_rate = 50,
+                   .modem_off_prob = 0.25},
+                  1.0));
+  v.push_back(sig("DS-CARD", "DSLAM pronto card ABCU/ADLU", L::kDslam,
+                  D::kIntermittent, 1.1,
+                  {.rate_mult = 0.8, .cv_rate = 20, .es_rate = 90,
+                   .fec_rate = 120, .modem_off_prob = 0.3, .instability = 0.6},
+                  1.2));
+  v.push_back(sig("DS-PORT", "Porting", L::kDslam, D::kSudden, 0.6,
+                  {.rate_mult = 0.1, .modem_off_prob = 0.7,
+                   .cells_mult = 0.1},
+                  1.6, -0.2, 0.35));
+  v.push_back(sig("DS-ATM", "Digital stream, ATM switch, etc.", L::kDslam,
+                  D::kSudden, 0.5,
+                  {.rate_mult = 0.6, .es_rate = 50, .fec_rate = 60,
+                   .cells_mult = 0.5},
+                  1.1));
+
+  // ---- F2: home <-> crossbox drop ----------------------------------
+  v.push_back(sig("F2-AERIAL", "Aerial drop was replaced", L::kF2,
+                  D::kDegrading, 1.4,
+                  {.atten_db = 7, .noise_db = 6, .rate_mult = 0.85,
+                   .cv_rate = 55, .es_rate = 25, .crosstalk_prob = 0.3},
+                  1.0));
+  v.push_back(sig("F2-DEMARC", "Access point (DEMARC) - outside", L::kF2,
+                  D::kIntermittent, 1.2,
+                  {.noise_db = 5, .rate_mult = 0.9, .cv_rate = 40,
+                   .modem_off_prob = 0.3, .instability = 0.7},
+                  0.9));
+  v.push_back(sig("F2-BSW", "Repaired existing buried service wire",
+                  L::kF2, D::kDegrading, 1.3,
+                  {.atten_db = 8, .noise_db = 8, .cv_rate = 75,
+                   .es_rate = 40, .fec_rate = 55},
+                  1.0));
+  v.push_back(sig("F2-PROT", "Defect in protector unit", L::kF2,
+                  D::kSudden, 0.9,
+                  {.noise_db = 10, .cv_rate = 65, .es_rate = 35,
+                   .crosstalk_prob = 0.4},
+                  0.9));
+  v.push_back(sig("F2-PW", "Wire from protector to DEMARC", L::kF2,
+                  D::kDegrading, 0.8,
+                  {.atten_db = 5, .noise_db = 6, .cv_rate = 45,
+                   .es_rate = 20},
+                  0.8));
+  v.push_back(sig("F2-MTU", "Jumper, defective MTU, etc.", L::kF2,
+                  D::kIntermittent, 0.7,
+                  {.rate_mult = 0.6, .cv_rate = 30, .modem_off_prob = 0.4,
+                   .cells_mult = 0.5, .instability = 0.6},
+                  1.1));
+
+  return v;
+}
+
+/// Location style parameters for generated minor variants: variants
+/// inherit the metric channels typical of their location with jittered
+/// magnitudes, giving the locator a realistic rare tail whose members
+/// resemble their siblings more than other locations' codes.
+FaultEffects random_effects_for(L loc, util::Rng& rng) {
+  FaultEffects fx;
+  auto jitter = [&](double base) { return base * rng.uniform(0.5, 1.6); };
+  switch (loc) {
+    case L::kHomeNetwork:
+      fx.rate_mult = 1.0 - jitter(0.3);
+      fx.modem_off_prob = jitter(0.3);
+      fx.cv_rate = jitter(25);
+      fx.cells_mult = 1.0 - jitter(0.35);
+      fx.noise_db = jitter(3);
+      fx.instability = jitter(0.5);
+      break;
+    case L::kF1:
+      fx.atten_db = jitter(6);
+      fx.noise_db = jitter(6);
+      fx.cv_rate = jitter(55);
+      fx.es_rate = jitter(28);
+      fx.rate_mult = 1.0 - jitter(0.15);
+      fx.bridge_tap_prob = rng.bernoulli(0.25) ? jitter(0.5) : 0.0;
+      break;
+    case L::kDslam:
+      fx.es_rate = jitter(70);
+      fx.fec_rate = jitter(75);
+      fx.cv_rate = jitter(25);
+      fx.rate_mult = 1.0 - jitter(0.2);
+      fx.modem_off_prob = jitter(0.2);
+      fx.instability = jitter(0.35);
+      break;
+    case L::kF2:
+      fx.atten_db = jitter(6);
+      fx.noise_db = jitter(6);
+      fx.cv_rate = jitter(50);
+      fx.es_rate = jitter(25);
+      fx.crosstalk_prob = rng.bernoulli(0.4) ? jitter(0.35) : 0.0;
+      fx.rate_mult = 1.0 - jitter(0.12);
+      fx.instability = jitter(0.4);
+      break;
+  }
+  return fx;
+}
+
+}  // namespace
+
+FaultCatalog::FaultCatalog(std::uint64_t seed,
+                           std::size_t minor_variants_per_location) {
+  signatures_ = canonical_catalog();
+  canonical_count_ = signatures_.size();
+
+  util::Rng rng(seed ^ 0xFA0175C47A106ULL);
+  constexpr L kLocations[] = {L::kHomeNetwork, L::kF1, L::kDslam, L::kF2};
+  for (L loc : kLocations) {
+    for (std::size_t i = 0; i < minor_variants_per_location; ++i) {
+      FaultSignature s;
+      s.code = std::string(major_location_name(loc)) + "-MISC" +
+               std::to_string(i + 1);
+      s.description = std::string("Minor ") + major_location_name(loc) +
+                      " disposition variant " + std::to_string(i + 1);
+      s.location = loc;
+      const double pick = rng.uniform();
+      s.dynamics = pick < 0.35   ? D::kSudden
+                   : pick < 0.70 ? D::kDegrading
+                                 : D::kIntermittent;
+      // Rare tail: individually far less frequent than canonical codes.
+      s.frequency_weight = rng.uniform(0.04, 0.25);
+      s.severity_mu = rng.uniform(-0.6, -0.1);
+      s.severity_sigma = rng.uniform(0.3, 0.6);
+      s.ramp_weeks = rng.uniform(1.5, 5.0);
+      s.duty_cycle = rng.uniform(0.3, 0.8);
+      s.effects = random_effects_for(loc, rng);
+      s.perceived_weight = rng.uniform(0.6, 1.4);
+      signatures_.push_back(std::move(s));
+    }
+  }
+
+  weights_.reserve(signatures_.size());
+  for (const auto& s : signatures_) weights_.push_back(s.frequency_weight);
+}
+
+DispositionId FaultCatalog::sample(util::Rng& rng) const {
+  return static_cast<DispositionId>(rng.categorical(weights_));
+}
+
+DispositionId FaultCatalog::sample_within_location(util::Rng& rng,
+                                                   MajorLocation loc) const {
+  std::vector<double> w(weights_.size(), 0.0);
+  for (std::size_t i = 0; i < signatures_.size(); ++i) {
+    if (signatures_[i].location == loc) w[i] = weights_[i];
+  }
+  return static_cast<DispositionId>(rng.categorical(w));
+}
+
+}  // namespace nevermind::dslsim

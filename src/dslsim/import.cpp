@@ -1,0 +1,115 @@
+#include "dslsim/import.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <string>
+
+#include "ml/dataset.hpp"
+#include "util/csv.hpp"
+
+namespace nevermind::dslsim {
+
+namespace {
+
+std::optional<long> parse_long(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return v;
+}
+
+float parse_metric(const std::string& s) {
+  if (s.empty()) return ml::kMissing;
+  char* end = nullptr;
+  const float v = std::strtof(s.c_str(), &end);
+  if (end == nullptr || *end != '\0') return ml::kMissing;
+  return v;
+}
+
+}  // namespace
+
+std::optional<util::Day> parse_date(const std::string& text) {
+  // MM/DD/YY with YY = 09 + k mapping to year offset k.
+  if (text.size() != 8 || text[2] != '/' || text[5] != '/') {
+    return std::nullopt;
+  }
+  const auto month = parse_long(text.substr(0, 2));
+  const auto dom = parse_long(text.substr(3, 2));
+  const auto year = parse_long(text.substr(6, 2));
+  if (!month || !dom || !year) return std::nullopt;
+  const long year_offset = *year - 9;
+  return util::day_from_date(static_cast<int>(*month),
+                             static_cast<int>(*dom)) +
+         static_cast<util::Day>(year_offset * 365);
+}
+
+std::optional<std::vector<ImportedMeasurement>> import_measurements_csv(
+    std::istream& is) {
+  const auto rows = util::read_csv(is);
+  if (rows.empty()) return std::nullopt;
+  const auto& header = rows.front();
+  if (header.size() != 3 + kNumLineMetrics || header[0] != "week" ||
+      header[1] != "line") {
+    return std::nullopt;
+  }
+  std::vector<ImportedMeasurement> out;
+  out.reserve(rows.size() - 1);
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != header.size()) continue;
+    const auto week = parse_long(row[0]);
+    const auto line = parse_long(row[1]);
+    if (!week || !line || *week < 0 || *line < 0) continue;
+    ImportedMeasurement m;
+    m.week = static_cast<int>(*week);
+    m.line = static_cast<LineId>(*line);
+    for (std::size_t i = 0; i < kNumLineMetrics; ++i) {
+      m.metrics[i] = parse_metric(row[3 + i]);
+    }
+    // Normalize the missing-record convention: absent state -> 0.
+    if (ml::is_missing(m.metrics[metric_index(LineMetric::kState)])) {
+      m.metrics[metric_index(LineMetric::kState)] = 0.0F;
+    }
+    out.push_back(m);
+  }
+  return out;
+}
+
+std::optional<std::vector<ImportedTicket>> import_tickets_csv(
+    std::istream& is) {
+  const auto rows = util::read_csv(is);
+  if (rows.empty()) return std::nullopt;
+  const auto& header = rows.front();
+  if (header.size() != 6 || header[0] != "id" || header[3] != "category") {
+    return std::nullopt;
+  }
+  std::vector<ImportedTicket> out;
+  out.reserve(rows.size() - 1);
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != 6) continue;
+    const auto id = parse_long(row[0]);
+    const auto line = parse_long(row[1]);
+    const auto reported = parse_date(row[2]);
+    const auto resolved = parse_date(row[4]);
+    if (!id || !line || !reported || !resolved) continue;
+    ImportedTicket t;
+    t.id = static_cast<TicketId>(*id);
+    t.line = static_cast<LineId>(*line);
+    t.reported = *reported;
+    t.resolved = *resolved;
+    if (row[3] == "billing") {
+      t.category = TicketCategory::kBilling;
+    } else if (row[3] == "other") {
+      t.category = TicketCategory::kOther;
+    } else {
+      t.category = TicketCategory::kCustomerEdge;
+    }
+    t.disposition = row[5];
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace nevermind::dslsim

@@ -1,0 +1,46 @@
+// CSV import: the inverse of export.hpp. Parses the paper-shaped feeds
+// back into plain record structures, so a deployment can run this
+// library against files produced elsewhere (another simulator run, a
+// data warehouse dump shaped like the paper's feeds) without going
+// through dslsim::Simulator. Parsing is strict about shape (header and
+// column counts) and lenient about content (bad numeric cells become
+// missing values).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "dslsim/records.hpp"
+
+namespace nevermind::dslsim {
+
+struct ImportedMeasurement {
+  int week = 0;
+  LineId line = 0;
+  MetricVector metrics{};  // missing cells -> NaN, state -> 0
+};
+
+/// Parse a stream written by export_measurements_csv. Returns nullopt
+/// when the header is missing or malformed; rows with a wrong cell
+/// count are skipped.
+[[nodiscard]] std::optional<std::vector<ImportedMeasurement>>
+import_measurements_csv(std::istream& is);
+
+struct ImportedTicket {
+  TicketId id = 0;
+  LineId line = 0;
+  util::Day reported = 0;
+  TicketCategory category = TicketCategory::kCustomerEdge;
+  util::Day resolved = 0;
+  /// Disposition code string; empty when no dispatch ran.
+  std::string disposition;
+};
+
+[[nodiscard]] std::optional<std::vector<ImportedTicket>> import_tickets_csv(
+    std::istream& is);
+
+/// Parse "MM/DD/YY" back into a day index (09 -> base year).
+[[nodiscard]] std::optional<util::Day> parse_date(const std::string& text);
+
+}  // namespace nevermind::dslsim

@@ -1,0 +1,225 @@
+#include "dslsim/line.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/mathx.hpp"
+
+namespace nevermind::dslsim {
+
+LinePlant sample_plant(util::Rng& rng) {
+  LinePlant plant;
+  // Log-normal loop length, mode ~7 kft, tail past 15 kft.
+  plant.loop_length_ft =
+      static_cast<float>(std::clamp(rng.lognormal(8.85, 0.42), 1200.0, 19500.0));
+  plant.gauge_db_per_kft = static_cast<float>(rng.uniform(4.2, 6.4));
+  plant.inherent_bridge_tap = rng.bernoulli(0.12);
+  plant.crosstalk_propensity = static_cast<float>(rng.uniform(0.0, 0.35));
+  plant.noise_floor_db = static_cast<float>(rng.normal(0.0, 2.0));
+  plant.profile = 1;
+  return plant;
+}
+
+ProfileId sample_profile(const LinePlant& plant, util::Rng& rng) {
+  const auto profiles = service_profiles();
+  // Base popularity, discounted by plant feasibility so long loops end
+  // up on slow tiers — mostly.
+  std::vector<double> weights(profiles.size());
+  const double loop_kft = plant.loop_length_ft / 1000.0;
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const double atten = loop_kft * plant.gauge_db_per_kft;
+    // Rough feasibility: a tier is attractive while its rate is well
+    // below what the loop can carry (~ sigmoid in attenuation).
+    const double feasibility =
+        util::sigmoid((62.0 - atten - profiles[i].down_kbps / 200.0) / 6.0);
+    // A small residue of sales ignores feasibility (mis-provisioning,
+    // one source of DS-SPEED "downgrade to stabilize" dispositions).
+    weights[i] = profiles[i].population_share * (0.005 + 0.995 * feasibility);
+  }
+  return static_cast<ProfileId>(rng.categorical(weights));
+}
+
+void accumulate_effects(FaultEffects& into, const FaultEffects& from,
+                        double scale) noexcept {
+  if (scale <= 0.0) return;
+  into.atten_db += from.atten_db * scale;
+  into.noise_db += from.noise_db * scale;
+  into.cv_rate += from.cv_rate * scale;
+  into.es_rate += from.es_rate * scale;
+  into.fec_rate += from.fec_rate * scale;
+  into.hicar_shift += from.hicar_shift * scale;
+  into.instability += from.instability * scale;
+  // Multiplicative channels: interpolate toward the fault's multiplier
+  // with the episode scale, then compose multiplicatively.
+  const auto scaled_mult = [scale](double mult) {
+    return 1.0 + (mult - 1.0) * std::min(scale, 1.5);
+  };
+  into.rate_mult *= std::max(0.0, scaled_mult(from.rate_mult));
+  into.attain_mult *= std::max(0.05, scaled_mult(from.attain_mult));
+  into.cells_mult *= std::max(0.0, scaled_mult(from.cells_mult));
+  // Probability channels: independent-event combination.
+  const auto combine_prob = [scale](double into_p, double p) {
+    const double q = std::clamp(p * scale, 0.0, 1.0);
+    return 1.0 - (1.0 - into_p) * (1.0 - q);
+  };
+  into.modem_off_prob = combine_prob(into.modem_off_prob, from.modem_off_prob);
+  into.crosstalk_prob = combine_prob(into.crosstalk_prob, from.crosstalk_prob);
+  into.bridge_tap_prob =
+      combine_prob(into.bridge_tap_prob, from.bridge_tap_prob);
+}
+
+double modem_off_probability(double customer_off_prob,
+                             const FaultEffects& fx) noexcept {
+  return 1.0 - (1.0 - std::clamp(customer_off_prob, 0.0, 1.0)) *
+                   (1.0 - std::clamp(fx.modem_off_prob, 0.0, 1.0));
+}
+
+MetricVector missing_record() noexcept {
+  MetricVector m;
+  m.fill(std::numeric_limits<float>::quiet_NaN());
+  m[metric_index(LineMetric::kState)] = 0.0F;
+  return m;
+}
+
+namespace {
+
+double poisson_metric(util::Rng& rng, double mean) {
+  return static_cast<double>(rng.poisson(std::max(mean, 0.0)));
+}
+
+}  // namespace
+
+MetricVector measure_line(const LinePlant& plant,
+                          const MeasurementContext& ctx, util::Rng& rng) {
+  const ServiceProfile& prof = profile(plant.profile);
+  const double loop_kft = plant.loop_length_ft / 1000.0;
+
+  // --- attenuation ---------------------------------------------------
+  const double tap_penalty = plant.inherent_bridge_tap ? 3.0 : 0.0;
+  const double dn_atten = std::max(
+      1.0, loop_kft * plant.gauge_db_per_kft + tap_penalty + ctx.fx.atten_db +
+               rng.normal(0.0, 0.8));
+  const double up_atten = std::max(0.5, dn_atten * 0.55 + rng.normal(0.0, 0.6));
+
+  // --- transmit power --------------------------------------------------
+  const double dn_pwr =
+      14.0 + rng.normal(0.0, 0.7) + rng.normal(0.0, 1.1) * std::min(ctx.fx.instability, 3.0);
+  const double up_pwr =
+      12.0 + rng.normal(0.0, 0.7) + rng.normal(0.0, 1.1) * std::min(ctx.fx.instability, 3.0);
+
+  // --- SNR and attainable rate ----------------------------------------
+  const double noise = plant.noise_floor_db + ctx.fx.noise_db +
+                       plant.crosstalk_propensity * 3.0;
+  const double dn_snr = 55.0 - 0.75 * dn_atten - noise + rng.normal(0.0, 1.2);
+  const double up_snr = 52.0 - 0.85 * up_atten - noise + rng.normal(0.0, 1.2);
+
+  const double dn_attain = std::max(
+      0.0, 14000.0 * util::sigmoid((dn_snr - 12.0) / 6.0) * ctx.fx.attain_mult);
+  const double up_attain = std::max(
+      0.0, 1400.0 * util::sigmoid((up_snr - 10.0) / 6.0) * ctx.fx.attain_mult);
+
+  // --- delivered rates -------------------------------------------------
+  // Instability jitters the sync rate and margins in both directions: a
+  // flapping line retrains at whatever speed the last resync got.
+  const double jitter = std::min(ctx.fx.instability, 3.0);
+  double dn_rate = std::min(prof.down_kbps, dn_attain * 0.92);
+  double up_rate = std::min(prof.up_kbps, up_attain * 0.92);
+  dn_rate = std::max(
+      0.0, dn_rate * ctx.fx.rate_mult * (1.0 + rng.normal(0.0, 0.16) * jitter) +
+               rng.normal(0.0, 8.0));
+  up_rate = std::max(
+      0.0, up_rate * ctx.fx.rate_mult * (1.0 + rng.normal(0.0, 0.16) * jitter) +
+               rng.normal(0.0, 4.0));
+
+  // --- margins: headroom between attainable and delivered --------------
+  const auto margin = [&rng](double attain, double rate) {
+    if (rate < 16.0) return 0.0;
+    const double headroom_db = 10.0 * std::log2(std::max(attain, 16.0) / rate);
+    return std::clamp(6.0 + headroom_db * 0.8 + rng.normal(0.0, 0.8), 0.0,
+                      31.0);
+  };
+  const double dn_margin = std::clamp(
+      margin(dn_attain, dn_rate) + rng.normal(0.0, 2.2) * jitter, 0.0, 31.0);
+  const double up_margin = std::clamp(
+      margin(up_attain, up_rate) + rng.normal(0.0, 2.2) * jitter, 0.0, 31.0);
+
+  // --- relative capacity (% of attainable in use) ----------------------
+  const auto relcap = [](double rate, double attain) {
+    return attain > 1.0 ? std::clamp(100.0 * rate / attain, 0.0, 100.0) : 100.0;
+  };
+
+  // --- error counters ---------------------------------------------------
+  const double margin_deficit = std::max(0.0, 7.0 - dn_margin);
+  const double cv_mean = 2.0 + margin_deficit * 5.0 +
+                         plant.crosstalk_propensity * 4.0 + ctx.fx.cv_rate;
+  const double cv1 = poisson_metric(rng, cv_mean);
+  const double cv2 = poisson_metric(rng, cv_mean * 0.35);
+  const double cv3 = poisson_metric(rng, cv_mean * 0.12);
+  const double es1 = poisson_metric(rng, 1.0 + margin_deficit * 2.0 + ctx.fx.es_rate);
+  const double es2 = poisson_metric(rng, 0.3 + margin_deficit + ctx.fx.es_rate * 0.4);
+  const double fec = poisson_metric(rng, 4.0 + margin_deficit * 6.0 + ctx.fx.fec_rate);
+
+  // --- carriers, flags, loop estimate ----------------------------------
+  const double hicar = std::clamp(
+      230.0 - loop_kft * 7.5 - tap_penalty * 5.0 + ctx.fx.hicar_shift +
+          rng.normal(0.0, 4.0),
+      30.0, 255.0);
+  const bool bt_flag =
+      plant.inherent_bridge_tap || rng.bernoulli(ctx.fx.bridge_tap_prob);
+  const bool xt_flag = rng.bernoulli(std::clamp(
+      plant.crosstalk_propensity * 0.4 + ctx.fx.crosstalk_prob, 0.0, 1.0));
+  // The loop estimate is derived from attenuation, so wire faults that
+  // raise attenuation inflate it — exactly the artefact behind the
+  // operators' ">15 kft means downgrade" rule of thumb.
+  const double loop_est =
+      std::max(500.0, dn_atten / plant.gauge_db_per_kft * 1000.0 +
+                          rng.normal(0.0, 250.0));
+
+  // --- usage counters ----------------------------------------------------
+  const double cells_dn = std::max(
+      0.0, ctx.usage_mb_week * 0.021 * ctx.fx.cells_mult *
+               rng.lognormal(0.0, 0.3));
+  const double cells_up = std::max(
+      0.0, ctx.usage_mb_week * 0.004 * ctx.fx.cells_mult *
+               rng.lognormal(0.0, 0.3));
+
+  MetricVector m;
+  m[metric_index(LineMetric::kState)] = 1.0F;
+  m[metric_index(LineMetric::kDnBitRate)] = static_cast<float>(dn_rate);
+  m[metric_index(LineMetric::kUpBitRate)] = static_cast<float>(up_rate);
+  m[metric_index(LineMetric::kDnPower)] = static_cast<float>(dn_pwr);
+  m[metric_index(LineMetric::kUpPower)] = static_cast<float>(up_pwr);
+  m[metric_index(LineMetric::kDnNoiseMargin)] = static_cast<float>(dn_margin);
+  m[metric_index(LineMetric::kUpNoiseMargin)] = static_cast<float>(up_margin);
+  m[metric_index(LineMetric::kDnAttenuation)] = static_cast<float>(dn_atten);
+  m[metric_index(LineMetric::kUpAttenuation)] = static_cast<float>(up_atten);
+  m[metric_index(LineMetric::kDnRelCap)] =
+      static_cast<float>(relcap(dn_rate, dn_attain));
+  m[metric_index(LineMetric::kUpRelCap)] =
+      static_cast<float>(relcap(up_rate, up_attain));
+  m[metric_index(LineMetric::kDnCvCnt1)] = static_cast<float>(cv1);
+  m[metric_index(LineMetric::kDnCvCnt2)] = static_cast<float>(cv2);
+  m[metric_index(LineMetric::kDnCvCnt3)] = static_cast<float>(cv3);
+  m[metric_index(LineMetric::kDnEsCnt1)] = static_cast<float>(es1);
+  m[metric_index(LineMetric::kDnEsCnt2)] = static_cast<float>(es2);
+  m[metric_index(LineMetric::kDnFecCnt1)] = static_cast<float>(fec);
+  m[metric_index(LineMetric::kHiCarrier)] = static_cast<float>(hicar);
+  m[metric_index(LineMetric::kBridgeTap)] = bt_flag ? 1.0F : 0.0F;
+  m[metric_index(LineMetric::kCrosstalk)] = xt_flag ? 1.0F : 0.0F;
+  m[metric_index(LineMetric::kLoopLength)] = static_cast<float>(loop_est);
+  m[metric_index(LineMetric::kDnMaxAttainBr)] = static_cast<float>(dn_attain);
+  m[metric_index(LineMetric::kUpMaxAttainBr)] = static_cast<float>(up_attain);
+  m[metric_index(LineMetric::kDnCells)] = static_cast<float>(cells_dn);
+  m[metric_index(LineMetric::kUpCells)] = static_cast<float>(cells_up);
+  return m;
+}
+
+double perceived_severity(const FaultEffects& fx) noexcept {
+  // What a customer feels: lost throughput, dead sessions, resyncs.
+  const double rate_loss = 1.0 - std::clamp(fx.rate_mult, 0.0, 1.0);
+  const double drops = std::clamp(fx.modem_off_prob, 0.0, 1.0);
+  const double errors = 1.0 - std::exp(-(fx.cv_rate + 2.0 * fx.es_rate) / 120.0);
+  return 1.6 * rate_loss + 1.9 * drops + 0.7 * errors;
+}
+
+}  // namespace nevermind::dslsim

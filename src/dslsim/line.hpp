@@ -1,0 +1,75 @@
+// Per-line physical plant and the Saturday line-test measurement model.
+//
+// A line's fixed plant (loop length, wire gauge, taps, ambient noise)
+// plus the currently active fault effects determine the 25 Table-2
+// metrics the DSLAM's remote test reports. The couplings follow DSL
+// engineering folklore: attenuation grows with loop length; attainable
+// rate falls with SNR; the delivered rate is capped by the subscriber
+// profile; the noise margin is the headroom between the two; code
+// violations explode when the margin evaporates.
+#pragma once
+
+#include "dslsim/faults.hpp"
+#include "dslsim/metrics.hpp"
+#include "dslsim/profile.hpp"
+#include "util/rng.hpp"
+
+namespace nevermind::dslsim {
+
+/// Immutable physical characteristics of one subscriber loop.
+struct LinePlant {
+  float loop_length_ft = 8000.0F;   // true copper length
+  float gauge_db_per_kft = 5.0F;    // attenuation slope of the cable
+  bool inherent_bridge_tap = false; // legacy tap left in the plant
+  float crosstalk_propensity = 0.1F;  // binder-group crosstalk exposure
+  float noise_floor_db = 0.0F;      // ambient noise offset (dB, ~N(0,2))
+  ProfileId profile = 1;
+};
+
+/// Sample a plant from the footprint distribution: loop lengths are
+/// log-normal-ish with a long tail past 15 kft (where the paper's
+/// manual rule says the profile is unsupportable).
+[[nodiscard]] LinePlant sample_plant(util::Rng& rng);
+
+/// Pick a service tier consistent with the plant: operators do not sell
+/// elite tiers on 17 kft loops, but mis-provisioning happens and is one
+/// source of "reduce speed to stabilize" dispositions.
+[[nodiscard]] ProfileId sample_profile(const LinePlant& plant, util::Rng& rng);
+
+/// Fault/outage effects aggregated over everything active on the line
+/// at measurement time, plus the week's usage (cells counters).
+struct MeasurementContext {
+  FaultEffects fx;           // aggregated (see aggregate_effects)
+  double usage_mb_week = 800.0;
+};
+
+/// Combine several active effect sets: additive channels add,
+/// multiplicative channels multiply, probability channels combine as
+/// independent events. `scale` multiplies the contribution (severity x
+/// activity of the episode).
+void accumulate_effects(FaultEffects& into, const FaultEffects& from,
+                        double scale) noexcept;
+
+/// Probability that the Saturday test finds the modem unreachable:
+/// customer powered it off (base/away behaviour) or the fault killed it.
+[[nodiscard]] double modem_off_probability(double customer_off_prob,
+                                           const FaultEffects& fx) noexcept;
+
+/// Produce one Saturday test result for a reachable modem.
+[[nodiscard]] MetricVector measure_line(const LinePlant& plant,
+                                        const MeasurementContext& ctx,
+                                        util::Rng& rng);
+
+/// A missing record (modem off): state = 0, everything else NaN.
+[[nodiscard]] MetricVector missing_record() noexcept;
+
+[[nodiscard]] inline bool record_present(const MetricVector& m) noexcept {
+  return m[metric_index(LineMetric::kState)] >= 0.5F;
+}
+
+/// Severity the *customer* perceives from the aggregated effects — the
+/// paper's observable symptoms (no sync, slow speed, drops), not raw
+/// counters. Feeds the ticket-generation model.
+[[nodiscard]] double perceived_severity(const FaultEffects& fx) noexcept;
+
+}  // namespace nevermind::dslsim

@@ -1,0 +1,31 @@
+#include "dslsim/metrics.hpp"
+
+namespace nevermind::dslsim {
+
+namespace {
+
+constexpr std::array<std::string_view, kNumLineMetrics> kNames = {
+    "state",     "dnbr",      "upbr",      "dnpwr",         "uppwr",
+    "dnnmr",     "upnmr",     "dnaten",    "upaten",        "dnrelcap",
+    "uprelcap",  "dncvcnt1",  "dncvcnt2",  "dncvcnt3",      "dnescnt1",
+    "dnescnt2",  "dnfeccnt1", "hicar",     "bt",            "crosstalk",
+    "looplength", "dnmaxattainfbr", "upmaxattainfbr", "dncells", "upcells",
+};
+
+}  // namespace
+
+std::string_view metric_name(LineMetric m) noexcept {
+  return kNames[metric_index(m)];
+}
+
+std::string_view metric_name(std::size_t index) noexcept {
+  return index < kNumLineMetrics ? kNames[index] : "?";
+}
+
+bool metric_is_categorical(std::size_t index) noexcept {
+  const auto m = static_cast<LineMetric>(index);
+  return m == LineMetric::kState || m == LineMetric::kBridgeTap ||
+         m == LineMetric::kCrosstalk;
+}
+
+}  // namespace nevermind::dslsim

@@ -1,0 +1,56 @@
+// The 25 physical-layer line metrics of Table 2 — the only view into a
+// DSL line's health that NEVERMIND gets. Every Saturday the DSLAM runs
+// a line test against each connected modem and records these values (or
+// a missing record when the modem is off).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace nevermind::dslsim {
+
+enum class LineMetric : std::uint8_t {
+  kState = 0,        // 1 if the modem answered the test
+  kDnBitRate,        // downstream bit rate (kbps)
+  kUpBitRate,        // upstream bit rate (kbps)
+  kDnPower,          // downstream signal power (dBm)
+  kUpPower,          // upstream signal power (dBm)
+  kDnNoiseMargin,    // downstream SNR margin (dB)
+  kUpNoiseMargin,    // upstream SNR margin (dB)
+  kDnAttenuation,    // downstream signal attenuation (dB)
+  kUpAttenuation,    // upstream signal attenuation (dB)
+  kDnRelCap,         // downstream relative capacity (%)
+  kUpRelCap,         // upstream relative capacity (%)
+  kDnCvCnt1,         // code-violation interval count, low threshold
+  kDnCvCnt2,         // code-violation interval count, medium threshold
+  kDnCvCnt3,         // code-violation interval count, high threshold
+  kDnEsCnt1,         // seconds with code violations, threshold 1
+  kDnEsCnt2,         // seconds with code violations, threshold 2
+  kDnFecCnt1,        // FEC counts with value >= 50
+  kHiCarrier,        // biggest usable carrier number
+  kBridgeTap,        // bridge tap detected (0/1)
+  kCrosstalk,        // crosstalk detected (0/1)
+  kLoopLength,       // estimated loop length (ft)
+  kDnMaxAttainBr,    // max attainable fast bit rate, downstream (kbps)
+  kUpMaxAttainBr,    // max attainable fast bit rate, upstream (kbps)
+  kDnCells,          // rolling count of downstream cells (millions)
+  kUpCells,          // rolling count of upstream cells (millions)
+};
+
+inline constexpr std::size_t kNumLineMetrics = 25;
+
+using MetricVector = std::array<float, kNumLineMetrics>;
+
+[[nodiscard]] constexpr std::size_t metric_index(LineMetric m) noexcept {
+  return static_cast<std::size_t>(m);
+}
+
+[[nodiscard]] std::string_view metric_name(LineMetric m) noexcept;
+[[nodiscard]] std::string_view metric_name(std::size_t index) noexcept;
+
+/// True for metrics a stump should treat as categorical (0/1 flags).
+[[nodiscard]] bool metric_is_categorical(std::size_t index) noexcept;
+
+}  // namespace nevermind::dslsim

@@ -1,0 +1,29 @@
+#include "dslsim/profile.hpp"
+
+#include <array>
+#include <cstdint>
+
+namespace nevermind::dslsim {
+
+namespace {
+
+constexpr std::array<ServiceProfile, 5> kProfiles = {{
+    // name        down     up    min_dn  min_up  share
+    {"lite",       384.0,  128.0,  256.0,   96.0, 0.10},
+    {"basic",      768.0,  384.0,  512.0,  256.0, 0.35},
+    {"standard",  1536.0,  384.0, 1024.0,  256.0, 0.25},
+    {"advanced",  2500.0,  768.0, 1800.0,  512.0, 0.20},
+    {"elite",     6000.0,  768.0, 4200.0,  512.0, 0.10},
+}};
+
+}  // namespace
+
+std::span<const ServiceProfile> service_profiles() noexcept {
+  return kProfiles;
+}
+
+const ServiceProfile& profile(ProfileId id) noexcept {
+  return kProfiles[id < kProfiles.size() ? id : 1];
+}
+
+}  // namespace nevermind::dslsim

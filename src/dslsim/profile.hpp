@@ -1,0 +1,35 @@
+// Subscriber profiles (paper data source 4): the service tier a
+// customer pays for, which fixes the expected bit rates the line should
+// deliver. The profile features of Table 3 normalize the measured rates
+// by these expectations — 128 kbps is healthy on a basic line and a
+// severe fault on a high-speed one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace nevermind::dslsim {
+
+struct ServiceProfile {
+  std::string_view name;
+  double down_kbps;      // advertised downstream rate
+  double up_kbps;        // advertised upstream rate
+  double min_down_kbps;  // below this the line is out of spec
+  double min_up_kbps;
+  /// Fraction of the subscriber population on this tier.
+  double population_share;
+};
+
+/// The tier ladder; mirrors the paper's examples (basic 768/384,
+/// advanced 2500/768) plus the surrounding tiers a real DSL footprint
+/// carries.
+[[nodiscard]] std::span<const ServiceProfile> service_profiles() noexcept;
+
+/// Index into service_profiles(); kept small for storage in line state.
+using ProfileId = std::uint8_t;
+
+[[nodiscard]] const ServiceProfile& profile(ProfileId id) noexcept;
+
+}  // namespace nevermind::dslsim

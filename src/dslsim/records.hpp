@@ -1,0 +1,77 @@
+// Record types for the simulator's output datasets — the synthetic
+// equivalents of the paper's four information sources (Section 3.3):
+// weekly line measurements, customer trouble tickets, ticket disposition
+// notes, and subscriber profiles; plus DSLAM outage events and the
+// daily per-customer byte feed used by the §5.2 analyses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dslsim/faults.hpp"
+#include "dslsim/metrics.hpp"
+#include "dslsim/topology.hpp"
+#include "util/calendar.hpp"
+
+namespace nevermind::dslsim {
+
+using TicketId = std::uint32_t;
+inline constexpr std::int32_t kNoTicket = -1;
+
+enum class TicketCategory : std::uint8_t {
+  kCustomerEdge = 0,  // the tickets NEVERMIND predicts
+  kBilling,           // filtered out by the agents' coarse label
+  kOther,
+};
+
+/// A customer trouble ticket as logged by the customer agents.
+struct Ticket {
+  TicketId id = 0;
+  LineId line = 0;
+  util::Day reported = 0;
+  TicketCategory category = TicketCategory::kCustomerEdge;
+  /// Day the dispatch resolved it (or the agent closed it).
+  util::Day resolved = 0;
+  /// Index into SimDataset::notes, or kNoTicket when no dispatch ran.
+  std::int32_t note = kNoTicket;
+};
+
+/// A field technician's disposition note (paper data source 3). The
+/// disposition code is ground truth *as recorded*: per the paper it is
+/// noisy — blames the device closest to the end host and reflects
+/// technician judgement.
+struct DispositionNote {
+  TicketId ticket_id = 0;
+  LineId line = 0;
+  util::Day dispatch_day = 0;
+  DispositionId disposition = 0;
+  MajorLocation location = MajorLocation::kHomeNetwork;
+};
+
+/// A DSLAM-level outage: `precursor_start` is when the equipment began
+/// degrading (visible in line tests), [outage_start, outage_end) is the
+/// hard outage during which the IVR absorbs customer calls.
+struct OutageEvent {
+  DslamId dslam = 0;
+  util::Day precursor_start = 0;
+  util::Day outage_start = 0;
+  util::Day outage_end = 0;
+};
+
+/// Ground-truth fault episode (not visible to NEVERMIND; used by tests
+/// and by the §5.2-style analyses of "incorrect" predictions).
+struct FaultEpisode {
+  LineId line = 0;
+  DispositionId disposition = 0;
+  float severity = 1.0F;
+  util::Day onset = 0;
+  util::Day cleared = 0;            // exclusive; may exceed the sim horizon
+  std::int32_t first_ticket = kNoTicket;  // TicketId of first report
+  std::uint64_t activity_seed = 0;  // drives intermittent duty cycles
+};
+
+/// One line's Saturday test for one week; state == 0 and NaN metrics
+/// encode "modem off, missing record".
+using WeeklyMeasurements = std::vector<MetricVector>;  // indexed by LineId
+
+}  // namespace nevermind::dslsim

@@ -1,0 +1,459 @@
+#include "dslsim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nevermind::dslsim {
+
+namespace {
+
+/// Hash for the intermittent duty-cycle pattern: deterministic per
+/// (episode seed, 4-day block), so the perception loop and the Saturday
+/// measurement see the same on/off state.
+double block_uniform(std::uint64_t seed, util::Day day) noexcept {
+  std::uint64_t x = seed ^ (static_cast<std::uint64_t>(day / 4) * 0x9E3779B97F4A7C15ULL);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+/// Outage effects applied to every line on the DSLAM during the hard
+/// outage window.
+FaultEffects outage_effects() noexcept {
+  FaultEffects fx;
+  fx.es_rate = 150.0;
+  fx.fec_rate = 120.0;
+  fx.cv_rate = 60.0;
+  fx.rate_mult = 0.2;
+  fx.modem_off_prob = 0.7;
+  fx.cells_mult = 0.15;
+  return fx;
+}
+
+/// Equipment degradation visible in line tests before the hard outage.
+FaultEffects precursor_effects() noexcept {
+  FaultEffects fx;
+  fx.es_rate = 70.0;
+  fx.fec_rate = 90.0;
+  fx.cv_rate = 28.0;
+  fx.rate_mult = 0.88;
+  fx.modem_off_prob = 0.08;
+  fx.instability = 0.3;
+  return fx;
+}
+
+}  // namespace
+
+double episode_activity(const FaultSignature& sig, const FaultEpisode& episode,
+                        util::Day day) noexcept {
+  if (day < episode.onset || day >= episode.cleared) return 0.0;
+  switch (sig.dynamics) {
+    case FaultDynamics::kSudden:
+      return 1.0;
+    case FaultDynamics::kDegrading: {
+      const double ramp_days = std::max(sig.ramp_weeks, 0.25) * 7.0;
+      return std::min(1.0, static_cast<double>(day - episode.onset + 1) /
+                               ramp_days);
+    }
+    case FaultDynamics::kIntermittent:
+      return block_uniform(episode.activity_seed, day) < sig.duty_cycle ? 1.0
+                                                                        : 0.0;
+  }
+  return 0.0;
+}
+
+SimDataset::SimDataset(const SimConfig& config, Topology topology,
+                       FaultCatalog catalog)
+    : config_(config),
+      topology_(std::move(topology)),
+      catalog_(std::move(catalog)) {}
+
+std::optional<util::Day> SimDataset::next_edge_ticket_after(
+    LineId line, util::Day day) const {
+  const auto& list = edge_tickets_.at(line);
+  const auto it = std::upper_bound(
+      list.begin(), list.end(), day,
+      [](util::Day d, const auto& entry) { return d < entry.first; });
+  if (it == list.end()) return std::nullopt;
+  return it->first;
+}
+
+std::optional<util::Day> SimDataset::last_edge_ticket_at_or_before(
+    LineId line, util::Day day) const {
+  const auto& list = edge_tickets_.at(line);
+  const auto it = std::upper_bound(
+      list.begin(), list.end(), day,
+      [](util::Day d, const auto& entry) { return d < entry.first; });
+  if (it == list.begin()) return std::nullopt;
+  return std::prev(it)->first;
+}
+
+bool SimDataset::dslam_outage_within(DslamId dslam, util::Day from,
+                                     util::Day to) const {
+  for (std::uint32_t idx : dslam_outages_.at(dslam)) {
+    const auto& o = outages_[idx];
+    if (o.outage_start <= to && o.outage_end > from) return true;
+  }
+  return false;
+}
+
+bool SimDataset::in_byte_feed(LineId line) const {
+  return byte_feed_index_.at(line) >= 0;
+}
+
+std::optional<double> SimDataset::bytes_on_day(LineId line,
+                                               util::Day day) const {
+  const std::int32_t idx = byte_feed_index_.at(line);
+  if (idx < 0) return std::nullopt;
+  const auto& series = daily_mb_[static_cast<std::size_t>(idx)];
+  if (day < 0 || static_cast<std::size_t>(day) >= series.size()) return 0.0;
+  return static_cast<double>(series[static_cast<std::size_t>(day)]);
+}
+
+bool SimDataset::fault_active(LineId line, util::Day day) const {
+  for (std::uint32_t idx : line_episodes_.at(line)) {
+    const auto& e = episodes_[idx];
+    if (day >= e.onset && day < e.cleared) return true;
+  }
+  return false;
+}
+
+SimDataset Simulator::run() const {
+  util::Rng root(config_.seed);
+  Topology topology(config_.topology, root.next());
+  FaultCatalog catalog(config_.seed, config_.minor_variants_per_location);
+  SimDataset data(config_, std::move(topology), std::move(catalog));
+  const Topology& topo = data.topology_;
+  const FaultCatalog& faults = data.catalog_;
+
+  const util::Day last_test_day = util::saturday_of_week(config_.n_weeks - 1);
+  // Tickets may arrive up to the prediction horizon past the last test.
+  const util::Day horizon = last_test_day + 35;
+
+  // ---- plants & customers --------------------------------------------
+  util::Rng plant_rng = root.fork();
+  util::Rng customer_rng = root.fork();
+  data.plants_.resize(topo.n_lines());
+  data.customers_.resize(topo.n_lines());
+  for (LineId u = 0; u < topo.n_lines(); ++u) {
+    data.plants_[u] = sample_plant(plant_rng);
+    data.plants_[u].profile = sample_profile(data.plants_[u], plant_rng);
+    data.customers_[u] = sample_customer(customer_rng, config_.customer);
+  }
+
+  // ---- DSLAM outages ----------------------------------------------------
+  util::Rng outage_rng = root.fork();
+  data.dslam_outages_.resize(topo.n_dslams());
+  const double outage_rate_day = config_.outage_rate_per_dslam_year / 365.0;
+  for (DslamId d = 0; d < topo.n_dslams(); ++d) {
+    double day = outage_rng.exponential(std::max(outage_rate_day, 1e-9));
+    while (day < static_cast<double>(horizon)) {
+      OutageEvent o;
+      o.dslam = d;
+      o.outage_start = static_cast<util::Day>(day);
+      o.precursor_start =
+          o.outage_start - static_cast<util::Day>(outage_rng.uniform(10.0, 28.0));
+      o.outage_end = o.outage_start + 1 +
+                     static_cast<util::Day>(outage_rng.exponential(0.5));
+      data.dslam_outages_[d].push_back(
+          static_cast<std::uint32_t>(data.outages_.size()));
+      data.outages_.push_back(o);
+      day += outage_rng.exponential(std::max(outage_rate_day, 1e-9));
+    }
+  }
+
+  auto outage_suppressed = [&](DslamId dslam, util::Day day,
+                               util::Rng& rng) -> bool {
+    for (std::uint32_t idx : data.dslam_outages_[dslam]) {
+      const auto& o = data.outages_[idx];
+      // IVR stays up a couple of days past restoration.
+      if (day >= o.outage_start && day < o.outage_end + 2) {
+        return rng.bernoulli(config_.outage_suppression);
+      }
+    }
+    return false;
+  };
+
+  // ---- fault episodes & tickets ---------------------------------------
+  util::Rng fault_rng = root.fork();
+  data.line_episodes_.resize(topo.n_lines());
+  data.edge_tickets_.resize(topo.n_lines());
+
+  struct PendingTicket {
+    LineId line;
+    util::Day reported;
+    util::Day resolved;
+    TicketCategory category;
+    std::int32_t episode;  // index into episodes_, or -1
+    DispositionId disposition;
+    MajorLocation location;
+    bool has_note;
+  };
+  std::vector<PendingTicket> pending;
+
+  // Life of one fault episode: notice -> call -> dispatch -> fix (or
+  // silent self-clearing). Shared between random arrivals and any
+  // scripted faults from the config.
+  const auto run_episode = [&](LineId u, util::Day onset, DispositionId disp,
+                               float severity, util::Rng& rng) {
+    const CustomerBehavior& cust = data.customers_[u];
+    const DslamId dslam = topo.dslam_of(u);
+    const FaultSignature& sig = faults.signature(disp);
+
+    FaultEpisode episode;
+    episode.line = u;
+    episode.disposition = disp;
+    episode.severity = severity;
+    episode.onset = onset;
+    episode.activity_seed = rng.next();
+    // Unreported faults eventually clear on their own (re-provisioning,
+    // weather drying out a splice, customer swapping gear silently).
+    episode.cleared =
+        onset + 1 +
+        static_cast<util::Day>(
+            rng.exponential(1.0 / (config_.unreported_clear_mean_weeks * 7.0)));
+    episode.cleared = std::min<util::Day>(episode.cleared, horizon + 60);
+
+    const std::size_t episode_index = data.episodes_.size();
+
+    // Perceived symptom strength at full activity.
+    FaultEffects at_full;
+    accumulate_effects(at_full, sig.effects, episode.severity);
+    const double perceived_full =
+        sig.perceived_weight * perceived_severity(at_full);
+
+    double current_perceived = perceived_full;
+    util::Day day = episode.onset;
+    while (day < episode.cleared && day < horizon) {
+      const double act = episode_activity(sig, episode, day);
+      if (act > 0.0) {
+        const double usage = usage_on_day(cust, day);
+        const double usage_norm = std::min(usage / 150.0, 3.0);
+        const double p_notice =
+            1.0 - std::exp(-config_.notice_scale * current_perceived *
+                           usage_norm * act * cust.report_propensity);
+        if (rng.bernoulli(p_notice)) {
+          // Noticed: find the day the call actually lands.
+          util::Day call_day = day;
+          while (call_day < horizon &&
+                 !rng.bernoulli(config_.call_rate *
+                                call_day_weight(call_day))) {
+            ++call_day;
+          }
+          if (call_day >= horizon) break;
+          if (outage_suppressed(dslam, call_day, rng)) {
+            // IVR absorbed the call (§5.2); the customer may retry
+            // later if the problem persists.
+            day = call_day + 7;
+            continue;
+          }
+          // A real ticket.
+          PendingTicket t;
+          t.line = u;
+          t.reported = call_day;
+          t.resolved =
+              call_day + 1 +
+              static_cast<util::Day>(std::min<std::uint64_t>(
+                  rng.geometric(0.5), 4));
+          t.category = TicketCategory::kCustomerEdge;
+          t.episode = static_cast<std::int32_t>(episode_index);
+
+          // Disposition note: blame the active fault closest to the
+          // end host, then apply technician label noise.
+          DispositionId blamed = disp;
+          int best_prox = end_host_proximity(sig.location);
+          for (std::uint32_t other : data.line_episodes_[u]) {
+            const auto& oe = data.episodes_[other];
+            if (t.resolved >= oe.onset && t.resolved < oe.cleared) {
+              const auto& os = faults.signature(oe.disposition);
+              const int prox = end_host_proximity(os.location);
+              if (prox < best_prox) {
+                best_prox = prox;
+                blamed = oe.disposition;
+              }
+            }
+          }
+          if (rng.bernoulli(config_.label_noise_any)) {
+            blamed = faults.sample(rng);
+          } else if (rng.bernoulli(config_.label_noise_same_location)) {
+            blamed = faults.sample_within_location(
+                rng, faults.signature(blamed).location);
+          }
+          t.disposition = blamed;
+          t.location = faults.signature(blamed).location;
+          t.has_note = true;
+          pending.push_back(t);
+
+          if (rng.bernoulli(config_.misresolve_prob)) {
+            // Dispatch replaced the wrong part: symptoms linger,
+            // weaker, and a repeat ticket may follow.
+            current_perceived *= 0.7;
+            day = t.resolved + 2;
+            continue;
+          }
+          episode.cleared = t.resolved;
+          break;
+        }
+      }
+      ++day;
+    }
+
+    data.line_episodes_[u].push_back(static_cast<std::uint32_t>(episode_index));
+    data.episodes_.push_back(episode);
+  };
+
+  // Scripted faults grouped by line (controlled experiments, tests).
+  std::vector<std::vector<std::uint32_t>> scripted_by_line(topo.n_lines());
+  for (std::uint32_t i = 0; i < config_.scripted_faults.size(); ++i) {
+    const auto& sf = config_.scripted_faults[i];
+    if (sf.line < topo.n_lines() && sf.disposition < faults.size()) {
+      scripted_by_line[sf.line].push_back(i);
+    }
+  }
+
+  for (LineId u = 0; u < topo.n_lines(); ++u) {
+    util::Rng rng = fault_rng.fork();
+
+    for (std::uint32_t idx : scripted_by_line[u]) {
+      const auto& sf = config_.scripted_faults[idx];
+      run_episode(u, sf.onset, sf.disposition,
+                  std::clamp(sf.severity, 0.15F, 2.5F), rng);
+    }
+
+    double onset_f = rng.exponential(config_.weekly_fault_rate) * 7.0;
+    while (onset_f < static_cast<double>(horizon)) {
+      const auto onset = static_cast<util::Day>(onset_f);
+      const DispositionId disp = faults.sample(rng);
+      const FaultSignature& sig = faults.signature(disp);
+      const auto severity = static_cast<float>(std::clamp(
+          rng.lognormal(sig.severity_mu, sig.severity_sigma), 0.15, 2.5));
+      run_episode(u, onset, disp, severity, rng);
+      onset_f += rng.exponential(config_.weekly_fault_rate) * 7.0;
+    }
+
+    // Billing / non-technical tickets: present in the feed, filtered by
+    // the coarse category label.
+    const auto n_billing = rng.poisson(config_.billing_tickets_per_line_year *
+                                       static_cast<double>(horizon) / 365.0);
+    for (std::uint64_t i = 0; i < n_billing; ++i) {
+      PendingTicket t;
+      t.line = u;
+      t.reported = static_cast<util::Day>(rng.uniform_index(
+          static_cast<std::uint64_t>(horizon)));
+      t.resolved = t.reported;
+      t.category = TicketCategory::kBilling;
+      t.episode = -1;
+      t.disposition = 0;
+      t.location = MajorLocation::kHomeNetwork;
+      t.has_note = false;
+      pending.push_back(t);
+    }
+  }
+
+  // ---- materialize tickets in chronological order -----------------------
+  std::sort(pending.begin(), pending.end(),
+            [](const PendingTicket& a, const PendingTicket& b) {
+              if (a.reported != b.reported) return a.reported < b.reported;
+              return a.line < b.line;
+            });
+  data.tickets_.reserve(pending.size());
+  for (const auto& p : pending) {
+    Ticket t;
+    t.id = static_cast<TicketId>(data.tickets_.size());
+    t.line = p.line;
+    t.reported = p.reported;
+    t.category = p.category;
+    t.resolved = p.resolved;
+    if (p.has_note) {
+      DispositionNote note;
+      note.ticket_id = t.id;
+      note.line = p.line;
+      note.dispatch_day = p.resolved;
+      note.disposition = p.disposition;
+      note.location = p.location;
+      t.note = static_cast<std::int32_t>(data.notes_.size());
+      data.notes_.push_back(note);
+    }
+    if (p.category == TicketCategory::kCustomerEdge) {
+      data.edge_tickets_[p.line].emplace_back(p.reported, t.id);
+      if (p.episode >= 0) {
+        auto& ep = data.episodes_[static_cast<std::size_t>(p.episode)];
+        if (ep.first_ticket == kNoTicket) {
+          ep.first_ticket = static_cast<std::int32_t>(t.id);
+        }
+      }
+    }
+    data.tickets_.push_back(t);
+  }
+
+  // ---- weekly Saturday measurements -------------------------------------
+  util::Rng measure_rng = root.fork();
+  data.weeks_.resize(static_cast<std::size_t>(config_.n_weeks));
+  for (int w = 0; w < config_.n_weeks; ++w) {
+    const util::Day day = util::saturday_of_week(w);
+    auto& week = data.weeks_[static_cast<std::size_t>(w)];
+    week.resize(topo.n_lines());
+    for (LineId u = 0; u < topo.n_lines(); ++u) {
+      const CustomerBehavior& cust = data.customers_[u];
+      const bool away = is_away(cust, day);
+
+      MeasurementContext ctx;
+      for (std::uint32_t idx : data.line_episodes_[u]) {
+        const auto& e = data.episodes_[idx];
+        const double act = episode_activity(
+            faults.signature(e.disposition), e, day);
+        if (act > 0.0) {
+          accumulate_effects(ctx.fx, faults.signature(e.disposition).effects,
+                             e.severity * act);
+        }
+      }
+      // DSLAM outage / precursor degradation.
+      for (std::uint32_t idx : data.dslam_outages_[topo.dslam_of(u)]) {
+        const auto& o = data.outages_[idx];
+        if (day >= o.outage_start && day < o.outage_end) {
+          accumulate_effects(ctx.fx, outage_effects(), 1.0);
+        } else if (day >= o.precursor_start && day < o.outage_start) {
+          const double ramp =
+              static_cast<double>(day - o.precursor_start + 1) /
+              static_cast<double>(o.outage_start - o.precursor_start + 1);
+          accumulate_effects(ctx.fx, precursor_effects(), ramp);
+        }
+      }
+
+      // Away customers mostly leave the modem powered (the paper's
+      // not-on-site lines still produce Saturday test records); a
+      // modest share powers down before leaving.
+      const double customer_off =
+          std::min(1.0, cust.modem_off_base + (away ? 0.2 : 0.0));
+      if (measure_rng.bernoulli(modem_off_probability(customer_off, ctx.fx))) {
+        week[u] = missing_record();
+        continue;
+      }
+      ctx.usage_mb_week = usage_on_day(cust, day) * 7.0 *
+                          measure_rng.lognormal(0.0, 0.25);
+      week[u] = measure_line(data.plants_[u], ctx, measure_rng);
+    }
+  }
+
+  // ---- daily byte feed (two BRAS servers) -------------------------------
+  util::Rng bytes_rng = root.fork();
+  data.byte_feed_index_.assign(topo.n_lines(), -1);
+  for (LineId u = 0; u < topo.n_lines(); ++u) {
+    if (topo.bras_of_line(u) >= config_.byte_feed_bras) continue;
+    data.byte_feed_index_[u] = static_cast<std::int32_t>(data.daily_mb_.size());
+    std::vector<float> series(static_cast<std::size_t>(horizon), 0.0F);
+    const CustomerBehavior& cust = data.customers_[u];
+    for (util::Day d = 0; d < horizon; ++d) {
+      const double base = usage_on_day(cust, d);
+      series[static_cast<std::size_t>(d)] =
+          base <= 0.0 ? 0.0F
+                      : static_cast<float>(base * bytes_rng.lognormal(0.0, 0.5));
+    }
+    data.daily_mb_.push_back(std::move(series));
+  }
+
+  return data;
+}
+
+}  // namespace nevermind::dslsim

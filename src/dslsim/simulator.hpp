@@ -1,0 +1,189 @@
+// Year-long DSL network simulation: generates every dataset the paper's
+// evaluation consumes — weekly line tests, customer tickets, disposition
+// notes, DSLAM outages, subscriber profiles, and the daily byte feed —
+// from a seeded stochastic model of plant, faults and customers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dslsim/customer.hpp"
+#include "dslsim/faults.hpp"
+#include "dslsim/line.hpp"
+#include "dslsim/records.hpp"
+#include "dslsim/topology.hpp"
+#include "util/calendar.hpp"
+#include "util/rng.hpp"
+
+namespace nevermind::dslsim {
+
+struct SimConfig {
+  std::uint64_t seed = 42;
+  TopologyConfig topology;
+  /// Saturday line tests simulated (2009 has 52).
+  int n_weeks = 52;
+  /// Customer-edge fault arrivals per line per week.
+  double weekly_fault_rate = 0.0065;
+  /// DSLAM outage episodes per DSLAM per year.
+  double outage_rate_per_dslam_year = 0.42;
+  /// Probability a call during an active outage is absorbed by the IVR
+  /// (no ticket issued) — §5.2 scenario 1.
+  double outage_suppression = 0.9;
+  /// Scales the per-day probability that an affected customer notices a
+  /// live symptom.
+  double notice_scale = 0.17;
+  /// Probability the customer actually places the call on a given day
+  /// once they noticed (shaped further by call_day_weight).
+  double call_rate = 0.45;
+  /// Disposition-note label noise (paper: codes "can be very noisy").
+  double label_noise_same_location = 0.12;
+  double label_noise_any = 0.04;
+  /// Dispatch fails to truly fix the fault (repeat tickets).
+  double misresolve_prob = 0.12;
+  /// Mean weeks until an unreported fault silently clears.
+  double unreported_clear_mean_weeks = 12.0;
+  /// Billing/other tickets per line per year (filtered by category).
+  double billing_tickets_per_line_year = 0.05;
+  /// Generated rare dispositions per major location; with the default 7,
+  /// the catalogue has 24 canonical + 28 generated = 52 codes, matching
+  /// the paper's 52 dispositions.
+  std::size_t minor_variants_per_location = 7;
+  /// The daily byte feed covers lines under this many BRAS servers
+  /// (paper: two).
+  std::uint32_t byte_feed_bras = 2;
+  CustomerModelConfig customer;
+
+  /// A fault injected deterministically in addition to the random
+  /// arrival process — controlled experiments and tests pin exactly
+  /// which line breaks, how, and when. The episode then flows through
+  /// the same notice/report/dispatch machinery as random faults.
+  struct ScriptedFault {
+    LineId line = 0;
+    DispositionId disposition = 0;
+    util::Day onset = 0;
+    float severity = 1.0F;
+  };
+  std::vector<ScriptedFault> scripted_faults;
+};
+
+/// Everything one simulation run produces. Downstream components (the
+/// feature encoder, predictor, locator, benches) only read from this.
+class SimDataset {
+ public:
+  SimDataset(const SimConfig& config, Topology topology, FaultCatalog catalog);
+
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const FaultCatalog& catalog() const noexcept {
+    return catalog_;
+  }
+
+  [[nodiscard]] std::uint32_t n_lines() const noexcept {
+    return topology_.n_lines();
+  }
+  [[nodiscard]] int n_weeks() const noexcept { return config_.n_weeks; }
+
+  [[nodiscard]] const MetricVector& measurement(int week, LineId line) const {
+    return weeks_.at(static_cast<std::size_t>(week))[line];
+  }
+
+  [[nodiscard]] const LinePlant& plant(LineId line) const {
+    return plants_.at(line);
+  }
+  [[nodiscard]] const CustomerBehavior& customer(LineId line) const {
+    return customers_.at(line);
+  }
+
+  [[nodiscard]] const std::vector<Ticket>& tickets() const noexcept {
+    return tickets_;
+  }
+  [[nodiscard]] const std::vector<DispositionNote>& notes() const noexcept {
+    return notes_;
+  }
+  [[nodiscard]] const std::vector<OutageEvent>& outages() const noexcept {
+    return outages_;
+  }
+  [[nodiscard]] const std::vector<FaultEpisode>& episodes() const noexcept {
+    return episodes_;
+  }
+
+  /// Day of the first customer-edge ticket strictly after `day` for the
+  /// line, if any — N T(u, t) of the problem definition (Section 4.1).
+  [[nodiscard]] std::optional<util::Day> next_edge_ticket_after(
+      LineId line, util::Day day) const;
+
+  /// Day of the most recent customer-edge ticket at or before `day`
+  /// (the "ticket" customer feature of Table 3).
+  [[nodiscard]] std::optional<util::Day> last_edge_ticket_at_or_before(
+      LineId line, util::Day day) const;
+
+  /// True if the line's DSLAM has an outage (hard window) intersecting
+  /// [from, to].
+  [[nodiscard]] bool dslam_outage_within(DslamId dslam, util::Day from,
+                                         util::Day to) const;
+
+  /// Daily traffic (MB) for a line covered by the byte feed; nullopt if
+  /// the line is not under one of the instrumented BRAS servers.
+  [[nodiscard]] std::optional<double> bytes_on_day(LineId line,
+                                                   util::Day day) const;
+  [[nodiscard]] bool in_byte_feed(LineId line) const;
+
+  /// Ground-truth: true if any fault episode is active on the line at
+  /// `day` (used by analyses of "incorrect" predictions).
+  [[nodiscard]] bool fault_active(LineId line, util::Day day) const;
+
+  /// Indices into episodes() of every fault episode of the line.
+  [[nodiscard]] std::span<const std::uint32_t> line_episode_indices(
+      LineId line) const {
+    const auto& v = line_episodes_.at(line);
+    return {v.data(), v.size()};
+  }
+
+  // --- mutation hooks used only by the Simulator while building -------
+  struct Builder;
+
+ private:
+  SimConfig config_;
+  Topology topology_;
+  FaultCatalog catalog_;
+  std::vector<LinePlant> plants_;
+  std::vector<CustomerBehavior> customers_;
+  std::vector<WeeklyMeasurements> weeks_;
+  std::vector<Ticket> tickets_;
+  std::vector<DispositionNote> notes_;
+  std::vector<OutageEvent> outages_;
+  std::vector<FaultEpisode> episodes_;
+  /// Per line: (day, ticket id) of edge tickets, sorted by day.
+  std::vector<std::vector<std::pair<util::Day, TicketId>>> edge_tickets_;
+  /// Per DSLAM: outage indices sorted by start.
+  std::vector<std::vector<std::uint32_t>> dslam_outages_;
+  /// Byte feed: per covered line, MB per day. Index -1 = not covered.
+  std::vector<std::int32_t> byte_feed_index_;
+  std::vector<std::vector<float>> daily_mb_;
+  /// Per line: episode indices (for fault_active).
+  std::vector<std::vector<std::uint32_t>> line_episodes_;
+
+  friend class Simulator;
+};
+
+/// Activity level of a fault episode on a given day in [0, 1]:
+/// 0 outside [onset, cleared); ramping for degrading faults; a seeded
+/// duty-cycle block pattern for intermittent ones.
+[[nodiscard]] double episode_activity(const FaultSignature& sig,
+                                      const FaultEpisode& episode,
+                                      util::Day day) noexcept;
+
+class Simulator {
+ public:
+  explicit Simulator(SimConfig config) : config_(std::move(config)) {}
+
+  /// Run the full simulation; deterministic in config.seed.
+  [[nodiscard]] SimDataset run() const;
+
+ private:
+  SimConfig config_;
+};
+
+}  // namespace nevermind::dslsim

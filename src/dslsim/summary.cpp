@@ -1,0 +1,71 @@
+#include "dslsim/summary.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace nevermind::dslsim {
+
+TicketSummary summarize_tickets(const SimDataset& data) {
+  TicketSummary out;
+  int max_week = 0;
+  for (const auto& t : data.tickets()) {
+    if (t.category != TicketCategory::kCustomerEdge) {
+      out.billing_total += t.category == TicketCategory::kBilling ? 1 : 0;
+      continue;
+    }
+    ++out.edge_total;
+    if (t.note != kNoTicket) ++out.dispatched;
+    ++out.by_weekday[static_cast<std::size_t>(util::weekday_of(t.reported))];
+    max_week = std::max(max_week, util::test_week_of(t.reported));
+  }
+  out.by_week.assign(static_cast<std::size_t>(max_week) + 1, 0);
+  for (const auto& t : data.tickets()) {
+    if (t.category != TicketCategory::kCustomerEdge) continue;
+    const int w = std::max(util::test_week_of(t.reported), 0);
+    ++out.by_week[static_cast<std::size_t>(w)];
+  }
+  return out;
+}
+
+std::array<LocationShare, kNumMajorLocations> summarize_locations(
+    const SimDataset& data) {
+  std::array<LocationShare, kNumMajorLocations> out{};
+  std::array<std::map<DispositionId, std::size_t>, kNumMajorLocations> counts;
+  std::size_t total = 0;
+  for (const auto& note : data.notes()) {
+    const auto loc = static_cast<std::size_t>(note.location);
+    ++out[loc].dispatches;
+    ++counts[loc][note.disposition];
+    ++total;
+  }
+  for (std::size_t loc = 0; loc < kNumMajorLocations; ++loc) {
+    out[loc].location = static_cast<MajorLocation>(loc);
+    out[loc].share = total > 0 ? static_cast<double>(out[loc].dispatches) /
+                                     static_cast<double>(total)
+                               : 0.0;
+    std::size_t top = 0;
+    for (const auto& [disp, count] : counts[loc]) top = std::max(top, count);
+    out[loc].top_disposition_share =
+        out[loc].dispatches > 0
+            ? static_cast<double>(top) /
+                  static_cast<double>(out[loc].dispatches)
+            : 0.0;
+  }
+  return out;
+}
+
+MeasurementSummary summarize_measurements(const SimDataset& data) {
+  MeasurementSummary out;
+  for (int w = 0; w < data.n_weeks(); ++w) {
+    for (LineId u = 0; u < data.n_lines(); ++u) {
+      ++out.records;
+      if (!record_present(data.measurement(w, u))) ++out.missing;
+    }
+  }
+  out.missing_rate = out.records > 0 ? static_cast<double>(out.missing) /
+                                           static_cast<double>(out.records)
+                                     : 0.0;
+  return out;
+}
+
+}  // namespace nevermind::dslsim

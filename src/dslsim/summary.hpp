@@ -1,0 +1,50 @@
+// Descriptive statistics over a simulated (or imported) dataset — the
+// exploratory views the paper derives from its feeds in §2.2 and §3.3:
+// ticket arrivals by weekday (the Monday peak that motivates running
+// line tests on Saturdays), weekly ticket volume, disposition shares by
+// major location, and missing-record rates.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "dslsim/simulator.hpp"
+
+namespace nevermind::dslsim {
+
+struct TicketSummary {
+  /// Customer-edge ticket counts by weekday (index = util::Weekday).
+  std::array<std::size_t, 7> by_weekday{};
+  /// Weekly customer-edge ticket counts, indexed by test week of the
+  /// reporting day (week -1 days are folded into week 0).
+  std::vector<std::size_t> by_week;
+  std::size_t edge_total = 0;
+  std::size_t billing_total = 0;
+  /// Tickets whose dispatch produced a disposition note.
+  std::size_t dispatched = 0;
+};
+
+[[nodiscard]] TicketSummary summarize_tickets(const SimDataset& data);
+
+struct LocationShare {
+  MajorLocation location = MajorLocation::kHomeNetwork;
+  std::size_t dispatches = 0;
+  double share = 0.0;
+  /// Share of the location's dispatches held by its most common
+  /// disposition — the paper's "no dominant disposition" observation.
+  double top_disposition_share = 0.0;
+};
+
+[[nodiscard]] std::array<LocationShare, kNumMajorLocations>
+summarize_locations(const SimDataset& data);
+
+struct MeasurementSummary {
+  std::size_t records = 0;
+  std::size_t missing = 0;  // modem off during the Saturday test
+  double missing_rate = 0.0;
+};
+
+[[nodiscard]] MeasurementSummary summarize_measurements(const SimDataset& data);
+
+}  // namespace nevermind::dslsim

@@ -1,0 +1,58 @@
+#include "dslsim/topology.hpp"
+
+namespace nevermind::dslsim {
+
+Topology::Topology(const TopologyConfig& config, std::uint64_t seed) {
+  n_lines_ = config.n_lines;
+  const std::uint32_t lpd = config.lines_per_dslam > 0 ? config.lines_per_dslam : 48;
+  n_dslams_ = (n_lines_ + lpd - 1) / lpd;
+  if (n_dslams_ == 0) n_dslams_ = 1;
+  const std::uint32_t dpa = config.dslams_per_atm > 0 ? config.dslams_per_atm : 24;
+  n_atms_ = (n_dslams_ + dpa - 1) / dpa;
+  const std::uint32_t apb = config.atms_per_bras > 0 ? config.atms_per_bras : 8;
+  n_bras_ = (n_atms_ + apb - 1) / apb;
+  const std::uint32_t cpd =
+      config.crossboxes_per_dslam > 0 ? config.crossboxes_per_dslam : 6;
+  n_crossboxes_ = n_dslams_ * cpd;
+
+  util::Rng rng(seed ^ 0x70B01061ULL);
+
+  line_dslam_.resize(n_lines_);
+  line_crossbox_.resize(n_lines_);
+  for (LineId u = 0; u < n_lines_; ++u) {
+    const DslamId d = u / lpd;
+    line_dslam_[u] = d;
+    // Lines scatter over the DSLAM's crossboxes (street cabinets).
+    line_crossbox_[u] =
+        d * cpd + static_cast<CrossboxId>(rng.uniform_index(cpd));
+  }
+
+  dslam_atm_.resize(n_dslams_);
+  dslam_bras_.resize(n_dslams_);
+  for (DslamId d = 0; d < n_dslams_; ++d) {
+    const AtmId a = d / dpa;
+    dslam_atm_[d] = a;
+    dslam_bras_[d] = a / apb;
+  }
+
+  // Group lines by DSLAM for O(1) span lookups.
+  dslam_lines_offset_.assign(n_dslams_ + 1, 0);
+  for (LineId u = 0; u < n_lines_; ++u) ++dslam_lines_offset_[line_dslam_[u] + 1];
+  for (std::uint32_t d = 0; d < n_dslams_; ++d) {
+    dslam_lines_offset_[d + 1] += dslam_lines_offset_[d];
+  }
+  dslam_lines_flat_.resize(n_lines_);
+  std::vector<std::uint32_t> cursor(dslam_lines_offset_.begin(),
+                                    dslam_lines_offset_.end() - 1);
+  for (LineId u = 0; u < n_lines_; ++u) {
+    dslam_lines_flat_[cursor[line_dslam_[u]]++] = u;
+  }
+}
+
+std::span<const LineId> Topology::lines_of_dslam(DslamId d) const {
+  const std::uint32_t begin = dslam_lines_offset_.at(d);
+  const std::uint32_t end = dslam_lines_offset_.at(d + 1);
+  return {dslam_lines_flat_.data() + begin, end - begin};
+}
+
+}  // namespace nevermind::dslsim

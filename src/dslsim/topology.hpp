@@ -1,0 +1,72 @@
+// The hierarchical DSL access-network topology of Fig 1: BRAS servers
+// aggregate ATM switches, which aggregate DSLAMs, which terminate the
+// dedicated per-subscriber copper lines; between the DSLAM and the home
+// sit the crossboxes that split the plant into the F1 and F2 segments
+// of Fig 2. The hierarchy matters twice in the paper: outages live at
+// the (BRAS, DSLAM) level and affect whole groups of lines, and the
+// combined locator model exploits the location hierarchy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nevermind::dslsim {
+
+using LineId = std::uint32_t;
+using DslamId = std::uint32_t;
+using AtmId = std::uint32_t;
+using BrasId = std::uint32_t;
+using CrossboxId = std::uint32_t;
+
+struct TopologyConfig {
+  std::uint32_t n_lines = 20000;
+  /// "Each DSLAM typically terminates ... several tens of customers."
+  std::uint32_t lines_per_dslam = 48;
+  std::uint32_t dslams_per_atm = 24;
+  std::uint32_t atms_per_bras = 8;
+  std::uint32_t crossboxes_per_dslam = 6;
+};
+
+class Topology {
+ public:
+  explicit Topology(const TopologyConfig& config, std::uint64_t seed = 1);
+
+  [[nodiscard]] std::uint32_t n_lines() const noexcept { return n_lines_; }
+  [[nodiscard]] std::uint32_t n_dslams() const noexcept { return n_dslams_; }
+  [[nodiscard]] std::uint32_t n_atms() const noexcept { return n_atms_; }
+  [[nodiscard]] std::uint32_t n_bras() const noexcept { return n_bras_; }
+  [[nodiscard]] std::uint32_t n_crossboxes() const noexcept {
+    return n_crossboxes_;
+  }
+
+  [[nodiscard]] DslamId dslam_of(LineId line) const {
+    return line_dslam_[line];
+  }
+  [[nodiscard]] CrossboxId crossbox_of(LineId line) const {
+    return line_crossbox_[line];
+  }
+  [[nodiscard]] AtmId atm_of_dslam(DslamId d) const { return dslam_atm_[d]; }
+  [[nodiscard]] BrasId bras_of_dslam(DslamId d) const { return dslam_bras_[d]; }
+  [[nodiscard]] BrasId bras_of_line(LineId line) const {
+    return dslam_bras_[line_dslam_[line]];
+  }
+  [[nodiscard]] std::span<const LineId> lines_of_dslam(DslamId d) const;
+
+ private:
+  std::uint32_t n_lines_ = 0;
+  std::uint32_t n_dslams_ = 0;
+  std::uint32_t n_atms_ = 0;
+  std::uint32_t n_bras_ = 0;
+  std::uint32_t n_crossboxes_ = 0;
+  std::vector<DslamId> line_dslam_;
+  std::vector<CrossboxId> line_crossbox_;
+  std::vector<AtmId> dslam_atm_;
+  std::vector<BrasId> dslam_bras_;
+  std::vector<LineId> dslam_lines_flat_;   // grouped by DSLAM
+  std::vector<std::uint32_t> dslam_lines_offset_;
+};
+
+}  // namespace nevermind::dslsim

@@ -1,0 +1,246 @@
+#include "features/encoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "dslsim/profile.hpp"
+#include "util/stats.hpp"
+
+namespace nevermind::features {
+
+namespace {
+
+using dslsim::LineMetric;
+using dslsim::MetricVector;
+using dslsim::kNumLineMetrics;
+
+constexpr std::size_t kNumProfileFeatures = 4;
+constexpr std::size_t kNumCustomerScalars = 2;  // ticket days, modem off
+
+/// Per-line accumulation state, advanced week by week in test order.
+struct LineState {
+  std::array<util::RunningStats, kNumLineMetrics> history;
+  MetricVector prev{};
+  bool has_prev = false;
+  std::uint32_t tests_seen = 0;
+  std::uint32_t tests_off = 0;
+
+  void update(const MetricVector& current) {
+    ++tests_seen;
+    if (!dslsim::record_present(current)) {
+      ++tests_off;
+      has_prev = false;  // a gap breaks the week-over-week delta
+      return;
+    }
+    for (std::size_t i = 0; i < kNumLineMetrics; ++i) {
+      if (!ml::is_missing(current[i])) history[i].add(current[i]);
+    }
+    prev = current;
+    has_prev = true;
+  }
+};
+
+void append_metric_columns(std::vector<ml::ColumnInfo>& cols,
+                           const char* prefix, bool keep_categorical) {
+  for (std::size_t i = 0; i < kNumLineMetrics; ++i) {
+    ml::ColumnInfo info;
+    info.name = std::string(prefix) + std::string(dslsim::metric_name(i));
+    info.categorical = keep_categorical && dslsim::metric_is_categorical(i);
+    cols.push_back(std::move(info));
+  }
+}
+
+}  // namespace
+
+std::vector<ml::ColumnInfo> base_columns(const EncoderConfig& config) {
+  std::vector<ml::ColumnInfo> cols;
+  if (config.include_basic) append_metric_columns(cols, "b.", true);
+  if (config.include_delta) append_metric_columns(cols, "d.", false);
+  if (config.include_timeseries) append_metric_columns(cols, "ts.", false);
+  if (config.include_customer) {
+    cols.push_back({"prof.dnbr", false});
+    cols.push_back({"prof.upbr", false});
+    cols.push_back({"prof.dnmaxattain", false});
+    cols.push_back({"prof.upmaxattain", false});
+    cols.push_back({"cust.ticket_days", false});
+    cols.push_back({"cust.modem_off_frac", false});
+  }
+  return cols;
+}
+
+std::vector<ml::ColumnInfo> all_columns(const EncoderConfig& config) {
+  std::vector<ml::ColumnInfo> cols = base_columns(config);
+  const std::size_t n_base = cols.size();
+  if (config.include_quadratic) {
+    for (std::size_t i = 0; i < n_base; ++i) {
+      cols.push_back({"q." + cols[i].name, false});
+    }
+  }
+  for (const auto& [a, b] : config.product_pairs) {
+    if (a < n_base && b < n_base) {
+      cols.push_back({"p." + cols[a].name + "*" + cols[b].name, false});
+    }
+  }
+  return cols;
+}
+
+bool TicketLabeler::operator()(const dslsim::SimDataset& data,
+                               dslsim::LineId line, util::Day day) const {
+  const auto next = data.next_edge_ticket_after(line, day);
+  return next.has_value() && *next <= day + horizon_days;
+}
+
+namespace {
+
+/// Fill one example's feature vector from the line's state and the
+/// current measurement. `out` must be sized to the full column count.
+void encode_row(const dslsim::SimDataset& data, dslsim::LineId line,
+                util::Day day, const MetricVector& current,
+                const LineState& state, const EncoderConfig& config,
+                std::size_t n_base, std::vector<float>& out) {
+  std::size_t k = 0;
+  const bool present = dslsim::record_present(current);
+
+  if (config.include_basic) {
+    for (std::size_t i = 0; i < kNumLineMetrics; ++i) out[k++] = current[i];
+  }
+  if (config.include_delta) {
+    for (std::size_t i = 0; i < kNumLineMetrics; ++i) {
+      const bool ok = present && state.has_prev && !ml::is_missing(current[i]) &&
+                      !ml::is_missing(state.prev[i]);
+      out[k++] = ok ? current[i] - state.prev[i] : ml::kMissing;
+    }
+  }
+  if (config.include_timeseries) {
+    for (std::size_t i = 0; i < kNumLineMetrics; ++i) {
+      const auto& h = state.history[i];
+      if (present && !ml::is_missing(current[i]) &&
+          h.count() >= static_cast<std::size_t>(config.min_history_weeks)) {
+        const double sd = h.stddev();
+        out[k++] = static_cast<float>(
+            (current[i] - h.mean()) / (sd > 1e-6 ? sd : 1.0));
+      } else {
+        out[k++] = ml::kMissing;
+      }
+    }
+  }
+  if (config.include_customer) {
+    const auto& prof = dslsim::profile(data.plant(line).profile);
+    const auto ratio = [&](LineMetric m, double expected) -> float {
+      const float v = current[dslsim::metric_index(m)];
+      if (!present || ml::is_missing(v) || expected <= 0.0) return ml::kMissing;
+      return static_cast<float>(v / expected);
+    };
+    out[k++] = ratio(LineMetric::kDnBitRate, prof.down_kbps);
+    out[k++] = ratio(LineMetric::kUpBitRate, prof.up_kbps);
+    out[k++] = ratio(LineMetric::kDnMaxAttainBr, prof.down_kbps);
+    out[k++] = ratio(LineMetric::kUpMaxAttainBr, prof.up_kbps);
+
+    const auto last = data.last_edge_ticket_at_or_before(line, day);
+    out[k++] = last.has_value() ? static_cast<float>(day - *last)
+                                : config.no_ticket_days;
+    out[k++] = state.tests_seen > 0
+                   ? static_cast<float>(state.tests_off) /
+                         static_cast<float>(state.tests_seen)
+                   : 0.0F;
+  }
+
+  // Derived features over the base block.
+  if (config.include_quadratic) {
+    for (std::size_t i = 0; i < n_base; ++i) {
+      out[k++] = ml::is_missing(out[i]) ? ml::kMissing : out[i] * out[i];
+    }
+  }
+  for (const auto& [a, b] : config.product_pairs) {
+    if (a < n_base && b < n_base) {
+      out[k++] = (ml::is_missing(out[a]) || ml::is_missing(out[b]))
+                     ? ml::kMissing
+                     : out[a] * out[b];
+    }
+  }
+}
+
+}  // namespace
+
+EncodedBlock encode_weeks(const dslsim::SimDataset& data, int emit_from,
+                          int emit_to, const EncoderConfig& config,
+                          const TicketLabeler& labeler) {
+  emit_from = std::max(emit_from, 0);
+  emit_to = std::min(emit_to, data.n_weeks() - 1);
+
+  const auto cols = all_columns(config);
+  const std::size_t n_base = base_columns(config).size();
+  const std::size_t n_lines = data.n_lines();
+  const std::size_t n_emit_weeks =
+      emit_to >= emit_from ? static_cast<std::size_t>(emit_to - emit_from + 1)
+                           : 0;
+
+  EncodedBlock block{ml::Dataset(cols, n_lines * n_emit_weeks), {}, {}};
+  block.line_of_row.reserve(n_lines * n_emit_weeks);
+  block.week_of_row.reserve(n_lines * n_emit_weeks);
+
+  std::vector<LineState> states(n_lines);
+  std::vector<float> row(cols.size());
+
+  for (int w = 0; w <= emit_to; ++w) {
+    const util::Day day = util::saturday_of_week(w);
+    for (dslsim::LineId u = 0; u < n_lines; ++u) {
+      const MetricVector& current = data.measurement(w, u);
+      if (w >= emit_from) {
+        encode_row(data, u, day, current, states[u], config, n_base, row);
+        block.dataset.add_row(row, labeler(data, u, day));
+        block.line_of_row.push_back(u);
+        block.week_of_row.push_back(w);
+      }
+      states[u].update(current);
+    }
+  }
+  return block;
+}
+
+LocatorBlock encode_at_dispatch(const dslsim::SimDataset& data, int week_from,
+                                int week_to, const EncoderConfig& config) {
+  week_from = std::max(week_from, 0);
+  week_to = std::min(week_to, data.n_weeks() - 1);
+
+  const auto cols = all_columns(config);
+  const std::size_t n_base = base_columns(config).size();
+
+  // Group notes by the test week of the most recent measurement at or
+  // before the dispatch day.
+  const auto& notes = data.notes();
+  std::vector<std::vector<std::uint32_t>> notes_by_week(
+      static_cast<std::size_t>(data.n_weeks()));
+  for (std::uint32_t i = 0; i < notes.size(); ++i) {
+    int w = util::test_week_of(notes[i].dispatch_day);
+    w = std::min(w, data.n_weeks() - 1);
+    if (w < week_from || w > week_to) continue;
+    notes_by_week[static_cast<std::size_t>(w)].push_back(i);
+  }
+
+  LocatorBlock block{ml::Dataset(cols), {}};
+  std::vector<LineState> states(data.n_lines());
+  std::vector<float> row(cols.size());
+
+  for (int w = 0; w <= week_to; ++w) {
+    const util::Day day = util::saturday_of_week(w);
+    // Emit rows for this week's dispatches before consuming the week's
+    // measurement into history (the dispatch sees the same Saturday
+    // record the predictor saw).
+    for (std::uint32_t note_idx : notes_by_week[static_cast<std::size_t>(w)]) {
+      const auto& note = notes[note_idx];
+      const dslsim::LineId u = note.line;
+      const MetricVector& current = data.measurement(w, u);
+      encode_row(data, u, day, current, states[u], config, n_base, row);
+      block.dataset.add_row(row, false);
+      block.note_of_row.push_back(note_idx);
+    }
+    for (dslsim::LineId u = 0; u < data.n_lines(); ++u) {
+      states[u].update(data.measurement(w, u));
+    }
+  }
+  return block;
+}
+
+}  // namespace nevermind::features

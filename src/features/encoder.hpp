@@ -1,0 +1,92 @@
+// Table-3 feature encoding: turns the sparse weekly line-measurement
+// time series plus customer context into the fixed-length vectors the
+// ticket predictor and trouble locator learn from.
+//
+// Feature families (paper Section 4.2):
+//   basic        l_i^K               current Saturday's 25 metrics
+//   delta        l_i^K - l_i^{K-1}   change vs the previous week
+//   time-series  (l_i^K - mean)/sd   deviation vs the long-term history
+//   profile      l_i^K / profile     rates normalized by the subscribed tier
+//   ticket       days since the line's most recent trouble ticket
+//   modem        fraction of past tests with the modem off
+//   quadratic    x^2 per base feature (models variance)
+//   product      x_i * x_j for chosen pairs (models interactions the
+//                stump-linear BStump cannot see on its own)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "dslsim/simulator.hpp"
+#include "ml/dataset.hpp"
+
+namespace nevermind::features {
+
+struct EncoderConfig {
+  bool include_basic = true;
+  bool include_delta = true;
+  bool include_timeseries = true;
+  /// Profile, ticket-recency and modem features (the "customer
+  /// features" of Table 3).
+  bool include_customer = true;
+  /// Derived features.
+  bool include_quadratic = false;
+  /// Product features x_i * x_j over *base* feature indices (into the
+  /// base layout, i.e. the columns present before derived features).
+  std::vector<std::pair<std::size_t, std::size_t>> product_pairs;
+  /// Minimum history samples before time-series features are defined.
+  int min_history_weeks = 4;
+  /// Value used for "no previous ticket" in the ticket feature (days).
+  float no_ticket_days = 400.0F;
+};
+
+/// Encoded examples for a span of weeks: one row per (line, week) with
+/// the row->line/week mapping kept alongside the ml::Dataset.
+struct EncodedBlock {
+  ml::Dataset dataset;
+  std::vector<dslsim::LineId> line_of_row;
+  std::vector<int> week_of_row;
+};
+
+/// Number and names of base (non-derived) columns under `config`.
+[[nodiscard]] std::vector<ml::ColumnInfo> base_columns(
+    const EncoderConfig& config);
+
+/// Full column layout including quadratic/product derived features.
+[[nodiscard]] std::vector<ml::ColumnInfo> all_columns(
+    const EncoderConfig& config);
+
+/// Labeling for the ticket predictor: Tkt(u, t, T) = 1 iff a customer-
+/// edge ticket arrives within `horizon_days` after the measurement day.
+struct TicketLabeler {
+  int horizon_days = 28;
+
+  [[nodiscard]] bool operator()(const dslsim::SimDataset& data,
+                                dslsim::LineId line, util::Day day) const;
+};
+
+/// Encode all lines for the weeks [emit_from, emit_to] (inclusive test-
+/// week indices). History state (time-series means, modem-off rates) is
+/// accumulated from week 0, exactly as an online deployment would have
+/// seen it.
+[[nodiscard]] EncodedBlock encode_weeks(const dslsim::SimDataset& data,
+                                        int emit_from, int emit_to,
+                                        const EncoderConfig& config,
+                                        const TicketLabeler& labeler);
+
+/// Encode feature rows at dispatch time for the trouble locator: one
+/// row per disposition note whose dispatch lies in test weeks
+/// [week_from, week_to], using the most recent measurement at or before
+/// the dispatch. Labels are all zero; the locator relabels per class.
+struct LocatorBlock {
+  ml::Dataset dataset;
+  std::vector<std::uint32_t> note_of_row;  // index into data.notes()
+};
+
+[[nodiscard]] LocatorBlock encode_at_dispatch(const dslsim::SimDataset& data,
+                                              int week_from, int week_to,
+                                              const EncoderConfig& config);
+
+}  // namespace nevermind::features

@@ -1,0 +1,135 @@
+#include "ml/adaboost.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nevermind::ml {
+
+BStumpModel::BStumpModel(std::vector<Stump> stumps)
+    : stumps_(std::move(stumps)) {}
+
+double BStumpModel::score_row(const Dataset& data, std::size_t row) const {
+  double s = 0.0;
+  for (const auto& stump : stumps_) {
+    s += stump.evaluate(data.at(row, stump.feature));
+  }
+  return s;
+}
+
+double BStumpModel::score_features(std::span<const float> features) const {
+  double s = 0.0;
+  for (const auto& stump : stumps_) {
+    s += stump.evaluate(features[stump.feature]);
+  }
+  return s;
+}
+
+std::vector<double> BStumpModel::score_dataset(const Dataset& data) const {
+  std::vector<double> scores(data.n_rows(), 0.0);
+  for (const auto& stump : stumps_) {
+    const auto col = data.column(stump.feature);
+    for (std::size_t r = 0; r < col.size(); ++r) {
+      scores[r] += stump.evaluate(col[r]);
+    }
+  }
+  return scores;
+}
+
+std::vector<double> BStumpModel::feature_influence(
+    std::size_t n_features) const {
+  std::vector<double> influence(n_features, 0.0);
+  for (const auto& stump : stumps_) {
+    if (stump.feature >= n_features) continue;
+    influence[stump.feature] +=
+        std::fabs(stump.score_pass - stump.score_fail);
+  }
+  return influence;
+}
+
+namespace {
+
+BStumpModel train_impl(const Dataset& data, const BStumpConfig& config,
+                       TrainDiagnostics* diagnostics,
+                       std::span<const double> initial_weights,
+                       const std::size_t* single_feature) {
+  const std::size_t n = data.n_rows();
+  if (n == 0) return BStumpModel{};
+  if (!initial_weights.empty() && initial_weights.size() != n) {
+    throw std::invalid_argument("train_bstump: weight size mismatch");
+  }
+
+  const double smoothing =
+      config.smoothing > 0.0 ? config.smoothing : 0.5 / static_cast<double>(n);
+
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  if (!initial_weights.empty()) {
+    double total = 0.0;
+    for (double w : initial_weights) total += std::max(w, 0.0);
+    if (total <= 0.0) throw std::invalid_argument("train_bstump: zero weights");
+    for (std::size_t i = 0; i < n; ++i) {
+      weights[i] = std::max(initial_weights[i], 0.0) / total;
+    }
+  }
+
+  std::vector<std::size_t> only;
+  if (single_feature != nullptr) only.push_back(*single_feature);
+  const SortedColumns sorted(data, only);
+  std::vector<Stump> stumps;
+  stumps.reserve(config.iterations);
+  std::vector<double> margins(n, 0.0);
+
+  for (std::size_t t = 0; t < config.iterations; ++t) {
+    const StumpSearchResult best =
+        single_feature != nullptr
+            ? find_best_stump_for_feature(data, sorted, weights, smoothing,
+                                          *single_feature)
+            : find_best_stump(data, sorted, weights, smoothing);
+    if (!std::isfinite(best.z) || best.z > config.z_stop) break;
+    if (diagnostics != nullptr) diagnostics->z_per_round.push_back(best.z);
+    stumps.push_back(best.stump);
+
+    // Reweight: w_i <- w_i * exp(-y_i h_t(x_i)), then normalize.
+    const auto col = data.column(best.stump.feature);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double h = best.stump.evaluate(col[i]);
+      const double y = data.label(i) ? 1.0 : -1.0;
+      margins[i] += y * h;
+      weights[i] *= std::exp(-y * h);
+      total += weights[i];
+    }
+    if (total <= 0.0) break;
+    const double inv = 1.0 / total;
+    for (auto& w : weights) w *= inv;
+  }
+
+  if (diagnostics != nullptr) {
+    std::size_t errors = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (margins[i] <= 0.0) ++errors;
+    }
+    diagnostics->final_training_error =
+        static_cast<double>(errors) / static_cast<double>(n);
+  }
+  return BStumpModel{std::move(stumps)};
+}
+
+}  // namespace
+
+BStumpModel train_bstump(const Dataset& data, const BStumpConfig& config,
+                         TrainDiagnostics* diagnostics,
+                         std::span<const double> initial_weights) {
+  return train_impl(data, config, diagnostics, initial_weights, nullptr);
+}
+
+BStumpModel train_bstump_single_feature(const Dataset& data,
+                                        std::size_t feature,
+                                        const BStumpConfig& config) {
+  if (feature >= data.n_cols()) {
+    throw std::out_of_range("train_bstump_single_feature: bad feature");
+  }
+  return train_impl(data, config, nullptr, {}, &feature);
+}
+
+}  // namespace nevermind::ml

@@ -1,0 +1,76 @@
+// BStump: confidence-rated AdaBoost over decision stumps, the paper's
+// model of choice (Section 4.4; it cites Boostexter [16] as the
+// implementation). The ensemble is a *linear* model over stump
+// indicators, which is what makes it robust to the label noise inherent
+// in using customer tickets as ground truth.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/stump.hpp"
+
+namespace nevermind::ml {
+
+struct BStumpConfig {
+  /// Number of boosting rounds T (the paper uses 800 for the ticket
+  /// predictor and 200 for the locator, both by cross-validation).
+  std::size_t iterations = 200;
+  /// Epsilon in the confidence-rated score 0.5 ln((W+ + eps)/(W- + eps)).
+  /// Non-positive means "auto": 0.5 / n_rows, Boostexter's default scale.
+  double smoothing = -1.0;
+  /// Stop early if the best weak learner's Z exceeds this (no learner
+  /// better than chance). 1.0 disables nothing since Z <= 1 for a
+  /// useful stump on normalized weights.
+  double z_stop = 0.999999;
+};
+
+/// Trained ensemble: f(x) = sum_t g_t(x). Higher scores mean "more
+/// likely positive" (a future ticket / the disposition in question).
+class BStumpModel {
+ public:
+  BStumpModel() = default;
+  explicit BStumpModel(std::vector<Stump> stumps);
+
+  [[nodiscard]] double score_row(const Dataset& data, std::size_t row) const;
+  [[nodiscard]] double score_features(std::span<const float> features) const;
+  /// Column-oriented scoring of a whole dataset; much faster than
+  /// per-row loops for large datasets.
+  [[nodiscard]] std::vector<double> score_dataset(const Dataset& data) const;
+
+  [[nodiscard]] const std::vector<Stump>& stumps() const noexcept {
+    return stumps_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return stumps_.empty(); }
+
+  /// Sum of |score contributions| a feature can make — a crude but
+  /// useful feature-importance measure for explaining a model (Fig 9).
+  [[nodiscard]] std::vector<double> feature_influence(
+      std::size_t n_features) const;
+
+ private:
+  std::vector<Stump> stumps_;
+};
+
+struct TrainDiagnostics {
+  /// Z_t per boosting round; prod(Z_t) bounds training error.
+  std::vector<double> z_per_round;
+  /// Training error of the thresholded ensemble after the last round.
+  double final_training_error = 0.0;
+};
+
+/// Train BStump on `data`. Optional per-example starting weights (e.g.
+/// class re-balancing); defaults to uniform. `diagnostics` may be null.
+[[nodiscard]] BStumpModel train_bstump(const Dataset& data,
+                                       const BStumpConfig& config,
+                                       TrainDiagnostics* diagnostics = nullptr,
+                                       std::span<const double> initial_weights = {});
+
+/// Train a single-feature BStump (used by per-feature selection scores:
+/// the paper builds "a ticket predictor given each individual feature").
+[[nodiscard]] BStumpModel train_bstump_single_feature(
+    const Dataset& data, std::size_t feature, const BStumpConfig& config);
+
+}  // namespace nevermind::ml

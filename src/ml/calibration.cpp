@@ -1,0 +1,105 @@
+#include "ml/calibration.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/mathx.hpp"
+
+namespace nevermind::ml {
+
+double PlattCalibrator::probability(double score) const noexcept {
+  return util::sigmoid(a * score + b);
+}
+
+void PlattCalibrator::apply(std::span<const double> scores,
+                            std::vector<double>& probabilities) const {
+  probabilities.resize(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    probabilities[i] = probability(scores[i]);
+  }
+}
+
+PlattCalibrator fit_platt(std::span<const double> scores,
+                          std::span<const std::uint8_t> labels,
+                          int max_iterations) {
+  const std::size_t n = scores.size();
+  PlattCalibrator cal;
+  if (n == 0 || labels.size() != n) return cal;
+
+  std::size_t n_pos = 0;
+  for (auto y : labels) n_pos += y != 0 ? 1U : 0U;
+  const std::size_t n_neg = n - n_pos;
+  const double t_pos = (static_cast<double>(n_pos) + 1.0) /
+                       (static_cast<double>(n_pos) + 2.0);
+  const double t_neg = 1.0 / (static_cast<double>(n_neg) + 2.0);
+
+  double a = 1.0;
+  double b = std::log((static_cast<double>(n_neg) + 1.0) /
+                      (static_cast<double>(n_pos) + 1.0)) *
+             -1.0;
+
+  // Calibration negative log-likelihood under the smoothed targets;
+  // used for the backtracking line search below (an undamped Newton
+  // step can overshoot badly on heavily imbalanced score sets).
+  const auto nll = [&](double aa, double bb) {
+    double loss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = labels[i] != 0 ? t_pos : t_neg;
+      const double eta = aa * scores[i] + bb;
+      // -[t log p + (1-t) log(1-p)] = log(1+e^eta) - t*eta, stably:
+      loss += util::log1p_exp(eta) - t * eta;
+    }
+    return loss;
+  };
+
+  double current_nll = nll(a, b);
+  for (int it = 0; it < max_iterations; ++it) {
+    // Gradient and Hessian of sum_i [t_i log p_i + (1-t_i) log(1-p_i)].
+    double g_a = 0.0;
+    double g_b = 0.0;
+    double h_aa = 0.0;
+    double h_ab = 0.0;
+    double h_bb = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double s = scores[i];
+      const double p = util::sigmoid(a * s + b);
+      const double t = labels[i] != 0 ? t_pos : t_neg;
+      const double d = p - t;
+      g_a += d * s;
+      g_b += d;
+      const double w = p * (1.0 - p);
+      h_aa += w * s * s;
+      h_ab += w * s;
+      h_bb += w;
+    }
+    // Levenberg damping keeps the 2x2 solve well-posed.
+    h_aa += 1e-9;
+    h_bb += 1e-9;
+    const double det = h_aa * h_bb - h_ab * h_ab;
+    if (std::fabs(det) < 1e-18) break;
+    const double da = (g_a * h_bb - g_b * h_ab) / det;
+    const double db = (g_b * h_aa - g_a * h_ab) / det;
+    // Backtracking: halve the Newton step until the loss improves.
+    double step = 1.0;
+    double next_nll = current_nll;
+    bool accepted = false;
+    for (int half = 0; half < 30; ++half) {
+      next_nll = nll(a - step * da, b - step * db);
+      if (next_nll <= current_nll + 1e-12) {
+        accepted = true;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!accepted) break;
+    a -= step * da;
+    b -= step * db;
+    current_nll = next_nll;
+    if (std::fabs(step * da) < 1e-10 && std::fabs(step * db) < 1e-10) break;
+  }
+  cal.a = a;
+  cal.b = b;
+  return cal;
+}
+
+}  // namespace nevermind::ml

@@ -1,0 +1,30 @@
+// Logistic (Platt) calibration: maps raw BStump margins to posterior
+// probabilities P(Tkt(u) | x). The paper converts ensemble scores "to
+// the posterior probability using logistic calibration" for both the
+// ticket predictor and the trouble locator's flat models.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nevermind::ml {
+
+/// Fitted sigmoid P(y=1 | s) = 1 / (1 + exp(-(a*s + b))).
+struct PlattCalibrator {
+  double a = 1.0;
+  double b = 0.0;
+
+  [[nodiscard]] double probability(double score) const noexcept;
+  void apply(std::span<const double> scores,
+             std::vector<double>& probabilities) const;
+};
+
+/// Fit by Newton iterations on the calibration log-loss with Platt's
+/// smoothed targets ((N+ + 1)/(N+ + 2) and 1/(N- + 2)), which guard
+/// against overconfident sigmoids on separable score sets.
+[[nodiscard]] PlattCalibrator fit_platt(std::span<const double> scores,
+                                        std::span<const std::uint8_t> labels,
+                                        int max_iterations = 100);
+
+}  // namespace nevermind::ml

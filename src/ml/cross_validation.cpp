@@ -1,0 +1,103 @@
+#include "ml/cross_validation.hpp"
+
+#include <algorithm>
+
+#include "ml/metrics.hpp"
+
+namespace nevermind::ml {
+
+std::vector<Fold> make_folds(std::size_t n_rows, std::size_t k_folds) {
+  k_folds = std::max<std::size_t>(k_folds, 2);
+  k_folds = std::min(k_folds, std::max<std::size_t>(n_rows, 2));
+  std::vector<Fold> folds(k_folds);
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    const std::size_t f = i * k_folds / std::max<std::size_t>(n_rows, 1);
+    for (std::size_t j = 0; j < k_folds; ++j) {
+      (j == f ? folds[j].validation_rows : folds[j].train_rows).push_back(i);
+    }
+  }
+  return folds;
+}
+
+double cross_validate(
+    const Dataset& data, std::size_t k_folds,
+    const std::function<double(const Dataset&, const Dataset&)>& train_eval) {
+  const auto folds = make_folds(data.n_rows(), k_folds);
+  double sum = 0.0;
+  std::size_t used = 0;
+  for (const auto& fold : folds) {
+    if (fold.train_rows.empty() || fold.validation_rows.empty()) continue;
+    const Dataset train = data.select_rows(fold.train_rows);
+    const Dataset validation = data.select_rows(fold.validation_rows);
+    sum += train_eval(train, validation);
+    ++used;
+  }
+  return used > 0 ? sum / static_cast<double>(used) : 0.0;
+}
+
+RoundsSelection select_boosting_rounds(
+    const Dataset& data, std::span<const std::size_t> candidates,
+    std::size_t top_n, std::size_t k_folds) {
+  RoundsSelection out;
+  if (candidates.empty()) return out;
+
+  // Train once per fold at the LARGEST candidate, then score truncated
+  // prefixes of the ensemble — boosting is anytime, so every shorter
+  // candidate is a prefix of the longest run.
+  const std::size_t max_rounds =
+      *std::max_element(candidates.begin(), candidates.end());
+  const auto folds = make_folds(data.n_rows(), k_folds);
+
+  out.metric_per_candidate.assign(candidates.size(), 0.0);
+  std::size_t used = 0;
+  for (const auto& fold : folds) {
+    if (fold.train_rows.empty() || fold.validation_rows.empty()) continue;
+    const Dataset train = data.select_rows(fold.train_rows);
+    const Dataset validation = data.select_rows(fold.validation_rows);
+    BStumpConfig cfg;
+    cfg.iterations = max_rounds;
+    const BStumpModel full = train_bstump(train, cfg);
+
+    // Incremental scoring: add stumps in order, snapshotting at each
+    // candidate count.
+    std::vector<double> scores(validation.n_rows(), 0.0);
+    std::vector<std::pair<std::size_t, std::size_t>> checkpoints;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      checkpoints.emplace_back(candidates[c], c);
+    }
+    std::sort(checkpoints.begin(), checkpoints.end());
+    std::size_t next_checkpoint = 0;
+    for (std::size_t t = 0; t <= full.stumps().size(); ++t) {
+      while (next_checkpoint < checkpoints.size() &&
+             checkpoints[next_checkpoint].first == t) {
+        out.metric_per_candidate[checkpoints[next_checkpoint].second] +=
+            top_n_average_precision(scores, validation.labels(), top_n);
+        ++next_checkpoint;
+      }
+      if (t == full.stumps().size()) break;
+      const auto& stump = full.stumps()[t];
+      const auto col = validation.column(stump.feature);
+      for (std::size_t r = 0; r < col.size(); ++r) {
+        scores[r] += stump.evaluate(col[r]);
+      }
+    }
+    // Candidates beyond the trained length score the full ensemble.
+    while (next_checkpoint < checkpoints.size()) {
+      out.metric_per_candidate[checkpoints[next_checkpoint].second] +=
+          top_n_average_precision(scores, validation.labels(), top_n);
+      ++next_checkpoint;
+    }
+    ++used;
+  }
+  if (used > 0) {
+    for (auto& m : out.metric_per_candidate) m /= static_cast<double>(used);
+  }
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < candidates.size(); ++c) {
+    if (out.metric_per_candidate[c] > out.metric_per_candidate[best]) best = c;
+  }
+  out.best_rounds = candidates[best];
+  return out;
+}
+
+}  // namespace nevermind::ml

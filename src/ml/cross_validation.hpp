@@ -1,0 +1,51 @@
+// k-fold cross-validation utilities.
+//
+// The paper fixes both of its capacity knobs by cross-validation: "The
+// number of iterations is set to 800 based on cross-validation" for the
+// ticket predictor and 200 for the locator. This module provides the
+// fold machinery plus a ready-made boosting-rounds selector.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "ml/adaboost.hpp"
+#include "ml/dataset.hpp"
+
+namespace nevermind::ml {
+
+struct Fold {
+  std::vector<std::size_t> train_rows;
+  std::vector<std::size_t> validation_rows;
+};
+
+/// Deterministic k folds: row i goes to validation fold (i * k) / n —
+/// contiguous blocks, which respects the (line, week) ordering of
+/// encoded blocks better than a random shuffle would (adjacent weeks
+/// stay together instead of leaking across the split).
+[[nodiscard]] std::vector<Fold> make_folds(std::size_t n_rows,
+                                           std::size_t k_folds);
+
+/// Mean validation metric of a model family across folds. `train_eval`
+/// receives (train set, validation set) and returns the metric (higher
+/// is better).
+[[nodiscard]] double cross_validate(
+    const Dataset& data, std::size_t k_folds,
+    const std::function<double(const Dataset&, const Dataset&)>& train_eval);
+
+struct RoundsSelection {
+  std::size_t best_rounds = 0;
+  /// Mean validation metric per candidate, parallel to the input list.
+  std::vector<double> metric_per_candidate;
+};
+
+/// Pick the boosting-rounds count the way the paper does: k-fold CV
+/// over candidate values, scored by top-N average precision on the
+/// held-out folds.
+[[nodiscard]] RoundsSelection select_boosting_rounds(
+    const Dataset& data, std::span<const std::size_t> candidates,
+    std::size_t top_n, std::size_t k_folds = 3);
+
+}  // namespace nevermind::ml

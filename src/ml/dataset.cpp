@@ -1,0 +1,59 @@
+#include "ml/dataset.hpp"
+
+#include <stdexcept>
+
+namespace nevermind::ml {
+
+Dataset::Dataset(std::vector<ColumnInfo> columns, std::size_t expected_rows)
+    : columns_(std::move(columns)), data_(columns_.size()) {
+  for (auto& col : data_) col.reserve(expected_rows);
+  labels_.reserve(expected_rows);
+}
+
+void Dataset::add_row(std::span<const float> features, bool positive) {
+  if (features.size() != columns_.size()) {
+    throw std::invalid_argument("Dataset::add_row: feature count mismatch");
+  }
+  for (std::size_t j = 0; j < features.size(); ++j) {
+    data_[j].push_back(features[j]);
+  }
+  labels_.push_back(positive ? 1 : 0);
+  if (positive) ++positives_;
+}
+
+Dataset Dataset::select_columns(std::span<const std::size_t> cols) const {
+  std::vector<ColumnInfo> infos;
+  infos.reserve(cols.size());
+  for (std::size_t j : cols) infos.push_back(columns_.at(j));
+  Dataset out(std::move(infos), n_rows());
+  out.labels_ = labels_;
+  out.positives_ = positives_;
+  out.data_.clear();
+  out.data_.reserve(cols.size());
+  for (std::size_t j : cols) out.data_.push_back(data_.at(j));
+  return out;
+}
+
+Dataset Dataset::select_rows(std::span<const std::size_t> rows) const {
+  Dataset out(columns_, rows.size());
+  for (std::size_t r : rows) {
+    if (r >= n_rows()) throw std::out_of_range("Dataset::select_rows");
+    for (std::size_t j = 0; j < data_.size(); ++j) {
+      out.data_[j].push_back(data_[j][r]);
+    }
+    out.labels_.push_back(labels_[r]);
+    if (labels_[r] != 0) ++out.positives_;
+  }
+  return out;
+}
+
+void Dataset::relabel(std::span<const std::uint8_t> labels) {
+  if (labels.size() != labels_.size()) {
+    throw std::invalid_argument("Dataset::relabel: size mismatch");
+  }
+  labels_.assign(labels.begin(), labels.end());
+  positives_ = 0;
+  for (auto v : labels_) positives_ += v != 0 ? 1U : 0U;
+}
+
+}  // namespace nevermind::ml

@@ -1,0 +1,87 @@
+// Column-major labelled dataset for the ML library.
+//
+// Both stump search (AdaBoost) and per-feature selection operate on one
+// feature column at a time — sorting it, scanning it with weights — so
+// the matrix is stored column-major. Missing measurements (modem off
+// during the Saturday test) are encoded as NaN; every algorithm in this
+// library treats NaN as "abstain" rather than imputing, matching the
+// Boostexter behaviour the paper relies on.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nevermind::ml {
+
+/// Value used for absent measurements.
+inline constexpr float kMissing = std::numeric_limits<float>::quiet_NaN();
+
+[[nodiscard]] inline bool is_missing(float v) noexcept {
+  return std::isnan(v);
+}
+
+struct ColumnInfo {
+  std::string name;
+  /// Categorical columns use equality stumps; continuous use thresholds.
+  bool categorical = false;
+};
+
+/// Labelled dataset: an n_rows x n_cols feature matrix plus binary
+/// labels (1 = positive: "a ticket arrives within T", or "disposition is
+/// C_ij"). Rows are example indices; the caller keeps any mapping from
+/// row to (line, week) outside the dataset.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::vector<ColumnInfo> columns, std::size_t expected_rows = 0);
+
+  /// Appends one example. `features.size()` must equal `n_cols()`.
+  void add_row(std::span<const float> features, bool positive);
+
+  [[nodiscard]] std::size_t n_rows() const noexcept { return labels_.size(); }
+  [[nodiscard]] std::size_t n_cols() const noexcept { return columns_.size(); }
+
+  [[nodiscard]] std::span<const float> column(std::size_t j) const {
+    return data_.at(j);
+  }
+  [[nodiscard]] const ColumnInfo& column_info(std::size_t j) const {
+    return columns_.at(j);
+  }
+  [[nodiscard]] const std::vector<ColumnInfo>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] float at(std::size_t row, std::size_t col) const {
+    return data_.at(col).at(row);
+  }
+  [[nodiscard]] bool label(std::size_t row) const {
+    return labels_.at(row) != 0;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> labels() const noexcept {
+    return labels_;
+  }
+  [[nodiscard]] std::size_t positives() const noexcept { return positives_; }
+
+  /// Dataset restricted to the given columns (copies those columns).
+  [[nodiscard]] Dataset select_columns(std::span<const std::size_t> cols) const;
+
+  /// Dataset with the same columns but only the given rows.
+  [[nodiscard]] Dataset select_rows(std::span<const std::size_t> rows) const;
+
+  /// Replaces all labels (size must match n_rows). Used by the trouble
+  /// locator to retarget one feature matrix at 52 one-vs-rest problems
+  /// without copying the features.
+  void relabel(std::span<const std::uint8_t> labels);
+
+ private:
+  std::vector<ColumnInfo> columns_;
+  std::vector<std::vector<float>> data_;  // column-major
+  std::vector<std::uint8_t> labels_;
+  std::size_t positives_ = 0;
+};
+
+}  // namespace nevermind::ml

@@ -1,0 +1,173 @@
+#include "ml/decision_tree.hpp"
+
+#include <cmath>
+
+namespace nevermind::ml {
+
+DecisionTree::DecisionTree(std::vector<TreeNode> nodes)
+    : nodes_(std::move(nodes)) {}
+
+double DecisionTree::score_features(std::span<const float> features) const {
+  if (nodes_.empty()) return 0.0;
+  std::size_t idx = 0;
+  for (;;) {
+    const TreeNode& node = nodes_[idx];
+    const float v = features[node.feature];
+    if (is_missing(v)) return node.missing_score;
+    const bool pass =
+        node.categorical ? v == node.threshold : v >= node.threshold;
+    const std::uint32_t child = pass ? node.pass_child : node.fail_child;
+    if (child == 0) return pass ? node.pass_score : node.fail_score;
+    idx = child;
+  }
+}
+
+double DecisionTree::score_row(const Dataset& data, std::size_t row) const {
+  if (nodes_.empty()) return 0.0;
+  std::size_t idx = 0;
+  for (;;) {
+    const TreeNode& node = nodes_[idx];
+    const float v = data.at(row, node.feature);
+    if (is_missing(v)) return node.missing_score;
+    const bool pass =
+        node.categorical ? v == node.threshold : v >= node.threshold;
+    const std::uint32_t child = pass ? node.pass_child : node.fail_child;
+    if (child == 0) return pass ? node.pass_score : node.fail_score;
+    idx = child;
+  }
+}
+
+namespace {
+
+struct TreeBuilder {
+  const Dataset& data;
+  const SortedColumns& sorted;
+  const TreeConfig& config;
+  double smoothing;
+  std::vector<TreeNode> nodes;
+
+  /// Grows a node over the rows whose `node_weights` are non-zero.
+  /// Returns the node index, or 0 when no useful split exists (callers
+  /// then keep their leaf scores).
+  std::uint32_t grow(std::vector<double>& node_weights, double total_weight,
+                     std::size_t depth) {
+    if (depth >= config.max_depth ||
+        total_weight < config.min_node_weight) {
+      return 0;
+    }
+    const StumpSearchResult best =
+        find_best_stump(data, sorted, node_weights, smoothing);
+    if (!std::isfinite(best.z)) return 0;
+
+    const auto index = static_cast<std::uint32_t>(nodes.size());
+    nodes.push_back(TreeNode{});
+    // Fill after recursion (vector may reallocate).
+    TreeNode node;
+    node.feature = best.stump.feature;
+    node.categorical = best.stump.categorical;
+    node.threshold = best.stump.threshold;
+    node.pass_score = best.stump.score_pass;
+    node.fail_score = best.stump.score_fail;
+    node.missing_score = best.stump.score_missing;
+
+    if (depth + 1 < config.max_depth) {
+      // Partition weights into the two branches; missing rows stay at
+      // this node (abstain), so both children get zero weight for them.
+      std::vector<double> pass_weights(node_weights.size(), 0.0);
+      std::vector<double> fail_weights(node_weights.size(), 0.0);
+      double pass_total = 0.0;
+      double fail_total = 0.0;
+      const auto col = data.column(node.feature);
+      for (std::size_t r = 0; r < node_weights.size(); ++r) {
+        const double w = node_weights[r];
+        if (w <= 0.0) continue;
+        const float v = col[r];
+        if (is_missing(v)) continue;
+        const bool pass =
+            node.categorical ? v == node.threshold : v >= node.threshold;
+        if (pass) {
+          pass_weights[r] = w;
+          pass_total += w;
+        } else {
+          fail_weights[r] = w;
+          fail_total += w;
+        }
+      }
+      node.pass_child = grow(pass_weights, pass_total, depth + 1);
+      node.fail_child = grow(fail_weights, fail_total, depth + 1);
+    }
+    nodes[index] = node;
+    return index;
+  }
+};
+
+}  // namespace
+
+DecisionTree train_tree(const Dataset& data, std::span<const double> weights,
+                        const TreeConfig& config) {
+  const std::size_t n = data.n_rows();
+  if (n == 0 || weights.size() != n) return DecisionTree{};
+  const double smoothing =
+      config.smoothing > 0.0 ? config.smoothing : 0.5 / static_cast<double>(n);
+
+  const SortedColumns sorted(data);
+  std::vector<double> w(weights.begin(), weights.end());
+  double total = 0.0;
+  for (double x : w) total += x > 0.0 ? x : 0.0;
+  // At least one level so the root always exists.
+  TreeConfig root_cfg = config;
+  root_cfg.max_depth = std::max<std::size_t>(config.max_depth, 1);
+  TreeBuilder builder{data, sorted, root_cfg, smoothing, {}};
+  builder.grow(w, total, 0);
+  return DecisionTree{std::move(builder.nodes)};
+}
+
+BoostedTreesModel::BoostedTreesModel(std::vector<DecisionTree> trees)
+    : trees_(std::move(trees)) {}
+
+double BoostedTreesModel::score_features(
+    std::span<const float> features) const {
+  double s = 0.0;
+  for (const auto& tree : trees_) s += tree.score_features(features);
+  return s;
+}
+
+std::vector<double> BoostedTreesModel::score_dataset(
+    const Dataset& data) const {
+  std::vector<double> scores(data.n_rows(), 0.0);
+  for (const auto& tree : trees_) {
+    for (std::size_t r = 0; r < data.n_rows(); ++r) {
+      scores[r] += tree.score_row(data, r);
+    }
+  }
+  return scores;
+}
+
+BoostedTreesModel train_boosted_trees(const Dataset& data,
+                                      const BoostedTreesConfig& config) {
+  const std::size_t n = data.n_rows();
+  if (n == 0) return BoostedTreesModel{};
+
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  std::vector<DecisionTree> trees;
+  trees.reserve(config.iterations);
+
+  for (std::size_t t = 0; t < config.iterations; ++t) {
+    DecisionTree tree = train_tree(data, weights, config.tree);
+    if (tree.empty()) break;
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double h = tree.score_row(data, i);
+      const double y = data.label(i) ? 1.0 : -1.0;
+      weights[i] *= std::exp(-y * h);
+      total += weights[i];
+    }
+    trees.push_back(std::move(tree));
+    if (total <= 0.0) break;
+    const double inv = 1.0 / total;
+    for (auto& w : weights) w *= inv;
+  }
+  return BoostedTreesModel{std::move(trees)};
+}
+
+}  // namespace nevermind::ml

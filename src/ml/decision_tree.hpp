@@ -1,0 +1,96 @@
+// CART-style decision trees and a boosted-tree ensemble.
+//
+// The paper justifies its stump-linear BStump by arguing that, under
+// the label noise inherent in ticket data, "sophisticated non-linear
+// models overfit easily" (Section 4.4). This module supplies exactly
+// such a non-linear comparator — depth-d trees greedily grown on the
+// same weighted Z-criterion, boosted the same way — so the claim can be
+// tested rather than assumed (see bench_ablation_boosting).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/stump.hpp"
+
+namespace nevermind::ml {
+
+/// A binary tree over feature tests. Nodes are stored in a flat vector;
+/// children indices of 0 mean "leaf" (node 0 is always the root, which
+/// is never a child).
+struct TreeNode {
+  std::size_t feature = 0;
+  bool categorical = false;
+  float threshold = 0.0F;
+  /// Child indices into DecisionTree::nodes (0 = none -> use scores).
+  std::uint32_t pass_child = 0;
+  std::uint32_t fail_child = 0;
+  /// Confidence-rated leaf scores when the corresponding child is 0.
+  double pass_score = 0.0;
+  double fail_score = 0.0;
+  /// Missing values abstain at this node.
+  double missing_score = 0.0;
+};
+
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+  explicit DecisionTree(std::vector<TreeNode> nodes);
+
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+  [[nodiscard]] const std::vector<TreeNode>& nodes() const noexcept {
+    return nodes_;
+  }
+
+  /// Confidence-rated score of one example.
+  [[nodiscard]] double score_features(std::span<const float> features) const;
+  [[nodiscard]] double score_row(const Dataset& data, std::size_t row) const;
+
+ private:
+  std::vector<TreeNode> nodes_;
+};
+
+struct TreeConfig {
+  /// Levels of splits; 1 reproduces a decision stump.
+  std::size_t max_depth = 3;
+  /// Do not split nodes carrying less than this weight fraction.
+  double min_node_weight = 1e-3;
+  /// Smoothing epsilon for leaf scores (auto: 0.5 / n when <= 0).
+  double smoothing = -1.0;
+};
+
+/// Grow one tree on weighted data (weights need not be normalized).
+[[nodiscard]] DecisionTree train_tree(const Dataset& data,
+                                      std::span<const double> weights,
+                                      const TreeConfig& config);
+
+/// AdaBoost over depth-d trees — the "sophisticated non-linear model"
+/// of the paper's argument. Interface mirrors BStump.
+struct BoostedTreesConfig {
+  std::size_t iterations = 100;
+  TreeConfig tree;
+};
+
+class BoostedTreesModel {
+ public:
+  BoostedTreesModel() = default;
+  explicit BoostedTreesModel(std::vector<DecisionTree> trees);
+
+  [[nodiscard]] bool empty() const noexcept { return trees_.empty(); }
+  [[nodiscard]] const std::vector<DecisionTree>& trees() const noexcept {
+    return trees_;
+  }
+  [[nodiscard]] double score_features(std::span<const float> features) const;
+  [[nodiscard]] std::vector<double> score_dataset(const Dataset& data) const;
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+[[nodiscard]] BoostedTreesModel train_boosted_trees(
+    const Dataset& data, const BoostedTreesConfig& config);
+
+}  // namespace nevermind::ml

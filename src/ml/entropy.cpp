@@ -1,0 +1,83 @@
+#include "ml/entropy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace nevermind::ml {
+
+double binary_entropy(std::size_t positives, std::size_t total) {
+  if (total == 0 || positives == 0 || positives == total) return 0.0;
+  const double p = static_cast<double>(positives) / static_cast<double>(total);
+  return -(p * std::log2(p) + (1.0 - p) * std::log2(1.0 - p));
+}
+
+GainScores gain_ratio(std::span<const float> values,
+                      std::span<const std::uint8_t> labels, std::size_t bins) {
+  GainScores out;
+  const std::size_t n = values.size();
+  if (n == 0 || bins == 0) return out;
+
+  // Present rows sorted by value; missing rows form a separate bin.
+  std::vector<std::uint32_t> present;
+  present.reserve(n);
+  std::size_t missing_total = 0;
+  std::size_t missing_pos = 0;
+  std::size_t total_pos = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (labels[i] != 0) ++total_pos;
+    if (is_missing(values[i])) {
+      ++missing_total;
+      if (labels[i] != 0) ++missing_pos;
+    } else {
+      present.push_back(i);
+    }
+  }
+  std::sort(present.begin(), present.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return values[a] < values[b];
+            });
+
+  struct Bin {
+    std::size_t total = 0;
+    std::size_t pos = 0;
+  };
+  std::vector<Bin> partition;
+  // Equal-frequency binning that never splits runs of equal values (a
+  // value must map to exactly one bin for the score to be meaningful).
+  const std::size_t target = std::max<std::size_t>(1, present.size() / bins);
+  std::size_t i = 0;
+  while (i < present.size()) {
+    Bin bin;
+    while (i < present.size() &&
+           (bin.total < target || partition.size() + 1 == bins)) {
+      const float v = values[present[i]];
+      // Consume the full run of equal values.
+      while (i < present.size() && values[present[i]] == v) {
+        ++bin.total;
+        bin.pos += labels[present[i]] != 0 ? 1 : 0;
+        ++i;
+      }
+    }
+    if (bin.total > 0) partition.push_back(bin);
+  }
+  if (missing_total > 0) partition.push_back({missing_total, missing_pos});
+
+  const double h_label = binary_entropy(total_pos, n);
+  double h_cond = 0.0;
+  double h_split = 0.0;
+  for (const auto& bin : partition) {
+    const double frac = static_cast<double>(bin.total) / static_cast<double>(n);
+    h_cond += frac * binary_entropy(bin.pos, bin.total);
+    if (frac > 0.0) h_split -= frac * std::log2(frac);
+  }
+  out.information_gain = std::max(0.0, h_label - h_cond);
+  out.intrinsic_value = h_split;
+  out.gain_ratio = h_split > 1e-12 ? out.information_gain / h_split : 0.0;
+  return out;
+}
+
+}  // namespace nevermind::ml

@@ -1,0 +1,30 @@
+// Entropy-based feature scoring: the "Gain ratio" baseline of Table 4
+// ("the total entropy decrease of the result attribute by knowing one
+// particular feature", normalized by the feature's intrinsic value).
+// Continuous features are discretized into equal-frequency bins.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace nevermind::ml {
+
+/// Shannon entropy (bits) of a binary label distribution.
+[[nodiscard]] double binary_entropy(std::size_t positives, std::size_t total);
+
+struct GainScores {
+  double information_gain = 0.0;
+  double intrinsic_value = 0.0;
+  double gain_ratio = 0.0;
+};
+
+/// Information gain / intrinsic value / gain ratio of one feature
+/// against the labels. Missing values form their own bin. `bins` is the
+/// number of equal-frequency bins for continuous features; categorical
+/// callers should pre-map values to small integers and pass them as-is
+/// (each distinct value lands in its own bin when bins >= cardinality).
+[[nodiscard]] GainScores gain_ratio(std::span<const float> values,
+                                    std::span<const std::uint8_t> labels,
+                                    std::size_t bins = 10);
+
+}  // namespace nevermind::ml

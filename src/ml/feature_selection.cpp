@@ -1,0 +1,112 @@
+#include "ml/feature_selection.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "ml/adaboost.hpp"
+#include "ml/entropy.hpp"
+#include "ml/metrics.hpp"
+#include "ml/pca.hpp"
+
+namespace nevermind::ml {
+
+const char* selection_method_name(SelectionMethod m) noexcept {
+  switch (m) {
+    case SelectionMethod::kTopNAp: return "Top-N AP";
+    case SelectionMethod::kAuc: return "AUC";
+    case SelectionMethod::kAveragePrecision: return "Average precision";
+    case SelectionMethod::kPca: return "PCA";
+    case SelectionMethod::kGainRatio: return "Gain ratio";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Score of a single-feature predictor on the held-out set under one of
+/// the wrapper criteria.
+double wrapper_score(const Dataset& train, const Dataset& test,
+                     std::size_t feature, SelectionMethod method,
+                     const FeatureScoringConfig& config) {
+  BStumpConfig boost;
+  boost.iterations = config.boost_iterations;
+  const BStumpModel model = train_bstump_single_feature(train, feature, boost);
+  if (model.empty()) return 0.0;
+
+  // Only the single feature's column matters for scoring.
+  const auto col = test.column(feature);
+  std::vector<double> scores(col.size(), 0.0);
+  for (const auto& stump : model.stumps()) {
+    for (std::size_t r = 0; r < col.size(); ++r) {
+      scores[r] += stump.evaluate(col[r]);
+    }
+  }
+  switch (method) {
+    case SelectionMethod::kTopNAp:
+      return top_n_average_precision(scores, test.labels(), config.top_n);
+    case SelectionMethod::kAuc:
+      return auc(scores, test.labels());
+    case SelectionMethod::kAveragePrecision:
+      return average_precision(scores, test.labels());
+    default:
+      throw std::logic_error("wrapper_score: not a wrapper method");
+  }
+}
+
+}  // namespace
+
+std::vector<double> score_features(const Dataset& train, const Dataset& test,
+                                   SelectionMethod method,
+                                   const FeatureScoringConfig& config,
+                                   std::size_t first_column) {
+  const std::size_t f = train.n_cols();
+  std::vector<double> scores(f, 0.0);
+  switch (method) {
+    case SelectionMethod::kTopNAp:
+    case SelectionMethod::kAuc:
+    case SelectionMethod::kAveragePrecision:
+      if (test.n_cols() != f) {
+        throw std::invalid_argument("score_features: train/test mismatch");
+      }
+      for (std::size_t j = first_column; j < f; ++j) {
+        scores[j] = wrapper_score(train, test, j, method, config);
+      }
+      return scores;
+    case SelectionMethod::kPca: {
+      const PcaResult pca = fit_pca(train, config.pca_max_rows);
+      return pca_feature_scores(pca, config.pca_components);
+    }
+    case SelectionMethod::kGainRatio:
+      for (std::size_t j = 0; j < f; ++j) {
+        scores[j] =
+            gain_ratio(train.column(j), train.labels(), config.gain_bins)
+                .gain_ratio;
+      }
+      return scores;
+  }
+  return scores;
+}
+
+std::vector<std::size_t> select_top_k(std::span<const double> scores,
+                                      std::size_t k) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return scores[a] > scores[b];
+                   });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+std::vector<std::size_t> select_above_threshold(std::span<const double> scores,
+                                                double threshold) {
+  std::vector<std::size_t> out;
+  for (std::size_t j = 0; j < scores.size(); ++j) {
+    if (scores[j] > threshold) out.push_back(j);
+  }
+  return out;
+}
+
+}  // namespace nevermind::ml

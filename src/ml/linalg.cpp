@@ -1,0 +1,135 @@
+#include "ml/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace nevermind::ml {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+bool solve_linear_system(Matrix a, std::vector<double> b,
+                         std::vector<double>& x) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) return false;
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a.at(r, col)) > std::fabs(a.at(pivot, col))) pivot = r;
+    }
+    if (std::fabs(a.at(pivot, col)) < 1e-12) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a.at(col, c), a.at(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    const double d = a.at(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(r, col) / d;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a.at(r, c) -= factor * a.at(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  x.assign(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) s -= a.at(ri, c) * x[c];
+    x[ri] = s / a.at(ri, ri);
+  }
+  return true;
+}
+
+bool invert_spd(const Matrix& a, Matrix& inv) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) return false;
+  inv = Matrix(n, n);
+  // Solve A e_i = col_i for each basis vector.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> e(n, 0.0);
+    e[i] = 1.0;
+    std::vector<double> col;
+    if (!solve_linear_system(a, std::move(e), col)) return false;
+    for (std::size_t r = 0; r < n; ++r) inv.at(r, i) = col[r];
+  }
+  return true;
+}
+
+EigenResult symmetric_eigen(Matrix a, int max_sweeps) {
+  const std::size_t n = a.rows();
+  Matrix v = Matrix::identity(n);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a.at(p, q) * a.at(p, q);
+    }
+    if (off < 1e-20) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a.at(p, q);
+        if (std::fabs(apq) < 1e-15) continue;
+        const double app = a.at(p, p);
+        const double aqq = a.at(q, q);
+        const double theta = 0.5 * (aqq - app) / apq;
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a.at(k, p);
+          const double akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a.at(p, k);
+          const double aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v.at(k, p);
+          const double vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return a.at(i, i) > a.at(j, j);
+  });
+  EigenResult out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.eigenvalues[i] = a.at(order[i], order[i]);
+    for (std::size_t r = 0; r < n; ++r) {
+      out.eigenvectors.at(r, i) = v.at(r, order[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace nevermind::ml

@@ -1,0 +1,50 @@
+// Small dense linear algebra used by logistic regression (IRLS normal
+// equations) and PCA (Jacobi eigendecomposition). Dimensions here are
+// tiny — a handful of regression covariates, tens of principal
+// components — so clarity beats cleverness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nevermind::ml {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting.
+/// Returns false (and leaves x unspecified) if A is singular to working
+/// precision. A and b are taken by value: elimination destroys them.
+[[nodiscard]] bool solve_linear_system(Matrix a, std::vector<double> b,
+                                       std::vector<double>& x);
+
+/// Invert a symmetric positive-definite matrix (used for the Wald
+/// covariance of logistic regression). Returns false if not invertible.
+[[nodiscard]] bool invert_spd(const Matrix& a, Matrix& inv);
+
+struct EigenResult {
+  std::vector<double> eigenvalues;  // descending
+  Matrix eigenvectors;              // column i pairs with eigenvalue i
+};
+
+/// Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations.
+[[nodiscard]] EigenResult symmetric_eigen(Matrix a, int max_sweeps = 64);
+
+}  // namespace nevermind::ml

@@ -1,0 +1,81 @@
+#include "ml/linear_model.hpp"
+
+#include <cmath>
+
+#include "util/mathx.hpp"
+#include "util/stats.hpp"
+
+namespace nevermind::ml {
+
+namespace {
+
+double standardized(float v, double mean, double sd) {
+  if (is_missing(v)) return 0.0;  // mean imputation after standardizing
+  return (static_cast<double>(v) - mean) / sd;
+}
+
+}  // namespace
+
+double LinearModel::score_features(std::span<const float> features) const {
+  if (empty()) return 0.0;
+  double eta = logistic_.coefficients[0];
+  const std::size_t k = means_.size();
+  for (std::size_t j = 0; j < k && j < features.size(); ++j) {
+    eta += logistic_.coefficients[j + 1] *
+           standardized(features[j], means_[j], stddevs_[j]);
+  }
+  return eta;
+}
+
+std::vector<double> LinearModel::score_dataset(const Dataset& data) const {
+  std::vector<double> scores(data.n_rows(),
+                             empty() ? 0.0 : logistic_.coefficients[0]);
+  if (empty()) return scores;
+  const std::size_t k = std::min(means_.size(), data.n_cols());
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto col = data.column(j);
+    const double beta = logistic_.coefficients[j + 1];
+    for (std::size_t r = 0; r < col.size(); ++r) {
+      scores[r] += beta * standardized(col[r], means_[j], stddevs_[j]);
+    }
+  }
+  return scores;
+}
+
+double LinearModel::probability(std::span<const float> features) const {
+  return util::sigmoid(score_features(features));
+}
+
+LinearModel train_linear_model(const Dataset& data,
+                               const LinearModelConfig& config) {
+  LinearModel model;
+  const std::size_t n = data.n_rows();
+  const std::size_t k = data.n_cols();
+  if (n == 0 || k == 0) return model;
+
+  model.means_.resize(k);
+  model.stddevs_.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    util::RunningStats rs;
+    for (float v : data.column(j)) {
+      if (!is_missing(v)) rs.add(v);
+    }
+    model.means_[j] = rs.mean();
+    model.stddevs_[j] = rs.stddev() > 1e-9 ? rs.stddev() : 1.0;
+  }
+
+  // Row-major standardized covariates for the IRLS core.
+  std::vector<double> rows(n * k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto col = data.column(j);
+    for (std::size_t r = 0; r < n; ++r) {
+      rows[r * k + j] =
+          standardized(col[r], model.means_[j], model.stddevs_[j]);
+    }
+  }
+  model.logistic_ = fit_logistic(rows, k, data.labels(), config.ridge,
+                                 config.max_iterations);
+  return model;
+}
+
+}  // namespace nevermind::ml

@@ -1,0 +1,53 @@
+// Regularized logistic regression over a full feature Dataset — the
+// classical linear baseline for the model zoo. BStump (stumps +
+// boosting) is what the paper ships; this model answers "would plain
+// logistic regression on the same selected features have sufficed?"
+// (see bench_model_zoo). Features are standardized and missing values
+// imputed to the column mean, since unlike stumps a linear model has no
+// abstain branch.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/logreg.hpp"
+
+namespace nevermind::ml {
+
+struct LinearModelConfig {
+  double ridge = 1.0;
+  int max_iterations = 60;
+};
+
+/// Fitted standardize-impute-logistic pipeline.
+class LinearModel {
+ public:
+  LinearModel() = default;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return logistic_.coefficients.empty();
+  }
+  /// Decision-function score (the linear predictor eta; monotone in
+  /// probability, comparable to BStump margins for ranking).
+  [[nodiscard]] double score_features(std::span<const float> features) const;
+  [[nodiscard]] std::vector<double> score_dataset(const Dataset& data) const;
+  [[nodiscard]] double probability(std::span<const float> features) const;
+
+  [[nodiscard]] const LogisticModel& logistic() const noexcept {
+    return logistic_;
+  }
+
+ private:
+  friend LinearModel train_linear_model(const Dataset&,
+                                        const LinearModelConfig&);
+  LogisticModel logistic_;
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+[[nodiscard]] LinearModel train_linear_model(
+    const Dataset& data, const LinearModelConfig& config = {});
+
+}  // namespace nevermind::ml

@@ -1,0 +1,99 @@
+#include "ml/logreg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/linalg.hpp"
+#include "util/mathx.hpp"
+
+namespace nevermind::ml {
+
+double LogisticModel::predict(std::span<const double> covariates) const {
+  if (coefficients.empty()) return 0.5;
+  double eta = coefficients[0];
+  const std::size_t k = coefficients.size() - 1;
+  for (std::size_t j = 0; j < k && j < covariates.size(); ++j) {
+    eta += coefficients[j + 1] * covariates[j];
+  }
+  return util::sigmoid(eta);
+}
+
+LogisticModel fit_logistic(std::span<const double> rows,
+                           std::size_t n_covariates,
+                           std::span<const std::uint8_t> labels,
+                           double ridge, int max_iterations) {
+  LogisticModel model;
+  const std::size_t n = labels.size();
+  const std::size_t p = n_covariates + 1;  // + intercept
+  if (n == 0 || (n_covariates > 0 && rows.size() != n * n_covariates)) {
+    throw std::invalid_argument("fit_logistic: shape mismatch");
+  }
+  model.coefficients.assign(p, 0.0);
+
+  auto covariate = [&](std::size_t i, std::size_t j) -> double {
+    return j == 0 ? 1.0 : rows[i * n_covariates + (j - 1)];
+  };
+
+  Matrix hessian(p, p);
+  for (int it = 0; it < max_iterations; ++it) {
+    std::vector<double> gradient(p, 0.0);
+    hessian = Matrix(p, p);
+    for (std::size_t i = 0; i < n; ++i) {
+      double eta = model.coefficients[0];
+      for (std::size_t j = 1; j < p; ++j) {
+        eta += model.coefficients[j] * covariate(i, j);
+      }
+      const double mu = util::sigmoid(eta);
+      const double resid = (labels[i] != 0 ? 1.0 : 0.0) - mu;
+      const double w = std::max(mu * (1.0 - mu), 1e-12);
+      for (std::size_t j = 0; j < p; ++j) {
+        const double xj = covariate(i, j);
+        gradient[j] += resid * xj;
+        for (std::size_t k = j; k < p; ++k) {
+          hessian.at(j, k) += w * xj * covariate(i, k);
+        }
+      }
+    }
+    for (std::size_t j = 0; j < p; ++j) {
+      hessian.at(j, j) += ridge;
+      gradient[j] -= ridge * model.coefficients[j];
+      for (std::size_t k = 0; k < j; ++k) hessian.at(j, k) = hessian.at(k, j);
+    }
+    std::vector<double> delta;
+    if (!solve_linear_system(hessian, gradient, delta)) break;
+    double max_step = 0.0;
+    for (std::size_t j = 0; j < p; ++j) {
+      model.coefficients[j] += delta[j];
+      max_step = std::max(max_step, std::fabs(delta[j]));
+    }
+    model.iterations = it + 1;
+    if (max_step < 1e-9) {
+      model.converged = true;
+      break;
+    }
+  }
+
+  // Wald statistics from the observed information at the optimum.
+  Matrix cov;
+  model.std_errors.assign(p, 0.0);
+  model.z_values.assign(p, 0.0);
+  model.p_values.assign(p, 1.0);
+  if (invert_spd(hessian, cov)) {
+    for (std::size_t j = 0; j < p; ++j) {
+      const double var = cov.at(j, j);
+      if (var > 0.0) {
+        model.std_errors[j] = std::sqrt(var);
+        model.z_values[j] = model.coefficients[j] / model.std_errors[j];
+        model.p_values[j] = util::two_sided_p_value(model.z_values[j]);
+      }
+    }
+  }
+  return model;
+}
+
+LogisticModel fit_logistic_simple(std::span<const double> x,
+                                  std::span<const std::uint8_t> labels) {
+  return fit_logistic(x, 1, labels);
+}
+
+}  // namespace nevermind::ml

@@ -1,0 +1,45 @@
+// Multivariate logistic regression via iteratively-reweighted least
+// squares, with Wald standard errors and p-values.
+//
+// The paper uses logistic regression twice:
+//   * Eq. 2 — the combined trouble-locator model stacks the disposition
+//     classifier f_Cij and its parent-location classifier f_Ci· through
+//     a 2-covariate logistic regression (coefficients gamma).
+//   * Table 5 — `logit(#predictions) ~ outage(d, t, T)` quantifies the
+//     correlation between per-DSLAM prediction counts and future outage
+//     events, reporting coefficients and p-values.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nevermind::ml {
+
+struct LogisticModel {
+  /// coefficients[0] is the intercept; the rest pair with covariates.
+  std::vector<double> coefficients;
+  std::vector<double> std_errors;
+  std::vector<double> z_values;
+  std::vector<double> p_values;
+  bool converged = false;
+  int iterations = 0;
+
+  [[nodiscard]] double predict(std::span<const double> covariates) const;
+};
+
+/// Fit P(y=1 | x) = sigmoid(b0 + b . x). `rows` is row-major with
+/// `n_covariates` entries per example. A small L2 ridge keeps the fit
+/// defined under (quasi-)separation, which the Table-5 regressions can
+/// exhibit on small DSLAM counts.
+[[nodiscard]] LogisticModel fit_logistic(std::span<const double> rows,
+                                         std::size_t n_covariates,
+                                         std::span<const std::uint8_t> labels,
+                                         double ridge = 1e-6,
+                                         int max_iterations = 100);
+
+/// Convenience for the common one-covariate case.
+[[nodiscard]] LogisticModel fit_logistic_simple(
+    std::span<const double> x, std::span<const std::uint8_t> labels);
+
+}  // namespace nevermind::ml

@@ -1,0 +1,82 @@
+#include "ml/pca.hpp"
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace nevermind::ml {
+
+PcaResult fit_pca(const Dataset& data, std::size_t max_rows) {
+  const std::size_t f = data.n_cols();
+  const std::size_t n = data.n_rows();
+  PcaResult out;
+  out.column_means.assign(f, 0.0);
+  out.column_stddevs.assign(f, 1.0);
+  if (f == 0 || n == 0) return out;
+
+  const std::size_t stride =
+      (max_rows > 0 && n > max_rows) ? (n + max_rows - 1) / max_rows : 1;
+
+  // Per-column mean/stddev over present values.
+  for (std::size_t j = 0; j < f; ++j) {
+    util::RunningStats rs;
+    const auto col = data.column(j);
+    for (std::size_t r = 0; r < n; r += stride) {
+      if (!is_missing(col[r])) rs.add(col[r]);
+    }
+    out.column_means[j] = rs.mean();
+    out.column_stddevs[j] = rs.stddev() > 1e-12 ? rs.stddev() : 1.0;
+  }
+
+  // Correlation matrix with mean-imputed (-> zero after standardizing)
+  // missing entries.
+  Matrix corr(f, f);
+  std::size_t used_rows = 0;
+  std::vector<double> z(f);
+  for (std::size_t r = 0; r < n; r += stride) {
+    for (std::size_t j = 0; j < f; ++j) {
+      const float v = data.at(r, j);
+      z[j] = is_missing(v)
+                 ? 0.0
+                 : (static_cast<double>(v) - out.column_means[j]) /
+                       out.column_stddevs[j];
+    }
+    for (std::size_t j = 0; j < f; ++j) {
+      for (std::size_t k = j; k < f; ++k) {
+        corr.at(j, k) += z[j] * z[k];
+      }
+    }
+    ++used_rows;
+  }
+  if (used_rows > 1) {
+    const double inv = 1.0 / static_cast<double>(used_rows - 1);
+    for (std::size_t j = 0; j < f; ++j) {
+      for (std::size_t k = j; k < f; ++k) {
+        corr.at(j, k) *= inv;
+        corr.at(k, j) = corr.at(j, k);
+      }
+    }
+  }
+
+  EigenResult eig = symmetric_eigen(corr);
+  out.eigenvalues = std::move(eig.eigenvalues);
+  out.components = std::move(eig.eigenvectors);
+  return out;
+}
+
+std::vector<double> pca_feature_scores(const PcaResult& pca,
+                                       std::size_t n_components) {
+  const std::size_t f = pca.column_means.size();
+  std::vector<double> scores(f, 0.0);
+  const std::size_t k = std::min(n_components, pca.eigenvalues.size());
+  for (std::size_t c = 0; c < k; ++c) {
+    const double lambda = std::max(pca.eigenvalues[c], 0.0);
+    for (std::size_t j = 0; j < f; ++j) {
+      const double loading = pca.components.at(j, c);
+      scores[j] += lambda * loading * loading;
+    }
+  }
+  return scores;
+}
+
+}  // namespace nevermind::ml

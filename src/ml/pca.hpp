@@ -1,0 +1,34 @@
+// Principal component analysis (the "PCA" feature-selection baseline of
+// Table 4: "top principal components"). We standardize columns, build
+// the correlation matrix, eigendecompose it (Jacobi), and rank features
+// by their eigenvalue-weighted loading on the leading components.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/linalg.hpp"
+
+namespace nevermind::ml {
+
+struct PcaResult {
+  std::vector<double> eigenvalues;  // descending
+  Matrix components;                // column i = loading vector of PC i
+  std::vector<double> column_means;
+  std::vector<double> column_stddevs;
+};
+
+/// PCA over the dataset's feature columns; missing entries are replaced
+/// by the column mean (standard mean-imputation for covariance
+/// estimation). `max_rows` subsamples deterministically (every k-th row)
+/// to bound the O(F^2 n) covariance cost.
+[[nodiscard]] PcaResult fit_pca(const Dataset& data, std::size_t max_rows = 0);
+
+/// Feature importance for selection: sum over the top `n_components`
+/// of eigenvalue * loading^2 — a feature scores high when it carries a
+/// lot of the leading variance directions.
+[[nodiscard]] std::vector<double> pca_feature_scores(const PcaResult& pca,
+                                                     std::size_t n_components);
+
+}  // namespace nevermind::ml

@@ -1,0 +1,87 @@
+#include "ml/roc.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "ml/metrics.hpp"
+
+namespace nevermind::ml {
+
+std::vector<RocPoint> roc_curve(std::span<const double> scores,
+                                std::span<const std::uint8_t> labels) {
+  const auto order = rank_by_score(scores);
+  std::size_t n_pos = 0;
+  for (auto y : labels) n_pos += y != 0 ? 1U : 0U;
+  const std::size_t n_neg = labels.size() - n_pos;
+
+  std::vector<RocPoint> curve;
+  curve.push_back({std::numeric_limits<double>::infinity(), 0.0, 0.0});
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  for (std::size_t i = 0; i < order.size();) {
+    const double score = scores[order[i]];
+    // Consume the whole tie group before emitting a point.
+    while (i < order.size() && scores[order[i]] == score) {
+      if (labels[order[i]] != 0) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++i;
+    }
+    RocPoint p;
+    p.threshold = score;
+    p.true_positive_rate =
+        n_pos > 0 ? static_cast<double>(tp) / static_cast<double>(n_pos) : 0.0;
+    p.false_positive_rate =
+        n_neg > 0 ? static_cast<double>(fp) / static_cast<double>(n_neg) : 0.0;
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+std::vector<PrPoint> precision_recall_curve(
+    std::span<const double> scores, std::span<const std::uint8_t> labels) {
+  const auto order = rank_by_score(scores);
+  std::size_t n_pos = 0;
+  for (auto y : labels) n_pos += y != 0 ? 1U : 0U;
+
+  std::vector<PrPoint> curve;
+  std::size_t tp = 0;
+  std::size_t predicted = 0;
+  for (std::size_t i = 0; i < order.size();) {
+    const double score = scores[order[i]];
+    while (i < order.size() && scores[order[i]] == score) {
+      tp += labels[order[i]] != 0 ? 1U : 0U;
+      ++predicted;
+      ++i;
+    }
+    PrPoint p;
+    p.threshold = score;
+    p.predicted_positive = predicted;
+    p.precision = static_cast<double>(tp) / static_cast<double>(predicted);
+    p.recall =
+        n_pos > 0 ? static_cast<double>(tp) / static_cast<double>(n_pos) : 0.0;
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+double area_under(std::span<const RocPoint> curve) {
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double dx =
+        curve[i].false_positive_rate - curve[i - 1].false_positive_rate;
+    area += dx * 0.5 *
+            (curve[i].true_positive_rate + curve[i - 1].true_positive_rate);
+  }
+  // Close the curve to (1,1) if the last threshold left it short.
+  if (!curve.empty()) {
+    const auto& last = curve.back();
+    area += (1.0 - last.false_positive_rate) * 0.5 *
+            (1.0 + last.true_positive_rate);
+  }
+  return area;
+}
+
+}  // namespace nevermind::ml

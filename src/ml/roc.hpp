@@ -1,0 +1,41 @@
+// ROC and precision–recall curve extraction. The AUC scalar lives in
+// metrics.hpp; this module produces the actual curve points for
+// operating-point selection (an operator picking a submission budget is
+// choosing a point on the precision–recall curve) and for exporting to
+// plots.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nevermind::ml {
+
+struct RocPoint {
+  double threshold = 0.0;        // score at/above which we predict positive
+  double true_positive_rate = 0.0;
+  double false_positive_rate = 0.0;
+};
+
+struct PrPoint {
+  double threshold = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  std::size_t predicted_positive = 0;
+};
+
+/// ROC curve from (0,0) to (1,1), one point per distinct score plus the
+/// endpoints; thresholds descend.
+[[nodiscard]] std::vector<RocPoint> roc_curve(
+    std::span<const double> scores, std::span<const std::uint8_t> labels);
+
+/// Precision–recall curve, one point per distinct score; thresholds
+/// descend (recall ascends).
+[[nodiscard]] std::vector<PrPoint> precision_recall_curve(
+    std::span<const double> scores, std::span<const std::uint8_t> labels);
+
+/// Trapezoidal area under a ROC curve produced by roc_curve (equals
+/// the rank-sum AUC of metrics.hpp up to floating error).
+[[nodiscard]] double area_under(std::span<const RocPoint> curve);
+
+}  // namespace nevermind::ml

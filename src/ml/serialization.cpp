@@ -1,0 +1,101 @@
+#include "ml/serialization.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace nevermind::ml {
+
+namespace {
+
+/// Max-precision defaults so doubles/floats round-trip exactly.
+void set_roundtrip_precision(std::ostream& os) {
+  os.precision(std::numeric_limits<double>::max_digits10);
+}
+
+}  // namespace
+
+void save_model(std::ostream& os, const BStumpModel& model) {
+  set_roundtrip_precision(os);
+  os << "bstump v1 " << model.stumps().size() << '\n';
+  for (const auto& s : model.stumps()) {
+    os << s.feature << ' ' << (s.categorical ? 1 : 0) << ' ' << s.threshold
+       << ' ' << s.score_pass << ' ' << s.score_fail << ' ' << s.score_missing
+       << '\n';
+  }
+}
+
+std::optional<BStumpModel> load_model(std::istream& is) {
+  std::string magic;
+  std::string version;
+  std::size_t count = 0;
+  if (!(is >> magic >> version >> count) || magic != "bstump" ||
+      version != "v1") {
+    return std::nullopt;
+  }
+  std::vector<Stump> stumps;
+  stumps.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Stump s;
+    int categorical = 0;
+    if (!(is >> s.feature >> categorical >> s.threshold >> s.score_pass >>
+          s.score_fail >> s.score_missing)) {
+      return std::nullopt;
+    }
+    s.categorical = categorical != 0;
+    stumps.push_back(s);
+  }
+  return BStumpModel{std::move(stumps)};
+}
+
+void save_calibrator(std::ostream& os, const PlattCalibrator& calibrator) {
+  set_roundtrip_precision(os);
+  os << "platt v1 " << calibrator.a << ' ' << calibrator.b << '\n';
+}
+
+std::optional<PlattCalibrator> load_calibrator(std::istream& is) {
+  std::string magic;
+  std::string version;
+  PlattCalibrator cal;
+  if (!(is >> magic >> version >> cal.a >> cal.b) || magic != "platt" ||
+      version != "v1") {
+    return std::nullopt;
+  }
+  return cal;
+}
+
+void save_bundle(std::ostream& os, const ModelBundle& bundle) {
+  os << "bundle v1 " << bundle.feature_names.size() << '\n';
+  // Names may contain '*' and '.', never whitespace; one per line keeps
+  // parsing trivial and diff-friendly.
+  for (const auto& name : bundle.feature_names) os << name << '\n';
+  save_model(os, bundle.model);
+  save_calibrator(os, bundle.calibrator);
+}
+
+std::optional<ModelBundle> load_bundle(std::istream& is) {
+  std::string magic;
+  std::string version;
+  std::size_t n_names = 0;
+  if (!(is >> magic >> version >> n_names) || magic != "bundle" ||
+      version != "v1") {
+    return std::nullopt;
+  }
+  ModelBundle bundle;
+  bundle.feature_names.reserve(n_names);
+  for (std::size_t i = 0; i < n_names; ++i) {
+    std::string name;
+    if (!(is >> name)) return std::nullopt;
+    bundle.feature_names.push_back(std::move(name));
+  }
+  auto model = load_model(is);
+  if (!model.has_value()) return std::nullopt;
+  bundle.model = std::move(*model);
+  auto cal = load_calibrator(is);
+  if (!cal.has_value()) return std::nullopt;
+  bundle.calibrator = *cal;
+  return bundle;
+}
+
+}  // namespace nevermind::ml

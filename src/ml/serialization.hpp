@@ -1,0 +1,44 @@
+// Model persistence: save/load trained models as a line-oriented text
+// format. Operationally, NEVERMIND trains on a modeling server and
+// scores weekly inside the provisioning systems — the artefact that
+// crosses that boundary is the serialized model. The format is
+// versioned, human-inspectable (stumps print as one line each), and
+// round-trips bit-exactly through the decimal representation below.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "ml/adaboost.hpp"
+#include "ml/calibration.hpp"
+
+namespace nevermind::ml {
+
+/// Write a BStump ensemble. Format:
+///   bstump v1 <n_stumps>
+///   <feature> <categorical 0|1> <threshold> <pass> <fail> <missing>
+///   ...
+void save_model(std::ostream& os, const BStumpModel& model);
+
+/// Read a model written by save_model. Returns nullopt on malformed
+/// input (wrong magic, truncated rows, non-numeric fields).
+[[nodiscard]] std::optional<BStumpModel> load_model(std::istream& is);
+
+/// Write a Platt calibrator:  platt v1 <a> <b>
+void save_calibrator(std::ostream& os, const PlattCalibrator& calibrator);
+[[nodiscard]] std::optional<PlattCalibrator> load_calibrator(std::istream& is);
+
+/// A deployable predictor bundle: the ensemble, its calibrator, and
+/// the names of the selected feature columns (so the scoring side can
+/// verify it is feeding the right encoder layout).
+struct ModelBundle {
+  BStumpModel model;
+  PlattCalibrator calibrator;
+  std::vector<std::string> feature_names;
+};
+
+void save_bundle(std::ostream& os, const ModelBundle& bundle);
+[[nodiscard]] std::optional<ModelBundle> load_bundle(std::istream& is);
+
+}  // namespace nevermind::ml

@@ -1,0 +1,200 @@
+#include "ml/stump.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace nevermind::ml {
+
+namespace {
+
+struct WeightPair {
+  double pos = 0.0;
+  double neg = 0.0;
+
+  void add(bool positive, double w) noexcept {
+    if (positive) {
+      pos += w;
+    } else {
+      neg += w;
+    }
+  }
+  WeightPair operator-(const WeightPair& o) const noexcept {
+    return {pos - o.pos, neg - o.neg};
+  }
+};
+
+double block_z(const WeightPair& w) noexcept {
+  const double p = std::max(w.pos, 0.0);
+  const double n = std::max(w.neg, 0.0);
+  return 2.0 * std::sqrt(p * n);
+}
+
+double block_score(const WeightPair& w, double eps) noexcept {
+  return 0.5 * std::log((std::max(w.pos, 0.0) + eps) /
+                        (std::max(w.neg, 0.0) + eps));
+}
+
+}  // namespace
+
+SortedColumns::SortedColumns(const Dataset& data,
+                             std::span<const std::size_t> only)
+    : sorted_(data.n_cols()), groups_(data.n_cols()) {
+  std::vector<std::size_t> all;
+  if (only.empty()) {
+    all.resize(data.n_cols());
+    for (std::size_t j = 0; j < all.size(); ++j) all[j] = j;
+    only = all;
+  }
+  for (std::size_t j : only) {
+    const auto col = data.column(j);
+    if (data.column_info(j).categorical) {
+      std::map<float, std::vector<std::uint32_t>> by_value;
+      for (std::uint32_t r = 0; r < col.size(); ++r) {
+        if (!is_missing(col[r])) by_value[col[r]].push_back(r);
+      }
+      auto& groups = groups_[j];
+      groups.reserve(by_value.size());
+      for (auto& [value, rows] : by_value) {
+        groups.push_back({value, std::move(rows)});
+      }
+    } else {
+      auto& idx = sorted_[j];
+      idx.reserve(col.size());
+      for (std::uint32_t r = 0; r < col.size(); ++r) {
+        if (!is_missing(col[r])) idx.push_back(r);
+      }
+      std::sort(idx.begin(), idx.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return col[a] < col[b];
+      });
+    }
+  }
+}
+
+namespace {
+
+/// Scan one continuous feature: thresholds at value changes in the
+/// sorted order; blocks are {below, at-or-above, missing}.
+StumpSearchResult scan_continuous(const Dataset& data,
+                                  std::span<const std::uint32_t> sorted,
+                                  std::span<const double> weights,
+                                  double smoothing, std::size_t feature,
+                                  const WeightPair& total) {
+  const auto col = data.column(feature);
+  WeightPair present;
+  for (std::uint32_t r : sorted) present.add(data.label(r), weights[r]);
+  const WeightPair missing = total - present;
+  const double z_missing = block_z(missing);
+
+  StumpSearchResult best;
+  best.z = std::numeric_limits<double>::infinity();
+
+  auto consider = [&](float threshold, const WeightPair& below) {
+    const WeightPair above = present - below;
+    const double z = block_z(below) + block_z(above) + z_missing;
+    if (z < best.z) {
+      best.z = z;
+      best.stump.feature = feature;
+      best.stump.categorical = false;
+      best.stump.threshold = threshold;
+      best.stump.score_fail = block_score(below, smoothing);
+      best.stump.score_pass = block_score(above, smoothing);
+      best.stump.score_missing = block_score(missing, smoothing);
+    }
+  };
+
+  // The no-split stump (all present rows on the "pass" side) is a valid
+  // weak learner too — it votes a constant plus the missing branch.
+  consider(-std::numeric_limits<float>::infinity(), WeightPair{});
+
+  WeightPair below;
+  for (std::size_t i = 0; i + 1 <= sorted.size(); ++i) {
+    const std::uint32_t r = sorted[i];
+    below.add(data.label(r), weights[r]);
+    if (i + 1 < sorted.size()) {
+      const float v = col[r];
+      const float next = col[sorted[i + 1]];
+      if (next > v) {
+        // Midpoint threshold keeps evaluation robust to new data.
+        consider(v + (next - v) * 0.5F, below);
+      }
+    }
+  }
+  return best;
+}
+
+StumpSearchResult scan_categorical(
+    const Dataset& data, std::span<const SortedColumns::CategoricalGroup> groups,
+    std::span<const double> weights, double smoothing, std::size_t feature,
+    const WeightPair& total) {
+  WeightPair present;
+  for (const auto& g : groups) {
+    for (std::uint32_t r : g.rows) present.add(data.label(r), weights[r]);
+  }
+  const WeightPair missing = total - present;
+  const double z_missing = block_z(missing);
+
+  StumpSearchResult best;
+  best.z = std::numeric_limits<double>::infinity();
+  for (const auto& g : groups) {
+    WeightPair equal;
+    for (std::uint32_t r : g.rows) equal.add(data.label(r), weights[r]);
+    const WeightPair rest = present - equal;
+    const double z = block_z(equal) + block_z(rest) + z_missing;
+    if (z < best.z) {
+      best.z = z;
+      best.stump.feature = feature;
+      best.stump.categorical = true;
+      best.stump.threshold = g.value;
+      best.stump.score_pass = block_score(equal, smoothing);
+      best.stump.score_fail = block_score(rest, smoothing);
+      best.stump.score_missing = block_score(missing, smoothing);
+    }
+  }
+  return best;
+}
+
+WeightPair total_weights(const Dataset& data, std::span<const double> weights) {
+  WeightPair total;
+  for (std::size_t r = 0; r < data.n_rows(); ++r) {
+    total.add(data.label(r), weights[r]);
+  }
+  return total;
+}
+
+}  // namespace
+
+StumpSearchResult find_best_stump_for_feature(const Dataset& data,
+                                              const SortedColumns& sorted,
+                                              std::span<const double> weights,
+                                              double smoothing,
+                                              std::size_t feature) {
+  const WeightPair total = total_weights(data, weights);
+  if (data.column_info(feature).categorical) {
+    return scan_categorical(data, sorted.groups(feature), weights, smoothing,
+                            feature, total);
+  }
+  return scan_continuous(data, sorted.sorted_rows(feature), weights, smoothing,
+                         feature, total);
+}
+
+StumpSearchResult find_best_stump(const Dataset& data,
+                                  const SortedColumns& sorted,
+                                  std::span<const double> weights,
+                                  double smoothing) {
+  const WeightPair total = total_weights(data, weights);
+  StumpSearchResult best;
+  best.z = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < data.n_cols(); ++j) {
+    StumpSearchResult candidate =
+        data.column_info(j).categorical
+            ? scan_categorical(data, sorted.groups(j), weights, smoothing, j,
+                               total)
+            : scan_continuous(data, sorted.sorted_rows(j), weights, smoothing,
+                              j, total);
+    if (candidate.z < best.z) best = candidate;
+  }
+  return best;
+}
+
+}  // namespace nevermind::ml

@@ -1,0 +1,87 @@
+// Decision stumps — the weak learners of BStump (Section 4.4 of the
+// paper; Fig 5 shows one). A stump tests a single line feature against a
+// threshold delta (continuous) or a value (categorical) and emits a
+// confidence-rated score S+ or S- (Schapire & Singer real AdaBoost).
+// Missing measurements fall into their own abstain branch.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace nevermind::ml {
+
+struct Stump {
+  std::size_t feature = 0;
+  bool categorical = false;
+  /// Continuous: predicate is x >= threshold. Categorical: x == threshold.
+  float threshold = 0.0F;
+  /// Score when the predicate holds (the "S+" arrow of Fig 5).
+  double score_pass = 0.0;
+  /// Score when the predicate fails ("S-").
+  double score_fail = 0.0;
+  /// Score for a missing value (Boostexter abstains by default, but the
+  /// weight statistics can justify a non-zero vote).
+  double score_missing = 0.0;
+
+  [[nodiscard]] double evaluate(float value) const noexcept {
+    if (is_missing(value)) return score_missing;
+    const bool pass = categorical ? value == threshold : value >= threshold;
+    return pass ? score_pass : score_fail;
+  }
+};
+
+/// Per-column preprocessing shared by every boosting iteration: row
+/// indices sorted by feature value for continuous columns, and rows
+/// grouped by value for categorical columns. Building this once turns
+/// each boosting iteration into a linear scan per feature.
+class SortedColumns {
+ public:
+  /// Indexes every column, or — when `only` is non-empty — just the
+  /// listed columns (single-feature training indexes one column instead
+  /// of paying O(F n log n) per call).
+  explicit SortedColumns(const Dataset& data,
+                         std::span<const std::size_t> only = {});
+
+  struct CategoricalGroup {
+    float value;
+    std::vector<std::uint32_t> rows;
+  };
+
+  [[nodiscard]] std::span<const std::uint32_t> sorted_rows(std::size_t col) const {
+    return sorted_[col];
+  }
+  [[nodiscard]] std::span<const CategoricalGroup> groups(std::size_t col) const {
+    return groups_[col];
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> sorted_;       // continuous cols
+  std::vector<std::vector<CategoricalGroup>> groups_;    // categorical cols
+};
+
+struct StumpSearchResult {
+  Stump stump;
+  /// Schapire–Singer normalizer Z = sum_b 2 sqrt(W+_b W-_b); smaller is
+  /// a stronger weak learner.
+  double z = 1.0;
+};
+
+/// Exhaustive best-stump search over all features given the current
+/// boosting weights. `weights[i]` must be non-negative; labels come from
+/// `data`. `smoothing` is the epsilon in S = 0.5 ln((W+ + eps)/(W- + eps)).
+[[nodiscard]] StumpSearchResult find_best_stump(const Dataset& data,
+                                                const SortedColumns& sorted,
+                                                std::span<const double> weights,
+                                                double smoothing);
+
+/// Best stump restricted to one feature (used by the per-feature AP(N)
+/// selection, which trains single-feature predictors).
+[[nodiscard]] StumpSearchResult find_best_stump_for_feature(
+    const Dataset& data, const SortedColumns& sorted,
+    std::span<const double> weights, double smoothing, std::size_t feature);
+
+}  // namespace nevermind::ml

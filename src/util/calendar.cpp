@@ -1,0 +1,96 @@
+#include "util/calendar.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+namespace nevermind::util {
+
+namespace {
+
+// 2009 is not a leap year.
+constexpr std::array<int, 12> kDaysInMonth = {31, 28, 31, 30, 31, 30,
+                                              31, 31, 30, 31, 30, 31};
+
+constexpr std::array<int, 13> month_starts() {
+  std::array<int, 13> starts{};
+  int acc = 0;
+  for (int m = 0; m < 12; ++m) {
+    starts[static_cast<std::size_t>(m)] = acc;
+    acc += kDaysInMonth[static_cast<std::size_t>(m)];
+  }
+  starts[12] = acc;
+  return starts;
+}
+
+constexpr auto kMonthStarts = month_starts();
+
+}  // namespace
+
+Weekday weekday_of(Day day) noexcept {
+  // Day 0 (2009-01-01) is a Thursday.
+  int idx = (static_cast<int>(Weekday::kThursday) + day) % kDaysPerWeek;
+  if (idx < 0) idx += kDaysPerWeek;
+  return static_cast<Weekday>(idx);
+}
+
+bool is_saturday(Day day) noexcept {
+  return weekday_of(day) == Weekday::kSaturday;
+}
+
+int test_week_of(Day day) noexcept {
+  if (day < kFirstSaturday) return -1;
+  return (day - kFirstSaturday) / kDaysPerWeek;
+}
+
+Day saturday_of_week(int week) noexcept {
+  return kFirstSaturday + week * kDaysPerWeek;
+}
+
+int test_weeks_in_year() noexcept {
+  // Saturdays 01/03 .. 12/26 inclusive.
+  return test_week_of(364) + 1;
+}
+
+Day day_from_date(int month, int day_of_month) noexcept {
+  month = std::clamp(month, 1, 12);
+  const int dim = kDaysInMonth[static_cast<std::size_t>(month - 1)];
+  day_of_month = std::clamp(day_of_month, 1, dim);
+  return kMonthStarts[static_cast<std::size_t>(month - 1)] + day_of_month - 1;
+}
+
+std::string format_date(Day day) {
+  int year = 9;
+  int d = day;
+  while (d >= 365) {
+    d -= 365;  // treat subsequent years as non-leap; fine for reporting
+    ++year;
+  }
+  while (d < 0) {
+    d += 365;
+    --year;
+  }
+  int month = 0;
+  while (month < 11 && kMonthStarts[static_cast<std::size_t>(month + 1)] <= d) {
+    ++month;
+  }
+  const int dom = d - kMonthStarts[static_cast<std::size_t>(month)] + 1;
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d/%02d/%02d", month + 1, dom, year);
+  return buf;
+}
+
+const char* weekday_name(Weekday wd) noexcept {
+  switch (wd) {
+    case Weekday::kMonday: return "Mon";
+    case Weekday::kTuesday: return "Tue";
+    case Weekday::kWednesday: return "Wed";
+    case Weekday::kThursday: return "Thu";
+    case Weekday::kFriday: return "Fri";
+    case Weekday::kSaturday: return "Sat";
+    case Weekday::kSunday: return "Sun";
+  }
+  return "?";
+}
+
+}  // namespace nevermind::util

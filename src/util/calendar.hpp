@@ -1,0 +1,56 @@
+// Simulation calendar for the study year 2009.
+//
+// The paper's datasets all live in calendar year 2009 and its splits are
+// stated as dates ("train on 08/01/09–09/31/09, test 4 weeks from
+// 10/31/09"). We model time as an integer day index with day 0 =
+// 2009-01-01 (a Thursday) and provide the date arithmetic the simulator
+// and the experiment harness need: day-of-week, the Saturday line-test
+// schedule, week indexing, and month/day <-> index conversion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nevermind::util {
+
+/// Day index into the simulated year; 0 == 2009-01-01. Values past 364
+/// are permitted (the 4-week test window from 10/31 ends in December,
+/// and ticket horizons may extend slightly beyond).
+using Day = std::int32_t;
+
+enum class Weekday : std::uint8_t {
+  kMonday = 0,
+  kTuesday,
+  kWednesday,
+  kThursday,
+  kFriday,
+  kSaturday,
+  kSunday,
+};
+
+inline constexpr int kDaysPerWeek = 7;
+inline constexpr Day kFirstSaturday = 2;  // 2009-01-03
+
+[[nodiscard]] Weekday weekday_of(Day day) noexcept;
+[[nodiscard]] bool is_saturday(Day day) noexcept;
+
+/// Index of the Saturday line test at or before `day` (0 for 01/03).
+/// Days before the first Saturday map to week -1.
+[[nodiscard]] int test_week_of(Day day) noexcept;
+
+/// Day index of test week `w`'s Saturday.
+[[nodiscard]] Day saturday_of_week(int week) noexcept;
+
+/// Number of Saturday test weeks fully inside the simulated year.
+[[nodiscard]] int test_weeks_in_year() noexcept;
+
+/// Day index for a 2009 calendar date, month 1-12, day-of-month 1-31.
+/// Out-of-range inputs are clamped to valid 2009 dates.
+[[nodiscard]] Day day_from_date(int month, int day_of_month) noexcept;
+
+/// "MM/DD/09" rendering; days beyond 2009 roll into "MM/DD/10".
+[[nodiscard]] std::string format_date(Day day);
+
+[[nodiscard]] const char* weekday_name(Weekday wd) noexcept;
+
+}  // namespace nevermind::util

@@ -1,0 +1,52 @@
+#include "util/mathx.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nevermind::util {
+
+double sigmoid(double x) noexcept {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+double log1p_exp(double x) noexcept {
+  if (x > 35.0) return x;            // e^-x below double epsilon
+  if (x < -35.0) return std::exp(x);  // log1p(e^x) ~= e^x
+  return std::log1p(std::exp(x));
+}
+
+double normal_pdf(double x) noexcept {
+  constexpr double inv_sqrt_2pi = 0.3989422804014327;
+  return inv_sqrt_2pi * std::exp(-0.5 * x * x);
+}
+
+double normal_cdf(double x) noexcept {
+  return 0.5 * std::erfc(-x * 0.7071067811865475);
+}
+
+double two_sided_p_value(double z) noexcept {
+  return 2.0 * normal_cdf(-std::fabs(z));
+}
+
+double clamp_probability(double p, double eps) noexcept {
+  return std::clamp(p, eps, 1.0 - eps);
+}
+
+double logit(double p) noexcept {
+  const double q = clamp_probability(p);
+  return std::log(q / (1.0 - q));
+}
+
+double dot(std::span<const double> a, std::span<const double> b) noexcept {
+  double s = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace nevermind::util

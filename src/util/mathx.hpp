@@ -1,0 +1,37 @@
+// Small numeric special-function toolbox used by the ML library:
+// logistic/sigmoid helpers, the normal distribution (for Wald p-values
+// of the Table-5 logistic regression), and numerically careful log/exp
+// combinations.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace nevermind::util {
+
+/// Logistic sigmoid 1 / (1 + e^-x), stable for large |x|.
+[[nodiscard]] double sigmoid(double x) noexcept;
+
+/// log(1 + e^x) without overflow (the "softplus" of logistic loss).
+[[nodiscard]] double log1p_exp(double x) noexcept;
+
+/// Standard normal probability density.
+[[nodiscard]] double normal_pdf(double x) noexcept;
+
+/// Standard normal cumulative distribution function.
+[[nodiscard]] double normal_cdf(double x) noexcept;
+
+/// Two-sided p-value for a z statistic: P(|Z| >= |z|).
+[[nodiscard]] double two_sided_p_value(double z) noexcept;
+
+/// Clamp a probability into (eps, 1 - eps) for safe log/logit.
+[[nodiscard]] double clamp_probability(double p, double eps = 1e-12) noexcept;
+
+/// logit(p) = log(p / (1 - p)), with clamping.
+[[nodiscard]] double logit(double p) noexcept;
+
+/// Dot product over equal-length spans (caller guarantees sizes match).
+[[nodiscard]] double dot(std::span<const double> a,
+                         std::span<const double> b) noexcept;
+
+}  // namespace nevermind::util

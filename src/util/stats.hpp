@@ -1,0 +1,80 @@
+// Descriptive statistics used across the simulator, the feature encoder
+// (time-series z-scores need running mean/variance) and the benchmark
+// harness (histograms, CDFs, correlation).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace nevermind::util {
+
+/// Welford online mean/variance accumulator. Numerically stable; the
+/// feature encoder keeps one of these per (line, metric) to turn the
+/// sparse weekly time series into deviation features.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of a sample using linear interpolation between order
+/// statistics; `q` in [0, 1]. Copies and sorts; intended for reporting,
+/// not hot paths.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+[[nodiscard]] double variance(std::span<const double> xs) noexcept;
+[[nodiscard]] double pearson_correlation(std::span<const double> xs,
+                                         std::span<const double> ys) noexcept;
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into
+/// the first/last bin. Used to regenerate the paper's Fig 4 panels.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_low(std::size_t i) const;
+  [[nodiscard]] double bin_high(std::size_t i) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Empirical CDF evaluated at caller-supplied points (e.g. "fraction of
+/// predicted tickets arriving within d days" for Fig 8).
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// P(X <= x); 0 for an empty sample.
+  [[nodiscard]] double at(double x) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace nevermind::util

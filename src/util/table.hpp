@@ -1,0 +1,47 @@
+// Console table printer for the benchmark harness: every bench binary
+// prints paper-style rows (Table 1, Table 5, Fig 6 series, ...) through
+// this, so all outputs share one aligned, greppable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nevermind::util {
+
+/// A simple right-padded text table. Columns are sized to the widest
+/// cell; numeric formatting is the caller's job (use `fmt_double`).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; short rows are padded with empty cells, long rows
+  /// are truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule, e.g.
+  ///   name      | value
+  ///   ----------+------
+  ///   dnbr      | 768.0
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("%.3f"-style) without sstream
+/// boilerplate at call sites.
+[[nodiscard]] std::string fmt_double(double v, int precision = 3);
+
+/// Percentage with a '%' suffix, e.g. fmt_percent(0.378) == "37.8%".
+[[nodiscard]] std::string fmt_percent(double fraction, int precision = 1);
+
+/// Section banner used by bench binaries to label each reproduced
+/// table/figure.
+void print_banner(std::ostream& os, std::string_view title);
+
+}  // namespace nevermind::util

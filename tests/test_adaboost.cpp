@@ -1,0 +1,263 @@
+#include "ml/adaboost.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace nevermind::ml {
+namespace {
+
+/// Noisy two-feature dataset where the positive class sits in the
+/// upper-right region — learnable by an additive stump ensemble.
+Dataset make_learnable(std::size_t n, util::Rng& rng, double flip = 0.0) {
+  Dataset d({{"a", false}, {"b", false}});
+  for (std::size_t i = 0; i < n; ++i) {
+    const float a = static_cast<float>(rng.normal());
+    const float b = static_cast<float>(rng.normal());
+    bool positive = a + 0.8 * b > 0.7;
+    if (flip > 0.0 && rng.bernoulli(flip)) positive = !positive;
+    const float row[2] = {a, b};
+    d.add_row(row, positive);
+  }
+  return d;
+}
+
+TEST(BStump, LearnsSeparableProblem) {
+  util::Rng rng(1);
+  const Dataset train = make_learnable(2000, rng);
+  BStumpConfig cfg;
+  cfg.iterations = 50;
+  TrainDiagnostics diag;
+  const BStumpModel model = train_bstump(train, cfg, &diag);
+  EXPECT_FALSE(model.empty());
+  EXPECT_LT(diag.final_training_error, 0.1);
+}
+
+TEST(BStump, GeneralizesToFreshData) {
+  util::Rng rng(2);
+  const Dataset train = make_learnable(3000, rng);
+  const Dataset test = make_learnable(2000, rng);
+  BStumpConfig cfg;
+  cfg.iterations = 60;
+  const BStumpModel model = train_bstump(train, cfg);
+  const auto scores = model.score_dataset(test);
+  EXPECT_GT(auc(scores, test.labels()), 0.95);
+}
+
+TEST(BStump, ZBoundDecreasesTrainingError) {
+  util::Rng rng(3);
+  const Dataset train = make_learnable(1500, rng);
+  BStumpConfig a;
+  a.iterations = 5;
+  BStumpConfig b;
+  b.iterations = 80;
+  TrainDiagnostics da;
+  TrainDiagnostics db;
+  (void)train_bstump(train, a, &da);
+  (void)train_bstump(train, b, &db);
+  EXPECT_LE(db.final_training_error, da.final_training_error);
+}
+
+TEST(BStump, EveryRoundZBelowOne) {
+  util::Rng rng(4);
+  const Dataset train = make_learnable(1000, rng);
+  BStumpConfig cfg;
+  cfg.iterations = 30;
+  TrainDiagnostics diag;
+  (void)train_bstump(train, cfg, &diag);
+  for (double z : diag.z_per_round) EXPECT_LE(z, 1.0);
+}
+
+TEST(BStump, ScoreDatasetMatchesScoreRow) {
+  util::Rng rng(5);
+  const Dataset train = make_learnable(500, rng);
+  BStumpConfig cfg;
+  cfg.iterations = 20;
+  const BStumpModel model = train_bstump(train, cfg);
+  const auto scores = model.score_dataset(train);
+  for (std::size_t r = 0; r < train.n_rows(); r += 37) {
+    EXPECT_NEAR(scores[r], model.score_row(train, r), 1e-9);
+  }
+}
+
+TEST(BStump, ScoreFeaturesMatchesScoreRow) {
+  util::Rng rng(6);
+  const Dataset train = make_learnable(300, rng);
+  BStumpConfig cfg;
+  cfg.iterations = 15;
+  const BStumpModel model = train_bstump(train, cfg);
+  std::vector<float> row(train.n_cols());
+  for (std::size_t r = 0; r < train.n_rows(); r += 53) {
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] = train.at(r, j);
+    EXPECT_NEAR(model.score_features(row), model.score_row(train, r), 1e-9);
+  }
+}
+
+TEST(BStump, RobustToLabelNoise) {
+  // The paper picks the stump-linear model because ticket labels are
+  // noisy; AUC should degrade gracefully, not collapse.
+  util::Rng rng(7);
+  const Dataset train = make_learnable(4000, rng, /*flip=*/0.2);
+  const Dataset test = make_learnable(2000, rng, /*flip=*/0.0);
+  BStumpConfig cfg;
+  cfg.iterations = 80;
+  const BStumpModel model = train_bstump(train, cfg);
+  const auto scores = model.score_dataset(test);
+  EXPECT_GT(auc(scores, test.labels()), 0.9);
+}
+
+TEST(BStump, EmptyDatasetYieldsEmptyModel) {
+  const Dataset d({{"x", false}});
+  BStumpConfig cfg;
+  const BStumpModel model = train_bstump(d, cfg);
+  EXPECT_TRUE(model.empty());
+}
+
+TEST(BStump, InitialWeightsRespected) {
+  // Weighting the second half of the data to zero should make the
+  // model fit only the first half's (inverted) rule.
+  Dataset d({{"x", false}});
+  for (int i = 0; i < 100; ++i) {
+    const float x = static_cast<float>(i % 10);
+    // First half: positive iff x >= 5. Second half: inverted.
+    const bool positive = i < 50 ? x >= 5.0F : x < 5.0F;
+    d.add_row({&x, 1}, positive);
+  }
+  std::vector<double> w(100, 0.0);
+  for (int i = 0; i < 50; ++i) w[static_cast<std::size_t>(i)] = 1.0;
+  BStumpConfig cfg;
+  cfg.iterations = 10;
+  const BStumpModel model = train_bstump(d, cfg, nullptr, w);
+  const float high = 9.0F;
+  const float low = 0.0F;
+  EXPECT_GT(model.score_features({&high, 1}), 0.0);
+  EXPECT_LT(model.score_features({&low, 1}), 0.0);
+}
+
+TEST(BStump, WeightSizeMismatchThrows) {
+  util::Rng rng(8);
+  const Dataset d = make_learnable(50, rng);
+  const std::vector<double> w(10, 1.0);
+  BStumpConfig cfg;
+  EXPECT_THROW((void)train_bstump(d, cfg, nullptr, w), std::invalid_argument);
+}
+
+TEST(BStump, AllZeroWeightsThrow) {
+  util::Rng rng(9);
+  const Dataset d = make_learnable(50, rng);
+  const std::vector<double> w(50, 0.0);
+  BStumpConfig cfg;
+  EXPECT_THROW((void)train_bstump(d, cfg, nullptr, w), std::invalid_argument);
+}
+
+TEST(BStump, SingleFeatureTrainingIgnoresOtherColumns) {
+  util::Rng rng(10);
+  Dataset d({{"noise", false}, {"signal", false}});
+  for (int i = 0; i < 500; ++i) {
+    const bool positive = i % 2 == 0;
+    const float row[2] = {static_cast<float>(rng.normal()),
+                          positive ? 1.0F : -1.0F};
+    d.add_row(row, positive);
+  }
+  BStumpConfig cfg;
+  cfg.iterations = 10;
+  const BStumpModel model = train_bstump_single_feature(d, 0, cfg);
+  for (const auto& stump : model.stumps()) EXPECT_EQ(stump.feature, 0U);
+}
+
+TEST(BStump, SingleFeatureOutOfRangeThrows) {
+  util::Rng rng(11);
+  const Dataset d = make_learnable(20, rng);
+  BStumpConfig cfg;
+  EXPECT_THROW((void)train_bstump_single_feature(d, 5, cfg),
+               std::out_of_range);
+}
+
+TEST(BStump, FeatureInfluenceCountsUsedFeatures) {
+  util::Rng rng(12);
+  const Dataset train = make_learnable(1000, rng);
+  BStumpConfig cfg;
+  cfg.iterations = 30;
+  const BStumpModel model = train_bstump(train, cfg);
+  const auto influence = model.feature_influence(2);
+  EXPECT_GT(influence[0] + influence[1], 0.0);
+}
+
+TEST(BStump, StopsEarlyOnPureNoise) {
+  // With labels independent of the features, no weak learner clears
+  // the z_stop bar for long: training halts before the iteration cap.
+  util::Rng rng(40);
+  Dataset d({{"x", false}});
+  for (int i = 0; i < 3000; ++i) {
+    const float x = static_cast<float>(rng.normal());
+    d.add_row({&x, 1}, rng.bernoulli(0.5));
+  }
+  BStumpConfig cfg;
+  cfg.iterations = 500;
+  cfg.z_stop = 0.995;
+  const BStumpModel model = train_bstump(d, cfg);
+  EXPECT_LT(model.stumps().size(), 500U);
+}
+
+TEST(BStump, SmoothingBoundsLeafScores) {
+  // Separable data with strong smoothing: confidence-rated scores stay
+  // modest instead of diverging.
+  Dataset d({{"x", false}});
+  for (int i = 0; i < 200; ++i) {
+    const float x = static_cast<float>(i);
+    d.add_row({&x, 1}, i >= 100);
+  }
+  BStumpConfig cfg;
+  cfg.iterations = 1;
+  cfg.smoothing = 0.25;
+  const BStumpModel model = train_bstump(d, cfg);
+  ASSERT_EQ(model.stumps().size(), 1U);
+  EXPECT_LT(std::fabs(model.stumps()[0].score_pass), 1.0);
+}
+
+TEST(BStump, MoreIterationsDoNotHurtRanking) {
+  util::Rng rng(13);
+  const Dataset train = make_learnable(2000, rng, 0.1);
+  const Dataset test = make_learnable(1500, rng);
+  BStumpConfig small;
+  small.iterations = 10;
+  BStumpConfig large;
+  large.iterations = 150;
+  const auto auc_small =
+      auc(train_bstump(train, small).score_dataset(test), test.labels());
+  const auto auc_large =
+      auc(train_bstump(train, large).score_dataset(test), test.labels());
+  EXPECT_GE(auc_large, auc_small - 0.02);
+}
+
+/// Parameterized sweep: learning works across class imbalances like the
+/// ticket predictor's (~1% positive).
+class ImbalanceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ImbalanceSweep, RankingBeatsChance) {
+  const double positive_rate = GetParam();
+  util::Rng rng(99);
+  Dataset train({{"x", false}});
+  Dataset test({{"x", false}});
+  for (int i = 0; i < 20000; ++i) {
+    const bool positive = rng.bernoulli(positive_rate);
+    const float x =
+        static_cast<float>(rng.normal() + (positive ? 1.2 : 0.0));
+    (i % 2 == 0 ? train : test).add_row({&x, 1}, positive);
+  }
+  BStumpConfig cfg;
+  cfg.iterations = 25;
+  const BStumpModel model = train_bstump(train, cfg);
+  const auto scores = model.score_dataset(test);
+  EXPECT_GT(auc(scores, test.labels()), 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(PositiveRates, ImbalanceSweep,
+                         ::testing::Values(0.5, 0.1, 0.02, 0.01));
+
+}  // namespace
+}  // namespace nevermind::ml

@@ -1,0 +1,126 @@
+#include "core/atds.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nevermind::core {
+namespace {
+
+class AtdsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dslsim::SimConfig cfg;
+    cfg.seed = 41;
+    cfg.topology.n_lines = 5000;
+    data_ = new dslsim::SimDataset(dslsim::Simulator(cfg).run());
+
+    PredictorConfig pcfg;
+    pcfg.top_n = 50;
+    pcfg.boost_iterations = 80;
+    pcfg.use_derived_features = false;
+    predictor_ = new TicketPredictor(pcfg);
+    predictor_->train(*data_, 30, 38);
+
+    LocatorConfig lcfg;
+    lcfg.min_occurrences = 8;
+    lcfg.boost_iterations = 40;
+    locator_ = new TroubleLocator(lcfg);
+    locator_->train(*data_, 20, 38);
+
+    predictions_ = new std::vector<Prediction>(
+        predictor_->predict_week(*data_, 43));
+  }
+  static void TearDownTestSuite() {
+    delete predictions_;
+    delete locator_;
+    delete predictor_;
+    delete data_;
+    predictions_ = nullptr;
+    locator_ = nullptr;
+    predictor_ = nullptr;
+    data_ = nullptr;
+  }
+  static const dslsim::SimDataset* data_;
+  static TicketPredictor* predictor_;
+  static TroubleLocator* locator_;
+  static std::vector<Prediction>* predictions_;
+};
+
+const dslsim::SimDataset* AtdsTest::data_ = nullptr;
+TicketPredictor* AtdsTest::predictor_ = nullptr;
+TroubleLocator* AtdsTest::locator_ = nullptr;
+std::vector<Prediction>* AtdsTest::predictions_ = nullptr;
+
+TEST_F(AtdsTest, RespectsCapacity) {
+  AtdsConfig cfg;
+  cfg.weekly_capacity = 25;
+  const auto report =
+      run_proactive_week(*data_, *predictions_, *locator_, cfg, 43);
+  EXPECT_EQ(report.submitted, 25U);
+  EXPECT_EQ(report.week, 43);
+}
+
+TEST_F(AtdsTest, CountsAreConsistent) {
+  AtdsConfig cfg;
+  cfg.weekly_capacity = 50;
+  const auto report =
+      run_proactive_week(*data_, *predictions_, *locator_, cfg, 43);
+  EXPECT_EQ(report.with_live_fault + report.clean_dispatches,
+            report.submitted);
+  EXPECT_LE(report.tickets_prevented + report.silent_fixed,
+            report.with_live_fault);
+  EXPECT_LE(report.would_ticket, report.submitted);
+}
+
+TEST_F(AtdsTest, FindsFaultsWellAboveBaseRate) {
+  AtdsConfig cfg;
+  cfg.weekly_capacity = 50;
+  const auto report =
+      run_proactive_week(*data_, *predictions_, *locator_, cfg, 43);
+  // Top-ranked lines should mostly have live faults.
+  EXPECT_GT(report.with_live_fault, report.submitted / 3);
+}
+
+TEST_F(AtdsTest, LocatorSavesDispatchTime) {
+  AtdsConfig cfg;
+  cfg.weekly_capacity = 50;
+  const auto report =
+      run_proactive_week(*data_, *predictions_, *locator_, cfg, 43);
+  EXPECT_GT(report.locator_minutes, 0.0);
+  EXPECT_LE(report.locator_minutes, report.experience_minutes * 1.05);
+}
+
+TEST_F(AtdsTest, EmptyPredictionsYieldEmptyReport) {
+  AtdsConfig cfg;
+  const auto report = run_proactive_week(*data_, {}, *locator_, cfg, 43);
+  EXPECT_EQ(report.submitted, 0U);
+  EXPECT_EQ(report.locator_minutes, 0.0);
+}
+
+TEST_F(AtdsTest, MoreCapacityFindsMoreFaultsAtLowerPrecision) {
+  AtdsConfig small;
+  small.weekly_capacity = 20;
+  AtdsConfig large;
+  large.weekly_capacity = 200;
+  const auto rs = run_proactive_week(*data_, *predictions_, *locator_, small, 43);
+  const auto rl = run_proactive_week(*data_, *predictions_, *locator_, large, 43);
+  EXPECT_GE(rl.with_live_fault, rs.with_live_fault);
+  const double prec_small = static_cast<double>(rs.would_ticket) /
+                            static_cast<double>(rs.submitted);
+  const double prec_large = static_cast<double>(rl.would_ticket) /
+                            static_cast<double>(rl.submitted);
+  EXPECT_GE(prec_small, prec_large - 0.1);
+}
+
+TEST_F(AtdsTest, FasterFixPreventsMoreTickets) {
+  AtdsConfig fast;
+  fast.weekly_capacity = 100;
+  fast.days_to_fix = 1;
+  AtdsConfig slow = fast;
+  slow.days_to_fix = 10;
+  const auto rf = run_proactive_week(*data_, *predictions_, *locator_, fast, 43);
+  const auto rs = run_proactive_week(*data_, *predictions_, *locator_, slow, 43);
+  EXPECT_GE(rf.tickets_prevented, rs.tickets_prevented);
+}
+
+}  // namespace
+}  // namespace nevermind::core

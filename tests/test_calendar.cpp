@@ -1,0 +1,91 @@
+#include "util/calendar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nevermind::util {
+namespace {
+
+TEST(Calendar, Day0IsThursday) {
+  // 2009-01-01 was a Thursday.
+  EXPECT_EQ(weekday_of(0), Weekday::kThursday);
+}
+
+TEST(Calendar, FirstSaturday) {
+  EXPECT_EQ(kFirstSaturday, 2);
+  EXPECT_TRUE(is_saturday(kFirstSaturday));
+  EXPECT_FALSE(is_saturday(kFirstSaturday + 1));
+}
+
+TEST(Calendar, EverySeventhDayIsSaturday) {
+  for (int w = 0; w < 60; ++w) {
+    EXPECT_TRUE(is_saturday(saturday_of_week(w))) << "week " << w;
+  }
+}
+
+TEST(Calendar, TestWeekRoundTrip) {
+  for (int w = 0; w < 52; ++w) {
+    EXPECT_EQ(test_week_of(saturday_of_week(w)), w);
+    // Days in the following week map back to the preceding Saturday.
+    EXPECT_EQ(test_week_of(saturday_of_week(w) + 6), w);
+  }
+}
+
+TEST(Calendar, DaysBeforeFirstSaturdayAreWeekMinusOne) {
+  EXPECT_EQ(test_week_of(0), -1);
+  EXPECT_EQ(test_week_of(1), -1);
+}
+
+TEST(Calendar, WeeksInYear) {
+  // Saturdays 01/03 through 12/26 -> 52 test weeks.
+  EXPECT_EQ(test_weeks_in_year(), 52);
+}
+
+TEST(Calendar, DayFromDateKnownValues) {
+  EXPECT_EQ(day_from_date(1, 1), 0);
+  EXPECT_EQ(day_from_date(2, 1), 31);
+  EXPECT_EQ(day_from_date(12, 31), 364);
+  EXPECT_EQ(day_from_date(8, 1), 212);
+}
+
+TEST(Calendar, DayFromDateClampsBadInput) {
+  EXPECT_EQ(day_from_date(0, 1), 0);
+  EXPECT_EQ(day_from_date(13, 40), 364);
+  EXPECT_EQ(day_from_date(2, 31), day_from_date(2, 28));
+}
+
+TEST(Calendar, FormatDateKnownValues) {
+  EXPECT_EQ(format_date(0), "01/01/09");
+  EXPECT_EQ(format_date(212), "08/01/09");
+  EXPECT_EQ(format_date(364), "12/31/09");
+  EXPECT_EQ(format_date(365), "01/01/10");
+}
+
+TEST(Calendar, FormatAndParseAgree) {
+  for (int m = 1; m <= 12; ++m) {
+    const Day d = day_from_date(m, 15);
+    char expect[16];
+    std::snprintf(expect, sizeof(expect), "%02d/15/09", m);
+    EXPECT_EQ(format_date(d), expect);
+  }
+}
+
+TEST(Calendar, PaperSplitWeeks) {
+  // The experiment calendar the benches rely on: training (08/01) is
+  // week 30, testing starts 10/31 = week 43.
+  EXPECT_EQ(test_week_of(day_from_date(8, 1)), 30);
+  EXPECT_EQ(test_week_of(day_from_date(10, 31)), 43);
+}
+
+TEST(Calendar, WeekdayNames) {
+  EXPECT_STREQ(weekday_name(Weekday::kMonday), "Mon");
+  EXPECT_STREQ(weekday_name(Weekday::kSunday), "Sun");
+}
+
+TEST(Calendar, WeekdayCycles) {
+  for (Day d = 0; d < 28; ++d) {
+    EXPECT_EQ(weekday_of(d), weekday_of(d + 7));
+  }
+}
+
+}  // namespace
+}  // namespace nevermind::util

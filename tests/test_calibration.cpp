@@ -1,0 +1,140 @@
+#include "ml/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/mathx.hpp"
+#include "util/rng.hpp"
+
+namespace nevermind::ml {
+namespace {
+
+TEST(Platt, RecoversGeneratingSigmoid) {
+  util::Rng rng(1);
+  std::vector<double> scores;
+  std::vector<std::uint8_t> labels;
+  const double true_a = 1.5;
+  const double true_b = -0.7;
+  for (int i = 0; i < 20000; ++i) {
+    const double s = rng.normal(0.0, 2.0);
+    scores.push_back(s);
+    labels.push_back(rng.bernoulli(util::sigmoid(true_a * s + true_b)) ? 1 : 0);
+  }
+  const PlattCalibrator cal = fit_platt(scores, labels);
+  EXPECT_NEAR(cal.a, true_a, 0.1);
+  EXPECT_NEAR(cal.b, true_b, 0.1);
+}
+
+TEST(Platt, ProbabilitiesAreCalibrated) {
+  util::Rng rng(2);
+  std::vector<double> scores;
+  std::vector<std::uint8_t> labels;
+  for (int i = 0; i < 30000; ++i) {
+    const double s = rng.normal();
+    scores.push_back(s);
+    labels.push_back(rng.bernoulli(util::sigmoid(2.0 * s)) ? 1 : 0);
+  }
+  const PlattCalibrator cal = fit_platt(scores, labels);
+  // Check empirical rate within a probability bucket.
+  double sum_p = 0.0;
+  double sum_y = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const double p = cal.probability(scores[i]);
+    if (p >= 0.6 && p <= 0.8) {
+      sum_p += p;
+      sum_y += labels[i];
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 100U);
+  EXPECT_NEAR(sum_y / static_cast<double>(n), sum_p / static_cast<double>(n),
+              0.05);
+}
+
+TEST(Platt, MonotoneInScore) {
+  util::Rng rng(3);
+  std::vector<double> scores;
+  std::vector<std::uint8_t> labels;
+  for (int i = 0; i < 1000; ++i) {
+    const double s = rng.normal();
+    scores.push_back(s);
+    labels.push_back(s > 0 ? 1 : 0);
+  }
+  const PlattCalibrator cal = fit_platt(scores, labels);
+  EXPECT_GT(cal.a, 0.0);
+  EXPECT_LT(cal.probability(-2.0), cal.probability(0.0));
+  EXPECT_LT(cal.probability(0.0), cal.probability(2.0));
+}
+
+TEST(Platt, SeparableDataDoesNotSaturateToExactly01) {
+  // Platt's smoothed targets keep probabilities off the hard 0/1 rails
+  // even when scores separate the classes perfectly.
+  std::vector<double> scores;
+  std::vector<std::uint8_t> labels;
+  for (int i = 0; i < 200; ++i) {
+    scores.push_back(i < 100 ? -1.0 : 1.0);
+    labels.push_back(i < 100 ? 0 : 1);
+  }
+  const PlattCalibrator cal = fit_platt(scores, labels);
+  EXPECT_GT(cal.probability(1.0), 0.5);
+  EXPECT_LT(cal.probability(1.0), 1.0);
+  EXPECT_GT(cal.probability(-1.0), 0.0);
+}
+
+TEST(Platt, EmptyInputIsIdentityDefault) {
+  const PlattCalibrator cal = fit_platt({}, {});
+  EXPECT_EQ(cal.a, 1.0);
+  EXPECT_EQ(cal.b, 0.0);
+}
+
+TEST(Platt, ImbalancedPriorShiftsIntercept) {
+  // 5% positives with uninformative scores: probability ~ base rate.
+  util::Rng rng(4);
+  std::vector<double> scores;
+  std::vector<std::uint8_t> labels;
+  for (int i = 0; i < 20000; ++i) {
+    scores.push_back(rng.normal());
+    labels.push_back(rng.bernoulli(0.05) ? 1 : 0);
+  }
+  const PlattCalibrator cal = fit_platt(scores, labels);
+  EXPECT_NEAR(cal.probability(0.0), 0.05, 0.02);
+}
+
+TEST(Platt, HeavyImbalanceDoesNotSaturate) {
+  // Regression test for the predictor's field scenario: ~1.5% positive
+  // rate with a long right tail of scores where precision is only
+  // ~40%. An undamped Newton fit used to blow the slope up and report
+  // P ~ 1.0 for the tail; the backtracking fit must stay calibrated.
+  util::Rng rng(11);
+  std::vector<double> scores;
+  std::vector<std::uint8_t> labels;
+  for (int i = 0; i < 40000; ++i) {
+    const bool anomalous = rng.bernoulli(0.02);
+    const double s = anomalous ? rng.normal(1.5, 0.6) : rng.normal(-1.5, 0.8);
+    // Even anomalous lines convert to tickets only 40% of the time.
+    const bool y = anomalous ? rng.bernoulli(0.4) : rng.bernoulli(0.004);
+    scores.push_back(s);
+    labels.push_back(y ? 1 : 0);
+  }
+  const PlattCalibrator cal = fit_platt(scores, labels);
+  const double p_tail = cal.probability(2.0);
+  EXPECT_GT(p_tail, 0.15);
+  EXPECT_LT(p_tail, 0.75);  // must not report near-certainty
+}
+
+TEST(Platt, ApplyFillsVector) {
+  PlattCalibrator cal;
+  cal.a = 1.0;
+  cal.b = 0.0;
+  const std::vector<double> scores = {-1.0, 0.0, 1.0};
+  std::vector<double> probs;
+  cal.apply(scores, probs);
+  ASSERT_EQ(probs.size(), 3U);
+  EXPECT_NEAR(probs[1], 0.5, 1e-12);
+  EXPECT_LT(probs[0], probs[2]);
+}
+
+}  // namespace
+}  // namespace nevermind::ml

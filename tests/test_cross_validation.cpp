@@ -1,0 +1,118 @@
+#include "ml/cross_validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace nevermind::ml {
+namespace {
+
+TEST(MakeFolds, PartitionsRows) {
+  const auto folds = make_folds(100, 4);
+  ASSERT_EQ(folds.size(), 4U);
+  std::set<std::size_t> seen;
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.train_rows.size() + fold.validation_rows.size(), 100U);
+    for (std::size_t r : fold.validation_rows) {
+      EXPECT_TRUE(seen.insert(r).second) << "row validated twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), 100U);
+}
+
+TEST(MakeFolds, BalancedSizes) {
+  const auto folds = make_folds(100, 4);
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.validation_rows.size(), 25U);
+  }
+}
+
+TEST(MakeFolds, ContiguousBlocks) {
+  const auto folds = make_folds(90, 3);
+  // Block folds: validation rows are consecutive.
+  for (const auto& fold : folds) {
+    for (std::size_t i = 1; i < fold.validation_rows.size(); ++i) {
+      EXPECT_EQ(fold.validation_rows[i], fold.validation_rows[i - 1] + 1);
+    }
+  }
+}
+
+TEST(MakeFolds, ClampsDegenerateK) {
+  EXPECT_EQ(make_folds(10, 0).size(), 2U);
+  EXPECT_EQ(make_folds(10, 1).size(), 2U);
+  EXPECT_EQ(make_folds(3, 50).size(), 3U);
+}
+
+TEST(CrossValidate, AveragesMetricAcrossFolds) {
+  Dataset d({{"x", false}});
+  util::Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    const bool y = rng.bernoulli(0.5);
+    const float x = static_cast<float>(rng.normal(y ? 1.0 : -1.0, 0.5));
+    d.add_row({&x, 1}, y);
+  }
+  const double metric = cross_validate(
+      d, 3, [](const Dataset& train, const Dataset& validation) {
+        BStumpConfig cfg;
+        cfg.iterations = 10;
+        const auto model = train_bstump(train, cfg);
+        return auc(model.score_dataset(validation), validation.labels());
+      });
+  EXPECT_GT(metric, 0.9);
+}
+
+TEST(CrossValidate, EmptyDatasetIsZero) {
+  Dataset d({{"x", false}});
+  const double metric =
+      cross_validate(d, 3, [](const Dataset&, const Dataset&) { return 1.0; });
+  EXPECT_EQ(metric, 0.0);
+}
+
+TEST(SelectBoostingRounds, PrefersEnoughRounds) {
+  // A problem needing several complementary stumps: more rounds help up
+  // to saturation; the selector must not pick the tiny candidate.
+  util::Rng rng(2);
+  Dataset d({{"a", false}, {"b", false}, {"c", false}});
+  for (int i = 0; i < 4000; ++i) {
+    const bool y = rng.bernoulli(0.2);
+    const float row[3] = {
+        static_cast<float>(rng.normal(y ? 0.7 : 0.0, 1.0)),
+        static_cast<float>(rng.normal(y ? 0.6 : 0.0, 1.0)),
+        static_cast<float>(rng.normal(y ? 0.5 : 0.0, 1.0))};
+    d.add_row(row, y);
+  }
+  const std::size_t candidates[] = {1, 8, 40};
+  const auto sel = select_boosting_rounds(d, candidates, 200, 3);
+  EXPECT_NE(sel.best_rounds, 1U);
+  ASSERT_EQ(sel.metric_per_candidate.size(), 3U);
+  EXPECT_GT(sel.metric_per_candidate[2], sel.metric_per_candidate[0]);
+}
+
+TEST(SelectBoostingRounds, EmptyCandidatesSafe) {
+  Dataset d({{"x", false}});
+  const auto sel = select_boosting_rounds(d, {}, 10, 3);
+  EXPECT_EQ(sel.best_rounds, 0U);
+  EXPECT_TRUE(sel.metric_per_candidate.empty());
+}
+
+TEST(SelectBoostingRounds, MetricsAreAveraged) {
+  util::Rng rng(3);
+  Dataset d({{"x", false}});
+  for (int i = 0; i < 600; ++i) {
+    const bool y = rng.bernoulli(0.3);
+    const float x = static_cast<float>(rng.normal(y ? 1.0 : 0.0, 1.0));
+    d.add_row({&x, 1}, y);
+  }
+  const std::size_t candidates[] = {5, 20};
+  const auto sel = select_boosting_rounds(d, candidates, 50, 4);
+  for (double m : sel.metric_per_candidate) {
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace nevermind::ml

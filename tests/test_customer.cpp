@@ -1,0 +1,104 @@
+#include "dslsim/customer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nevermind::dslsim {
+namespace {
+
+TEST(Customer, SampleWithinConfiguredBounds) {
+  util::Rng rng(1);
+  const CustomerModelConfig cfg;
+  for (int i = 0; i < 500; ++i) {
+    const CustomerBehavior c = sample_customer(rng, cfg);
+    EXPECT_GE(c.usage_intensity_mb, 1.0F);
+    EXPECT_LE(c.usage_intensity_mb, 20000.0F);
+    EXPECT_GE(c.report_propensity, 0.2F);
+    EXPECT_LE(c.report_propensity, 4.0F);
+    EXPECT_GE(c.modem_off_base, 0.0F);
+    EXPECT_LE(c.modem_off_base, static_cast<float>(cfg.modem_off_base_max));
+  }
+}
+
+TEST(Customer, VacationMakesAway) {
+  CustomerBehavior c;
+  c.vacations = {{10, 20}};
+  EXPECT_FALSE(is_away(c, 9));
+  EXPECT_TRUE(is_away(c, 10));
+  EXPECT_TRUE(is_away(c, 19));
+  EXPECT_FALSE(is_away(c, 20));
+}
+
+TEST(Customer, MultipleVacationsSorted) {
+  CustomerBehavior c;
+  c.vacations = {{10, 12}, {30, 35}};
+  EXPECT_TRUE(is_away(c, 11));
+  EXPECT_FALSE(is_away(c, 20));
+  EXPECT_TRUE(is_away(c, 34));
+}
+
+TEST(Customer, UsageZeroWhenAway) {
+  CustomerBehavior c;
+  c.usage_intensity_mb = 200.0F;
+  c.vacations = {{5, 8}};
+  EXPECT_EQ(usage_on_day(c, 6), 0.0);
+  EXPECT_GT(usage_on_day(c, 4), 0.0);
+}
+
+TEST(Customer, WeekendUsageBoosted) {
+  CustomerBehavior c;
+  c.usage_intensity_mb = 100.0F;
+  c.weekend_factor = 1.5F;
+  // Day 2 is Saturday (2009-01-03); day 5 is Tuesday.
+  EXPECT_NEAR(usage_on_day(c, 2), 150.0, 1e-6);
+  EXPECT_NEAR(usage_on_day(c, 5), 100.0, 1e-6);
+}
+
+TEST(Customer, CallWeightsPeakMondayBottomWeekend) {
+  // Paper: ticket arrivals peak on Monday and bottom out over the
+  // weekend.
+  double monday = 0.0;
+  double saturday = 0.0;
+  double sunday = 0.0;
+  for (util::Day d = 0; d < 7; ++d) {
+    switch (util::weekday_of(d)) {
+      case util::Weekday::kMonday: monday = call_day_weight(d); break;
+      case util::Weekday::kSaturday: saturday = call_day_weight(d); break;
+      case util::Weekday::kSunday: sunday = call_day_weight(d); break;
+      default: break;
+    }
+  }
+  EXPECT_GT(monday, 0.9);
+  EXPECT_LT(saturday, 0.5);
+  EXPECT_LT(sunday, 0.5);
+  for (util::Day d = 0; d < 7; ++d) {
+    EXPECT_LE(call_day_weight(d), monday);
+  }
+}
+
+TEST(Customer, SamplingDeterministic) {
+  const CustomerModelConfig cfg;
+  util::Rng a(42);
+  util::Rng b(42);
+  const CustomerBehavior ca = sample_customer(a, cfg);
+  const CustomerBehavior cb = sample_customer(b, cfg);
+  EXPECT_EQ(ca.usage_intensity_mb, cb.usage_intensity_mb);
+  EXPECT_EQ(ca.vacations, cb.vacations);
+}
+
+TEST(Customer, PopulationUsageIsHeavyTailed) {
+  util::Rng rng(2);
+  const CustomerModelConfig cfg;
+  double max_usage = 0.0;
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const CustomerBehavior c = sample_customer(rng, cfg);
+    max_usage = std::max(max_usage, static_cast<double>(c.usage_intensity_mb));
+    sum += c.usage_intensity_mb;
+  }
+  // Log-normal: the max dwarfs the mean.
+  EXPECT_GT(max_usage, 10.0 * sum / n);
+}
+
+}  // namespace
+}  // namespace nevermind::dslsim

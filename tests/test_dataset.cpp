@@ -1,0 +1,104 @@
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nevermind::ml {
+namespace {
+
+Dataset make_small() {
+  Dataset d({{"x", false}, {"y", false}, {"cat", true}});
+  const float rows[][3] = {{1.0F, 10.0F, 0.0F},
+                           {2.0F, 20.0F, 1.0F},
+                           {3.0F, kMissing, 0.0F},
+                           {4.0F, 40.0F, 1.0F}};
+  const bool labels[] = {false, true, false, true};
+  for (int i = 0; i < 4; ++i) d.add_row(rows[i], labels[i]);
+  return d;
+}
+
+TEST(Dataset, Shape) {
+  const Dataset d = make_small();
+  EXPECT_EQ(d.n_rows(), 4U);
+  EXPECT_EQ(d.n_cols(), 3U);
+  EXPECT_EQ(d.positives(), 2U);
+}
+
+TEST(Dataset, ColumnAccess) {
+  const Dataset d = make_small();
+  const auto col = d.column(0);
+  ASSERT_EQ(col.size(), 4U);
+  EXPECT_EQ(col[2], 3.0F);
+  EXPECT_TRUE(is_missing(d.at(2, 1)));
+}
+
+TEST(Dataset, ColumnInfoPreserved) {
+  const Dataset d = make_small();
+  EXPECT_EQ(d.column_info(2).name, "cat");
+  EXPECT_TRUE(d.column_info(2).categorical);
+  EXPECT_FALSE(d.column_info(0).categorical);
+}
+
+TEST(Dataset, AddRowRejectsWrongArity) {
+  Dataset d({{"x", false}});
+  const float two[] = {1.0F, 2.0F};
+  EXPECT_THROW(d.add_row(two, false), std::invalid_argument);
+}
+
+TEST(Dataset, SelectColumns) {
+  const Dataset d = make_small();
+  const std::size_t cols[] = {2, 0};
+  const Dataset s = d.select_columns(cols);
+  EXPECT_EQ(s.n_cols(), 2U);
+  EXPECT_EQ(s.n_rows(), 4U);
+  EXPECT_EQ(s.column_info(0).name, "cat");
+  EXPECT_EQ(s.at(1, 1), 2.0F);
+  EXPECT_EQ(s.positives(), d.positives());
+}
+
+TEST(Dataset, SelectRows) {
+  const Dataset d = make_small();
+  const std::size_t rows[] = {1, 3};
+  const Dataset s = d.select_rows(rows);
+  EXPECT_EQ(s.n_rows(), 2U);
+  EXPECT_EQ(s.positives(), 2U);
+  EXPECT_EQ(s.at(0, 0), 2.0F);
+  EXPECT_EQ(s.at(1, 0), 4.0F);
+}
+
+TEST(Dataset, SelectRowsOutOfRangeThrows) {
+  const Dataset d = make_small();
+  const std::size_t rows[] = {99};
+  EXPECT_THROW((void)d.select_rows(rows), std::out_of_range);
+}
+
+TEST(Dataset, Relabel) {
+  Dataset d = make_small();
+  const std::vector<std::uint8_t> labels = {1, 1, 1, 0};
+  d.relabel(labels);
+  EXPECT_EQ(d.positives(), 3U);
+  EXPECT_TRUE(d.label(0));
+  EXPECT_FALSE(d.label(3));
+}
+
+TEST(Dataset, RelabelRejectsWrongSize) {
+  Dataset d = make_small();
+  const std::vector<std::uint8_t> labels = {1};
+  EXPECT_THROW(d.relabel(labels), std::invalid_argument);
+}
+
+TEST(Dataset, MissingSentinelDetected) {
+  EXPECT_TRUE(is_missing(kMissing));
+  EXPECT_FALSE(is_missing(0.0F));
+  EXPECT_FALSE(is_missing(-1e30F));
+}
+
+TEST(Dataset, EmptyDataset) {
+  Dataset d;
+  EXPECT_EQ(d.n_rows(), 0U);
+  EXPECT_EQ(d.n_cols(), 0U);
+}
+
+}  // namespace
+}  // namespace nevermind::ml

@@ -1,0 +1,107 @@
+// Integration test: the full NEVERMIND pipeline — simulate a year,
+// train both components through the facade, run proactive weeks, and
+// check the operational invariants the paper's deployment would rely
+// on.
+#include <gtest/gtest.h>
+
+#include "core/nevermind.hpp"
+#include "util/calendar.hpp"
+
+namespace nevermind::core {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dslsim::SimConfig cfg;
+    cfg.seed = 51;
+    cfg.topology.n_lines = 6000;
+    data_ = new dslsim::SimDataset(dslsim::Simulator(cfg).run());
+
+    NevermindConfig nm_cfg;
+    nm_cfg.predictor.top_n = 60;
+    nm_cfg.predictor.boost_iterations = 100;
+    nm_cfg.locator.min_occurrences = 8;
+    nm_cfg.locator.boost_iterations = 40;
+    nm_cfg.atds.weekly_capacity = 60;
+    system_ = new Nevermind(nm_cfg);
+    system_->train(*data_, 30, 38, 20, 36);
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    delete data_;
+    system_ = nullptr;
+    data_ = nullptr;
+  }
+  static const dslsim::SimDataset* data_;
+  static Nevermind* system_;
+};
+
+const dslsim::SimDataset* EndToEndTest::data_ = nullptr;
+Nevermind* EndToEndTest::system_ = nullptr;
+
+TEST_F(EndToEndTest, BothComponentsTrain) {
+  EXPECT_TRUE(system_->predictor().trained());
+  EXPECT_TRUE(system_->locator().trained());
+}
+
+TEST_F(EndToEndTest, WeeklyCycleProducesRankedPredictionsAndReport) {
+  const WeeklyCycle cycle = system_->run_week(*data_, 43);
+  EXPECT_EQ(cycle.week, 43);
+  EXPECT_EQ(cycle.predictions.size(), data_->n_lines());
+  EXPECT_EQ(cycle.atds.submitted, 60U);
+  EXPECT_EQ(cycle.atds.with_live_fault + cycle.atds.clean_dispatches,
+            cycle.atds.submitted);
+}
+
+TEST_F(EndToEndTest, PrecisionInPaperBallpark) {
+  const WeeklyCycle cycle = system_->run_week(*data_, 43);
+  const double precision =
+      static_cast<double>(cycle.atds.would_ticket) /
+      static_cast<double>(cycle.atds.submitted);
+  // The paper reports ~40% at the budget; demand at least half that at
+  // this small simulation scale.
+  EXPECT_GT(precision, 0.2);
+}
+
+TEST_F(EndToEndTest, MajorityOfDispatchesFindLiveFaults) {
+  const WeeklyCycle cycle = system_->run_week(*data_, 43);
+  EXPECT_GT(cycle.atds.with_live_fault, cycle.atds.submitted / 2);
+}
+
+TEST_F(EndToEndTest, ProactiveValueAcrossWeeks) {
+  std::size_t prevented = 0;
+  std::size_t silent = 0;
+  for (int week = 43; week <= 45; ++week) {
+    const WeeklyCycle cycle = system_->run_week(*data_, week);
+    prevented += cycle.atds.tickets_prevented;
+    silent += cycle.atds.silent_fixed;
+  }
+  // The whole point of NEVERMIND: a nontrivial number of tickets never
+  // happen, and silent problems get fixed too.
+  EXPECT_GT(prevented, 10U);
+  EXPECT_GT(silent, 10U);
+}
+
+TEST_F(EndToEndTest, LocatorSavesTimeOverall) {
+  double locator_minutes = 0.0;
+  double experience_minutes = 0.0;
+  for (int week = 43; week <= 45; ++week) {
+    const WeeklyCycle cycle = system_->run_week(*data_, week);
+    locator_minutes += cycle.atds.locator_minutes;
+    experience_minutes += cycle.atds.experience_minutes;
+  }
+  EXPECT_LT(locator_minutes, experience_minutes);
+}
+
+TEST_F(EndToEndTest, RepeatedRunsAreDeterministic) {
+  const WeeklyCycle a = system_->run_week(*data_, 44);
+  const WeeklyCycle b = system_->run_week(*data_, 44);
+  ASSERT_EQ(a.predictions.size(), b.predictions.size());
+  EXPECT_EQ(a.predictions.front().line, b.predictions.front().line);
+  EXPECT_EQ(a.atds.tickets_prevented, b.atds.tickets_prevented);
+  EXPECT_EQ(a.atds.locator_minutes, b.atds.locator_minutes);
+}
+
+}  // namespace
+}  // namespace nevermind::core

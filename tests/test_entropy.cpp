@@ -1,0 +1,118 @@
+#include "ml/entropy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace nevermind::ml {
+namespace {
+
+TEST(BinaryEntropy, KnownValues) {
+  EXPECT_NEAR(binary_entropy(1, 2), 1.0, 1e-12);
+  EXPECT_EQ(binary_entropy(0, 10), 0.0);
+  EXPECT_EQ(binary_entropy(10, 10), 0.0);
+  EXPECT_EQ(binary_entropy(0, 0), 0.0);
+}
+
+TEST(BinaryEntropy, SymmetricAndBounded) {
+  for (std::size_t k = 1; k < 10; ++k) {
+    EXPECT_NEAR(binary_entropy(k, 10), binary_entropy(10 - k, 10), 1e-12);
+    EXPECT_LE(binary_entropy(k, 10), 1.0);
+    EXPECT_GT(binary_entropy(k, 10), 0.0);
+  }
+}
+
+TEST(GainRatio, InformativeFeatureScoresHigher) {
+  util::Rng rng(1);
+  std::vector<float> informative;
+  std::vector<float> noise;
+  std::vector<std::uint8_t> labels;
+  for (int i = 0; i < 2000; ++i) {
+    const bool y = rng.bernoulli(0.5);
+    labels.push_back(y ? 1 : 0);
+    informative.push_back(static_cast<float>(rng.normal(y ? 2.0 : -2.0, 1.0)));
+    noise.push_back(static_cast<float>(rng.normal()));
+  }
+  const auto gi = gain_ratio(informative, labels);
+  const auto gn = gain_ratio(noise, labels);
+  EXPECT_GT(gi.gain_ratio, gn.gain_ratio * 3.0);
+  EXPECT_GT(gi.information_gain, 0.5);
+}
+
+TEST(GainRatio, ConstantLabelsGiveZeroGain) {
+  std::vector<float> x = {1.0F, 2.0F, 3.0F, 4.0F};
+  std::vector<std::uint8_t> labels = {1, 1, 1, 1};
+  const auto g = gain_ratio(x, labels);
+  EXPECT_EQ(g.information_gain, 0.0);
+  EXPECT_EQ(g.gain_ratio, 0.0);
+}
+
+TEST(GainRatio, EmptyInputSafe) {
+  const auto g = gain_ratio({}, {});
+  EXPECT_EQ(g.gain_ratio, 0.0);
+}
+
+TEST(GainRatio, MissingValuesFormOwnBin) {
+  // Missingness itself carries the label signal.
+  std::vector<float> x;
+  std::vector<std::uint8_t> labels;
+  util::Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const bool y = rng.bernoulli(0.5);
+    labels.push_back(y ? 1 : 0);
+    x.push_back(y ? kMissing : static_cast<float>(rng.normal()));
+  }
+  const auto g = gain_ratio(x, labels);
+  EXPECT_GT(g.information_gain, 0.5);
+}
+
+TEST(GainRatio, IntrinsicValuePenalizesManySplits) {
+  // A unique-value feature has maximal split entropy; gain ratio
+  // discounts it relative to the raw gain.
+  std::vector<float> x;
+  std::vector<std::uint8_t> labels;
+  for (int i = 0; i < 64; ++i) {
+    x.push_back(static_cast<float>(i));
+    labels.push_back(i % 2 == 0 ? 1 : 0);
+  }
+  const auto g = gain_ratio(x, labels, 32);
+  EXPECT_GT(g.intrinsic_value, 1.0);
+  EXPECT_LT(g.gain_ratio, g.information_gain + 1e-12);
+}
+
+TEST(GainRatio, EqualValuesStayInOneBin) {
+  // Value 5 dominates and must not be split across bins: its bin purity
+  // then determines the gain.
+  std::vector<float> x;
+  std::vector<std::uint8_t> labels;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(5.0F);
+    labels.push_back(1);
+  }
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(1.0F);
+    labels.push_back(0);
+  }
+  const auto g = gain_ratio(x, labels, 10);
+  EXPECT_NEAR(g.information_gain, 1.0, 1e-6);
+}
+
+TEST(GainRatio, MoreBinsDoNotReduceGain) {
+  util::Rng rng(3);
+  std::vector<float> x;
+  std::vector<std::uint8_t> labels;
+  for (int i = 0; i < 3000; ++i) {
+    const bool y = rng.bernoulli(0.4);
+    labels.push_back(y ? 1 : 0);
+    x.push_back(static_cast<float>(rng.normal(y ? 1.0 : 0.0, 1.0)));
+  }
+  const auto coarse = gain_ratio(x, labels, 2);
+  const auto fine = gain_ratio(x, labels, 20);
+  EXPECT_GE(fine.information_gain, coarse.information_gain - 0.01);
+}
+
+}  // namespace
+}  // namespace nevermind::ml

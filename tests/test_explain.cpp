@@ -1,0 +1,125 @@
+#include "core/explain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace nevermind::core {
+namespace {
+
+/// Two informative features with opposite signs plus one never-used
+/// noise column.
+ml::Dataset make_data(util::Rng& rng) {
+  ml::Dataset d({{"up", false}, {"down", false}, {"noise", false}});
+  for (int i = 0; i < 2000; ++i) {
+    const bool y = rng.bernoulli(0.4);
+    const float row[3] = {static_cast<float>(rng.normal(y ? 1.5 : 0.0, 0.7)),
+                          static_cast<float>(rng.normal(y ? -1.5 : 0.0, 0.7)),
+                          static_cast<float>(rng.normal())};
+    d.add_row(row, y);
+  }
+  return d;
+}
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Rng rng(3);
+    data_ = make_data(rng);
+    ml::BStumpConfig cfg;
+    cfg.iterations = 40;
+    model_ = ml::train_bstump(data_, cfg);
+  }
+  ml::Dataset data_{std::vector<ml::ColumnInfo>{}};
+  ml::BStumpModel model_;
+};
+
+TEST_F(ExplainTest, TotalMatchesModelScore) {
+  const float row[3] = {2.0F, -2.0F, 0.3F};
+  const auto exp = explain_score(model_, row, data_.columns());
+  EXPECT_NEAR(exp.total_score, model_.score_features(row), 1e-9);
+}
+
+TEST_F(ExplainTest, ContributionsSumToTotalWhenUncapped) {
+  const float row[3] = {0.5F, 0.2F, -1.0F};
+  const auto exp = explain_score(model_, row, data_.columns(), 100);
+  double sum = 0.0;
+  for (const auto& c : exp.contributions) sum += c.score;
+  EXPECT_NEAR(sum, exp.total_score, 1e-9);
+}
+
+TEST_F(ExplainTest, SortedByMagnitude) {
+  const float row[3] = {2.0F, -2.0F, 0.0F};
+  const auto exp = explain_score(model_, row, data_.columns());
+  for (std::size_t i = 1; i < exp.contributions.size(); ++i) {
+    EXPECT_GE(std::fabs(exp.contributions[i - 1].score),
+              std::fabs(exp.contributions[i].score));
+  }
+}
+
+TEST_F(ExplainTest, InformativeFeaturesDominante) {
+  const float row[3] = {2.0F, -2.0F, 0.0F};
+  const auto exp = explain_score(model_, row, data_.columns(), 2);
+  ASSERT_GE(exp.contributions.size(), 1U);
+  EXPECT_NE(exp.contributions[0].feature_name, "noise");
+}
+
+TEST_F(ExplainTest, PositiveExampleGetsPositiveVotes) {
+  const float positive_row[3] = {2.5F, -2.5F, 0.0F};
+  const float negative_row[3] = {-1.0F, 1.0F, 0.0F};
+  const auto pos = explain_score(model_, positive_row, data_.columns());
+  const auto neg = explain_score(model_, negative_row, data_.columns());
+  EXPECT_GT(pos.total_score, neg.total_score);
+}
+
+TEST_F(ExplainTest, MissingValuesFlagged) {
+  const float row[3] = {ml::kMissing, -2.0F, 0.0F};
+  const auto exp = explain_score(model_, row, data_.columns(), 100);
+  bool saw_missing = false;
+  for (const auto& c : exp.contributions) {
+    if (c.feature == 0) {
+      saw_missing = c.missing;
+    }
+  }
+  // Feature 0 may be merged away if it abstains to zero; only check
+  // when present.
+  if (!exp.contributions.empty() && exp.contributions[0].feature == 0) {
+    EXPECT_TRUE(saw_missing);
+  }
+}
+
+TEST_F(ExplainTest, CapsToTopK) {
+  const float row[3] = {1.0F, -1.0F, 0.5F};
+  const auto exp = explain_score(model_, row, data_.columns(), 1);
+  EXPECT_LE(exp.contributions.size(), 1U);
+}
+
+TEST_F(ExplainTest, UnnamedFeaturesRenderAsIndices) {
+  const float row[3] = {1.0F, -1.0F, 0.5F};
+  const auto exp = explain_score(model_, row, {}, 100);
+  for (const auto& c : exp.contributions) {
+    EXPECT_EQ(c.feature_name, "f" + std::to_string(c.feature));
+  }
+}
+
+TEST_F(ExplainTest, EmptyModelExplainsZero) {
+  const ml::BStumpModel empty;
+  const float row[3] = {1.0F, 2.0F, 3.0F};
+  const auto exp = explain_score(empty, row, data_.columns());
+  EXPECT_EQ(exp.total_score, 0.0);
+  EXPECT_TRUE(exp.contributions.empty());
+}
+
+TEST_F(ExplainTest, PrintsReadableReport) {
+  const float row[3] = {2.0F, -2.0F, 0.0F};
+  const auto exp = explain_score(model_, row, data_.columns());
+  std::ostringstream os;
+  print_explanation(os, exp);
+  EXPECT_NE(os.str().find("score"), std::string::npos);
+  EXPECT_NE(os.str().find(">="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nevermind::core

@@ -1,0 +1,111 @@
+#include "dslsim/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace nevermind::dslsim {
+namespace {
+
+class ExportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SimConfig cfg;
+    cfg.seed = 61;
+    cfg.topology.n_lines = 600;
+    data_ = new SimDataset(Simulator(cfg).run());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static const SimDataset* data_;
+};
+
+const SimDataset* ExportTest::data_ = nullptr;
+
+TEST_F(ExportTest, MeasurementsShapeAndHeader) {
+  std::ostringstream os;
+  export_measurements_csv(*data_, os, 10, 11);
+  std::istringstream is(os.str());
+  const auto rows = util::read_csv(is);
+  ASSERT_EQ(rows.size(), 1U + 2U * data_->n_lines());
+  EXPECT_EQ(rows[0].size(), 3U + kNumLineMetrics);
+  EXPECT_EQ(rows[0][0], "week");
+  EXPECT_EQ(rows[0][3], "state");
+  EXPECT_EQ(rows[1][0], "10");
+}
+
+TEST_F(ExportTest, MeasurementsMissingCellsEmpty) {
+  std::ostringstream os;
+  export_measurements_csv(*data_, os, 20, 20);
+  std::istringstream is(os.str());
+  const auto rows = util::read_csv(is);
+  std::size_t empty_cells = 0;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    // state column (index 3) starting with "0" marks a missing record;
+    // its metric cells must be empty.
+    if (rows[r][3].substr(0, 2) == "0.") {
+      EXPECT_TRUE(rows[r][4].empty());
+      ++empty_cells;
+    }
+  }
+  EXPECT_GT(empty_cells, 0U);
+}
+
+TEST_F(ExportTest, TicketsRoundTripCounts) {
+  std::ostringstream os;
+  export_tickets_csv(*data_, os);
+  std::istringstream is(os.str());
+  const auto rows = util::read_csv(is);
+  ASSERT_EQ(rows.size(), 1U + data_->tickets().size());
+  // Edge tickets carry a disposition code, billing tickets don't.
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r][3] == "billing") {
+      EXPECT_TRUE(rows[r][5].empty());
+    } else {
+      EXPECT_FALSE(rows[r][5].empty());
+    }
+  }
+}
+
+TEST_F(ExportTest, NotesMatchNoteCount) {
+  std::ostringstream os;
+  export_notes_csv(*data_, os);
+  std::istringstream is(os.str());
+  const auto rows = util::read_csv(is);
+  EXPECT_EQ(rows.size(), 1U + data_->notes().size());
+}
+
+TEST_F(ExportTest, ProfilesOnePerLine) {
+  std::ostringstream os;
+  export_profiles_csv(*data_, os);
+  std::istringstream is(os.str());
+  const auto rows = util::read_csv(is);
+  ASSERT_EQ(rows.size(), 1U + data_->n_lines());
+  EXPECT_EQ(rows[1][0], "0");
+}
+
+TEST_F(ExportTest, OutagesWellFormedDates) {
+  std::ostringstream os;
+  export_outages_csv(*data_, os);
+  std::istringstream is(os.str());
+  const auto rows = util::read_csv(is);
+  EXPECT_EQ(rows.size(), 1U + data_->outages().size());
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    EXPECT_EQ(rows[r][2].size(), 8U);  // MM/DD/YY
+  }
+}
+
+TEST_F(ExportTest, WeekRangeClamped) {
+  std::ostringstream os;
+  export_measurements_csv(*data_, os, -4, 0);
+  std::istringstream is(os.str());
+  const auto rows = util::read_csv(is);
+  EXPECT_EQ(rows.size(), 1U + data_->n_lines());
+}
+
+}  // namespace
+}  // namespace nevermind::dslsim

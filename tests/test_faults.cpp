@@ -1,0 +1,119 @@
+#include "dslsim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace nevermind::dslsim {
+namespace {
+
+TEST(FaultCatalog, CanonicalCodesPresent) {
+  const FaultCatalog cat(1, 0);
+  EXPECT_EQ(cat.size(), cat.canonical_count());
+  EXPECT_EQ(cat.canonical_count(), 24U);
+  std::set<std::string> codes;
+  for (const auto& s : cat.signatures()) codes.insert(s.code);
+  EXPECT_TRUE(codes.count("HN-MODEM"));
+  EXPECT_TRUE(codes.count("F1-CUT"));
+  EXPECT_TRUE(codes.count("DS-SPEED"));
+  EXPECT_TRUE(codes.count("F2-PROT"));
+}
+
+TEST(FaultCatalog, MinorVariantsExtendCatalogue) {
+  const FaultCatalog cat(1, 7);
+  EXPECT_EQ(cat.size(), 24U + 4U * 7U);  // 52, matching the paper
+  // Generated variants are individually rarer than canonical codes.
+  for (std::size_t i = cat.canonical_count(); i < cat.size(); ++i) {
+    EXPECT_LT(cat.signature(static_cast<DispositionId>(i)).frequency_weight,
+              0.5);
+  }
+}
+
+TEST(FaultCatalog, DeterministicForSeed) {
+  const FaultCatalog a(42, 5);
+  const FaultCatalog b(42, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto id = static_cast<DispositionId>(i);
+    EXPECT_EQ(a.signature(id).code, b.signature(id).code);
+    EXPECT_EQ(a.signature(id).effects.cv_rate, b.signature(id).effects.cv_rate);
+  }
+}
+
+TEST(FaultCatalog, EveryLocationHasCodes) {
+  const FaultCatalog cat(1, 3);
+  std::map<MajorLocation, int> counts;
+  for (const auto& s : cat.signatures()) ++counts[s.location];
+  EXPECT_EQ(counts.size(), kNumMajorLocations);
+  for (const auto& [loc, count] : counts) EXPECT_GE(count, 5) << static_cast<int>(loc);
+}
+
+TEST(FaultCatalog, SampleRespectsFrequencyWeights) {
+  const FaultCatalog cat(1, 0);
+  util::Rng rng(9);
+  std::map<DispositionId, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[cat.sample(rng)];
+  // HN-MODEM (weight 3.2) must be sampled far more often than DS-ATM
+  // (weight 0.5).
+  DispositionId modem = 0;
+  DispositionId atm = 0;
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    const auto id = static_cast<DispositionId>(i);
+    if (cat.signature(id).code == "HN-MODEM") modem = id;
+    if (cat.signature(id).code == "DS-ATM") atm = id;
+  }
+  EXPECT_GT(counts[modem], counts[atm] * 3);
+}
+
+TEST(FaultCatalog, SampleWithinLocationStaysThere) {
+  const FaultCatalog cat(1, 7);
+  util::Rng rng(10);
+  for (int i = 0; i < 200; ++i) {
+    const auto id = cat.sample_within_location(rng, MajorLocation::kF2);
+    EXPECT_EQ(cat.signature(id).location, MajorLocation::kF2);
+  }
+}
+
+TEST(FaultCatalog, ProximityOrderMatchesPhysicalLayout) {
+  // Fig 2: HN at the customer, then the F2 drop, then F1, then DSLAM.
+  EXPECT_LT(end_host_proximity(MajorLocation::kHomeNetwork),
+            end_host_proximity(MajorLocation::kF2));
+  EXPECT_LT(end_host_proximity(MajorLocation::kF2),
+            end_host_proximity(MajorLocation::kF1));
+  EXPECT_LT(end_host_proximity(MajorLocation::kF1),
+            end_host_proximity(MajorLocation::kDslam));
+}
+
+TEST(FaultCatalog, LocationNames) {
+  EXPECT_STREQ(major_location_name(MajorLocation::kHomeNetwork), "HN");
+  EXPECT_STREQ(major_location_name(MajorLocation::kF1), "F1");
+  EXPECT_STREQ(major_location_name(MajorLocation::kDslam), "DS");
+  EXPECT_STREQ(major_location_name(MajorLocation::kF2), "F2");
+}
+
+TEST(FaultCatalog, EffectsArePhysicallySane) {
+  const FaultCatalog cat(1, 7);
+  for (const auto& s : cat.signatures()) {
+    EXPECT_GE(s.effects.rate_mult, 0.0) << s.code;
+    EXPECT_LE(s.effects.rate_mult, 1.0) << s.code;
+    EXPECT_GE(s.effects.modem_off_prob, 0.0) << s.code;
+    EXPECT_LE(s.effects.modem_off_prob, 1.0) << s.code;
+    EXPECT_GE(s.effects.cv_rate, 0.0) << s.code;
+    EXPECT_GE(s.effects.atten_db, 0.0) << s.code;
+    EXPECT_GT(s.frequency_weight, 0.0) << s.code;
+    EXPECT_GT(s.duty_cycle, 0.0) << s.code;
+    EXPECT_LE(s.duty_cycle, 1.0) << s.code;
+  }
+}
+
+TEST(FaultCatalog, CodesAreUnique) {
+  const FaultCatalog cat(1, 7);
+  std::set<std::string> codes;
+  for (const auto& s : cat.signatures()) {
+    EXPECT_TRUE(codes.insert(s.code).second) << "duplicate " << s.code;
+  }
+}
+
+}  // namespace
+}  // namespace nevermind::dslsim

@@ -1,0 +1,132 @@
+#include "ml/feature_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nevermind::ml {
+namespace {
+
+/// Train/test pair with one strong, one weak and one useless feature.
+struct Problem {
+  Dataset train{std::vector<ColumnInfo>{
+      {"strong", false}, {"weak", false}, {"noise", false}}};
+  Dataset test{std::vector<ColumnInfo>{
+      {"strong", false}, {"weak", false}, {"noise", false}}};
+};
+
+Problem make_problem(std::uint64_t seed, std::size_t n = 4000) {
+  util::Rng rng(seed);
+  Problem p;
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    const bool y = rng.bernoulli(0.1);
+    const float row[3] = {
+        static_cast<float>(rng.normal(y ? 2.0 : 0.0, 1.0)),
+        static_cast<float>(rng.normal(y ? 0.6 : 0.0, 1.0)),
+        static_cast<float>(rng.normal())};
+    (i % 2 == 0 ? p.train : p.test).add_row(row, y);
+  }
+  return p;
+}
+
+class MethodSweep : public ::testing::TestWithParam<SelectionMethod> {};
+
+TEST_P(MethodSweep, StrongFeatureRankedAboveNoise) {
+  const Problem p = make_problem(11);
+  FeatureScoringConfig cfg;
+  cfg.top_n = 400;
+  const auto scores = score_features(p.train, p.test, GetParam(), cfg);
+  ASSERT_EQ(scores.size(), 3U);
+  EXPECT_GT(scores[0], scores[2]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, MethodSweep,
+    ::testing::Values(SelectionMethod::kTopNAp, SelectionMethod::kAuc,
+                      SelectionMethod::kAveragePrecision,
+                      SelectionMethod::kGainRatio));
+
+TEST(FeatureSelection, TopNApFullOrdering) {
+  const Problem p = make_problem(12);
+  FeatureScoringConfig cfg;
+  cfg.top_n = 400;
+  const auto scores =
+      score_features(p.train, p.test, SelectionMethod::kTopNAp, cfg);
+  EXPECT_GT(scores[0], scores[1]);
+  EXPECT_GT(scores[1], scores[2]);
+}
+
+TEST(FeatureSelection, FirstColumnSkipsScoring) {
+  const Problem p = make_problem(13);
+  FeatureScoringConfig cfg;
+  cfg.top_n = 400;
+  const auto scores =
+      score_features(p.train, p.test, SelectionMethod::kTopNAp, cfg, 2);
+  EXPECT_EQ(scores[0], 0.0);
+  EXPECT_EQ(scores[1], 0.0);
+  EXPECT_GE(scores[2], 0.0);
+}
+
+TEST(FeatureSelection, WrapperRequiresMatchingTest) {
+  const Problem p = make_problem(14);
+  const Dataset other({{"x", false}});
+  FeatureScoringConfig cfg;
+  EXPECT_THROW(
+      (void)score_features(p.train, other, SelectionMethod::kAuc, cfg),
+      std::invalid_argument);
+}
+
+TEST(FeatureSelection, PcaIsFilterOnly) {
+  // PCA scoring ignores the test set entirely (filter method).
+  const Problem p = make_problem(15);
+  const Dataset empty_test({{"strong", false}, {"weak", false},
+                            {"noise", false}});
+  FeatureScoringConfig cfg;
+  const auto scores =
+      score_features(p.train, empty_test, SelectionMethod::kPca, cfg);
+  EXPECT_EQ(scores.size(), 3U);
+}
+
+TEST(SelectTopK, OrdersDescendingByScore) {
+  const std::vector<double> scores = {0.1, 0.9, 0.5};
+  const auto sel = select_top_k(scores, 2);
+  ASSERT_EQ(sel.size(), 2U);
+  EXPECT_EQ(sel[0], 1U);
+  EXPECT_EQ(sel[1], 2U);
+}
+
+TEST(SelectTopK, KLargerThanSizeReturnsAll) {
+  const std::vector<double> scores = {0.1, 0.2};
+  EXPECT_EQ(select_top_k(scores, 10).size(), 2U);
+}
+
+TEST(SelectTopK, StableForTies) {
+  const std::vector<double> scores = {0.5, 0.5, 0.5};
+  const auto sel = select_top_k(scores, 2);
+  EXPECT_EQ(sel[0], 0U);
+  EXPECT_EQ(sel[1], 1U);
+}
+
+TEST(SelectAboveThreshold, StrictInequality) {
+  const std::vector<double> scores = {0.2, 0.21, 0.19};
+  const auto sel = select_above_threshold(scores, 0.2);
+  ASSERT_EQ(sel.size(), 1U);
+  EXPECT_EQ(sel[0], 1U);
+}
+
+TEST(SelectAboveThreshold, EmptyWhenAllBelow) {
+  const std::vector<double> scores = {0.1, 0.05};
+  EXPECT_TRUE(select_above_threshold(scores, 0.5).empty());
+}
+
+TEST(SelectionMethodNames, AllDistinct) {
+  EXPECT_STRNE(selection_method_name(SelectionMethod::kTopNAp),
+               selection_method_name(SelectionMethod::kAuc));
+  EXPECT_STRNE(selection_method_name(SelectionMethod::kPca),
+               selection_method_name(SelectionMethod::kGainRatio));
+}
+
+}  // namespace
+}  // namespace nevermind::ml

@@ -1,0 +1,115 @@
+#include "dslsim/import.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dslsim/export.hpp"
+#include "ml/dataset.hpp"
+
+namespace nevermind::dslsim {
+namespace {
+
+class ImportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SimConfig cfg;
+    cfg.seed = 91;
+    cfg.topology.n_lines = 500;
+    data_ = new SimDataset(Simulator(cfg).run());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static const SimDataset* data_;
+};
+
+const SimDataset* ImportTest::data_ = nullptr;
+
+TEST_F(ImportTest, MeasurementsRoundTrip) {
+  std::stringstream ss;
+  export_measurements_csv(*data_, ss, 10, 12);
+  const auto imported = import_measurements_csv(ss);
+  ASSERT_TRUE(imported.has_value());
+  ASSERT_EQ(imported->size(), 3U * data_->n_lines());
+
+  for (std::size_t k = 0; k < imported->size(); k += 97) {
+    const auto& m = (*imported)[k];
+    const auto& original = data_->measurement(m.week, m.line);
+    for (std::size_t i = 0; i < kNumLineMetrics; ++i) {
+      if (ml::is_missing(original[i])) {
+        if (i == metric_index(LineMetric::kState)) {
+          EXPECT_EQ(m.metrics[i], 0.0F);
+        } else {
+          EXPECT_TRUE(ml::is_missing(m.metrics[i]));
+        }
+      } else {
+        // std::to_string prints 6 decimals; accept that rounding.
+        EXPECT_NEAR(m.metrics[i], original[i],
+                    std::max(1e-4F, std::fabs(original[i]) * 1e-5F));
+      }
+    }
+  }
+}
+
+TEST_F(ImportTest, TicketsRoundTrip) {
+  std::stringstream ss;
+  export_tickets_csv(*data_, ss);
+  const auto imported = import_tickets_csv(ss);
+  ASSERT_TRUE(imported.has_value());
+  ASSERT_EQ(imported->size(), data_->tickets().size());
+  for (std::size_t k = 0; k < imported->size(); k += 13) {
+    const auto& t = (*imported)[k];
+    const auto& original = data_->tickets()[k];
+    EXPECT_EQ(t.id, original.id);
+    EXPECT_EQ(t.line, original.line);
+    EXPECT_EQ(t.reported, original.reported);
+    EXPECT_EQ(t.resolved, original.resolved);
+    EXPECT_EQ(t.category, original.category);
+    EXPECT_EQ(t.disposition.empty(), original.note == kNoTicket);
+  }
+}
+
+TEST(Import, ParseDateKnownValues) {
+  EXPECT_EQ(parse_date("01/01/09"), 0);
+  EXPECT_EQ(parse_date("08/01/09"), util::day_from_date(8, 1));
+  EXPECT_EQ(parse_date("01/01/10"), 365);
+}
+
+TEST(Import, ParseDateRejectsGarbage) {
+  EXPECT_FALSE(parse_date("2009-01-01").has_value());
+  EXPECT_FALSE(parse_date("xx/yy/zz").has_value());
+  EXPECT_FALSE(parse_date("").has_value());
+}
+
+TEST(Import, RejectsWrongHeader) {
+  std::istringstream is("foo,bar\n1,2\n");
+  EXPECT_FALSE(import_measurements_csv(is).has_value());
+  std::istringstream is2("a,b,c,d,e,f\n");
+  EXPECT_FALSE(import_tickets_csv(is2).has_value());
+}
+
+TEST(Import, SkipsMalformedRows) {
+  std::stringstream header;
+  {
+    SimConfig cfg;
+    cfg.topology.n_lines = 10;
+    const SimDataset tiny = Simulator(cfg).run();
+    export_measurements_csv(tiny, header, 0, 0);
+  }
+  std::string text = header.str();
+  text += "not,a,valid,row\n";
+  std::istringstream is(text);
+  const auto imported = import_measurements_csv(is);
+  ASSERT_TRUE(imported.has_value());
+  EXPECT_EQ(imported->size(), 10U);
+}
+
+TEST(Import, EmptyStreamRejected) {
+  std::istringstream is("");
+  EXPECT_FALSE(import_measurements_csv(is).has_value());
+}
+
+}  // namespace
+}  // namespace nevermind::dslsim

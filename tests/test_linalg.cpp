@@ -1,0 +1,161 @@
+#include "ml/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nevermind::ml {
+namespace {
+
+TEST(Matrix, Identity) {
+  const Matrix m = Matrix::identity(3);
+  EXPECT_EQ(m.at(0, 0), 1.0);
+  EXPECT_EQ(m.at(0, 1), 0.0);
+  EXPECT_EQ(m.at(2, 2), 1.0);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+}
+
+TEST(SolveLinearSystem, Solves2x2) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  std::vector<double> x;
+  ASSERT_TRUE(solve_linear_system(a, {5.0, 10.0}, x));
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 3.0, 1e-10);
+}
+
+TEST(SolveLinearSystem, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  std::vector<double> x;
+  ASSERT_TRUE(solve_linear_system(a, {2.0, 3.0}, x));
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularFails) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  std::vector<double> x;
+  EXPECT_FALSE(solve_linear_system(a, {1.0, 2.0}, x));
+}
+
+TEST(SolveLinearSystem, ShapeMismatchFails) {
+  Matrix a(2, 3);
+  std::vector<double> x;
+  EXPECT_FALSE(solve_linear_system(a, {1.0, 2.0}, x));
+}
+
+TEST(InvertSpd, InvertsDiagonal) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 4.0;
+  a.at(1, 1) = 2.0;
+  Matrix inv;
+  ASSERT_TRUE(invert_spd(a, inv));
+  EXPECT_NEAR(inv.at(0, 0), 0.25, 1e-12);
+  EXPECT_NEAR(inv.at(1, 1), 0.5, 1e-12);
+  EXPECT_NEAR(inv.at(0, 1), 0.0, 1e-12);
+}
+
+TEST(InvertSpd, ProductIsIdentity) {
+  Matrix a(3, 3);
+  // SPD matrix: A = B^T B + I for a fixed B.
+  const double b[3][3] = {{1, 2, 0}, {0, 1, 1}, {2, 0, 1}};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double s = i == j ? 1.0 : 0.0;
+      for (int k = 0; k < 3; ++k) s += b[k][i] * b[k][j];
+      a.at(i, j) = s;
+    }
+  }
+  Matrix inv;
+  ASSERT_TRUE(invert_spd(a, inv));
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double s = 0.0;
+      for (int k = 0; k < 3; ++k) s += a.at(i, k) * inv.at(k, j);
+      EXPECT_NEAR(s, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(SymmetricEigen, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a.at(0, 0) = 1.0;
+  a.at(1, 1) = 5.0;
+  a.at(2, 2) = 3.0;
+  const EigenResult r = symmetric_eigen(a);
+  ASSERT_EQ(r.eigenvalues.size(), 3U);
+  EXPECT_NEAR(r.eigenvalues[0], 5.0, 1e-10);
+  EXPECT_NEAR(r.eigenvalues[1], 3.0, 1e-10);
+  EXPECT_NEAR(r.eigenvalues[2], 1.0, 1e-10);
+}
+
+TEST(SymmetricEigen, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 2.0;
+  const EigenResult r = symmetric_eigen(a);
+  EXPECT_NEAR(r.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.eigenvalues[1], 1.0, 1e-10);
+  // Leading eigenvector is (1,1)/sqrt(2) up to sign.
+  const double v0 = r.eigenvectors.at(0, 0);
+  const double v1 = r.eigenvectors.at(1, 0);
+  EXPECT_NEAR(std::fabs(v0), std::sqrt(0.5), 1e-8);
+  EXPECT_NEAR(v0, v1, 1e-8);
+}
+
+TEST(SymmetricEigen, EigenvectorsAreOrthonormal) {
+  Matrix a(3, 3);
+  const double vals[3][3] = {{4, 1, 0.5}, {1, 3, 0.2}, {0.5, 0.2, 2}};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) a.at(i, j) = vals[i][j];
+  }
+  const EigenResult r = symmetric_eigen(a);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double dot = 0.0;
+      for (int k = 0; k < 3; ++k) {
+        dot += r.eigenvectors.at(k, i) * r.eigenvectors.at(k, j);
+      }
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(SymmetricEigen, TraceIsPreserved) {
+  Matrix a(4, 4);
+  double trace = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i; j < 4; ++j) {
+      a.at(i, j) = 1.0 / (1.0 + i + j);
+      a.at(j, i) = a.at(i, j);
+    }
+    trace += a.at(i, i);
+  }
+  const EigenResult r = symmetric_eigen(a);
+  double sum = 0.0;
+  for (double ev : r.eigenvalues) sum += ev;
+  EXPECT_NEAR(sum, trace, 1e-9);
+}
+
+}  // namespace
+}  // namespace nevermind::ml

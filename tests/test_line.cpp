@@ -1,0 +1,254 @@
+#include "dslsim/line.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/dataset.hpp"
+#include "util/stats.hpp"
+
+namespace nevermind::dslsim {
+namespace {
+
+LinePlant typical_plant(float loop_ft = 6000.0F) {
+  LinePlant p;
+  p.loop_length_ft = loop_ft;
+  p.gauge_db_per_kft = 5.0F;
+  p.inherent_bridge_tap = false;
+  p.crosstalk_propensity = 0.1F;
+  p.noise_floor_db = 0.0F;
+  p.profile = 1;  // basic 768/384
+  return p;
+}
+
+/// Average a metric over repeated measurements.
+double avg_metric(const LinePlant& plant, const MeasurementContext& ctx,
+                  LineMetric metric, int n = 300, std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  util::RunningStats rs;
+  for (int i = 0; i < n; ++i) {
+    const MetricVector m = measure_line(plant, ctx, rng);
+    rs.add(m[metric_index(metric)]);
+  }
+  return rs.mean();
+}
+
+TEST(Line, AttenuationGrowsWithLoopLength) {
+  const MeasurementContext ctx;
+  const double short_loop =
+      avg_metric(typical_plant(3000.0F), ctx, LineMetric::kDnAttenuation);
+  const double long_loop =
+      avg_metric(typical_plant(15000.0F), ctx, LineMetric::kDnAttenuation);
+  EXPECT_GT(long_loop, short_loop + 30.0);
+}
+
+TEST(Line, RateCappedByProfile) {
+  const MeasurementContext ctx;
+  const LinePlant p = typical_plant(3000.0F);  // short loop, huge capacity
+  util::Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const MetricVector m = measure_line(p, ctx, rng);
+    EXPECT_LE(m[metric_index(LineMetric::kDnBitRate)],
+              profile(p.profile).down_kbps + 50.0);
+  }
+}
+
+TEST(Line, LongLoopCannotReachEliteRate) {
+  MeasurementContext ctx;
+  LinePlant p = typical_plant(16000.0F);
+  p.profile = 4;  // elite 6000 kbps
+  const double rate = avg_metric(p, ctx, LineMetric::kDnBitRate);
+  EXPECT_LT(rate, 4000.0);
+}
+
+TEST(Line, HealthyLineHasFewCodeViolations) {
+  const MeasurementContext ctx;
+  const double cv =
+      avg_metric(typical_plant(), ctx, LineMetric::kDnCvCnt1);
+  EXPECT_LT(cv, 15.0);
+}
+
+TEST(Line, FaultEffectsRaiseCodeViolations) {
+  MeasurementContext faulty;
+  faulty.fx.cv_rate = 60.0;
+  const double healthy =
+      avg_metric(typical_plant(), MeasurementContext{}, LineMetric::kDnCvCnt1);
+  const double sick =
+      avg_metric(typical_plant(), faulty, LineMetric::kDnCvCnt1);
+  EXPECT_GT(sick, healthy + 40.0);
+}
+
+TEST(Line, RateMultiplierCutsDeliveredRate) {
+  MeasurementContext faulty;
+  faulty.fx.rate_mult = 0.3;
+  const double healthy =
+      avg_metric(typical_plant(), MeasurementContext{}, LineMetric::kDnBitRate);
+  const double sick =
+      avg_metric(typical_plant(), faulty, LineMetric::kDnBitRate);
+  EXPECT_LT(sick, healthy * 0.5);
+}
+
+TEST(Line, AddedNoiseCutsMarginAndAttainableRate) {
+  MeasurementContext noisy;
+  noisy.fx.noise_db = 12.0;
+  const double attain_healthy = avg_metric(typical_plant(), MeasurementContext{},
+                                           LineMetric::kDnMaxAttainBr);
+  const double attain_noisy =
+      avg_metric(typical_plant(), noisy, LineMetric::kDnMaxAttainBr);
+  EXPECT_LT(attain_noisy, attain_healthy);
+}
+
+TEST(Line, AttenuationShiftInflatesLoopEstimate) {
+  // The loop-length estimate is derived from attenuation; wire faults
+  // make the loop "look longer" (the paper's >15 kft rule artefact).
+  MeasurementContext faulty;
+  faulty.fx.atten_db = 20.0;
+  const double est_healthy = avg_metric(typical_plant(), MeasurementContext{},
+                                        LineMetric::kLoopLength);
+  const double est_faulty =
+      avg_metric(typical_plant(), faulty, LineMetric::kLoopLength);
+  EXPECT_GT(est_faulty, est_healthy + 2000.0);
+}
+
+TEST(Line, InstabilityInflatesRateVariance) {
+  MeasurementContext unstable;
+  unstable.fx.instability = 1.5;
+  util::Rng rng(3);
+  util::RunningStats healthy_rs;
+  util::RunningStats unstable_rs;
+  const LinePlant p = typical_plant();
+  for (int i = 0; i < 400; ++i) {
+    healthy_rs.add(measure_line(p, MeasurementContext{}, rng)
+                       [metric_index(LineMetric::kDnBitRate)]);
+    unstable_rs.add(measure_line(p, unstable, rng)
+                        [metric_index(LineMetric::kDnBitRate)]);
+  }
+  EXPECT_GT(unstable_rs.stddev(), healthy_rs.stddev() * 2.0);
+}
+
+TEST(Line, CellsTrackUsage) {
+  MeasurementContext light;
+  light.usage_mb_week = 50.0;
+  MeasurementContext heavy;
+  heavy.usage_mb_week = 5000.0;
+  const double cells_light =
+      avg_metric(typical_plant(), light, LineMetric::kDnCells);
+  const double cells_heavy =
+      avg_metric(typical_plant(), heavy, LineMetric::kDnCells);
+  EXPECT_GT(cells_heavy, cells_light * 10.0);
+}
+
+TEST(Line, BridgeTapFlagFollowsPlantAndFault) {
+  util::Rng rng(4);
+  LinePlant tapped = typical_plant();
+  tapped.inherent_bridge_tap = true;
+  const MetricVector m = measure_line(tapped, MeasurementContext{}, rng);
+  EXPECT_EQ(m[metric_index(LineMetric::kBridgeTap)], 1.0F);
+
+  MeasurementContext fault_tap;
+  fault_tap.fx.bridge_tap_prob = 1.0;
+  const MetricVector m2 =
+      measure_line(typical_plant(), fault_tap, rng);
+  EXPECT_EQ(m2[metric_index(LineMetric::kBridgeTap)], 1.0F);
+}
+
+TEST(Line, MissingRecordShape) {
+  const MetricVector m = missing_record();
+  EXPECT_FALSE(record_present(m));
+  EXPECT_EQ(m[metric_index(LineMetric::kState)], 0.0F);
+  for (std::size_t i = 1; i < kNumLineMetrics; ++i) {
+    EXPECT_TRUE(ml::is_missing(m[i])) << metric_name(i);
+  }
+}
+
+TEST(Line, PresentRecordHasStateOne) {
+  util::Rng rng(5);
+  const MetricVector m =
+      measure_line(typical_plant(), MeasurementContext{}, rng);
+  EXPECT_TRUE(record_present(m));
+  for (std::size_t i = 0; i < kNumLineMetrics; ++i) {
+    EXPECT_FALSE(ml::is_missing(m[i])) << metric_name(i);
+  }
+}
+
+TEST(AccumulateEffects, AdditiveChannelsAdd) {
+  FaultEffects total;
+  FaultEffects a;
+  a.atten_db = 3.0;
+  a.cv_rate = 10.0;
+  accumulate_effects(total, a, 1.0);
+  accumulate_effects(total, a, 0.5);
+  EXPECT_NEAR(total.atten_db, 4.5, 1e-12);
+  EXPECT_NEAR(total.cv_rate, 15.0, 1e-12);
+}
+
+TEST(AccumulateEffects, MultiplicativeChannelsCompose) {
+  FaultEffects total;
+  FaultEffects half;
+  half.rate_mult = 0.5;
+  accumulate_effects(total, half, 1.0);
+  accumulate_effects(total, half, 1.0);
+  EXPECT_NEAR(total.rate_mult, 0.25, 1e-12);
+}
+
+TEST(AccumulateEffects, ProbabilityChannelsCombineAsIndependent) {
+  FaultEffects total;
+  FaultEffects fx;
+  fx.modem_off_prob = 0.5;
+  accumulate_effects(total, fx, 1.0);
+  accumulate_effects(total, fx, 1.0);
+  EXPECT_NEAR(total.modem_off_prob, 0.75, 1e-12);
+}
+
+TEST(AccumulateEffects, ZeroScaleIsNoOp) {
+  FaultEffects total;
+  FaultEffects fx;
+  fx.atten_db = 100.0;
+  fx.rate_mult = 0.0;
+  accumulate_effects(total, fx, 0.0);
+  EXPECT_EQ(total.atten_db, 0.0);
+  EXPECT_EQ(total.rate_mult, 1.0);
+}
+
+TEST(ModemOffProbability, CombinesCustomerAndFault) {
+  FaultEffects fx;
+  fx.modem_off_prob = 0.4;
+  EXPECT_NEAR(modem_off_probability(0.5, fx), 0.7, 1e-12);
+  EXPECT_NEAR(modem_off_probability(0.0, FaultEffects{}), 0.0, 1e-12);
+  EXPECT_NEAR(modem_off_probability(1.0, FaultEffects{}), 1.0, 1e-12);
+}
+
+TEST(PerceivedSeverity, TracksCustomerVisibleSymptoms) {
+  FaultEffects silent;
+  silent.fec_rate = 500.0;  // FEC churn is invisible to the customer
+  FaultEffects dead;
+  dead.rate_mult = 0.0;
+  dead.modem_off_prob = 0.9;
+  EXPECT_GT(perceived_severity(dead), perceived_severity(silent) + 1.0);
+  EXPECT_EQ(perceived_severity(FaultEffects{}), 0.0);
+}
+
+TEST(SamplePlant, WithinPhysicalBounds) {
+  util::Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const LinePlant p = sample_plant(rng);
+    EXPECT_GE(p.loop_length_ft, 1200.0F);
+    EXPECT_LE(p.loop_length_ft, 19500.0F);
+    EXPECT_GE(p.gauge_db_per_kft, 4.2F);
+    EXPECT_LE(p.gauge_db_per_kft, 6.4F);
+  }
+}
+
+TEST(SampleProfile, LongLoopsAvoidEliteTiers) {
+  util::Rng rng(7);
+  int elite_on_long = 0;
+  int elite_on_short = 0;
+  for (int i = 0; i < 2000; ++i) {
+    LinePlant lp = typical_plant(17000.0F);
+    LinePlant sp = typical_plant(2500.0F);
+    if (sample_profile(lp, rng) == 4) ++elite_on_long;
+    if (sample_profile(sp, rng) == 4) ++elite_on_short;
+  }
+  EXPECT_LT(elite_on_long, elite_on_short / 2 + 10);
+}
+
+}  // namespace
+}  // namespace nevermind::dslsim

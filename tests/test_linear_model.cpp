@@ -1,0 +1,116 @@
+#include "ml/linear_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/adaboost.hpp"
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace nevermind::ml {
+namespace {
+
+Dataset make_linear_problem(std::size_t n, util::Rng& rng) {
+  Dataset d({{"a", false}, {"b", false}, {"noise", false}});
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool y = rng.bernoulli(0.3);
+    const float row[3] = {static_cast<float>(rng.normal(y ? 1.0 : 0.0, 1.0)),
+                          static_cast<float>(rng.normal(y ? -0.8 : 0.0, 1.0)),
+                          static_cast<float>(rng.normal())};
+    d.add_row(row, y);
+  }
+  return d;
+}
+
+TEST(LinearModel, LearnsLinearlySeparableDirection) {
+  util::Rng rng(1);
+  const Dataset train = make_linear_problem(4000, rng);
+  const Dataset test = make_linear_problem(2000, rng);
+  const LinearModel model = train_linear_model(train);
+  EXPECT_FALSE(model.empty());
+  EXPECT_GT(auc(model.score_dataset(test), test.labels()), 0.75);
+}
+
+TEST(LinearModel, ScoreDatasetMatchesScoreFeatures) {
+  util::Rng rng(2);
+  const Dataset d = make_linear_problem(500, rng);
+  const LinearModel model = train_linear_model(d);
+  const auto scores = model.score_dataset(d);
+  std::vector<float> row(3);
+  for (std::size_t r = 0; r < d.n_rows(); r += 29) {
+    for (std::size_t j = 0; j < 3; ++j) row[j] = d.at(r, j);
+    EXPECT_NEAR(scores[r], model.score_features(row), 1e-9);
+  }
+}
+
+TEST(LinearModel, MissingValuesImputeToMean) {
+  util::Rng rng(3);
+  Dataset d({{"x", false}});
+  for (int i = 0; i < 1000; ++i) {
+    const bool y = rng.bernoulli(0.5);
+    const float x = static_cast<float>(rng.normal(y ? 1.0 : -1.0, 0.5));
+    d.add_row({&x, 1}, y);
+  }
+  const LinearModel model = train_linear_model(d);
+  // A missing value standardizes to 0 (the mean): the score must equal
+  // the intercept alone.
+  const float missing = kMissing;
+  EXPECT_NEAR(model.score_features({&missing, 1}),
+              model.logistic().coefficients[0], 1e-9);
+}
+
+TEST(LinearModel, ProbabilityInUnitInterval) {
+  util::Rng rng(4);
+  const Dataset d = make_linear_problem(800, rng);
+  const LinearModel model = train_linear_model(d);
+  std::vector<float> row(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    for (auto& v : row) v = static_cast<float>(rng.normal(0.0, 3.0));
+    const double p = model.probability(row);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(LinearModel, EmptyDatasetSafe) {
+  const Dataset d({{"x", false}});
+  const LinearModel model = train_linear_model(d);
+  EXPECT_TRUE(model.empty());
+  const float x = 1.0F;
+  EXPECT_EQ(model.score_features({&x, 1}), 0.0);
+}
+
+TEST(LinearModel, RidgeShrinksCoefficients) {
+  util::Rng rng(5);
+  const Dataset d = make_linear_problem(2000, rng);
+  LinearModelConfig weak;
+  weak.ridge = 0.01;
+  LinearModelConfig strong;
+  strong.ridge = 500.0;
+  const LinearModel loose = train_linear_model(d, weak);
+  const LinearModel tight = train_linear_model(d, strong);
+  EXPECT_LT(std::fabs(tight.logistic().coefficients[1]),
+            std::fabs(loose.logistic().coefficients[1]));
+}
+
+TEST(LinearModel, CannotExpressThresholdInteractionsAsWellAsStumps) {
+  // Motivation for BStump over plain logistic regression: a response
+  // driven by a sharp threshold with both-side noise favors stumps.
+  util::Rng rng(6);
+  Dataset train({{"x", false}});
+  Dataset test({{"x", false}});
+  for (int i = 0; i < 6000; ++i) {
+    const float x = static_cast<float>(rng.normal(0.0, 2.0));
+    // Positive only inside a band — non-monotone in x.
+    const bool y = x > -0.5F && x < 0.5F;
+    (i % 2 == 0 ? train : test).add_row({&x, 1}, y);
+  }
+  const LinearModel linear = train_linear_model(train);
+  BStumpConfig cfg;
+  cfg.iterations = 20;
+  const BStumpModel stumps = train_bstump(train, cfg);
+  EXPECT_GT(auc(stumps.score_dataset(test), test.labels()),
+            auc(linear.score_dataset(test), test.labels()) + 0.2);
+}
+
+}  // namespace
+}  // namespace nevermind::ml

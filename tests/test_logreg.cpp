@@ -1,0 +1,141 @@
+#include "ml/logreg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/mathx.hpp"
+#include "util/rng.hpp"
+
+namespace nevermind::ml {
+namespace {
+
+TEST(Logreg, RecoversCoefficients) {
+  util::Rng rng(1);
+  std::vector<double> rows;
+  std::vector<std::uint8_t> labels;
+  const double b0 = -1.0;
+  const double b1 = 2.0;
+  const double b2 = -0.5;
+  for (int i = 0; i < 30000; ++i) {
+    const double x1 = rng.normal();
+    const double x2 = rng.normal();
+    rows.push_back(x1);
+    rows.push_back(x2);
+    labels.push_back(
+        rng.bernoulli(util::sigmoid(b0 + b1 * x1 + b2 * x2)) ? 1 : 0);
+  }
+  const LogisticModel m = fit_logistic(rows, 2, labels);
+  EXPECT_TRUE(m.converged);
+  EXPECT_NEAR(m.coefficients[0], b0, 0.1);
+  EXPECT_NEAR(m.coefficients[1], b1, 0.1);
+  EXPECT_NEAR(m.coefficients[2], b2, 0.1);
+}
+
+TEST(Logreg, SignificantEffectHasSmallPValue) {
+  util::Rng rng(2);
+  std::vector<double> x;
+  std::vector<std::uint8_t> labels;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.normal();
+    x.push_back(v);
+    labels.push_back(rng.bernoulli(util::sigmoid(1.0 * v)) ? 1 : 0);
+  }
+  const LogisticModel m = fit_logistic_simple(x, labels);
+  EXPECT_LT(m.p_values[1], 0.001);
+  EXPECT_GT(m.z_values[1], 3.0);
+}
+
+TEST(Logreg, NullEffectHasLargePValue) {
+  util::Rng rng(3);
+  std::vector<double> x;
+  std::vector<std::uint8_t> labels;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.normal());
+    labels.push_back(rng.bernoulli(0.3) ? 1 : 0);
+  }
+  const LogisticModel m = fit_logistic_simple(x, labels);
+  EXPECT_GT(m.p_values[1], 0.01);
+}
+
+TEST(Logreg, InterceptOnlyMatchesBaseRate) {
+  util::Rng rng(4);
+  std::vector<std::uint8_t> labels;
+  for (int i = 0; i < 10000; ++i) labels.push_back(rng.bernoulli(0.2) ? 1 : 0);
+  const LogisticModel m = fit_logistic({}, 0, labels);
+  EXPECT_NEAR(util::sigmoid(m.coefficients[0]), 0.2, 0.02);
+}
+
+TEST(Logreg, PredictUsesCovariates) {
+  LogisticModel m;
+  m.coefficients = {0.0, 1.0};
+  const double hi[] = {3.0};
+  const double lo[] = {-3.0};
+  EXPECT_GT(m.predict(hi), 0.9);
+  EXPECT_LT(m.predict(lo), 0.1);
+}
+
+TEST(Logreg, PredictEmptyModelIsHalf) {
+  const LogisticModel m;
+  EXPECT_EQ(m.predict({}), 0.5);
+}
+
+TEST(Logreg, ShapeMismatchThrows) {
+  const std::vector<double> rows = {1.0, 2.0, 3.0};
+  const std::vector<std::uint8_t> labels = {0, 1};
+  EXPECT_THROW((void)fit_logistic(rows, 2, labels), std::invalid_argument);
+}
+
+TEST(Logreg, RidgeKeepsSeparableFitFinite) {
+  // Perfectly separable data: without regularization coefficients
+  // diverge; the ridge keeps them finite.
+  std::vector<double> x;
+  std::vector<std::uint8_t> labels;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i < 50 ? -1.0 : 1.0);
+    labels.push_back(i < 50 ? 0 : 1);
+  }
+  const LogisticModel m = fit_logistic(x, 1, labels, 1e-3);
+  EXPECT_TRUE(std::isfinite(m.coefficients[1]));
+  EXPECT_GT(m.coefficients[1], 0.0);
+}
+
+TEST(Logreg, StdErrorsShrinkWithMoreData) {
+  util::Rng rng(5);
+  auto fit_with_n = [&](int n) {
+    std::vector<double> x;
+    std::vector<std::uint8_t> labels;
+    for (int i = 0; i < n; ++i) {
+      const double v = rng.normal();
+      x.push_back(v);
+      labels.push_back(rng.bernoulli(util::sigmoid(v)) ? 1 : 0);
+    }
+    return fit_logistic_simple(x, labels);
+  };
+  const LogisticModel small = fit_with_n(500);
+  const LogisticModel large = fit_with_n(20000);
+  EXPECT_LT(large.std_errors[1], small.std_errors[1]);
+}
+
+/// Table-5 style regression: outage indicator vs per-DSLAM prediction
+/// counts, checked end-to-end on synthetic data with a known effect.
+TEST(Logreg, Table5StyleCountRegression) {
+  util::Rng rng(6);
+  std::vector<double> counts;
+  std::vector<std::uint8_t> outage;
+  for (int i = 0; i < 4000; ++i) {
+    const bool has_outage = rng.bernoulli(0.1);
+    // DSLAMs with outages attract more predictions.
+    const double count = static_cast<double>(
+        rng.poisson(has_outage ? 3.0 : 1.0));
+    counts.push_back(count);
+    outage.push_back(has_outage ? 1 : 0);
+  }
+  const LogisticModel m = fit_logistic_simple(counts, outage);
+  EXPECT_GT(m.coefficients[1], 0.0);
+  EXPECT_LT(m.p_values[1], 0.05);
+}
+
+}  // namespace
+}  // namespace nevermind::ml

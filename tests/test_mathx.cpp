@@ -1,0 +1,105 @@
+#include "util/mathx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace nevermind::util {
+namespace {
+
+TEST(Sigmoid, MidpointIsHalf) { EXPECT_NEAR(sigmoid(0.0), 0.5, 1e-12); }
+
+TEST(Sigmoid, Symmetry) {
+  for (double x : {0.1, 1.0, 3.7, 10.0}) {
+    EXPECT_NEAR(sigmoid(x) + sigmoid(-x), 1.0, 1e-12);
+  }
+}
+
+TEST(Sigmoid, SaturatesWithoutOverflow) {
+  EXPECT_NEAR(sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+TEST(Sigmoid, KnownValue) {
+  EXPECT_NEAR(sigmoid(1.0), 1.0 / (1.0 + std::exp(-1.0)), 1e-12);
+}
+
+TEST(Log1pExp, MatchesNaiveInSafeRange) {
+  for (double x : {-5.0, -1.0, 0.0, 1.0, 5.0}) {
+    EXPECT_NEAR(log1p_exp(x), std::log1p(std::exp(x)), 1e-10);
+  }
+}
+
+TEST(Log1pExp, LargePositiveIsIdentity) {
+  EXPECT_NEAR(log1p_exp(100.0), 100.0, 1e-9);
+}
+
+TEST(Log1pExp, LargeNegativeIsTiny) {
+  EXPECT_NEAR(log1p_exp(-100.0), 0.0, 1e-12);
+}
+
+TEST(NormalPdf, PeakValue) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-12);
+}
+
+TEST(NormalPdf, Symmetric) {
+  EXPECT_NEAR(normal_pdf(1.3), normal_pdf(-1.3), 1e-15);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(normal_cdf(3.0), 0.99865, 1e-4);
+}
+
+TEST(NormalCdf, Monotone) {
+  double prev = 0.0;
+  for (double x = -6.0; x <= 6.0; x += 0.1) {
+    const double v = normal_cdf(x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(TwoSidedPValue, KnownValues) {
+  EXPECT_NEAR(two_sided_p_value(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(two_sided_p_value(1.96), 0.05, 2e-3);
+  EXPECT_NEAR(two_sided_p_value(-1.96), 0.05, 2e-3);
+  EXPECT_LT(two_sided_p_value(5.0), 1e-5);
+}
+
+TEST(ClampProbability, ClampsExtremes) {
+  EXPECT_GT(clamp_probability(0.0), 0.0);
+  EXPECT_LT(clamp_probability(1.0), 1.0);
+  EXPECT_EQ(clamp_probability(0.4), 0.4);
+}
+
+TEST(Logit, InverseOfSigmoid) {
+  for (double p : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_NEAR(sigmoid(logit(p)), p, 1e-9);
+  }
+}
+
+TEST(Logit, HandlesEndpointsFinitely) {
+  EXPECT_TRUE(std::isfinite(logit(0.0)));
+  EXPECT_TRUE(std::isfinite(logit(1.0)));
+}
+
+TEST(Dot, BasicProduct) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {4.0, 5.0, 6.0};
+  EXPECT_NEAR(dot(a, b), 32.0, 1e-12);
+}
+
+TEST(Dot, MismatchedLengthsUseShorter) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {3.0, 4.0, 100.0};
+  EXPECT_NEAR(dot(a, b), 11.0, 1e-12);
+}
+
+TEST(Dot, EmptyIsZero) { EXPECT_EQ(dot({}, {}), 0.0); }
+
+}  // namespace
+}  // namespace nevermind::util

@@ -1,0 +1,131 @@
+#include "core/monitoring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace nevermind::core {
+namespace {
+
+std::vector<float> sample_normal(util::Rng& rng, std::size_t n, double mean,
+                                 double sd, double missing_rate = 0.0) {
+  std::vector<float> out(n);
+  for (auto& v : out) {
+    v = rng.bernoulli(missing_rate)
+            ? ml::kMissing
+            : static_cast<float>(rng.normal(mean, sd));
+  }
+  return out;
+}
+
+TEST(Psi, IdenticalDistributionsNearZero) {
+  util::Rng rng(1);
+  const auto ref = sample_normal(rng, 20000, 0.0, 1.0);
+  const auto cur = sample_normal(rng, 20000, 0.0, 1.0);
+  EXPECT_LT(population_stability_index(ref, cur), 0.02);
+}
+
+TEST(Psi, ShiftedDistributionFlagged) {
+  util::Rng rng(2);
+  const auto ref = sample_normal(rng, 20000, 0.0, 1.0);
+  const auto shifted = sample_normal(rng, 20000, 1.5, 1.0);
+  EXPECT_GT(population_stability_index(ref, shifted), 0.25);
+}
+
+TEST(Psi, VarianceChangeFlagged) {
+  util::Rng rng(3);
+  const auto ref = sample_normal(rng, 20000, 0.0, 1.0);
+  const auto wide = sample_normal(rng, 20000, 0.0, 3.0);
+  EXPECT_GT(population_stability_index(ref, wide), 0.25);
+}
+
+TEST(Psi, MissingRateChangeFlagged) {
+  util::Rng rng(4);
+  const auto ref = sample_normal(rng, 20000, 0.0, 1.0, 0.02);
+  const auto gappy = sample_normal(rng, 20000, 0.0, 1.0, 0.5);
+  EXPECT_GT(population_stability_index(ref, gappy), 0.25);
+}
+
+TEST(Psi, SymmetricInMagnitude) {
+  // PSI(shift up) and PSI(shift down) should both alarm.
+  util::Rng rng(5);
+  const auto ref = sample_normal(rng, 20000, 0.0, 1.0);
+  const auto up = sample_normal(rng, 20000, 1.0, 1.0);
+  const auto down = sample_normal(rng, 20000, -1.0, 1.0);
+  EXPECT_GT(population_stability_index(ref, up), 0.1);
+  EXPECT_GT(population_stability_index(ref, down), 0.1);
+}
+
+TEST(Psi, ConstantColumnSafe) {
+  const std::vector<float> ref(1000, 5.0F);
+  const std::vector<float> cur(1000, 5.0F);
+  EXPECT_LT(population_stability_index(ref, cur), 1e-9);
+}
+
+ml::Dataset make_block(util::Rng& rng, std::size_t n, double shift_b) {
+  ml::Dataset d({{"a", false}, {"b", false}});
+  for (std::size_t i = 0; i < n; ++i) {
+    const float row[2] = {
+        static_cast<float>(rng.normal()),
+        static_cast<float>(rng.normal(shift_b, 1.0))};
+    d.add_row(row, false);
+  }
+  return d;
+}
+
+TEST(DriftMonitor, FlagsOnlyDriftedColumn) {
+  util::Rng rng(6);
+  const ml::Dataset reference = make_block(rng, 10000, 0.0);
+  const ml::Dataset drifted = make_block(rng, 10000, 2.0);
+  DriftMonitor monitor;
+  monitor.fit(reference);
+  ASSERT_TRUE(monitor.fitted());
+  const auto psi = monitor.column_psi(drifted);
+  ASSERT_EQ(psi.size(), 2U);
+  EXPECT_LT(psi[0], 0.1);
+  EXPECT_GT(psi[1], 0.25);
+
+  const auto alerts = monitor.alerts(drifted);
+  ASSERT_EQ(alerts.size(), 1U);
+  EXPECT_EQ(alerts[0].name, "b");
+}
+
+TEST(DriftMonitor, NoAlertsOnStableStream) {
+  util::Rng rng(7);
+  const ml::Dataset reference = make_block(rng, 10000, 0.0);
+  const ml::Dataset fresh = make_block(rng, 10000, 0.0);
+  DriftMonitor monitor;
+  monitor.fit(reference);
+  EXPECT_TRUE(monitor.alerts(fresh).empty());
+}
+
+TEST(DriftMonitor, AlertsSortedBySeverity) {
+  util::Rng rng(8);
+  ml::Dataset reference({{"a", false}, {"b", false}});
+  ml::Dataset drifted({{"a", false}, {"b", false}});
+  for (int i = 0; i < 8000; ++i) {
+    const float ref_row[2] = {static_cast<float>(rng.normal()),
+                              static_cast<float>(rng.normal())};
+    reference.add_row(ref_row, false);
+    const float drift_row[2] = {static_cast<float>(rng.normal(1.0, 1.0)),
+                                static_cast<float>(rng.normal(3.0, 1.0))};
+    drifted.add_row(drift_row, false);
+  }
+  DriftMonitor monitor;
+  monitor.fit(reference);
+  const auto alerts = monitor.alerts(drifted, 0.1);
+  ASSERT_EQ(alerts.size(), 2U);
+  EXPECT_EQ(alerts[0].name, "b");
+  EXPECT_GE(alerts[0].psi, alerts[1].psi);
+}
+
+TEST(DriftMonitor, UnfittedIsEmpty) {
+  DriftMonitor monitor;
+  EXPECT_FALSE(monitor.fitted());
+  util::Rng rng(9);
+  const ml::Dataset block = make_block(rng, 100, 0.0);
+  EXPECT_TRUE(monitor.column_psi(block).empty());
+}
+
+}  // namespace
+}  // namespace nevermind::core

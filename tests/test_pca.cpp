@@ -1,0 +1,126 @@
+#include "ml/pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace nevermind::ml {
+namespace {
+
+TEST(Pca, RecoversPrincipalDirection) {
+  util::Rng rng(1);
+  Dataset d({{"x", false}, {"y", false}});
+  for (int i = 0; i < 3000; ++i) {
+    const double t = rng.normal();
+    const float row[2] = {static_cast<float>(t + 0.1 * rng.normal()),
+                          static_cast<float>(t + 0.1 * rng.normal())};
+    d.add_row(row, false);
+  }
+  const PcaResult pca = fit_pca(d);
+  ASSERT_EQ(pca.eigenvalues.size(), 2U);
+  // Standardized, nearly perfectly correlated pair: eigenvalues ~ (2, 0).
+  EXPECT_GT(pca.eigenvalues[0], 1.8);
+  EXPECT_LT(pca.eigenvalues[1], 0.2);
+  // Leading component loads equally on both (up to sign).
+  EXPECT_NEAR(std::fabs(pca.components.at(0, 0)),
+              std::fabs(pca.components.at(1, 0)), 0.05);
+}
+
+TEST(Pca, IndependentColumnsGiveFlatSpectrum) {
+  util::Rng rng(2);
+  Dataset d({{"a", false}, {"b", false}, {"c", false}});
+  for (int i = 0; i < 3000; ++i) {
+    const float row[3] = {static_cast<float>(rng.normal()),
+                          static_cast<float>(rng.normal()),
+                          static_cast<float>(rng.normal())};
+    d.add_row(row, false);
+  }
+  const PcaResult pca = fit_pca(d);
+  for (double ev : pca.eigenvalues) EXPECT_NEAR(ev, 1.0, 0.15);
+}
+
+TEST(Pca, EigenvaluesDescending) {
+  util::Rng rng(3);
+  Dataset d({{"a", false}, {"b", false}, {"c", false}, {"d", false}});
+  for (int i = 0; i < 1000; ++i) {
+    const double t = rng.normal();
+    const float row[4] = {static_cast<float>(t),
+                          static_cast<float>(t + rng.normal()),
+                          static_cast<float>(rng.normal()),
+                          static_cast<float>(rng.normal() * 0.1)};
+    d.add_row(row, false);
+  }
+  const PcaResult pca = fit_pca(d);
+  for (std::size_t i = 1; i < pca.eigenvalues.size(); ++i) {
+    EXPECT_GE(pca.eigenvalues[i - 1], pca.eigenvalues[i] - 1e-9);
+  }
+}
+
+TEST(Pca, MissingValuesImputedToMean) {
+  util::Rng rng(4);
+  Dataset d({{"x", false}, {"y", false}});
+  for (int i = 0; i < 500; ++i) {
+    const double t = rng.normal();
+    const float row[2] = {
+        i % 10 == 0 ? kMissing : static_cast<float>(t),
+        static_cast<float>(t)};
+    d.add_row(row, false);
+  }
+  const PcaResult pca = fit_pca(d);
+  EXPECT_TRUE(std::isfinite(pca.eigenvalues[0]));
+  EXPECT_GT(pca.eigenvalues[0], 1.5);  // correlation survives imputation
+}
+
+TEST(Pca, SubsamplingApproximatesFull) {
+  util::Rng rng(5);
+  Dataset d({{"x", false}, {"y", false}});
+  for (int i = 0; i < 4000; ++i) {
+    const double t = rng.normal();
+    const float row[2] = {static_cast<float>(t),
+                          static_cast<float>(-t + 0.2 * rng.normal())};
+    d.add_row(row, false);
+  }
+  const PcaResult full = fit_pca(d);
+  const PcaResult sub = fit_pca(d, 500);
+  EXPECT_NEAR(full.eigenvalues[0], sub.eigenvalues[0], 0.1);
+}
+
+TEST(Pca, FeatureScoresFavorLoadedColumns) {
+  util::Rng rng(6);
+  Dataset d({{"signal1", false}, {"signal2", false}, {"noise", false}});
+  for (int i = 0; i < 2000; ++i) {
+    const double t = rng.normal();
+    const float row[3] = {static_cast<float>(t + 0.1 * rng.normal()),
+                          static_cast<float>(t + 0.1 * rng.normal()),
+                          static_cast<float>(rng.normal())};
+    d.add_row(row, false);
+  }
+  const PcaResult pca = fit_pca(d);
+  const auto scores = pca_feature_scores(pca, 1);
+  EXPECT_GT(scores[0], scores[2]);
+  EXPECT_GT(scores[1], scores[2]);
+}
+
+TEST(Pca, EmptyDatasetSafe) {
+  const Dataset d({{"x", false}});
+  const PcaResult pca = fit_pca(d);
+  EXPECT_EQ(pca.column_means.size(), 1U);
+  const auto scores = pca_feature_scores(pca, 3);
+  EXPECT_EQ(scores.size(), 1U);
+}
+
+TEST(Pca, ConstantColumnHandled) {
+  Dataset d({{"const", false}, {"var", false}});
+  util::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const float row[2] = {5.0F, static_cast<float>(rng.normal())};
+    d.add_row(row, false);
+  }
+  const PcaResult pca = fit_pca(d);
+  for (double ev : pca.eigenvalues) EXPECT_TRUE(std::isfinite(ev));
+}
+
+}  // namespace
+}  // namespace nevermind::ml

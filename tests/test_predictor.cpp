@@ -1,0 +1,165 @@
+#include "core/ticket_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.hpp"
+#include "util/calendar.hpp"
+
+namespace nevermind::core {
+namespace {
+
+class PredictorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dslsim::SimConfig cfg;
+    cfg.seed = 21;
+    cfg.topology.n_lines = 5000;
+    data_ = new dslsim::SimDataset(dslsim::Simulator(cfg).run());
+
+    PredictorConfig pcfg;
+    pcfg.top_n = 50;
+    pcfg.boost_iterations = 120;
+    predictor_ = new TicketPredictor(pcfg);
+    predictor_->train(*data_, 30, 38);
+  }
+  static void TearDownTestSuite() {
+    delete predictor_;
+    delete data_;
+    predictor_ = nullptr;
+    data_ = nullptr;
+  }
+  static const dslsim::SimDataset* data_;
+  static TicketPredictor* predictor_;
+};
+
+const dslsim::SimDataset* PredictorTest::data_ = nullptr;
+TicketPredictor* PredictorTest::predictor_ = nullptr;
+
+TEST_F(PredictorTest, TrainsAndSelectsFeatures) {
+  EXPECT_TRUE(predictor_->trained());
+  EXPECT_FALSE(predictor_->selected_features().empty());
+  EXPECT_LE(predictor_->selected_features().size(),
+            predictor_->config().max_selected_features);
+  EXPECT_EQ(predictor_->selected_features().size(),
+            predictor_->selected_columns().size());
+}
+
+TEST_F(PredictorTest, SelectedFeatureIndicesAreSorted) {
+  const auto& sel = predictor_->selected_features();
+  for (std::size_t i = 1; i < sel.size(); ++i) {
+    EXPECT_LT(sel[i - 1], sel[i]);
+  }
+}
+
+TEST_F(PredictorTest, PredictionsCoverAllLinesSortedByScore) {
+  const auto preds = predictor_->predict_week(*data_, 43);
+  ASSERT_EQ(preds.size(), data_->n_lines());
+  for (std::size_t i = 1; i < preds.size(); ++i) {
+    EXPECT_GE(preds[i - 1].score, preds[i].score);
+  }
+}
+
+TEST_F(PredictorTest, ProbabilitiesAreValidAndMonotoneInScore) {
+  const auto preds = predictor_->predict_week(*data_, 43);
+  for (std::size_t i = 0; i < preds.size(); i += 97) {
+    EXPECT_GE(preds[i].probability, 0.0);
+    EXPECT_LE(preds[i].probability, 1.0);
+  }
+  EXPECT_GE(preds.front().probability, preds.back().probability);
+}
+
+TEST_F(PredictorTest, BeatsRandomRankingByLargeFactor) {
+  const auto preds = predictor_->predict_week(*data_, 43);
+  const util::Day day = util::saturday_of_week(43);
+
+  // Base rate: positives among all lines.
+  std::size_t positives = 0;
+  for (dslsim::LineId u = 0; u < data_->n_lines(); ++u) {
+    const auto next = data_->next_edge_ticket_after(u, day);
+    positives += next.has_value() && *next <= day + 28 ? 1 : 0;
+  }
+  const double base_rate =
+      static_cast<double>(positives) / static_cast<double>(data_->n_lines());
+
+  // Precision in the top 50.
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto next = data_->next_edge_ticket_after(preds[i].line, day);
+    hits += next.has_value() && *next <= day + 28 ? 1 : 0;
+  }
+  const double precision = static_cast<double>(hits) / 50.0;
+  EXPECT_GT(precision, 5.0 * base_rate);
+}
+
+TEST_F(PredictorTest, ScoreBlockMatchesPredictWeek) {
+  const features::TicketLabeler labeler{28};
+  const auto block = features::encode_weeks(
+      *data_, 43, 43, predictor_->full_encoder_config(), labeler);
+  const auto scores = predictor_->score_block(block);
+  const auto preds = predictor_->predict_week(*data_, 43);
+  // The top-ranked line's score appears in the block's scores.
+  const auto it =
+      std::find(block.line_of_row.begin(), block.line_of_row.end(),
+                preds.front().line);
+  ASSERT_NE(it, block.line_of_row.end());
+  const auto row = static_cast<std::size_t>(it - block.line_of_row.begin());
+  EXPECT_NEAR(scores[row], preds.front().score, 1e-9);
+}
+
+TEST_F(PredictorTest, PredictBeforeTrainThrows) {
+  TicketPredictor fresh{PredictorConfig{}};
+  EXPECT_THROW((void)fresh.predict_week(*data_, 43), std::logic_error);
+}
+
+TEST_F(PredictorTest, EmptyTrainRangeThrows) {
+  TicketPredictor fresh{PredictorConfig{}};
+  EXPECT_THROW(fresh.train(*data_, 10, 5), std::invalid_argument);
+}
+
+TEST(Predictor, BaselineSelectionMethodsAlsoTrain) {
+  dslsim::SimConfig cfg;
+  cfg.seed = 22;
+  cfg.topology.n_lines = 2000;
+  const dslsim::SimDataset data = dslsim::Simulator(cfg).run();
+
+  for (const auto method :
+       {ml::SelectionMethod::kAuc, ml::SelectionMethod::kPca,
+        ml::SelectionMethod::kGainRatio}) {
+    PredictorConfig pcfg;
+    pcfg.top_n = 20;
+    pcfg.boost_iterations = 40;
+    pcfg.selection = method;
+    pcfg.use_derived_features = false;
+    pcfg.max_selected_features = 20;
+    TicketPredictor p(pcfg);
+    p.train(data, 30, 36);
+    EXPECT_TRUE(p.trained()) << ml::selection_method_name(method);
+    EXPECT_LE(p.selected_features().size(), 20U);
+  }
+}
+
+TEST(Predictor, DeterministicAcrossIdenticalRuns) {
+  dslsim::SimConfig cfg;
+  cfg.seed = 23;
+  cfg.topology.n_lines = 1500;
+  const dslsim::SimDataset data = dslsim::Simulator(cfg).run();
+
+  PredictorConfig pcfg;
+  pcfg.top_n = 15;
+  pcfg.boost_iterations = 30;
+  pcfg.use_derived_features = false;
+  TicketPredictor a(pcfg);
+  TicketPredictor b(pcfg);
+  a.train(data, 30, 36);
+  b.train(data, 30, 36);
+  const auto pa = a.predict_week(data, 40);
+  const auto pb = b.predict_week(data, 40);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(pa[i].line, pb[i].line);
+    EXPECT_EQ(pa[i].score, pb[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace nevermind::core

@@ -1,0 +1,158 @@
+// Cross-module property tests: invariants that must hold by *theory*,
+// checked over randomized instances. These guard the ML core against
+// subtle regressions that example-based tests miss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/monitoring.hpp"
+#include "ml/adaboost.hpp"
+#include "ml/metrics.hpp"
+#include "ml/stump.hpp"
+#include "util/rng.hpp"
+
+namespace nevermind {
+namespace {
+
+using ml::Dataset;
+
+Dataset random_problem(util::Rng& rng, std::size_t n, double positive_rate,
+                       double signal) {
+  Dataset d({{"a", false}, {"b", false}, {"c", false}});
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool y = rng.bernoulli(positive_rate);
+    const float row[3] = {
+        static_cast<float>(rng.normal(y ? signal : 0.0, 1.0)),
+        static_cast<float>(rng.normal(y ? signal * 0.5 : 0.0, 1.0)),
+        static_cast<float>(rng.normal())};
+    d.add_row(row, y);
+  }
+  return d;
+}
+
+class PropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// Schapire–Singer theorem: the training error of the thresholded
+/// ensemble is bounded by the product of the per-round normalizers Z_t.
+TEST_P(PropertySweep, AdaBoostTrainingErrorBoundedByProductOfZ) {
+  util::Rng rng(GetParam());
+  const Dataset d = random_problem(rng, 1500, 0.3, 1.0);
+  ml::BStumpConfig cfg;
+  cfg.iterations = 40;
+  ml::TrainDiagnostics diag;
+  (void)ml::train_bstump(d, cfg, &diag);
+  double bound = 1.0;
+  for (double z : diag.z_per_round) bound *= z;
+  EXPECT_LE(diag.final_training_error, bound + 1e-9);
+}
+
+/// The Z values reported per round never exceed 1 (a weak learner that
+/// is at least as good as abstaining always exists).
+TEST_P(PropertySweep, AdaBoostZNeverExceedsOne) {
+  util::Rng rng(GetParam() ^ 0x1111);
+  const Dataset d = random_problem(rng, 800, 0.2, 0.5);
+  ml::BStumpConfig cfg;
+  cfg.iterations = 25;
+  ml::TrainDiagnostics diag;
+  (void)ml::train_bstump(d, cfg, &diag);
+  for (double z : diag.z_per_round) EXPECT_LE(z, 1.0 + 1e-12);
+}
+
+/// The exhaustive stump search returns a split at least as good (lower
+/// Z) as any randomly sampled competitor on the same weights.
+TEST_P(PropertySweep, BestStumpBeatsRandomStumps) {
+  util::Rng rng(GetParam() ^ 0x2222);
+  const Dataset d = random_problem(rng, 600, 0.4, 0.8);
+  const std::vector<double> w(d.n_rows(), 1.0 / static_cast<double>(d.n_rows()));
+  const ml::SortedColumns sorted(d);
+  const auto best = ml::find_best_stump(d, sorted, w, 0.01);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    // A random competitor: the best threshold search restricted to one
+    // random feature cannot beat searching all features.
+    const auto feature = rng.uniform_index(d.n_cols());
+    const auto candidate = ml::find_best_stump_for_feature(
+        d, sorted, w, 0.01, feature);
+    EXPECT_LE(best.z, candidate.z + 1e-12);
+  }
+}
+
+/// AP(N) and AUC are invariant under strictly increasing transforms of
+/// the scores.
+TEST_P(PropertySweep, RankingMetricsMonotoneInvariant) {
+  util::Rng rng(GetParam() ^ 0x3333);
+  std::vector<double> scores(400);
+  std::vector<double> transformed(400);
+  std::vector<std::uint8_t> labels(400);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.normal();
+    transformed[i] = std::tanh(scores[i]) * 2.0 + 11.0;
+    labels[i] = rng.bernoulli(0.15) ? 1 : 0;
+  }
+  EXPECT_NEAR(ml::top_n_average_precision(scores, labels, 50),
+              ml::top_n_average_precision(transformed, labels, 50), 1e-12);
+  EXPECT_NEAR(ml::average_precision(scores, labels),
+              ml::average_precision(transformed, labels), 1e-12);
+  EXPECT_NEAR(ml::auc(scores, labels), ml::auc(transformed, labels), 1e-12);
+}
+
+/// Precision@k of the reversed ranking plus the original cannot both
+/// be above the base rate by much, and each stays within [0, 1].
+TEST_P(PropertySweep, PrecisionBoundedAndComplementary) {
+  util::Rng rng(GetParam() ^ 0x4444);
+  std::vector<double> scores(500);
+  std::vector<std::uint8_t> labels(500);
+  std::size_t positives = 0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.normal();
+    labels[i] = rng.bernoulli(0.3) ? 1 : 0;
+    positives += labels[i];
+  }
+  const double p = ml::precision_at_k(scores, labels, 100);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+  // Total positives constrain any cutoff's hit count.
+  EXPECT_LE(p * 100.0, static_cast<double>(positives) + 1e-9);
+}
+
+/// PSI is non-negative and zero against itself.
+TEST_P(PropertySweep, PsiNonNegativeAndReflexiveZero) {
+  util::Rng rng(GetParam() ^ 0x5555);
+  std::vector<float> ref(3000);
+  std::vector<float> cur(3000);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ref[i] = static_cast<float>(rng.lognormal(0.0, 1.0));
+    cur[i] = static_cast<float>(rng.lognormal(0.3, 1.2));
+  }
+  EXPECT_GE(core::population_stability_index(ref, cur), 0.0);
+  EXPECT_LT(core::population_stability_index(ref, ref), 1e-9);
+}
+
+/// Boosting margins: adding rounds never increases the exponential
+/// loss on the training set (that is exactly what each round greedily
+/// minimizes).
+TEST_P(PropertySweep, ExponentialLossNonIncreasingInRounds) {
+  util::Rng rng(GetParam() ^ 0x6666);
+  const Dataset d = random_problem(rng, 1000, 0.3, 0.9);
+  ml::BStumpConfig small;
+  small.iterations = 5;
+  ml::BStumpConfig large;
+  large.iterations = 40;
+  const auto exp_loss = [&](const ml::BStumpModel& m) {
+    const auto scores = m.score_dataset(d);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      const double y = d.label(i) ? 1.0 : -1.0;
+      loss += std::exp(-y * scores[i]);
+    }
+    return loss;
+  };
+  EXPECT_LE(exp_loss(ml::train_bstump(d, large)),
+            exp_loss(ml::train_bstump(d, small)) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace nevermind

@@ -1,0 +1,277 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace nevermind::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedIsNotDegenerate) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.next());
+  EXPECT_GT(seen.size(), 95U);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(7);
+  Rng child = parent.fork();
+  // The fork must not replay the parent's stream.
+  Rng parent2(7);
+  parent2.next();  // fork consumed one draw
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += child.next() == parent2.next() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(12);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.5, 2.5);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng r(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng r(14);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[r.uniform_index(7)];
+  for (int c : counts) EXPECT_NEAR(c, n / 7, n / 7 / 5);
+}
+
+TEST(Rng, UniformIndexZeroIsZero) {
+  Rng r(15);
+  EXPECT_EQ(r.uniform_index(0), 0U);
+  EXPECT_EQ(r.uniform_index(1), 0U);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(16);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(17);
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng r(18);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += r.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng r(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(r.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng r(20);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng r(21);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.poisson(3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng r(22);
+  EXPECT_EQ(r.poisson(0.0), 0U);
+  EXPECT_EQ(r.poisson(-1.0), 0U);
+}
+
+TEST(Rng, PoissonLargeMeanUsesApproximation) {
+  Rng r(23);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.poisson(100.0));
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(24);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng r(25);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.geometric(0.5));
+  EXPECT_NEAR(sum / n, 1.0, 0.05);  // failures before success: (1-p)/p
+}
+
+TEST(Rng, GeometricEdgeCases) {
+  Rng r(26);
+  EXPECT_EQ(r.geometric(1.0), 0U);
+  EXPECT_EQ(r.geometric(1.5), 0U);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng r(27);
+  const double weights[] = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[r.categorical(weights)];
+  EXPECT_NEAR(counts[0], n * 0.1, n * 0.02);
+  EXPECT_NEAR(counts[1], n * 0.3, n * 0.02);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3], n * 0.6, n * 0.02);
+}
+
+TEST(Rng, CategoricalAllZeroWeights) {
+  Rng r(28);
+  const double weights[] = {0.0, 0.0};
+  EXPECT_EQ(r.categorical(weights), 0U);
+}
+
+TEST(Rng, CategoricalNegativeWeightsTreatedAsZero) {
+  Rng r(29);
+  const double weights[] = {-5.0, 1.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.categorical(weights), 1U);
+}
+
+TEST(Rng, ParetoLowerBound) {
+  Rng r(30);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ParetoHeavyTailMean) {
+  // E[X] = xm * a / (a - 1) for a > 1.
+  Rng r(33);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += r.pareto(1.0, 3.0);
+  EXPECT_NEAR(sum / n, 1.5, 0.05);
+}
+
+TEST(Rng, ForkChainsAreDeterministic) {
+  Rng a(5);
+  Rng b(5);
+  Rng a1 = a.fork();
+  Rng a2 = a1.fork();
+  Rng b1 = b.fork();
+  Rng b2 = b1.fork();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a2.next(), b2.next());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(31);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto copy = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, ShuffleChangesOrder) {
+  Rng r(32);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  r.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+/// Property sweep: distribution moments hold across seeds.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformMomentsStableAcrossSeeds) {
+  Rng r(GetParam());
+  const int n = 50000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.uniform();
+    sum += u;
+    sq += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+  EXPECT_NEAR(sq / n - (sum / n) * (sum / n), 1.0 / 12.0, 0.01);
+}
+
+TEST_P(RngSeedSweep, NormalTailsNotFat) {
+  Rng r(GetParam() ^ 0xABCDEF);
+  int beyond3 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) beyond3 += std::fabs(r.normal()) > 3.0 ? 1 : 0;
+  // P(|Z|>3) ~ 0.27%; allow generous slack.
+  EXPECT_LT(beyond3, n / 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 7, 42, 1234, 99999, 0));
+
+}  // namespace
+}  // namespace nevermind::util

@@ -1,0 +1,108 @@
+#include "ml/roc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace nevermind::ml {
+namespace {
+
+TEST(Roc, PerfectSeparationCurve) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<std::uint8_t> labels = {1, 1, 0, 0};
+  const auto curve = roc_curve(scores, labels);
+  // Passes through (0,1): all positives before any negative.
+  bool corner = false;
+  for (const auto& p : curve) {
+    if (p.true_positive_rate == 1.0 && p.false_positive_rate == 0.0) {
+      corner = true;
+    }
+  }
+  EXPECT_TRUE(corner);
+  EXPECT_NEAR(area_under(curve), 1.0, 1e-12);
+}
+
+TEST(Roc, MonotoneRates) {
+  util::Rng rng(1);
+  std::vector<double> scores(500);
+  std::vector<std::uint8_t> labels(500);
+  for (std::size_t i = 0; i < 500; ++i) {
+    scores[i] = rng.normal();
+    labels[i] = rng.bernoulli(0.3) ? 1 : 0;
+  }
+  const auto curve = roc_curve(scores, labels);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].true_positive_rate, curve[i - 1].true_positive_rate);
+    EXPECT_GE(curve[i].false_positive_rate, curve[i - 1].false_positive_rate);
+    EXPECT_LE(curve[i].threshold, curve[i - 1].threshold);
+  }
+  EXPECT_NEAR(curve.back().true_positive_rate, 1.0, 1e-12);
+  EXPECT_NEAR(curve.back().false_positive_rate, 1.0, 1e-12);
+}
+
+TEST(Roc, AreaMatchesRankSumAuc) {
+  util::Rng rng(2);
+  std::vector<double> scores(2000);
+  std::vector<std::uint8_t> labels(2000);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const bool y = rng.bernoulli(0.2);
+    scores[i] = rng.normal(y ? 0.8 : 0.0, 1.0);
+    labels[i] = y ? 1 : 0;
+  }
+  const auto curve = roc_curve(scores, labels);
+  EXPECT_NEAR(area_under(curve), auc(scores, labels), 1e-9);
+}
+
+TEST(Roc, TiedScoresGroupIntoOnePoint) {
+  const std::vector<double> scores = {0.5, 0.5, 0.5};
+  const std::vector<std::uint8_t> labels = {1, 0, 1};
+  const auto curve = roc_curve(scores, labels);
+  // Origin point + one tie-group point.
+  EXPECT_EQ(curve.size(), 2U);
+  EXPECT_NEAR(area_under(curve), 0.5, 1e-12);
+}
+
+TEST(PrCurve, PrecisionAtEachCutMatchesMetric) {
+  util::Rng rng(3);
+  std::vector<double> scores(300);
+  std::vector<std::uint8_t> labels(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    scores[i] = rng.uniform();  // distinct with prob ~1
+    labels[i] = rng.bernoulli(0.25) ? 1 : 0;
+  }
+  const auto curve = precision_recall_curve(scores, labels);
+  for (std::size_t i = 0; i < curve.size(); i += 37) {
+    EXPECT_NEAR(curve[i].precision,
+                precision_at_k(scores, labels, curve[i].predicted_positive),
+                1e-12);
+  }
+}
+
+TEST(PrCurve, RecallMonotoneAndEndsAtOne) {
+  util::Rng rng(4);
+  std::vector<double> scores(400);
+  std::vector<std::uint8_t> labels(400);
+  for (std::size_t i = 0; i < 400; ++i) {
+    scores[i] = rng.normal();
+    labels[i] = rng.bernoulli(0.3) ? 1 : 0;
+  }
+  const auto curve = precision_recall_curve(scores, labels);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].recall, curve[i - 1].recall);
+  }
+  EXPECT_NEAR(curve.back().recall, 1.0, 1e-12);
+}
+
+TEST(PrCurve, NoPositivesGivesZeroRecall) {
+  const std::vector<double> scores = {0.2, 0.1};
+  const std::vector<std::uint8_t> labels = {0, 0};
+  const auto curve = precision_recall_curve(scores, labels);
+  for (const auto& p : curve) {
+    EXPECT_EQ(p.recall, 0.0);
+    EXPECT_EQ(p.precision, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace nevermind::ml

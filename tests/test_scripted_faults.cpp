@@ -1,0 +1,107 @@
+// Controlled-experiment support: scripted faults let a test pin exactly
+// which line breaks, how, and when — then assert the whole pipeline
+// (measurement, prediction signal, dispatch blame) reacts.
+#include <gtest/gtest.h>
+
+#include "dslsim/simulator.hpp"
+#include "ml/dataset.hpp"
+#include "util/stats.hpp"
+
+namespace nevermind::dslsim {
+namespace {
+
+SimConfig quiet_config() {
+  SimConfig cfg;
+  cfg.seed = 101;
+  cfg.topology.n_lines = 400;
+  cfg.weekly_fault_rate = 0.0;  // only scripted faults
+  cfg.outage_rate_per_dslam_year = 0.0;
+  cfg.billing_tickets_per_line_year = 0.0;
+  return cfg;
+}
+
+DispositionId find_code(const FaultCatalog& cat, const char* code) {
+  for (DispositionId i = 0; i < cat.size(); ++i) {
+    if (cat.signature(i).code == code) return i;
+  }
+  return 0;
+}
+
+TEST(ScriptedFaults, EpisodeAppearsWithExactParameters) {
+  SimConfig cfg = quiet_config();
+  cfg.scripted_faults.push_back({.line = 7, .disposition = 0,
+                                 .onset = util::day_from_date(6, 1),
+                                 .severity = 2.0F});
+  const SimDataset data = Simulator(cfg).run();
+  ASSERT_GE(data.episodes().size(), 1U);
+  bool found = false;
+  for (const auto& e : data.episodes()) {
+    if (e.line == 7) {
+      EXPECT_EQ(e.onset, util::day_from_date(6, 1));
+      EXPECT_EQ(e.severity, 2.0F);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ScriptedFaults, QuietWorldHasNoOtherEpisodes) {
+  SimConfig cfg = quiet_config();
+  cfg.scripted_faults.push_back({.line = 3, .disposition = 1,
+                                 .onset = 100, .severity = 1.0F});
+  const SimDataset data = Simulator(cfg).run();
+  EXPECT_EQ(data.episodes().size(), 1U);
+  for (const auto& t : data.tickets()) {
+    EXPECT_EQ(t.line, 3U);
+  }
+}
+
+TEST(ScriptedFaults, SevereWireFaultVisibleInMeasurements) {
+  SimConfig cfg = quiet_config();
+  // F1-WET: degrading attenuation/noise/CV fault.
+  FaultCatalog reference(cfg.seed, cfg.minor_variants_per_location);
+  const DispositionId wet = find_code(reference, "F1-WET");
+  const util::Day onset = util::day_from_date(5, 1);
+  cfg.scripted_faults.push_back(
+      {.line = 11, .disposition = wet, .onset = onset, .severity = 2.0F});
+  cfg.notice_scale = 0.0;  // never reported: fault persists
+  const SimDataset data = Simulator(cfg).run();
+
+  // Compare CV counts well before vs well after onset (past the ramp).
+  const int before_week = util::test_week_of(onset) - 6;
+  const int after_week = util::test_week_of(onset) + 6;
+  const auto cv_index = metric_index(LineMetric::kDnCvCnt1);
+  const auto& before = data.measurement(before_week, 11);
+  const auto& after = data.measurement(after_week, 11);
+  if (record_present(before) && record_present(after)) {
+    EXPECT_GT(after[cv_index], before[cv_index] + 30.0F);
+  }
+}
+
+TEST(ScriptedFaults, ReportedFaultBlamedAtItsLocation) {
+  SimConfig cfg = quiet_config();
+  FaultCatalog reference(cfg.seed, cfg.minor_variants_per_location);
+  const DispositionId cut = find_code(reference, "F1-CUT");
+  cfg.scripted_faults.push_back(
+      {.line = 5, .disposition = cut, .onset = 120, .severity = 2.0F});
+  cfg.label_noise_any = 0.0;
+  cfg.label_noise_same_location = 0.0;
+  cfg.notice_scale = 5.0;  // noticed almost immediately
+  const SimDataset data = Simulator(cfg).run();
+  ASSERT_FALSE(data.notes().empty());
+  EXPECT_EQ(data.notes().front().disposition, cut);
+  EXPECT_EQ(data.notes().front().location, MajorLocation::kF1);
+}
+
+TEST(ScriptedFaults, OutOfRangeScriptsIgnored) {
+  SimConfig cfg = quiet_config();
+  cfg.scripted_faults.push_back(
+      {.line = 99999, .disposition = 0, .onset = 10, .severity = 1.0F});
+  cfg.scripted_faults.push_back(
+      {.line = 0, .disposition = 60000, .onset = 10, .severity = 1.0F});
+  const SimDataset data = Simulator(cfg).run();
+  EXPECT_TRUE(data.episodes().empty());
+}
+
+}  // namespace
+}  // namespace nevermind::dslsim

@@ -1,0 +1,128 @@
+#include "ml/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace nevermind::ml {
+namespace {
+
+BStumpModel make_model(util::Rng& rng, std::size_t n_stumps = 25) {
+  std::vector<Stump> stumps;
+  for (std::size_t i = 0; i < n_stumps; ++i) {
+    Stump s;
+    s.feature = rng.uniform_index(40);
+    s.categorical = rng.bernoulli(0.2);
+    s.threshold = static_cast<float>(rng.normal(0.0, 100.0));
+    s.score_pass = rng.normal(0.0, 1.0);
+    s.score_fail = rng.normal(0.0, 1.0);
+    s.score_missing = rng.normal(0.0, 0.1);
+    stumps.push_back(s);
+  }
+  return BStumpModel{std::move(stumps)};
+}
+
+TEST(Serialization, ModelRoundTripsExactly) {
+  util::Rng rng(1);
+  const BStumpModel original = make_model(rng);
+  std::stringstream ss;
+  save_model(ss, original);
+  const auto loaded = load_model(ss);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->stumps().size(), original.stumps().size());
+  for (std::size_t i = 0; i < original.stumps().size(); ++i) {
+    const auto& a = original.stumps()[i];
+    const auto& b = loaded->stumps()[i];
+    EXPECT_EQ(a.feature, b.feature);
+    EXPECT_EQ(a.categorical, b.categorical);
+    EXPECT_EQ(a.threshold, b.threshold);
+    EXPECT_EQ(a.score_pass, b.score_pass);
+    EXPECT_EQ(a.score_fail, b.score_fail);
+    EXPECT_EQ(a.score_missing, b.score_missing);
+  }
+}
+
+TEST(Serialization, LoadedModelScoresIdentically) {
+  util::Rng rng(2);
+  const BStumpModel original = make_model(rng);
+  std::stringstream ss;
+  save_model(ss, original);
+  const auto loaded = load_model(ss);
+  ASSERT_TRUE(loaded.has_value());
+  std::vector<float> row(40);
+  for (int trial = 0; trial < 50; ++trial) {
+    for (auto& v : row) {
+      v = rng.bernoulli(0.1) ? kMissing
+                             : static_cast<float>(rng.normal(0.0, 50.0));
+    }
+    EXPECT_EQ(original.score_features(row), loaded->score_features(row));
+  }
+}
+
+TEST(Serialization, RejectsWrongMagic) {
+  std::stringstream ss("notamodel v1 3\n");
+  EXPECT_FALSE(load_model(ss).has_value());
+}
+
+TEST(Serialization, RejectsTruncatedModel) {
+  util::Rng rng(3);
+  const BStumpModel original = make_model(rng, 5);
+  std::stringstream ss;
+  save_model(ss, original);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_FALSE(load_model(truncated).has_value());
+}
+
+TEST(Serialization, EmptyModelRoundTrips) {
+  std::stringstream ss;
+  save_model(ss, BStumpModel{});
+  const auto loaded = load_model(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(Serialization, CalibratorRoundTrips) {
+  PlattCalibrator cal;
+  cal.a = 1.2345678901234567;
+  cal.b = -0.9876543210987654;
+  std::stringstream ss;
+  save_calibrator(ss, cal);
+  const auto loaded = load_calibrator(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->a, cal.a);
+  EXPECT_EQ(loaded->b, cal.b);
+}
+
+TEST(Serialization, BundleRoundTrips) {
+  util::Rng rng(4);
+  ModelBundle bundle;
+  bundle.model = make_model(rng, 10);
+  bundle.calibrator.a = 0.5;
+  bundle.calibrator.b = -3.25;
+  bundle.feature_names = {"b.dnbr", "ts.dncvcnt1", "p.b.dncvcnt1*ts.upbr"};
+  std::stringstream ss;
+  save_bundle(ss, bundle);
+  const auto loaded = load_bundle(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->feature_names, bundle.feature_names);
+  EXPECT_EQ(loaded->model.stumps().size(), 10U);
+  EXPECT_EQ(loaded->calibrator.b, -3.25);
+}
+
+TEST(Serialization, BundleRejectsMissingCalibrator) {
+  util::Rng rng(5);
+  ModelBundle bundle;
+  bundle.model = make_model(rng, 3);
+  std::stringstream ss;
+  ss << "bundle v1 0\n";
+  save_model(ss, bundle.model);
+  // calibrator line missing
+  EXPECT_FALSE(load_bundle(ss).has_value());
+}
+
+}  // namespace
+}  // namespace nevermind::ml

@@ -1,0 +1,198 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nevermind::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0U);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats rs;
+  rs.add(5.0);
+  EXPECT_EQ(rs.count(), 1U);
+  EXPECT_EQ(rs.mean(), 5.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.min(), 5.0);
+  EXPECT_EQ(rs.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0, -3.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+  EXPECT_EQ(rs.min(), -3.0);
+  EXPECT_EQ(rs.max(), 16.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(5);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2U);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2U);
+  EXPECT_NEAR(b.mean(), 1.5, 1e-12);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) rs.add(1e9 + (i % 2 == 0 ? 0.5 : -0.5));
+  EXPECT_NEAR(rs.variance(), 0.25 * 1000.0 / 999.0, 1e-3);
+}
+
+TEST(Quantile, EmptyIsZero) {
+  EXPECT_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Quantile, MedianOfOddCount) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0};
+  EXPECT_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_NEAR(quantile(xs, 0.25), 2.5, 1e-12);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_EQ(quantile(xs, -1.0), 1.0);
+  EXPECT_EQ(quantile(xs, 2.0), 3.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson_correlation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> ys = {3, 2, 1};
+  EXPECT_NEAR(pearson_correlation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsZero) {
+  const std::vector<double> xs = {1, 1, 1};
+  const std::vector<double> ys = {1, 2, 3};
+  EXPECT_EQ(pearson_correlation(xs, ys), 0.0);
+}
+
+TEST(Pearson, IndependentNearZero) {
+  Rng rng(9);
+  std::vector<double> xs(5000);
+  std::vector<double> ys(5000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.normal();
+    ys[i] = rng.normal();
+  }
+  EXPECT_NEAR(pearson_correlation(xs, ys), 0.0, 0.05);
+}
+
+TEST(Histogram, RejectsBadArguments) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(5.0);
+  EXPECT_EQ(h.bin_count(0), 1U);
+  EXPECT_EQ(h.bin_count(9), 1U);
+  EXPECT_EQ(h.bin_count(5), 1U);
+  EXPECT_EQ(h.total(), 3U);
+}
+
+TEST(Histogram, ClampsOutliersIntoEdgeBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.bin_count(0), 1U);
+  EXPECT_EQ(h.bin_count(3), 1U);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_NEAR(h.bin_low(0), 0.0, 1e-12);
+  EXPECT_NEAR(h.bin_high(0), 0.25, 1e-12);
+  EXPECT_NEAR(h.bin_low(3), 0.75, 1e-12);
+  EXPECT_NEAR(h.bin_high(3), 1.0, 1e-12);
+}
+
+TEST(EmpiricalCdf, EmptyIsZero) {
+  EmpiricalCdf cdf({});
+  EXPECT_EQ(cdf.at(0.0), 0.0);
+}
+
+TEST(EmpiricalCdf, StepFunction) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(cdf.at(0.5), 0.0);
+  EXPECT_EQ(cdf.at(1.0), 0.25);
+  EXPECT_EQ(cdf.at(2.5), 0.5);
+  EXPECT_EQ(cdf.at(4.0), 1.0);
+  EXPECT_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, UnsortedInputHandled) {
+  EmpiricalCdf cdf({3.0, 1.0, 2.0});
+  EXPECT_NEAR(cdf.at(1.5), 1.0 / 3.0, 1e-12);
+}
+
+/// Property: the CDF is monotone non-decreasing.
+class CdfMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CdfMonotone, MonotoneNonDecreasing) {
+  Rng rng(GetParam());
+  std::vector<double> xs(200);
+  for (auto& x : xs) x = rng.normal(0.0, 5.0);
+  EmpiricalCdf cdf(xs);
+  double prev = -1.0;
+  for (double q = -15.0; q <= 15.0; q += 0.5) {
+    const double v = cdf.at(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdfMonotone, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace nevermind::util

@@ -1,0 +1,89 @@
+#include "dslsim/summary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nevermind::dslsim {
+namespace {
+
+class SummaryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SimConfig cfg;
+    cfg.seed = 71;
+    cfg.topology.n_lines = 2000;
+    data_ = new SimDataset(Simulator(cfg).run());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static const SimDataset* data_;
+};
+
+const SimDataset* SummaryTest::data_ = nullptr;
+
+TEST_F(SummaryTest, TicketTotalsMatchRawCounts) {
+  const auto s = summarize_tickets(*data_);
+  std::size_t edge = 0;
+  std::size_t billing = 0;
+  for (const auto& t : data_->tickets()) {
+    edge += t.category == TicketCategory::kCustomerEdge ? 1 : 0;
+    billing += t.category == TicketCategory::kBilling ? 1 : 0;
+  }
+  EXPECT_EQ(s.edge_total, edge);
+  EXPECT_EQ(s.billing_total, billing);
+  EXPECT_EQ(s.dispatched, data_->notes().size());
+}
+
+TEST_F(SummaryTest, WeekdayCountsSumToTotal) {
+  const auto s = summarize_tickets(*data_);
+  std::size_t sum = 0;
+  for (auto c : s.by_weekday) sum += c;
+  EXPECT_EQ(sum, s.edge_total);
+}
+
+TEST_F(SummaryTest, WeeklySeriesSumsToTotal) {
+  const auto s = summarize_tickets(*data_);
+  std::size_t sum = 0;
+  for (auto c : s.by_week) sum += c;
+  EXPECT_EQ(sum, s.edge_total);
+}
+
+TEST_F(SummaryTest, MondayPeakWeekendTrough) {
+  const auto s = summarize_tickets(*data_);
+  const auto monday =
+      s.by_weekday[static_cast<std::size_t>(util::Weekday::kMonday)];
+  EXPECT_GT(monday,
+            s.by_weekday[static_cast<std::size_t>(util::Weekday::kSaturday)]);
+  EXPECT_GT(monday,
+            s.by_weekday[static_cast<std::size_t>(util::Weekday::kSunday)]);
+}
+
+TEST_F(SummaryTest, LocationSharesSumToOne) {
+  const auto shares = summarize_locations(*data_);
+  double total = 0.0;
+  for (const auto& ls : shares) total += ls.share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(SummaryTest, NoDominantDispositionWithinLocations) {
+  // The paper's observation that motivates the learned locator.
+  for (const auto& ls : summarize_locations(*data_)) {
+    EXPECT_LT(ls.top_disposition_share, 0.6)
+        << major_location_name(ls.location);
+  }
+}
+
+TEST_F(SummaryTest, MeasurementCountsConsistent) {
+  const auto m = summarize_measurements(*data_);
+  EXPECT_EQ(m.records, static_cast<std::size_t>(data_->n_weeks()) *
+                           data_->n_lines());
+  EXPECT_GT(m.missing, 0U);
+  EXPECT_LT(m.missing_rate, 0.35);
+  EXPECT_NEAR(m.missing_rate,
+              static_cast<double>(m.missing) / static_cast<double>(m.records),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace nevermind::dslsim

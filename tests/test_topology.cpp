@@ -1,0 +1,108 @@
+#include "dslsim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace nevermind::dslsim {
+namespace {
+
+TopologyConfig small_config() {
+  TopologyConfig cfg;
+  cfg.n_lines = 1000;
+  cfg.lines_per_dslam = 48;
+  cfg.dslams_per_atm = 4;
+  cfg.atms_per_bras = 2;
+  cfg.crossboxes_per_dslam = 6;
+  return cfg;
+}
+
+TEST(Topology, CountsFollowFanout) {
+  const Topology t(small_config());
+  EXPECT_EQ(t.n_lines(), 1000U);
+  EXPECT_EQ(t.n_dslams(), (1000 + 47) / 48);
+  EXPECT_EQ(t.n_atms(), (t.n_dslams() + 3) / 4);
+  EXPECT_EQ(t.n_bras(), (t.n_atms() + 1) / 2);
+  EXPECT_EQ(t.n_crossboxes(), t.n_dslams() * 6);
+}
+
+TEST(Topology, EveryLineHasValidDslam) {
+  const Topology t(small_config());
+  for (LineId u = 0; u < t.n_lines(); ++u) {
+    EXPECT_LT(t.dslam_of(u), t.n_dslams());
+  }
+}
+
+TEST(Topology, DslamSizesBounded) {
+  const Topology t(small_config());
+  for (DslamId d = 0; d < t.n_dslams(); ++d) {
+    EXPECT_LE(t.lines_of_dslam(d).size(), 48U);
+  }
+}
+
+TEST(Topology, LinesOfDslamPartitionsLines) {
+  const Topology t(small_config());
+  std::set<LineId> seen;
+  for (DslamId d = 0; d < t.n_dslams(); ++d) {
+    for (LineId u : t.lines_of_dslam(d)) {
+      EXPECT_EQ(t.dslam_of(u), d);
+      EXPECT_TRUE(seen.insert(u).second) << "line in two DSLAMs";
+    }
+  }
+  EXPECT_EQ(seen.size(), t.n_lines());
+}
+
+TEST(Topology, CrossboxBelongsToLinesDslam) {
+  const Topology t(small_config());
+  for (LineId u = 0; u < t.n_lines(); ++u) {
+    const CrossboxId cb = t.crossbox_of(u);
+    EXPECT_EQ(cb / 6, t.dslam_of(u));
+  }
+}
+
+TEST(Topology, HierarchyIsConsistent) {
+  const Topology t(small_config());
+  for (DslamId d = 0; d < t.n_dslams(); ++d) {
+    const AtmId a = t.atm_of_dslam(d);
+    EXPECT_LT(a, t.n_atms());
+    EXPECT_EQ(t.bras_of_dslam(d), a / 2);
+    EXPECT_LT(t.bras_of_dslam(d), t.n_bras());
+  }
+  for (LineId u = 0; u < t.n_lines(); ++u) {
+    EXPECT_EQ(t.bras_of_line(u), t.bras_of_dslam(t.dslam_of(u)));
+  }
+}
+
+TEST(Topology, DeterministicForSeed) {
+  const Topology a(small_config(), 7);
+  const Topology b(small_config(), 7);
+  for (LineId u = 0; u < a.n_lines(); ++u) {
+    EXPECT_EQ(a.crossbox_of(u), b.crossbox_of(u));
+  }
+}
+
+TEST(Topology, TinyNetworkStillValid) {
+  TopologyConfig cfg;
+  cfg.n_lines = 1;
+  const Topology t(cfg);
+  EXPECT_EQ(t.n_dslams(), 1U);
+  EXPECT_EQ(t.n_atms(), 1U);
+  EXPECT_EQ(t.n_bras(), 1U);
+  EXPECT_EQ(t.lines_of_dslam(0).size(), 1U);
+}
+
+TEST(Topology, ZeroFanoutFieldsFallBackToDefaults) {
+  TopologyConfig cfg;
+  cfg.n_lines = 100;
+  cfg.lines_per_dslam = 0;
+  cfg.dslams_per_atm = 0;
+  cfg.atms_per_bras = 0;
+  cfg.crossboxes_per_dslam = 0;
+  const Topology t(cfg);
+  EXPECT_GT(t.n_dslams(), 0U);
+  EXPECT_GT(t.n_crossboxes(), 0U);
+}
+
+}  // namespace
+}  // namespace nevermind::dslsim

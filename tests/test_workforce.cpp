@@ -1,0 +1,175 @@
+#include "core/workforce.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nevermind::core {
+namespace {
+
+dslsim::FaultCatalog catalog() { return dslsim::FaultCatalog(1, 0); }
+
+std::vector<RankedDisposition> simple_plan(
+    const dslsim::FaultCatalog& cat, std::initializer_list<double> probs) {
+  std::vector<RankedDisposition> plan;
+  dslsim::DispositionId id = 0;
+  for (double p : probs) {
+    plan.push_back({id++, p});
+  }
+  (void)cat;
+  return plan;
+}
+
+TEST(Workforce, LocationTestFactorsOrdered) {
+  // Home checks are the quickest, buried F1 plant the slowest.
+  EXPECT_LT(location_test_factor(dslsim::MajorLocation::kHomeNetwork),
+            location_test_factor(dslsim::MajorLocation::kF2));
+  EXPECT_LT(location_test_factor(dslsim::MajorLocation::kF2),
+            location_test_factor(dslsim::MajorLocation::kF1));
+}
+
+TEST(Workforce, SampleTechnicianWithinBounds) {
+  util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const TechnicianProfile t = sample_technician(rng);
+    EXPECT_GE(t.skill, 0.5);
+    EXPECT_LE(t.skill, 2.5);
+    EXPECT_GT(t.minutes_per_test, 0.0);
+    EXPECT_GT(t.overhead_minutes, 0.0);
+  }
+}
+
+TEST(Workforce, DispatchStopsAtTruth) {
+  const auto cat = catalog();
+  const auto plan = simple_plan(cat, {0.5, 0.3, 0.2});
+  TechnicianProfile tech;
+  const auto result = simulate_dispatch(plan, 1, cat, tech);
+  EXPECT_TRUE(result.found);
+  EXPECT_EQ(result.tests_run, 2U);
+}
+
+TEST(Workforce, DispatchExhaustsPlanWhenTruthAbsent) {
+  const auto cat = catalog();
+  const auto plan = simple_plan(cat, {0.5, 0.3});
+  TechnicianProfile tech;
+  const auto result = simulate_dispatch(plan, 9999, cat, tech);
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.tests_run, 2U);
+}
+
+TEST(Workforce, MinutesIncludeOverheadAndGrowWithTests) {
+  const auto cat = catalog();
+  TechnicianProfile tech;
+  const auto plan = simple_plan(cat, {0.5, 0.3, 0.2});
+  const auto one = simulate_dispatch(plan, 0, cat, tech);
+  const auto three = simulate_dispatch(plan, 2, cat, tech);
+  EXPECT_GE(one.minutes, tech.overhead_minutes);
+  EXPECT_GT(three.minutes, one.minutes);
+}
+
+TEST(Workforce, SkilledTechniciansAreFaster) {
+  const auto cat = catalog();
+  const auto plan = simple_plan(cat, {0.4, 0.3, 0.2, 0.1});
+  TechnicianProfile rookie;
+  rookie.skill = 0.6;
+  TechnicianProfile veteran;
+  veteran.skill = 2.0;
+  const auto slow = simulate_dispatch(plan, 3, cat, rookie);
+  const auto fast = simulate_dispatch(plan, 3, cat, veteran);
+  EXPECT_GT(slow.minutes, fast.minutes);
+}
+
+TEST(Workforce, TravelChargedOnLocationChange) {
+  const auto cat = catalog();
+  // Dispositions 0.. are the HN block in the canonical catalogue;
+  // find one HN and one DS code to force a hop.
+  dslsim::DispositionId hn = 0;
+  dslsim::DispositionId ds = 0;
+  for (dslsim::DispositionId i = 0; i < cat.size(); ++i) {
+    if (cat.signature(i).location == dslsim::MajorLocation::kHomeNetwork) {
+      hn = i;
+    }
+    if (cat.signature(i).location == dslsim::MajorLocation::kDslam) ds = i;
+  }
+  std::vector<RankedDisposition> plan = {{hn, 0.5}, {ds, 0.4}};
+  TechnicianProfile tech;
+  const auto result = simulate_dispatch(plan, ds, cat, tech);
+  EXPECT_EQ(result.location_changes, 1U);
+}
+
+TEST(Workforce, CostAwarePlanIsPermutation) {
+  const auto cat = catalog();
+  std::vector<RankedDisposition> ranked;
+  for (dslsim::DispositionId i = 0; i < cat.size(); ++i) {
+    ranked.push_back({i, 1.0 / (1.0 + i)});
+  }
+  TechnicianProfile tech;
+  const auto plan = plan_cost_aware(ranked, cat, tech);
+  ASSERT_EQ(plan.size(), ranked.size());
+  std::vector<bool> seen(cat.size(), false);
+  for (const auto& c : plan) {
+    EXPECT_FALSE(seen[c.disposition]);
+    seen[c.disposition] = true;
+  }
+}
+
+TEST(Workforce, CostAwarePrefersQuickHighProbabilityTests) {
+  const auto cat = catalog();
+  // Equal probabilities: the cheaper (HN) tests should come first.
+  std::vector<RankedDisposition> ranked;
+  dslsim::DispositionId hn = 0;
+  dslsim::DispositionId f1 = 0;
+  for (dslsim::DispositionId i = 0; i < cat.size(); ++i) {
+    if (cat.signature(i).location == dslsim::MajorLocation::kHomeNetwork) {
+      hn = i;
+    }
+    if (cat.signature(i).location == dslsim::MajorLocation::kF1) f1 = i;
+  }
+  ranked.push_back({f1, 0.30});
+  ranked.push_back({hn, 0.30});
+  TechnicianProfile tech;
+  const auto plan = plan_cost_aware(ranked, cat, tech);
+  EXPECT_EQ(plan.front().disposition, hn);
+}
+
+TEST(Workforce, CostAwareEmptyPlanSafe) {
+  const auto cat = catalog();
+  TechnicianProfile tech;
+  EXPECT_TRUE(plan_cost_aware({}, cat, tech).empty());
+  const auto result = simulate_dispatch({}, 0, cat, tech);
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.tests_run, 0U);
+  EXPECT_NEAR(result.minutes, tech.overhead_minutes, 1e-9);
+}
+
+TEST(Workforce, CostAwareReducesExpectedMinutes) {
+  // Statistical check: over many synthetic dispatches, the cost-aware
+  // ordering should not be slower on average than raw probability
+  // order.
+  const auto cat = catalog();
+  util::Rng rng(7);
+  TechnicianProfile tech;
+  double prob_minutes = 0.0;
+  double cost_minutes = 0.0;
+  for (int trial = 0; trial < 300; ++trial) {
+    // Random plausible posterior over all dispositions.
+    std::vector<RankedDisposition> ranked;
+    std::vector<double> weights;
+    for (dslsim::DispositionId i = 0; i < cat.size(); ++i) {
+      const double p = rng.uniform() * rng.uniform();
+      ranked.push_back({i, p});
+      weights.push_back(p);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const RankedDisposition& a, const RankedDisposition& b) {
+                return a.probability > b.probability;
+              });
+    const auto truth =
+        static_cast<dslsim::DispositionId>(rng.categorical(weights));
+    prob_minutes += simulate_dispatch(ranked, truth, cat, tech).minutes;
+    const auto plan = plan_cost_aware(ranked, cat, tech);
+    cost_minutes += simulate_dispatch(plan, truth, cat, tech).minutes;
+  }
+  EXPECT_LT(cost_minutes, prob_minutes * 1.02);
+}
+
+}  // namespace
+}  // namespace nevermind::core

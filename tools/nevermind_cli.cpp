@@ -1,0 +1,208 @@
+// nevermind — command-line driver for the library's main workflows,
+// for running the system without writing C++:
+//
+//   nevermind simulate --lines N --seed S --out DIR
+//       simulate a year and export every data feed as CSV
+//   nevermind predict  --lines N --seed S [--week W] [--top K] [--model F]
+//       train the ticket predictor on the paper's split, print the top-K
+//       ranked lines for week W (default 10/31), optionally save the
+//       model bundle
+//   nevermind locate   --lines N --seed S
+//       train the trouble locator and print ranked test plans for the
+//       current week's dispatches
+//   nevermind summary  --lines N --seed S
+//       dataset overview (ticket trends, location shares)
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/ticket_predictor.hpp"
+#include "core/trouble_locator.hpp"
+#include "dslsim/export.hpp"
+#include "dslsim/summary.hpp"
+#include "ml/serialization.hpp"
+#include "util/calendar.hpp"
+#include "util/table.hpp"
+
+using namespace nevermind;
+
+namespace {
+
+struct CliArgs {
+  std::uint32_t lines = 10000;
+  std::uint64_t seed = 42;
+  int week = util::test_week_of(util::day_from_date(10, 31));
+  std::size_t top = 25;
+  std::string out_dir = ".";
+  std::string model_path;
+};
+
+CliArgs parse(int argc, char** argv, int first) {
+  CliArgs args;
+  for (int i = first; i + 1 < argc + 1; ++i) {
+    const auto flag = [&](const char* name) {
+      return i + 1 < argc && std::strcmp(argv[i], name) == 0;
+    };
+    if (flag("--lines")) {
+      args.lines = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (flag("--seed")) {
+      args.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (flag("--week")) {
+      args.week = std::atoi(argv[++i]);
+    } else if (flag("--top")) {
+      args.top = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (flag("--out")) {
+      args.out_dir = argv[++i];
+    } else if (flag("--model")) {
+      args.model_path = argv[++i];
+    }
+  }
+  return args;
+}
+
+dslsim::SimDataset simulate(const CliArgs& args) {
+  dslsim::SimConfig cfg;
+  cfg.seed = args.seed;
+  cfg.topology.n_lines = args.lines;
+  std::cerr << "simulating " << args.lines << " lines (seed " << args.seed
+            << ")...\n";
+  return dslsim::Simulator(cfg).run();
+}
+
+int cmd_simulate(const CliArgs& args) {
+  const auto data = simulate(args);
+  const auto write = [&](const char* name, auto&& writer) {
+    const std::string path = args.out_dir + "/" + name;
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "cannot write " << path << "\n";
+      return false;
+    }
+    writer(os);
+    std::cerr << "wrote " << path << "\n";
+    return true;
+  };
+  bool ok = true;
+  ok &= write("measurements.csv", [&](std::ostream& os) {
+    dslsim::export_measurements_csv(data, os, 0, data.n_weeks() - 1);
+  });
+  ok &= write("tickets.csv", [&](std::ostream& os) {
+    dslsim::export_tickets_csv(data, os);
+  });
+  ok &= write("notes.csv", [&](std::ostream& os) {
+    dslsim::export_notes_csv(data, os);
+  });
+  ok &= write("profiles.csv", [&](std::ostream& os) {
+    dslsim::export_profiles_csv(data, os);
+  });
+  ok &= write("outages.csv", [&](std::ostream& os) {
+    dslsim::export_outages_csv(data, os);
+  });
+  return ok ? 0 : 1;
+}
+
+int cmd_predict(const CliArgs& args) {
+  const auto data = simulate(args);
+  core::PredictorConfig cfg;
+  cfg.top_n = std::max<std::size_t>(args.lines / 100, 10);
+  const int train_from = util::test_week_of(util::day_from_date(8, 1));
+  const int train_to = util::test_week_of(util::day_from_date(9, 30));
+  std::cerr << "training on weeks " << train_from << "-" << train_to
+            << "...\n";
+  core::TicketPredictor predictor(cfg);
+  predictor.train(data, train_from, train_to);
+
+  if (!args.model_path.empty()) {
+    ml::ModelBundle bundle;
+    bundle.model = predictor.model();
+    for (const auto& col : predictor.selected_columns()) {
+      bundle.feature_names.push_back(col.name);
+    }
+    std::ofstream os(args.model_path);
+    if (os) {
+      ml::save_bundle(os, bundle);
+      std::cerr << "saved model bundle to " << args.model_path << "\n";
+    } else {
+      std::cerr << "cannot write " << args.model_path << "\n";
+    }
+  }
+
+  const auto ranked = predictor.predict_week(data, args.week);
+  std::cout << "rank,line,dslam,score,probability\n";
+  for (std::size_t i = 0; i < args.top && i < ranked.size(); ++i) {
+    std::cout << i + 1 << ',' << ranked[i].line << ','
+              << data.topology().dslam_of(ranked[i].line) << ','
+              << ranked[i].score << ',' << ranked[i].probability << '\n';
+  }
+  return 0;
+}
+
+int cmd_locate(const CliArgs& args) {
+  const auto data = simulate(args);
+  core::LocatorConfig cfg;
+  cfg.min_occurrences = std::max<std::size_t>(6, args.lines / 2000);
+  const int train_from = util::test_week_of(util::day_from_date(8, 1));
+  const int train_to = util::test_week_of(util::day_from_date(9, 18));
+  std::cerr << "training locator...\n";
+  core::TroubleLocator locator(cfg);
+  locator.train(data, train_from, train_to);
+
+  const auto block = features::encode_at_dispatch(data, args.week, args.week,
+                                                  cfg.encoder);
+  std::cout << "ticket,line,plan\n";
+  std::vector<float> row(block.dataset.n_cols());
+  for (std::size_t r = 0; r < block.dataset.n_rows(); ++r) {
+    const auto& note = data.notes()[block.note_of_row[r]];
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] = block.dataset.at(r, j);
+    const auto plan = locator.rank(row, core::LocatorModelKind::kCombined);
+    std::cout << note.ticket_id << ',' << note.line << ',';
+    for (std::size_t i = 0; i < 5 && i < plan.size(); ++i) {
+      if (i != 0) std::cout << '|';
+      std::cout << data.catalog().signature(plan[i].disposition).code;
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}
+
+int cmd_summary(const CliArgs& args) {
+  const auto data = simulate(args);
+  const auto tickets = dslsim::summarize_tickets(data);
+  const auto measurements = dslsim::summarize_measurements(data);
+  std::cout << "customer-edge tickets: " << tickets.edge_total
+            << " (dispatched " << tickets.dispatched << "), billing: "
+            << tickets.billing_total << "\n"
+            << "line-test records: " << measurements.records << ", missing: "
+            << util::fmt_percent(measurements.missing_rate) << "\n";
+  util::Table loc({"location", "dispatches", "share"});
+  for (const auto& ls : dslsim::summarize_locations(data)) {
+    loc.add_row({dslsim::major_location_name(ls.location),
+                 std::to_string(ls.dispatches), util::fmt_percent(ls.share)});
+  }
+  loc.print(std::cout);
+  return 0;
+}
+
+void usage() {
+  std::cerr << "usage: nevermind <simulate|predict|locate|summary> "
+               "[--lines N] [--seed S] [--week W] [--top K] [--out DIR] "
+               "[--model FILE]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const CliArgs args = parse(argc, argv, 2);
+  if (cmd == "simulate") return cmd_simulate(args);
+  if (cmd == "predict") return cmd_predict(args);
+  if (cmd == "locate") return cmd_locate(args);
+  if (cmd == "summary") return cmd_summary(args);
+  usage();
+  return 2;
+}

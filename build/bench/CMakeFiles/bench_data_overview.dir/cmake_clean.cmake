@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_overview.dir/bench_data_overview.cpp.o"
+  "CMakeFiles/bench_data_overview.dir/bench_data_overview.cpp.o.d"
+  "bench_data_overview"
+  "bench_data_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

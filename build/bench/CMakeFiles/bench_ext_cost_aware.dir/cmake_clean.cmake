@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cost_aware.dir/bench_ext_cost_aware.cpp.o"
+  "CMakeFiles/bench_ext_cost_aware.dir/bench_ext_cost_aware.cpp.o.d"
+  "bench_ext_cost_aware"
+  "bench_ext_cost_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cost_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_rank_change.dir/bench_fig10_rank_change.cpp.o"
+  "CMakeFiles/bench_fig10_rank_change.dir/bench_fig10_rank_change.cpp.o.d"
+  "bench_fig10_rank_change"
+  "bench_fig10_rank_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_rank_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_feature_ap.dir/bench_fig4_feature_ap.cpp.o"
+  "CMakeFiles/bench_fig4_feature_ap.dir/bench_fig4_feature_ap.cpp.o.d"
+  "bench_fig4_feature_ap"
+  "bench_fig4_feature_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_feature_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fig9_model_views.dir/bench_fig5_fig9_model_views.cpp.o"
+  "CMakeFiles/bench_fig5_fig9_model_views.dir/bench_fig5_fig9_model_views.cpp.o.d"
+  "bench_fig5_fig9_model_views"
+  "bench_fig5_fig9_model_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fig9_model_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

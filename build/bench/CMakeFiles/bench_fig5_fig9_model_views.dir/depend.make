@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5_fig9_model_views.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_bstump.dir/bench_perf_bstump.cpp.o"
+  "CMakeFiles/bench_perf_bstump.dir/bench_perf_bstump.cpp.o.d"
+  "bench_perf_bstump"
+  "bench_perf_bstump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_bstump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_not_on_site.dir/bench_sec52_not_on_site.cpp.o"
+  "CMakeFiles/bench_sec52_not_on_site.dir/bench_sec52_not_on_site.cpp.o.d"
+  "bench_sec52_not_on_site"
+  "bench_sec52_not_on_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_not_on_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec63_tests_to_locate.dir/bench_sec63_tests_to_locate.cpp.o"
+  "CMakeFiles/bench_sec63_tests_to_locate.dir/bench_sec63_tests_to_locate.cpp.o.d"
+  "bench_sec63_tests_to_locate"
+  "bench_sec63_tests_to_locate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec63_tests_to_locate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec63_tests_to_locate.
+# This may be replaced when dependencies are built.

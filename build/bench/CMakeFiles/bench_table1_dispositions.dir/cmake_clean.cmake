@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_dispositions.dir/bench_table1_dispositions.cpp.o"
+  "CMakeFiles/bench_table1_dispositions.dir/bench_table1_dispositions.cpp.o.d"
+  "bench_table1_dispositions"
+  "bench_table1_dispositions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_dispositions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dispatch_assistant.dir/dispatch_assistant.cpp.o"
+  "CMakeFiles/dispatch_assistant.dir/dispatch_assistant.cpp.o.d"
+  "dispatch_assistant"
+  "dispatch_assistant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dispatch_assistant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

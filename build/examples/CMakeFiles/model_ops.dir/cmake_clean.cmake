@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_ops.dir/model_ops.cpp.o"
+  "CMakeFiles/model_ops.dir/model_ops.cpp.o.d"
+  "model_ops"
+  "model_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outage_radar.dir/outage_radar.cpp.o"
+  "CMakeFiles/outage_radar.dir/outage_radar.cpp.o.d"
+  "outage_radar"
+  "outage_radar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outage_radar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proactive_care.dir/proactive_care.cpp.o"
+  "CMakeFiles/proactive_care.dir/proactive_care.cpp.o.d"
+  "proactive_care"
+  "proactive_care.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proactive_care.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/atds.cpp" "src/core/CMakeFiles/nm_core.dir/atds.cpp.o" "gcc" "src/core/CMakeFiles/nm_core.dir/atds.cpp.o.d"
+  "/root/repo/src/core/deployment.cpp" "src/core/CMakeFiles/nm_core.dir/deployment.cpp.o" "gcc" "src/core/CMakeFiles/nm_core.dir/deployment.cpp.o.d"
+  "/root/repo/src/core/explain.cpp" "src/core/CMakeFiles/nm_core.dir/explain.cpp.o" "gcc" "src/core/CMakeFiles/nm_core.dir/explain.cpp.o.d"
+  "/root/repo/src/core/monitoring.cpp" "src/core/CMakeFiles/nm_core.dir/monitoring.cpp.o" "gcc" "src/core/CMakeFiles/nm_core.dir/monitoring.cpp.o.d"
+  "/root/repo/src/core/nevermind.cpp" "src/core/CMakeFiles/nm_core.dir/nevermind.cpp.o" "gcc" "src/core/CMakeFiles/nm_core.dir/nevermind.cpp.o.d"
+  "/root/repo/src/core/ticket_predictor.cpp" "src/core/CMakeFiles/nm_core.dir/ticket_predictor.cpp.o" "gcc" "src/core/CMakeFiles/nm_core.dir/ticket_predictor.cpp.o.d"
+  "/root/repo/src/core/trouble_locator.cpp" "src/core/CMakeFiles/nm_core.dir/trouble_locator.cpp.o" "gcc" "src/core/CMakeFiles/nm_core.dir/trouble_locator.cpp.o.d"
+  "/root/repo/src/core/workforce.cpp" "src/core/CMakeFiles/nm_core.dir/workforce.cpp.o" "gcc" "src/core/CMakeFiles/nm_core.dir/workforce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/nm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dslsim/CMakeFiles/nm_dslsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/nm_features.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_core.dir/atds.cpp.o"
+  "CMakeFiles/nm_core.dir/atds.cpp.o.d"
+  "CMakeFiles/nm_core.dir/deployment.cpp.o"
+  "CMakeFiles/nm_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/nm_core.dir/explain.cpp.o"
+  "CMakeFiles/nm_core.dir/explain.cpp.o.d"
+  "CMakeFiles/nm_core.dir/monitoring.cpp.o"
+  "CMakeFiles/nm_core.dir/monitoring.cpp.o.d"
+  "CMakeFiles/nm_core.dir/nevermind.cpp.o"
+  "CMakeFiles/nm_core.dir/nevermind.cpp.o.d"
+  "CMakeFiles/nm_core.dir/ticket_predictor.cpp.o"
+  "CMakeFiles/nm_core.dir/ticket_predictor.cpp.o.d"
+  "CMakeFiles/nm_core.dir/trouble_locator.cpp.o"
+  "CMakeFiles/nm_core.dir/trouble_locator.cpp.o.d"
+  "CMakeFiles/nm_core.dir/workforce.cpp.o"
+  "CMakeFiles/nm_core.dir/workforce.cpp.o.d"
+  "libnm_core.a"
+  "libnm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dslsim/customer.cpp" "src/dslsim/CMakeFiles/nm_dslsim.dir/customer.cpp.o" "gcc" "src/dslsim/CMakeFiles/nm_dslsim.dir/customer.cpp.o.d"
+  "/root/repo/src/dslsim/export.cpp" "src/dslsim/CMakeFiles/nm_dslsim.dir/export.cpp.o" "gcc" "src/dslsim/CMakeFiles/nm_dslsim.dir/export.cpp.o.d"
+  "/root/repo/src/dslsim/faults.cpp" "src/dslsim/CMakeFiles/nm_dslsim.dir/faults.cpp.o" "gcc" "src/dslsim/CMakeFiles/nm_dslsim.dir/faults.cpp.o.d"
+  "/root/repo/src/dslsim/import.cpp" "src/dslsim/CMakeFiles/nm_dslsim.dir/import.cpp.o" "gcc" "src/dslsim/CMakeFiles/nm_dslsim.dir/import.cpp.o.d"
+  "/root/repo/src/dslsim/line.cpp" "src/dslsim/CMakeFiles/nm_dslsim.dir/line.cpp.o" "gcc" "src/dslsim/CMakeFiles/nm_dslsim.dir/line.cpp.o.d"
+  "/root/repo/src/dslsim/metrics.cpp" "src/dslsim/CMakeFiles/nm_dslsim.dir/metrics.cpp.o" "gcc" "src/dslsim/CMakeFiles/nm_dslsim.dir/metrics.cpp.o.d"
+  "/root/repo/src/dslsim/profile.cpp" "src/dslsim/CMakeFiles/nm_dslsim.dir/profile.cpp.o" "gcc" "src/dslsim/CMakeFiles/nm_dslsim.dir/profile.cpp.o.d"
+  "/root/repo/src/dslsim/simulator.cpp" "src/dslsim/CMakeFiles/nm_dslsim.dir/simulator.cpp.o" "gcc" "src/dslsim/CMakeFiles/nm_dslsim.dir/simulator.cpp.o.d"
+  "/root/repo/src/dslsim/summary.cpp" "src/dslsim/CMakeFiles/nm_dslsim.dir/summary.cpp.o" "gcc" "src/dslsim/CMakeFiles/nm_dslsim.dir/summary.cpp.o.d"
+  "/root/repo/src/dslsim/topology.cpp" "src/dslsim/CMakeFiles/nm_dslsim.dir/topology.cpp.o" "gcc" "src/dslsim/CMakeFiles/nm_dslsim.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/nm_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_dslsim.dir/customer.cpp.o"
+  "CMakeFiles/nm_dslsim.dir/customer.cpp.o.d"
+  "CMakeFiles/nm_dslsim.dir/export.cpp.o"
+  "CMakeFiles/nm_dslsim.dir/export.cpp.o.d"
+  "CMakeFiles/nm_dslsim.dir/faults.cpp.o"
+  "CMakeFiles/nm_dslsim.dir/faults.cpp.o.d"
+  "CMakeFiles/nm_dslsim.dir/import.cpp.o"
+  "CMakeFiles/nm_dslsim.dir/import.cpp.o.d"
+  "CMakeFiles/nm_dslsim.dir/line.cpp.o"
+  "CMakeFiles/nm_dslsim.dir/line.cpp.o.d"
+  "CMakeFiles/nm_dslsim.dir/metrics.cpp.o"
+  "CMakeFiles/nm_dslsim.dir/metrics.cpp.o.d"
+  "CMakeFiles/nm_dslsim.dir/profile.cpp.o"
+  "CMakeFiles/nm_dslsim.dir/profile.cpp.o.d"
+  "CMakeFiles/nm_dslsim.dir/simulator.cpp.o"
+  "CMakeFiles/nm_dslsim.dir/simulator.cpp.o.d"
+  "CMakeFiles/nm_dslsim.dir/summary.cpp.o"
+  "CMakeFiles/nm_dslsim.dir/summary.cpp.o.d"
+  "CMakeFiles/nm_dslsim.dir/topology.cpp.o"
+  "CMakeFiles/nm_dslsim.dir/topology.cpp.o.d"
+  "libnm_dslsim.a"
+  "libnm_dslsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_dslsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/encoder.cpp" "src/features/CMakeFiles/nm_features.dir/encoder.cpp.o" "gcc" "src/features/CMakeFiles/nm_features.dir/encoder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/nm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dslsim/CMakeFiles/nm_dslsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

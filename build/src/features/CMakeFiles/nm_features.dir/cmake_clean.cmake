@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_features.dir/encoder.cpp.o"
+  "CMakeFiles/nm_features.dir/encoder.cpp.o.d"
+  "libnm_features.a"
+  "libnm_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/adaboost.cpp" "src/ml/CMakeFiles/nm_ml.dir/adaboost.cpp.o" "gcc" "src/ml/CMakeFiles/nm_ml.dir/adaboost.cpp.o.d"
+  "/root/repo/src/ml/calibration.cpp" "src/ml/CMakeFiles/nm_ml.dir/calibration.cpp.o" "gcc" "src/ml/CMakeFiles/nm_ml.dir/calibration.cpp.o.d"
+  "/root/repo/src/ml/cross_validation.cpp" "src/ml/CMakeFiles/nm_ml.dir/cross_validation.cpp.o" "gcc" "src/ml/CMakeFiles/nm_ml.dir/cross_validation.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/nm_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/nm_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/nm_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/nm_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/entropy.cpp" "src/ml/CMakeFiles/nm_ml.dir/entropy.cpp.o" "gcc" "src/ml/CMakeFiles/nm_ml.dir/entropy.cpp.o.d"
+  "/root/repo/src/ml/feature_selection.cpp" "src/ml/CMakeFiles/nm_ml.dir/feature_selection.cpp.o" "gcc" "src/ml/CMakeFiles/nm_ml.dir/feature_selection.cpp.o.d"
+  "/root/repo/src/ml/linalg.cpp" "src/ml/CMakeFiles/nm_ml.dir/linalg.cpp.o" "gcc" "src/ml/CMakeFiles/nm_ml.dir/linalg.cpp.o.d"
+  "/root/repo/src/ml/linear_model.cpp" "src/ml/CMakeFiles/nm_ml.dir/linear_model.cpp.o" "gcc" "src/ml/CMakeFiles/nm_ml.dir/linear_model.cpp.o.d"
+  "/root/repo/src/ml/logreg.cpp" "src/ml/CMakeFiles/nm_ml.dir/logreg.cpp.o" "gcc" "src/ml/CMakeFiles/nm_ml.dir/logreg.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/nm_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/nm_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/pca.cpp" "src/ml/CMakeFiles/nm_ml.dir/pca.cpp.o" "gcc" "src/ml/CMakeFiles/nm_ml.dir/pca.cpp.o.d"
+  "/root/repo/src/ml/roc.cpp" "src/ml/CMakeFiles/nm_ml.dir/roc.cpp.o" "gcc" "src/ml/CMakeFiles/nm_ml.dir/roc.cpp.o.d"
+  "/root/repo/src/ml/serialization.cpp" "src/ml/CMakeFiles/nm_ml.dir/serialization.cpp.o" "gcc" "src/ml/CMakeFiles/nm_ml.dir/serialization.cpp.o.d"
+  "/root/repo/src/ml/stump.cpp" "src/ml/CMakeFiles/nm_ml.dir/stump.cpp.o" "gcc" "src/ml/CMakeFiles/nm_ml.dir/stump.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

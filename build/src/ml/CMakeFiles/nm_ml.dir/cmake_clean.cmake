@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_ml.dir/adaboost.cpp.o"
+  "CMakeFiles/nm_ml.dir/adaboost.cpp.o.d"
+  "CMakeFiles/nm_ml.dir/calibration.cpp.o"
+  "CMakeFiles/nm_ml.dir/calibration.cpp.o.d"
+  "CMakeFiles/nm_ml.dir/cross_validation.cpp.o"
+  "CMakeFiles/nm_ml.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/nm_ml.dir/dataset.cpp.o"
+  "CMakeFiles/nm_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/nm_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/nm_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/nm_ml.dir/entropy.cpp.o"
+  "CMakeFiles/nm_ml.dir/entropy.cpp.o.d"
+  "CMakeFiles/nm_ml.dir/feature_selection.cpp.o"
+  "CMakeFiles/nm_ml.dir/feature_selection.cpp.o.d"
+  "CMakeFiles/nm_ml.dir/linalg.cpp.o"
+  "CMakeFiles/nm_ml.dir/linalg.cpp.o.d"
+  "CMakeFiles/nm_ml.dir/linear_model.cpp.o"
+  "CMakeFiles/nm_ml.dir/linear_model.cpp.o.d"
+  "CMakeFiles/nm_ml.dir/logreg.cpp.o"
+  "CMakeFiles/nm_ml.dir/logreg.cpp.o.d"
+  "CMakeFiles/nm_ml.dir/metrics.cpp.o"
+  "CMakeFiles/nm_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/nm_ml.dir/pca.cpp.o"
+  "CMakeFiles/nm_ml.dir/pca.cpp.o.d"
+  "CMakeFiles/nm_ml.dir/roc.cpp.o"
+  "CMakeFiles/nm_ml.dir/roc.cpp.o.d"
+  "CMakeFiles/nm_ml.dir/serialization.cpp.o"
+  "CMakeFiles/nm_ml.dir/serialization.cpp.o.d"
+  "CMakeFiles/nm_ml.dir/stump.cpp.o"
+  "CMakeFiles/nm_ml.dir/stump.cpp.o.d"
+  "libnm_ml.a"
+  "libnm_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_util.dir/calendar.cpp.o"
+  "CMakeFiles/nm_util.dir/calendar.cpp.o.d"
+  "CMakeFiles/nm_util.dir/csv.cpp.o"
+  "CMakeFiles/nm_util.dir/csv.cpp.o.d"
+  "CMakeFiles/nm_util.dir/mathx.cpp.o"
+  "CMakeFiles/nm_util.dir/mathx.cpp.o.d"
+  "CMakeFiles/nm_util.dir/rng.cpp.o"
+  "CMakeFiles/nm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/nm_util.dir/stats.cpp.o"
+  "CMakeFiles/nm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/nm_util.dir/table.cpp.o"
+  "CMakeFiles/nm_util.dir/table.cpp.o.d"
+  "libnm_util.a"
+  "libnm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atds.dir/test_atds.cpp.o"
+  "CMakeFiles/test_atds.dir/test_atds.cpp.o.d"
+  "test_atds"
+  "test_atds.pdb"
+  "test_atds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

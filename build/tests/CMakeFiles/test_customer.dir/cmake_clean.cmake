@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_customer.dir/test_customer.cpp.o"
+  "CMakeFiles/test_customer.dir/test_customer.cpp.o.d"
+  "test_customer"
+  "test_customer.pdb"
+  "test_customer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_customer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

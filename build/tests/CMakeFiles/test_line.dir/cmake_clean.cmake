@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_line.dir/test_line.cpp.o"
+  "CMakeFiles/test_line.dir/test_line.cpp.o.d"
+  "test_line"
+  "test_line.pdb"
+  "test_line[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

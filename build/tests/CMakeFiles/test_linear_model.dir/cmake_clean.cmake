@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linear_model.dir/test_linear_model.cpp.o"
+  "CMakeFiles/test_linear_model.dir/test_linear_model.cpp.o.d"
+  "test_linear_model"
+  "test_linear_model.pdb"
+  "test_linear_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linear_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

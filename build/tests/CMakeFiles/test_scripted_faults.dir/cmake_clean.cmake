@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scripted_faults.dir/test_scripted_faults.cpp.o"
+  "CMakeFiles/test_scripted_faults.dir/test_scripted_faults.cpp.o.d"
+  "test_scripted_faults"
+  "test_scripted_faults.pdb"
+  "test_scripted_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scripted_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

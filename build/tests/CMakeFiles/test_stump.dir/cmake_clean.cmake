@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stump.dir/test_stump.cpp.o"
+  "CMakeFiles/test_stump.dir/test_stump.cpp.o.d"
+  "test_stump"
+  "test_stump.pdb"
+  "test_stump[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workforce.dir/test_workforce.cpp.o"
+  "CMakeFiles/test_workforce.dir/test_workforce.cpp.o.d"
+  "test_workforce"
+  "test_workforce.pdb"
+  "test_workforce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nevermind.dir/nevermind_cli.cpp.o"
+  "CMakeFiles/nevermind.dir/nevermind_cli.cpp.o.d"
+  "nevermind"
+  "nevermind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nevermind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,156 @@
+// Wall-clock benchmark of the full proactive pipeline under the shared
+// execution engine: simulate a year, train both components, run one
+// proactive Saturday — at 1, 2, and hardware_concurrency threads — and
+// emit a machine-readable BENCH_pipeline.json with the timings and the
+// speedups relative to the serial run. Also cross-checks that the
+// ranked predictions are identical at every thread count (the exec
+// layer's determinism contract) and reports `deterministic` in the
+// JSON.
+//
+// Usage: bench_perf_pipeline [--lines N] [--seed S] [--out FILE]
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/nevermind.hpp"
+#include "dslsim/simulator.hpp"
+#include "exec/exec.hpp"
+
+namespace {
+
+using namespace nevermind;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Timing {
+  std::size_t threads = 1;
+  double simulate_s = 0.0;
+  double train_s = 0.0;
+  double run_week_s = 0.0;
+  std::vector<core::Prediction> predictions;
+};
+
+Timing run_at(std::size_t threads, std::uint32_t lines, std::uint64_t seed) {
+  Timing t;
+  t.threads = threads;
+  const exec::ExecContext exec =
+      threads > 1 ? exec::ExecContext(threads) : exec::ExecContext();
+
+  dslsim::SimConfig sim_cfg;
+  sim_cfg.seed = seed;
+  sim_cfg.topology.n_lines = lines;
+  auto start = Clock::now();
+  const dslsim::SimDataset data = dslsim::Simulator(sim_cfg).run(exec);
+  t.simulate_s = seconds_since(start);
+
+  core::NevermindConfig cfg;
+  cfg.exec = exec;
+  cfg.predictor.top_n = std::max<std::size_t>(lines / 100, 10);
+  cfg.predictor.boost_iterations = 120;
+  cfg.locator.min_occurrences = std::max<std::size_t>(6, lines / 2000);
+  cfg.locator.boost_iterations = 40;
+  cfg.atds.weekly_capacity = cfg.predictor.top_n;
+  core::Nevermind system(cfg);
+
+  start = Clock::now();
+  system.train(data, 30, 38, 20, 36);
+  t.train_s = seconds_since(start);
+
+  start = Clock::now();
+  core::WeeklyCycle cycle = system.run_week(data, 43);
+  t.run_week_s = seconds_since(start);
+  t.predictions = std::move(cycle.predictions);
+  return t;
+}
+
+bool identical(const std::vector<core::Prediction>& a,
+               const std::vector<core::Prediction>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].line != b[i].line || a[i].score != b[i].score ||
+        a[i].probability != b[i].probability) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint32_t lines = 4000;
+  std::uint64_t seed = 42;
+  std::string out_path = "BENCH_pipeline.json";
+  for (int i = 1; i < argc; ++i) {
+    const auto flag = [&](const char* name) {
+      return std::strcmp(argv[i], name) == 0 && i + 1 < argc;
+    };
+    if (flag("--lines")) {
+      lines = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (flag("--seed")) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag("--out")) {
+      out_path = argv[++i];
+    }
+  }
+
+  std::vector<std::size_t> thread_counts{1, 2};
+  const std::size_t hw = std::max<std::size_t>(
+      std::thread::hardware_concurrency(), 1);
+  if (hw > 2) thread_counts.push_back(hw);
+
+  std::vector<Timing> timings;
+  for (const std::size_t n : thread_counts) {
+    std::cerr << "pipeline at " << n << " thread(s)...\n";
+    timings.push_back(run_at(n, lines, seed));
+  }
+
+  bool deterministic = true;
+  for (std::size_t i = 1; i < timings.size(); ++i) {
+    deterministic =
+        deterministic &&
+        identical(timings[0].predictions, timings[i].predictions);
+  }
+
+  const double serial_total =
+      timings[0].simulate_s + timings[0].train_s + timings[0].run_week_s;
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"pipeline\",\n"
+       << "  \"lines\": " << lines << ",\n"
+       << "  \"seed\": " << seed << ",\n"
+       << "  \"hardware_concurrency\": " << hw << ",\n"
+       << "  \"deterministic\": " << (deterministic ? "true" : "false")
+       << ",\n"
+       << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    const Timing& t = timings[i];
+    const double total = t.simulate_s + t.train_s + t.run_week_s;
+    json << "    {\"threads\": " << t.threads
+         << ", \"simulate_s\": " << t.simulate_s
+         << ", \"train_s\": " << t.train_s
+         << ", \"run_week_s\": " << t.run_week_s
+         << ", \"total_s\": " << total
+         << ", \"speedup\": " << (total > 0 ? serial_total / total : 0.0)
+         << "}" << (i + 1 < timings.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  std::ofstream(out_path) << json.str();
+  std::cout << json.str();
+  if (!deterministic) {
+    std::cerr << "ERROR: predictions differ across thread counts\n";
+    return 1;
+  }
+  return 0;
+}

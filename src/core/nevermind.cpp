@@ -2,8 +2,20 @@
 
 namespace nevermind::core {
 
+namespace {
+
+NevermindConfig with_shared_exec(NevermindConfig config) {
+  if (config.exec.parallel()) {
+    if (!config.predictor.exec.parallel()) config.predictor.exec = config.exec;
+    if (!config.locator.exec.parallel()) config.locator.exec = config.exec;
+  }
+  return config;
+}
+
+}  // namespace
+
 Nevermind::Nevermind(NevermindConfig config)
-    : config_(std::move(config)),
+    : config_(with_shared_exec(std::move(config))),
       predictor_(config_.predictor),
       locator_(config_.locator) {}
 

@@ -11,6 +11,7 @@
 #include "core/ticket_predictor.hpp"
 #include "core/trouble_locator.hpp"
 #include "dslsim/simulator.hpp"
+#include "exec/exec.hpp"
 
 namespace nevermind::core {
 
@@ -18,6 +19,12 @@ struct NevermindConfig {
   PredictorConfig predictor;
   LocatorConfig locator;
   AtdsConfig atds;
+  /// Shared execution context for the whole pipeline. When parallel, it
+  /// is propagated into the predictor and locator configs (unless those
+  /// already carry their own pool), so one thread pool serves training
+  /// and the weekly scoring cycle. Predictions and models are
+  /// byte-identical at every thread count.
+  exec::ExecContext exec;
 };
 
 /// One proactive cycle's artefacts: the ranked predictions and the

@@ -50,6 +50,7 @@ void TicketPredictor::train(const dslsim::SimDataset& data, int train_from,
   ml::FeatureScoringConfig scoring;
   scoring.boost_iterations = config_.selection_boost_iterations;
   scoring.top_n = config_.top_n * static_cast<std::size_t>(n_val);
+  scoring.exec = config_.exec;
 
   features::EncodedBlock base_block =
       features::encode_weeks(data, train_from, train_to, base_cfg, labeler);
@@ -158,17 +159,20 @@ void TicketPredictor::train(const dslsim::SimDataset& data, int train_from,
 
   ml::BStumpConfig boost;
   boost.iterations = config_.boost_iterations;
+  boost.exec = config_.exec;
   if (config_.tune_boost_iterations) {
     const std::size_t base = std::max<std::size_t>(config_.boost_iterations, 4);
     const std::size_t candidates[] = {base / 4, base / 2, base, base * 2};
     const auto tuned = ml::select_boosting_rounds(
-        final_train, candidates, config_.top_n * static_cast<std::size_t>(n_val));
+        final_train, candidates,
+        config_.top_n * static_cast<std::size_t>(n_val), 3, config_.exec);
     if (tuned.best_rounds > 0) boost.iterations = tuned.best_rounds;
   }
   model_ = ml::train_bstump(final_train, boost);
 
   // Calibrate on the held-out split so probabilities are honest.
-  const std::vector<double> val_scores = model_.score_dataset(final_val);
+  const std::vector<double> val_scores =
+      model_.score_dataset(final_val, config_.exec);
   calibrator_ = ml::fit_platt(val_scores, final_val.labels());
 }
 
@@ -178,14 +182,19 @@ std::vector<double> TicketPredictor::score_block(
     throw std::logic_error("TicketPredictor: predict before train");
   }
   // The model's stump feature indices refer to selected columns; map
-  // through `selected_` into the full block.
+  // through `selected_` into the full block. Batch scoring chunks
+  // across rows: each row's accumulator belongs to one chunk and adds
+  // stumps in order, so results match serial bit for bit.
   std::vector<double> scores(block.dataset.n_rows(), 0.0);
-  for (const auto& stump : model_.stumps()) {
-    const auto col = block.dataset.column(selected_.at(stump.feature));
-    for (std::size_t r = 0; r < col.size(); ++r) {
-      scores[r] += stump.evaluate(col[r]);
-    }
-  }
+  config_.exec.parallel_for(
+      0, block.dataset.n_rows(), 0, [&](std::size_t b, std::size_t e) {
+        for (const auto& stump : model_.stumps()) {
+          const auto col = block.dataset.column(selected_.at(stump.feature));
+          for (std::size_t r = b; r < e; ++r) {
+            scores[r] += stump.evaluate(col[r]);
+          }
+        }
+      });
   return scores;
 }
 
@@ -197,15 +206,21 @@ std::vector<Prediction> TicketPredictor::predict_week(
   const std::vector<double> scores = score_block(block);
 
   std::vector<Prediction> out(scores.size());
-  for (std::size_t r = 0; r < scores.size(); ++r) {
-    out[r].line = block.line_of_row[r];
-    out[r].score = scores[r];
-    out[r].probability = calibrator_.probability(scores[r]);
-  }
-  std::stable_sort(out.begin(), out.end(),
-                   [](const Prediction& a, const Prediction& b) {
-                     return a.score > b.score;
-                   });
+  config_.exec.parallel_for(
+      0, scores.size(), 0, [&](std::size_t b, std::size_t e) {
+        for (std::size_t r = b; r < e; ++r) {
+          out[r].line = block.line_of_row[r];
+          out[r].score = scores[r];
+          out[r].probability = calibrator_.probability(scores[r]);
+        }
+      });
+  // Chunk-sorted then stably merged in chunk order — the unique stable
+  // order, so the weekly ranking is byte-identical at any thread count.
+  config_.exec.parallel_stable_sort(out.begin(), out.end(),
+                                    [](const Prediction& a,
+                                       const Prediction& b) {
+                                      return a.score > b.score;
+                                    });
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dslsim/simulator.hpp"
+#include "exec/exec.hpp"
 #include "features/encoder.hpp"
 #include "ml/adaboost.hpp"
 #include "ml/calibration.hpp"
@@ -58,6 +59,11 @@ struct PredictorConfig {
   /// Fraction of training weeks reserved as the selection/calibration
   /// validation split.
   double validation_fraction = 0.3;
+  /// Execution context for training (per-feature selection, boosting)
+  /// and weekly scoring/ranking. Predictions and models are
+  /// byte-identical at every thread count; the default serial context
+  /// is the exact single-threaded path.
+  exec::ExecContext exec;
 };
 
 struct Prediction {

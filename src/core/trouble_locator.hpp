@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "dslsim/simulator.hpp"
+#include "exec/exec.hpp"
 #include "features/encoder.hpp"
 #include "ml/adaboost.hpp"
 #include "ml/calibration.hpp"
@@ -40,6 +41,11 @@ struct LocatorConfig {
   /// Dispositions must appear at least this often in training to get a
   /// model (paper: 52 dispositions with > 20 occurrences = 81.9%).
   std::size_t min_occurrences = 20;
+  /// Execution context: the 52 one-vs-rest disposition problems (and
+  /// the 4 major-location classifiers) train independently on
+  /// per-chunk relabelled copies of the feature matrix. Models are
+  /// byte-identical at every thread count.
+  exec::ExecContext exec;
 };
 
 struct RankedDisposition {

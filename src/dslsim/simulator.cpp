@@ -119,7 +119,7 @@ bool SimDataset::fault_active(LineId line, util::Day day) const {
   return false;
 }
 
-SimDataset Simulator::run() const {
+SimDataset Simulator::run(const exec::ExecContext& exec) const {
   util::Rng root(config_.seed);
   Topology topology(config_.topology, root.next());
   FaultCatalog catalog(config_.seed, config_.minor_variants_per_location);
@@ -388,70 +388,93 @@ SimDataset Simulator::run() const {
   }
 
   // ---- weekly Saturday measurements -------------------------------------
+  // Every line owns an independent RNG stream keyed by (seed, line) and
+  // sweeps its 52 Saturdays from it, so the measurement tables are
+  // bit-identical no matter how many threads sweep the lines (and the
+  // fault/ticket process above never sees these draws).
   util::Rng measure_rng = root.fork();
+  const std::uint64_t measure_seed = measure_rng.next();
   data.weeks_.resize(static_cast<std::size_t>(config_.n_weeks));
-  for (int w = 0; w < config_.n_weeks; ++w) {
-    const util::Day day = util::saturday_of_week(w);
-    auto& week = data.weeks_[static_cast<std::size_t>(w)];
-    week.resize(topo.n_lines());
-    for (LineId u = 0; u < topo.n_lines(); ++u) {
+  for (auto& week : data.weeks_) week.resize(topo.n_lines());
+  exec.parallel_for(0, topo.n_lines(), 0, [&](std::size_t ub, std::size_t ue) {
+    for (LineId u = static_cast<LineId>(ub); u < ue; ++u) {
+      util::Rng rng = util::Rng::stream(measure_seed, u);
       const CustomerBehavior& cust = data.customers_[u];
-      const bool away = is_away(cust, day);
+      for (int w = 0; w < config_.n_weeks; ++w) {
+        const util::Day day = util::saturday_of_week(w);
+        auto& week = data.weeks_[static_cast<std::size_t>(w)];
+        const bool away = is_away(cust, day);
 
-      MeasurementContext ctx;
-      for (std::uint32_t idx : data.line_episodes_[u]) {
-        const auto& e = data.episodes_[idx];
-        const double act = episode_activity(
-            faults.signature(e.disposition), e, day);
-        if (act > 0.0) {
-          accumulate_effects(ctx.fx, faults.signature(e.disposition).effects,
-                             e.severity * act);
+        MeasurementContext ctx;
+        for (std::uint32_t idx : data.line_episodes_[u]) {
+          const auto& e = data.episodes_[idx];
+          const double act = episode_activity(
+              faults.signature(e.disposition), e, day);
+          if (act > 0.0) {
+            accumulate_effects(ctx.fx, faults.signature(e.disposition).effects,
+                               e.severity * act);
+          }
         }
-      }
-      // DSLAM outage / precursor degradation.
-      for (std::uint32_t idx : data.dslam_outages_[topo.dslam_of(u)]) {
-        const auto& o = data.outages_[idx];
-        if (day >= o.outage_start && day < o.outage_end) {
-          accumulate_effects(ctx.fx, outage_effects(), 1.0);
-        } else if (day >= o.precursor_start && day < o.outage_start) {
-          const double ramp =
-              static_cast<double>(day - o.precursor_start + 1) /
-              static_cast<double>(o.outage_start - o.precursor_start + 1);
-          accumulate_effects(ctx.fx, precursor_effects(), ramp);
+        // DSLAM outage / precursor degradation.
+        for (std::uint32_t idx : data.dslam_outages_[topo.dslam_of(u)]) {
+          const auto& o = data.outages_[idx];
+          if (day >= o.outage_start && day < o.outage_end) {
+            accumulate_effects(ctx.fx, outage_effects(), 1.0);
+          } else if (day >= o.precursor_start && day < o.outage_start) {
+            const double ramp =
+                static_cast<double>(day - o.precursor_start + 1) /
+                static_cast<double>(o.outage_start - o.precursor_start + 1);
+            accumulate_effects(ctx.fx, precursor_effects(), ramp);
+          }
         }
-      }
 
-      // Away customers mostly leave the modem powered (the paper's
-      // not-on-site lines still produce Saturday test records); a
-      // modest share powers down before leaving.
-      const double customer_off =
-          std::min(1.0, cust.modem_off_base + (away ? 0.2 : 0.0));
-      if (measure_rng.bernoulli(modem_off_probability(customer_off, ctx.fx))) {
-        week[u] = missing_record();
-        continue;
+        // Away customers mostly leave the modem powered (the paper's
+        // not-on-site lines still produce Saturday test records); a
+        // modest share powers down before leaving.
+        const double customer_off =
+            std::min(1.0, cust.modem_off_base + (away ? 0.2 : 0.0));
+        if (rng.bernoulli(modem_off_probability(customer_off, ctx.fx))) {
+          week[u] = missing_record();
+          continue;
+        }
+        ctx.usage_mb_week = usage_on_day(cust, day) * 7.0 *
+                            rng.lognormal(0.0, 0.25);
+        week[u] = measure_line(data.plants_[u], ctx, rng);
       }
-      ctx.usage_mb_week = usage_on_day(cust, day) * 7.0 *
-                          measure_rng.lognormal(0.0, 0.25);
-      week[u] = measure_line(data.plants_[u], ctx, measure_rng);
     }
-  }
+  });
 
   // ---- daily byte feed (two BRAS servers) -------------------------------
+  // Feed membership and slot order are fixed serially (they follow the
+  // topology alone); the per-line series then fill in parallel from
+  // per-line streams.
   util::Rng bytes_rng = root.fork();
+  const std::uint64_t bytes_seed = bytes_rng.next();
   data.byte_feed_index_.assign(topo.n_lines(), -1);
+  std::vector<LineId> feed_lines;
   for (LineId u = 0; u < topo.n_lines(); ++u) {
     if (topo.bras_of_line(u) >= config_.byte_feed_bras) continue;
-    data.byte_feed_index_[u] = static_cast<std::int32_t>(data.daily_mb_.size());
-    std::vector<float> series(static_cast<std::size_t>(horizon), 0.0F);
-    const CustomerBehavior& cust = data.customers_[u];
-    for (util::Day d = 0; d < horizon; ++d) {
-      const double base = usage_on_day(cust, d);
-      series[static_cast<std::size_t>(d)] =
-          base <= 0.0 ? 0.0F
-                      : static_cast<float>(base * bytes_rng.lognormal(0.0, 0.5));
-    }
-    data.daily_mb_.push_back(std::move(series));
+    data.byte_feed_index_[u] = static_cast<std::int32_t>(feed_lines.size());
+    feed_lines.push_back(u);
   }
+  data.daily_mb_.assign(feed_lines.size(), {});
+  exec.parallel_for(
+      0, feed_lines.size(), 0, [&](std::size_t fb, std::size_t fe) {
+        for (std::size_t f = fb; f < fe; ++f) {
+          const LineId u = feed_lines[f];
+          util::Rng rng = util::Rng::stream(bytes_seed, u);
+          std::vector<float> series(static_cast<std::size_t>(horizon), 0.0F);
+          const CustomerBehavior& cust = data.customers_[u];
+          for (util::Day d = 0; d < horizon; ++d) {
+            const double base = usage_on_day(cust, d);
+            series[static_cast<std::size_t>(d)] =
+                base <= 0.0
+                    ? 0.0F
+                    : static_cast<float>(base * rng.lognormal(0.0, 0.5));
+          }
+          data.daily_mb_[f] = std::move(series);
+        }
+      });
 
   return data;
 }

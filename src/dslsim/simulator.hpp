@@ -14,6 +14,7 @@
 #include "dslsim/line.hpp"
 #include "dslsim/records.hpp"
 #include "dslsim/topology.hpp"
+#include "exec/exec.hpp"
 #include "util/calendar.hpp"
 #include "util/rng.hpp"
 
@@ -180,7 +181,13 @@ class Simulator {
   explicit Simulator(SimConfig config) : config_(std::move(config)) {}
 
   /// Run the full simulation; deterministic in config.seed.
-  [[nodiscard]] SimDataset run() const;
+  [[nodiscard]] SimDataset run() const { return run(exec::ExecContext::serial()); }
+
+  /// Same, but with the weekly measurement sweep and the byte feed
+  /// parallelized across lines under `exec`. Every line draws from its
+  /// own util::Rng stream keyed by (seed, line), so the dataset is
+  /// bit-identical at every thread count — including threads = 1.
+  [[nodiscard]] SimDataset run(const exec::ExecContext& exec) const;
 
  private:
   SimConfig config_;

@@ -1,0 +1,223 @@
+// Shared execution engine for every bulk loop in NEVERMIND (weekly
+// re-scoring of the whole line population, 52 one-vs-rest locator
+// problems, per-feature stump search, simulator measurement sweeps).
+//
+// The determinism contract, which the rest of the codebase relies on:
+//
+//  * Chunk decomposition depends only on (range, grain) — never on the
+//    thread count — and auto-grain is derived from the range size
+//    alone. The same call therefore produces the same chunks whether it
+//    runs on 1 thread or 64.
+//  * parallel_for chunks write to disjoint, pre-assigned outputs, so
+//    scheduling order is invisible.
+//  * parallel_reduce combines chunk results strictly in chunk-index
+//    order on the calling thread, so floating-point accumulation order
+//    is fixed.
+//  * Per-task randomness comes from ExecContext::task_rng(i), an
+//    independent util::Rng stream keyed by task index — not by thread —
+//    so stochastic loops (the simulator's per-line measurement streams)
+//    are invariant to the thread count too.
+//
+// threads <= 1 (or a defaulted ExecContext) runs every chunk inline on
+// the calling thread in chunk order: the exact serial path, with no
+// pool, no synchronization, and natural exception propagation.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace nevermind::exec {
+
+class ExecContext {
+ public:
+  /// Serial context: all parallel_* calls degrade to plain loops.
+  ExecContext() = default;
+
+  /// Context targeting `threads` concurrent lanes. The pool holds
+  /// threads - 1 workers; the calling thread always participates, so a
+  /// parallel region makes progress even on an exhausted pool (and
+  /// nested regions cannot deadlock: every caller can drain its own
+  /// chunks). `seed` keys task_rng streams.
+  explicit ExecContext(std::size_t threads,
+                       std::uint64_t seed = 0x5EEDED5EEDED5EEDULL)
+      : threads_(std::max<std::size_t>(threads, 1)), seed_(seed) {
+    if (threads_ > 1) pool_ = std::make_shared<ThreadPool>(threads_ - 1);
+  }
+
+  /// The shared serial context — the default for every config knob.
+  [[nodiscard]] static const ExecContext& serial() {
+    static const ExecContext ctx;
+    return ctx;
+  }
+
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+  [[nodiscard]] bool parallel() const noexcept { return pool_ != nullptr; }
+
+  /// Independent deterministic RNG stream for logical task `index`.
+  /// Streams are keyed by task identity, never by executing thread, so
+  /// random draws are reproducible at any thread count.
+  [[nodiscard]] util::Rng task_rng(std::uint64_t index) const noexcept {
+    return util::Rng::stream(seed_, index);
+  }
+
+  /// Run fn(chunk_begin, chunk_end) over [begin, end) split into
+  /// grain-sized chunks (grain 0 = auto, derived from the range size
+  /// only). Chunks may run concurrently; the call returns after every
+  /// chunk finished. If chunks throw, the exception of the
+  /// lowest-indexed throwing chunk is rethrown (deterministic).
+  template <typename Fn>
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const Fn& fn) const {
+    if (end <= begin) return;
+    const std::size_t n = end - begin;
+    const std::size_t g = effective_grain(n, grain);
+    const std::size_t n_chunks = (n + g - 1) / g;
+    run_chunks(n_chunks, [&](std::size_t chunk) {
+      const std::size_t b = begin + chunk * g;
+      fn(b, std::min(b + g, end));
+    });
+  }
+
+  /// Ordered reduction: map(chunk_begin, chunk_end) -> T per chunk,
+  /// then acc = combine(std::move(acc), chunk_result) strictly in chunk
+  /// order starting from `init`. The combine order is independent of
+  /// the thread count, so floating-point results are reproducible.
+  template <typename T, typename Map, typename Combine>
+  [[nodiscard]] T parallel_reduce(std::size_t begin, std::size_t end,
+                                  std::size_t grain, T init, const Map& map,
+                                  const Combine& combine) const {
+    T acc = std::move(init);
+    if (end <= begin) return acc;
+    const std::size_t n = end - begin;
+    const std::size_t g = effective_grain(n, grain);
+    const std::size_t n_chunks = (n + g - 1) / g;
+    std::vector<T> results(n_chunks);
+    run_chunks(n_chunks, [&](std::size_t chunk) {
+      const std::size_t b = begin + chunk * g;
+      results[chunk] = map(b, std::min(b + g, end));
+    });
+    for (auto& r : results) acc = combine(std::move(acc), std::move(r));
+    return acc;
+  }
+
+  /// Stable sort of [first, last): grain-sized runs are sorted
+  /// concurrently, then stably merged pairwise in index order. A stable
+  /// order is unique, so the result is byte-identical to
+  /// std::stable_sort at every thread count and grain.
+  template <typename RandomIt, typename Compare>
+  void parallel_stable_sort(RandomIt first, RandomIt last, Compare comp,
+                            std::size_t grain = 0) const {
+    const auto n = static_cast<std::size_t>(last - first);
+    if (n < 2) return;
+    const std::size_t g = effective_grain(n, grain);
+    parallel_for(0, (n + g - 1) / g, 1, [&](std::size_t cb, std::size_t ce) {
+      for (std::size_t chunk = cb; chunk < ce; ++chunk) {
+        const std::size_t b = chunk * g;
+        std::stable_sort(first + static_cast<std::ptrdiff_t>(b),
+                         first + static_cast<std::ptrdiff_t>(std::min(b + g, n)),
+                         comp);
+      }
+    });
+    for (std::size_t width = g; width < n; width *= 2) {
+      const std::size_t n_pairs = (n + 2 * width - 1) / (2 * width);
+      parallel_for(0, n_pairs, 1, [&](std::size_t pb, std::size_t pe) {
+        for (std::size_t pair = pb; pair < pe; ++pair) {
+          const std::size_t lo = pair * 2 * width;
+          const std::size_t mid = std::min(lo + width, n);
+          const std::size_t hi = std::min(lo + 2 * width, n);
+          if (mid < hi) {
+            std::inplace_merge(first + static_cast<std::ptrdiff_t>(lo),
+                               first + static_cast<std::ptrdiff_t>(mid),
+                               first + static_cast<std::ptrdiff_t>(hi), comp);
+          }
+        }
+      });
+    }
+  }
+
+ private:
+  /// Auto-grain targets ~4 chunks per thread's worth of slack but is a
+  /// pure function of the range size so decomposition never depends on
+  /// the thread count.
+  [[nodiscard]] static std::size_t effective_grain(std::size_t n,
+                                                   std::size_t grain) noexcept {
+    if (grain > 0) return grain;
+    return std::max<std::size_t>(1, (n + 63) / 64);
+  }
+
+  /// Execute run(chunk_index) for every chunk in [0, n_chunks). Workers
+  /// and the calling thread pull chunk indices from a shared counter;
+  /// the caller keeps pulling until all chunks are claimed, then waits
+  /// for stragglers, then rethrows the lowest-index chunk exception.
+  template <typename Run>
+  void run_chunks(std::size_t n_chunks, const Run& run) const {
+    if (!pool_ || n_chunks <= 1) {
+      for (std::size_t c = 0; c < n_chunks; ++c) run(c);
+      return;
+    }
+
+    struct Invocation {
+      std::atomic<std::size_t> next{0};
+      std::atomic<std::size_t> done{0};
+      std::size_t n_chunks = 0;
+      std::vector<std::exception_ptr> errors;
+      std::mutex mutex;
+      std::condition_variable cv;
+    };
+    auto inv = std::make_shared<Invocation>();
+    inv->n_chunks = n_chunks;
+    inv->errors.assign(n_chunks, nullptr);
+
+    const auto drain = [&run](const std::shared_ptr<Invocation>& state) {
+      for (;;) {
+        const std::size_t chunk =
+            state->next.fetch_add(1, std::memory_order_relaxed);
+        if (chunk >= state->n_chunks) return;
+        try {
+          run(chunk);
+        } catch (...) {
+          state->errors[chunk] = std::current_exception();
+        }
+        if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            state->n_chunks) {
+          const std::lock_guard<std::mutex> lock(state->mutex);
+          state->cv.notify_all();
+        }
+      }
+    };
+
+    const std::size_t helpers =
+        std::min(pool_->n_workers(), n_chunks - 1);
+    for (std::size_t h = 0; h < helpers; ++h) {
+      // The helper shares ownership of the invocation state: it may run
+      // after the caller already returned (nothing left to claim).
+      pool_->submit([inv, drain] { drain(inv); });
+    }
+    drain(inv);
+    {
+      std::unique_lock<std::mutex> lock(inv->mutex);
+      inv->cv.wait(lock, [&] {
+        return inv->done.load(std::memory_order_acquire) == inv->n_chunks;
+      });
+    }
+    for (const auto& e : inv->errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+
+  std::size_t threads_ = 1;
+  std::uint64_t seed_ = 0x5EEDED5EEDED5EEDULL;
+  std::shared_ptr<ThreadPool> pool_;
+};
+
+}  // namespace nevermind::exec

@@ -1,0 +1,50 @@
+// Fixed-size worker pool underlying nevermind::exec. Deliberately
+// simple — a single locked queue, no work stealing — because every
+// consumer in this codebase submits a handful of long-running chunk
+// tasks per parallel region, not fine-grained task graphs. Determinism
+// never depends on the pool: chunk decomposition is fixed by the caller
+// and results land in pre-assigned slots, so scheduling order is
+// invisible to the output.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nevermind::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `n_workers` threads. Zero workers is allowed: submit() then
+  /// runs nothing until a worker exists, so callers must not rely on
+  /// the pool for forward progress (parallel_for never does — the
+  /// calling thread always drains its own chunks).
+  explicit ThreadPool(std::size_t n_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t n_workers() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueue a task. Tasks must not throw (parallel regions catch
+  /// exceptions before they reach the pool).
+  void submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace nevermind::exec

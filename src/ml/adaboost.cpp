@@ -25,14 +25,20 @@ double BStumpModel::score_features(std::span<const float> features) const {
   return s;
 }
 
-std::vector<double> BStumpModel::score_dataset(const Dataset& data) const {
+std::vector<double> BStumpModel::score_dataset(
+    const Dataset& data, const exec::ExecContext& exec) const {
   std::vector<double> scores(data.n_rows(), 0.0);
-  for (const auto& stump : stumps_) {
-    const auto col = data.column(stump.feature);
-    for (std::size_t r = 0; r < col.size(); ++r) {
-      scores[r] += stump.evaluate(col[r]);
+  // Chunk across rows, not stumps: each row's accumulator is touched by
+  // exactly one chunk and adds stump contributions in stump order, so
+  // the floating-point result matches serial exactly.
+  exec.parallel_for(0, data.n_rows(), 0, [&](std::size_t b, std::size_t e) {
+    for (const auto& stump : stumps_) {
+      const auto col = data.column(stump.feature);
+      for (std::size_t r = b; r < e; ++r) {
+        scores[r] += stump.evaluate(col[r]);
+      }
     }
-  }
+  });
   return scores;
 }
 
@@ -74,7 +80,7 @@ BStumpModel train_impl(const Dataset& data, const BStumpConfig& config,
 
   std::vector<std::size_t> only;
   if (single_feature != nullptr) only.push_back(*single_feature);
-  const SortedColumns sorted(data, only);
+  const SortedColumns sorted(data, only, config.exec);
   std::vector<Stump> stumps;
   stumps.reserve(config.iterations);
   std::vector<double> margins(n, 0.0);
@@ -84,7 +90,7 @@ BStumpModel train_impl(const Dataset& data, const BStumpConfig& config,
         single_feature != nullptr
             ? find_best_stump_for_feature(data, sorted, weights, smoothing,
                                           *single_feature)
-            : find_best_stump(data, sorted, weights, smoothing);
+            : find_best_stump(data, sorted, weights, smoothing, config.exec);
     if (!std::isfinite(best.z) || best.z > config.z_stop) break;
     if (diagnostics != nullptr) diagnostics->z_per_round.push_back(best.z);
     stumps.push_back(best.stump);

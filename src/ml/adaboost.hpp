@@ -25,6 +25,10 @@ struct BStumpConfig {
   /// better than chance). 1.0 disables nothing since Z <= 1 for a
   /// useful stump on normalized weights.
   double z_stop = 0.999999;
+  /// Execution context for column indexing and the per-round stump
+  /// search. The ensemble is byte-identical at every thread count; the
+  /// default serial context is the exact pre-exec-layer path.
+  exec::ExecContext exec;
 };
 
 /// Trained ensemble: f(x) = sum_t g_t(x). Higher scores mean "more
@@ -37,8 +41,12 @@ class BStumpModel {
   [[nodiscard]] double score_row(const Dataset& data, std::size_t row) const;
   [[nodiscard]] double score_features(std::span<const float> features) const;
   /// Column-oriented scoring of a whole dataset; much faster than
-  /// per-row loops for large datasets.
-  [[nodiscard]] std::vector<double> score_dataset(const Dataset& data) const;
+  /// per-row loops for large datasets. Rows are independent, so a
+  /// parallel context chunks them; every chunk walks the stumps in
+  /// order, keeping per-row accumulation byte-identical to serial.
+  [[nodiscard]] std::vector<double> score_dataset(
+      const Dataset& data,
+      const exec::ExecContext& exec = exec::ExecContext::serial()) const;
 
   [[nodiscard]] const std::vector<Stump>& stumps() const noexcept {
     return stumps_;

@@ -21,23 +21,40 @@ std::vector<Fold> make_folds(std::size_t n_rows, std::size_t k_folds) {
 
 double cross_validate(
     const Dataset& data, std::size_t k_folds,
-    const std::function<double(const Dataset&, const Dataset&)>& train_eval) {
+    const std::function<double(const Dataset&, const Dataset&)>& train_eval,
+    const exec::ExecContext& exec) {
   const auto folds = make_folds(data.n_rows(), k_folds);
-  double sum = 0.0;
-  std::size_t used = 0;
-  for (const auto& fold : folds) {
-    if (fold.train_rows.empty() || fold.validation_rows.empty()) continue;
-    const Dataset train = data.select_rows(fold.train_rows);
-    const Dataset validation = data.select_rows(fold.validation_rows);
-    sum += train_eval(train, validation);
-    ++used;
-  }
-  return used > 0 ? sum / static_cast<double>(used) : 0.0;
+  // One task per fold; metrics are summed in fold order by the ordered
+  // reduce, matching the serial accumulation exactly.
+  struct Acc {
+    double sum = 0.0;
+    std::size_t used = 0;
+  };
+  const Acc total = exec.parallel_reduce(
+      0, folds.size(), 1, Acc{},
+      [&](std::size_t b, std::size_t e) {
+        Acc acc;
+        for (std::size_t f = b; f < e; ++f) {
+          const auto& fold = folds[f];
+          if (fold.train_rows.empty() || fold.validation_rows.empty()) continue;
+          const Dataset train = data.select_rows(fold.train_rows);
+          const Dataset validation = data.select_rows(fold.validation_rows);
+          acc.sum += train_eval(train, validation);
+          ++acc.used;
+        }
+        return acc;
+      },
+      [](Acc acc, Acc chunk) {
+        acc.sum += chunk.sum;
+        acc.used += chunk.used;
+        return acc;
+      });
+  return total.used > 0 ? total.sum / static_cast<double>(total.used) : 0.0;
 }
 
 RoundsSelection select_boosting_rounds(
     const Dataset& data, std::span<const std::size_t> candidates,
-    std::size_t top_n, std::size_t k_folds) {
+    std::size_t top_n, std::size_t k_folds, const exec::ExecContext& exec) {
   RoundsSelection out;
   if (candidates.empty()) return out;
 
@@ -48,49 +65,74 @@ RoundsSelection select_boosting_rounds(
       *std::max_element(candidates.begin(), candidates.end());
   const auto folds = make_folds(data.n_rows(), k_folds);
 
-  out.metric_per_candidate.assign(candidates.size(), 0.0);
-  std::size_t used = 0;
-  for (const auto& fold : folds) {
-    if (fold.train_rows.empty() || fold.validation_rows.empty()) continue;
-    const Dataset train = data.select_rows(fold.train_rows);
-    const Dataset validation = data.select_rows(fold.validation_rows);
-    BStumpConfig cfg;
-    cfg.iterations = max_rounds;
-    const BStumpModel full = train_bstump(train, cfg);
+  // Folds are independent; each produces its per-candidate metric
+  // contributions, summed in fold order by the ordered reduce so the
+  // means match the serial accumulation bit for bit.
+  struct Acc {
+    std::vector<double> metric;
+    std::size_t used = 0;
+  };
+  Acc init;
+  init.metric.assign(candidates.size(), 0.0);
+  Acc total = exec.parallel_reduce(
+      0, folds.size(), 1, std::move(init),
+      [&](std::size_t fb, std::size_t fe) {
+        Acc acc;
+        acc.metric.assign(candidates.size(), 0.0);
+        for (std::size_t f = fb; f < fe; ++f) {
+          const auto& fold = folds[f];
+          if (fold.train_rows.empty() || fold.validation_rows.empty()) continue;
+          const Dataset train = data.select_rows(fold.train_rows);
+          const Dataset validation = data.select_rows(fold.validation_rows);
+          BStumpConfig cfg;
+          cfg.iterations = max_rounds;
+          const BStumpModel full = train_bstump(train, cfg);
 
-    // Incremental scoring: add stumps in order, snapshotting at each
-    // candidate count.
-    std::vector<double> scores(validation.n_rows(), 0.0);
-    std::vector<std::pair<std::size_t, std::size_t>> checkpoints;
-    for (std::size_t c = 0; c < candidates.size(); ++c) {
-      checkpoints.emplace_back(candidates[c], c);
+          // Incremental scoring: add stumps in order, snapshotting at
+          // each candidate count.
+          std::vector<double> scores(validation.n_rows(), 0.0);
+          std::vector<std::pair<std::size_t, std::size_t>> checkpoints;
+          for (std::size_t c = 0; c < candidates.size(); ++c) {
+            checkpoints.emplace_back(candidates[c], c);
+          }
+          std::sort(checkpoints.begin(), checkpoints.end());
+          std::size_t next_checkpoint = 0;
+          for (std::size_t t = 0; t <= full.stumps().size(); ++t) {
+            while (next_checkpoint < checkpoints.size() &&
+                   checkpoints[next_checkpoint].first == t) {
+              acc.metric[checkpoints[next_checkpoint].second] +=
+                  top_n_average_precision(scores, validation.labels(), top_n);
+              ++next_checkpoint;
+            }
+            if (t == full.stumps().size()) break;
+            const auto& stump = full.stumps()[t];
+            const auto col = validation.column(stump.feature);
+            for (std::size_t r = 0; r < col.size(); ++r) {
+              scores[r] += stump.evaluate(col[r]);
+            }
+          }
+          // Candidates beyond the trained length score the full ensemble.
+          while (next_checkpoint < checkpoints.size()) {
+            acc.metric[checkpoints[next_checkpoint].second] +=
+                top_n_average_precision(scores, validation.labels(), top_n);
+            ++next_checkpoint;
+          }
+          ++acc.used;
+        }
+        return acc;
+      },
+      [](Acc acc, Acc chunk) {
+        for (std::size_t c = 0; c < acc.metric.size(); ++c) {
+          acc.metric[c] += chunk.metric[c];
+        }
+        acc.used += chunk.used;
+        return acc;
+      });
+  out.metric_per_candidate = std::move(total.metric);
+  if (total.used > 0) {
+    for (auto& m : out.metric_per_candidate) {
+      m /= static_cast<double>(total.used);
     }
-    std::sort(checkpoints.begin(), checkpoints.end());
-    std::size_t next_checkpoint = 0;
-    for (std::size_t t = 0; t <= full.stumps().size(); ++t) {
-      while (next_checkpoint < checkpoints.size() &&
-             checkpoints[next_checkpoint].first == t) {
-        out.metric_per_candidate[checkpoints[next_checkpoint].second] +=
-            top_n_average_precision(scores, validation.labels(), top_n);
-        ++next_checkpoint;
-      }
-      if (t == full.stumps().size()) break;
-      const auto& stump = full.stumps()[t];
-      const auto col = validation.column(stump.feature);
-      for (std::size_t r = 0; r < col.size(); ++r) {
-        scores[r] += stump.evaluate(col[r]);
-      }
-    }
-    // Candidates beyond the trained length score the full ensemble.
-    while (next_checkpoint < checkpoints.size()) {
-      out.metric_per_candidate[checkpoints[next_checkpoint].second] +=
-          top_n_average_precision(scores, validation.labels(), top_n);
-      ++next_checkpoint;
-    }
-    ++used;
-  }
-  if (used > 0) {
-    for (auto& m : out.metric_per_candidate) m /= static_cast<double>(used);
   }
   std::size_t best = 0;
   for (std::size_t c = 1; c < candidates.size(); ++c) {

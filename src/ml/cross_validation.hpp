@@ -30,10 +30,13 @@ struct Fold {
 
 /// Mean validation metric of a model family across folds. `train_eval`
 /// receives (train set, validation set) and returns the metric (higher
-/// is better).
+/// is better). Folds run in parallel under `exec` and their metrics are
+/// summed in fold order, so the mean is byte-identical to serial
+/// (train_eval must be safe to call concurrently on distinct folds).
 [[nodiscard]] double cross_validate(
     const Dataset& data, std::size_t k_folds,
-    const std::function<double(const Dataset&, const Dataset&)>& train_eval);
+    const std::function<double(const Dataset&, const Dataset&)>& train_eval,
+    const exec::ExecContext& exec = exec::ExecContext::serial());
 
 struct RoundsSelection {
   std::size_t best_rounds = 0;
@@ -46,6 +49,7 @@ struct RoundsSelection {
 /// held-out folds.
 [[nodiscard]] RoundsSelection select_boosting_rounds(
     const Dataset& data, std::span<const std::size_t> candidates,
-    std::size_t top_n, std::size_t k_folds = 3);
+    std::size_t top_n, std::size_t k_folds = 3,
+    const exec::ExecContext& exec = exec::ExecContext::serial());
 
 }  // namespace nevermind::ml

@@ -69,20 +69,27 @@ std::vector<double> score_features(const Dataset& train, const Dataset& test,
       if (test.n_cols() != f) {
         throw std::invalid_argument("score_features: train/test mismatch");
       }
-      for (std::size_t j = first_column; j < f; ++j) {
-        scores[j] = wrapper_score(train, test, j, method, config);
-      }
+      // Every column trains its own single-feature predictor — the
+      // dominant cost of selection — into its own output slot.
+      config.exec.parallel_for(
+          first_column, f, 1, [&](std::size_t b, std::size_t e) {
+            for (std::size_t j = b; j < e; ++j) {
+              scores[j] = wrapper_score(train, test, j, method, config);
+            }
+          });
       return scores;
     case SelectionMethod::kPca: {
       const PcaResult pca = fit_pca(train, config.pca_max_rows);
       return pca_feature_scores(pca, config.pca_components);
     }
     case SelectionMethod::kGainRatio:
-      for (std::size_t j = 0; j < f; ++j) {
-        scores[j] =
-            gain_ratio(train.column(j), train.labels(), config.gain_bins)
-                .gain_ratio;
-      }
+      config.exec.parallel_for(0, f, 0, [&](std::size_t b, std::size_t e) {
+        for (std::size_t j = b; j < e; ++j) {
+          scores[j] =
+              gain_ratio(train.column(j), train.labels(), config.gain_bins)
+                  .gain_ratio;
+        }
+      });
       return scores;
   }
   return scores;

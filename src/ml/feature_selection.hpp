@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/exec.hpp"
 #include "ml/dataset.hpp"
 
 namespace nevermind::ml {
@@ -43,6 +44,11 @@ struct FeatureScoringConfig {
   std::size_t gain_bins = 10;
   /// Row cap for the PCA covariance estimate (0 = use everything).
   std::size_t pca_max_rows = 20000;
+  /// Execution context: the wrapper criteria train one single-feature
+  /// predictor per column, which parallelizes embarrassingly across
+  /// columns (each score lands in its own slot — thread-count
+  /// invariant).
+  exec::ExecContext exec;
 };
 
 /// One score per feature, higher = better. Wrapper methods that need a

@@ -38,7 +38,8 @@ double block_score(const WeightPair& w, double eps) noexcept {
 }  // namespace
 
 SortedColumns::SortedColumns(const Dataset& data,
-                             std::span<const std::size_t> only)
+                             std::span<const std::size_t> only,
+                             const exec::ExecContext& exec)
     : sorted_(data.n_cols()), groups_(data.n_cols()) {
   std::vector<std::size_t> all;
   if (only.empty()) {
@@ -46,29 +47,34 @@ SortedColumns::SortedColumns(const Dataset& data,
     for (std::size_t j = 0; j < all.size(); ++j) all[j] = j;
     only = all;
   }
-  for (std::size_t j : only) {
-    const auto col = data.column(j);
-    if (data.column_info(j).categorical) {
-      std::map<float, std::vector<std::uint32_t>> by_value;
-      for (std::uint32_t r = 0; r < col.size(); ++r) {
-        if (!is_missing(col[r])) by_value[col[r]].push_back(r);
+  // Each listed column is indexed independently into its own slot.
+  exec.parallel_for(0, only.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const std::size_t j = only[i];
+      const auto col = data.column(j);
+      if (data.column_info(j).categorical) {
+        std::map<float, std::vector<std::uint32_t>> by_value;
+        for (std::uint32_t r = 0; r < col.size(); ++r) {
+          if (!is_missing(col[r])) by_value[col[r]].push_back(r);
+        }
+        auto& groups = groups_[j];
+        groups.reserve(by_value.size());
+        for (auto& [value, rows] : by_value) {
+          groups.push_back({value, std::move(rows)});
+        }
+      } else {
+        auto& idx = sorted_[j];
+        idx.reserve(col.size());
+        for (std::uint32_t r = 0; r < col.size(); ++r) {
+          if (!is_missing(col[r])) idx.push_back(r);
+        }
+        std::sort(idx.begin(), idx.end(),
+                  [&](std::uint32_t a, std::uint32_t b2) {
+                    return col[a] < col[b2];
+                  });
       }
-      auto& groups = groups_[j];
-      groups.reserve(by_value.size());
-      for (auto& [value, rows] : by_value) {
-        groups.push_back({value, std::move(rows)});
-      }
-    } else {
-      auto& idx = sorted_[j];
-      idx.reserve(col.size());
-      for (std::uint32_t r = 0; r < col.size(); ++r) {
-        if (!is_missing(col[r])) idx.push_back(r);
-      }
-      std::sort(idx.begin(), idx.end(), [&](std::uint32_t a, std::uint32_t b) {
-        return col[a] < col[b];
-      });
     }
-  }
+  });
 }
 
 namespace {
@@ -181,20 +187,33 @@ StumpSearchResult find_best_stump_for_feature(const Dataset& data,
 StumpSearchResult find_best_stump(const Dataset& data,
                                   const SortedColumns& sorted,
                                   std::span<const double> weights,
-                                  double smoothing) {
+                                  double smoothing,
+                                  const exec::ExecContext& exec) {
   const WeightPair total = total_weights(data, weights);
-  StumpSearchResult best;
-  best.z = std::numeric_limits<double>::infinity();
-  for (std::size_t j = 0; j < data.n_cols(); ++j) {
-    StumpSearchResult candidate =
-        data.column_info(j).categorical
-            ? scan_categorical(data, sorted.groups(j), weights, smoothing, j,
-                               total)
-            : scan_continuous(data, sorted.sorted_rows(j), weights, smoothing,
-                              j, total);
-    if (candidate.z < best.z) best = candidate;
-  }
-  return best;
+  StumpSearchResult init;
+  init.z = std::numeric_limits<double>::infinity();
+  // Strict `<` in both the in-chunk scan and the ordered combine means
+  // ties always resolve to the lowest feature index — the same winner
+  // the plain serial loop picks, for any chunking.
+  return exec.parallel_reduce(
+      0, data.n_cols(), 0, init,
+      [&](std::size_t b, std::size_t e) {
+        StumpSearchResult best;
+        best.z = std::numeric_limits<double>::infinity();
+        for (std::size_t j = b; j < e; ++j) {
+          StumpSearchResult candidate =
+              data.column_info(j).categorical
+                  ? scan_categorical(data, sorted.groups(j), weights, smoothing,
+                                     j, total)
+                  : scan_continuous(data, sorted.sorted_rows(j), weights,
+                                    smoothing, j, total);
+          if (candidate.z < best.z) best = candidate;
+        }
+        return best;
+      },
+      [](StumpSearchResult acc, StumpSearchResult chunk) {
+        return chunk.z < acc.z ? chunk : acc;
+      });
 }
 
 }  // namespace nevermind::ml

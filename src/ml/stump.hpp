@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/exec.hpp"
 #include "ml/dataset.hpp"
 
 namespace nevermind::ml {
@@ -42,9 +43,11 @@ class SortedColumns {
  public:
   /// Indexes every column, or — when `only` is non-empty — just the
   /// listed columns (single-feature training indexes one column instead
-  /// of paying O(F n log n) per call).
-  explicit SortedColumns(const Dataset& data,
-                         std::span<const std::size_t> only = {});
+  /// of paying O(F n log n) per call). Columns are independent, so a
+  /// parallel context splits the work across them.
+  explicit SortedColumns(
+      const Dataset& data, std::span<const std::size_t> only = {},
+      const exec::ExecContext& exec = exec::ExecContext::serial());
 
   struct CategoricalGroup {
     float value;
@@ -73,10 +76,13 @@ struct StumpSearchResult {
 /// Exhaustive best-stump search over all features given the current
 /// boosting weights. `weights[i]` must be non-negative; labels come from
 /// `data`. `smoothing` is the epsilon in S = 0.5 ln((W+ + eps)/(W- + eps)).
-[[nodiscard]] StumpSearchResult find_best_stump(const Dataset& data,
-                                                const SortedColumns& sorted,
-                                                std::span<const double> weights,
-                                                double smoothing);
+/// Per-feature scans run in parallel under `exec`; the winner is picked
+/// by an ordered reduce (ties go to the lowest feature index), so the
+/// result is byte-identical to the serial scan at any thread count.
+[[nodiscard]] StumpSearchResult find_best_stump(
+    const Dataset& data, const SortedColumns& sorted,
+    std::span<const double> weights, double smoothing,
+    const exec::ExecContext& exec = exec::ExecContext::serial());
 
 /// Best stump restricted to one feature (used by the per-feature AP(N)
 /// selection, which trains single-feature predictors).

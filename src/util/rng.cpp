@@ -40,6 +40,16 @@ std::uint64_t Rng::next() noexcept {
 
 Rng Rng::fork() noexcept { return Rng{next() ^ 0xD1B54A32D192ED03ULL}; }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_index) noexcept {
+  // Mix the stream index through SplitMix64 before combining so that
+  // adjacent indices land in unrelated regions of the seed space.
+  std::uint64_t s = stream_index + 0x9E3779B97F4A7C15ULL;
+  s = (s ^ (s >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  s = (s ^ (s >> 27)) * 0x94D049BB133111EBULL;
+  s ^= s >> 31;
+  return Rng{seed ^ s ^ 0xA0761D6478BD642FULL};
+}
+
 double Rng::uniform() noexcept {
   // 53-bit mantissa: uniform double in [0, 1).
   return static_cast<double>(next() >> 11) * 0x1.0p-53;

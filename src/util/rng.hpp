@@ -35,6 +35,14 @@ class Rng {
   /// simulation does not perturb the random draws of another.
   [[nodiscard]] Rng fork() noexcept;
 
+  /// Independent stream keyed by (seed, stream index) without touching
+  /// any parent state. This is how parallel loops get per-task
+  /// generators: stream i draws the same sequence no matter which
+  /// thread runs task i or how the range was chunked, which is the
+  /// backbone of the exec layer's determinism contract.
+  [[nodiscard]] static Rng stream(std::uint64_t seed,
+                                  std::uint64_t stream_index) noexcept;
+
   /// Uniform real in [0, 1).
   double uniform() noexcept;
   /// Uniform real in [lo, hi).

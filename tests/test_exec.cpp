@@ -1,0 +1,337 @@
+// Tests for the shared execution engine: pool lifecycle, the
+// parallel_for / parallel_reduce / parallel_stable_sort determinism
+// contract (chunking, ordering, exception selection), per-task RNG
+// streams, and the end-to-end guarantee the rest of the codebase
+// depends on — simulator output and weekly predictions byte-identical
+// at every thread count.
+#include "exec/exec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/nevermind.hpp"
+#include "dslsim/simulator.hpp"
+#include "exec/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace nevermind::exec {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.n_workers(), 3U);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Destructor drains the queue and joins; nothing may be dropped.
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, SurvivesImmediateDestruction) {
+  // Construct-and-destroy with no work must join cleanly.
+  for (int i = 0; i < 5; ++i) {
+    ThreadPool pool(2);
+  }
+}
+
+TEST(ExecContext, DefaultAndSingleThreadAreSerial) {
+  EXPECT_FALSE(ExecContext().parallel());
+  EXPECT_EQ(ExecContext().threads(), 1U);
+  EXPECT_FALSE(ExecContext(1).parallel());
+  EXPECT_FALSE(ExecContext::serial().parallel());
+  EXPECT_TRUE(ExecContext(4).parallel());
+  EXPECT_EQ(ExecContext(4).threads(), 4U);
+}
+
+TEST(ExecContext, ParallelForEmptyRangeNeverCallsFn) {
+  const ExecContext exec(4);
+  int calls = 0;
+  exec.parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { ++calls; });
+  exec.parallel_for(7, 3, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ExecContext, ParallelForRangeSmallerThanGrainIsOneChunk) {
+  const ExecContext exec(4);
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  std::mutex m;
+  exec.parallel_for(10, 13, 100, [&](std::size_t b, std::size_t e) {
+    const std::lock_guard<std::mutex> lock(m);
+    chunks.emplace_back(b, e);
+  });
+  ASSERT_EQ(chunks.size(), 1U);
+  EXPECT_EQ(chunks[0].first, 10U);
+  EXPECT_EQ(chunks[0].second, 13U);
+}
+
+TEST(ExecContext, ParallelForCoversEveryIndexExactlyOnce) {
+  const ExecContext exec(8);
+  for (const std::size_t grain : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{3}, std::size_t{64}}) {
+    std::vector<int> hits(257, 0);
+    exec.parallel_for(0, hits.size(), grain,
+                      [&](std::size_t b, std::size_t e) {
+                        for (std::size_t i = b; i < e; ++i) ++hits[i];
+                      });
+    EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                            [](int h) { return h == 1; }))
+        << "grain " << grain;
+  }
+}
+
+TEST(ExecContext, ChunkDecompositionIgnoresThreadCount) {
+  // The determinism contract: identical (range, grain) -> identical
+  // chunks, whether the context is serial or parallel.
+  const auto chunks_of = [](const ExecContext& exec, std::size_t n,
+                            std::size_t grain) {
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    std::mutex m;
+    exec.parallel_for(0, n, grain, [&](std::size_t b, std::size_t e) {
+      const std::lock_guard<std::mutex> lock(m);
+      chunks.emplace_back(b, e);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  for (const std::size_t n : {1UL, 63UL, 64UL, 65UL, 1000UL}) {
+    for (const std::size_t grain : {0UL, 1UL, 7UL}) {
+      EXPECT_EQ(chunks_of(ExecContext(), n, grain),
+                chunks_of(ExecContext(8), n, grain))
+          << "n=" << n << " grain=" << grain;
+    }
+  }
+}
+
+TEST(ExecContext, LowestIndexExceptionWinsInParallel) {
+  const ExecContext exec(8);
+  try {
+    exec.parallel_for(0, 16, 1, [&](std::size_t b, std::size_t) {
+      if (b == 3 || b == 11) {
+        throw std::runtime_error("chunk " + std::to_string(b));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 3");
+  }
+}
+
+TEST(ExecContext, SerialExceptionPropagatesNaturally) {
+  const ExecContext exec;
+  EXPECT_THROW(exec.parallel_for(0, 4, 1,
+                                 [](std::size_t b, std::size_t) {
+                                   if (b == 2) throw std::logic_error("boom");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ExecContext, PoolUsableAfterThrowingRegion) {
+  const ExecContext exec(4);
+  EXPECT_THROW(exec.parallel_for(0, 8, 1,
+                                 [](std::size_t, std::size_t) {
+                                   throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+  std::atomic<std::size_t> sum{0};
+  exec.parallel_for(0, 100, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(sum.load(), 4950U);
+}
+
+TEST(ExecContext, ParallelReduceCombinesInChunkOrder) {
+  // String concatenation is order-sensitive: any scheduling leak into
+  // the combine order would scramble the result.
+  const ExecContext exec(8);
+  const auto concat = [&](const ExecContext& e) {
+    return e.parallel_reduce(
+        0, 26, 3, std::string{},
+        [](std::size_t b, std::size_t en) {
+          std::string s;
+          for (std::size_t i = b; i < en; ++i) {
+            s.push_back(static_cast<char>('a' + i));
+          }
+          return s;
+        },
+        [](std::string acc, std::string chunk) { return acc + chunk; });
+  };
+  EXPECT_EQ(concat(exec), "abcdefghijklmnopqrstuvwxyz");
+  EXPECT_EQ(concat(ExecContext::serial()), concat(exec));
+}
+
+TEST(ExecContext, ParallelReduceFloatingPointMatchesSerialBitExactly) {
+  std::vector<double> xs(10'000);
+  util::Rng rng(99);
+  for (auto& x : xs) x = rng.uniform() * 1e6 - 5e5;
+  const auto sum_with = [&](const ExecContext& e) {
+    return e.parallel_reduce(
+        0, xs.size(), 0, 0.0,
+        [&](std::size_t b, std::size_t en) {
+          double s = 0.0;
+          for (std::size_t i = b; i < en; ++i) s += xs[i];
+          return s;
+        },
+        [](double acc, double chunk) { return acc + chunk; });
+  };
+  const double serial = sum_with(ExecContext::serial());
+  const double parallel = sum_with(ExecContext(8));
+  EXPECT_EQ(serial, parallel);  // bit-exact, not just approximately
+}
+
+TEST(ExecContext, ParallelReduceEmptyRangeReturnsInit) {
+  const ExecContext exec(4);
+  const int out = exec.parallel_reduce(
+      9, 9, 1, 42, [](std::size_t, std::size_t) { return 7; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(out, 42);
+}
+
+TEST(ExecContext, ParallelStableSortMatchesStdStableSort) {
+  util::Rng rng(7);
+  std::vector<std::pair<int, int>> base(5000);
+  for (int i = 0; i < static_cast<int>(base.size()); ++i) {
+    base[i] = {static_cast<int>(rng.uniform_index(40)), i};  // heavy key ties
+  }
+  const auto by_key = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  auto expected = base;
+  std::stable_sort(expected.begin(), expected.end(), by_key);
+
+  const ExecContext exec(8);
+  for (const std::size_t grain : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{17}, std::size_t{4096}}) {
+    auto got = base;
+    exec.parallel_stable_sort(got.begin(), got.end(), by_key, grain);
+    EXPECT_EQ(got, expected) << "grain " << grain;
+  }
+}
+
+TEST(ExecContext, TaskRngStreamsKeyedByIndexNotThreadCount) {
+  const ExecContext serial1(1, 123);
+  const ExecContext wide(8, 123);
+  const ExecContext other_seed(8, 124);
+  for (std::uint64_t i : {0ULL, 1ULL, 51ULL, 1'000'000ULL}) {
+    util::Rng a = serial1.task_rng(i);
+    util::Rng b = wide.task_rng(i);
+    for (int d = 0; d < 16; ++d) EXPECT_EQ(a.next(), b.next());
+  }
+  util::Rng a = wide.task_rng(3);
+  util::Rng b = wide.task_rng(4);
+  util::Rng c = other_seed.task_rng(3);
+  EXPECT_NE(a.next(), b.next());
+  EXPECT_NE(wide.task_rng(3).next(), c.next());
+}
+
+TEST(ExecContext, NestedParallelRegionsComplete) {
+  // The caller always drains its own chunks, so a parallel region
+  // started from inside another one must finish even when every pool
+  // worker is already busy.
+  const ExecContext exec(4);
+  std::atomic<std::size_t> total{0};
+  exec.parallel_for(0, 8, 1, [&](std::size_t, std::size_t) {
+    exec.parallel_for(0, 8, 1, [&](std::size_t b, std::size_t e) {
+      total.fetch_add(e - b, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 64U);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end determinism: the pipeline-level guarantee. The simulator,
+// the trained models, and the weekly ranking must be byte-identical at
+// threads=1 and threads=8.
+// ---------------------------------------------------------------------
+
+dslsim::SimConfig small_sim_config() {
+  dslsim::SimConfig cfg;
+  cfg.seed = 77;
+  cfg.topology.n_lines = 1500;
+  return cfg;
+}
+
+TEST(ExecDeterminism, SimulatorOutputInvariantToThreadCount) {
+  const dslsim::SimConfig cfg = small_sim_config();
+  const dslsim::SimDataset serial = dslsim::Simulator(cfg).run();
+  const dslsim::SimDataset wide =
+      dslsim::Simulator(cfg).run(ExecContext(8));
+
+  ASSERT_EQ(serial.n_lines(), wide.n_lines());
+  ASSERT_EQ(serial.tickets().size(), wide.tickets().size());
+  ASSERT_EQ(serial.episodes().size(), wide.episodes().size());
+  for (int week = 0; week < serial.n_weeks(); ++week) {
+    for (dslsim::LineId u = 0; u < serial.n_lines(); ++u) {
+      const auto& a = serial.measurement(week, u);
+      const auto& b = wide.measurement(week, u);
+      for (std::size_t m = 0; m < a.size(); ++m) {
+        // Bit-level compare: missing metrics are NaN, and NaN != NaN.
+        std::uint32_t abits = 0;
+        std::uint32_t bbits = 0;
+        std::memcpy(&abits, &a[m], sizeof(abits));
+        std::memcpy(&bbits, &b[m], sizeof(bbits));
+        ASSERT_EQ(abits, bbits) << "week " << week << " line " << u
+                                << " metric " << m;
+      }
+    }
+  }
+  for (dslsim::LineId u = 0; u < serial.n_lines(); ++u) {
+    ASSERT_EQ(serial.in_byte_feed(u), wide.in_byte_feed(u));
+    if (!serial.in_byte_feed(u)) continue;
+    for (util::Day d = 0; d < 21; ++d) {
+      ASSERT_EQ(serial.bytes_on_day(u, d), wide.bytes_on_day(u, d))
+          << "line " << u << " day " << d;
+    }
+  }
+}
+
+TEST(ExecDeterminism, RunWeekPredictionsByteIdenticalAcrossThreadCounts) {
+  const dslsim::SimDataset data =
+      dslsim::Simulator(small_sim_config()).run();
+
+  const auto run_pipeline = [&](std::size_t threads) {
+    core::NevermindConfig cfg;
+    cfg.exec = threads > 1 ? ExecContext(threads) : ExecContext();
+    cfg.predictor.top_n = 30;
+    cfg.predictor.boost_iterations = 40;
+    cfg.locator.min_occurrences = 6;
+    cfg.locator.boost_iterations = 20;
+    cfg.atds.weekly_capacity = 30;
+    core::Nevermind system(cfg);
+    system.train(data, 30, 38, 20, 36);
+    return system.run_week(data, 43);
+  };
+
+  const core::WeeklyCycle serial = run_pipeline(1);
+  const core::WeeklyCycle wide = run_pipeline(8);
+
+  ASSERT_EQ(serial.predictions.size(), wide.predictions.size());
+  for (std::size_t i = 0; i < serial.predictions.size(); ++i) {
+    ASSERT_EQ(serial.predictions[i].line, wide.predictions[i].line)
+        << "rank " << i;
+    ASSERT_EQ(serial.predictions[i].score, wide.predictions[i].score)
+        << "rank " << i;
+    ASSERT_EQ(serial.predictions[i].probability,
+              wide.predictions[i].probability)
+        << "rank " << i;
+  }
+  EXPECT_EQ(serial.atds.submitted, wide.atds.submitted);
+}
+
+}  // namespace
+}  // namespace nevermind::exec

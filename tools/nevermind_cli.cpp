@@ -19,6 +19,7 @@
 
 #include "core/ticket_predictor.hpp"
 #include "core/trouble_locator.hpp"
+#include "exec/exec.hpp"
 #include "dslsim/export.hpp"
 #include "dslsim/summary.hpp"
 #include "ml/serialization.hpp"
@@ -36,6 +37,12 @@ struct CliArgs {
   std::size_t top = 25;
   std::string out_dir = ".";
   std::string model_path;
+  std::size_t threads = 1;
+
+  /// Shared pool for the run; serial when --threads 1 (the default).
+  [[nodiscard]] exec::ExecContext exec() const {
+    return threads > 1 ? exec::ExecContext(threads) : exec::ExecContext();
+  }
 };
 
 CliArgs parse(int argc, char** argv, int first) {
@@ -56,22 +63,25 @@ CliArgs parse(int argc, char** argv, int first) {
       args.out_dir = argv[++i];
     } else if (flag("--model")) {
       args.model_path = argv[++i];
+    } else if (flag("--threads")) {
+      args.threads = static_cast<std::size_t>(std::atoi(argv[++i]));
     }
   }
   return args;
 }
 
-dslsim::SimDataset simulate(const CliArgs& args) {
+dslsim::SimDataset simulate(const CliArgs& args,
+                            const exec::ExecContext& exec) {
   dslsim::SimConfig cfg;
   cfg.seed = args.seed;
   cfg.topology.n_lines = args.lines;
   std::cerr << "simulating " << args.lines << " lines (seed " << args.seed
-            << ")...\n";
-  return dslsim::Simulator(cfg).run();
+            << ", " << exec.threads() << " thread(s))...\n";
+  return dslsim::Simulator(cfg).run(exec);
 }
 
 int cmd_simulate(const CliArgs& args) {
-  const auto data = simulate(args);
+  const auto data = simulate(args, args.exec());
   const auto write = [&](const char* name, auto&& writer) {
     const std::string path = args.out_dir + "/" + name;
     std::ofstream os(path);
@@ -103,8 +113,10 @@ int cmd_simulate(const CliArgs& args) {
 }
 
 int cmd_predict(const CliArgs& args) {
-  const auto data = simulate(args);
+  const exec::ExecContext exec = args.exec();
+  const auto data = simulate(args, exec);
   core::PredictorConfig cfg;
+  cfg.exec = exec;
   cfg.top_n = std::max<std::size_t>(args.lines / 100, 10);
   const int train_from = util::test_week_of(util::day_from_date(8, 1));
   const int train_to = util::test_week_of(util::day_from_date(9, 30));
@@ -139,8 +151,10 @@ int cmd_predict(const CliArgs& args) {
 }
 
 int cmd_locate(const CliArgs& args) {
-  const auto data = simulate(args);
+  const exec::ExecContext exec = args.exec();
+  const auto data = simulate(args, exec);
   core::LocatorConfig cfg;
+  cfg.exec = exec;
   cfg.min_occurrences = std::max<std::size_t>(6, args.lines / 2000);
   const int train_from = util::test_week_of(util::day_from_date(8, 1));
   const int train_to = util::test_week_of(util::day_from_date(9, 18));
@@ -167,7 +181,7 @@ int cmd_locate(const CliArgs& args) {
 }
 
 int cmd_summary(const CliArgs& args) {
-  const auto data = simulate(args);
+  const auto data = simulate(args, args.exec());
   const auto tickets = dslsim::summarize_tickets(data);
   const auto measurements = dslsim::summarize_measurements(data);
   std::cout << "customer-edge tickets: " << tickets.edge_total
@@ -187,7 +201,7 @@ int cmd_summary(const CliArgs& args) {
 void usage() {
   std::cerr << "usage: nevermind <simulate|predict|locate|summary> "
                "[--lines N] [--seed S] [--week W] [--top K] [--out DIR] "
-               "[--model FILE]\n";
+               "[--model FILE] [--threads T]\n";
 }
 
 }  // namespace

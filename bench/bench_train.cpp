@@ -1,0 +1,235 @@
+// Wall-clock benchmark of the exact vs histogram training paths: the
+// per-round sorted-index scan against the quantized-column weight
+// histograms, on the paper's calendar. Times the ticket-predictor
+// ensemble (800 rounds by default) and the trouble locator's
+// one-vs-rest sweep (52-ish models x 200 rounds) at 1, 2, and
+// hardware_concurrency threads, and emits BENCH_train.json.
+//
+// The binned path must not *degrade* what the model learns: the bench
+// fails (exit 1) when the binned test AUC lands more than --tolerance
+// BELOW the exact path's, or when the binned ensemble is not
+// byte-identical across thread counts. (Binned regularly lands a hair
+// above exact: quantile edges cap each weak learner's threshold
+// resolution, a mild regularizer over 800 noisy-label rounds — that
+// direction is not a failure.) It does NOT fail on speedup — on a
+// one-core container the numbers are still reported and compared
+// offline by tools/check_bench.py.
+//
+// Usage: bench_train [--lines N] [--seed S] [--rounds R]
+//                    [--locator-rounds R] [--out FILE] [--tolerance T]
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/trouble_locator.hpp"
+#include "dslsim/simulator.hpp"
+#include "exec/exec.hpp"
+#include "features/encoder.hpp"
+#include "ml/adaboost.hpp"
+#include "ml/metrics.hpp"
+
+namespace {
+
+using namespace nevermind;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Timing {
+  std::size_t threads = 1;
+  double exact_train_s = 0.0;
+  double hist_train_s = 0.0;
+  double locator_exact_s = 0.0;
+  double locator_hist_s = 0.0;
+  ml::BStumpModel exact_model;
+  ml::BStumpModel hist_model;
+};
+
+bool same_model(const ml::BStumpModel& a, const ml::BStumpModel& b) {
+  if (a.stumps().size() != b.stumps().size()) return false;
+  for (std::size_t t = 0; t < a.stumps().size(); ++t) {
+    const ml::Stump& x = a.stumps()[t];
+    const ml::Stump& y = b.stumps()[t];
+    if (x.feature != y.feature || x.categorical != y.categorical ||
+        x.threshold != y.threshold || x.score_pass != y.score_pass ||
+        x.score_fail != y.score_fail || x.score_missing != y.score_missing) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Timing run_at(std::size_t threads, const dslsim::SimDataset& data,
+              const ml::Dataset& train, const bench::PaperSplits& splits,
+              std::size_t rounds, std::size_t locator_rounds,
+              std::uint32_t lines) {
+  Timing t;
+  t.threads = threads;
+  const exec::ExecContext exec =
+      threads > 1 ? exec::ExecContext(threads) : exec::ExecContext();
+
+  ml::BStumpConfig exact_cfg;
+  exact_cfg.iterations = rounds;
+  exact_cfg.exec = exec;
+  auto start = Clock::now();
+  t.exact_model = ml::train_bstump(train, exact_cfg);
+  t.exact_train_s = seconds_since(start);
+
+  ml::BStumpConfig hist_cfg = exact_cfg;
+  hist_cfg.binning = ml::BinningMode::kHistogram;
+  start = Clock::now();
+  t.hist_model = ml::train_bstump(train, hist_cfg);
+  t.hist_train_s = seconds_since(start);
+
+  core::LocatorConfig loc_cfg;
+  loc_cfg.exec = exec;
+  loc_cfg.boost_iterations = locator_rounds;
+  loc_cfg.min_occurrences = std::max<std::size_t>(6, lines / 2000);
+  {
+    core::TroubleLocator locator(loc_cfg);
+    start = Clock::now();
+    locator.train(data, splits.locator_train_from, splits.locator_train_to);
+    t.locator_exact_s = seconds_since(start);
+  }
+  loc_cfg.binning = ml::BinningMode::kHistogram;
+  {
+    core::TroubleLocator locator(loc_cfg);
+    start = Clock::now();
+    locator.train(data, splits.locator_train_from, splits.locator_train_to);
+    t.locator_hist_s = seconds_since(start);
+  }
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint32_t lines = 4000;
+  std::uint64_t seed = 42;
+  std::size_t rounds = 800;
+  std::size_t locator_rounds = 200;
+  double tolerance = 0.005;
+  std::string out_path = "BENCH_train.json";
+  for (int i = 1; i < argc; ++i) {
+    const auto flag = [&](const char* name) {
+      return std::strcmp(argv[i], name) == 0 && i + 1 < argc;
+    };
+    if (flag("--lines")) {
+      lines = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (flag("--seed")) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag("--rounds")) {
+      rounds = std::strtoul(argv[++i], nullptr, 10);
+    } else if (flag("--locator-rounds")) {
+      locator_rounds = std::strtoul(argv[++i], nullptr, 10);
+    } else if (flag("--tolerance")) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else if (flag("--out")) {
+      out_path = argv[++i];
+    }
+  }
+
+  const bench::PaperSplits splits;
+  dslsim::SimConfig sim_cfg;
+  sim_cfg.seed = seed;
+  sim_cfg.topology.n_lines = lines;
+  std::cerr << "simulating " << lines << " lines...\n";
+  const dslsim::SimDataset data = dslsim::Simulator(sim_cfg).run();
+
+  const features::EncoderConfig enc_cfg;
+  const features::TicketLabeler labeler{};
+  std::cerr << "encoding training and test blocks...\n";
+  const ml::Dataset train =
+      features::encode_weeks(data, splits.train_from, splits.train_to, enc_cfg,
+                             labeler)
+          .dataset;
+  const ml::Dataset test =
+      features::encode_weeks(data, splits.test_from, splits.test_to, enc_cfg,
+                             labeler)
+          .dataset;
+  std::cerr << "predictor matrix: " << train.n_rows() << " x "
+            << train.n_cols() << " (" << train.positives() << " positive)\n";
+
+  std::vector<std::size_t> thread_counts{1, 2};
+  const std::size_t hw =
+      std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  if (hw > 2) thread_counts.push_back(hw);
+
+  std::vector<Timing> timings;
+  for (const std::size_t n : thread_counts) {
+    std::cerr << "training at " << n << " thread(s)...\n";
+    timings.push_back(
+        run_at(n, data, train, splits, rounds, locator_rounds, lines));
+  }
+
+  bool deterministic = true;
+  for (std::size_t i = 1; i < timings.size(); ++i) {
+    deterministic = deterministic &&
+                    same_model(timings[0].exact_model, timings[i].exact_model) &&
+                    same_model(timings[0].hist_model, timings[i].hist_model);
+  }
+
+  const double auc_exact =
+      ml::auc(timings[0].exact_model.score_dataset(test), test.labels());
+  const double auc_hist =
+      ml::auc(timings[0].hist_model.score_dataset(test), test.labels());
+  // Signed: positive means the binned model is WORSE than exact.
+  const double auc_regression = auc_exact - auc_hist;
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"train\",\n"
+       << "  \"lines\": " << lines << ",\n"
+       << "  \"seed\": " << seed << ",\n"
+       << "  \"rounds\": " << rounds << ",\n"
+       << "  \"locator_rounds\": " << locator_rounds << ",\n"
+       << "  \"hardware_concurrency\": " << hw << ",\n"
+       << "  \"auc_exact\": " << auc_exact << ",\n"
+       << "  \"auc_hist\": " << auc_hist << ",\n"
+       << "  \"auc_regression\": " << auc_regression << ",\n"
+       << "  \"tolerance\": " << tolerance << ",\n"
+       << "  \"deterministic\": " << (deterministic ? "true" : "false")
+       << ",\n"
+       << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    const Timing& t = timings[i];
+    const double speedup =
+        t.hist_train_s > 0.0 ? t.exact_train_s / t.hist_train_s : 0.0;
+    const double locator_speedup =
+        t.locator_hist_s > 0.0 ? t.locator_exact_s / t.locator_hist_s : 0.0;
+    json << "    {\"threads\": " << t.threads
+         << ", \"exact_train_s\": " << t.exact_train_s
+         << ", \"hist_train_s\": " << t.hist_train_s
+         << ", \"speedup\": " << speedup
+         << ", \"locator_exact_s\": " << t.locator_exact_s
+         << ", \"locator_hist_s\": " << t.locator_hist_s
+         << ", \"locator_speedup\": " << locator_speedup << "}"
+         << (i + 1 < timings.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  std::ofstream(out_path) << json.str();
+  std::cout << json.str();
+
+  if (!deterministic) {
+    std::cerr << "ERROR: models differ across thread counts\n";
+    return 1;
+  }
+  if (auc_regression > tolerance) {
+    std::cerr << "ERROR: binned AUC is " << auc_regression
+              << " below exact (tolerance " << tolerance << ")\n";
+    return 1;
+  }
+  return 0;
+}

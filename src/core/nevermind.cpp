@@ -9,6 +9,14 @@ NevermindConfig with_shared_exec(NevermindConfig config) {
     if (!config.predictor.exec.parallel()) config.predictor.exec = config.exec;
     if (!config.locator.exec.parallel()) config.locator.exec = config.exec;
   }
+  if (config.binning == ml::BinningMode::kHistogram) {
+    if (config.predictor.binning == ml::BinningMode::kExact) {
+      config.predictor.binning = config.binning;
+    }
+    if (config.locator.binning == ml::BinningMode::kExact) {
+      config.locator.binning = config.binning;
+    }
+  }
   return config;
 }
 

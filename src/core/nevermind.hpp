@@ -25,6 +25,10 @@ struct NevermindConfig {
   /// and the weekly scoring cycle. Predictions and models are
   /// byte-identical at every thread count.
   exec::ExecContext exec;
+  /// Pipeline-wide training path. kHistogram is propagated into both
+  /// component configs that still carry the default exact mode, the
+  /// same way the shared exec context is.
+  ml::BinningMode binning = ml::BinningMode::kExact;
 };
 
 /// One proactive cycle's artefacts: the ranked predictions and the

@@ -159,13 +159,15 @@ void TicketPredictor::train(const dslsim::SimDataset& data, int train_from,
 
   ml::BStumpConfig boost;
   boost.iterations = config_.boost_iterations;
+  boost.binning = config_.binning;
   boost.exec = config_.exec;
   if (config_.tune_boost_iterations) {
     const std::size_t base = std::max<std::size_t>(config_.boost_iterations, 4);
     const std::size_t candidates[] = {base / 4, base / 2, base, base * 2};
     const auto tuned = ml::select_boosting_rounds(
         final_train, candidates,
-        config_.top_n * static_cast<std::size_t>(n_val), 3, config_.exec);
+        config_.top_n * static_cast<std::size_t>(n_val), 3, config_.exec,
+        boost);
     if (tuned.best_rounds > 0) boost.iterations = tuned.best_rounds;
   }
   model_ = ml::train_bstump(final_train, boost);

@@ -56,6 +56,10 @@ struct PredictorConfig {
   std::size_t max_selected_features = 100;
   /// Prediction horizon T (paper: 4 weeks).
   int horizon_days = 28;
+  /// Split-search path of the final ensemble (and of the CV rounds
+  /// tuning, which then bins once and folds by row subset). kExact is
+  /// the default and byte-identical to the pre-binning pipeline.
+  ml::BinningMode binning = ml::BinningMode::kExact;
   /// Fraction of training weeks reserved as the selection/calibration
   /// validation split.
   double validation_fraction = 0.3;

@@ -47,36 +47,40 @@ void TroubleLocator::train(const dslsim::SimDataset& data, int week_from,
 
   ml::BStumpConfig boost;
   boost.iterations = config_.boost_iterations;
+  boost.binning = config_.binning;
   const exec::ExecContext& exec = config_.exec;
 
+  // One immutable feature matrix + per-matrix training cache (sorted
+  // index or bin codes, built once under the shared pool) serve every
+  // one-vs-rest problem below; tasks differ only in their label
+  // vectors, so the old per-chunk Dataset copies are gone.
+  boost.exec = exec::ExecContext::serial();
+  ml::BStumpConfig cache_build = boost;
+  cache_build.exec = exec;
+  const ml::TrainCache cache = ml::make_train_cache(block.dataset, cache_build);
+
   // ---- major-location classifiers f_Ci. -------------------------------
-  // Each location problem relabels its own copy of the feature matrix,
-  // trains independently, and writes its pre-assigned slot — so the 4
-  // (and below, 52) one-vs-rest problems run concurrently while staying
+  // Each location problem builds its own label vector, trains against
+  // the shared matrix, and writes its pre-assigned slot — so the 4 (and
+  // below, 52) one-vs-rest problems run concurrently while staying
   // byte-identical to the serial loop.
   exec.parallel_for(
       0, dslsim::kNumMajorLocations, 1, [&](std::size_t lb, std::size_t le) {
-        ml::Dataset working = block.dataset;
         std::vector<std::uint8_t> labels(n);
         for (std::size_t loc = lb; loc < le; ++loc) {
           for (std::size_t r = 0; r < n; ++r) {
             labels[r] = truth_loc[r] == static_cast<dslsim::MajorLocation>(loc);
           }
-          working.relabel(labels);
-          location_models_[loc] = ml::train_bstump(working, boost);
+          location_models_[loc] =
+              ml::train_bstump_cached(block.dataset, cache, labels, {}, boost);
         }
       });
 
   // ---- per-disposition flat models + Eq. 2 stacking --------------------
   models_.clear();
   models_.resize(covered_.size());
-  // Chunked so at most ~16 relabelled copies of the feature matrix are
-  // alive at once regardless of how many dispositions are covered.
-  const std::size_t disp_grain =
-      std::max<std::size_t>(1, (covered_.size() + 15) / 16);
   exec.parallel_for(
-      0, covered_.size(), disp_grain, [&](std::size_t db, std::size_t de) {
-        ml::Dataset working = block.dataset;
+      0, covered_.size(), 1, [&](std::size_t db, std::size_t de) {
         std::vector<std::uint8_t> labels(n);
         for (std::size_t d = db; d < de; ++d) {
           const dslsim::DispositionId disp = covered_[d];
@@ -87,17 +91,17 @@ void TroubleLocator::train(const dslsim::SimDataset& data, int week_from,
               static_cast<double>(counts.at(disp)) / static_cast<double>(n);
 
           for (std::size_t r = 0; r < n; ++r) labels[r] = truth[r] == disp;
-          working.relabel(labels);
-          cm.flat = ml::train_bstump(working, boost);
+          cm.flat =
+              ml::train_bstump_cached(block.dataset, cache, labels, {}, boost);
 
           const std::vector<double> flat_scores =
-              cm.flat.score_dataset(working);
-          cm.flat_cal = ml::fit_platt(flat_scores, working.labels());
+              cm.flat.score_dataset(block.dataset);
+          cm.flat_cal = ml::fit_platt(flat_scores, labels);
 
           const auto loc = static_cast<std::size_t>(
               data.catalog().signature(disp).location);
           const std::vector<double> loc_scores =
-              location_models_[loc].score_dataset(working);
+              location_models_[loc].score_dataset(block.dataset);
 
           // Combined model: logistic regression of the truth on
           // [f_Cij(x), f_Ci.(x)] (Eq. 2's gamma coefficients).
@@ -106,7 +110,7 @@ void TroubleLocator::train(const dslsim::SimDataset& data, int week_from,
             covariates[r * 2] = flat_scores[r];
             covariates[r * 2 + 1] = loc_scores[r];
           }
-          cm.combined = ml::fit_logistic(covariates, 2, working.labels(), 1e-4);
+          cm.combined = ml::fit_logistic(covariates, 2, labels, 1e-4);
           models_[d] = std::move(cm);
         }
       });

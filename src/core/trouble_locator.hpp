@@ -41,9 +41,13 @@ struct LocatorConfig {
   /// Dispositions must appear at least this often in training to get a
   /// model (paper: 52 dispositions with > 20 occurrences = 81.9%).
   std::size_t min_occurrences = 20;
+  /// Split-search path for every one-vs-rest ensemble. kHistogram
+  /// quantizes the dispatch feature matrix once and shares the bin
+  /// codes across all 52 disposition + 4 location trainings.
+  ml::BinningMode binning = ml::BinningMode::kExact;
   /// Execution context: the 52 one-vs-rest disposition problems (and
-  /// the 4 major-location classifiers) train independently on
-  /// per-chunk relabelled copies of the feature matrix. Models are
+  /// the 4 major-location classifiers) train independently against one
+  /// shared feature matrix, each with its own label vector. Models are
   /// byte-identical at every thread count.
   exec::ExecContext exec;
 };

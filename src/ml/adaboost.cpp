@@ -53,21 +53,28 @@ std::vector<double> BStumpModel::feature_influence(
   return influence;
 }
 
+TrainCache make_train_cache(const Dataset& data, const BStumpConfig& config) {
+  TrainCache cache;
+  if (config.binning == BinningMode::kHistogram) {
+    cache.binned = std::make_shared<const BinnedColumns>(
+        data, config.binning_config, std::span<const std::size_t>{},
+        config.exec);
+  } else {
+    cache.sorted = std::make_shared<const SortedColumns>(
+        data, std::span<const std::size_t>{}, config.exec);
+  }
+  return cache;
+}
+
 namespace {
 
-BStumpModel train_impl(const Dataset& data, const BStumpConfig& config,
-                       TrainDiagnostics* diagnostics,
-                       std::span<const double> initial_weights,
-                       const std::size_t* single_feature) {
-  const std::size_t n = data.n_rows();
-  if (n == 0) return BStumpModel{};
+/// Normalized starting weights (uniform, or the caller's re-balancing
+/// weights), shared by both training paths.
+std::vector<double> starting_weights(std::size_t n,
+                                     std::span<const double> initial_weights) {
   if (!initial_weights.empty() && initial_weights.size() != n) {
     throw std::invalid_argument("train_bstump: weight size mismatch");
   }
-
-  const double smoothing =
-      config.smoothing > 0.0 ? config.smoothing : 0.5 / static_cast<double>(n);
-
   std::vector<double> weights(n, 1.0 / static_cast<double>(n));
   if (!initial_weights.empty()) {
     double total = 0.0;
@@ -77,10 +84,34 @@ BStumpModel train_impl(const Dataset& data, const BStumpConfig& config,
       weights[i] = std::max(initial_weights[i], 0.0) / total;
     }
   }
+  return weights;
+}
 
-  std::vector<std::size_t> only;
-  if (single_feature != nullptr) only.push_back(*single_feature);
-  const SortedColumns sorted(data, only, config.exec);
+void finish_diagnostics(TrainDiagnostics* diagnostics,
+                        std::span<const double> margins) {
+  if (diagnostics == nullptr) return;
+  std::size_t errors = 0;
+  for (double m : margins) {
+    if (m <= 0.0) ++errors;
+  }
+  diagnostics->final_training_error =
+      static_cast<double>(errors) /
+      static_cast<double>(std::max<std::size_t>(margins.size(), 1));
+}
+
+BStumpModel train_exact(const Dataset& data,
+                        std::span<const std::uint8_t> labels,
+                        const SortedColumns& sorted,
+                        const BStumpConfig& config,
+                        TrainDiagnostics* diagnostics,
+                        std::span<const double> initial_weights,
+                        const std::size_t* single_feature) {
+  const std::size_t n = data.n_rows();
+  if (n == 0) return BStumpModel{};
+  const double smoothing =
+      config.smoothing > 0.0 ? config.smoothing : 0.5 / static_cast<double>(n);
+  std::vector<double> weights = starting_weights(n, initial_weights);
+
   std::vector<Stump> stumps;
   stumps.reserve(config.iterations);
   std::vector<double> margins(n, 0.0);
@@ -88,9 +119,10 @@ BStumpModel train_impl(const Dataset& data, const BStumpConfig& config,
   for (std::size_t t = 0; t < config.iterations; ++t) {
     const StumpSearchResult best =
         single_feature != nullptr
-            ? find_best_stump_for_feature(data, sorted, weights, smoothing,
-                                          *single_feature)
-            : find_best_stump(data, sorted, weights, smoothing, config.exec);
+            ? find_best_stump_for_feature(data, sorted, labels, weights,
+                                          smoothing, *single_feature)
+            : find_best_stump(data, sorted, labels, weights, smoothing,
+                              config.exec);
     if (!std::isfinite(best.z) || best.z > config.z_stop) break;
     if (diagnostics != nullptr) diagnostics->z_per_round.push_back(best.z);
     stumps.push_back(best.stump);
@@ -100,7 +132,7 @@ BStumpModel train_impl(const Dataset& data, const BStumpConfig& config,
     double total = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       const double h = best.stump.evaluate(col[i]);
-      const double y = data.label(i) ? 1.0 : -1.0;
+      const double y = labels[i] != 0 ? 1.0 : -1.0;
       margins[i] += y * h;
       weights[i] *= std::exp(-y * h);
       total += weights[i];
@@ -110,14 +142,62 @@ BStumpModel train_impl(const Dataset& data, const BStumpConfig& config,
     for (auto& w : weights) w *= inv;
   }
 
-  if (diagnostics != nullptr) {
-    std::size_t errors = 0;
+  finish_diagnostics(diagnostics, margins);
+  return BStumpModel{std::move(stumps)};
+}
+
+BStumpModel train_binned(const BinnedColumns& bins,
+                         std::span<const std::uint8_t> labels,
+                         std::span<const std::uint32_t> rows,
+                         const BStumpConfig& config,
+                         TrainDiagnostics* diagnostics,
+                         std::span<const double> initial_weights) {
+  const std::size_t n = rows.empty() ? bins.n_rows() : rows.size();
+  if (n == 0) return BStumpModel{};
+  const double smoothing =
+      config.smoothing > 0.0 ? config.smoothing : 0.5 / static_cast<double>(n);
+  std::vector<double> weights = starting_weights(n, initial_weights);
+
+  std::vector<Stump> stumps;
+  stumps.reserve(config.iterations);
+  std::vector<double> margins(n, 0.0);
+
+  for (std::size_t t = 0; t < config.iterations; ++t) {
+    const BinnedStumpResult best = find_best_stump_binned(
+        bins, labels, weights, rows, smoothing, config.exec);
+    if (!std::isfinite(best.z) || best.z > config.z_stop) break;
+    if (diagnostics != nullptr) diagnostics->z_per_round.push_back(best.z);
+    stumps.push_back(best.stump);
+
+    // Reweight straight from the bin codes — the code comparison is the
+    // stump's predicate, so h matches Stump::evaluate on raw values.
+    const auto& col = bins.column(best.stump.feature);
+    const std::uint8_t missing = col.missing_code();
+    double total = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      if (margins[i] <= 0.0) ++errors;
+      const std::uint32_t r =
+          rows.empty() ? static_cast<std::uint32_t>(i) : rows[i];
+      const std::uint8_t code = col.codes[r];
+      double h;
+      if (code == missing) {
+        h = best.stump.score_missing;
+      } else if (col.categorical ? static_cast<int>(code) == best.split_bin
+                                 : static_cast<int>(code) > best.split_bin) {
+        h = best.stump.score_pass;
+      } else {
+        h = best.stump.score_fail;
+      }
+      const double y = labels[r] != 0 ? 1.0 : -1.0;
+      margins[i] += y * h;
+      weights[i] *= std::exp(-y * h);
+      total += weights[i];
     }
-    diagnostics->final_training_error =
-        static_cast<double>(errors) / static_cast<double>(n);
+    if (total <= 0.0) break;
+    const double inv = 1.0 / total;
+    for (auto& w : weights) w *= inv;
   }
+
+  finish_diagnostics(diagnostics, margins);
   return BStumpModel{std::move(stumps)};
 }
 
@@ -126,7 +206,15 @@ BStumpModel train_impl(const Dataset& data, const BStumpConfig& config,
 BStumpModel train_bstump(const Dataset& data, const BStumpConfig& config,
                          TrainDiagnostics* diagnostics,
                          std::span<const double> initial_weights) {
-  return train_impl(data, config, diagnostics, initial_weights, nullptr);
+  if (data.n_rows() == 0) return BStumpModel{};
+  if (config.binning == BinningMode::kHistogram) {
+    const BinnedColumns bins(data, config.binning_config, {}, config.exec);
+    return train_binned(bins, data.labels(), {}, config, diagnostics,
+                        initial_weights);
+  }
+  const SortedColumns sorted(data, {}, config.exec);
+  return train_exact(data, data.labels(), sorted, config, diagnostics,
+                     initial_weights, nullptr);
 }
 
 BStumpModel train_bstump_single_feature(const Dataset& data,
@@ -135,7 +223,40 @@ BStumpModel train_bstump_single_feature(const Dataset& data,
   if (feature >= data.n_cols()) {
     throw std::out_of_range("train_bstump_single_feature: bad feature");
   }
-  return train_impl(data, config, nullptr, {}, &feature);
+  if (data.n_rows() == 0) return BStumpModel{};
+  const std::size_t only[] = {feature};
+  // The single-feature search is already O(n) per round over one
+  // column; the exact scan stays the sole implementation here.
+  const SortedColumns sorted(data, only, config.exec);
+  return train_exact(data, data.labels(), sorted, config, nullptr, {},
+                     &feature);
+}
+
+BStumpModel train_bstump_cached(const Dataset& data, const TrainCache& cache,
+                                std::span<const std::uint8_t> labels,
+                                std::span<const std::uint32_t> rows,
+                                const BStumpConfig& config,
+                                TrainDiagnostics* diagnostics,
+                                std::span<const double> initial_weights) {
+  if (labels.size() != data.n_rows()) {
+    throw std::invalid_argument("train_bstump_cached: label size mismatch");
+  }
+  if (config.binning == BinningMode::kHistogram) {
+    if (!cache.binned) {
+      throw std::invalid_argument("train_bstump_cached: cache lacks bins");
+    }
+    return train_binned(*cache.binned, labels, rows, config, diagnostics,
+                        initial_weights);
+  }
+  if (!rows.empty()) {
+    throw std::invalid_argument(
+        "train_bstump_cached: row subsets need the histogram path");
+  }
+  if (!cache.sorted) {
+    throw std::invalid_argument("train_bstump_cached: cache lacks index");
+  }
+  return train_exact(data, labels, *cache.sorted, config, diagnostics,
+                     initial_weights, nullptr);
 }
 
 }  // namespace nevermind::ml

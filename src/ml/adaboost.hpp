@@ -6,13 +6,27 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "ml/binning.hpp"
 #include "ml/dataset.hpp"
 #include "ml/stump.hpp"
 
 namespace nevermind::ml {
+
+/// Which per-round split search train_bstump runs.
+enum class BinningMode : std::uint8_t {
+  /// Full sorted-index scan per feature — the original path, kept the
+  /// default and byte-identical to the pre-binning implementation.
+  kExact = 0,
+  /// Quantized columns + per-feature weight histograms: O(N) sequential
+  /// adds over uint8 bin codes and a <=256-bin threshold scan per
+  /// feature per round. Identical split candidates whenever a column
+  /// has fewer distinct values than bins; otherwise quantile-binned.
+  kHistogram,
+};
 
 struct BStumpConfig {
   /// Number of boosting rounds T (the paper uses 800 for the ticket
@@ -25,11 +39,27 @@ struct BStumpConfig {
   /// better than chance). 1.0 disables nothing since Z <= 1 for a
   /// useful stump on normalized weights.
   double z_stop = 0.999999;
+  /// Split-search path; see BinningMode.
+  BinningMode binning = BinningMode::kExact;
+  /// Quantization knobs of the histogram path.
+  BinningConfig binning_config;
   /// Execution context for column indexing and the per-round stump
   /// search. The ensemble is byte-identical at every thread count; the
   /// default serial context is the exact pre-exec-layer path.
   exec::ExecContext exec;
 };
+
+/// Immutable per-matrix training caches, built once and shared across
+/// boosting rounds, CV folds and one-vs-rest tasks. Only the member
+/// matching the config's binning mode is populated.
+struct TrainCache {
+  std::shared_ptr<const SortedColumns> sorted;   // exact path
+  std::shared_ptr<const BinnedColumns> binned;   // histogram path
+};
+
+/// Builds the cache train_bstump would otherwise construct per call.
+[[nodiscard]] TrainCache make_train_cache(const Dataset& data,
+                                          const BStumpConfig& config);
 
 /// Trained ensemble: f(x) = sum_t g_t(x). Higher scores mean "more
 /// likely positive" (a future ticket / the disposition in question).
@@ -80,5 +110,17 @@ struct TrainDiagnostics {
 /// the paper builds "a ticket predictor given each individual feature").
 [[nodiscard]] BStumpModel train_bstump_single_feature(
     const Dataset& data, std::size_t feature, const BStumpConfig& config);
+
+/// Train against a shared immutable matrix with externally supplied
+/// labels — no dataset copies. `cache` comes from make_train_cache on
+/// the same matrix. `rows` (histogram path only) restricts training to
+/// a row subset, which is how CV folds share one set of bin codes; the
+/// exact path requires `rows` to be empty. Labels are indexed by
+/// original row id.
+[[nodiscard]] BStumpModel train_bstump_cached(
+    const Dataset& data, const TrainCache& cache,
+    std::span<const std::uint8_t> labels, std::span<const std::uint32_t> rows,
+    const BStumpConfig& config, TrainDiagnostics* diagnostics = nullptr,
+    std::span<const double> initial_weights = {});
 
 }  // namespace nevermind::ml

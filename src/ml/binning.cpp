@@ -1,0 +1,294 @@
+#include "ml/binning.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+namespace nevermind::ml {
+
+namespace {
+
+/// Midpoint threshold between two adjacent observed values — the exact
+/// float expression scan_continuous uses, so lossless bins reproduce
+/// its thresholds bit for bit.
+float midpoint(float lo, float hi) noexcept { return lo + (hi - lo) * 0.5F; }
+
+void bin_continuous(std::span<const float> col, std::size_t max_finite,
+                    BinnedColumns::Column& out) {
+  std::vector<float> values;
+  values.reserve(col.size());
+  for (float v : col) {
+    if (!is_missing(v)) values.push_back(v);
+  }
+  std::sort(values.begin(), values.end());
+
+  std::vector<float> distinct;
+  distinct.reserve(values.size());
+  std::vector<std::size_t> count;  // per distinct value
+  for (float v : values) {
+    if (distinct.empty() || v > distinct.back()) {
+      distinct.push_back(v);
+      count.push_back(1);
+    } else {
+      ++count.back();
+    }
+  }
+
+  // Bin id per distinct value: identity when everything fits (lossless
+  // mode), otherwise the quantile rank of the value's midpoint so bins
+  // carry roughly equal row counts even under heavy duplication.
+  std::vector<std::size_t> bin_of_distinct(distinct.size());
+  if (distinct.size() <= max_finite) {
+    for (std::size_t i = 0; i < distinct.size(); ++i) bin_of_distinct[i] = i;
+  } else {
+    const double n = static_cast<double>(values.size());
+    std::size_t before = 0;
+    std::size_t next_id = 0;
+    std::size_t prev_raw = 0;
+    for (std::size_t i = 0; i < distinct.size(); ++i) {
+      const double mid = static_cast<double>(before) +
+                         static_cast<double>(count[i]) * 0.5;
+      auto raw = static_cast<std::size_t>(mid * static_cast<double>(max_finite) / n);
+      raw = std::min(raw, max_finite - 1);
+      if (i > 0 && raw > prev_raw) ++next_id;
+      bin_of_distinct[i] = next_id;
+      prev_raw = raw;
+      before += count[i];
+    }
+  }
+
+  const std::size_t n_bins =
+      distinct.empty() ? 0 : bin_of_distinct.back() + 1;
+  out.n_finite = static_cast<std::uint16_t>(n_bins);
+
+  // Upper bound (largest distinct value) per bin drives both code
+  // assignment and the inter-bin split thresholds.
+  std::vector<float> upper(n_bins);
+  std::vector<float> lower(n_bins);
+  for (std::size_t i = 0; i < distinct.size(); ++i) {
+    const std::size_t b = bin_of_distinct[i];
+    upper[b] = distinct[i];
+    if (i == 0 || bin_of_distinct[i - 1] != b) lower[b] = distinct[i];
+  }
+  out.split_values.resize(n_bins > 0 ? n_bins - 1 : 0);
+  for (std::size_t b = 0; b + 1 < n_bins; ++b) {
+    out.split_values[b] = midpoint(upper[b], lower[b + 1]);
+  }
+
+  for (std::size_t r = 0; r < col.size(); ++r) {
+    if (is_missing(col[r])) {
+      out.codes[r] = out.missing_code();
+    } else {
+      const auto it = std::lower_bound(upper.begin(), upper.end(), col[r]);
+      out.codes[r] = static_cast<std::uint8_t>(it - upper.begin());
+    }
+  }
+}
+
+void bin_categorical(std::span<const float> col, std::size_t max_finite,
+                     BinnedColumns::Column& out) {
+  out.categorical = true;
+  std::vector<float> distinct;
+  for (float v : col) {
+    if (!is_missing(v)) distinct.push_back(v);
+  }
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+
+  std::size_t n_groups = distinct.size();
+  if (n_groups > max_finite) {
+    // Overflow values share the last bin; the search cannot propose it
+    // as an equality split but its weight still counts as present.
+    out.overflow = true;
+    out.category_values.assign(distinct.begin(),
+                               distinct.begin() +
+                                   static_cast<std::ptrdiff_t>(max_finite - 1));
+    n_groups = max_finite;
+  } else {
+    out.category_values = distinct;
+  }
+  out.n_finite = static_cast<std::uint16_t>(n_groups);
+
+  for (std::size_t r = 0; r < col.size(); ++r) {
+    if (is_missing(col[r])) {
+      out.codes[r] = out.missing_code();
+      continue;
+    }
+    const auto it = std::lower_bound(out.category_values.begin(),
+                                     out.category_values.end(), col[r]);
+    if (it != out.category_values.end() && *it == col[r]) {
+      out.codes[r] =
+          static_cast<std::uint8_t>(it - out.category_values.begin());
+    } else {
+      out.codes[r] = static_cast<std::uint8_t>(out.n_finite - 1);  // overflow
+    }
+  }
+}
+
+}  // namespace
+
+BinnedColumns::BinnedColumns(const Dataset& data, const BinningConfig& config,
+                             std::span<const std::size_t> only,
+                             const exec::ExecContext& exec)
+    : n_rows_(data.n_rows()), columns_(data.n_cols()) {
+  const std::size_t max_bins = std::min<std::size_t>(config.max_bins, 256);
+  const std::size_t max_finite = max_bins > 1 ? max_bins - 1 : 1;
+
+  std::vector<std::size_t> all;
+  if (only.empty()) {
+    all.resize(data.n_cols());
+    for (std::size_t j = 0; j < all.size(); ++j) all[j] = j;
+    only = all;
+  }
+  exec.parallel_for(0, only.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const std::size_t j = only[i];
+      Column& out = columns_[j];
+      out.codes.resize(n_rows_);
+      if (data.column_info(j).categorical) {
+        bin_categorical(data.column(j), max_finite, out);
+      } else {
+        bin_continuous(data.column(j), max_finite, out);
+      }
+    }
+  });
+}
+
+namespace {
+
+struct WeightPair {
+  double pos = 0.0;
+  double neg = 0.0;
+
+  void add(bool positive, double w) noexcept {
+    if (positive) {
+      pos += w;
+    } else {
+      neg += w;
+    }
+  }
+  WeightPair operator-(const WeightPair& o) const noexcept {
+    return {pos - o.pos, neg - o.neg};
+  }
+};
+
+double block_z(const WeightPair& w) noexcept {
+  const double p = std::max(w.pos, 0.0);
+  const double n = std::max(w.neg, 0.0);
+  return 2.0 * std::sqrt(p * n);
+}
+
+double block_score(const WeightPair& w, double eps) noexcept {
+  return 0.5 * std::log((std::max(w.pos, 0.0) + eps) /
+                        (std::max(w.neg, 0.0) + eps));
+}
+
+/// One weight histogram per feature: a single sequential pass over the
+/// uint8 codes, then a scan over at most 256 bins.
+BinnedStumpResult scan_feature(const BinnedColumns::Column& col,
+                               std::span<const std::uint8_t> labels,
+                               std::span<const double> weights,
+                               std::span<const std::uint32_t> rows,
+                               double smoothing, std::size_t feature) {
+  std::array<WeightPair, 256> hist{};
+  const std::uint8_t* codes = col.codes.data();
+  if (rows.empty()) {
+    for (std::size_t r = 0; r < col.codes.size(); ++r) {
+      hist[codes[r]].add(labels[r] != 0, weights[r]);
+    }
+  } else {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const std::uint32_t r = rows[i];
+      hist[codes[r]].add(labels[r] != 0, weights[i]);
+    }
+  }
+
+  const std::size_t n_finite = col.n_finite;
+  WeightPair present;
+  for (std::size_t b = 0; b < n_finite; ++b) {
+    present.pos += hist[b].pos;
+    present.neg += hist[b].neg;
+  }
+  const WeightPair missing = hist[n_finite];
+  const double z_missing = block_z(missing);
+
+  BinnedStumpResult best;
+  best.z = std::numeric_limits<double>::infinity();
+  best.stump.feature = feature;
+  best.stump.categorical = col.categorical;
+
+  if (col.categorical) {
+    for (std::size_t g = 0; g < col.category_values.size(); ++g) {
+      const WeightPair equal = hist[g];
+      const WeightPair rest = present - equal;
+      const double z = block_z(equal) + block_z(rest) + z_missing;
+      if (z < best.z) {
+        best.z = z;
+        best.split_bin = static_cast<int>(g);
+        best.stump.threshold = col.category_values[g];
+        best.stump.score_pass = block_score(equal, smoothing);
+        best.stump.score_fail = block_score(rest, smoothing);
+        best.stump.score_missing = block_score(missing, smoothing);
+      }
+    }
+    return best;
+  }
+
+  const auto consider = [&](float threshold, int split_bin,
+                            const WeightPair& below) {
+    const WeightPair above = present - below;
+    const double z = block_z(below) + block_z(above) + z_missing;
+    if (z < best.z) {
+      best.z = z;
+      best.split_bin = split_bin;
+      best.stump.threshold = threshold;
+      best.stump.score_fail = block_score(below, smoothing);
+      best.stump.score_pass = block_score(above, smoothing);
+      best.stump.score_missing = block_score(missing, smoothing);
+    }
+  };
+
+  // The no-split stump (all present rows pass) first, matching the
+  // exact scan's candidate order.
+  consider(-std::numeric_limits<float>::infinity(), -1, WeightPair{});
+  WeightPair below;
+  for (std::size_t b = 0; b + 1 < n_finite; ++b) {
+    below.pos += hist[b].pos;
+    below.neg += hist[b].neg;
+    consider(col.split_values[b], static_cast<int>(b), below);
+  }
+  return best;
+}
+
+}  // namespace
+
+BinnedStumpResult find_best_stump_binned(const BinnedColumns& bins,
+                                         std::span<const std::uint8_t> labels,
+                                         std::span<const double> weights,
+                                         std::span<const std::uint32_t> rows,
+                                         double smoothing,
+                                         const exec::ExecContext& exec) {
+  BinnedStumpResult init;
+  init.z = std::numeric_limits<double>::infinity();
+  // Strict `<` in-chunk and `chunk < acc` across chunks: ties resolve
+  // to the lowest bin/feature index, the serial scan's winner.
+  return exec.parallel_reduce(
+      0, bins.n_cols(), 0, init,
+      [&](std::size_t b, std::size_t e) {
+        BinnedStumpResult best;
+        best.z = std::numeric_limits<double>::infinity();
+        for (std::size_t j = b; j < e; ++j) {
+          BinnedStumpResult candidate = scan_feature(
+              bins.column(j), labels, weights, rows, smoothing, j);
+          if (candidate.z < best.z) best = candidate;
+        }
+        return best;
+      },
+      [](BinnedStumpResult acc, BinnedStumpResult chunk) {
+        return chunk.z < acc.z ? chunk : acc;
+      });
+}
+
+}  // namespace nevermind::ml

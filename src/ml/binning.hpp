@@ -1,0 +1,104 @@
+// Quantized (binned) column representation for histogram-based stump
+// search — the training-side complement of SortedColumns.
+//
+// Each column is quantized ONCE into at most max_bins codes (quantile
+// edges for continuous columns, one group id per value for categorical
+// ones, missing always its own bin). Every boosting round then builds a
+// per-feature weight histogram with a single cache-friendly pass over
+// uint8_t codes and scans B bins for the best threshold, instead of
+// walking a full sorted row index per feature per round. When a column
+// has at most max_bins - 1 distinct present values the quantization is
+// lossless: bin boundaries are exactly the midpoints the exact path
+// considers, so the binned search examines the identical candidate set.
+//
+// BinnedColumns is immutable after construction and is shared across
+// boosting rounds, CV folds (bin once, fold by row subset) and the
+// trouble locator's 52 one-vs-rest tasks (one matrix, per-task labels).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "exec/exec.hpp"
+#include "ml/dataset.hpp"
+#include "ml/stump.hpp"
+
+namespace nevermind::ml {
+
+struct BinningConfig {
+  /// Maximum codes per column, including the dedicated missing bin.
+  /// Must fit uint8_t codes: at most 256.
+  std::size_t max_bins = 256;
+};
+
+class BinnedColumns {
+ public:
+  /// Quantizes every column of `data` (columns are independent, so a
+  /// parallel context splits the work across them). `only` non-empty
+  /// restricts to the listed columns, like SortedColumns.
+  explicit BinnedColumns(
+      const Dataset& data, const BinningConfig& config = {},
+      std::span<const std::size_t> only = {},
+      const exec::ExecContext& exec = exec::ExecContext::serial());
+
+  struct Column {
+    bool categorical = false;
+    /// Finite bins are codes 0..n_finite-1 in ascending value order;
+    /// code n_finite is the missing bin.
+    std::uint16_t n_finite = 0;
+    /// One code per row of the source dataset.
+    std::vector<std::uint8_t> codes;
+    /// Continuous columns: split_values[b] is the stump threshold
+    /// between bin b and b+1 (size n_finite - 1) — the same midpoint
+    /// float the exact scan computes between adjacent observed values.
+    std::vector<float> split_values;
+    /// Categorical columns: the value of group id g (ascending order).
+    /// May be shorter than n_finite when `overflow` is set.
+    std::vector<float> category_values;
+    /// True for a categorical column with more distinct values than the
+    /// code space: the overflow values share one trailing finite bin
+    /// that the search never proposes as an equality split.
+    bool overflow = false;
+
+    [[nodiscard]] std::uint8_t missing_code() const noexcept {
+      return static_cast<std::uint8_t>(n_finite);
+    }
+  };
+
+  [[nodiscard]] std::size_t n_rows() const noexcept { return n_rows_; }
+  [[nodiscard]] std::size_t n_cols() const noexcept { return columns_.size(); }
+  [[nodiscard]] const Column& column(std::size_t j) const {
+    return columns_.at(j);
+  }
+
+ private:
+  std::size_t n_rows_ = 0;
+  std::vector<Column> columns_;
+};
+
+/// Best-stump search result of the binned path. `split_bin` lets the
+/// boosting loop re-evaluate the stump from bin codes alone:
+/// continuous — pass iff code > split_bin (so -1 is the no-split stump
+/// where every present row passes); categorical — pass iff
+/// code == split_bin; missing iff code == missing_code().
+struct BinnedStumpResult {
+  Stump stump;
+  double z = 1.0;
+  int split_bin = -1;
+};
+
+/// Histogram-based best-stump search over all binned features.
+/// `labels` spans the FULL matrix (labels[row]); `rows` restricts
+/// training to a subset (empty = all rows); `weights[i]` is the weight
+/// of subset position i (of row i when `rows` is empty). Per-feature
+/// histograms build in parallel under `exec`; the winner is picked by
+/// an ordered reduce with ties to the lower bin/feature index, so the
+/// result is byte-identical at any thread count.
+[[nodiscard]] BinnedStumpResult find_best_stump_binned(
+    const BinnedColumns& bins, std::span<const std::uint8_t> labels,
+    std::span<const double> weights, std::span<const std::uint32_t> rows,
+    double smoothing, const exec::ExecContext& exec = exec::ExecContext::serial());
+
+}  // namespace nevermind::ml

@@ -54,7 +54,8 @@ double cross_validate(
 
 RoundsSelection select_boosting_rounds(
     const Dataset& data, std::span<const std::size_t> candidates,
-    std::size_t top_n, std::size_t k_folds, const exec::ExecContext& exec) {
+    std::size_t top_n, std::size_t k_folds, const exec::ExecContext& exec,
+    const BStumpConfig& boost) {
   RoundsSelection out;
   if (candidates.empty()) return out;
 
@@ -64,6 +65,12 @@ RoundsSelection select_boosting_rounds(
   const std::size_t max_rounds =
       *std::max_element(candidates.begin(), candidates.end());
   const auto folds = make_folds(data.n_rows(), k_folds);
+
+  // Histogram path: quantize the matrix once; folds train on row
+  // subsets of the shared bin codes instead of copied datasets.
+  const bool binned = boost.binning == BinningMode::kHistogram;
+  TrainCache cache;
+  if (binned) cache = make_train_cache(data, boost);
 
   // Folds are independent; each produces its per-candidate metric
   // contributions, summed in fold order by the ordered reduce so the
@@ -82,11 +89,19 @@ RoundsSelection select_boosting_rounds(
         for (std::size_t f = fb; f < fe; ++f) {
           const auto& fold = folds[f];
           if (fold.train_rows.empty() || fold.validation_rows.empty()) continue;
-          const Dataset train = data.select_rows(fold.train_rows);
           const Dataset validation = data.select_rows(fold.validation_rows);
-          BStumpConfig cfg;
+          BStumpConfig cfg = boost;
           cfg.iterations = max_rounds;
-          const BStumpModel full = train_bstump(train, cfg);
+          BStumpModel full;
+          if (binned) {
+            std::vector<std::uint32_t> train_rows(fold.train_rows.begin(),
+                                                  fold.train_rows.end());
+            full = train_bstump_cached(data, cache, data.labels(), train_rows,
+                                       cfg);
+          } else {
+            const Dataset train = data.select_rows(fold.train_rows);
+            full = train_bstump(train, cfg);
+          }
 
           // Incremental scoring: add stumps in order, snapshotting at
           // each candidate count.

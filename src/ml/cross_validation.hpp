@@ -46,10 +46,15 @@ struct RoundsSelection {
 
 /// Pick the boosting-rounds count the way the paper does: k-fold CV
 /// over candidate values, scored by top-N average precision on the
-/// held-out folds.
+/// held-out folds. `boost` carries the training knobs (its iteration
+/// count is overridden by the largest candidate). On the histogram
+/// path the bin codes are built ONCE on the full matrix and every fold
+/// trains through a row subset of them — no per-fold dataset copies;
+/// the exact path keeps its per-fold row selection.
 [[nodiscard]] RoundsSelection select_boosting_rounds(
     const Dataset& data, std::span<const std::size_t> candidates,
     std::size_t top_n, std::size_t k_folds = 3,
-    const exec::ExecContext& exec = exec::ExecContext::serial());
+    const exec::ExecContext& exec = exec::ExecContext::serial(),
+    const BStumpConfig& boost = {});
 
 }  // namespace nevermind::ml

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 namespace nevermind::ml {
 
@@ -53,14 +52,27 @@ SortedColumns::SortedColumns(const Dataset& data,
       const std::size_t j = only[i];
       const auto col = data.column(j);
       if (data.column_info(j).categorical) {
-        std::map<float, std::vector<std::uint32_t>> by_value;
+        // Sort-then-group over one index vector: same group order as a
+        // value-keyed map (ascending value, rows ascending within a
+        // group thanks to stability), without a node per value.
+        std::vector<std::uint32_t> idx;
+        idx.reserve(col.size());
         for (std::uint32_t r = 0; r < col.size(); ++r) {
-          if (!is_missing(col[r])) by_value[col[r]].push_back(r);
+          if (!is_missing(col[r])) idx.push_back(r);
         }
+        std::stable_sort(idx.begin(), idx.end(),
+                         [&](std::uint32_t a, std::uint32_t b2) {
+                           return col[a] < col[b2];
+                         });
         auto& groups = groups_[j];
-        groups.reserve(by_value.size());
-        for (auto& [value, rows] : by_value) {
-          groups.push_back({value, std::move(rows)});
+        for (std::size_t k = 0; k < idx.size();) {
+          const float value = col[idx[k]];
+          std::size_t e2 = k;
+          while (e2 < idx.size() && col[idx[e2]] == value) ++e2;
+          groups.push_back(
+              {value, std::vector<std::uint32_t>(idx.begin() + k,
+                                                 idx.begin() + e2)});
+          k = e2;
         }
       } else {
         auto& idx = sorted_[j];
@@ -80,15 +92,17 @@ SortedColumns::SortedColumns(const Dataset& data,
 namespace {
 
 /// Scan one continuous feature: thresholds at value changes in the
-/// sorted order; blocks are {below, at-or-above, missing}.
+/// sorted order; blocks are {below, at-or-above, missing}. Labels come
+/// in as a span so one matrix can serve many relabelled problems.
 StumpSearchResult scan_continuous(const Dataset& data,
                                   std::span<const std::uint32_t> sorted,
+                                  std::span<const std::uint8_t> labels,
                                   std::span<const double> weights,
                                   double smoothing, std::size_t feature,
                                   const WeightPair& total) {
   const auto col = data.column(feature);
   WeightPair present;
-  for (std::uint32_t r : sorted) present.add(data.label(r), weights[r]);
+  for (std::uint32_t r : sorted) present.add(labels[r] != 0, weights[r]);
   const WeightPair missing = total - present;
   const double z_missing = block_z(missing);
 
@@ -116,7 +130,7 @@ StumpSearchResult scan_continuous(const Dataset& data,
   WeightPair below;
   for (std::size_t i = 0; i + 1 <= sorted.size(); ++i) {
     const std::uint32_t r = sorted[i];
-    below.add(data.label(r), weights[r]);
+    below.add(labels[r] != 0, weights[r]);
     if (i + 1 < sorted.size()) {
       const float v = col[r];
       const float next = col[sorted[i + 1]];
@@ -130,12 +144,12 @@ StumpSearchResult scan_continuous(const Dataset& data,
 }
 
 StumpSearchResult scan_categorical(
-    const Dataset& data, std::span<const SortedColumns::CategoricalGroup> groups,
-    std::span<const double> weights, double smoothing, std::size_t feature,
-    const WeightPair& total) {
+    std::span<const SortedColumns::CategoricalGroup> groups,
+    std::span<const std::uint8_t> labels, std::span<const double> weights,
+    double smoothing, std::size_t feature, const WeightPair& total) {
   WeightPair present;
   for (const auto& g : groups) {
-    for (std::uint32_t r : g.rows) present.add(data.label(r), weights[r]);
+    for (std::uint32_t r : g.rows) present.add(labels[r] != 0, weights[r]);
   }
   const WeightPair missing = total - present;
   const double z_missing = block_z(missing);
@@ -144,7 +158,7 @@ StumpSearchResult scan_categorical(
   best.z = std::numeric_limits<double>::infinity();
   for (const auto& g : groups) {
     WeightPair equal;
-    for (std::uint32_t r : g.rows) equal.add(data.label(r), weights[r]);
+    for (std::uint32_t r : g.rows) equal.add(labels[r] != 0, weights[r]);
     const WeightPair rest = present - equal;
     const double z = block_z(equal) + block_z(rest) + z_missing;
     if (z < best.z) {
@@ -160,36 +174,46 @@ StumpSearchResult scan_categorical(
   return best;
 }
 
-WeightPair total_weights(const Dataset& data, std::span<const double> weights) {
+WeightPair total_weights(std::span<const std::uint8_t> labels,
+                         std::span<const double> weights) {
   WeightPair total;
-  for (std::size_t r = 0; r < data.n_rows(); ++r) {
-    total.add(data.label(r), weights[r]);
+  for (std::size_t r = 0; r < labels.size(); ++r) {
+    total.add(labels[r] != 0, weights[r]);
   }
   return total;
 }
 
 }  // namespace
 
+StumpSearchResult find_best_stump_for_feature(
+    const Dataset& data, const SortedColumns& sorted,
+    std::span<const std::uint8_t> labels, std::span<const double> weights,
+    double smoothing, std::size_t feature) {
+  const WeightPair total = total_weights(labels, weights);
+  if (data.column_info(feature).categorical) {
+    return scan_categorical(sorted.groups(feature), labels, weights, smoothing,
+                            feature, total);
+  }
+  return scan_continuous(data, sorted.sorted_rows(feature), labels, weights,
+                         smoothing, feature, total);
+}
+
 StumpSearchResult find_best_stump_for_feature(const Dataset& data,
                                               const SortedColumns& sorted,
                                               std::span<const double> weights,
                                               double smoothing,
                                               std::size_t feature) {
-  const WeightPair total = total_weights(data, weights);
-  if (data.column_info(feature).categorical) {
-    return scan_categorical(data, sorted.groups(feature), weights, smoothing,
-                            feature, total);
-  }
-  return scan_continuous(data, sorted.sorted_rows(feature), weights, smoothing,
-                         feature, total);
+  return find_best_stump_for_feature(data, sorted, data.labels(), weights,
+                                     smoothing, feature);
 }
 
 StumpSearchResult find_best_stump(const Dataset& data,
                                   const SortedColumns& sorted,
+                                  std::span<const std::uint8_t> labels,
                                   std::span<const double> weights,
                                   double smoothing,
                                   const exec::ExecContext& exec) {
-  const WeightPair total = total_weights(data, weights);
+  const WeightPair total = total_weights(labels, weights);
   StumpSearchResult init;
   init.z = std::numeric_limits<double>::infinity();
   // Strict `<` in both the in-chunk scan and the ordered combine means
@@ -203,10 +227,10 @@ StumpSearchResult find_best_stump(const Dataset& data,
         for (std::size_t j = b; j < e; ++j) {
           StumpSearchResult candidate =
               data.column_info(j).categorical
-                  ? scan_categorical(data, sorted.groups(j), weights, smoothing,
-                                     j, total)
-                  : scan_continuous(data, sorted.sorted_rows(j), weights,
-                                    smoothing, j, total);
+                  ? scan_categorical(sorted.groups(j), labels, weights,
+                                     smoothing, j, total)
+                  : scan_continuous(data, sorted.sorted_rows(j), labels,
+                                    weights, smoothing, j, total);
           if (candidate.z < best.z) best = candidate;
         }
         return best;
@@ -214,6 +238,15 @@ StumpSearchResult find_best_stump(const Dataset& data,
       [](StumpSearchResult acc, StumpSearchResult chunk) {
         return chunk.z < acc.z ? chunk : acc;
       });
+}
+
+StumpSearchResult find_best_stump(const Dataset& data,
+                                  const SortedColumns& sorted,
+                                  std::span<const double> weights,
+                                  double smoothing,
+                                  const exec::ExecContext& exec) {
+  return find_best_stump(data, sorted, data.labels(), weights, smoothing,
+                         exec);
 }
 
 }  // namespace nevermind::ml

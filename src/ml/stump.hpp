@@ -84,10 +84,25 @@ struct StumpSearchResult {
     std::span<const double> weights, double smoothing,
     const exec::ExecContext& exec = exec::ExecContext::serial());
 
+/// Same search with externally supplied labels (labels[row], one per
+/// dataset row): one shared feature matrix + sorted index can serve
+/// many relabelled one-vs-rest problems without copying the dataset.
+[[nodiscard]] StumpSearchResult find_best_stump(
+    const Dataset& data, const SortedColumns& sorted,
+    std::span<const std::uint8_t> labels, std::span<const double> weights,
+    double smoothing,
+    const exec::ExecContext& exec = exec::ExecContext::serial());
+
 /// Best stump restricted to one feature (used by the per-feature AP(N)
 /// selection, which trains single-feature predictors).
 [[nodiscard]] StumpSearchResult find_best_stump_for_feature(
     const Dataset& data, const SortedColumns& sorted,
     std::span<const double> weights, double smoothing, std::size_t feature);
+
+/// Single-feature search with externally supplied labels.
+[[nodiscard]] StumpSearchResult find_best_stump_for_feature(
+    const Dataset& data, const SortedColumns& sorted,
+    std::span<const std::uint8_t> labels, std::span<const double> weights,
+    double smoothing, std::size_t feature);
 
 }  // namespace nevermind::ml

@@ -1,0 +1,312 @@
+#include "ml/binning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ml/adaboost.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace nevermind::ml {
+namespace {
+
+std::vector<double> uniform_weights(std::size_t n) {
+  return std::vector<double>(n, 1.0 / static_cast<double>(n));
+}
+
+void expect_same_stump(const Stump& a, const Stump& b) {
+  EXPECT_EQ(a.feature, b.feature);
+  EXPECT_EQ(a.categorical, b.categorical);
+  EXPECT_EQ(a.threshold, b.threshold);
+  EXPECT_EQ(a.score_pass, b.score_pass);
+  EXPECT_EQ(a.score_fail, b.score_fail);
+  EXPECT_EQ(a.score_missing, b.score_missing);
+}
+
+TEST(BinnedColumns, LosslessWhenFewDistinctValues) {
+  Dataset d({{"x", false}});
+  // 5 distinct values with duplicates, plus missing rows.
+  const float values[] = {3.0F, 1.0F, 3.0F, kMissing, 7.0F, 1.0F, 9.0F,
+                          kMissing, 11.0F, 7.0F};
+  for (float v : values) d.add_row({&v, 1}, false);
+  const BinnedColumns bins(d);
+  const auto& col = bins.column(0);
+  EXPECT_FALSE(col.categorical);
+  EXPECT_EQ(col.n_finite, 5);
+  EXPECT_EQ(col.missing_code(), 5);
+  // One bin per distinct value in ascending order; split thresholds are
+  // the exact scan's midpoints between adjacent observed values.
+  ASSERT_EQ(col.split_values.size(), 4U);
+  EXPECT_EQ(col.split_values[0], 1.0F + (3.0F - 1.0F) * 0.5F);
+  EXPECT_EQ(col.split_values[1], 3.0F + (7.0F - 3.0F) * 0.5F);
+  EXPECT_EQ(col.split_values[2], 7.0F + (9.0F - 7.0F) * 0.5F);
+  EXPECT_EQ(col.split_values[3], 9.0F + (11.0F - 9.0F) * 0.5F);
+  const std::uint8_t expected[] = {1, 0, 1, 5, 2, 0, 3, 5, 4, 2};
+  for (std::size_t r = 0; r < d.n_rows(); ++r) {
+    EXPECT_EQ(col.codes[r], expected[r]) << "row " << r;
+  }
+}
+
+TEST(BinnedColumns, QuantileEdgesWhenManyDistinctValues) {
+  Dataset d({{"x", false}});
+  util::Rng rng(7);
+  for (int i = 0; i < 4000; ++i) {
+    const float v = static_cast<float>(rng.uniform());
+    d.add_row({&v, 1}, false);
+  }
+  const BinnedColumns bins(d);
+  const auto& col = bins.column(0);
+  EXPECT_LE(col.n_finite, 255);
+  EXPECT_GE(col.n_finite, 200);  // ~uniform data fills the code space
+  // Codes are monotone with the values and split thresholds separate
+  // adjacent bins.
+  const auto x = d.column(0);
+  std::vector<std::size_t> bin_count(col.n_finite, 0);
+  for (std::size_t r = 0; r < d.n_rows(); ++r) {
+    ASSERT_LT(col.codes[r], col.n_finite);
+    ++bin_count[col.codes[r]];
+    const std::uint8_t c = col.codes[r];
+    if (c > 0) {
+      EXPECT_GE(x[r], col.split_values[c - 1]);
+    }
+    if (c + 1U < col.n_finite) {
+      EXPECT_LT(x[r], col.split_values[c]);
+    }
+  }
+  // Quantile edges keep the bins roughly balanced.
+  const std::size_t expected = d.n_rows() / col.n_finite;
+  for (std::size_t b = 0; b < bin_count.size(); ++b) {
+    EXPECT_GE(bin_count[b], 1U);
+    EXPECT_LE(bin_count[b], 4 * expected + 4);
+  }
+  for (std::size_t b = 0; b + 1 < col.split_values.size(); ++b) {
+    EXPECT_LT(col.split_values[b], col.split_values[b + 1]);
+  }
+}
+
+TEST(BinnedColumns, AllMissingColumn) {
+  Dataset d({{"gone", false}, {"x", false}});
+  for (int i = 0; i < 16; ++i) {
+    const float row[2] = {kMissing, static_cast<float>(i % 4)};
+    d.add_row(row, i % 2 == 0);
+  }
+  const BinnedColumns bins(d);
+  const auto& gone = bins.column(0);
+  EXPECT_EQ(gone.n_finite, 0);
+  for (std::size_t r = 0; r < d.n_rows(); ++r) {
+    EXPECT_EQ(gone.codes[r], gone.missing_code());
+  }
+  // The search still runs and simply never splits on the dead column.
+  const auto weights = uniform_weights(d.n_rows());
+  const auto best =
+      find_best_stump_binned(bins, d.labels(), weights, {}, 0.01);
+  EXPECT_EQ(best.stump.feature, 1U);
+}
+
+TEST(BinnedColumns, CategoricalGroupsInValueOrder) {
+  Dataset d({{"color", true}});
+  const float values[] = {2.0F, 0.0F, kMissing, 1.0F, 2.0F, 0.0F};
+  for (float v : values) d.add_row({&v, 1}, false);
+  const BinnedColumns bins(d);
+  const auto& col = bins.column(0);
+  EXPECT_TRUE(col.categorical);
+  EXPECT_EQ(col.n_finite, 3);
+  ASSERT_EQ(col.category_values.size(), 3U);
+  EXPECT_EQ(col.category_values[0], 0.0F);
+  EXPECT_EQ(col.category_values[1], 1.0F);
+  EXPECT_EQ(col.category_values[2], 2.0F);
+  const std::uint8_t expected[] = {2, 0, 3, 1, 2, 0};
+  for (std::size_t r = 0; r < d.n_rows(); ++r) {
+    EXPECT_EQ(col.codes[r], expected[r]);
+  }
+}
+
+/// Mixed dataset whose every column has few distinct values, sized to a
+/// power of two so uniform weights are dyadic and every weight sum is
+/// exact in double — any accumulation order gives the same bits, making
+/// "binned == exact" a strict equality check.
+Dataset small_distinct_dataset() {
+  Dataset d({{"a", false}, {"b", false}, {"c", true}});
+  util::Rng rng(11);
+  for (int i = 0; i < 256; ++i) {
+    const float a = static_cast<float>(rng.uniform_index(17));
+    const float b = rng.bernoulli(0.1)
+                        ? kMissing
+                        : static_cast<float>(rng.uniform_index(40)) * 0.25F;
+    const float c = static_cast<float>(rng.uniform_index(5));
+    const bool label =
+        (a > 8.0F) != (c == 2.0F) ? rng.bernoulli(0.85) : rng.bernoulli(0.2);
+    const float row[3] = {a, b, c};
+    d.add_row(row, label);
+  }
+  return d;
+}
+
+TEST(BinnedSearch, IdenticalToExactOnSmallDistinctData) {
+  const Dataset d = small_distinct_dataset();
+  const auto weights = uniform_weights(d.n_rows());
+  const SortedColumns sorted(d);
+  const BinnedColumns bins(d);
+
+  const StumpSearchResult exact =
+      find_best_stump(d, sorted, weights, 0.01);
+  const BinnedStumpResult binned =
+      find_best_stump_binned(bins, d.labels(), weights, {}, 0.01);
+  EXPECT_EQ(exact.z, binned.z);
+  expect_same_stump(exact.stump, binned.stump);
+}
+
+TEST(BinnedTraining, MatchesExactStumpSequenceOnSmallDistinctData) {
+  const Dataset d = small_distinct_dataset();
+  BStumpConfig exact_cfg;
+  exact_cfg.iterations = 25;
+  BStumpConfig hist_cfg = exact_cfg;
+  hist_cfg.binning = BinningMode::kHistogram;
+
+  const BStumpModel exact = train_bstump(d, exact_cfg);
+  const BStumpModel hist = train_bstump(d, hist_cfg);
+  ASSERT_EQ(exact.stumps().size(), hist.stumps().size());
+  for (std::size_t t = 0; t < exact.stumps().size(); ++t) {
+    const Stump& a = exact.stumps()[t];
+    const Stump& b = hist.stumps()[t];
+    EXPECT_EQ(a.feature, b.feature) << "round " << t;
+    EXPECT_EQ(a.categorical, b.categorical) << "round " << t;
+    EXPECT_EQ(a.threshold, b.threshold) << "round " << t;
+    EXPECT_NEAR(a.score_pass, b.score_pass, 1e-9) << "round " << t;
+    EXPECT_NEAR(a.score_fail, b.score_fail, 1e-9) << "round " << t;
+    EXPECT_NEAR(a.score_missing, b.score_missing, 1e-9) << "round " << t;
+  }
+}
+
+/// Continuous features with far more than 256 distinct values, so the
+/// histogram path genuinely quantizes. Labels follow a noisy linear
+/// rule — the shape of the encoded ticket-predictor problem.
+Dataset wide_continuous_dataset(std::uint64_t seed, int n) {
+  Dataset d({{"f0", false}, {"f1", false}, {"f2", false}, {"f3", false},
+             {"f4", false}, {"f5", false}});
+  util::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    float row[6];
+    double margin = 0.0;
+    for (int j = 0; j < 6; ++j) {
+      row[j] = static_cast<float>(rng.normal());
+      margin += (j % 2 == 0 ? 1.0 : -0.5) * row[j];
+    }
+    if (rng.bernoulli(0.05)) row[3] = kMissing;
+    const bool label = margin + rng.normal() * 0.8 > 0.0;
+    d.add_row(row, label);
+  }
+  return d;
+}
+
+TEST(BinnedTraining, AucParityOnQuantizedData) {
+  const Dataset train = wide_continuous_dataset(21, 3000);
+  const Dataset test = wide_continuous_dataset(22, 1500);
+  BStumpConfig exact_cfg;
+  exact_cfg.iterations = 80;
+  BStumpConfig hist_cfg = exact_cfg;
+  hist_cfg.binning = BinningMode::kHistogram;
+
+  const double auc_exact =
+      auc(train_bstump(train, exact_cfg).score_dataset(test), test.labels());
+  const double auc_hist =
+      auc(train_bstump(train, hist_cfg).score_dataset(test), test.labels());
+  EXPECT_GT(auc_exact, 0.8);  // the problem is learnable
+  EXPECT_NEAR(auc_exact, auc_hist, 0.005);
+}
+
+TEST(BinnedTraining, ByteIdenticalAcrossThreadCounts) {
+  const Dataset train = wide_continuous_dataset(31, 2000);
+  BStumpConfig serial_cfg;
+  serial_cfg.iterations = 40;
+  serial_cfg.binning = BinningMode::kHistogram;
+  BStumpConfig parallel_cfg = serial_cfg;
+  parallel_cfg.exec = exec::ExecContext(8);
+
+  const BStumpModel serial = train_bstump(train, serial_cfg);
+  const BStumpModel parallel = train_bstump(train, parallel_cfg);
+  ASSERT_EQ(serial.stumps().size(), parallel.stumps().size());
+  for (std::size_t t = 0; t < serial.stumps().size(); ++t) {
+    expect_same_stump(serial.stumps()[t], parallel.stumps()[t]);
+  }
+}
+
+TEST(BinnedTraining, RowSubsetsShareOneBinnedMatrix) {
+  const Dataset d = wide_continuous_dataset(41, 2000);
+  BStumpConfig cfg;
+  cfg.iterations = 30;
+  cfg.binning = BinningMode::kHistogram;
+  const TrainCache cache = make_train_cache(d, cfg);
+
+  std::vector<std::uint32_t> odd_rows;
+  for (std::uint32_t r = 1; r < d.n_rows(); r += 2) odd_rows.push_back(r);
+
+  const BStumpModel subset =
+      train_bstump_cached(d, cache, d.labels(), odd_rows, cfg);
+  ASSERT_FALSE(subset.empty());
+
+  // Subset training is deterministic across thread counts too.
+  BStumpConfig parallel_cfg = cfg;
+  parallel_cfg.exec = exec::ExecContext(8);
+  const BStumpModel subset_mt =
+      train_bstump_cached(d, cache, d.labels(), odd_rows, parallel_cfg);
+  ASSERT_EQ(subset.stumps().size(), subset_mt.stumps().size());
+  for (std::size_t t = 0; t < subset.stumps().size(); ++t) {
+    expect_same_stump(subset.stumps()[t], subset_mt.stumps()[t]);
+  }
+
+  // And the held-out half is predicted well by the odd-row model.
+  std::vector<std::size_t> even_rows;
+  for (std::size_t r = 0; r < d.n_rows(); r += 2) even_rows.push_back(r);
+  const Dataset held_out = d.select_rows(even_rows);
+  EXPECT_GT(auc(subset.score_dataset(held_out), held_out.labels()), 0.75);
+}
+
+TEST(BinnedTraining, RoundsSelectionSharesBins) {
+  const Dataset d = wide_continuous_dataset(51, 1200);
+  BStumpConfig boost;
+  boost.binning = BinningMode::kHistogram;
+  const std::size_t candidates[] = {5, 20, 40};
+  const auto picked = select_boosting_rounds(d, candidates, 120, 3,
+                                             exec::ExecContext::serial(), boost);
+  EXPECT_TRUE(picked.best_rounds == 5 || picked.best_rounds == 20 ||
+              picked.best_rounds == 40);
+  ASSERT_EQ(picked.metric_per_candidate.size(), 3U);
+  for (double m : picked.metric_per_candidate) {
+    EXPECT_TRUE(std::isfinite(m));
+    EXPECT_GE(m, 0.0);
+  }
+  // Fold training through shared bins is deterministic: a parallel
+  // context reproduces the serial selection byte for byte.
+  const auto parallel =
+      select_boosting_rounds(d, candidates, 120, 3, exec::ExecContext(8), boost);
+  EXPECT_EQ(picked.best_rounds, parallel.best_rounds);
+  ASSERT_EQ(parallel.metric_per_candidate.size(), 3U);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(picked.metric_per_candidate[c], parallel.metric_per_candidate[c]);
+  }
+}
+
+TEST(BinnedTraining, CachedExactPathMatchesPlainTraining) {
+  const Dataset d = small_distinct_dataset();
+  BStumpConfig cfg;
+  cfg.iterations = 15;
+  const TrainCache cache = make_train_cache(d, cfg);
+  const BStumpModel plain = train_bstump(d, cfg);
+  const BStumpModel cached =
+      train_bstump_cached(d, cache, d.labels(), {}, cfg);
+  ASSERT_EQ(plain.stumps().size(), cached.stumps().size());
+  for (std::size_t t = 0; t < plain.stumps().size(); ++t) {
+    expect_same_stump(plain.stumps()[t], cached.stumps()[t]);
+  }
+  // Exact path rejects row subsets — they need the histogram path.
+  const std::uint32_t rows[] = {0, 1, 2};
+  EXPECT_THROW((void)train_bstump_cached(d, cache, d.labels(), rows, cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nevermind::ml

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Compare two NEVERMIND benchmark JSON files for timing regressions.
+
+Every bench binary that measures wall-clock time (bench_perf_pipeline,
+bench_train) writes a BENCH_*.json with timing fields whose names end in
+``_s``. This tool diffs a baseline file against a candidate file (or two
+directories of BENCH_*.json files, matched by name) and fails when any
+timing regressed by more than the threshold (default 20%).
+
+Timings below a minimum (default 0.05 s) are skipped: at smoke sizes a
+scheduler hiccup easily doubles a 5 ms measurement, and such fields say
+nothing about real throughput.
+
+Usage:
+    check_bench.py BASELINE.json CANDIDATE.json [--threshold 0.2]
+    check_bench.py baseline_dir/ candidate_dir/  [--min-time 0.05]
+    check_bench.py --self-test
+
+Exit status: 0 = no regression, 1 = regression found, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def timing_fields(obj, prefix=""):
+    """Yield (dotted_path, value) for every numeric field ending in _s.
+
+    Lists are keyed by a stable attribute when the elements carry one
+    (the benches key runs by "threads") and by index otherwise, so the
+    same run matches across files even if ordering changed.
+    """
+    if isinstance(obj, dict):
+        for key, value in sorted(obj.items()):
+            path = f"{prefix}.{key}" if prefix else key
+            if key.endswith("_s") and isinstance(value, (int, float)):
+                yield path, float(value)
+            else:
+                yield from timing_fields(value, path)
+    elif isinstance(obj, list):
+        for i, item in enumerate(obj):
+            label = i
+            if isinstance(item, dict) and "threads" in item:
+                label = f"threads={item['threads']}"
+            yield from timing_fields(item, f"{prefix}[{label}]")
+
+
+def compare(baseline, candidate, threshold, min_time):
+    """Return a list of human-readable regression messages."""
+    base = dict(timing_fields(baseline))
+    cand = dict(timing_fields(candidate))
+    regressions = []
+    for path, base_value in sorted(base.items()):
+        cand_value = cand.get(path)
+        if cand_value is None:
+            continue  # field removed or renamed; not a perf signal
+        if base_value < min_time or cand_value < min_time:
+            continue
+        ratio = cand_value / base_value
+        if ratio > 1.0 + threshold:
+            regressions.append(
+                f"{path}: {base_value:.3f}s -> {cand_value:.3f}s "
+                f"(+{(ratio - 1.0) * 100.0:.0f}%)"
+            )
+    return regressions
+
+
+def compare_files(base_path, cand_path, threshold, min_time):
+    with open(base_path) as f:
+        baseline = json.load(f)
+    with open(cand_path) as f:
+        candidate = json.load(f)
+    return compare(baseline, candidate, threshold, min_time)
+
+
+def compare_dirs(base_dir, cand_dir, threshold, min_time):
+    regressions = []
+    matched = 0
+    for base_path in sorted(base_dir.glob("BENCH_*.json")):
+        cand_path = cand_dir / base_path.name
+        if not cand_path.exists():
+            continue
+        matched += 1
+        for msg in compare_files(base_path, cand_path, threshold, min_time):
+            regressions.append(f"{base_path.name}: {msg}")
+    if matched == 0:
+        print("warning: no matching BENCH_*.json pairs found", file=sys.stderr)
+    return regressions
+
+
+def self_test():
+    baseline = {
+        "bench": "train",
+        "runs": [
+            {"threads": 1, "exact_train_s": 10.0, "hist_train_s": 2.0},
+            {"threads": 2, "exact_train_s": 6.0, "hist_train_s": 1.2},
+        ],
+        "encode_s": 0.5,
+        "tiny_s": 0.001,
+    }
+    # Unchanged candidate: no regressions.
+    assert compare(baseline, baseline, 0.2, 0.05) == []
+    # 50% slower histogram training at 1 thread: flagged.
+    slow = json.loads(json.dumps(baseline))
+    slow["runs"][0]["hist_train_s"] = 3.0
+    msgs = compare(baseline, slow, 0.2, 0.05)
+    assert len(msgs) == 1 and "hist_train_s" in msgs[0], msgs
+    # Same run found even when the list order flips.
+    flipped = json.loads(json.dumps(slow))
+    flipped["runs"].reverse()
+    assert compare(baseline, flipped, 0.2, 0.05) == msgs
+    # Sub-min-time jitter is ignored no matter how large relatively.
+    jitter = json.loads(json.dumps(baseline))
+    jitter["tiny_s"] = 0.04
+    assert compare(baseline, jitter, 0.2, 0.05) == []
+    # Improvements are never flagged.
+    fast = json.loads(json.dumps(baseline))
+    fast["runs"][0]["exact_train_s"] = 1.0
+    assert compare(baseline, fast, 0.2, 0.05) == []
+    print("check_bench.py self-test passed")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", help="baseline JSON file or dir")
+    parser.add_argument("candidate", nargs="?", help="candidate JSON file or dir")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="relative slowdown that counts as a regression "
+                             "(default 0.2 = 20%%)")
+    parser.add_argument("--min-time", type=float, default=0.05,
+                        help="ignore timings below this many seconds")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in unit checks and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.candidate:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    base = Path(args.baseline)
+    cand = Path(args.candidate)
+    if base.is_dir() != cand.is_dir():
+        print("error: baseline and candidate must both be files or both dirs",
+              file=sys.stderr)
+        return 2
+    if base.is_dir():
+        regressions = compare_dirs(base, cand, args.threshold, args.min_time)
+    else:
+        regressions = compare_files(base, cand, args.threshold, args.min_time)
+
+    if regressions:
+        print(f"{len(regressions)} timing regression(s) past "
+              f"{args.threshold * 100:.0f}%:")
+        for msg in regressions:
+            print(f"  {msg}")
+        return 1
+    print("no timing regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

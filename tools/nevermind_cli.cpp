@@ -38,6 +38,7 @@ struct CliArgs {
   std::string out_dir = ".";
   std::string model_path;
   std::size_t threads = 1;
+  ml::BinningMode binning = ml::BinningMode::kExact;
 
   /// Shared pool for the run; serial when --threads 1 (the default).
   [[nodiscard]] exec::ExecContext exec() const {
@@ -65,6 +66,16 @@ CliArgs parse(int argc, char** argv, int first) {
       args.model_path = argv[++i];
     } else if (flag("--threads")) {
       args.threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (flag("--binning")) {
+      const std::string mode = argv[++i];
+      if (mode == "hist" || mode == "histogram") {
+        args.binning = ml::BinningMode::kHistogram;
+      } else if (mode == "exact") {
+        args.binning = ml::BinningMode::kExact;
+      } else {
+        std::cerr << "unknown --binning mode '" << mode
+                  << "' (expected exact|hist); using exact\n";
+      }
     }
   }
   return args;
@@ -117,6 +128,7 @@ int cmd_predict(const CliArgs& args) {
   const auto data = simulate(args, exec);
   core::PredictorConfig cfg;
   cfg.exec = exec;
+  cfg.binning = args.binning;
   cfg.top_n = std::max<std::size_t>(args.lines / 100, 10);
   const int train_from = util::test_week_of(util::day_from_date(8, 1));
   const int train_to = util::test_week_of(util::day_from_date(9, 30));
@@ -155,6 +167,7 @@ int cmd_locate(const CliArgs& args) {
   const auto data = simulate(args, exec);
   core::LocatorConfig cfg;
   cfg.exec = exec;
+  cfg.binning = args.binning;
   cfg.min_occurrences = std::max<std::size_t>(6, args.lines / 2000);
   const int train_from = util::test_week_of(util::day_from_date(8, 1));
   const int train_to = util::test_week_of(util::day_from_date(9, 18));
@@ -201,7 +214,7 @@ int cmd_summary(const CliArgs& args) {
 void usage() {
   std::cerr << "usage: nevermind <simulate|predict|locate|summary> "
                "[--lines N] [--seed S] [--week W] [--top K] [--out DIR] "
-               "[--model FILE] [--threads T]\n";
+               "[--model FILE] [--threads T] [--binning exact|hist]\n";
 }
 
 }  // namespace

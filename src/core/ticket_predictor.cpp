@@ -29,6 +29,9 @@ std::vector<std::size_t> rows_in_weeks(const features::EncodedBlock& block,
 TicketPredictor::TicketPredictor(PredictorConfig config)
     : config_(std::move(config)) {}
 
+TicketPredictor::TicketPredictor(PredictorConfig config, ScoringKernel kernel)
+    : config_(std::move(config)), kernel_(std::move(kernel)) {}
+
 void TicketPredictor::train(const dslsim::SimDataset& data, int train_from,
                             int train_to) {
   if (train_to < train_from) {
@@ -78,20 +81,20 @@ void TicketPredictor::train(const dslsim::SimDataset& data, int train_from,
   }
 
   // ---- stage 2: derived features over the strongest base features ----
-  full_config_ = base_cfg;
+  kernel_.encoder = base_cfg;
   std::vector<double> full_scores = base_scores;
   if (config_.use_derived_features) {
-    full_config_.include_quadratic = true;
+    kernel_.encoder.include_quadratic = true;
     const auto pool = ml::select_top_k(
         base_scores, std::min(config_.product_pool, base_scores.size()));
     for (std::size_t i = 0; i < pool.size(); ++i) {
       for (std::size_t j = i + 1; j < pool.size(); ++j) {
-        full_config_.product_pairs.emplace_back(pool[i], pool[j]);
+        kernel_.encoder.product_pairs.emplace_back(pool[i], pool[j]);
       }
     }
 
     features::EncodedBlock full_block = features::encode_weeks(
-        data, train_from, train_to, full_config_, labeler);
+        data, train_from, train_to, kernel_.encoder, labeler);
     const auto ftrain = rows_in_weeks(full_block, train_from, sel_train_to);
     const auto fval = rows_in_weeks(full_block, sel_train_to + 1, train_to);
     ml::Dataset dsel_train = full_block.dataset.select_rows(ftrain);
@@ -106,56 +109,56 @@ void TicketPredictor::train(const dslsim::SimDataset& data, int train_from,
     for (std::size_t j = n_base; j < n_all; ++j) full_scores[j] = all_scores[j];
 
     const std::size_t n_quadratic = n_base;  // one square per base column
-    selected_ = base_selected;
+    kernel_.selected = base_selected;
     if (config_.selection == ml::SelectionMethod::kTopNAp) {
       for (std::size_t j = n_base; j < n_base + n_quadratic && j < n_all; ++j) {
-        if (full_scores[j] > config_.quadratic_threshold) selected_.push_back(j);
+        if (full_scores[j] > config_.quadratic_threshold) kernel_.selected.push_back(j);
       }
       // A product earns a slot only when it clearly beats BOTH of its
       // factors (the paper's rationale for the stricter threshold):
       // otherwise it is a redundant echo of a strong base feature.
       for (std::size_t j = n_base + n_quadratic; j < n_all; ++j) {
         const auto& pair =
-            full_config_.product_pairs[j - n_base - n_quadratic];
+            kernel_.encoder.product_pairs[j - n_base - n_quadratic];
         const double factor_best =
             std::max(base_scores[pair.first], base_scores[pair.second]);
         if (full_scores[j] > config_.product_threshold &&
             full_scores[j] > 1.2 * factor_best) {
-          selected_.push_back(j);
+          kernel_.selected.push_back(j);
         }
       }
     } else {
       for (std::size_t j = n_base; j < n_all; ++j) {
-        if (all_scores[j] > 0.0) selected_.push_back(j);
+        if (all_scores[j] > 0.0) kernel_.selected.push_back(j);
       }
     }
   } else {
-    selected_ = base_selected;
+    kernel_.selected = base_selected;
   }
 
   // Cap the feature count, keeping the strongest.
-  if (selected_.size() > config_.max_selected_features) {
-    std::stable_sort(selected_.begin(), selected_.end(),
+  if (kernel_.selected.size() > config_.max_selected_features) {
+    std::stable_sort(kernel_.selected.begin(), kernel_.selected.end(),
                      [&](std::size_t a, std::size_t b) {
                        return full_scores[a] > full_scores[b];
                      });
-    selected_.resize(config_.max_selected_features);
-    std::sort(selected_.begin(), selected_.end());
+    kernel_.selected.resize(config_.max_selected_features);
+    std::sort(kernel_.selected.begin(), kernel_.selected.end());
   }
 
   // ---- stage 3: final ensemble on the selected columns ----------------
   features::EncodedBlock final_block = features::encode_weeks(
-      data, train_from, train_to, full_config_, labeler);
+      data, train_from, train_to, kernel_.encoder, labeler);
   ml::Dataset final_train =
       final_block.dataset.select_rows(rows_in_weeks(final_block, train_from,
                                                     sel_train_to))
-          .select_columns(selected_);
+          .select_columns(kernel_.selected);
   ml::Dataset final_val =
       final_block.dataset.select_rows(rows_in_weeks(final_block,
                                                     sel_train_to + 1, train_to))
-          .select_columns(selected_);
+          .select_columns(kernel_.selected);
 
-  selected_columns_ = final_train.columns();
+  kernel_.columns = final_train.columns();
 
   ml::BStumpConfig boost;
   boost.iterations = config_.boost_iterations;
@@ -170,41 +173,27 @@ void TicketPredictor::train(const dslsim::SimDataset& data, int train_from,
         boost);
     if (tuned.best_rounds > 0) boost.iterations = tuned.best_rounds;
   }
-  model_ = ml::train_bstump(final_train, boost);
+  kernel_.model = ml::train_bstump(final_train, boost);
 
   // Calibrate on the held-out split so probabilities are honest.
   const std::vector<double> val_scores =
-      model_.score_dataset(final_val, config_.exec);
-  calibrator_ = ml::fit_platt(val_scores, final_val.labels());
+      kernel_.model.score_dataset(final_val, config_.exec);
+  kernel_.calibrator = ml::fit_platt(val_scores, final_val.labels());
 }
 
 std::vector<double> TicketPredictor::score_block(
     const features::EncodedBlock& block) const {
-  if (model_.empty()) {
+  if (kernel_.model.empty()) {
     throw std::logic_error("TicketPredictor: predict before train");
   }
-  // The model's stump feature indices refer to selected columns; map
-  // through `selected_` into the full block. Batch scoring chunks
-  // across rows: each row's accumulator belongs to one chunk and adds
-  // stumps in order, so results match serial bit for bit.
-  std::vector<double> scores(block.dataset.n_rows(), 0.0);
-  config_.exec.parallel_for(
-      0, block.dataset.n_rows(), 0, [&](std::size_t b, std::size_t e) {
-        for (const auto& stump : model_.stumps()) {
-          const auto col = block.dataset.column(selected_.at(stump.feature));
-          for (std::size_t r = b; r < e; ++r) {
-            scores[r] += stump.evaluate(col[r]);
-          }
-        }
-      });
-  return scores;
+  return kernel_.score_block(block, config_.exec);
 }
 
 std::vector<Prediction> TicketPredictor::predict_week(
     const dslsim::SimDataset& data, int week) const {
   const features::TicketLabeler labeler{config_.horizon_days};
   const features::EncodedBlock block =
-      features::encode_weeks(data, week, week, full_config_, labeler);
+      features::encode_weeks(data, week, week, kernel_.encoder, labeler);
   const std::vector<double> scores = score_block(block);
 
   std::vector<Prediction> out(scores.size());
@@ -213,7 +202,7 @@ std::vector<Prediction> TicketPredictor::predict_week(
         for (std::size_t r = b; r < e; ++r) {
           out[r].line = block.line_of_row[r];
           out[r].score = scores[r];
-          out[r].probability = calibrator_.probability(scores[r]);
+          out[r].probability = kernel_.calibrator.probability(scores[r]);
         }
       });
   // Chunk-sorted then stably merged in chunk order — the unique stable

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/scoring_kernel.hpp"
 #include "dslsim/simulator.hpp"
 #include "exec/exec.hpp"
 #include "features/encoder.hpp"
@@ -80,6 +81,10 @@ class TicketPredictor {
  public:
   explicit TicketPredictor(PredictorConfig config);
 
+  /// Wrap an already-trained kernel (e.g. loaded from a saved model
+  /// artefact) — predict_week/score_block work immediately, no train().
+  TicketPredictor(PredictorConfig config, ScoringKernel kernel);
+
   /// Train on measurement weeks [train_from, train_to] (inclusive).
   /// The last `validation_fraction` of those weeks drive feature
   /// selection scoring and Platt calibration.
@@ -94,28 +99,28 @@ class TicketPredictor {
   [[nodiscard]] std::vector<double> score_block(
       const features::EncodedBlock& block) const;
 
+  /// The deployable scoring artefact: encoder layout, selected columns,
+  /// ensemble, calibrator. Serve-side model registries publish this.
+  [[nodiscard]] const ScoringKernel& kernel() const { return kernel_; }
+
   /// Encoder configuration including the derived features the model
   /// was trained with; benches encode test blocks with this.
   [[nodiscard]] const features::EncoderConfig& full_encoder_config() const {
-    return full_config_;
+    return kernel_.encoder;
   }
   [[nodiscard]] const std::vector<std::size_t>& selected_features() const {
-    return selected_;
+    return kernel_.selected;
   }
   [[nodiscard]] const std::vector<ml::ColumnInfo>& selected_columns() const {
-    return selected_columns_;
+    return kernel_.columns;
   }
-  [[nodiscard]] const ml::BStumpModel& model() const { return model_; }
-  [[nodiscard]] bool trained() const { return !model_.empty(); }
+  [[nodiscard]] const ml::BStumpModel& model() const { return kernel_.model; }
+  [[nodiscard]] bool trained() const { return kernel_.trained(); }
   [[nodiscard]] const PredictorConfig& config() const { return config_; }
 
  private:
   PredictorConfig config_;
-  features::EncoderConfig full_config_;  // encoder + chosen product pairs
-  std::vector<std::size_t> selected_;    // into full_config_ columns
-  std::vector<ml::ColumnInfo> selected_columns_;
-  ml::BStumpModel model_;
-  ml::PlattCalibrator calibrator_;
+  ScoringKernel kernel_;
 };
 
 }  // namespace nevermind::core

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
 #include <limits>
 #include <map>
+#include <ostream>
 #include <stdexcept>
 
+#include "ml/serialization.hpp"
 #include "util/mathx.hpp"
 
 namespace nevermind::core {
@@ -193,6 +196,91 @@ std::size_t TroubleLocator::rank_of(std::span<const float> features,
     if (ranking[i].disposition == truth) return i + 1;
   }
   return ranking.size() + 1;
+}
+
+void TroubleLocator::save(std::ostream& os) const {
+  os << "nmlocator v1\n";
+  features::save_encoder_config(os, config_.encoder);
+  os << "models " << models_.size() << '\n';
+  os.precision(std::numeric_limits<double>::max_digits10);
+  for (const auto& cm : models_) {
+    os << "model " << cm.disposition << ' '
+       << static_cast<int>(cm.location) << ' ' << cm.prior << '\n';
+    ml::save_model(os, cm.flat);
+    ml::save_calibrator(os, cm.flat_cal);
+    ml::save_logistic(os, cm.combined);
+  }
+  os << "locations " << location_models_.size() << '\n';
+  for (const auto& model : location_models_) ml::save_model(os, model);
+}
+
+std::optional<TroubleLocator> TroubleLocator::load(std::istream& is,
+                                                   std::string* error) {
+  const auto fail = [&](const std::string& message)
+      -> std::optional<TroubleLocator> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+  std::string magic;
+  std::string version;
+  if (!(is >> magic >> version) || magic != "nmlocator") {
+    return fail("not a locator artefact (missing 'nmlocator' magic)");
+  }
+  if (version != "v1") {
+    return fail("unsupported locator version '" + version +
+                "' (this build reads v1)");
+  }
+  auto encoder = features::load_encoder_config(is);
+  if (!encoder.has_value()) {
+    return fail("malformed encoder configuration block");
+  }
+
+  LocatorConfig config;
+  config.encoder = std::move(*encoder);
+  TroubleLocator locator(config);
+
+  std::string tag;
+  std::size_t n_models = 0;
+  if (!(is >> tag >> n_models) || tag != "models") {
+    return fail("malformed model list header");
+  }
+  locator.models_.reserve(n_models);
+  for (std::size_t i = 0; i < n_models; ++i) {
+    ClassModel cm;
+    int location = 0;
+    if (!(is >> tag >> cm.disposition >> location >> cm.prior) ||
+        tag != "model" || location < 0 ||
+        location >= static_cast<int>(dslsim::kNumMajorLocations)) {
+      return fail("malformed per-disposition model header");
+    }
+    cm.location = static_cast<dslsim::MajorLocation>(location);
+    auto flat = ml::load_model(is);
+    if (!flat.has_value()) return fail("malformed flat ensemble block");
+    cm.flat = std::move(*flat);
+    auto cal = ml::load_calibrator(is);
+    if (!cal.has_value()) return fail("malformed flat calibrator block");
+    cm.flat_cal = *cal;
+    auto combined = ml::load_logistic(is);
+    if (!combined.has_value()) return fail("malformed Eq.2 logistic block");
+    cm.combined = std::move(*combined);
+    locator.models_.push_back(std::move(cm));
+  }
+  locator.covered_.reserve(n_models);
+  for (const auto& cm : locator.models_) {
+    locator.covered_.push_back(cm.disposition);
+  }
+
+  std::size_t n_locations = 0;
+  if (!(is >> tag >> n_locations) || tag != "locations" ||
+      n_locations != locator.location_models_.size()) {
+    return fail("malformed location model list");
+  }
+  for (auto& model : locator.location_models_) {
+    auto loaded = ml::load_model(is);
+    if (!loaded.has_value()) return fail("malformed location ensemble block");
+    model = std::move(*loaded);
+  }
+  return locator;
 }
 
 }  // namespace nevermind::core

@@ -14,7 +14,10 @@
 
 #include <array>
 #include <cstddef>
+#include <iosfwd>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "dslsim/simulator.hpp"
@@ -99,6 +102,15 @@ class TroubleLocator {
     return config_.encoder;
   }
   [[nodiscard]] bool trained() const { return !covered_.empty(); }
+
+  /// Versioned text artefact ("nmlocator v1", built on ml/serialization):
+  /// the encoder layout, per-disposition priors / flat ensembles /
+  /// calibrators / Eq.2 coefficients, and the four major-location
+  /// classifiers. Disposition ids are those of the training catalogue;
+  /// a loaded locator must be served against the same catalogue.
+  void save(std::ostream& os) const;
+  [[nodiscard]] static std::optional<TroubleLocator> load(
+      std::istream& is, std::string* error = nullptr);
 
   /// The flat ensemble f_Cij for a covered disposition (nullptr when
   /// not covered) — exposed for Fig-9 style explanations.

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
 #include <string>
 
 #include "dslsim/profile.hpp"
@@ -14,32 +17,6 @@ namespace {
 using dslsim::LineMetric;
 using dslsim::MetricVector;
 using dslsim::kNumLineMetrics;
-
-constexpr std::size_t kNumProfileFeatures = 4;
-constexpr std::size_t kNumCustomerScalars = 2;  // ticket days, modem off
-
-/// Per-line accumulation state, advanced week by week in test order.
-struct LineState {
-  std::array<util::RunningStats, kNumLineMetrics> history;
-  MetricVector prev{};
-  bool has_prev = false;
-  std::uint32_t tests_seen = 0;
-  std::uint32_t tests_off = 0;
-
-  void update(const MetricVector& current) {
-    ++tests_seen;
-    if (!dslsim::record_present(current)) {
-      ++tests_off;
-      has_prev = false;  // a gap breaks the week-over-week delta
-      return;
-    }
-    for (std::size_t i = 0; i < kNumLineMetrics; ++i) {
-      if (!ml::is_missing(current[i])) history[i].add(current[i]);
-    }
-    prev = current;
-    has_prev = true;
-  }
-};
 
 void append_metric_columns(std::vector<ml::ColumnInfo>& cols,
                            const char* prefix, bool keep_categorical) {
@@ -91,14 +68,70 @@ bool TicketLabeler::operator()(const dslsim::SimDataset& data,
   return next.has_value() && *next <= day + horizon_days;
 }
 
-namespace {
+void save_encoder_config(std::ostream& os, const EncoderConfig& config) {
+  os.precision(std::numeric_limits<float>::max_digits10);
+  os << "encoder v1 " << (config.include_basic ? 1 : 0) << ' '
+     << (config.include_delta ? 1 : 0) << ' '
+     << (config.include_timeseries ? 1 : 0) << ' '
+     << (config.include_customer ? 1 : 0) << ' '
+     << (config.include_quadratic ? 1 : 0) << ' ' << config.min_history_weeks
+     << ' ' << config.no_ticket_days << ' ' << config.product_pairs.size()
+     << '\n';
+  for (const auto& [a, b] : config.product_pairs) {
+    os << a << ' ' << b << '\n';
+  }
+}
 
-/// Fill one example's feature vector from the line's state and the
-/// current measurement. `out` must be sized to the full column count.
-void encode_row(const dslsim::SimDataset& data, dslsim::LineId line,
-                util::Day day, const MetricVector& current,
-                const LineState& state, const EncoderConfig& config,
-                std::size_t n_base, std::vector<float>& out) {
+std::optional<EncoderConfig> load_encoder_config(std::istream& is) {
+  std::string magic;
+  std::string version;
+  int basic = 0;
+  int delta = 0;
+  int timeseries = 0;
+  int customer = 0;
+  int quadratic = 0;
+  std::size_t n_pairs = 0;
+  EncoderConfig config;
+  if (!(is >> magic >> version >> basic >> delta >> timeseries >> customer >>
+        quadratic >> config.min_history_weeks >> config.no_ticket_days >>
+        n_pairs) ||
+      magic != "encoder" || version != "v1") {
+    return std::nullopt;
+  }
+  config.include_basic = basic != 0;
+  config.include_delta = delta != 0;
+  config.include_timeseries = timeseries != 0;
+  config.include_customer = customer != 0;
+  config.include_quadratic = quadratic != 0;
+  config.product_pairs.reserve(n_pairs);
+  for (std::size_t i = 0; i < n_pairs; ++i) {
+    std::size_t a = 0;
+    std::size_t b = 0;
+    if (!(is >> a >> b)) return std::nullopt;
+    config.product_pairs.emplace_back(a, b);
+  }
+  return config;
+}
+
+void LineWindow::update(const MetricVector& current) {
+  ++tests_seen;
+  if (!dslsim::record_present(current)) {
+    ++tests_off;
+    has_prev = false;  // a gap breaks the week-over-week delta
+    return;
+  }
+  for (std::size_t i = 0; i < kNumLineMetrics; ++i) {
+    if (!ml::is_missing(current[i])) history[i].add(current[i]);
+  }
+  prev = current;
+  has_prev = true;
+}
+
+void encode_window_row(const LineWindow& state, const MetricVector& current,
+                       const dslsim::ServiceProfile& profile,
+                       std::optional<util::Day> last_ticket, util::Day day,
+                       const EncoderConfig& config, std::size_t n_base,
+                       std::span<float> out) {
   std::size_t k = 0;
   const bool present = dslsim::record_present(current);
 
@@ -126,20 +159,18 @@ void encode_row(const dslsim::SimDataset& data, dslsim::LineId line,
     }
   }
   if (config.include_customer) {
-    const auto& prof = dslsim::profile(data.plant(line).profile);
     const auto ratio = [&](LineMetric m, double expected) -> float {
       const float v = current[dslsim::metric_index(m)];
       if (!present || ml::is_missing(v) || expected <= 0.0) return ml::kMissing;
       return static_cast<float>(v / expected);
     };
-    out[k++] = ratio(LineMetric::kDnBitRate, prof.down_kbps);
-    out[k++] = ratio(LineMetric::kUpBitRate, prof.up_kbps);
-    out[k++] = ratio(LineMetric::kDnMaxAttainBr, prof.down_kbps);
-    out[k++] = ratio(LineMetric::kUpMaxAttainBr, prof.up_kbps);
+    out[k++] = ratio(LineMetric::kDnBitRate, profile.down_kbps);
+    out[k++] = ratio(LineMetric::kUpBitRate, profile.up_kbps);
+    out[k++] = ratio(LineMetric::kDnMaxAttainBr, profile.down_kbps);
+    out[k++] = ratio(LineMetric::kUpMaxAttainBr, profile.up_kbps);
 
-    const auto last = data.last_edge_ticket_at_or_before(line, day);
-    out[k++] = last.has_value() ? static_cast<float>(day - *last)
-                                : config.no_ticket_days;
+    out[k++] = last_ticket.has_value() ? static_cast<float>(day - *last_ticket)
+                                       : config.no_ticket_days;
     out[k++] = state.tests_seen > 0
                    ? static_cast<float>(state.tests_off) /
                          static_cast<float>(state.tests_seen)
@@ -161,8 +192,6 @@ void encode_row(const dslsim::SimDataset& data, dslsim::LineId line,
   }
 }
 
-}  // namespace
-
 EncodedBlock encode_weeks(const dslsim::SimDataset& data, int emit_from,
                           int emit_to, const EncoderConfig& config,
                           const TicketLabeler& labeler) {
@@ -180,7 +209,7 @@ EncodedBlock encode_weeks(const dslsim::SimDataset& data, int emit_from,
   block.line_of_row.reserve(n_lines * n_emit_weeks);
   block.week_of_row.reserve(n_lines * n_emit_weeks);
 
-  std::vector<LineState> states(n_lines);
+  std::vector<LineWindow> states(n_lines);
   std::vector<float> row(cols.size());
 
   for (int w = 0; w <= emit_to; ++w) {
@@ -188,7 +217,10 @@ EncodedBlock encode_weeks(const dslsim::SimDataset& data, int emit_from,
     for (dslsim::LineId u = 0; u < n_lines; ++u) {
       const MetricVector& current = data.measurement(w, u);
       if (w >= emit_from) {
-        encode_row(data, u, day, current, states[u], config, n_base, row);
+        encode_window_row(states[u], current,
+                          dslsim::profile(data.plant(u).profile),
+                          data.last_edge_ticket_at_or_before(u, day), day,
+                          config, n_base, row);
         block.dataset.add_row(row, labeler(data, u, day));
         block.line_of_row.push_back(u);
         block.week_of_row.push_back(w);
@@ -220,7 +252,7 @@ LocatorBlock encode_at_dispatch(const dslsim::SimDataset& data, int week_from,
   }
 
   LocatorBlock block{ml::Dataset(cols), {}};
-  std::vector<LineState> states(data.n_lines());
+  std::vector<LineWindow> states(data.n_lines());
   std::vector<float> row(cols.size());
 
   for (int w = 0; w <= week_to; ++w) {
@@ -232,7 +264,10 @@ LocatorBlock encode_at_dispatch(const dslsim::SimDataset& data, int week_from,
       const auto& note = notes[note_idx];
       const dslsim::LineId u = note.line;
       const MetricVector& current = data.measurement(w, u);
-      encode_row(data, u, day, current, states[u], config, n_base, row);
+      encode_window_row(states[u], current,
+                        dslsim::profile(data.plant(u).profile),
+                        data.last_edge_ticket_at_or_before(u, day), day,
+                        config, n_base, row);
       block.dataset.add_row(row, false);
       block.note_of_row.push_back(note_idx);
     }

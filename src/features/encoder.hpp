@@ -14,13 +14,17 @@
 //                stump-linear BStump cannot see on its own)
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "dslsim/simulator.hpp"
 #include "ml/dataset.hpp"
+#include "util/stats.hpp"
 
 namespace nevermind::features {
 
@@ -41,6 +45,45 @@ struct EncoderConfig {
   /// Value used for "no previous ticket" in the ticket feature (days).
   float no_ticket_days = 400.0F;
 };
+
+/// Text round-trip of an EncoderConfig ("encoder v1 ..."), so a trained
+/// model artefact can carry the exact feature layout (including the
+/// chosen product pairs) it was trained with. Returns nullopt on a
+/// wrong magic/version or a truncated record.
+void save_encoder_config(std::ostream& os, const EncoderConfig& config);
+[[nodiscard]] std::optional<EncoderConfig> load_encoder_config(
+    std::istream& is);
+
+/// Per-line accumulation state, advanced one Saturday test at a time in
+/// week order. This is THE shared per-line window both scoring paths
+/// build features from: encode_weeks walks it over a SimDataset, and
+/// the serving layer's LineStateStore keeps one per line and folds
+/// measurements in as they arrive. Welford updates are sequential, so
+/// feeding the same measurements in the same week order reproduces the
+/// offline state bit for bit.
+struct LineWindow {
+  std::array<util::RunningStats, dslsim::kNumLineMetrics> history;
+  dslsim::MetricVector prev{};
+  bool has_prev = false;
+  std::uint32_t tests_seen = 0;
+  std::uint32_t tests_off = 0;
+
+  void update(const dslsim::MetricVector& current);
+};
+
+/// Fill one example's feature vector from the line's window state, the
+/// current Saturday measurement and the customer context. `out` must be
+/// sized to the full column count of `config`; `n_base` is
+/// base_columns(config).size(). The single shared implementation behind
+/// encode_weeks, encode_at_dispatch and the online scoring service —
+/// served and batch scores agree byte for byte because there is only
+/// one encoding.
+void encode_window_row(const LineWindow& state,
+                       const dslsim::MetricVector& current,
+                       const dslsim::ServiceProfile& profile,
+                       std::optional<util::Day> last_ticket, util::Day day,
+                       const EncoderConfig& config, std::size_t n_base,
+                       std::span<float> out);
 
 /// Encoded examples for a span of weeks: one row per (line, week) with
 /// the row->line/week mapping kept alongside the ml::Dataset.

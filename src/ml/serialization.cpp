@@ -65,6 +65,32 @@ std::optional<PlattCalibrator> load_calibrator(std::istream& is) {
   return cal;
 }
 
+void save_logistic(std::ostream& os, const LogisticModel& model) {
+  set_roundtrip_precision(os);
+  os << "logreg v1 " << model.coefficients.size();
+  for (const double c : model.coefficients) os << ' ' << c;
+  os << ' ' << (model.converged ? 1 : 0) << '\n';
+}
+
+std::optional<LogisticModel> load_logistic(std::istream& is) {
+  std::string magic;
+  std::string version;
+  std::size_t count = 0;
+  if (!(is >> magic >> version >> count) || magic != "logreg" ||
+      version != "v1") {
+    return std::nullopt;
+  }
+  LogisticModel model;
+  model.coefficients.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!(is >> model.coefficients[i])) return std::nullopt;
+  }
+  int converged = 0;
+  if (!(is >> converged)) return std::nullopt;
+  model.converged = converged != 0;
+  return model;
+}
+
 void save_bundle(std::ostream& os, const ModelBundle& bundle) {
   os << "bundle v1 " << bundle.feature_names.size() << '\n';
   // Names may contain '*' and '.', never whitespace; one per line keeps

@@ -12,6 +12,7 @@
 
 #include "ml/adaboost.hpp"
 #include "ml/calibration.hpp"
+#include "ml/logreg.hpp"
 
 namespace nevermind::ml {
 
@@ -28,6 +29,12 @@ void save_model(std::ostream& os, const BStumpModel& model);
 /// Write a Platt calibrator:  platt v1 <a> <b>
 void save_calibrator(std::ostream& os, const PlattCalibrator& calibrator);
 [[nodiscard]] std::optional<PlattCalibrator> load_calibrator(std::istream& is);
+
+/// Write a fitted logistic model's prediction state (coefficients and
+/// convergence flag; the Wald diagnostics are analysis-time artefacts
+/// and are not persisted):  logreg v1 <n> <c0> ... <cn-1> <converged>
+void save_logistic(std::ostream& os, const LogisticModel& model);
+[[nodiscard]] std::optional<LogisticModel> load_logistic(std::istream& is);
 
 /// A deployable predictor bundle: the ensemble, its calibrator, and
 /// the names of the selected feature columns (so the scoring side can

@@ -1,0 +1,126 @@
+#include "serve/line_state_store.hpp"
+
+#include <algorithm>
+
+namespace nevermind::serve {
+
+namespace {
+
+/// splitmix64 finalizer — line ids are dense sequential integers, so a
+/// plain modulo would put contiguous id ranges on the same shard and
+/// serialize bulk replays. The mix spreads neighbours uniformly.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+LineStateStore::LineStateStore(std::size_t n_shards,
+                               std::size_t window_capacity)
+    : window_capacity_(std::max<std::size_t>(window_capacity, 1)),
+      shards_(std::max<std::size_t>(n_shards, 1)) {}
+
+std::size_t LineStateStore::shard_of(dslsim::LineId line) const noexcept {
+  return static_cast<std::size_t>(mix64(line)) % shards_.size();
+}
+
+void LineStateStore::ingest(const LineMeasurement& m) {
+  Shard& shard = shards_[shard_of(m.line)];
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    Entry& entry = shard.lines[m.line];
+    if (m.week < entry.week) return;  // stale delivery: drop
+    if (m.week > entry.week && entry.week >= 0) {
+      // The previously current Saturday test is now history: fold it
+      // into the window exactly when the offline encoder would (after
+      // emitting that week's row, before seeing the next week's).
+      entry.window.update(entry.current);
+    }
+    entry.current = m.metrics;
+    entry.week = m.week;
+    entry.profile = m.profile;
+    if (entry.ring.size() < window_capacity_) {
+      entry.ring.emplace_back(m.week, m.metrics);
+      entry.ring_next = entry.ring.size() % window_capacity_;
+    } else {
+      entry.ring[entry.ring_next] = {m.week, m.metrics};
+      entry.ring_next = (entry.ring_next + 1) % window_capacity_;
+    }
+  }
+  n_measurements_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LineStateStore::ingest_ticket(dslsim::LineId line, util::Day day) {
+  Shard& shard = shards_[shard_of(line)];
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    Entry& entry = shard.lines[line];
+    if (!entry.has_ticket || day > entry.last_ticket) {
+      entry.has_ticket = true;
+      entry.last_ticket = day;
+    }
+  }
+  n_tickets_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<LineSnapshot> LineStateStore::snapshot(
+    dslsim::LineId line) const {
+  const Shard& shard = shards_[shard_of(line)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.lines.find(line);
+  if (it == shard.lines.end() || it->second.week < 0) return std::nullopt;
+  const Entry& entry = it->second;
+  LineSnapshot snap;
+  snap.window = entry.window;
+  snap.current = entry.current;
+  snap.week = entry.week;
+  snap.profile = entry.profile;
+  if (entry.has_ticket) snap.last_ticket = entry.last_ticket;
+  return snap;
+}
+
+std::vector<std::pair<int, dslsim::MetricVector>> LineStateStore::recent(
+    dslsim::LineId line) const {
+  const Shard& shard = shards_[shard_of(line)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.lines.find(line);
+  if (it == shard.lines.end()) return {};
+  const Entry& entry = it->second;
+  std::vector<std::pair<int, dslsim::MetricVector>> out;
+  out.reserve(entry.ring.size());
+  // Oldest first: the ring cursor points at the oldest slot once full.
+  const std::size_t start =
+      entry.ring.size() < window_capacity_ ? 0 : entry.ring_next;
+  for (std::size_t i = 0; i < entry.ring.size(); ++i) {
+    out.push_back(entry.ring[(start + i) % entry.ring.size()]);
+  }
+  return out;
+}
+
+std::vector<dslsim::LineId> LineStateStore::line_ids() const {
+  std::vector<dslsim::LineId> out;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [line, entry] : shard.lines) {
+      if (entry.week >= 0) out.push_back(line);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t LineStateStore::n_lines() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [line, entry] : shard.lines) {
+      if (entry.week >= 0) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace nevermind::serve

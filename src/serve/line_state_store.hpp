@@ -1,0 +1,123 @@
+// Sharded per-line state store — the online half of the feature
+// encoder. The offline pipeline walks a whole SimDataset and advances
+// one features::LineWindow per line, week by week; this store keeps the
+// same LineWindow per line and folds measurements in as they arrive
+// through ingest(). Because the window update is the shared
+// implementation, a store fed a dataset's measurements in week order
+// holds bit-identical encoder state to the offline pass — which is what
+// makes served scores byte-identical to batch scores.
+//
+// Concurrency: lines are hashed onto shards; each shard owns a mutex
+// and a hash map. Ingest and snapshot take exactly one shard lock —
+// there is no global lock on the hot path, so writers on different
+// shards never contend. Aggregate counters are relaxed atomics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dslsim/profile.hpp"
+#include "dslsim/records.hpp"
+#include "features/encoder.hpp"
+#include "util/calendar.hpp"
+
+namespace nevermind::serve {
+
+/// One line-test result arriving at the service — the online equivalent
+/// of one (line, week) cell of a SimDataset, plus the profile field the
+/// encoder's customer features need.
+struct LineMeasurement {
+  dslsim::LineId line = 0;
+  int week = 0;
+  dslsim::ProfileId profile = 1;
+  dslsim::MetricVector metrics{};
+};
+
+/// Consistent copy of one line's serving state, taken under the shard
+/// lock and encoded outside it. `window` holds history folded through
+/// week-1; `current` is week's Saturday test, not yet folded — exactly
+/// the (state, current) pair the offline encoder sees when it emits the
+/// row for `week`.
+struct LineSnapshot {
+  features::LineWindow window;
+  dslsim::MetricVector current{};
+  int week = -1;
+  dslsim::ProfileId profile = 1;
+  std::optional<util::Day> last_ticket;
+};
+
+class LineStateStore {
+ public:
+  /// `window_capacity` bounds the ring of raw recent measurements kept
+  /// per line (for inspection/debugging; the encoder state itself is a
+  /// constant-size summary).
+  explicit LineStateStore(std::size_t n_shards = 16,
+                          std::size_t window_capacity = 8);
+
+  /// Fold a measurement in. Weeks must arrive in non-decreasing order
+  /// per line (the weekly test schedule guarantees this); a stale week
+  /// older than the line's current one is dropped. Takes one shard
+  /// lock.
+  void ingest(const LineMeasurement& m);
+
+  /// Record a customer-edge ticket for the line's recency feature. Only
+  /// feed tickets up to the scoring horizon (the replay driver feeds
+  /// tickets reported at or before the Saturday being scored).
+  void ingest_ticket(dslsim::LineId line, util::Day day);
+
+  /// Consistent snapshot of one line, or nullopt when the line has no
+  /// measurement yet.
+  [[nodiscard]] std::optional<LineSnapshot> snapshot(
+      dslsim::LineId line) const;
+
+  /// Raw recent (week, metrics) pairs, oldest first, at most
+  /// window_capacity of them.
+  [[nodiscard]] std::vector<std::pair<int, dslsim::MetricVector>> recent(
+      dslsim::LineId line) const;
+
+  /// Every line with at least one measurement, ascending — the serving
+  /// equivalent of the offline encoder's line iteration order, which is
+  /// what keeps top_n rankings byte-identical to predict_week.
+  [[nodiscard]] std::vector<dslsim::LineId> line_ids() const;
+
+  [[nodiscard]] std::size_t n_lines() const;
+  [[nodiscard]] std::size_t n_shards() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::uint64_t measurements_ingested() const noexcept {
+    return n_measurements_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t tickets_ingested() const noexcept {
+    return n_tickets_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    features::LineWindow window;
+    dslsim::MetricVector current{};
+    int week = -1;  // week of `current`; -1 = no measurement yet
+    dslsim::ProfileId profile = 1;
+    bool has_ticket = false;
+    util::Day last_ticket = 0;
+    std::vector<std::pair<int, dslsim::MetricVector>> ring;  // bounded
+    std::size_t ring_next = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<dslsim::LineId, Entry> lines;
+  };
+
+  [[nodiscard]] std::size_t shard_of(dslsim::LineId line) const noexcept;
+
+  std::size_t window_capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> n_measurements_{0};
+  std::atomic<std::uint64_t> n_tickets_{0};
+};
+
+}  // namespace nevermind::serve

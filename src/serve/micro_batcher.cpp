@@ -1,0 +1,83 @@
+#include "serve/micro_batcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace nevermind::serve {
+
+MicroBatcher::MicroBatcher(Executor executor, std::size_t max_batch)
+    : executor_(std::move(executor)),
+      max_batch_(std::max<std::size_t>(max_batch, 1)),
+      batch_size_counts_(max_batch_, 0) {
+  if (!executor_) {
+    throw std::invalid_argument("MicroBatcher: null executor");
+  }
+}
+
+ServeScore MicroBatcher::score(dslsim::LineId line) {
+  std::future<ServeScore> future;
+  bool is_leader = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Request req;
+    req.line = line;
+    future = req.promise.get_future();
+    pending_.push_back(std::move(req));
+    ++n_requests_;
+    if (!leader_active_) {
+      leader_active_ = true;
+      is_leader = true;
+    }
+  }
+
+  if (is_leader) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!pending_.empty()) {
+      const std::size_t take = std::min(pending_.size(), max_batch_);
+      std::vector<Request> batch;
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+      ++n_batches_;
+      ++batch_size_counts_[take - 1];
+      lock.unlock();
+
+      std::vector<dslsim::LineId> lines(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) lines[i] = batch[i].line;
+      std::vector<ServeScore> scores;
+      try {
+        scores = executor_(lines);
+      } catch (...) {
+        for (auto& req : batch) {
+          req.promise.set_exception(std::current_exception());
+        }
+        lock.lock();
+        continue;
+      }
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch[i].promise.set_value(i < scores.size() ? scores[i]
+                                                     : ServeScore{});
+      }
+      lock.lock();
+    }
+    // Step down under the lock: any caller that enqueued after this
+    // point sees leader_active_ == false and becomes the next leader.
+    leader_active_ = false;
+  }
+
+  return future.get();
+}
+
+MicroBatcher::Stats MicroBatcher::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.requests = n_requests_;
+  s.batches = n_batches_;
+  s.batch_size_counts = batch_size_counts_;
+  return s;
+}
+
+}  // namespace nevermind::serve

@@ -1,0 +1,59 @@
+#include "serve/replay.hpp"
+
+#include <algorithm>
+
+#include "util/calendar.hpp"
+
+namespace nevermind::serve {
+
+ReplayDriver::ReplayDriver(const dslsim::SimDataset& data,
+                           LineStateStore& store)
+    : data_(data), store_(store) {
+  tickets_.reserve(data.tickets().size());
+  for (const auto& ticket : data.tickets()) {
+    if (ticket.category == dslsim::TicketCategory::kCustomerEdge) {
+      tickets_.emplace_back(ticket.reported, ticket.line);
+    }
+  }
+  std::stable_sort(tickets_.begin(), tickets_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+}
+
+int ReplayDriver::feed_next_week(const exec::ExecContext& exec) {
+  if (exhausted()) return -1;
+  const int week = next_week_;
+  const util::Day day = util::saturday_of_week(week);
+
+  // Tickets first: week w's feature row sees every ticket reported at
+  // or before w's Saturday.
+  while (ticket_cursor_ < tickets_.size() &&
+         tickets_[ticket_cursor_].first <= day) {
+    store_.ingest_ticket(tickets_[ticket_cursor_].second,
+                         tickets_[ticket_cursor_].first);
+    ++ticket_cursor_;
+  }
+
+  const std::size_t n_lines = data_.n_lines();
+  exec.parallel_for(0, n_lines, 0, [&](std::size_t b, std::size_t e) {
+    for (std::size_t u = b; u < e; ++u) {
+      const auto line = static_cast<dslsim::LineId>(u);
+      LineMeasurement m;
+      m.line = line;
+      m.week = week;
+      m.profile = data_.plant(line).profile;
+      m.metrics = data_.measurement(week, line);
+      store_.ingest(m);
+    }
+  });
+  measurements_fed_ += n_lines;
+  ++next_week_;
+  return week;
+}
+
+void ReplayDriver::feed_through(int week, const exec::ExecContext& exec) {
+  while (!exhausted() && next_week_ <= week) feed_next_week(exec);
+}
+
+}  // namespace nevermind::serve

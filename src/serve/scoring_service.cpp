@@ -1,0 +1,75 @@
+#include "serve/scoring_service.hpp"
+
+#include <algorithm>
+
+#include "dslsim/profile.hpp"
+#include "util/calendar.hpp"
+
+namespace nevermind::serve {
+
+ScoringService::ScoringService(const LineStateStore& store,
+                               const ModelRegistry& registry,
+                               ServiceConfig config)
+    : store_(store),
+      registry_(registry),
+      config_(std::move(config)),
+      batcher_(
+          [this](std::span<const dslsim::LineId> lines) {
+            return score_lines(lines);
+          },
+          config_.max_batch) {}
+
+ServeScore ScoringService::score(dslsim::LineId line) {
+  return batcher_.score(line);
+}
+
+std::vector<ServeScore> ScoringService::score_lines(
+    std::span<const dslsim::LineId> lines) const {
+  std::vector<ServeScore> out(lines.size());
+  const std::shared_ptr<const ServeModel> model = registry_.acquire();
+  if (!model || !model->kernel.trained()) {
+    for (std::size_t i = 0; i < lines.size(); ++i) out[i].line = lines[i];
+    return out;
+  }
+  const core::ScoringKernel& kernel = model->kernel;
+  const std::size_t n_cols = features::all_columns(kernel.encoder).size();
+  const std::size_t n_base = features::base_columns(kernel.encoder).size();
+
+  config_.exec.parallel_for(
+      0, lines.size(), 0, [&](std::size_t b, std::size_t e) {
+        std::vector<float> row(n_cols);
+        for (std::size_t r = b; r < e; ++r) {
+          ServeScore& s = out[r];
+          s.line = lines[r];
+          const auto snap = store_.snapshot(lines[r]);
+          if (!snap.has_value()) continue;  // no measurement yet: invalid
+          features::encode_window_row(
+              snap->window, snap->current, dslsim::profile(snap->profile),
+              snap->last_ticket, util::saturday_of_week(snap->week),
+              kernel.encoder, n_base, row);
+          s.week = snap->week;
+          s.score = kernel.score_row(row);
+          s.probability = kernel.probability(s.score);
+          s.model_version = model->version;
+          s.valid = true;
+        }
+      });
+  return out;
+}
+
+std::vector<ServeScore> ScoringService::top_n(std::size_t n) const {
+  const std::vector<dslsim::LineId> lines = store_.line_ids();
+  std::vector<ServeScore> scored = score_lines(lines);
+  // Same comparator and stable merge as the offline weekly ranking
+  // (TicketPredictor::predict_week), over the same ascending-line-id
+  // initial order — the resulting ranking is the batch ranking.
+  config_.exec.parallel_stable_sort(
+      scored.begin(), scored.end(),
+      [](const ServeScore& a, const ServeScore& b) {
+        return a.score > b.score;
+      });
+  if (scored.size() > n) scored.resize(n);
+  return scored;
+}
+
+}  // namespace nevermind::serve

@@ -1,0 +1,67 @@
+// The online query surface: score(line) point queries coalesced through
+// the micro-batcher, and top_n(N) population rankings — both computed
+// from LineStateStore snapshots against the ModelRegistry's current
+// kernel. Served scores are byte-identical to the offline batch path
+// (TicketPredictor::predict_week) because both run the same
+// features::encode_window_row + core::ScoringKernel::score_row code on
+// the same per-line window state.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "exec/exec.hpp"
+#include "serve/line_state_store.hpp"
+#include "serve/micro_batcher.hpp"
+#include "serve/model_registry.hpp"
+
+namespace nevermind::serve {
+
+struct ServiceConfig {
+  /// Pool used for batch encoding/scoring and the top-N sort.
+  exec::ExecContext exec;
+  /// Upper bound on how many concurrent point queries one model
+  /// invocation coalesces.
+  std::size_t max_batch = 64;
+};
+
+class ScoringService {
+ public:
+  /// The service borrows the store and registry; both must outlive it.
+  ScoringService(const LineStateStore& store, const ModelRegistry& registry,
+                 ServiceConfig config = {});
+
+  /// Score one line now, coalescing with concurrent callers into a
+  /// micro-batch. `valid` is false when the line has no measurement or
+  /// no model is published.
+  [[nodiscard]] ServeScore score(dslsim::LineId line);
+
+  /// Score a batch of lines directly (no batching queue). One model
+  /// version is acquired for the whole batch; rows encode and score in
+  /// parallel under config.exec, byte-identical at any thread count.
+  [[nodiscard]] std::vector<ServeScore> score_lines(
+      std::span<const dslsim::LineId> lines) const;
+
+  /// The N highest-scoring lines, ranked exactly as the offline
+  /// predictor ranks a week: stable sort by descending score over
+  /// ascending line ids, then truncate. With the store replayed through
+  /// week w this matches predict_week(w)'s head byte for byte.
+  [[nodiscard]] std::vector<ServeScore> top_n(std::size_t n) const;
+
+  [[nodiscard]] MicroBatcher::Stats batch_stats() const {
+    return batcher_.stats();
+  }
+  [[nodiscard]] const LineStateStore& store() const noexcept {
+    return store_;
+  }
+
+ private:
+  const LineStateStore& store_;
+  const ModelRegistry& registry_;
+  ServiceConfig config_;
+  MicroBatcher batcher_;
+};
+
+}  // namespace nevermind::serve

@@ -2,14 +2,19 @@
 """Compare two NEVERMIND benchmark JSON files for timing regressions.
 
 Every bench binary that measures wall-clock time (bench_perf_pipeline,
-bench_train) writes a BENCH_*.json with timing fields whose names end in
-``_s``. This tool diffs a baseline file against a candidate file (or two
-directories of BENCH_*.json files, matched by name) and fails when any
-timing regressed by more than the threshold (default 20%).
+bench_train, bench_serve) writes a BENCH_*.json with metric fields named
+by convention: names ending in ``_s`` are timings (lower is better),
+names ending in ``_per_s`` are throughputs (higher is better). This tool
+diffs a baseline file against a candidate file (or two directories of
+BENCH_*.json files, matched by name) and fails when any timing slowed
+down — or any throughput dropped — by more than the threshold (default
+20%).
 
 Timings below a minimum (default 0.05 s) are skipped: at smoke sizes a
 scheduler hiccup easily doubles a 5 ms measurement, and such fields say
-nothing about real throughput.
+nothing about real throughput. Throughput fields have no such floor
+(they are already normalized per second of measured work), but
+non-positive values are skipped as unmeasured.
 
 Usage:
     check_bench.py BASELINE.json CANDIDATE.json [--threshold 0.2]
@@ -27,8 +32,13 @@ import sys
 from pathlib import Path
 
 
-def timing_fields(obj, prefix=""):
-    """Yield (dotted_path, value) for every numeric field ending in _s.
+def metric_fields(obj, prefix=""):
+    """Yield (dotted_path, kind, value) for every metric field.
+
+    kind is "throughput" for numeric fields ending in _per_s (higher is
+    better) and "time" for other numeric fields ending in _s (lower is
+    better). The _per_s check runs first — a _per_s name also ends in
+    _s, and classifying it as a timing would invert the comparison.
 
     Lists are keyed by a stable attribute when the elements carry one
     (the benches key runs by "threads") and by index otherwise, so the
@@ -37,35 +47,49 @@ def timing_fields(obj, prefix=""):
     if isinstance(obj, dict):
         for key, value in sorted(obj.items()):
             path = f"{prefix}.{key}" if prefix else key
-            if key.endswith("_s") and isinstance(value, (int, float)):
-                yield path, float(value)
+            if key.endswith("_per_s") and isinstance(value, (int, float)):
+                yield path, "throughput", float(value)
+            elif key.endswith("_s") and isinstance(value, (int, float)):
+                yield path, "time", float(value)
             else:
-                yield from timing_fields(value, path)
+                yield from metric_fields(value, path)
     elif isinstance(obj, list):
         for i, item in enumerate(obj):
             label = i
             if isinstance(item, dict) and "threads" in item:
                 label = f"threads={item['threads']}"
-            yield from timing_fields(item, f"{prefix}[{label}]")
+            yield from metric_fields(item, f"{prefix}[{label}]")
 
 
 def compare(baseline, candidate, threshold, min_time):
     """Return a list of human-readable regression messages."""
-    base = dict(timing_fields(baseline))
-    cand = dict(timing_fields(candidate))
+    base = {path: (kind, v) for path, kind, v in metric_fields(baseline)}
+    cand = {path: (kind, v) for path, kind, v in metric_fields(candidate)}
     regressions = []
-    for path, base_value in sorted(base.items()):
-        cand_value = cand.get(path)
-        if cand_value is None:
+    for path, (kind, base_value) in sorted(base.items()):
+        if path not in cand:
             continue  # field removed or renamed; not a perf signal
-        if base_value < min_time or cand_value < min_time:
+        cand_kind, cand_value = cand[path]
+        if cand_kind != kind:
             continue
-        ratio = cand_value / base_value
-        if ratio > 1.0 + threshold:
-            regressions.append(
-                f"{path}: {base_value:.3f}s -> {cand_value:.3f}s "
-                f"(+{(ratio - 1.0) * 100.0:.0f}%)"
-            )
+        if kind == "time":
+            if base_value < min_time or cand_value < min_time:
+                continue
+            ratio = cand_value / base_value
+            if ratio > 1.0 + threshold:
+                regressions.append(
+                    f"{path}: {base_value:.3f}s -> {cand_value:.3f}s "
+                    f"(+{(ratio - 1.0) * 100.0:.0f}%)"
+                )
+        else:  # throughput: a drop is the regression
+            if base_value <= 0.0 or cand_value <= 0.0:
+                continue
+            ratio = cand_value / base_value
+            if ratio < 1.0 - threshold:
+                regressions.append(
+                    f"{path}: {base_value:.1f}/s -> {cand_value:.1f}/s "
+                    f"(-{(1.0 - ratio) * 100.0:.0f}%)"
+                )
     return regressions
 
 
@@ -121,6 +145,42 @@ def self_test():
     fast = json.loads(json.dumps(baseline))
     fast["runs"][0]["exact_train_s"] = 1.0
     assert compare(baseline, fast, 0.2, 0.05) == []
+
+    # --- higher-is-better throughput fields (_per_s) -----------------
+    serve = {
+        "bench": "serve",
+        "ingest_rows_per_s": 100000.0,
+        "query_per_s": 5000.0,
+        "p99_latency_s": 0.2,
+        "runs": [{"threads": 1, "query_per_s": 4000.0}],
+    }
+    # Unchanged: clean.
+    assert compare(serve, serve, 0.2, 0.05) == []
+    # A 50% throughput DROP is a regression (direction inverted vs _s).
+    dropped = json.loads(json.dumps(serve))
+    dropped["ingest_rows_per_s"] = 50000.0
+    msgs = compare(serve, dropped, 0.2, 0.05)
+    assert len(msgs) == 1 and "ingest_rows_per_s" in msgs[0], msgs
+    # A throughput INCREASE is never flagged...
+    faster = json.loads(json.dumps(serve))
+    faster["query_per_s"] = 20000.0
+    faster["runs"][0]["query_per_s"] = 16000.0
+    assert compare(serve, faster, 0.2, 0.05) == []
+    # ...even though the same ratio as a timing would be a regression.
+    slower_time = json.loads(json.dumps(serve))
+    slower_time["p99_latency_s"] = 0.8
+    msgs = compare(serve, slower_time, 0.2, 0.05)
+    assert len(msgs) == 1 and "p99_latency_s" in msgs[0], msgs
+    # Nested throughput fields are found and direction-checked too.
+    nested_drop = json.loads(json.dumps(serve))
+    nested_drop["runs"][0]["query_per_s"] = 1000.0
+    msgs = compare(serve, nested_drop, 0.2, 0.05)
+    assert len(msgs) == 1 and "threads=1" in msgs[0], msgs
+    # Unmeasured (zero) throughputs are skipped, not divided by.
+    zero = json.loads(json.dumps(serve))
+    zero["query_per_s"] = 0.0
+    assert compare(zero, serve, 0.2, 0.05) == []
+    assert compare(serve, zero, 0.2, 0.05) == []
     print("check_bench.py self-test passed")
     return 0
 

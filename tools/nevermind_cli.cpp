@@ -10,19 +10,35 @@
 //   nevermind locate   --lines N --seed S
 //       train the trouble locator and print ranked test plans for the
 //       current week's dispatches
+//   nevermind serve    --lines N --seed S [--week W] [--shards P]
+//       replay the year through the online serving stack (sharded line
+//       store + model registry + micro-batched scoring service) and
+//       print the same top-K ranking predict would
 //   nevermind summary  --lines N --seed S
 //       dataset overview (ticket trends, location shares)
+//
+// Trained artefacts round-trip through --save-models DIR /
+// --load-models DIR: predict and serve use DIR/predictor.kernel
+// ("nmkernel v1"), locate uses DIR/locator.model ("nmlocator v1").
+#include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
+#include "core/scoring_kernel.hpp"
 #include "core/ticket_predictor.hpp"
 #include "core/trouble_locator.hpp"
 #include "exec/exec.hpp"
 #include "dslsim/export.hpp"
 #include "dslsim/summary.hpp"
 #include "ml/serialization.hpp"
+#include "serve/line_state_store.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/replay.hpp"
+#include "serve/scoring_service.hpp"
 #include "util/calendar.hpp"
 #include "util/table.hpp"
 
@@ -37,7 +53,10 @@ struct CliArgs {
   std::size_t top = 25;
   std::string out_dir = ".";
   std::string model_path;
+  std::string save_models_dir;
+  std::string load_models_dir;
   std::size_t threads = 1;
+  std::size_t shards = 16;
   ml::BinningMode binning = ml::BinningMode::kExact;
 
   /// Shared pool for the run; serial when --threads 1 (the default).
@@ -64,8 +83,15 @@ CliArgs parse(int argc, char** argv, int first) {
       args.out_dir = argv[++i];
     } else if (flag("--model")) {
       args.model_path = argv[++i];
+    } else if (flag("--save-models")) {
+      args.save_models_dir = argv[++i];
+    } else if (flag("--load-models")) {
+      args.load_models_dir = argv[++i];
     } else if (flag("--threads")) {
       args.threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (flag("--shards")) {
+      args.shards = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::atoi(argv[++i])));
     } else if (flag("--binning")) {
       const std::string mode = argv[++i];
       if (mode == "hist" || mode == "histogram") {
@@ -79,6 +105,70 @@ CliArgs parse(int argc, char** argv, int first) {
     }
   }
   return args;
+}
+
+constexpr const char* kPredictorFile = "predictor.kernel";
+constexpr const char* kLocatorFile = "locator.model";
+
+/// Load a "nmkernel v1" artefact from DIR/predictor.kernel, printing a
+/// specific diagnostic (missing file vs version mismatch vs corruption)
+/// on failure.
+std::optional<core::ScoringKernel> load_kernel(const std::string& dir) {
+  const std::string path = dir + "/" + kPredictorFile;
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "cannot read " << path << "\n";
+    return std::nullopt;
+  }
+  std::string error;
+  auto kernel = core::ScoringKernel::load(is, &error);
+  if (!kernel.has_value()) {
+    std::cerr << "failed to load " << path << ": " << error << "\n";
+  }
+  return kernel;
+}
+
+bool save_kernel(const std::string& dir, const core::ScoringKernel& kernel) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/" + kPredictorFile;
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  kernel.save(os);
+  std::cerr << "saved predictor kernel to " << path << "\n";
+  return true;
+}
+
+std::optional<core::TroubleLocator> load_locator(const std::string& dir) {
+  const std::string path = dir + "/" + kLocatorFile;
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "cannot read " << path << "\n";
+    return std::nullopt;
+  }
+  std::string error;
+  auto locator = core::TroubleLocator::load(is, &error);
+  if (!locator.has_value()) {
+    std::cerr << "failed to load " << path << ": " << error << "\n";
+  }
+  return locator;
+}
+
+bool save_locator(const std::string& dir, const core::TroubleLocator& locator) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/" + kLocatorFile;
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  locator.save(os);
+  std::cerr << "saved locator to " << path << "\n";
+  return true;
 }
 
 dslsim::SimDataset simulate(const CliArgs& args,
@@ -123,19 +213,42 @@ int cmd_simulate(const CliArgs& args) {
   return ok ? 0 : 1;
 }
 
-int cmd_predict(const CliArgs& args) {
-  const exec::ExecContext exec = args.exec();
-  const auto data = simulate(args, exec);
+/// Predictor for this run: loaded from --load-models when given (no
+/// retraining), otherwise trained on the paper's split and optionally
+/// saved to --save-models.
+std::optional<core::TicketPredictor> make_predictor(
+    const CliArgs& args, const exec::ExecContext& exec,
+    const dslsim::SimDataset& data) {
   core::PredictorConfig cfg;
   cfg.exec = exec;
   cfg.binning = args.binning;
   cfg.top_n = std::max<std::size_t>(args.lines / 100, 10);
+  if (!args.load_models_dir.empty()) {
+    auto kernel = load_kernel(args.load_models_dir);
+    if (!kernel.has_value()) return std::nullopt;
+    std::cerr << "loaded predictor kernel (" << kernel->selected.size()
+              << " features)\n";
+    return core::TicketPredictor(std::move(cfg), std::move(*kernel));
+  }
   const int train_from = util::test_week_of(util::day_from_date(8, 1));
   const int train_to = util::test_week_of(util::day_from_date(9, 30));
   std::cerr << "training on weeks " << train_from << "-" << train_to
             << "...\n";
-  core::TicketPredictor predictor(cfg);
+  core::TicketPredictor predictor(std::move(cfg));
   predictor.train(data, train_from, train_to);
+  if (!args.save_models_dir.empty() &&
+      !save_kernel(args.save_models_dir, predictor.kernel())) {
+    return std::nullopt;
+  }
+  return predictor;
+}
+
+int cmd_predict(const CliArgs& args) {
+  const exec::ExecContext exec = args.exec();
+  const auto data = simulate(args, exec);
+  auto predictor_opt = make_predictor(args, exec, data);
+  if (!predictor_opt.has_value()) return 1;
+  const core::TicketPredictor& predictor = *predictor_opt;
 
   if (!args.model_path.empty()) {
     ml::ModelBundle bundle;
@@ -165,18 +278,31 @@ int cmd_predict(const CliArgs& args) {
 int cmd_locate(const CliArgs& args) {
   const exec::ExecContext exec = args.exec();
   const auto data = simulate(args, exec);
-  core::LocatorConfig cfg;
-  cfg.exec = exec;
-  cfg.binning = args.binning;
-  cfg.min_occurrences = std::max<std::size_t>(6, args.lines / 2000);
-  const int train_from = util::test_week_of(util::day_from_date(8, 1));
-  const int train_to = util::test_week_of(util::day_from_date(9, 18));
-  std::cerr << "training locator...\n";
-  core::TroubleLocator locator(cfg);
-  locator.train(data, train_from, train_to);
+  std::optional<core::TroubleLocator> locator_opt;
+  if (!args.load_models_dir.empty()) {
+    locator_opt = load_locator(args.load_models_dir);
+    if (!locator_opt.has_value()) return 1;
+    std::cerr << "loaded locator (" << locator_opt->covered().size()
+              << " dispositions)\n";
+  } else {
+    core::LocatorConfig cfg;
+    cfg.exec = exec;
+    cfg.binning = args.binning;
+    cfg.min_occurrences = std::max<std::size_t>(6, args.lines / 2000);
+    const int train_from = util::test_week_of(util::day_from_date(8, 1));
+    const int train_to = util::test_week_of(util::day_from_date(9, 18));
+    std::cerr << "training locator...\n";
+    locator_opt.emplace(cfg);
+    locator_opt->train(data, train_from, train_to);
+    if (!args.save_models_dir.empty() &&
+        !save_locator(args.save_models_dir, *locator_opt)) {
+      return 1;
+    }
+  }
+  const core::TroubleLocator& locator = *locator_opt;
 
   const auto block = features::encode_at_dispatch(data, args.week, args.week,
-                                                  cfg.encoder);
+                                                  locator.encoder_config());
   std::cout << "ticket,line,plan\n";
   std::vector<float> row(block.dataset.n_cols());
   for (std::size_t r = 0; r < block.dataset.n_rows(); ++r) {
@@ -189,6 +315,40 @@ int cmd_locate(const CliArgs& args) {
       std::cout << data.catalog().signature(plan[i].disposition).code;
     }
     std::cout << '\n';
+  }
+  return 0;
+}
+
+int cmd_serve(const CliArgs& args) {
+  const exec::ExecContext exec = args.exec();
+  const auto data = simulate(args, exec);
+  auto predictor_opt = make_predictor(args, exec, data);
+  if (!predictor_opt.has_value()) return 1;
+
+  serve::LineStateStore store(args.shards);
+  serve::ModelRegistry registry;
+  const std::uint64_t version =
+      registry.publish(predictor_opt->kernel());
+  serve::ServiceConfig service_cfg;
+  service_cfg.exec = exec;
+  serve::ScoringService service(store, registry, service_cfg);
+
+  std::cerr << "replaying feeds through week " << args.week << " ("
+            << args.shards << " shards, model v" << version << ")...\n";
+  serve::ReplayDriver replay(data, store);
+  replay.feed_through(args.week, exec);
+  std::cerr << "ingested " << store.measurements_ingested()
+            << " measurements, " << store.tickets_ingested()
+            << " tickets across " << store.n_lines() << " lines\n";
+
+  const auto ranked = service.top_n(args.top);
+  std::cout << "rank,line,dslam,week,score,probability,model_version\n";
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    std::cout << i + 1 << ',' << ranked[i].line << ','
+              << data.topology().dslam_of(ranked[i].line) << ','
+              << ranked[i].week << ',' << ranked[i].score << ','
+              << ranked[i].probability << ',' << ranked[i].model_version
+              << '\n';
   }
   return 0;
 }
@@ -212,9 +372,10 @@ int cmd_summary(const CliArgs& args) {
 }
 
 void usage() {
-  std::cerr << "usage: nevermind <simulate|predict|locate|summary> "
+  std::cerr << "usage: nevermind <simulate|predict|locate|serve|summary> "
                "[--lines N] [--seed S] [--week W] [--top K] [--out DIR] "
-               "[--model FILE] [--threads T] [--binning exact|hist]\n";
+               "[--model FILE] [--save-models DIR] [--load-models DIR] "
+               "[--threads T] [--shards P] [--binning exact|hist]\n";
 }
 
 }  // namespace
@@ -229,6 +390,7 @@ int main(int argc, char** argv) {
   if (cmd == "simulate") return cmd_simulate(args);
   if (cmd == "predict") return cmd_predict(args);
   if (cmd == "locate") return cmd_locate(args);
+  if (cmd == "serve") return cmd_serve(args);
   if (cmd == "summary") return cmd_summary(args);
   usage();
   return 2;

@@ -1,0 +1,205 @@
+// Benchmark and correctness gate for the network front-end: train a
+// predictor, start the epoll server in-process on an ephemeral port,
+// then drive it with the multi-connection LoadGen the way a fleet of
+// remote collectors would:
+//
+//  1. wire identity — every line's score fetched over the wire (and the
+//     TOP_N ranking) must be byte-identical to the offline batch path
+//     (TicketPredictor::predict_week): the framed protocol ships raw
+//     IEEE-754 bits, so a single flipped bit anywhere in the stack
+//     fails the run;
+//  2. throughput + latency — per-op request rate and p50/p99 latency
+//     for INGEST_MEASUREMENT, SCORE and PING across >= 8 concurrent
+//     connections;
+//  3. graceful shutdown — request_stop() after the load completes must
+//     drain (frames_in == replies_out) and return.
+//
+// Writes BENCH_net.json (throughputs are *_per_s — higher is better;
+// latencies are *_ms — lower is better under tools/check_bench.py) and
+// exits 1 on any identity or drain failure.
+//
+// Usage: bench_net [--lines N] [--seed S] [--rounds R]
+//                  [--connections C] [--out FILE]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ticket_predictor.hpp"
+#include "dslsim/simulator.hpp"
+#include "exec/exec.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
+#include "serve/line_state_store.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/scoring_service.hpp"
+
+namespace {
+
+using namespace nevermind;
+
+constexpr int kScoreWeek = 43;  // the paper's 10/31 proactive Saturday
+
+double ms(double seconds) { return seconds * 1e3; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint32_t lines = 2000;
+  std::uint64_t seed = 42;
+  std::size_t rounds = 120;
+  std::size_t connections = 8;
+  std::string out_path = "BENCH_net.json";
+  for (int i = 1; i < argc; ++i) {
+    const auto flag = [&](const char* name) {
+      return std::strcmp(argv[i], name) == 0 && i + 1 < argc;
+    };
+    if (flag("--lines")) {
+      lines = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (flag("--seed")) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag("--rounds")) {
+      rounds = std::strtoul(argv[++i], nullptr, 10);
+    } else if (flag("--connections")) {
+      connections =
+          std::max<std::size_t>(1, std::strtoul(argv[++i], nullptr, 10));
+    } else if (flag("--out")) {
+      out_path = argv[++i];
+    }
+  }
+
+  const exec::ExecContext exec(2);
+  dslsim::SimConfig sim_cfg;
+  sim_cfg.seed = seed;
+  sim_cfg.topology.n_lines = lines;
+  std::cerr << "simulating " << lines << " lines...\n";
+  const dslsim::SimDataset data = dslsim::Simulator(sim_cfg).run(exec);
+
+  core::PredictorConfig pred_cfg;
+  pred_cfg.exec = exec;
+  pred_cfg.top_n = std::max<std::size_t>(lines / 100, 10);
+  pred_cfg.boost_iterations = rounds;
+  std::cerr << "training predictor (" << rounds << " rounds)...\n";
+  core::TicketPredictor predictor(pred_cfg);
+  predictor.train(data, 30, 38);
+
+  // Offline batch ranking — the byte-identity reference.
+  const std::vector<core::Prediction> batch =
+      predictor.predict_week(data, kScoreWeek);
+  std::vector<const core::Prediction*> by_line(data.n_lines(), nullptr);
+  for (const auto& p : batch) by_line[p.line] = &p;
+
+  // ---- in-process server on an ephemeral port -------------------------
+  serve::LineStateStore store(16);
+  serve::ModelRegistry registry;
+  registry.publish(predictor.kernel());
+  serve::ServiceConfig service_cfg;
+  service_cfg.exec = exec;
+  serve::ScoringService service(store, registry, service_cfg);
+
+  net::ServerConfig server_cfg;
+  server_cfg.port = 0;  // ephemeral
+  net::Server server(store, service, registry, server_cfg);
+  std::string error;
+  if (!server.start(&error)) {
+    std::cerr << "ERROR: server start failed: " << error << "\n";
+    return 1;
+  }
+  std::thread server_thread([&] { server.run(); });
+  std::cerr << "server listening on 127.0.0.1:" << server.port() << "\n";
+
+  // ---- load generation ------------------------------------------------
+  const std::uint32_t top_n =
+      static_cast<std::uint32_t>(std::min<std::size_t>(data.n_lines(), 50));
+  net::LoadGenConfig lg_cfg;
+  lg_cfg.port = server.port();
+  lg_cfg.connections = connections;
+  lg_cfg.through_week = kScoreWeek;
+  lg_cfg.top_n = top_n;
+  const net::LoadGenReport report = net::LoadGen(data, lg_cfg).run();
+  if (!report.ok) {
+    std::cerr << "ERROR: loadgen failed: " << report.error << "\n";
+    server.request_stop();
+    server_thread.join();
+    return 1;
+  }
+
+  // ---- graceful shutdown (drain must answer everything) ---------------
+  server.request_stop();
+  server_thread.join();
+  const net::ServerStats& stats = server.stats();
+  const bool drained = stats.frames_in == stats.replies_out &&
+                       stats.protocol_errors == 0 && stats.slow_closed == 0;
+
+  // ---- wire identity vs the offline batch path ------------------------
+  std::uint64_t mismatches = 0;
+  for (std::size_t l = 0; l < report.scores.size(); ++l) {
+    const serve::ServeScore& s = report.scores[l];
+    const core::Prediction* e = by_line[l];
+    if (e == nullptr || !s.valid || s.week != kScoreWeek ||
+        s.score != e->score || s.probability != e->probability) {
+      ++mismatches;
+    }
+  }
+  bool ranking_ok = report.ranked.size() == top_n;
+  for (std::size_t i = 0; ranking_ok && i < report.ranked.size(); ++i) {
+    const serve::ServeScore& s = report.ranked[i];
+    ranking_ok = i < batch.size() && s.valid && s.line == batch[i].line &&
+                 s.score == batch[i].score &&
+                 s.probability == batch[i].probability;
+  }
+  const bool identical = mismatches == 0 && ranking_ok;
+  std::cerr << "identity: " << report.scores.size() << " lines, "
+            << mismatches << " mismatches, top-" << top_n << " ranking "
+            << (ranking_ok ? "ok" : "MISMATCH") << "\n"
+            << "drain: " << stats.frames_in << " frames in, "
+            << stats.replies_out << " replies out"
+            << (drained ? "" : " (INCOMPLETE)") << "\n";
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"net\",\n"
+       << "  \"lines\": " << lines << ",\n"
+       << "  \"seed\": " << seed << ",\n"
+       << "  \"connections\": " << report.connections << ",\n"
+       << "  \"deterministic\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"drained\": " << (drained ? "true" : "false") << ",\n"
+       << "  \"accepted\": " << stats.accepted << ",\n"
+       << "  \"frames_in\": " << stats.frames_in << ",\n"
+       << "  \"replies_out\": " << stats.replies_out << ",\n"
+       << "  \"ingest_requests\": " << report.ingest.count << ",\n"
+       << "  \"ingest_per_s\": " << report.ingest.per_s() << ",\n"
+       << "  \"ingest_p50_ms\": " << ms(report.ingest.percentile_s(0.50))
+       << ",\n"
+       << "  \"ingest_p99_ms\": " << ms(report.ingest.percentile_s(0.99))
+       << ",\n"
+       << "  \"score_requests\": " << report.score.count << ",\n"
+       << "  \"score_per_s\": " << report.score.per_s() << ",\n"
+       << "  \"score_p50_ms\": " << ms(report.score.percentile_s(0.50))
+       << ",\n"
+       << "  \"score_p99_ms\": " << ms(report.score.percentile_s(0.99))
+       << ",\n"
+       << "  \"ping_requests\": " << report.ping.count << ",\n"
+       << "  \"ping_per_s\": " << report.ping.per_s() << ",\n"
+       << "  \"ping_p50_ms\": " << ms(report.ping.percentile_s(0.50)) << ",\n"
+       << "  \"ping_p99_ms\": " << ms(report.ping.percentile_s(0.99)) << "\n"
+       << "}\n";
+
+  std::ofstream(out_path) << json.str();
+  std::cout << json.str();
+  if (!identical) {
+    std::cerr << "ERROR: wire scores differ from the offline batch path\n";
+    return 1;
+  }
+  if (!drained) {
+    std::cerr << "ERROR: graceful shutdown left work unanswered\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Blocking client for the scoring-service wire protocol: one TCP
+// connection, one in-flight request at a time, request ids checked
+// against replies. Transport failures and typed server errors both
+// land in last_error()/last_wire_error() instead of exceptions, so a
+// load generator can keep per-op error counters cheaply.
+//
+// send_raw()/read_frame() bypass the typed layer — the protocol tests
+// use them to feed the server garbage and observe the typed error
+// replies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "serve/line_state_store.hpp"
+#include "serve/micro_batcher.hpp"
+#include "util/calendar.hpp"
+
+namespace nevermind::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  [[nodiscard]] bool connect(const std::string& host, std::uint16_t port);
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// Liveness probe; true when the server echoed the ping.
+  [[nodiscard]] bool ping();
+  /// Score one line (valid/reason say whether it scored).
+  [[nodiscard]] std::optional<serve::ServeScore> score(dslsim::LineId line);
+  /// The server's current top-n ranking.
+  [[nodiscard]] std::optional<std::vector<serve::ServeScore>> top_n(
+      std::uint32_t n);
+  [[nodiscard]] bool ingest(const serve::LineMeasurement& m);
+  [[nodiscard]] bool ingest_ticket(dslsim::LineId line, util::Day day);
+  [[nodiscard]] std::optional<ModelInfoReply> model_info();
+
+  /// Human-readable cause of the last failed call.
+  [[nodiscard]] const std::string& last_error() const noexcept {
+    return error_;
+  }
+  /// Set when the failure was a typed server error reply.
+  [[nodiscard]] std::optional<WireError> last_wire_error() const noexcept {
+    return wire_error_;
+  }
+
+  /// Raw escape hatches for protocol tests.
+  [[nodiscard]] bool send_raw(std::span<const std::uint8_t> bytes);
+  /// Next frame off the wire, or nullopt on close/timeout/garbage.
+  [[nodiscard]] std::optional<Frame> read_frame();
+
+ private:
+  /// Send `op` and block for its reply. False on transport failure,
+  /// reply-id mismatch, or a typed error reply (recorded).
+  [[nodiscard]] bool roundtrip(Op op, std::span<const std::uint8_t> payload,
+                               Frame& reply);
+  void fail(std::string message);
+
+  int fd_ = -1;
+  std::uint32_t next_id_ = 1;
+  Codec codec_;
+  std::vector<std::uint8_t> rx_;
+  std::size_t rx_off_ = 0;
+  std::string error_;
+  std::optional<WireError> wire_error_;
+};
+
+}  // namespace nevermind::net

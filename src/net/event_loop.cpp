@@ -1,0 +1,118 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <utility>
+
+namespace nevermind::net {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ >= 0 && wake_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_fd_;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+bool EventLoop::valid() const noexcept {
+  return epoll_fd_ >= 0 && wake_fd_ >= 0;
+}
+
+void EventLoop::add(int fd, std::uint32_t events, Callback cb) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0) {
+    callbacks_[fd] = std::move(cb);
+  }
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void EventLoop::remove(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+bool EventLoop::watching(int fd) const {
+  return callbacks_.find(fd) != callbacks_.end();
+}
+
+std::size_t EventLoop::watched() const noexcept { return callbacks_.size(); }
+
+void EventLoop::run(std::chrono::milliseconds tick_every,
+                    const std::function<void()>& tick) {
+  stop_.store(false, std::memory_order_relaxed);
+  std::array<epoll_event, 64> events{};
+  const int timeout_ms =
+      tick_every.count() > 0 ? static_cast<int>(tick_every.count()) : -1;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drain = 0;
+        while (::read(wake_fd_, &drain, sizeof drain) > 0) {
+        }
+        continue;
+      }
+      // A callback earlier in this batch may have removed this fd —
+      // the map lookup, not the stale epoll event, is authoritative.
+      const auto it = callbacks_.find(fd);
+      if (it != callbacks_.end()) it->second(events[i].events);
+    }
+    run_deferred();
+    if (tick) tick();
+    // The tick may defer work of its own (connection closes during a
+    // drain) and then stop the loop — run it before the stop check so
+    // nothing queued is abandoned.
+    run_deferred();
+  }
+  run_deferred();
+}
+
+void EventLoop::run_deferred() {
+  while (!deferred_.empty()) {
+    std::vector<std::function<void()>> run_now;
+    run_now.swap(deferred_);
+    for (auto& fn : run_now) fn();
+  }
+}
+
+void EventLoop::stop() noexcept {
+  stop_.store(true, std::memory_order_release);
+  wake();
+}
+
+void EventLoop::wake() noexcept {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void EventLoop::defer(std::function<void()> fn) {
+  deferred_.push_back(std::move(fn));
+}
+
+}  // namespace nevermind::net

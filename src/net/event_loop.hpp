@@ -1,0 +1,65 @@
+// Minimal epoll reactor for the network front-end. One thread calls
+// run(); fds are registered with a callback that fires with the epoll
+// event mask. A nonblocking eventfd doubles as the wakeup/stop channel:
+// stop() is a relaxed atomic store plus an 8-byte write, both
+// async-signal-safe, so SIGINT/SIGTERM handlers may call it directly.
+//
+// Callbacks may add/modify/remove fds freely, including their own.
+// Teardown work that must not run until the current event batch is
+// dispatched (closing an fd whose number could be reused by an accept
+// in the same batch) goes through defer().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace nevermind::net {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// True when both epoll and the wakeup eventfd came up.
+  [[nodiscard]] bool valid() const noexcept;
+
+  void add(int fd, std::uint32_t events, Callback cb);
+  void modify(int fd, std::uint32_t events);
+  void remove(int fd);
+  [[nodiscard]] bool watching(int fd) const;
+  [[nodiscard]] std::size_t watched() const noexcept;
+
+  /// Dispatch events until stop(). `tick` runs after every wait round
+  /// and at least every `tick_every` even when the loop is idle — the
+  /// server hangs its timeout scans and drain logic on it.
+  void run(std::chrono::milliseconds tick_every,
+           const std::function<void()>& tick);
+
+  /// Signal-safe: ends run() from any thread or signal handler.
+  void stop() noexcept;
+  /// Signal-safe: forces one wait round to return without stopping.
+  void wake() noexcept;
+
+  /// Run `fn` after the current event batch finishes dispatching.
+  void defer(std::function<void()> fn);
+
+ private:
+  /// Drain the deferred queue (including work deferred while draining).
+  void run_deferred();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::unordered_map<int, Callback> callbacks_;
+  std::vector<std::function<void()>> deferred_;
+};
+
+}  // namespace nevermind::net

@@ -1,0 +1,204 @@
+#include "net/loadgen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/calendar.hpp"
+
+namespace nevermind::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Merge one connection's samples into the shared op stats.
+void merge(OpStats& into, std::uint64_t count, std::uint64_t failures,
+           double wall_s, std::vector<double>&& latencies) {
+  into.count += count;
+  into.failures += failures;
+  into.wall_s = std::max(into.wall_s, wall_s);
+  into.latencies_s.insert(into.latencies_s.end(), latencies.begin(),
+                          latencies.end());
+}
+
+}  // namespace
+
+double OpStats::percentile_s(double p) const {
+  if (latencies_s.empty()) return 0.0;
+  std::vector<double> sorted = latencies_s;
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+LoadGen::LoadGen(const dslsim::SimDataset& data, LoadGenConfig config)
+    : data_(data), config_(std::move(config)) {}
+
+LoadGenReport LoadGen::run() const {
+  LoadGenReport report;
+  const std::size_t n_conns = std::max<std::size_t>(config_.connections, 1);
+  const std::size_t n_lines = data_.n_lines();
+  const int last_week =
+      std::min(config_.through_week, data_.n_weeks() - 1);
+  report.connections = n_conns;
+  report.scores.resize(n_lines);
+
+  std::mutex report_mutex;  // guards report merging from worker threads
+  std::atomic<bool> failed{false};
+
+  // Tickets reported at or before the scored week's Saturday, day
+  // order — the same horizon ReplayDriver feeds.
+  std::vector<std::pair<util::Day, dslsim::LineId>> tickets;
+  const util::Day horizon = util::saturday_of_week(last_week);
+  for (const auto& ticket : data_.tickets()) {
+    if (ticket.category == dslsim::TicketCategory::kCustomerEdge &&
+        ticket.reported <= horizon) {
+      tickets.emplace_back(ticket.reported, ticket.line);
+    }
+  }
+  std::stable_sort(
+      tickets.begin(), tickets.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  const auto fail = [&](const std::string& what) {
+    const std::lock_guard<std::mutex> lock(report_mutex);
+    if (!failed.exchange(true)) report.error = what;
+  };
+
+  // ---- phase 1: ingest --------------------------------------------------
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(n_conns);
+    for (std::size_t conn = 0; conn < n_conns; ++conn) {
+      workers.emplace_back([&, conn] {
+        Client client;
+        if (!client.connect(config_.host, config_.port)) {
+          fail("connect: " + client.last_error());
+          return;
+        }
+        std::uint64_t count = 0;
+        std::uint64_t failures = 0;
+        std::vector<double> lat;
+        const auto start = Clock::now();
+        if (conn == 0) {
+          for (const auto& [day, line] : tickets) {
+            if (!client.ingest_ticket(line, day)) {
+              fail("ingest_ticket: " + client.last_error());
+              return;
+            }
+          }
+        }
+        for (int week = 0; week <= last_week; ++week) {
+          for (std::size_t l = conn; l < n_lines; l += n_conns) {
+            serve::LineMeasurement m;
+            m.line = static_cast<dslsim::LineId>(l);
+            m.week = week;
+            m.profile = data_.plant(m.line).profile;
+            m.metrics = data_.measurement(week, m.line);
+            const auto t0 = Clock::now();
+            if (!client.ingest(m)) {
+              ++failures;
+              fail("ingest: " + client.last_error());
+              return;
+            }
+            lat.push_back(seconds_since(t0));
+            ++count;
+          }
+        }
+        const double wall = seconds_since(start);
+        const std::lock_guard<std::mutex> lock(report_mutex);
+        merge(report.ingest, count, failures, wall, std::move(lat));
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  if (failed.load()) return report;
+
+  // ---- phase 2: queries (after every ingest finished) -------------------
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(n_conns);
+    for (std::size_t conn = 0; conn < n_conns; ++conn) {
+      workers.emplace_back([&, conn] {
+        Client client;
+        if (!client.connect(config_.host, config_.port)) {
+          fail("connect: " + client.last_error());
+          return;
+        }
+        std::uint64_t scores = 0;
+        std::uint64_t score_failures = 0;
+        std::vector<double> score_lat;
+        const auto start = Clock::now();
+        for (std::size_t l = conn; l < n_lines; l += n_conns) {
+          const auto t0 = Clock::now();
+          const auto s = client.score(static_cast<dslsim::LineId>(l));
+          if (!s.has_value()) {
+            ++score_failures;
+            fail("score: " + client.last_error());
+            return;
+          }
+          score_lat.push_back(seconds_since(t0));
+          report.scores[l] = *s;  // partitioned by line: no contention
+          ++scores;
+        }
+        const double score_wall = seconds_since(start);
+
+        std::uint64_t pings = 0;
+        std::uint64_t ping_failures = 0;
+        std::vector<double> ping_lat;
+        const auto ping_start = Clock::now();
+        for (std::size_t i = 0; i < config_.pings_per_connection; ++i) {
+          const auto t0 = Clock::now();
+          if (!client.ping()) {
+            ++ping_failures;
+            fail("ping: " + client.last_error());
+            return;
+          }
+          ping_lat.push_back(seconds_since(t0));
+          ++pings;
+        }
+        const double ping_wall = seconds_since(ping_start);
+
+        std::vector<serve::ServeScore> ranked;
+        double topn_wall = 0;
+        std::vector<double> topn_lat;
+        if (conn == 0 && config_.top_n > 0) {
+          const auto t0 = Clock::now();
+          auto r = client.top_n(config_.top_n);
+          topn_wall = seconds_since(t0);
+          if (!r.has_value()) {
+            fail("top_n: " + client.last_error());
+            return;
+          }
+          topn_lat.push_back(topn_wall);
+          ranked = std::move(*r);
+        }
+
+        const std::lock_guard<std::mutex> lock(report_mutex);
+        merge(report.score, scores, score_failures, score_wall,
+              std::move(score_lat));
+        merge(report.ping, pings, ping_failures, ping_wall,
+              std::move(ping_lat));
+        if (!topn_lat.empty()) {
+          merge(report.top_n, 1, 0, topn_wall, std::move(topn_lat));
+          report.ranked = std::move(ranked);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  report.ok = !failed.load();
+  return report;
+}
+
+}  // namespace nevermind::net

@@ -1,0 +1,234 @@
+#include "net/protocol.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace nevermind::net {
+
+const char* wire_error_name(WireError code) noexcept {
+  switch (code) {
+    case WireError::kMalformedFrame:
+      return "malformed frame";
+    case WireError::kVersionMismatch:
+      return "protocol version mismatch";
+    case WireError::kOversizedPayload:
+      return "oversized payload";
+    case WireError::kUnknownOp:
+      return "unknown op";
+    case WireError::kBadPayload:
+      return "bad payload";
+  }
+  return "unknown error";
+}
+
+namespace {
+
+void put_le16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+[[nodiscard]] std::uint16_t get_le16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+[[nodiscard]] std::uint32_t get_le32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+void Codec::encode_into(Op op, std::uint32_t request_id,
+                        std::span<const std::uint8_t> payload,
+                        std::vector<std::uint8_t>& out) const {
+  out.reserve(out.size() + kHeaderSize + payload.size());
+  put_le16(out, kMagic);
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(op));
+  put_le32(out, request_id);
+  put_le32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::vector<std::uint8_t> Codec::encode(
+    Op op, std::uint32_t request_id,
+    std::span<const std::uint8_t> payload) const {
+  std::vector<std::uint8_t> out;
+  encode_into(op, request_id, payload, out);
+  return out;
+}
+
+Codec::Decoded Codec::decode(std::span<const std::uint8_t> buffer) const {
+  Decoded d;
+  // Magic and version are rejected as soon as their bytes are present:
+  // a peer speaking a different protocol should get its typed error
+  // from the first bytes it sends, not after a full sham header.
+  if (buffer.size() >= 2 && get_le16(buffer.data()) != kMagic) {
+    d.status = DecodeStatus::kError;
+    d.error = WireError::kMalformedFrame;
+    return d;
+  }
+  if (buffer.size() >= 3 && buffer[2] != kProtocolVersion) {
+    d.status = DecodeStatus::kError;
+    d.error = WireError::kVersionMismatch;
+    return d;
+  }
+  if (buffer.size() < kHeaderSize) return d;  // kNeedMore
+  const std::uint32_t payload_len = get_le32(buffer.data() + 8);
+  if (payload_len > max_payload_) {
+    d.status = DecodeStatus::kError;
+    d.error = WireError::kOversizedPayload;
+    return d;
+  }
+  if (buffer.size() < kHeaderSize + payload_len) return d;  // kNeedMore
+  d.status = DecodeStatus::kFrame;
+  d.frame.op = static_cast<Op>(buffer[3]);
+  d.frame.request_id = get_le32(buffer.data() + 4);
+  d.frame.payload.assign(buffer.begin() + kHeaderSize,
+                         buffer.begin() + kHeaderSize + payload_len);
+  d.consumed = kHeaderSize + payload_len;
+  return d;
+}
+
+// ---- PayloadWriter -----------------------------------------------------
+
+void PayloadWriter::u16(std::uint16_t v) { put_le16(buf_, v); }
+void PayloadWriter::u32(std::uint32_t v) { put_le32(buf_, v); }
+
+void PayloadWriter::u64(std::uint64_t v) {
+  put_le32(buf_, static_cast<std::uint32_t>(v));
+  put_le32(buf_, static_cast<std::uint32_t>(v >> 32));
+}
+
+void PayloadWriter::f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
+void PayloadWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void PayloadWriter::bytes(std::span<const std::uint8_t> v) {
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+// ---- PayloadReader -----------------------------------------------------
+
+bool PayloadReader::take(std::size_t n) noexcept {
+  if (!ok_ || buf_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t PayloadReader::u8() {
+  if (!take(1)) return 0;
+  return buf_[pos_++];
+}
+
+std::uint16_t PayloadReader::u16() {
+  if (!take(2)) return 0;
+  const std::uint16_t v = get_le16(buf_.data() + pos_);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t PayloadReader::u32() {
+  if (!take(4)) return 0;
+  const std::uint32_t v = get_le32(buf_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t PayloadReader::u64() {
+  const std::uint64_t lo = u32();
+  const std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+float PayloadReader::f32() { return std::bit_cast<float>(u32()); }
+double PayloadReader::f64() { return std::bit_cast<double>(u64()); }
+
+// ---- typed payloads ----------------------------------------------------
+
+void write_score(PayloadWriter& w, const serve::ServeScore& s) {
+  w.u32(s.line);
+  w.i32(s.week);
+  w.f64(s.score);
+  w.f64(s.probability);
+  w.u64(s.model_version);
+  w.u8(s.valid ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(s.reason));
+}
+
+bool read_score(PayloadReader& r, serve::ServeScore& s) {
+  s.line = r.u32();
+  s.week = r.i32();
+  s.score = r.f64();
+  s.probability = r.f64();
+  s.model_version = r.u64();
+  s.valid = r.u8() != 0;
+  s.reason = static_cast<serve::ScoreReason>(r.u8());
+  return r.ok();
+}
+
+void write_measurement(PayloadWriter& w, const serve::LineMeasurement& m) {
+  w.u32(m.line);
+  w.i32(m.week);
+  w.u8(m.profile);
+  for (const float v : m.metrics) w.f32(v);
+}
+
+bool read_measurement(PayloadReader& r, serve::LineMeasurement& m) {
+  m.line = r.u32();
+  m.week = r.i32();
+  m.profile = r.u8();
+  for (float& v : m.metrics) v = r.f32();
+  return r.ok();
+}
+
+void write_model_info(PayloadWriter& w, const ModelInfoReply& info) {
+  w.u64(info.model_version);
+  w.u64(info.swap_count);
+  w.u64(info.n_lines);
+  w.u64(info.measurements);
+  w.u64(info.tickets);
+}
+
+bool read_model_info(PayloadReader& r, ModelInfoReply& info) {
+  info.model_version = r.u64();
+  info.swap_count = r.u64();
+  info.n_lines = r.u64();
+  info.measurements = r.u64();
+  info.tickets = r.u64();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> encode_error_payload(WireError code,
+                                               std::string_view message) {
+  PayloadWriter w;
+  w.u8(static_cast<std::uint8_t>(code));
+  const auto len =
+      static_cast<std::uint16_t>(std::min<std::size_t>(message.size(), 512));
+  w.u16(len);
+  w.bytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(message.data()), len));
+  return w.take();
+}
+
+bool decode_error_payload(std::span<const std::uint8_t> payload,
+                          WireError& code, std::string& message) {
+  PayloadReader r(payload);
+  code = static_cast<WireError>(r.u8());
+  const std::uint16_t len = r.u16();
+  if (!r.ok() || r.remaining() < len) return false;
+  message.assign(reinterpret_cast<const char*>(payload.data()) + 3, len);
+  return true;
+}
+
+}  // namespace nevermind::net

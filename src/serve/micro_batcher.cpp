@@ -15,7 +15,22 @@ MicroBatcher::MicroBatcher(Executor executor, std::size_t max_batch)
   }
 }
 
-ServeScore MicroBatcher::score(dslsim::LineId line) {
+const char* score_reason_name(ScoreReason reason) noexcept {
+  switch (reason) {
+    case ScoreReason::kOk:
+      return "ok";
+    case ScoreReason::kNoModel:
+      return "no model published";
+    case ScoreReason::kNoMeasurement:
+      return "no measurement for line";
+    case ScoreReason::kTimeout:
+      return "deadline exceeded";
+  }
+  return "unknown";
+}
+
+ServeScore MicroBatcher::score(dslsim::LineId line,
+                               std::chrono::milliseconds deadline) {
   std::future<ServeScore> future;
   bool is_leader = false;
   {
@@ -68,6 +83,15 @@ ServeScore MicroBatcher::score(dslsim::LineId line) {
     leader_active_ = false;
   }
 
+  // The leader just produced (or failed) its own batch, so its future
+  // is ready; only followers can still be waiting on a wedged leader.
+  if (!is_leader && deadline.count() > 0 &&
+      future.wait_for(deadline) != std::future_status::ready) {
+    ServeScore timed_out;
+    timed_out.line = line;
+    timed_out.reason = ScoreReason::kTimeout;
+    return timed_out;
+  }
   return future.get();
 }
 

@@ -14,6 +14,7 @@
 // coalesce under load.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -26,16 +27,28 @@
 
 namespace nevermind::serve {
 
+/// Why a ServeScore is (in)valid. Distinct codes let callers — and the
+/// wire protocol — tell "line unknown" from "no model yet" from "the
+/// batch executor blew its deadline".
+enum class ScoreReason : std::uint8_t {
+  kOk = 0,
+  kNoModel = 1,        // nothing published in the registry yet
+  kNoMeasurement = 2,  // the line has no ingested measurement
+  kTimeout = 3,        // the per-request deadline expired while queued
+};
+[[nodiscard]] const char* score_reason_name(ScoreReason reason) noexcept;
+
 /// Result of scoring one line. `valid` is false when the line has no
-/// measurement yet or no model is published; `model_version` records
-/// which registry version produced the score (so a mid-stream hot-swap
-/// is observable).
+/// measurement yet, no model is published, or the request timed out
+/// (`reason` says which); `model_version` records which registry
+/// version produced the score (so a mid-stream hot-swap is observable).
 struct ServeScore {
   dslsim::LineId line = 0;
   int week = -1;
   double score = 0.0;
   double probability = 0.0;
   std::uint64_t model_version = 0;
+  ScoreReason reason = ScoreReason::kOk;
   bool valid = false;
 };
 
@@ -49,8 +62,15 @@ class MicroBatcher {
   MicroBatcher(Executor executor, std::size_t max_batch);
 
   /// Score one line, coalescing with concurrent callers. Blocks until
-  /// the owning batch completes.
-  [[nodiscard]] ServeScore score(dslsim::LineId line);
+  /// the owning batch completes — or until `deadline` expires (0 =
+  /// wait forever), in which case an invalid ServeScore with reason
+  /// kTimeout comes back and the eventual batch result is discarded.
+  /// The caller that became the batch leader executes the batch itself
+  /// and therefore cannot time out; the deadline protects followers
+  /// from a wedged executor.
+  [[nodiscard]] ServeScore score(
+      dslsim::LineId line,
+      std::chrono::milliseconds deadline = std::chrono::milliseconds{0});
 
   struct Stats {
     std::uint64_t requests = 0;

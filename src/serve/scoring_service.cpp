@@ -20,7 +20,7 @@ ScoringService::ScoringService(const LineStateStore& store,
           config_.max_batch) {}
 
 ServeScore ScoringService::score(dslsim::LineId line) {
-  return batcher_.score(line);
+  return batcher_.score(line, config_.deadline);
 }
 
 std::vector<ServeScore> ScoringService::score_lines(
@@ -28,7 +28,10 @@ std::vector<ServeScore> ScoringService::score_lines(
   std::vector<ServeScore> out(lines.size());
   const std::shared_ptr<const ServeModel> model = registry_.acquire();
   if (!model || !model->kernel.trained()) {
-    for (std::size_t i = 0; i < lines.size(); ++i) out[i].line = lines[i];
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      out[i].line = lines[i];
+      out[i].reason = ScoreReason::kNoModel;
+    }
     return out;
   }
   const core::ScoringKernel& kernel = model->kernel;
@@ -41,6 +44,7 @@ std::vector<ServeScore> ScoringService::score_lines(
         for (std::size_t r = b; r < e; ++r) {
           ServeScore& s = out[r];
           s.line = lines[r];
+          s.reason = ScoreReason::kNoMeasurement;
           const auto snap = store_.snapshot(lines[r]);
           if (!snap.has_value()) continue;  // no measurement yet: invalid
           features::encode_window_row(
@@ -51,6 +55,7 @@ std::vector<ServeScore> ScoringService::score_lines(
           s.score = kernel.score_row(row);
           s.probability = kernel.probability(s.score);
           s.model_version = model->version;
+          s.reason = ScoreReason::kOk;
           s.valid = true;
         }
       });

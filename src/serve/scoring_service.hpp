@@ -25,6 +25,11 @@ struct ServiceConfig {
   /// Upper bound on how many concurrent point queries one model
   /// invocation coalesces.
   std::size_t max_batch = 64;
+  /// Per-request deadline for point queries queued behind the
+  /// micro-batcher (0 = wait forever). A wedged batch executor then
+  /// surfaces as an invalid ServeScore with reason kTimeout instead of
+  /// hanging the caller.
+  std::chrono::milliseconds deadline{0};
 };
 
 class ScoringService {
@@ -34,8 +39,9 @@ class ScoringService {
                  ServiceConfig config = {});
 
   /// Score one line now, coalescing with concurrent callers into a
-  /// micro-batch. `valid` is false when the line has no measurement or
-  /// no model is published.
+  /// micro-batch. `valid` is false when the line has no measurement,
+  /// no model is published, or config.deadline expired while queued —
+  /// `reason` distinguishes the three.
   [[nodiscard]] ServeScore score(dslsim::LineId line);
 
   /// Score a batch of lines directly (no batching queue). One model

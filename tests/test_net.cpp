@@ -1,0 +1,464 @@
+// Protocol and server robustness tests for the network front-end.
+//
+// Codec half: round-trip every op, then adversarial decodes — truncated
+// prefixes, wrong magic, wrong version, oversized length prefixes, and
+// garbage streams must come back as kNeedMore or a typed WireError,
+// never a crash or an out-of-bounds read.
+//
+// Server half: a live epoll server on an ephemeral port, poked with raw
+// bytes through the client's escape hatches. Framing errors must get a
+// typed error reply followed by a close; unknown-op and bad-payload
+// errors must answer that one request and leave the connection usable;
+// idle and slow-draining connections must be killed; a requested stop
+// must drain every buffered request before the loop exits.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "serve/line_state_store.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/scoring_service.hpp"
+#include "util/rng.hpp"
+
+namespace nevermind::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---- codec: round-trips ------------------------------------------------
+
+TEST(Codec, RoundTripsEveryOp) {
+  const Codec codec;
+  const std::vector<std::uint8_t> payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  for (const Op op : {Op::kPing, Op::kScore, Op::kTopN,
+                      Op::kIngestMeasurement, Op::kIngestTicket,
+                      Op::kModelInfo, Op::kError, reply_op(Op::kScore)}) {
+    const auto bytes = codec.encode(op, 0xA1B2C3D4, payload);
+    ASSERT_EQ(bytes.size(), kHeaderSize + payload.size());
+    const auto d = codec.decode(bytes);
+    ASSERT_EQ(d.status, Codec::DecodeStatus::kFrame);
+    EXPECT_EQ(d.frame.op, op);
+    EXPECT_EQ(d.frame.request_id, 0xA1B2C3D4U);
+    EXPECT_EQ(d.frame.payload, payload);
+    EXPECT_EQ(d.consumed, bytes.size());
+  }
+}
+
+TEST(Codec, RoundTripsEmptyPayloadAndBackToBackFrames) {
+  const Codec codec;
+  auto bytes = codec.encode(Op::kPing, 1, {});
+  const auto second = codec.encode(Op::kModelInfo, 2, {});
+  bytes.insert(bytes.end(), second.begin(), second.end());
+
+  const auto first = codec.decode(bytes);
+  ASSERT_EQ(first.status, Codec::DecodeStatus::kFrame);
+  EXPECT_TRUE(first.frame.payload.empty());
+  EXPECT_EQ(first.consumed, kHeaderSize);
+
+  const auto rest = codec.decode(
+      std::span<const std::uint8_t>(bytes).subspan(first.consumed));
+  ASSERT_EQ(rest.status, Codec::DecodeStatus::kFrame);
+  EXPECT_EQ(rest.frame.op, Op::kModelInfo);
+  EXPECT_EQ(rest.frame.request_id, 2U);
+}
+
+TEST(Codec, TypedPayloadsRoundTripBitwise) {
+  // Scores whose doubles exercise non-trivial mantissa bits: equality
+  // below is bitwise through operator== on doubles with identical bits.
+  serve::ServeScore s;
+  s.line = 4242;
+  s.week = 43;
+  s.score = 0.1 + 0.2;  // famously not 0.3
+  s.probability = 1.0 / 3.0;
+  s.model_version = 7;
+  s.reason = serve::ScoreReason::kOk;
+  s.valid = true;
+  PayloadWriter w;
+  write_score(w, s);
+  PayloadReader r(w.data());
+  serve::ServeScore out;
+  ASSERT_TRUE(read_score(r, out));
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(out.line, s.line);
+  EXPECT_EQ(out.week, s.week);
+  EXPECT_EQ(out.score, s.score);
+  EXPECT_EQ(out.probability, s.probability);
+  EXPECT_EQ(out.model_version, s.model_version);
+  EXPECT_EQ(out.reason, s.reason);
+  EXPECT_EQ(out.valid, s.valid);
+
+  serve::LineMeasurement m;
+  m.line = 9;
+  m.week = 12;
+  m.profile = 3;
+  for (std::size_t i = 0; i < m.metrics.size(); ++i) {
+    m.metrics[i] = 0.1F * static_cast<float>(i + 1);
+  }
+  PayloadWriter wm;
+  write_measurement(wm, m);
+  PayloadReader rm(wm.data());
+  serve::LineMeasurement mo;
+  ASSERT_TRUE(read_measurement(rm, mo));
+  EXPECT_TRUE(rm.done());
+  EXPECT_EQ(mo.line, m.line);
+  EXPECT_EQ(mo.week, m.week);
+  EXPECT_EQ(mo.profile, m.profile);
+  EXPECT_EQ(mo.metrics, m.metrics);
+
+  const ModelInfoReply info{11, 22, 33, 44, 55};
+  PayloadWriter wi;
+  write_model_info(wi, info);
+  PayloadReader ri(wi.data());
+  ModelInfoReply io;
+  ASSERT_TRUE(read_model_info(ri, io));
+  EXPECT_EQ(io.model_version, info.model_version);
+  EXPECT_EQ(io.swap_count, info.swap_count);
+  EXPECT_EQ(io.n_lines, info.n_lines);
+  EXPECT_EQ(io.measurements, info.measurements);
+  EXPECT_EQ(io.tickets, info.tickets);
+
+  const auto err = encode_error_payload(WireError::kBadPayload, "short read");
+  WireError code{};
+  std::string message;
+  ASSERT_TRUE(decode_error_payload(err, code, message));
+  EXPECT_EQ(code, WireError::kBadPayload);
+  EXPECT_EQ(message, "short read");
+}
+
+// ---- codec: adversarial decodes ----------------------------------------
+
+TEST(Codec, TruncatedValidFrameAsksForMore) {
+  const Codec codec;
+  const auto bytes = codec.encode(Op::kScore, 7, std::vector<std::uint8_t>(5));
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const auto d = codec.decode(
+        std::span<const std::uint8_t>(bytes).first(len));
+    EXPECT_EQ(d.status, Codec::DecodeStatus::kNeedMore) << "len=" << len;
+  }
+}
+
+TEST(Codec, WrongMagicRejectedBeforeFullHeader) {
+  const Codec codec;
+  const std::vector<std::uint8_t> garbage = {'G', 'E'};  // "GET ..."
+  const auto d = codec.decode(garbage);
+  ASSERT_EQ(d.status, Codec::DecodeStatus::kError);
+  EXPECT_EQ(d.error, WireError::kMalformedFrame);
+}
+
+TEST(Codec, WrongVersionRejected) {
+  const Codec codec;
+  auto bytes = codec.encode(Op::kPing, 1, {});
+  bytes[2] = kProtocolVersion + 1;
+  const auto d = codec.decode(
+      std::span<const std::uint8_t>(bytes).first(3));  // before full header
+  ASSERT_EQ(d.status, Codec::DecodeStatus::kError);
+  EXPECT_EQ(d.error, WireError::kVersionMismatch);
+}
+
+TEST(Codec, OversizedLengthPrefixRejected) {
+  const Codec codec(1024);
+  auto bytes = codec.encode(Op::kPing, 1, {});
+  bytes[8] = 0xFF;  // payload_len = 0x....FF > 1024
+  bytes[9] = 0xFF;
+  const auto d = codec.decode(bytes);
+  ASSERT_EQ(d.status, Codec::DecodeStatus::kError);
+  EXPECT_EQ(d.error, WireError::kOversizedPayload);
+}
+
+TEST(Codec, GarbageStreamsNeverCrash) {
+  const Codec codec(4096);
+  util::Rng rng = util::Rng::stream(1234, 0);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint8_t> buf(rng.uniform_index(64));
+    for (auto& b : buf) {
+      b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    }
+    const auto d = codec.decode(buf);
+    // Any status is legal; the property under test is bounded reads and
+    // a sane `consumed`.
+    if (d.status == Codec::DecodeStatus::kFrame) {
+      EXPECT_LE(d.consumed, buf.size());
+      EXPECT_GE(d.consumed, kHeaderSize);
+    }
+  }
+}
+
+TEST(Codec, PayloadReaderLatchesOnUnderflow) {
+  const std::vector<std::uint8_t> three = {1, 2, 3};
+  PayloadReader r(three);
+  EXPECT_EQ(r.u16(), 0x0201U);
+  EXPECT_EQ(r.u32(), 0U);  // underflow: latched zero
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.done());
+  EXPECT_EQ(r.u64(), 0U);  // stays latched
+  EXPECT_FALSE(r.ok());
+}
+
+// ---- live server -------------------------------------------------------
+
+/// One ephemeral-port server (no model published — protocol behaviour
+/// does not need a trained kernel) running on a background thread.
+class ServerHarness {
+ public:
+  explicit ServerHarness(ServerConfig config = {})
+      : service_(store_, registry_),
+        server_(store_, service_, registry_, std::move(config)) {
+    std::string error;
+    if (!server_.start(&error)) {
+      ADD_FAILURE() << "server start failed: " << error;
+      return;
+    }
+    thread_ = std::thread([this] { server_.run(); });
+  }
+
+  ~ServerHarness() { stop(); }
+
+  void stop() {
+    if (thread_.joinable()) {
+      server_.request_stop();
+      thread_.join();
+    }
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return server_.port(); }
+  [[nodiscard]] const ServerStats& stats_after_stop() {
+    stop();
+    return server_.stats();
+  }
+  [[nodiscard]] serve::ModelRegistry& registry() { return registry_; }
+
+ private:
+  serve::LineStateStore store_{4};
+  serve::ModelRegistry registry_;
+  serve::ScoringService service_;
+  Server server_;
+  std::thread thread_;
+};
+
+std::optional<WireError> read_error_reply(Client& client,
+                                          std::uint32_t expect_id = 0) {
+  const auto frame = client.read_frame();
+  if (!frame.has_value() || frame->op != Op::kError) return std::nullopt;
+  EXPECT_EQ(frame->request_id, expect_id);
+  WireError code{};
+  std::string message;
+  if (!decode_error_payload(frame->payload, code, message)) {
+    return std::nullopt;
+  }
+  return code;
+}
+
+TEST(NetServer, FramingErrorGetsTypedReplyThenClose) {
+  ServerHarness harness;
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", harness.port()));
+  const std::vector<std::uint8_t> http = {'G', 'E', 'T', ' ', '/'};
+  ASSERT_TRUE(client.send_raw(http));
+  EXPECT_EQ(read_error_reply(client), WireError::kMalformedFrame);
+  // The stream is poisoned: the server closes after flushing the error.
+  EXPECT_FALSE(client.read_frame().has_value());
+  const auto& stats = harness.stats_after_stop();
+  EXPECT_EQ(stats.protocol_errors, 1U);
+}
+
+TEST(NetServer, VersionMismatchGetsTypedReplyThenClose) {
+  ServerHarness harness;
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", harness.port()));
+  Codec codec;
+  auto bytes = codec.encode(Op::kPing, 9, {});
+  bytes[2] = kProtocolVersion + 3;
+  ASSERT_TRUE(client.send_raw(bytes));
+  EXPECT_EQ(read_error_reply(client), WireError::kVersionMismatch);
+  EXPECT_FALSE(client.read_frame().has_value());
+}
+
+TEST(NetServer, OversizedLengthPrefixGetsTypedReplyThenClose) {
+  ServerConfig config;
+  config.max_payload = 1024;
+  ServerHarness harness(config);
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", harness.port()));
+  Codec codec;
+  auto bytes = codec.encode(Op::kPing, 9, {});
+  bytes[8] = 0xFF;
+  bytes[9] = 0xFF;
+  bytes[10] = 0xFF;
+  ASSERT_TRUE(client.send_raw(bytes));
+  EXPECT_EQ(read_error_reply(client), WireError::kOversizedPayload);
+  EXPECT_FALSE(client.read_frame().has_value());
+}
+
+TEST(NetServer, UnknownOpAnswersAndKeepsConnection) {
+  ServerHarness harness;
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", harness.port()));
+  Codec codec;
+  ASSERT_TRUE(client.send_raw(
+      codec.encode(static_cast<Op>(0x20), 77, {})));
+  EXPECT_EQ(read_error_reply(client, 77), WireError::kUnknownOp);
+  // Same connection still serves well-formed requests.
+  EXPECT_TRUE(client.ping());
+}
+
+TEST(NetServer, BadPayloadAnswersAndKeepsConnection) {
+  ServerHarness harness;
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", harness.port()));
+  Codec codec;
+  // SCORE wants a u32 line id; one byte cannot decode.
+  ASSERT_TRUE(client.send_raw(
+      codec.encode(Op::kScore, 5, std::vector<std::uint8_t>(1))));
+  EXPECT_EQ(read_error_reply(client, 5), WireError::kBadPayload);
+  EXPECT_TRUE(client.ping());
+}
+
+TEST(NetServer, IngestAndModelInfoCountersFlowThrough) {
+  ServerHarness harness;
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", harness.port()));
+
+  serve::LineMeasurement m;
+  m.line = 3;
+  m.week = 0;
+  m.profile = 1;
+  m.metrics.fill(0.5F);
+  ASSERT_TRUE(client.ingest(m));
+  m.week = 1;
+  ASSERT_TRUE(client.ingest(m));
+  ASSERT_TRUE(client.ingest_ticket(3, 10));
+
+  const auto info = client.model_info();
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->model_version, 0U);  // nothing published
+  EXPECT_EQ(info->n_lines, 1U);
+  EXPECT_EQ(info->measurements, 2U);
+  EXPECT_EQ(info->tickets, 1U);
+
+  // With no model published the line scores invalid with kNoModel.
+  const auto s = client.score(3);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_FALSE(s->valid);
+  EXPECT_EQ(s->reason, serve::ScoreReason::kNoModel);
+}
+
+TEST(NetServer, IdleConnectionsAreKilled) {
+  ServerConfig config;
+  config.idle_timeout = 100ms;
+  config.tick = 20ms;
+  ServerHarness harness(config);
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", harness.port()));
+  ASSERT_TRUE(client.ping());
+  // Go quiet; the server must hang up on us.
+  EXPECT_FALSE(client.read_frame().has_value());
+  const auto& stats = harness.stats_after_stop();
+  EXPECT_GE(stats.idle_closed, 1U);
+}
+
+TEST(NetServer, SlowDrainingClientIsKilled) {
+  ServerConfig config;
+  config.so_sndbuf = 4096;
+  config.write_high_watermark = 16 * 1024;
+  config.drain_timeout = 200ms;
+  config.tick = 20ms;
+  ServerHarness harness(config);
+
+  // Raw socket with a tiny receive buffer that never reads: ping echoes
+  // pile up in the server's send buffer until the slow-client reaper
+  // fires. SO_RCVBUF must be set before connect to cap the window.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  int rcvbuf = 2048;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(harness.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  const Codec codec;
+  const std::vector<std::uint8_t> blob(32 * 1024, 0xAB);
+  std::vector<std::uint8_t> wire;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    codec.encode_into(Op::kPing, i + 1, blob, wire);
+  }
+  // 8 x 32 KiB of echo replies dwarf every buffer involved; the send may
+  // legitimately stop short once the server applies backpressure.
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const auto n = ::send(fd, wire.data() + sent, wire.size() - sent,
+                          MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+
+  // Do not read AT ALL while the kill window passes — any draining
+  // counts as write progress on the server and resets its clock.
+  std::this_thread::sleep_for(config.drain_timeout + 4 * config.tick +
+                              200ms);
+  // Now drain; the reaped connection surfaces as EOF or ECONNRESET
+  // once the buffered bytes are consumed.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  bool reset = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    char sink[4096];
+    const auto n = ::recv(fd, sink, sizeof(sink), MSG_DONTWAIT);
+    if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+      reset = true;
+      break;
+    }
+    if (n < 0) std::this_thread::sleep_for(10ms);
+  }
+  ::close(fd);
+  EXPECT_TRUE(reset) << "slow client was never disconnected";
+  const auto& stats = harness.stats_after_stop();
+  EXPECT_GE(stats.slow_closed, 1U);
+}
+
+TEST(NetServer, RequestedStopDrainsBufferedRequests) {
+  ServerHarness harness;
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", harness.port()));
+
+  constexpr std::uint32_t kPings = 50;
+  const Codec codec;
+  std::vector<std::uint8_t> wire;
+  for (std::uint32_t i = 0; i < kPings; ++i) {
+    codec.encode_into(Op::kPing, i + 1, {}, wire);
+  }
+  ASSERT_TRUE(client.send_raw(wire));
+  std::this_thread::sleep_for(50ms);  // let the batch reach the server
+  // Stop while replies are (at latest) still in flight: every ping must
+  // still be answered, then the server hangs up.
+  std::thread stopper([&harness] { harness.stop(); });
+  for (std::uint32_t i = 0; i < kPings; ++i) {
+    const auto frame = client.read_frame();
+    ASSERT_TRUE(frame.has_value()) << "reply " << i << " lost in shutdown";
+    EXPECT_EQ(frame->op, reply_op(Op::kPing));
+    EXPECT_EQ(frame->request_id, i + 1);
+  }
+  EXPECT_FALSE(client.read_frame().has_value());
+  stopper.join();
+  const auto& stats = harness.stats_after_stop();
+  EXPECT_EQ(stats.frames_in, stats.replies_out);
+  EXPECT_EQ(stats.frames_in, kPings);
+}
+
+}  // namespace
+}  // namespace nevermind::net

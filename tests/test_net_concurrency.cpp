@@ -1,0 +1,112 @@
+// Concurrency smoke for the network front-end, built to run under
+// -DNEVERMIND_SANITIZE=thread (ctest -L tsan): the epoll loop on its
+// own thread, a fleet of client threads ingesting and querying over
+// real sockets, and a publisher thread hot-swapping the model registry
+// underneath the running server. Server stats are only read after
+// run() returns — the counters are loop-thread-local by design.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/ticket_predictor.hpp"
+#include "dslsim/simulator.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "serve/line_state_store.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/scoring_service.hpp"
+
+namespace nevermind::net {
+namespace {
+
+TEST(NetConcurrency, ManyClientsWithHotSwapUnderneath) {
+  dslsim::SimConfig cfg;
+  cfg.seed = 77;
+  cfg.topology.n_lines = 200;
+  const dslsim::SimDataset data = dslsim::Simulator(cfg).run();
+
+  core::PredictorConfig pcfg;
+  pcfg.top_n = 10;
+  pcfg.boost_iterations = 8;
+  pcfg.use_derived_features = false;
+  core::TicketPredictor predictor(pcfg);
+  predictor.train(data, 20, 30);
+
+  serve::LineStateStore store(8);
+  serve::ModelRegistry registry;
+  registry.publish(predictor.kernel());
+  serve::ScoringService service(store, registry);
+  Server server(store, service, registry);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  std::thread loop([&server] { server.run(); });
+
+  constexpr std::size_t kClients = 6;
+  constexpr int kWeeks = 8;
+  std::atomic<bool> clients_done{false};
+  std::atomic<std::uint64_t> scored{0};
+
+  // Publisher: hot-swaps the model while requests are in flight.
+  std::thread publisher([&] {
+    while (!clients_done.load(std::memory_order_acquire)) {
+      registry.publish(predictor.kernel());
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client;
+      ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+      // Partitioned replay (same discipline as LoadGen), interleaved
+      // with queries so ingest and score race across connections.
+      for (int week = 0; week < kWeeks; ++week) {
+        for (std::size_t l = c; l < data.n_lines(); l += kClients) {
+          serve::LineMeasurement m;
+          m.line = static_cast<dslsim::LineId>(l);
+          m.week = week;
+          m.profile = data.plant(m.line).profile;
+          m.metrics = data.measurement(week, m.line);
+          ASSERT_TRUE(client.ingest(m));
+        }
+        for (std::size_t l = c; l < data.n_lines(); l += kClients) {
+          const auto s = client.score(static_cast<dslsim::LineId>(l));
+          ASSERT_TRUE(s.has_value());
+          EXPECT_EQ(s->line, l);
+          if (s->valid) {
+            EXPECT_GE(s->probability, 0.0);
+            EXPECT_LE(s->probability, 1.0);
+            EXPECT_GE(s->model_version, 1U);
+          }
+          scored.fetch_add(1, std::memory_order_relaxed);
+        }
+        ASSERT_TRUE(client.ping());
+      }
+      const auto ranked = client.top_n(10);
+      ASSERT_TRUE(ranked.has_value());
+      EXPECT_LE(ranked->size(), 10U);
+    });
+  }
+
+  for (auto& t : clients) t.join();
+  clients_done.store(true, std::memory_order_release);
+  publisher.join();
+  server.request_stop();
+  loop.join();
+
+  // Each week every line is scored exactly once across the partition.
+  EXPECT_EQ(scored.load(), static_cast<std::uint64_t>(kWeeks) *
+                               data.n_lines());
+  const ServerStats& stats = server.stats();
+  EXPECT_EQ(stats.accepted, kClients);
+  EXPECT_EQ(stats.frames_in, stats.replies_out);
+  EXPECT_EQ(stats.protocol_errors, 0U);
+  EXPECT_GE(registry.swap_count(), 2U);
+}
+
+}  // namespace
+}  // namespace nevermind::net

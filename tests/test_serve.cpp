@@ -4,8 +4,12 @@
 // store/batcher/registry unit semantics.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <future>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "core/scoring_kernel.hpp"
@@ -329,6 +333,71 @@ TEST(MicroBatcher, RoutesEachResultToItsCaller) {
   EXPECT_EQ(stats.requests, 3U);
   EXPECT_EQ(stats.batches, 3U);  // sequential callers: batches of one
   EXPECT_EQ(stats.batch_size_counts[0], 3U);
+}
+
+TEST(MicroBatcher, FollowerDeadlineSurfacesAsTimeoutReason) {
+  // An executor that wedges on its first batch until released: the
+  // leader (who runs the executor on its own thread) cannot time out,
+  // but a follower with a deadline must come back invalid/kTimeout
+  // instead of blocking forever.
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<bool> leader_entered{false};
+  MicroBatcher batcher(
+      [&](std::span<const dslsim::LineId> lines) {
+        leader_entered.store(true, std::memory_order_release);
+        released.wait();
+        std::vector<ServeScore> out(lines.size());
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+          out[i].line = lines[i];
+          out[i].valid = true;
+        }
+        return out;
+      },
+      8);
+
+  std::thread leader([&] {
+    const auto s = batcher.score(1);
+    EXPECT_TRUE(s.valid);  // the wedge releases before the leader returns
+  });
+  while (!leader_entered.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+
+  // The leader is inside the wedged executor, so this caller queues as
+  // a follower of the NEXT batch — which can never start — and its
+  // deadline must fire.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto s = batcher.score(2, std::chrono::milliseconds(50));
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(s.valid);
+  EXPECT_EQ(s.line, 2U);
+  EXPECT_EQ(s.reason, ScoreReason::kTimeout);
+  EXPECT_GE(waited, std::chrono::milliseconds(50));
+
+  release.set_value();
+  leader.join();
+  EXPECT_STREQ(score_reason_name(ScoreReason::kTimeout), "deadline exceeded");
+}
+
+TEST_F(ServeTest, ReasonsDistinguishNoModelFromNoMeasurement) {
+  LineStateStore store(2);
+  store.ingest({1, 0, 1, metrics_with_state(1.0F, 5.0F)});
+  ModelRegistry registry;
+  ScoringService service(store, registry);
+
+  // Nothing published (an untrained kernel counts as nothing): kNoModel.
+  EXPECT_EQ(service.score(1).reason, ScoreReason::kNoModel);
+
+  // Trained model published: the measured line scores kOk, while a
+  // line that has never reported a measurement says so.
+  registry.publish(predictor_->kernel());
+  const auto known = service.score(1);
+  EXPECT_TRUE(known.valid);
+  EXPECT_EQ(known.reason, ScoreReason::kOk);
+  const auto unknown = service.score(9);
+  EXPECT_FALSE(unknown.valid);
+  EXPECT_EQ(unknown.reason, ScoreReason::kNoMeasurement);
 }
 
 TEST(ModelRegistry, VersionsAdvanceAndAcquireIsStable) {

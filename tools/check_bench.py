@@ -2,13 +2,15 @@
 """Compare two NEVERMIND benchmark JSON files for timing regressions.
 
 Every bench binary that measures wall-clock time (bench_perf_pipeline,
-bench_train, bench_serve) writes a BENCH_*.json with metric fields named
-by convention: names ending in ``_s`` are timings (lower is better),
-names ending in ``_per_s`` are throughputs (higher is better). This tool
-diffs a baseline file against a candidate file (or two directories of
-BENCH_*.json files, matched by name) and fails when any timing slowed
-down — or any throughput dropped — by more than the threshold (default
-20%).
+bench_train, bench_serve, bench_net) writes a BENCH_*.json with metric
+fields named by convention: names ending in ``_s`` are timings in
+seconds and names ending in ``_ms`` are timings in milliseconds (both
+lower is better; ``_ms`` values are converted to seconds so --min-time
+applies uniformly), while names ending in ``_per_s`` are throughputs
+(higher is better). This tool diffs a baseline file against a candidate
+file (or two directories of BENCH_*.json files, matched by name) and
+fails when any timing slowed down — or any throughput dropped — by more
+than the threshold (default 20%).
 
 Timings below a minimum (default 0.05 s) are skipped: at smoke sizes a
 scheduler hiccup easily doubles a 5 ms measurement, and such fields say
@@ -36,9 +38,11 @@ def metric_fields(obj, prefix=""):
     """Yield (dotted_path, kind, value) for every metric field.
 
     kind is "throughput" for numeric fields ending in _per_s (higher is
-    better) and "time" for other numeric fields ending in _s (lower is
-    better). The _per_s check runs first — a _per_s name also ends in
-    _s, and classifying it as a timing would invert the comparison.
+    better) and "time" for other numeric fields ending in _s or _ms
+    (lower is better; _ms values come back in seconds so thresholds and
+    --min-time apply uniformly). The _per_s check runs first — a _per_s
+    name also ends in _s, and classifying it as a timing would invert
+    the comparison.
 
     Lists are keyed by a stable attribute when the elements carry one
     (the benches key runs by "threads") and by index otherwise, so the
@@ -49,6 +53,8 @@ def metric_fields(obj, prefix=""):
             path = f"{prefix}.{key}" if prefix else key
             if key.endswith("_per_s") and isinstance(value, (int, float)):
                 yield path, "throughput", float(value)
+            elif key.endswith("_ms") and isinstance(value, (int, float)):
+                yield path, "time", float(value) / 1000.0
             elif key.endswith("_s") and isinstance(value, (int, float)):
                 yield path, "time", float(value)
             else:
@@ -181,6 +187,33 @@ def self_test():
     zero["query_per_s"] = 0.0
     assert compare(zero, serve, 0.2, 0.05) == []
     assert compare(serve, zero, 0.2, 0.05) == []
+
+    # --- millisecond timing fields (_ms, lower is better) ------------
+    net = {
+        "bench": "net",
+        "score_per_s": 20000.0,
+        "score_p99_ms": 400.0,
+        "ping_p50_ms": 60.0,
+    }
+    # Unchanged: clean.
+    assert compare(net, net, 0.2, 0.05) == []
+    # A latency INCREASE is a regression, same direction as _s fields.
+    slower_ms = json.loads(json.dumps(net))
+    slower_ms["score_p99_ms"] = 800.0
+    msgs = compare(net, slower_ms, 0.2, 0.05)
+    assert len(msgs) == 1 and "score_p99_ms" in msgs[0], msgs
+    # A latency improvement is never flagged.
+    faster_ms = json.loads(json.dumps(net))
+    faster_ms["score_p99_ms"] = 100.0
+    faster_ms["ping_p50_ms"] = 55.0
+    assert compare(net, faster_ms, 0.2, 0.05) == []
+    # _ms values are compared in seconds: 60 ms sits above a 50 ms
+    # floor (flagged when doubled) but ducks under a 100 ms floor.
+    doubled_ping = json.loads(json.dumps(net))
+    doubled_ping["ping_p50_ms"] = 120.0
+    msgs = compare(net, doubled_ping, 0.2, 0.05)
+    assert len(msgs) == 1 and "ping_p50_ms" in msgs[0], msgs
+    assert compare(net, doubled_ping, 0.2, 0.1) == []
     print("check_bench.py self-test passed")
     return 0
 

@@ -14,6 +14,14 @@
 //       replay the year through the online serving stack (sharded line
 //       store + model registry + micro-batched scoring service) and
 //       print the same top-K ranking predict would
+//   nevermind serve    --lines N --seed S --listen PORT
+//       train (or --load-models) and expose the scoring service on a
+//       TCP port speaking the framed binary protocol; runs until
+//       SIGINT/SIGTERM, then drains in-flight requests and exits
+//   nevermind loadgen  --port P [--host H] [--connections C] [--week W]
+//       simulate the same dataset, replay its feeds against a live
+//       server over C connections, fetch every score over the wire and
+//       print per-op throughput/latency plus the served top-K
 //   nevermind summary  --lines N --seed S
 //       dataset overview (ticket trends, location shares)
 //
@@ -21,10 +29,15 @@
 // --load-models DIR: predict and serve use DIR/predictor.kernel
 // ("nmkernel v1"), locate uses DIR/locator.model ("nmlocator v1").
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <string>
 
@@ -35,6 +48,8 @@
 #include "dslsim/export.hpp"
 #include "dslsim/summary.hpp"
 #include "ml/serialization.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
 #include "serve/line_state_store.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/replay.hpp"
@@ -58,6 +73,12 @@ struct CliArgs {
   std::size_t threads = 1;
   std::size_t shards = 16;
   ml::BinningMode binning = ml::BinningMode::kExact;
+  // Network front-end (serve --listen / loadgen).
+  std::optional<std::uint16_t> listen_port;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t connections = 8;
+  std::size_t deadline_ms = 0;
 
   /// Shared pool for the run; serial when --threads 1 (the default).
   [[nodiscard]] exec::ExecContext exec() const {
@@ -65,43 +86,108 @@ struct CliArgs {
   }
 };
 
+void usage();
+
+[[noreturn]] void die_usage(const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  usage();
+  std::exit(2);
+}
+
+/// Checked unsigned parse: the whole token must be a decimal number in
+/// [min, max] — "foo", "12foo", "-3", "" and out-of-range values all
+/// die with the flag named, instead of silently becoming 0 as atoi
+/// would make them.
+std::uint64_t parse_uint(const char* flag, const char* text,
+                         std::uint64_t min_value, std::uint64_t max_value) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || text[0] == '-' || errno == ERANGE ||
+      value < min_value || value > max_value) {
+    die_usage(std::string(flag) + " expects an integer in [" +
+              std::to_string(min_value) + ", " + std::to_string(max_value) +
+              "], got '" + text + "'");
+  }
+  return value;
+}
+
+/// Checked signed parse with the same full-token discipline.
+std::int64_t parse_int(const char* flag, const char* text,
+                       std::int64_t min_value, std::int64_t max_value) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || value < min_value ||
+      value > max_value) {
+    die_usage(std::string(flag) + " expects an integer in [" +
+              std::to_string(min_value) + ", " + std::to_string(max_value) +
+              "], got '" + text + "'");
+  }
+  return value;
+}
+
 CliArgs parse(int argc, char** argv, int first) {
   CliArgs args;
-  for (int i = first; i + 1 < argc + 1; ++i) {
-    const auto flag = [&](const char* name) {
-      return i + 1 < argc && std::strcmp(argv[i], name) == 0;
+  for (int i = first; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) die_usage("missing value for " + flag);
+      return argv[++i];
     };
-    if (flag("--lines")) {
-      args.lines = static_cast<std::uint32_t>(std::atoi(argv[++i]));
-    } else if (flag("--seed")) {
-      args.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    } else if (flag("--week")) {
-      args.week = std::atoi(argv[++i]);
-    } else if (flag("--top")) {
-      args.top = static_cast<std::size_t>(std::atoi(argv[++i]));
-    } else if (flag("--out")) {
-      args.out_dir = argv[++i];
-    } else if (flag("--model")) {
-      args.model_path = argv[++i];
-    } else if (flag("--save-models")) {
-      args.save_models_dir = argv[++i];
-    } else if (flag("--load-models")) {
-      args.load_models_dir = argv[++i];
-    } else if (flag("--threads")) {
-      args.threads = static_cast<std::size_t>(std::atoi(argv[++i]));
-    } else if (flag("--shards")) {
-      args.shards = std::max<std::size_t>(
-          1, static_cast<std::size_t>(std::atoi(argv[++i])));
-    } else if (flag("--binning")) {
-      const std::string mode = argv[++i];
+    if (flag == "--lines") {
+      args.lines = static_cast<std::uint32_t>(
+          parse_uint("--lines", value(), 1, 10'000'000));
+    } else if (flag == "--seed") {
+      args.seed = parse_uint("--seed", value(), 0,
+                             std::numeric_limits<std::uint64_t>::max());
+    } else if (flag == "--week") {
+      args.week = static_cast<int>(parse_int("--week", value(), 0, 52));
+    } else if (flag == "--top") {
+      args.top = static_cast<std::size_t>(
+          parse_uint("--top", value(), 1, 10'000'000));
+    } else if (flag == "--out") {
+      args.out_dir = value();
+    } else if (flag == "--model") {
+      args.model_path = value();
+    } else if (flag == "--save-models") {
+      args.save_models_dir = value();
+    } else if (flag == "--load-models") {
+      args.load_models_dir = value();
+    } else if (flag == "--threads") {
+      // 0 stays accepted as an explicit "serial" (exec() treats <2 as
+      // serial); non-numeric input is rejected rather than silently 0.
+      args.threads =
+          static_cast<std::size_t>(parse_uint("--threads", value(), 0, 256));
+    } else if (flag == "--shards") {
+      args.shards =
+          static_cast<std::size_t>(parse_uint("--shards", value(), 1, 4096));
+    } else if (flag == "--listen") {
+      args.listen_port = static_cast<std::uint16_t>(
+          parse_uint("--listen", value(), 0, 65535));
+    } else if (flag == "--host") {
+      args.host = value();
+    } else if (flag == "--port") {
+      args.port =
+          static_cast<std::uint16_t>(parse_uint("--port", value(), 1, 65535));
+    } else if (flag == "--connections") {
+      args.connections = static_cast<std::size_t>(
+          parse_uint("--connections", value(), 1, 1024));
+    } else if (flag == "--deadline-ms") {
+      args.deadline_ms = static_cast<std::size_t>(
+          parse_uint("--deadline-ms", value(), 0, 3'600'000));
+    } else if (flag == "--binning") {
+      const std::string mode = value();
       if (mode == "hist" || mode == "histogram") {
         args.binning = ml::BinningMode::kHistogram;
       } else if (mode == "exact") {
         args.binning = ml::BinningMode::kExact;
       } else {
-        std::cerr << "unknown --binning mode '" << mode
-                  << "' (expected exact|hist); using exact\n";
+        die_usage("unknown --binning mode '" + mode +
+                  "' (expected exact|hist)");
       }
+    } else {
+      die_usage("unknown argument '" + flag + "'");
     }
   }
   return args;
@@ -319,7 +405,68 @@ int cmd_locate(const CliArgs& args) {
   return 0;
 }
 
+/// The server being drained by the signal handlers. Handlers only call
+/// Server::request_stop(), which is async-signal-safe by construction
+/// (atomic store + eventfd write).
+std::atomic<net::Server*> g_server{nullptr};
+
+void handle_shutdown_signal(int) {
+  if (net::Server* server = g_server.load(std::memory_order_acquire)) {
+    server->request_stop();
+  }
+}
+
+/// serve --listen PORT: expose the scoring service on TCP. The store
+/// starts empty — measurements and tickets arrive over the wire
+/// (INGEST_* ops) — and the model comes from local training or
+/// --load-models.
+int cmd_serve_listen(const CliArgs& args) {
+  const exec::ExecContext exec = args.exec();
+  const auto data = simulate(args, exec);
+  auto predictor_opt = make_predictor(args, exec, data);
+  if (!predictor_opt.has_value()) return 1;
+
+  serve::LineStateStore store(args.shards);
+  serve::ModelRegistry registry;
+  const std::uint64_t version = registry.publish(predictor_opt->kernel());
+  serve::ServiceConfig service_cfg;
+  service_cfg.exec = exec;
+  service_cfg.deadline = std::chrono::milliseconds(args.deadline_ms);
+  serve::ScoringService service(store, registry, service_cfg);
+
+  net::ServerConfig server_cfg;
+  server_cfg.port = *args.listen_port;
+  net::Server server(store, service, registry, server_cfg);
+  std::string error;
+  if (!server.start(&error)) {
+    std::cerr << "cannot listen on port " << *args.listen_port << ": "
+              << error << "\n";
+    return 1;
+  }
+
+  g_server.store(&server, std::memory_order_release);
+  struct sigaction sa{};
+  sa.sa_handler = handle_shutdown_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  std::cerr << "listening on " << server_cfg.bind_address << ":"
+            << server.port() << " (model v" << version << ", "
+            << args.shards << " shards); SIGINT/SIGTERM drains and exits\n";
+  server.run();
+  g_server.store(nullptr, std::memory_order_release);
+
+  const net::ServerStats& stats = server.stats();
+  std::cerr << "drained: " << stats.accepted << " connections, "
+            << stats.frames_in << " frames in, " << stats.replies_out
+            << " replies, " << stats.protocol_errors << " protocol errors, "
+            << stats.idle_closed << " idle-closed, " << stats.slow_closed
+            << " slow-closed\n";
+  return 0;
+}
+
 int cmd_serve(const CliArgs& args) {
+  if (args.listen_port.has_value()) return cmd_serve_listen(args);
   const exec::ExecContext exec = args.exec();
   const auto data = simulate(args, exec);
   auto predictor_opt = make_predictor(args, exec, data);
@@ -353,6 +500,51 @@ int cmd_serve(const CliArgs& args) {
   return 0;
 }
 
+/// loadgen: replay the simulated feeds against a live `serve --listen`
+/// server and fetch every score over the wire.
+int cmd_loadgen(const CliArgs& args) {
+  if (args.port == 0) die_usage("loadgen requires --port");
+  const auto data = simulate(args, args.exec());
+
+  net::LoadGenConfig cfg;
+  cfg.host = args.host;
+  cfg.port = args.port;
+  cfg.connections = args.connections;
+  cfg.through_week = args.week;
+  cfg.top_n = static_cast<std::uint32_t>(args.top);
+  std::cerr << "replaying through week " << args.week << " over "
+            << cfg.connections << " connections to " << cfg.host << ":"
+            << cfg.port << "...\n";
+  const net::LoadGenReport report = net::LoadGen(data, cfg).run();
+  if (!report.ok) {
+    std::cerr << "loadgen failed: " << report.error << "\n";
+    return 1;
+  }
+
+  const auto ms = [](double s) { return s * 1e3; };
+  util::Table ops({"op", "count", "per_s", "p50_ms", "p99_ms"});
+  const auto add = [&](const char* name, const net::OpStats& s) {
+    if (s.count == 0) return;
+    ops.add_row({name, std::to_string(s.count),
+                 std::to_string(static_cast<std::uint64_t>(s.per_s())),
+                 std::to_string(ms(s.percentile_s(0.50))),
+                 std::to_string(ms(s.percentile_s(0.99)))});
+  };
+  add("ingest", report.ingest);
+  add("score", report.score);
+  add("ping", report.ping);
+  add("top_n", report.top_n);
+  ops.print(std::cerr);
+
+  std::cout << "rank,line,week,score,probability,model_version\n";
+  for (std::size_t i = 0; i < report.ranked.size(); ++i) {
+    const auto& s = report.ranked[i];
+    std::cout << i + 1 << ',' << s.line << ',' << s.week << ',' << s.score
+              << ',' << s.probability << ',' << s.model_version << '\n';
+  }
+  return 0;
+}
+
 int cmd_summary(const CliArgs& args) {
   const auto data = simulate(args, args.exec());
   const auto tickets = dslsim::summarize_tickets(data);
@@ -372,10 +564,15 @@ int cmd_summary(const CliArgs& args) {
 }
 
 void usage() {
-  std::cerr << "usage: nevermind <simulate|predict|locate|serve|summary> "
-               "[--lines N] [--seed S] [--week W] [--top K] [--out DIR] "
-               "[--model FILE] [--save-models DIR] [--load-models DIR] "
-               "[--threads T] [--shards P] [--binning exact|hist]\n";
+  std::cerr
+      << "usage: nevermind <simulate|predict|locate|serve|loadgen|summary> "
+         "[--lines N] [--seed S] [--week W] [--top K] [--out DIR] "
+         "[--model FILE] [--save-models DIR] [--load-models DIR] "
+         "[--threads T] [--shards P] [--binning exact|hist]\n"
+         "  serve --listen PORT [--deadline-ms D]   expose the scoring "
+         "service over TCP (0 = ephemeral port)\n"
+         "  loadgen --port P [--host H] [--connections C]   drive a live "
+         "server with the simulated feeds\n";
 }
 
 }  // namespace
@@ -391,6 +588,7 @@ int main(int argc, char** argv) {
   if (cmd == "predict") return cmd_predict(args);
   if (cmd == "locate") return cmd_locate(args);
   if (cmd == "serve") return cmd_serve(args);
+  if (cmd == "loadgen") return cmd_loadgen(args);
   if (cmd == "summary") return cmd_summary(args);
   usage();
   return 2;

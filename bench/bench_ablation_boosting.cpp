@@ -46,14 +46,16 @@ int main(int argc, char** argv) {
   const auto test_block = features::encode_weeks(
       data, splits.test_from, splits.test_to, encoder_cfg, labeler);
   std::vector<std::size_t> sel = reference.selected_features();
-  const ml::Dataset train = train_block.dataset.select_columns(sel);
-  const ml::Dataset test = test_block.dataset.select_columns(sel);
+  const ml::DatasetView train =
+      ml::DatasetView(train_block.dataset).cols(sel);
+  const ml::DatasetView test = ml::DatasetView(test_block.dataset).cols(sel);
+  const std::vector<std::uint8_t> test_labels = test.labels_copy();
 
   auto precision_at_budget = [&](const ml::BStumpModel& model,
-                                 const ml::Dataset& eval) {
+                                 const ml::DatasetView& eval) {
     const auto scores = model.score_dataset(eval);
     const std::size_t cuts[] = {cutoff};
-    return ml::precision_curve(scores, eval.labels(), cuts)[0];
+    return ml::precision_curve(scores, test_labels, cuts)[0];
   };
 
   std::cout << "\n-- boosting rounds sweep --\n";
@@ -78,8 +80,7 @@ int main(int argc, char** argv) {
       const bool positive = train.label(r) && !rng.bernoulli(flip);
       noisy[r] = positive ? 1 : 0;
     }
-    ml::Dataset noisy_train = train;
-    noisy_train.relabel(noisy);
+    const ml::DatasetView noisy_train = train.relabel(noisy);
 
     ml::BStumpConfig bcfg;
     bcfg.iterations = 200;
@@ -94,7 +95,7 @@ int main(int argc, char** argv) {
     const auto tree_scores = tree_model.score_dataset(test);
     const std::size_t cuts[] = {cutoff};
     const double tree_prec =
-        ml::precision_curve(tree_scores, test.labels(), cuts)[0];
+        ml::precision_curve(tree_scores, test_labels, cuts)[0];
 
     noise_table.add_row(
         {util::fmt_percent(flip, 0),

@@ -43,15 +43,17 @@ int main(int argc, char** argv) {
       features::encode_weeks(data, splits.test_from, splits.test_to,
                              reference.full_encoder_config(), labeler);
   const auto& sel = reference.selected_features();
-  const ml::Dataset train = train_block.dataset.select_columns(sel);
-  const ml::Dataset test = test_block.dataset.select_columns(sel);
+  const ml::DatasetView train =
+      ml::DatasetView(train_block.dataset).cols(sel);
+  const ml::DatasetView test = ml::DatasetView(test_block.dataset).cols(sel);
+  const std::vector<std::uint8_t> test_labels = test.labels_copy();
 
   util::Table table({"model", "accuracy at 1x budget", "AUC"});
   const auto report = [&](const char* name, const std::vector<double>& scores) {
     const std::size_t cuts[] = {cutoff};
-    const auto prec = ml::precision_curve(scores, test.labels(), cuts);
+    const auto prec = ml::precision_curve(scores, test_labels, cuts);
     table.add_row({name, util::fmt_percent(prec[0]),
-                   util::fmt_double(ml::auc(scores, test.labels()), 3)});
+                   util::fmt_double(ml::auc(scores, test_labels), 3)});
   };
 
   std::cout << "training BStump...\n";

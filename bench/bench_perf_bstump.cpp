@@ -14,13 +14,13 @@ namespace {
 
 using namespace nevermind;
 
-ml::Dataset make_dataset(std::size_t rows, std::size_t cols,
+ml::FeatureArena make_dataset(std::size_t rows, std::size_t cols,
                          std::uint64_t seed) {
   std::vector<ml::ColumnInfo> infos(cols);
   for (std::size_t j = 0; j < cols; ++j) {
     infos[j] = {"f" + std::to_string(j), false};
   }
-  ml::Dataset d(std::move(infos), rows);
+  ml::FeatureArena d(std::move(infos), rows);
   util::Rng rng(seed);
   std::vector<float> row(cols);
   for (std::size_t i = 0; i < rows; ++i) {
@@ -37,7 +37,7 @@ ml::Dataset make_dataset(std::size_t rows, std::size_t cols,
 void BM_TrainBStump(benchmark::State& state) {
   const auto rows = static_cast<std::size_t>(state.range(0));
   const auto iterations = static_cast<std::size_t>(state.range(1));
-  const ml::Dataset d = make_dataset(rows, 25, 7);
+  const ml::FeatureArena d = make_dataset(rows, 25, 7);
   ml::BStumpConfig cfg;
   cfg.iterations = iterations;
   for (auto _ : state) {
@@ -59,8 +59,8 @@ BENCHMARK(BM_TrainBStump)
 
 void BM_RankLines(benchmark::State& state) {
   const auto rows = static_cast<std::size_t>(state.range(0));
-  const ml::Dataset train = make_dataset(20000, 25, 8);
-  const ml::Dataset score_set = make_dataset(rows, 25, 9);
+  const ml::FeatureArena train = make_dataset(20000, 25, 8);
+  const ml::FeatureArena score_set = make_dataset(rows, 25, 9);
   ml::BStumpConfig cfg;
   cfg.iterations = 200;
   const ml::BStumpModel model = ml::train_bstump(train, cfg);
@@ -81,7 +81,7 @@ BENCHMARK(BM_RankLines)
 void BM_SingleFeatureSelectionScore(benchmark::State& state) {
   // The per-feature cost of the AP(N) selection pass.
   const auto rows = static_cast<std::size_t>(state.range(0));
-  const ml::Dataset d = make_dataset(rows, 25, 10);
+  const ml::FeatureArena d = make_dataset(rows, 25, 10);
   ml::BStumpConfig cfg;
   cfg.iterations = 12;
   std::size_t feature = 0;

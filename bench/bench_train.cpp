@@ -15,8 +15,18 @@
 // one-core container the numbers are still reported and compared
 // offline by tools/check_bench.py.
 //
+// A third section, bench_dataplane, measures the memory cost of the
+// CV + feature-selection phase twice — once through the zero-copy
+// DatasetView data plane and once through materialized per-fold copies
+// (the pre-arena behaviour) — and reports cumulative allocator bytes
+// and peak RSS for each into BENCH_train.json. The two paths must
+// produce identical models and metrics; the bench fails otherwise.
+//
 // Usage: bench_train [--lines N] [--seed S] [--rounds R]
 //                    [--locator-rounds R] [--out FILE] [--tolerance T]
+#define NEVERMIND_MEMPROBE_IMPL
+#include "memprobe.hpp"
+
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -35,6 +45,8 @@
 #include "exec/exec.hpp"
 #include "features/encoder.hpp"
 #include "ml/adaboost.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/feature_selection.hpp"
 #include "ml/metrics.hpp"
 
 namespace {
@@ -71,7 +83,7 @@ bool same_model(const ml::BStumpModel& a, const ml::BStumpModel& b) {
 }
 
 Timing run_at(std::size_t threads, const dslsim::SimDataset& data,
-              const ml::Dataset& train, const bench::PaperSplits& splits,
+              const ml::FeatureArena& train, const bench::PaperSplits& splits,
               std::size_t rounds, std::size_t locator_rounds,
               std::uint32_t lines) {
   Timing t;
@@ -112,6 +124,128 @@ Timing run_at(std::size_t threads, const dslsim::SimDataset& data,
   return t;
 }
 
+struct DataplaneStats {
+  bool rss_reset_supported = false;
+  double view_s = 0.0;
+  double copy_s = 0.0;
+  std::uint64_t view_alloc_bytes = 0;
+  std::uint64_t copy_alloc_bytes = 0;
+  /// Peak RSS the phase added over the RSS at its start — the memory
+  /// the CV + selection work itself is responsible for, independent of
+  /// the simulator and arena footprint both phases share.
+  std::uint64_t view_peak_rss_bytes = 0;
+  std::uint64_t copy_peak_rss_bytes = 0;
+  bool outputs_identical = true;
+};
+
+/// The CV + feature-selection workload of the training pipeline, run
+/// through row/column views. `materialized` instead copies every fold
+/// and split into a fresh arena first — the pre-view data plane — so
+/// the two runs bracket exactly the memory the views eliminate.
+struct DataplaneOutputs {
+  std::vector<double> fold_metrics;
+  std::vector<double> selection_scores;
+  ml::BStumpModel last_fold_model;
+};
+
+DataplaneOutputs run_dataplane_workload(const ml::FeatureArena& train,
+                                        std::size_t rounds,
+                                        bool materialized) {
+  DataplaneOutputs out;
+  const ml::DatasetView view(train);
+  const std::size_t n = view.n_rows();
+
+  // 3-fold CV of a BStump ensemble, the select_boosting_rounds shape.
+  ml::BStumpConfig cv_cfg;
+  cv_cfg.iterations = std::min<std::size_t>(rounds, 60);
+  const auto folds = ml::make_folds(n, 3);
+  for (const auto& fold : folds) {
+    if (fold.train_rows.empty() || fold.validation_rows.empty()) continue;
+    ml::BStumpModel model;
+    std::vector<double> scores;
+    std::vector<std::uint8_t> val_labels;
+    if (materialized) {
+      const ml::FeatureArena ftrain =
+          ml::materialize(view.rows(fold.train_rows));
+      const ml::FeatureArena fval =
+          ml::materialize(view.rows(fold.validation_rows));
+      model = ml::train_bstump(ftrain, cv_cfg);
+      scores = model.score_dataset(fval);
+      val_labels.assign(fval.labels().begin(), fval.labels().end());
+    } else {
+      const ml::DatasetView ftrain = view.rows(fold.train_rows);
+      const ml::DatasetView fval = view.rows(fold.validation_rows);
+      model = ml::train_bstump(ftrain, cv_cfg);
+      scores = model.score_dataset(fval);
+      val_labels = fval.labels_copy();
+    }
+    out.fold_metrics.push_back(
+        ml::top_n_average_precision(scores, val_labels, 50));
+    out.last_fold_model = std::move(model);
+  }
+
+  // Per-feature AP(N) selection on an 80/20 row split.
+  std::vector<std::size_t> sel_train_rows;
+  std::vector<std::size_t> sel_val_rows;
+  for (std::size_t r = 0; r < n; ++r) {
+    (r % 5 == 4 ? sel_val_rows : sel_train_rows).push_back(r);
+  }
+  ml::FeatureScoringConfig scoring;
+  scoring.boost_iterations = 8;
+  scoring.top_n = 50;
+  if (materialized) {
+    const ml::FeatureArena sel_train =
+        ml::materialize(view.rows(sel_train_rows));
+    const ml::FeatureArena sel_val = ml::materialize(view.rows(sel_val_rows));
+    out.selection_scores = ml::score_features(
+        sel_train, sel_val, ml::SelectionMethod::kTopNAp, scoring);
+  } else {
+    out.selection_scores = ml::score_features(
+        view.rows(sel_train_rows), view.rows(sel_val_rows),
+        ml::SelectionMethod::kTopNAp, scoring);
+  }
+  return out;
+}
+
+DataplaneStats run_dataplane(const ml::FeatureArena& train,
+                             std::size_t rounds) {
+  namespace memprobe = bench::memprobe;
+  DataplaneStats stats;
+  // View phase first: if the kernel cannot reset the peak-RSS
+  // watermark, VmHWM is monotone and the copy phase measured second
+  // still upper-bounds it, keeping copy >= view honest.
+  stats.rss_reset_supported = memprobe::reset_peak_rss();
+  std::uint64_t alloc0 = memprobe::bytes_allocated();
+  std::uint64_t rss0 = memprobe::current_rss_bytes();
+  auto start = Clock::now();
+  const DataplaneOutputs view_out = run_dataplane_workload(train, rounds,
+                                                           false);
+  stats.view_s = seconds_since(start);
+  stats.view_alloc_bytes = memprobe::bytes_allocated() - alloc0;
+  const std::uint64_t view_peak = memprobe::peak_rss_bytes();
+  stats.view_peak_rss_bytes = view_peak > rss0 ? view_peak - rss0 : 0;
+
+  memprobe::reset_peak_rss();
+  alloc0 = memprobe::bytes_allocated();
+  rss0 = memprobe::current_rss_bytes();
+  start = Clock::now();
+  const DataplaneOutputs copy_out = run_dataplane_workload(train, rounds,
+                                                           true);
+  stats.copy_s = seconds_since(start);
+  stats.copy_alloc_bytes = memprobe::bytes_allocated() - alloc0;
+  const std::uint64_t copy_peak = memprobe::peak_rss_bytes();
+  stats.copy_peak_rss_bytes = copy_peak > rss0 ? copy_peak - rss0 : 0;
+
+  // The views are a pure representation change: every fold metric,
+  // every selection score and the last fold ensemble must match the
+  // materialized path bit for bit.
+  stats.outputs_identical =
+      view_out.fold_metrics == copy_out.fold_metrics &&
+      view_out.selection_scores == copy_out.selection_scores &&
+      same_model(view_out.last_fold_model, copy_out.last_fold_model);
+  return stats;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -150,11 +284,11 @@ int main(int argc, char** argv) {
   const features::EncoderConfig enc_cfg;
   const features::TicketLabeler labeler{};
   std::cerr << "encoding training and test blocks...\n";
-  const ml::Dataset train =
+  const ml::FeatureArena train =
       features::encode_weeks(data, splits.train_from, splits.train_to, enc_cfg,
                              labeler)
           .dataset;
-  const ml::Dataset test =
+  const ml::FeatureArena test =
       features::encode_weeks(data, splits.test_from, splits.test_to, enc_cfg,
                              labeler)
           .dataset;
@@ -180,6 +314,14 @@ int main(int argc, char** argv) {
                     same_model(timings[0].hist_model, timings[i].hist_model);
   }
 
+  std::cerr << "measuring data-plane memory (view vs copy)...\n";
+  const DataplaneStats dp = run_dataplane(train, rounds);
+  const double rss_reduction =
+      dp.copy_peak_rss_bytes > 0
+          ? 1.0 - static_cast<double>(dp.view_peak_rss_bytes) /
+                      static_cast<double>(dp.copy_peak_rss_bytes)
+          : 0.0;
+
   const double auc_exact =
       ml::auc(timings[0].exact_model.score_dataset(test), test.labels());
   const double auc_hist =
@@ -201,6 +343,19 @@ int main(int argc, char** argv) {
        << "  \"tolerance\": " << tolerance << ",\n"
        << "  \"deterministic\": " << (deterministic ? "true" : "false")
        << ",\n"
+       << "  \"dataplane\": {\n"
+       << "    \"rss_reset_supported\": "
+       << (dp.rss_reset_supported ? "true" : "false") << ",\n"
+       << "    \"outputs_identical\": "
+       << (dp.outputs_identical ? "true" : "false") << ",\n"
+       << "    \"view_s\": " << dp.view_s << ",\n"
+       << "    \"copy_s\": " << dp.copy_s << ",\n"
+       << "    \"view_alloc_bytes\": " << dp.view_alloc_bytes << ",\n"
+       << "    \"copy_alloc_bytes\": " << dp.copy_alloc_bytes << ",\n"
+       << "    \"view_peak_rss_bytes\": " << dp.view_peak_rss_bytes << ",\n"
+       << "    \"copy_peak_rss_bytes\": " << dp.copy_peak_rss_bytes << ",\n"
+       << "    \"peak_rss_reduction\": " << rss_reduction << "\n"
+       << "  },\n"
        << "  \"runs\": [\n";
   for (std::size_t i = 0; i < timings.size(); ++i) {
     const Timing& t = timings[i];
@@ -229,6 +384,10 @@ int main(int argc, char** argv) {
   if (auc_regression > tolerance) {
     std::cerr << "ERROR: binned AUC is " << auc_regression
               << " below exact (tolerance " << tolerance << ")\n";
+    return 1;
+  }
+  if (!dp.outputs_identical) {
+    std::cerr << "ERROR: view and materialized data planes disagree\n";
     return 1;
   }
   return 0;

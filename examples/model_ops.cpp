@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
   const auto block = features::encode_weeks(
       data, week, week, predictor.full_encoder_config(), labeler);
   const auto selected =
-      block.dataset.select_columns(predictor.selected_features());
+      ml::DatasetView(block.dataset).cols(predictor.selected_features());
 
   std::size_t mismatches = 0;
   std::vector<float> row(selected.n_cols());
@@ -85,15 +85,15 @@ int main(int argc, char** argv) {
   const auto reference_block = features::encode_weeks(
       data, train_from, train_to, predictor.full_encoder_config(), labeler);
   core::DriftMonitor monitor;
-  monitor.fit(reference_block.dataset.select_columns(
-      predictor.selected_features()));
+  monitor.fit(ml::DatasetView(reference_block.dataset)
+                  .cols(predictor.selected_features()));
 
   util::Table drift({"week", "date", "max feature PSI", "alerts (>0.25)"});
   for (int w = train_to + 1; w <= week; w += 2) {
     const auto wk = features::encode_weeks(
         data, w, w, predictor.full_encoder_config(), labeler);
     const auto current =
-        wk.dataset.select_columns(predictor.selected_features());
+        ml::DatasetView(wk.dataset).cols(predictor.selected_features());
     const auto psi = monitor.column_psi(current);
     double max_psi = 0.0;
     for (double p : psi) max_psi = std::max(max_psi, p);

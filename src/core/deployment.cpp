@@ -23,7 +23,8 @@ void RollingDeployment::train_at(const dslsim::SimDataset& data,
   const features::TicketLabeler labeler{config_.predictor.horizon_days};
   const auto block = features::encode_weeks(
       data, train_from, train_to, predictor_.full_encoder_config(), labeler);
-  drift_.fit(block.dataset.select_columns(predictor_.selected_features()));
+  drift_.fit(
+      ml::DatasetView(block.dataset).cols(predictor_.selected_features()));
 }
 
 std::vector<DeploymentWeekReport> RollingDeployment::run(
@@ -63,7 +64,7 @@ std::vector<DeploymentWeekReport> RollingDeployment::run(
     const auto block = features::encode_weeks(
         data, week, week, predictor_.full_encoder_config(), labeler);
     const auto current =
-        block.dataset.select_columns(predictor_.selected_features());
+        ml::DatasetView(block.dataset).cols(predictor_.selected_features());
     const auto psi = drift_.column_psi(current);
     for (double p : psi) {
       report.max_psi = std::max(report.max_psi, p);

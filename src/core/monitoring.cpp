@@ -24,7 +24,7 @@ std::vector<float> quantile_edges(std::vector<float>& sorted,
   return edges;
 }
 
-std::vector<double> bin_fractions(std::span<const float> values,
+std::vector<double> bin_fractions(const ml::ColumnView& values,
                                   std::span<const float> edges) {
   // edges.size()+1 value bins, +1 trailing missing bin.
   std::vector<double> counts(edges.size() + 2, 0.0);
@@ -68,7 +68,8 @@ double population_stability_index(std::span<const float> reference,
   return psi_between(expected, actual);
 }
 
-void DriftMonitor::fit(const ml::Dataset& reference, std::size_t bins) {
+void DriftMonitor::fit(const ml::DatasetView& reference,
+                       std::size_t bins) {
   columns_.clear();
   columns_.reserve(reference.n_cols());
   for (std::size_t j = 0; j < reference.n_cols(); ++j) {
@@ -85,11 +86,12 @@ void DriftMonitor::fit(const ml::Dataset& reference, std::size_t bins) {
 }
 
 std::vector<double> DriftMonitor::occupancy(const ColumnReference& ref,
-                                            std::span<const float> values) {
+                                            const ml::ColumnView& values) {
   return bin_fractions(values, ref.edges);
 }
 
-std::vector<double> DriftMonitor::column_psi(const ml::Dataset& current) const {
+std::vector<double> DriftMonitor::column_psi(
+    const ml::DatasetView& current) const {
   std::vector<double> out;
   out.reserve(columns_.size());
   for (std::size_t j = 0; j < columns_.size() && j < current.n_cols(); ++j) {
@@ -100,7 +102,7 @@ std::vector<double> DriftMonitor::column_psi(const ml::Dataset& current) const {
 }
 
 std::vector<DriftMonitor::Alert> DriftMonitor::alerts(
-    const ml::Dataset& current, double threshold) const {
+    const ml::DatasetView& current, double threshold) const {
   const auto psi = column_psi(current);
   std::vector<Alert> out;
   for (std::size_t j = 0; j < psi.size(); ++j) {

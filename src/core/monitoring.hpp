@@ -32,7 +32,7 @@ class DriftMonitor {
 
   /// Learn per-column reference bins (equal-frequency) and expected
   /// occupancy from the training data.
-  void fit(const ml::Dataset& reference, std::size_t bins = 10);
+  void fit(const ml::DatasetView& reference, std::size_t bins = 10);
 
   [[nodiscard]] bool fitted() const noexcept { return !columns_.empty(); }
   [[nodiscard]] std::size_t n_columns() const noexcept {
@@ -42,7 +42,7 @@ class DriftMonitor {
   /// PSI per column for a scoring-time block (columns must align with
   /// the reference layout).
   [[nodiscard]] std::vector<double> column_psi(
-      const ml::Dataset& current) const;
+      const ml::DatasetView& current) const;
 
   struct Alert {
     std::size_t column = 0;
@@ -51,7 +51,7 @@ class DriftMonitor {
   };
 
   /// Columns whose PSI exceeds `threshold`, worst first.
-  [[nodiscard]] std::vector<Alert> alerts(const ml::Dataset& current,
+  [[nodiscard]] std::vector<Alert> alerts(const ml::DatasetView& current,
                                           double threshold = 0.25) const;
 
  private:
@@ -63,7 +63,7 @@ class DriftMonitor {
   std::vector<ColumnReference> columns_;
 
   [[nodiscard]] static std::vector<double> occupancy(
-      const ColumnReference& ref, std::span<const float> values);
+      const ColumnReference& ref, const ml::ColumnView& values);
 };
 
 }  // namespace nevermind::core

@@ -59,8 +59,9 @@ void TicketPredictor::train(const dslsim::SimDataset& data, int train_from,
       features::encode_weeks(data, train_from, train_to, base_cfg, labeler);
   const auto train_rows = rows_in_weeks(base_block, train_from, sel_train_to);
   const auto val_rows = rows_in_weeks(base_block, sel_train_to + 1, train_to);
-  ml::Dataset sel_train = base_block.dataset.select_rows(train_rows);
-  ml::Dataset sel_val = base_block.dataset.select_rows(val_rows);
+  const ml::DatasetView base_view(base_block.dataset);
+  const ml::DatasetView sel_train = base_view.rows(train_rows);
+  const ml::DatasetView sel_val = base_view.rows(val_rows);
 
   const std::vector<double> base_scores =
       ml::score_features(sel_train, sel_val, config_.selection, scoring);
@@ -97,8 +98,9 @@ void TicketPredictor::train(const dslsim::SimDataset& data, int train_from,
         data, train_from, train_to, kernel_.encoder, labeler);
     const auto ftrain = rows_in_weeks(full_block, train_from, sel_train_to);
     const auto fval = rows_in_weeks(full_block, sel_train_to + 1, train_to);
-    ml::Dataset dsel_train = full_block.dataset.select_rows(ftrain);
-    ml::Dataset dsel_val = full_block.dataset.select_rows(fval);
+    const ml::DatasetView full_view(full_block.dataset);
+    const ml::DatasetView dsel_train = full_view.rows(ftrain);
+    const ml::DatasetView dsel_val = full_view.rows(fval);
 
     const std::size_t n_base = base_scores.size();
     const std::size_t n_all = full_block.dataset.n_cols();
@@ -149,16 +151,15 @@ void TicketPredictor::train(const dslsim::SimDataset& data, int train_from,
   // ---- stage 3: final ensemble on the selected columns ----------------
   features::EncodedBlock final_block = features::encode_weeks(
       data, train_from, train_to, kernel_.encoder, labeler);
-  ml::Dataset final_train =
-      final_block.dataset.select_rows(rows_in_weeks(final_block, train_from,
-                                                    sel_train_to))
-          .select_columns(kernel_.selected);
-  ml::Dataset final_val =
-      final_block.dataset.select_rows(rows_in_weeks(final_block,
-                                                    sel_train_to + 1, train_to))
-          .select_columns(kernel_.selected);
+  const ml::DatasetView final_view(final_block.dataset);
+  const ml::DatasetView final_train =
+      final_view.rows(rows_in_weeks(final_block, train_from, sel_train_to))
+          .cols(kernel_.selected);
+  const ml::DatasetView final_val =
+      final_view.rows(rows_in_weeks(final_block, sel_train_to + 1, train_to))
+          .cols(kernel_.selected);
 
-  kernel_.columns = final_train.columns();
+  kernel_.columns = final_train.columns_copy();
 
   ml::BStumpConfig boost;
   boost.iterations = config_.boost_iterations;
@@ -178,7 +179,9 @@ void TicketPredictor::train(const dslsim::SimDataset& data, int train_from,
   // Calibrate on the held-out split so probabilities are honest.
   const std::vector<double> val_scores =
       kernel_.model.score_dataset(final_val, config_.exec);
-  kernel_.calibrator = ml::fit_platt(val_scores, final_val.labels());
+  std::vector<std::uint8_t> val_label_storage;
+  kernel_.calibrator =
+      ml::fit_platt(val_scores, final_val.labels(val_label_storage));
 }
 
 std::vector<double> TicketPredictor::score_block(

@@ -205,7 +205,7 @@ EncodedBlock encode_weeks(const dslsim::SimDataset& data, int emit_from,
       emit_to >= emit_from ? static_cast<std::size_t>(emit_to - emit_from + 1)
                            : 0;
 
-  EncodedBlock block{ml::Dataset(cols, n_lines * n_emit_weeks), {}, {}};
+  EncodedBlock block{ml::FeatureArena(cols, n_lines * n_emit_weeks), {}, {}};
   block.line_of_row.reserve(n_lines * n_emit_weeks);
   block.week_of_row.reserve(n_lines * n_emit_weeks);
 
@@ -251,7 +251,13 @@ LocatorBlock encode_at_dispatch(const dslsim::SimDataset& data, int week_from,
     notes_by_week[static_cast<std::size_t>(w)].push_back(i);
   }
 
-  LocatorBlock block{ml::Dataset(cols), {}};
+  // Pre-size the arena: the emit loop adds exactly one row per grouped
+  // note, so the exact row count is known before any allocation.
+  std::size_t n_emit_rows = 0;
+  for (const auto& week_notes : notes_by_week) n_emit_rows += week_notes.size();
+
+  LocatorBlock block{ml::FeatureArena(cols, n_emit_rows), {}};
+  block.note_of_row.reserve(n_emit_rows);
   std::vector<LineWindow> states(data.n_lines());
   std::vector<float> row(cols.size());
 

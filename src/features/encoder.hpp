@@ -86,9 +86,9 @@ void encode_window_row(const LineWindow& state,
                        std::span<float> out);
 
 /// Encoded examples for a span of weeks: one row per (line, week) with
-/// the row->line/week mapping kept alongside the ml::Dataset.
+/// the row->line/week mapping kept alongside the ml::FeatureArena.
 struct EncodedBlock {
-  ml::Dataset dataset;
+  ml::FeatureArena dataset;
   std::vector<dslsim::LineId> line_of_row;
   std::vector<int> week_of_row;
 };
@@ -124,7 +124,7 @@ struct TicketLabeler {
 /// [week_from, week_to], using the most recent measurement at or before
 /// the dispatch. Labels are all zero; the locator relabels per class.
 struct LocatorBlock {
-  ml::Dataset dataset;
+  ml::FeatureArena dataset;
   std::vector<std::uint32_t> note_of_row;  // index into data.notes()
 };
 

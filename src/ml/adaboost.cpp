@@ -9,10 +9,10 @@ namespace nevermind::ml {
 BStumpModel::BStumpModel(std::vector<Stump> stumps)
     : stumps_(std::move(stumps)) {}
 
-double BStumpModel::score_row(const Dataset& data, std::size_t row) const {
+double BStumpModel::score_row(const DatasetView& data, std::size_t row) const {
   double s = 0.0;
   for (const auto& stump : stumps_) {
-    s += stump.evaluate(data.at(row, stump.feature));
+    s += stump.evaluate(data.value(row, stump.feature));
   }
   return s;
 }
@@ -26,7 +26,7 @@ double BStumpModel::score_features(std::span<const float> features) const {
 }
 
 std::vector<double> BStumpModel::score_dataset(
-    const Dataset& data, const exec::ExecContext& exec) const {
+    const DatasetView& data, const exec::ExecContext& exec) const {
   std::vector<double> scores(data.n_rows(), 0.0);
   // Chunk across rows, not stumps: each row's accumulator is touched by
   // exactly one chunk and adds stump contributions in stump order, so
@@ -53,7 +53,7 @@ std::vector<double> BStumpModel::feature_influence(
   return influence;
 }
 
-TrainCache make_train_cache(const Dataset& data, const BStumpConfig& config) {
+TrainCache make_train_cache(const DatasetView& data, const BStumpConfig& config) {
   TrainCache cache;
   if (config.binning == BinningMode::kHistogram) {
     cache.binned = std::make_shared<const BinnedColumns>(
@@ -99,7 +99,7 @@ void finish_diagnostics(TrainDiagnostics* diagnostics,
       static_cast<double>(std::max<std::size_t>(margins.size(), 1));
 }
 
-BStumpModel train_exact(const Dataset& data,
+BStumpModel train_exact(const DatasetView& data,
                         std::span<const std::uint8_t> labels,
                         const SortedColumns& sorted,
                         const BStumpConfig& config,
@@ -203,21 +203,23 @@ BStumpModel train_binned(const BinnedColumns& bins,
 
 }  // namespace
 
-BStumpModel train_bstump(const Dataset& data, const BStumpConfig& config,
+BStumpModel train_bstump(const DatasetView& data, const BStumpConfig& config,
                          TrainDiagnostics* diagnostics,
                          std::span<const double> initial_weights) {
   if (data.n_rows() == 0) return BStumpModel{};
+  std::vector<std::uint8_t> label_storage;
+  const std::span<const std::uint8_t> labels = data.labels(label_storage);
   if (config.binning == BinningMode::kHistogram) {
     const BinnedColumns bins(data, config.binning_config, {}, config.exec);
-    return train_binned(bins, data.labels(), {}, config, diagnostics,
+    return train_binned(bins, labels, {}, config, diagnostics,
                         initial_weights);
   }
   const SortedColumns sorted(data, {}, config.exec);
-  return train_exact(data, data.labels(), sorted, config, diagnostics,
+  return train_exact(data, labels, sorted, config, diagnostics,
                      initial_weights, nullptr);
 }
 
-BStumpModel train_bstump_single_feature(const Dataset& data,
+BStumpModel train_bstump_single_feature(const DatasetView& data,
                                         std::size_t feature,
                                         const BStumpConfig& config) {
   if (feature >= data.n_cols()) {
@@ -228,11 +230,12 @@ BStumpModel train_bstump_single_feature(const Dataset& data,
   // The single-feature search is already O(n) per round over one
   // column; the exact scan stays the sole implementation here.
   const SortedColumns sorted(data, only, config.exec);
-  return train_exact(data, data.labels(), sorted, config, nullptr, {},
-                     &feature);
+  std::vector<std::uint8_t> label_storage;
+  return train_exact(data, data.labels(label_storage), sorted, config, nullptr,
+                     {}, &feature);
 }
 
-BStumpModel train_bstump_cached(const Dataset& data, const TrainCache& cache,
+BStumpModel train_bstump_cached(const DatasetView& data, const TrainCache& cache,
                                 std::span<const std::uint8_t> labels,
                                 std::span<const std::uint32_t> rows,
                                 const BStumpConfig& config,

@@ -58,7 +58,7 @@ struct TrainCache {
 };
 
 /// Builds the cache train_bstump would otherwise construct per call.
-[[nodiscard]] TrainCache make_train_cache(const Dataset& data,
+[[nodiscard]] TrainCache make_train_cache(const DatasetView& data,
                                           const BStumpConfig& config);
 
 /// Trained ensemble: f(x) = sum_t g_t(x). Higher scores mean "more
@@ -68,14 +68,14 @@ class BStumpModel {
   BStumpModel() = default;
   explicit BStumpModel(std::vector<Stump> stumps);
 
-  [[nodiscard]] double score_row(const Dataset& data, std::size_t row) const;
+  [[nodiscard]] double score_row(const DatasetView& data, std::size_t row) const;
   [[nodiscard]] double score_features(std::span<const float> features) const;
   /// Column-oriented scoring of a whole dataset; much faster than
   /// per-row loops for large datasets. Rows are independent, so a
   /// parallel context chunks them; every chunk walks the stumps in
   /// order, keeping per-row accumulation byte-identical to serial.
   [[nodiscard]] std::vector<double> score_dataset(
-      const Dataset& data,
+      const DatasetView& data,
       const exec::ExecContext& exec = exec::ExecContext::serial()) const;
 
   [[nodiscard]] const std::vector<Stump>& stumps() const noexcept {
@@ -101,7 +101,7 @@ struct TrainDiagnostics {
 
 /// Train BStump on `data`. Optional per-example starting weights (e.g.
 /// class re-balancing); defaults to uniform. `diagnostics` may be null.
-[[nodiscard]] BStumpModel train_bstump(const Dataset& data,
+[[nodiscard]] BStumpModel train_bstump(const DatasetView& data,
                                        const BStumpConfig& config,
                                        TrainDiagnostics* diagnostics = nullptr,
                                        std::span<const double> initial_weights = {});
@@ -109,16 +109,16 @@ struct TrainDiagnostics {
 /// Train a single-feature BStump (used by per-feature selection scores:
 /// the paper builds "a ticket predictor given each individual feature").
 [[nodiscard]] BStumpModel train_bstump_single_feature(
-    const Dataset& data, std::size_t feature, const BStumpConfig& config);
+    const DatasetView& data, std::size_t feature, const BStumpConfig& config);
 
 /// Train against a shared immutable matrix with externally supplied
 /// labels — no dataset copies. `cache` comes from make_train_cache on
-/// the same matrix. `rows` (histogram path only) restricts training to
+/// the same view. `rows` (histogram path only) restricts training to
 /// a row subset, which is how CV folds share one set of bin codes; the
-/// exact path requires `rows` to be empty. Labels are indexed by
-/// original row id.
+/// exact path requires `rows` to be empty. Labels are indexed by view
+/// row.
 [[nodiscard]] BStumpModel train_bstump_cached(
-    const Dataset& data, const TrainCache& cache,
+    const DatasetView& data, const TrainCache& cache,
     std::span<const std::uint8_t> labels, std::span<const std::uint32_t> rows,
     const BStumpConfig& config, TrainDiagnostics* diagnostics = nullptr,
     std::span<const double> initial_weights = {});

@@ -14,7 +14,7 @@ namespace {
 /// its thresholds bit for bit.
 float midpoint(float lo, float hi) noexcept { return lo + (hi - lo) * 0.5F; }
 
-void bin_continuous(std::span<const float> col, std::size_t max_finite,
+void bin_continuous(const ColumnView& col, std::size_t max_finite,
                     BinnedColumns::Column& out) {
   std::vector<float> values;
   values.reserve(col.size());
@@ -86,7 +86,7 @@ void bin_continuous(std::span<const float> col, std::size_t max_finite,
   }
 }
 
-void bin_categorical(std::span<const float> col, std::size_t max_finite,
+void bin_categorical(const ColumnView& col, std::size_t max_finite,
                      BinnedColumns::Column& out) {
   out.categorical = true;
   std::vector<float> distinct;
@@ -129,7 +129,7 @@ void bin_categorical(std::span<const float> col, std::size_t max_finite,
 
 }  // namespace
 
-BinnedColumns::BinnedColumns(const Dataset& data, const BinningConfig& config,
+BinnedColumns::BinnedColumns(const DatasetView& data, const BinningConfig& config,
                              std::span<const std::size_t> only,
                              const exec::ExecContext& exec)
     : n_rows_(data.n_rows()), columns_(data.n_cols()) {

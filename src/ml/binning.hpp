@@ -37,9 +37,10 @@ class BinnedColumns {
  public:
   /// Quantizes every column of `data` (columns are independent, so a
   /// parallel context splits the work across them). `only` non-empty
-  /// restricts to the listed columns, like SortedColumns.
+  /// restricts to the listed columns, like SortedColumns. Codes are
+  /// view-local — searches must run against the same view.
   explicit BinnedColumns(
-      const Dataset& data, const BinningConfig& config = {},
+      const DatasetView& data, const BinningConfig& config = {},
       std::span<const std::size_t> only = {},
       const exec::ExecContext& exec = exec::ExecContext::serial());
 
@@ -48,7 +49,7 @@ class BinnedColumns {
     /// Finite bins are codes 0..n_finite-1 in ascending value order;
     /// code n_finite is the missing bin.
     std::uint16_t n_finite = 0;
-    /// One code per row of the source dataset.
+    /// One code per row of the source view.
     std::vector<std::uint8_t> codes;
     /// Continuous columns: split_values[b] is the stump threshold
     /// between bin b and b+1 (size n_finite - 1) — the same midpoint
@@ -90,9 +91,10 @@ struct BinnedStumpResult {
 };
 
 /// Histogram-based best-stump search over all binned features.
-/// `labels` spans the FULL matrix (labels[row]); `rows` restricts
-/// training to a subset (empty = all rows); `weights[i]` is the weight
-/// of subset position i (of row i when `rows` is empty). Per-feature
+/// `labels` spans the FULL source view (labels[view row]); `rows`
+/// restricts training to a subset of view rows (empty = all rows);
+/// `weights[i]` is the weight of subset position i (of row i when
+/// `rows` is empty). Per-feature
 /// histograms build in parallel under `exec`; the winner is picked by
 /// an ordered reduce with ties to the lower bin/feature index, so the
 /// result is byte-identical at any thread count.

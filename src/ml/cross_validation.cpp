@@ -20,8 +20,9 @@ std::vector<Fold> make_folds(std::size_t n_rows, std::size_t k_folds) {
 }
 
 double cross_validate(
-    const Dataset& data, std::size_t k_folds,
-    const std::function<double(const Dataset&, const Dataset&)>& train_eval,
+    const DatasetView& data, std::size_t k_folds,
+    const std::function<double(const DatasetView&, const DatasetView&)>&
+        train_eval,
     const exec::ExecContext& exec) {
   const auto folds = make_folds(data.n_rows(), k_folds);
   // One task per fold; metrics are summed in fold order by the ordered
@@ -37,8 +38,8 @@ double cross_validate(
         for (std::size_t f = b; f < e; ++f) {
           const auto& fold = folds[f];
           if (fold.train_rows.empty() || fold.validation_rows.empty()) continue;
-          const Dataset train = data.select_rows(fold.train_rows);
-          const Dataset validation = data.select_rows(fold.validation_rows);
+          const DatasetView train = data.rows(fold.train_rows);
+          const DatasetView validation = data.rows(fold.validation_rows);
           acc.sum += train_eval(train, validation);
           ++acc.used;
         }
@@ -53,7 +54,7 @@ double cross_validate(
 }
 
 RoundsSelection select_boosting_rounds(
-    const Dataset& data, std::span<const std::size_t> candidates,
+    const DatasetView& data, std::span<const std::size_t> candidates,
     std::size_t top_n, std::size_t k_folds, const exec::ExecContext& exec,
     const BStumpConfig& boost) {
   RoundsSelection out;
@@ -70,7 +71,12 @@ RoundsSelection select_boosting_rounds(
   // subsets of the shared bin codes instead of copied datasets.
   const bool binned = boost.binning == BinningMode::kHistogram;
   TrainCache cache;
-  if (binned) cache = make_train_cache(data, boost);
+  std::vector<std::uint8_t> full_label_storage;
+  std::span<const std::uint8_t> full_labels;
+  if (binned) {
+    cache = make_train_cache(data, boost);
+    full_labels = data.labels(full_label_storage);
+  }
 
   // Folds are independent; each produces its per-candidate metric
   // contributions, summed in fold order by the ordered reduce so the
@@ -89,18 +95,20 @@ RoundsSelection select_boosting_rounds(
         for (std::size_t f = fb; f < fe; ++f) {
           const auto& fold = folds[f];
           if (fold.train_rows.empty() || fold.validation_rows.empty()) continue;
-          const Dataset validation = data.select_rows(fold.validation_rows);
+          const DatasetView validation = data.rows(fold.validation_rows);
+          std::vector<std::uint8_t> val_label_storage;
+          const std::span<const std::uint8_t> val_labels =
+              validation.labels(val_label_storage);
           BStumpConfig cfg = boost;
           cfg.iterations = max_rounds;
           BStumpModel full;
           if (binned) {
             std::vector<std::uint32_t> train_rows(fold.train_rows.begin(),
                                                   fold.train_rows.end());
-            full = train_bstump_cached(data, cache, data.labels(), train_rows,
+            full = train_bstump_cached(data, cache, full_labels, train_rows,
                                        cfg);
           } else {
-            const Dataset train = data.select_rows(fold.train_rows);
-            full = train_bstump(train, cfg);
+            full = train_bstump(data.rows(fold.train_rows), cfg);
           }
 
           // Incremental scoring: add stumps in order, snapshotting at
@@ -116,7 +124,7 @@ RoundsSelection select_boosting_rounds(
             while (next_checkpoint < checkpoints.size() &&
                    checkpoints[next_checkpoint].first == t) {
               acc.metric[checkpoints[next_checkpoint].second] +=
-                  top_n_average_precision(scores, validation.labels(), top_n);
+                  top_n_average_precision(scores, val_labels, top_n);
               ++next_checkpoint;
             }
             if (t == full.stumps().size()) break;
@@ -129,7 +137,7 @@ RoundsSelection select_boosting_rounds(
           // Candidates beyond the trained length score the full ensemble.
           while (next_checkpoint < checkpoints.size()) {
             acc.metric[checkpoints[next_checkpoint].second] +=
-                top_n_average_precision(scores, validation.labels(), top_n);
+                top_n_average_precision(scores, val_labels, top_n);
             ++next_checkpoint;
           }
           ++acc.used;

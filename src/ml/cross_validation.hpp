@@ -34,8 +34,9 @@ struct Fold {
 /// summed in fold order, so the mean is byte-identical to serial
 /// (train_eval must be safe to call concurrently on distinct folds).
 [[nodiscard]] double cross_validate(
-    const Dataset& data, std::size_t k_folds,
-    const std::function<double(const Dataset&, const Dataset&)>& train_eval,
+    const DatasetView& data, std::size_t k_folds,
+    const std::function<double(const DatasetView&, const DatasetView&)>&
+        train_eval,
     const exec::ExecContext& exec = exec::ExecContext::serial());
 
 struct RoundsSelection {
@@ -49,10 +50,10 @@ struct RoundsSelection {
 /// held-out folds. `boost` carries the training knobs (its iteration
 /// count is overridden by the largest candidate). On the histogram
 /// path the bin codes are built ONCE on the full matrix and every fold
-/// trains through a row subset of them — no per-fold dataset copies;
-/// the exact path keeps its per-fold row selection.
+/// trains through a row subset of them; the exact path trains each
+/// fold through a row-subset view — neither copies the matrix.
 [[nodiscard]] RoundsSelection select_boosting_rounds(
-    const Dataset& data, std::span<const std::size_t> candidates,
+    const DatasetView& data, std::span<const std::size_t> candidates,
     std::size_t top_n, std::size_t k_folds = 3,
     const exec::ExecContext& exec = exec::ExecContext::serial(),
     const BStumpConfig& boost = {});

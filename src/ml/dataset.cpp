@@ -1,59 +1,158 @@
 #include "ml/dataset.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace nevermind::ml {
 
-Dataset::Dataset(std::vector<ColumnInfo> columns, std::size_t expected_rows)
-    : columns_(std::move(columns)), data_(columns_.size()) {
-  for (auto& col : data_) col.reserve(expected_rows);
-  labels_.reserve(expected_rows);
+FeatureArena::FeatureArena(std::vector<ColumnInfo> columns,
+                           std::size_t expected_rows)
+    : columns_(std::move(columns)), row_capacity_(expected_rows) {
+  data_.resize(columns_.size() * row_capacity_);
+  labels_.reserve(row_capacity_);
 }
 
-void Dataset::add_row(std::span<const float> features, bool positive) {
+void FeatureArena::restride(std::size_t new_capacity) {
+  std::vector<float> grown(columns_.size() * new_capacity);
+  for (std::size_t j = 0; j < columns_.size(); ++j) {
+    std::copy_n(data_.data() + j * row_capacity_, n_rows_,
+                grown.data() + j * new_capacity);
+  }
+  data_ = std::move(grown);
+  row_capacity_ = new_capacity;
+}
+
+void FeatureArena::add_row(std::span<const float> features, bool positive) {
   if (features.size() != columns_.size()) {
-    throw std::invalid_argument("Dataset::add_row: feature count mismatch");
+    throw std::invalid_argument("FeatureArena::add_row: feature count mismatch");
+  }
+  if (n_rows_ == row_capacity_) {
+    restride(std::max<std::size_t>(16, row_capacity_ * 2));
   }
   for (std::size_t j = 0; j < features.size(); ++j) {
-    data_[j].push_back(features[j]);
+    data_[j * row_capacity_ + n_rows_] = features[j];
   }
+  ++n_rows_;
   labels_.push_back(positive ? 1 : 0);
   if (positive) ++positives_;
 }
 
-Dataset Dataset::select_columns(std::span<const std::size_t> cols) const {
-  std::vector<ColumnInfo> infos;
-  infos.reserve(cols.size());
-  for (std::size_t j : cols) infos.push_back(columns_.at(j));
-  Dataset out(std::move(infos), n_rows());
-  out.labels_ = labels_;
-  out.positives_ = positives_;
-  out.data_.clear();
-  out.data_.reserve(cols.size());
-  for (std::size_t j : cols) out.data_.push_back(data_.at(j));
+float FeatureArena::at(std::size_t row, std::size_t col) const {
+  if (row >= n_rows_ || col >= columns_.size()) {
+    throw std::out_of_range("FeatureArena::at");
+  }
+  return data_[col * row_capacity_ + row];
+}
+
+std::vector<ColumnInfo> DatasetView::columns_copy() const {
+  if (cols_ == nullptr) return arena_->columns();
+  std::vector<ColumnInfo> out;
+  out.reserve(cols_->size());
+  for (const std::uint32_t j : *cols_) out.push_back(arena_->columns()[j]);
   return out;
 }
 
-Dataset Dataset::select_rows(std::span<const std::size_t> rows) const {
-  Dataset out(columns_, rows.size());
-  for (std::size_t r : rows) {
-    if (r >= n_rows()) throw std::out_of_range("Dataset::select_rows");
-    for (std::size_t j = 0; j < data_.size(); ++j) {
-      out.data_[j].push_back(data_[j][r]);
+float DatasetView::at(std::size_t i, std::size_t j) const {
+  if (i >= n_rows() || j >= n_cols()) {
+    throw std::out_of_range("DatasetView::at");
+  }
+  return value(i, j);
+}
+
+std::span<const std::uint8_t> DatasetView::labels(
+    std::vector<std::uint8_t>& storage) const {
+  if (labels_override_) return *labels_override_;
+  if (rows_ == nullptr) return arena_->labels();
+  storage.resize(rows_->size());
+  const std::span<const std::uint8_t> base = arena_->labels();
+  for (std::size_t i = 0; i < rows_->size(); ++i) {
+    storage[i] = base[(*rows_)[i]];
+  }
+  return storage;
+}
+
+std::vector<std::uint8_t> DatasetView::labels_copy() const {
+  std::vector<std::uint8_t> storage;
+  const auto span = labels(storage);
+  if (storage.empty()) storage.assign(span.begin(), span.end());
+  return storage;
+}
+
+std::size_t DatasetView::positives() const noexcept {
+  if (labels_override_ == nullptr && rows_ == nullptr) {
+    return arena_->positives();
+  }
+  std::size_t count = 0;
+  const std::size_t n = n_rows();
+  for (std::size_t i = 0; i < n; ++i) count += label(i) ? 1 : 0;
+  return count;
+}
+
+template <typename Index>
+DatasetView DatasetView::rows_impl(std::span<const Index> idx) const {
+  const std::size_t n = n_rows();
+  auto composed = std::make_shared<std::vector<std::uint32_t>>();
+  composed->reserve(idx.size());
+  std::shared_ptr<std::vector<std::uint8_t>> relabelled;
+  if (labels_override_) {
+    relabelled = std::make_shared<std::vector<std::uint8_t>>();
+    relabelled->reserve(idx.size());
+  }
+  for (const Index i : idx) {
+    if (static_cast<std::size_t>(i) >= n) {
+      throw std::out_of_range("DatasetView::rows");
     }
-    out.labels_.push_back(labels_[r]);
-    if (labels_[r] != 0) ++out.positives_;
+    composed->push_back(row_id(static_cast<std::size_t>(i)));
+    if (relabelled) {
+      relabelled->push_back((*labels_override_)[static_cast<std::size_t>(i)]);
+    }
   }
+  DatasetView out = *this;
+  out.rows_ = std::move(composed);
+  out.labels_override_ = std::move(relabelled);
   return out;
 }
 
-void Dataset::relabel(std::span<const std::uint8_t> labels) {
-  if (labels.size() != labels_.size()) {
-    throw std::invalid_argument("Dataset::relabel: size mismatch");
+DatasetView DatasetView::rows(std::span<const std::size_t> idx) const {
+  return rows_impl(idx);
+}
+
+DatasetView DatasetView::rows(std::span<const std::uint32_t> idx) const {
+  return rows_impl(idx);
+}
+
+DatasetView DatasetView::cols(std::span<const std::size_t> idx) const {
+  const std::size_t k = n_cols();
+  auto composed = std::make_shared<std::vector<std::uint32_t>>();
+  composed->reserve(idx.size());
+  for (const std::size_t j : idx) {
+    if (j >= k) throw std::out_of_range("DatasetView::cols");
+    composed->push_back(static_cast<std::uint32_t>(col_id(j)));
   }
-  labels_.assign(labels.begin(), labels.end());
-  positives_ = 0;
-  for (auto v : labels_) positives_ += v != 0 ? 1U : 0U;
+  DatasetView out = *this;
+  out.cols_ = std::move(composed);
+  return out;
+}
+
+DatasetView DatasetView::relabel(std::span<const std::uint8_t> labels) const {
+  if (labels.size() != n_rows()) {
+    throw std::invalid_argument("DatasetView::relabel: size mismatch");
+  }
+  DatasetView out = *this;
+  out.labels_override_ = std::make_shared<const std::vector<std::uint8_t>>(
+      labels.begin(), labels.end());
+  return out;
+}
+
+FeatureArena materialize(const DatasetView& view) {
+  FeatureArena out(view.columns_copy(), view.n_rows());
+  const std::size_t k = view.n_cols();
+  std::vector<float> row(k);
+  for (std::size_t i = 0; i < view.n_rows(); ++i) {
+    for (std::size_t j = 0; j < k; ++j) row[j] = view.value(i, j);
+    out.add_row(row, view.label(i));
+  }
+  return out;
 }
 
 }  // namespace nevermind::ml

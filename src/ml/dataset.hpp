@@ -1,17 +1,28 @@
-// Column-major labelled dataset for the ML library.
+// Arena-backed column-major data plane for the ML library.
 //
 // Both stump search (AdaBoost) and per-feature selection operate on one
 // feature column at a time — sorting it, scanning it with weights — so
-// the matrix is stored column-major. Missing measurements (modem off
-// during the Saturday test) are encoded as NaN; every algorithm in this
-// library treats NaN as "abstain" rather than imputing, matching the
-// Boostexter behaviour the paper relies on.
+// the matrix is stored column-major in ONE contiguous buffer (the
+// FeatureArena). Missing measurements (modem off during the Saturday
+// test) are encoded as NaN; every algorithm in this library treats NaN
+// as "abstain" rather than imputing, matching the Boostexter behaviour
+// the paper relies on.
+//
+// Training never copies the matrix: CV folds, week-range splits and
+// column-subset selections are DatasetViews — an arena pointer plus
+// row-index and column-index vectors — composable (view of view)
+// without touching the float data. A view must not outlive its arena;
+// see DESIGN.md §10 for the lifetime rules and why the determinism
+// contract survives the indirection.
 #pragma once
 
+#include <cassert>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <limits>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -31,57 +42,217 @@ struct ColumnInfo {
   bool categorical = false;
 };
 
-/// Labelled dataset: an n_rows x n_cols feature matrix plus binary
-/// labels (1 = positive: "a ticket arrives within T", or "disposition is
-/// C_ij"). Rows are example indices; the caller keeps any mapping from
-/// row to (line, week) outside the dataset.
-class Dataset {
+/// Owning arena: an n_rows x n_cols feature matrix in one contiguous
+/// column-major buffer (column j occupies [j * row_capacity, j *
+/// row_capacity + n_rows)), plus binary labels (1 = positive: "a ticket
+/// arrives within T", or "disposition is C_ij"). Rows are example
+/// indices; the caller keeps any mapping from row to (line, week)
+/// outside the arena. Splits and subsets are DatasetViews, never
+/// copies.
+class FeatureArena {
  public:
-  Dataset() = default;
-  Dataset(std::vector<ColumnInfo> columns, std::size_t expected_rows = 0);
+  FeatureArena() = default;
+  FeatureArena(std::vector<ColumnInfo> columns, std::size_t expected_rows = 0);
 
   /// Appends one example. `features.size()` must equal `n_cols()`.
+  /// Restrides the buffer when full — size the arena up front (the
+  /// encoder counts its rows before allocating) to append in place.
   void add_row(std::span<const float> features, bool positive);
 
-  [[nodiscard]] std::size_t n_rows() const noexcept { return labels_.size(); }
+  [[nodiscard]] std::size_t n_rows() const noexcept { return n_rows_; }
   [[nodiscard]] std::size_t n_cols() const noexcept { return columns_.size(); }
 
-  [[nodiscard]] std::span<const float> column(std::size_t j) const {
-    return data_.at(j);
+  /// Contiguous column span — the hot read path (unchecked; debug
+  /// builds assert).
+  [[nodiscard]] std::span<const float> column(std::size_t j) const noexcept {
+    assert(j < columns_.size());
+    return {data_.data() + j * row_capacity_, n_rows_};
   }
-  [[nodiscard]] const ColumnInfo& column_info(std::size_t j) const {
-    return columns_.at(j);
+  [[nodiscard]] const ColumnInfo& column_info(std::size_t j) const noexcept {
+    assert(j < columns_.size());
+    return columns_[j];
   }
   [[nodiscard]] const std::vector<ColumnInfo>& columns() const noexcept {
     return columns_;
   }
-  [[nodiscard]] float at(std::size_t row, std::size_t col) const {
-    return data_.at(col).at(row);
+  /// Unchecked element access for hot loops (debug builds assert).
+  [[nodiscard]] float value(std::size_t row, std::size_t col) const noexcept {
+    assert(row < n_rows_ && col < columns_.size());
+    return data_[col * row_capacity_ + row];
   }
-  [[nodiscard]] bool label(std::size_t row) const {
-    return labels_.at(row) != 0;
+  /// Checked element access for API boundaries.
+  [[nodiscard]] float at(std::size_t row, std::size_t col) const;
+  [[nodiscard]] bool label(std::size_t row) const noexcept {
+    assert(row < n_rows_);
+    return labels_[row] != 0;
   }
   [[nodiscard]] std::span<const std::uint8_t> labels() const noexcept {
     return labels_;
   }
   [[nodiscard]] std::size_t positives() const noexcept { return positives_; }
 
-  /// Dataset restricted to the given columns (copies those columns).
-  [[nodiscard]] Dataset select_columns(std::span<const std::size_t> cols) const;
-
-  /// Dataset with the same columns but only the given rows.
-  [[nodiscard]] Dataset select_rows(std::span<const std::size_t> rows) const;
-
-  /// Replaces all labels (size must match n_rows). Used by the trouble
-  /// locator to retarget one feature matrix at 52 one-vs-rest problems
-  /// without copying the features.
-  void relabel(std::span<const std::uint8_t> labels);
-
  private:
+  void restride(std::size_t new_capacity);
+
   std::vector<ColumnInfo> columns_;
-  std::vector<std::vector<float>> data_;  // column-major
+  std::vector<float> data_;  // column-major, stride row_capacity_
   std::vector<std::uint8_t> labels_;
+  std::size_t n_rows_ = 0;
+  std::size_t row_capacity_ = 0;
   std::size_t positives_ = 0;
 };
+
+/// One logical feature column of a view: a base pointer into the arena
+/// plus an optional row-index indirection. Identity views (rows ==
+/// nullptr) read the arena span directly; subset views gather through
+/// the index. Access is unchecked (debug builds assert) — this is the
+/// innermost read of every sort, scan and scoring loop.
+class ColumnView {
+ public:
+  ColumnView() = default;
+  // Implicit on purpose: span-based helpers keep working unchanged.
+  ColumnView(std::span<const float> direct) noexcept  // NOLINT
+      : base_(direct.data()), n_(direct.size()) {}
+  ColumnView(const std::vector<float>& direct) noexcept  // NOLINT
+      : base_(direct.data()), n_(direct.size()) {}
+  ColumnView(const float* base, const std::uint32_t* rows,
+             std::size_t n) noexcept
+      : base_(base), rows_(rows), n_(n) {}
+
+  [[nodiscard]] float operator[](std::size_t i) const noexcept {
+    assert(i < n_);
+    return rows_ == nullptr ? base_[i] : base_[rows_[i]];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = float;
+    using difference_type = std::ptrdiff_t;
+
+    iterator() = default;
+    iterator(const ColumnView* col, std::size_t i) : col_(col), i_(i) {}
+    float operator*() const { return (*col_)[i_]; }
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator tmp = *this;
+      ++i_;
+      return tmp;
+    }
+    bool operator==(const iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const ColumnView* col_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  [[nodiscard]] iterator begin() const noexcept { return {this, 0}; }
+  [[nodiscard]] iterator end() const noexcept { return {this, n_}; }
+
+ private:
+  const float* base_ = nullptr;
+  const std::uint32_t* rows_ = nullptr;  // nullptr = identity
+  std::size_t n_ = 0;
+};
+
+/// Non-owning window onto a FeatureArena: a row-index subset, a
+/// column-index subset, and optionally overridden labels (the locator
+/// retargets one matrix at 52 one-vs-rest problems this way). Views are
+/// cheap to copy (three shared_ptrs and a raw pointer), compose without
+/// materializing data (rows-of-rows, cols-of-cols in any order), and
+/// MUST NOT outlive the arena they point into.
+class DatasetView {
+ public:
+  DatasetView() = default;
+  // Implicit on purpose: every training entry point takes a view, and
+  // whole-arena callers should not need ceremony.
+  DatasetView(const FeatureArena& arena) noexcept  // NOLINT
+      : arena_(&arena) {}
+
+  [[nodiscard]] std::size_t n_rows() const noexcept {
+    return rows_ ? rows_->size() : arena_->n_rows();
+  }
+  [[nodiscard]] std::size_t n_cols() const noexcept {
+    return cols_ ? cols_->size() : arena_->n_cols();
+  }
+
+  /// Arena row behind view position i / arena column behind view
+  /// column j (unchecked; debug builds assert).
+  [[nodiscard]] std::uint32_t row_id(std::size_t i) const noexcept {
+    assert(i < n_rows());
+    return rows_ ? (*rows_)[i] : static_cast<std::uint32_t>(i);
+  }
+  [[nodiscard]] std::size_t col_id(std::size_t j) const noexcept {
+    assert(j < n_cols());
+    return cols_ ? (*cols_)[j] : j;
+  }
+
+  [[nodiscard]] ColumnView column(std::size_t j) const noexcept {
+    const std::span<const float> base = arena_->column(col_id(j));
+    if (rows_ == nullptr) return {base};
+    return {base.data(), rows_->data(), rows_->size()};
+  }
+  [[nodiscard]] const ColumnInfo& column_info(std::size_t j) const noexcept {
+    return arena_->column_info(col_id(j));
+  }
+  /// Materialized column metadata in view order (metadata only — no
+  /// float data is copied).
+  [[nodiscard]] std::vector<ColumnInfo> columns_copy() const;
+
+  /// Unchecked element access for hot loops (debug builds assert).
+  [[nodiscard]] float value(std::size_t i, std::size_t j) const noexcept {
+    return arena_->value(row_id(i), col_id(j));
+  }
+  /// Checked element access for API boundaries.
+  [[nodiscard]] float at(std::size_t i, std::size_t j) const;
+
+  [[nodiscard]] bool label(std::size_t i) const noexcept {
+    assert(i < n_rows());
+    return labels_override_ ? (*labels_override_)[i] != 0
+                            : arena_->label(row_id(i));
+  }
+  /// Labels in view order as a contiguous span. Zero-copy when the view
+  /// keeps the arena's row order or carries an override; otherwise
+  /// gathered into `storage`.
+  [[nodiscard]] std::span<const std::uint8_t> labels(
+      std::vector<std::uint8_t>& storage) const;
+  [[nodiscard]] std::vector<std::uint8_t> labels_copy() const;
+  [[nodiscard]] std::size_t positives() const noexcept;
+
+  /// View restricted to the listed view-local rows / columns (indices
+  /// are validated — this is an API boundary). Only the uint32 index
+  /// vector is materialized, never data.
+  [[nodiscard]] DatasetView rows(std::span<const std::size_t> idx) const;
+  [[nodiscard]] DatasetView rows(std::span<const std::uint32_t> idx) const;
+  [[nodiscard]] DatasetView cols(std::span<const std::size_t> idx) const;
+
+  /// View with replaced labels (one per view row, in view order). The
+  /// arena's labels are untouched — 52 one-vs-rest problems can share
+  /// one matrix.
+  [[nodiscard]] DatasetView relabel(std::span<const std::uint8_t> labels) const;
+
+  [[nodiscard]] const FeatureArena& arena() const noexcept { return *arena_; }
+
+ private:
+  template <typename Index>
+  DatasetView rows_impl(std::span<const Index> idx) const;
+
+  const FeatureArena* arena_ = nullptr;
+  std::shared_ptr<const std::vector<std::uint32_t>> rows_;  // null = all
+  std::shared_ptr<const std::vector<std::uint32_t>> cols_;  // null = all
+  // Labels in view order when the view was relabelled; null = arena's.
+  std::shared_ptr<const std::vector<std::uint8_t>> labels_override_;
+};
+
+/// Copies a view into a standalone arena — the reference semantics the
+/// old copying row/column-subset APIs had. Tests compare views against
+/// this; production code never needs it.
+[[nodiscard]] FeatureArena materialize(const DatasetView& view);
 
 }  // namespace nevermind::ml

@@ -22,12 +22,12 @@ double DecisionTree::score_features(std::span<const float> features) const {
   }
 }
 
-double DecisionTree::score_row(const Dataset& data, std::size_t row) const {
+double DecisionTree::score_row(const DatasetView& data, std::size_t row) const {
   if (nodes_.empty()) return 0.0;
   std::size_t idx = 0;
   for (;;) {
     const TreeNode& node = nodes_[idx];
-    const float v = data.at(row, node.feature);
+    const float v = data.value(row, node.feature);
     if (is_missing(v)) return node.missing_score;
     const bool pass =
         node.categorical ? v == node.threshold : v >= node.threshold;
@@ -40,7 +40,7 @@ double DecisionTree::score_row(const Dataset& data, std::size_t row) const {
 namespace {
 
 struct TreeBuilder {
-  const Dataset& data;
+  const DatasetView& data;
   const SortedColumns& sorted;
   const TreeConfig& config;
   double smoothing;
@@ -103,7 +103,7 @@ struct TreeBuilder {
 
 }  // namespace
 
-DecisionTree train_tree(const Dataset& data, std::span<const double> weights,
+DecisionTree train_tree(const DatasetView& data, std::span<const double> weights,
                         const TreeConfig& config) {
   const std::size_t n = data.n_rows();
   if (n == 0 || weights.size() != n) return DecisionTree{};
@@ -133,7 +133,7 @@ double BoostedTreesModel::score_features(
 }
 
 std::vector<double> BoostedTreesModel::score_dataset(
-    const Dataset& data) const {
+    const DatasetView& data) const {
   std::vector<double> scores(data.n_rows(), 0.0);
   for (const auto& tree : trees_) {
     for (std::size_t r = 0; r < data.n_rows(); ++r) {
@@ -143,7 +143,7 @@ std::vector<double> BoostedTreesModel::score_dataset(
   return scores;
 }
 
-BoostedTreesModel train_boosted_trees(const Dataset& data,
+BoostedTreesModel train_boosted_trees(const DatasetView& data,
                                       const BoostedTreesConfig& config) {
   const std::size_t n = data.n_rows();
   if (n == 0) return BoostedTreesModel{};

@@ -47,7 +47,7 @@ class DecisionTree {
 
   /// Confidence-rated score of one example.
   [[nodiscard]] double score_features(std::span<const float> features) const;
-  [[nodiscard]] double score_row(const Dataset& data, std::size_t row) const;
+  [[nodiscard]] double score_row(const DatasetView& data, std::size_t row) const;
 
  private:
   std::vector<TreeNode> nodes_;
@@ -63,7 +63,7 @@ struct TreeConfig {
 };
 
 /// Grow one tree on weighted data (weights need not be normalized).
-[[nodiscard]] DecisionTree train_tree(const Dataset& data,
+[[nodiscard]] DecisionTree train_tree(const DatasetView& data,
                                       std::span<const double> weights,
                                       const TreeConfig& config);
 
@@ -84,13 +84,13 @@ class BoostedTreesModel {
     return trees_;
   }
   [[nodiscard]] double score_features(std::span<const float> features) const;
-  [[nodiscard]] std::vector<double> score_dataset(const Dataset& data) const;
+  [[nodiscard]] std::vector<double> score_dataset(const DatasetView& data) const;
 
  private:
   std::vector<DecisionTree> trees_;
 };
 
 [[nodiscard]] BoostedTreesModel train_boosted_trees(
-    const Dataset& data, const BoostedTreesConfig& config);
+    const DatasetView& data, const BoostedTreesConfig& config);
 
 }  // namespace nevermind::ml

@@ -15,7 +15,7 @@ double binary_entropy(std::size_t positives, std::size_t total) {
   return -(p * std::log2(p) + (1.0 - p) * std::log2(1.0 - p));
 }
 
-GainScores gain_ratio(std::span<const float> values,
+GainScores gain_ratio(const ColumnView& values,
                       std::span<const std::uint8_t> labels, std::size_t bins) {
   GainScores out;
   const std::size_t n = values.size();

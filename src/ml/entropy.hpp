@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <span>
 
+#include "ml/dataset.hpp"
+
 namespace nevermind::ml {
 
 /// Shannon entropy (bits) of a binary label distribution.
@@ -23,7 +25,7 @@ struct GainScores {
 /// number of equal-frequency bins for continuous features; categorical
 /// callers should pre-map values to small integers and pass them as-is
 /// (each distinct value lands in its own bin when bins >= cardinality).
-[[nodiscard]] GainScores gain_ratio(std::span<const float> values,
+[[nodiscard]] GainScores gain_ratio(const ColumnView& values,
                                     std::span<const std::uint8_t> labels,
                                     std::size_t bins = 10);
 

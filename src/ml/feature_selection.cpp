@@ -26,7 +26,8 @@ namespace {
 
 /// Score of a single-feature predictor on the held-out set under one of
 /// the wrapper criteria.
-double wrapper_score(const Dataset& train, const Dataset& test,
+double wrapper_score(const DatasetView& train, const DatasetView& test,
+                     std::span<const std::uint8_t> test_labels,
                      std::size_t feature, SelectionMethod method,
                      const FeatureScoringConfig& config) {
   BStumpConfig boost;
@@ -44,11 +45,11 @@ double wrapper_score(const Dataset& train, const Dataset& test,
   }
   switch (method) {
     case SelectionMethod::kTopNAp:
-      return top_n_average_precision(scores, test.labels(), config.top_n);
+      return top_n_average_precision(scores, test_labels, config.top_n);
     case SelectionMethod::kAuc:
-      return auc(scores, test.labels());
+      return auc(scores, test_labels);
     case SelectionMethod::kAveragePrecision:
-      return average_precision(scores, test.labels());
+      return average_precision(scores, test_labels);
     default:
       throw std::logic_error("wrapper_score: not a wrapper method");
   }
@@ -56,7 +57,8 @@ double wrapper_score(const Dataset& train, const Dataset& test,
 
 }  // namespace
 
-std::vector<double> score_features(const Dataset& train, const Dataset& test,
+std::vector<double> score_features(const DatasetView& train,
+                                   const DatasetView& test,
                                    SelectionMethod method,
                                    const FeatureScoringConfig& config,
                                    std::size_t first_column) {
@@ -65,32 +67,42 @@ std::vector<double> score_features(const Dataset& train, const Dataset& test,
   switch (method) {
     case SelectionMethod::kTopNAp:
     case SelectionMethod::kAuc:
-    case SelectionMethod::kAveragePrecision:
+    case SelectionMethod::kAveragePrecision: {
       if (test.n_cols() != f) {
         throw std::invalid_argument("score_features: train/test mismatch");
       }
+      // Held-out labels gathered once, shared read-only by all columns.
+      std::vector<std::uint8_t> test_label_storage;
+      const std::span<const std::uint8_t> test_labels =
+          test.labels(test_label_storage);
       // Every column trains its own single-feature predictor — the
       // dominant cost of selection — into its own output slot.
       config.exec.parallel_for(
           first_column, f, 1, [&](std::size_t b, std::size_t e) {
             for (std::size_t j = b; j < e; ++j) {
-              scores[j] = wrapper_score(train, test, j, method, config);
+              scores[j] =
+                  wrapper_score(train, test, test_labels, j, method, config);
             }
           });
       return scores;
+    }
     case SelectionMethod::kPca: {
       const PcaResult pca = fit_pca(train, config.pca_max_rows);
       return pca_feature_scores(pca, config.pca_components);
     }
-    case SelectionMethod::kGainRatio:
+    case SelectionMethod::kGainRatio: {
+      std::vector<std::uint8_t> train_label_storage;
+      const std::span<const std::uint8_t> train_labels =
+          train.labels(train_label_storage);
       config.exec.parallel_for(0, f, 0, [&](std::size_t b, std::size_t e) {
         for (std::size_t j = b; j < e; ++j) {
-          scores[j] =
-              gain_ratio(train.column(j), train.labels(), config.gain_bins)
-                  .gain_ratio;
+          scores[j] = gain_ratio(train.column(j), train_labels,
+                                 config.gain_bins)
+                          .gain_ratio;
         }
       });
       return scores;
+    }
   }
   return scores;
 }

@@ -59,7 +59,7 @@ struct FeatureScoringConfig {
 /// reported as 0) — callers that already scored a base block use this
 /// to score only newly appended derived columns.
 [[nodiscard]] std::vector<double> score_features(
-    const Dataset& train, const Dataset& test, SelectionMethod method,
+    const DatasetView& train, const DatasetView& test, SelectionMethod method,
     const FeatureScoringConfig& config = {}, std::size_t first_column = 0);
 
 /// Indices of the k highest-scoring features (descending score).

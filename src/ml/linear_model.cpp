@@ -27,7 +27,7 @@ double LinearModel::score_features(std::span<const float> features) const {
   return eta;
 }
 
-std::vector<double> LinearModel::score_dataset(const Dataset& data) const {
+std::vector<double> LinearModel::score_dataset(const DatasetView& data) const {
   std::vector<double> scores(data.n_rows(),
                              empty() ? 0.0 : logistic_.coefficients[0]);
   if (empty()) return scores;
@@ -46,7 +46,7 @@ double LinearModel::probability(std::span<const float> features) const {
   return util::sigmoid(score_features(features));
 }
 
-LinearModel train_linear_model(const Dataset& data,
+LinearModel train_linear_model(const DatasetView& data,
                                const LinearModelConfig& config) {
   LinearModel model;
   const std::size_t n = data.n_rows();
@@ -73,8 +73,9 @@ LinearModel train_linear_model(const Dataset& data,
           standardized(col[r], model.means_[j], model.stddevs_[j]);
     }
   }
-  model.logistic_ = fit_logistic(rows, k, data.labels(), config.ridge,
-                                 config.max_iterations);
+  std::vector<std::uint8_t> label_storage;
+  model.logistic_ = fit_logistic(rows, k, data.labels(label_storage),
+                                 config.ridge, config.max_iterations);
   return model;
 }
 

@@ -1,4 +1,4 @@
-// Regularized logistic regression over a full feature Dataset — the
+// Regularized logistic regression over a full feature matrix — the
 // classical linear baseline for the model zoo. BStump (stumps +
 // boosting) is what the paper ships; this model answers "would plain
 // logistic regression on the same selected features have sufficed?"
@@ -32,7 +32,7 @@ class LinearModel {
   /// Decision-function score (the linear predictor eta; monotone in
   /// probability, comparable to BStump margins for ranking).
   [[nodiscard]] double score_features(std::span<const float> features) const;
-  [[nodiscard]] std::vector<double> score_dataset(const Dataset& data) const;
+  [[nodiscard]] std::vector<double> score_dataset(const DatasetView& data) const;
   [[nodiscard]] double probability(std::span<const float> features) const;
 
   [[nodiscard]] const LogisticModel& logistic() const noexcept {
@@ -40,7 +40,7 @@ class LinearModel {
   }
 
  private:
-  friend LinearModel train_linear_model(const Dataset&,
+  friend LinearModel train_linear_model(const DatasetView&,
                                         const LinearModelConfig&);
   LogisticModel logistic_;
   std::vector<double> means_;
@@ -48,6 +48,6 @@ class LinearModel {
 };
 
 [[nodiscard]] LinearModel train_linear_model(
-    const Dataset& data, const LinearModelConfig& config = {});
+    const DatasetView& data, const LinearModelConfig& config = {});
 
 }  // namespace nevermind::ml

@@ -6,7 +6,7 @@
 
 namespace nevermind::ml {
 
-PcaResult fit_pca(const Dataset& data, std::size_t max_rows) {
+PcaResult fit_pca(const DatasetView& data, std::size_t max_rows) {
   const std::size_t f = data.n_cols();
   const std::size_t n = data.n_rows();
   PcaResult out;
@@ -35,7 +35,7 @@ PcaResult fit_pca(const Dataset& data, std::size_t max_rows) {
   std::vector<double> z(f);
   for (std::size_t r = 0; r < n; r += stride) {
     for (std::size_t j = 0; j < f; ++j) {
-      const float v = data.at(r, j);
+      const float v = data.value(r, j);
       z[j] = is_missing(v)
                  ? 0.0
                  : (static_cast<double>(v) - out.column_means[j]) /

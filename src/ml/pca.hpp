@@ -23,7 +23,8 @@ struct PcaResult {
 /// by the column mean (standard mean-imputation for covariance
 /// estimation). `max_rows` subsamples deterministically (every k-th row)
 /// to bound the O(F^2 n) covariance cost.
-[[nodiscard]] PcaResult fit_pca(const Dataset& data, std::size_t max_rows = 0);
+[[nodiscard]] PcaResult fit_pca(const DatasetView& data,
+                                std::size_t max_rows = 0);
 
 /// Feature importance for selection: sum over the top `n_components`
 /// of eigenvalue * loading^2 — a feature scores high when it carries a

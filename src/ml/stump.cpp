@@ -36,7 +36,7 @@ double block_score(const WeightPair& w, double eps) noexcept {
 
 }  // namespace
 
-SortedColumns::SortedColumns(const Dataset& data,
+SortedColumns::SortedColumns(const DatasetView& data,
                              std::span<const std::size_t> only,
                              const exec::ExecContext& exec)
     : sorted_(data.n_cols()), groups_(data.n_cols()) {
@@ -94,13 +94,12 @@ namespace {
 /// Scan one continuous feature: thresholds at value changes in the
 /// sorted order; blocks are {below, at-or-above, missing}. Labels come
 /// in as a span so one matrix can serve many relabelled problems.
-StumpSearchResult scan_continuous(const Dataset& data,
+StumpSearchResult scan_continuous(const ColumnView& col,
                                   std::span<const std::uint32_t> sorted,
                                   std::span<const std::uint8_t> labels,
                                   std::span<const double> weights,
                                   double smoothing, std::size_t feature,
                                   const WeightPair& total) {
-  const auto col = data.column(feature);
   WeightPair present;
   for (std::uint32_t r : sorted) present.add(labels[r] != 0, weights[r]);
   const WeightPair missing = total - present;
@@ -186,7 +185,7 @@ WeightPair total_weights(std::span<const std::uint8_t> labels,
 }  // namespace
 
 StumpSearchResult find_best_stump_for_feature(
-    const Dataset& data, const SortedColumns& sorted,
+    const DatasetView& data, const SortedColumns& sorted,
     std::span<const std::uint8_t> labels, std::span<const double> weights,
     double smoothing, std::size_t feature) {
   const WeightPair total = total_weights(labels, weights);
@@ -194,20 +193,21 @@ StumpSearchResult find_best_stump_for_feature(
     return scan_categorical(sorted.groups(feature), labels, weights, smoothing,
                             feature, total);
   }
-  return scan_continuous(data, sorted.sorted_rows(feature), labels, weights,
-                         smoothing, feature, total);
+  return scan_continuous(data.column(feature), sorted.sorted_rows(feature),
+                         labels, weights, smoothing, feature, total);
 }
 
-StumpSearchResult find_best_stump_for_feature(const Dataset& data,
+StumpSearchResult find_best_stump_for_feature(const DatasetView& data,
                                               const SortedColumns& sorted,
                                               std::span<const double> weights,
                                               double smoothing,
                                               std::size_t feature) {
-  return find_best_stump_for_feature(data, sorted, data.labels(), weights,
-                                     smoothing, feature);
+  std::vector<std::uint8_t> storage;
+  return find_best_stump_for_feature(data, sorted, data.labels(storage),
+                                     weights, smoothing, feature);
 }
 
-StumpSearchResult find_best_stump(const Dataset& data,
+StumpSearchResult find_best_stump(const DatasetView& data,
                                   const SortedColumns& sorted,
                                   std::span<const std::uint8_t> labels,
                                   std::span<const double> weights,
@@ -229,8 +229,8 @@ StumpSearchResult find_best_stump(const Dataset& data,
               data.column_info(j).categorical
                   ? scan_categorical(sorted.groups(j), labels, weights,
                                      smoothing, j, total)
-                  : scan_continuous(data, sorted.sorted_rows(j), labels,
-                                    weights, smoothing, j, total);
+                  : scan_continuous(data.column(j), sorted.sorted_rows(j),
+                                    labels, weights, smoothing, j, total);
           if (candidate.z < best.z) best = candidate;
         }
         return best;
@@ -240,13 +240,14 @@ StumpSearchResult find_best_stump(const Dataset& data,
       });
 }
 
-StumpSearchResult find_best_stump(const Dataset& data,
+StumpSearchResult find_best_stump(const DatasetView& data,
                                   const SortedColumns& sorted,
                                   std::span<const double> weights,
                                   double smoothing,
                                   const exec::ExecContext& exec) {
-  return find_best_stump(data, sorted, data.labels(), weights, smoothing,
-                         exec);
+  std::vector<std::uint8_t> storage;
+  return find_best_stump(data, sorted, data.labels(storage), weights,
+                         smoothing, exec);
 }
 
 }  // namespace nevermind::ml

@@ -38,7 +38,9 @@ struct Stump {
 /// Per-column preprocessing shared by every boosting iteration: row
 /// indices sorted by feature value for continuous columns, and rows
 /// grouped by value for categorical columns. Building this once turns
-/// each boosting iteration into a linear scan per feature.
+/// each boosting iteration into a linear scan per feature. Indices are
+/// view-local positions — searches must run against the same view the
+/// index was built on.
 class SortedColumns {
  public:
   /// Indexes every column, or — when `only` is non-empty — just the
@@ -46,7 +48,7 @@ class SortedColumns {
   /// of paying O(F n log n) per call). Columns are independent, so a
   /// parallel context splits the work across them.
   explicit SortedColumns(
-      const Dataset& data, std::span<const std::size_t> only = {},
+      const DatasetView& data, std::span<const std::size_t> only = {},
       const exec::ExecContext& exec = exec::ExecContext::serial());
 
   struct CategoricalGroup {
@@ -80,15 +82,15 @@ struct StumpSearchResult {
 /// by an ordered reduce (ties go to the lowest feature index), so the
 /// result is byte-identical to the serial scan at any thread count.
 [[nodiscard]] StumpSearchResult find_best_stump(
-    const Dataset& data, const SortedColumns& sorted,
+    const DatasetView& data, const SortedColumns& sorted,
     std::span<const double> weights, double smoothing,
     const exec::ExecContext& exec = exec::ExecContext::serial());
 
-/// Same search with externally supplied labels (labels[row], one per
-/// dataset row): one shared feature matrix + sorted index can serve
-/// many relabelled one-vs-rest problems without copying the dataset.
+/// Same search with externally supplied labels (labels[i], one per view
+/// row): one shared feature matrix + sorted index can serve many
+/// relabelled one-vs-rest problems without copying the dataset.
 [[nodiscard]] StumpSearchResult find_best_stump(
-    const Dataset& data, const SortedColumns& sorted,
+    const DatasetView& data, const SortedColumns& sorted,
     std::span<const std::uint8_t> labels, std::span<const double> weights,
     double smoothing,
     const exec::ExecContext& exec = exec::ExecContext::serial());
@@ -96,12 +98,12 @@ struct StumpSearchResult {
 /// Best stump restricted to one feature (used by the per-feature AP(N)
 /// selection, which trains single-feature predictors).
 [[nodiscard]] StumpSearchResult find_best_stump_for_feature(
-    const Dataset& data, const SortedColumns& sorted,
+    const DatasetView& data, const SortedColumns& sorted,
     std::span<const double> weights, double smoothing, std::size_t feature);
 
 /// Single-feature search with externally supplied labels.
 [[nodiscard]] StumpSearchResult find_best_stump_for_feature(
-    const Dataset& data, const SortedColumns& sorted,
+    const DatasetView& data, const SortedColumns& sorted,
     std::span<const std::uint8_t> labels, std::span<const double> weights,
     double smoothing, std::size_t feature);
 

@@ -13,8 +13,8 @@ namespace {
 
 /// Noisy two-feature dataset where the positive class sits in the
 /// upper-right region — learnable by an additive stump ensemble.
-Dataset make_learnable(std::size_t n, util::Rng& rng, double flip = 0.0) {
-  Dataset d({{"a", false}, {"b", false}});
+FeatureArena make_learnable(std::size_t n, util::Rng& rng, double flip = 0.0) {
+  FeatureArena d({{"a", false}, {"b", false}});
   for (std::size_t i = 0; i < n; ++i) {
     const float a = static_cast<float>(rng.normal());
     const float b = static_cast<float>(rng.normal());
@@ -28,7 +28,7 @@ Dataset make_learnable(std::size_t n, util::Rng& rng, double flip = 0.0) {
 
 TEST(BStump, LearnsSeparableProblem) {
   util::Rng rng(1);
-  const Dataset train = make_learnable(2000, rng);
+  const FeatureArena train = make_learnable(2000, rng);
   BStumpConfig cfg;
   cfg.iterations = 50;
   TrainDiagnostics diag;
@@ -39,8 +39,8 @@ TEST(BStump, LearnsSeparableProblem) {
 
 TEST(BStump, GeneralizesToFreshData) {
   util::Rng rng(2);
-  const Dataset train = make_learnable(3000, rng);
-  const Dataset test = make_learnable(2000, rng);
+  const FeatureArena train = make_learnable(3000, rng);
+  const FeatureArena test = make_learnable(2000, rng);
   BStumpConfig cfg;
   cfg.iterations = 60;
   const BStumpModel model = train_bstump(train, cfg);
@@ -50,7 +50,7 @@ TEST(BStump, GeneralizesToFreshData) {
 
 TEST(BStump, ZBoundDecreasesTrainingError) {
   util::Rng rng(3);
-  const Dataset train = make_learnable(1500, rng);
+  const FeatureArena train = make_learnable(1500, rng);
   BStumpConfig a;
   a.iterations = 5;
   BStumpConfig b;
@@ -64,7 +64,7 @@ TEST(BStump, ZBoundDecreasesTrainingError) {
 
 TEST(BStump, EveryRoundZBelowOne) {
   util::Rng rng(4);
-  const Dataset train = make_learnable(1000, rng);
+  const FeatureArena train = make_learnable(1000, rng);
   BStumpConfig cfg;
   cfg.iterations = 30;
   TrainDiagnostics diag;
@@ -74,7 +74,7 @@ TEST(BStump, EveryRoundZBelowOne) {
 
 TEST(BStump, ScoreDatasetMatchesScoreRow) {
   util::Rng rng(5);
-  const Dataset train = make_learnable(500, rng);
+  const FeatureArena train = make_learnable(500, rng);
   BStumpConfig cfg;
   cfg.iterations = 20;
   const BStumpModel model = train_bstump(train, cfg);
@@ -86,7 +86,7 @@ TEST(BStump, ScoreDatasetMatchesScoreRow) {
 
 TEST(BStump, ScoreFeaturesMatchesScoreRow) {
   util::Rng rng(6);
-  const Dataset train = make_learnable(300, rng);
+  const FeatureArena train = make_learnable(300, rng);
   BStumpConfig cfg;
   cfg.iterations = 15;
   const BStumpModel model = train_bstump(train, cfg);
@@ -101,8 +101,8 @@ TEST(BStump, RobustToLabelNoise) {
   // The paper picks the stump-linear model because ticket labels are
   // noisy; AUC should degrade gracefully, not collapse.
   util::Rng rng(7);
-  const Dataset train = make_learnable(4000, rng, /*flip=*/0.2);
-  const Dataset test = make_learnable(2000, rng, /*flip=*/0.0);
+  const FeatureArena train = make_learnable(4000, rng, /*flip=*/0.2);
+  const FeatureArena test = make_learnable(2000, rng, /*flip=*/0.0);
   BStumpConfig cfg;
   cfg.iterations = 80;
   const BStumpModel model = train_bstump(train, cfg);
@@ -111,7 +111,7 @@ TEST(BStump, RobustToLabelNoise) {
 }
 
 TEST(BStump, EmptyDatasetYieldsEmptyModel) {
-  const Dataset d({{"x", false}});
+  const FeatureArena d({{"x", false}});
   BStumpConfig cfg;
   const BStumpModel model = train_bstump(d, cfg);
   EXPECT_TRUE(model.empty());
@@ -120,7 +120,7 @@ TEST(BStump, EmptyDatasetYieldsEmptyModel) {
 TEST(BStump, InitialWeightsRespected) {
   // Weighting the second half of the data to zero should make the
   // model fit only the first half's (inverted) rule.
-  Dataset d({{"x", false}});
+  FeatureArena d({{"x", false}});
   for (int i = 0; i < 100; ++i) {
     const float x = static_cast<float>(i % 10);
     // First half: positive iff x >= 5. Second half: inverted.
@@ -140,7 +140,7 @@ TEST(BStump, InitialWeightsRespected) {
 
 TEST(BStump, WeightSizeMismatchThrows) {
   util::Rng rng(8);
-  const Dataset d = make_learnable(50, rng);
+  const FeatureArena d = make_learnable(50, rng);
   const std::vector<double> w(10, 1.0);
   BStumpConfig cfg;
   EXPECT_THROW((void)train_bstump(d, cfg, nullptr, w), std::invalid_argument);
@@ -148,7 +148,7 @@ TEST(BStump, WeightSizeMismatchThrows) {
 
 TEST(BStump, AllZeroWeightsThrow) {
   util::Rng rng(9);
-  const Dataset d = make_learnable(50, rng);
+  const FeatureArena d = make_learnable(50, rng);
   const std::vector<double> w(50, 0.0);
   BStumpConfig cfg;
   EXPECT_THROW((void)train_bstump(d, cfg, nullptr, w), std::invalid_argument);
@@ -156,7 +156,7 @@ TEST(BStump, AllZeroWeightsThrow) {
 
 TEST(BStump, SingleFeatureTrainingIgnoresOtherColumns) {
   util::Rng rng(10);
-  Dataset d({{"noise", false}, {"signal", false}});
+  FeatureArena d({{"noise", false}, {"signal", false}});
   for (int i = 0; i < 500; ++i) {
     const bool positive = i % 2 == 0;
     const float row[2] = {static_cast<float>(rng.normal()),
@@ -171,7 +171,7 @@ TEST(BStump, SingleFeatureTrainingIgnoresOtherColumns) {
 
 TEST(BStump, SingleFeatureOutOfRangeThrows) {
   util::Rng rng(11);
-  const Dataset d = make_learnable(20, rng);
+  const FeatureArena d = make_learnable(20, rng);
   BStumpConfig cfg;
   EXPECT_THROW((void)train_bstump_single_feature(d, 5, cfg),
                std::out_of_range);
@@ -179,7 +179,7 @@ TEST(BStump, SingleFeatureOutOfRangeThrows) {
 
 TEST(BStump, FeatureInfluenceCountsUsedFeatures) {
   util::Rng rng(12);
-  const Dataset train = make_learnable(1000, rng);
+  const FeatureArena train = make_learnable(1000, rng);
   BStumpConfig cfg;
   cfg.iterations = 30;
   const BStumpModel model = train_bstump(train, cfg);
@@ -191,7 +191,7 @@ TEST(BStump, StopsEarlyOnPureNoise) {
   // With labels independent of the features, no weak learner clears
   // the z_stop bar for long: training halts before the iteration cap.
   util::Rng rng(40);
-  Dataset d({{"x", false}});
+  FeatureArena d({{"x", false}});
   for (int i = 0; i < 3000; ++i) {
     const float x = static_cast<float>(rng.normal());
     d.add_row({&x, 1}, rng.bernoulli(0.5));
@@ -206,7 +206,7 @@ TEST(BStump, StopsEarlyOnPureNoise) {
 TEST(BStump, SmoothingBoundsLeafScores) {
   // Separable data with strong smoothing: confidence-rated scores stay
   // modest instead of diverging.
-  Dataset d({{"x", false}});
+  FeatureArena d({{"x", false}});
   for (int i = 0; i < 200; ++i) {
     const float x = static_cast<float>(i);
     d.add_row({&x, 1}, i >= 100);
@@ -221,8 +221,8 @@ TEST(BStump, SmoothingBoundsLeafScores) {
 
 TEST(BStump, MoreIterationsDoNotHurtRanking) {
   util::Rng rng(13);
-  const Dataset train = make_learnable(2000, rng, 0.1);
-  const Dataset test = make_learnable(1500, rng);
+  const FeatureArena train = make_learnable(2000, rng, 0.1);
+  const FeatureArena test = make_learnable(1500, rng);
   BStumpConfig small;
   small.iterations = 10;
   BStumpConfig large;
@@ -241,8 +241,8 @@ class ImbalanceSweep : public ::testing::TestWithParam<double> {};
 TEST_P(ImbalanceSweep, RankingBeatsChance) {
   const double positive_rate = GetParam();
   util::Rng rng(99);
-  Dataset train({{"x", false}});
-  Dataset test({{"x", false}});
+  FeatureArena train({{"x", false}});
+  FeatureArena test({{"x", false}});
   for (int i = 0; i < 20000; ++i) {
     const bool positive = rng.bernoulli(positive_rate);
     const float x =

@@ -27,7 +27,7 @@ void expect_same_stump(const Stump& a, const Stump& b) {
 }
 
 TEST(BinnedColumns, LosslessWhenFewDistinctValues) {
-  Dataset d({{"x", false}});
+  FeatureArena d({{"x", false}});
   // 5 distinct values with duplicates, plus missing rows.
   const float values[] = {3.0F, 1.0F, 3.0F, kMissing, 7.0F, 1.0F, 9.0F,
                           kMissing, 11.0F, 7.0F};
@@ -51,7 +51,7 @@ TEST(BinnedColumns, LosslessWhenFewDistinctValues) {
 }
 
 TEST(BinnedColumns, QuantileEdgesWhenManyDistinctValues) {
-  Dataset d({{"x", false}});
+  FeatureArena d({{"x", false}});
   util::Rng rng(7);
   for (int i = 0; i < 4000; ++i) {
     const float v = static_cast<float>(rng.uniform());
@@ -88,7 +88,7 @@ TEST(BinnedColumns, QuantileEdgesWhenManyDistinctValues) {
 }
 
 TEST(BinnedColumns, AllMissingColumn) {
-  Dataset d({{"gone", false}, {"x", false}});
+  FeatureArena d({{"gone", false}, {"x", false}});
   for (int i = 0; i < 16; ++i) {
     const float row[2] = {kMissing, static_cast<float>(i % 4)};
     d.add_row(row, i % 2 == 0);
@@ -107,7 +107,7 @@ TEST(BinnedColumns, AllMissingColumn) {
 }
 
 TEST(BinnedColumns, CategoricalGroupsInValueOrder) {
-  Dataset d({{"color", true}});
+  FeatureArena d({{"color", true}});
   const float values[] = {2.0F, 0.0F, kMissing, 1.0F, 2.0F, 0.0F};
   for (float v : values) d.add_row({&v, 1}, false);
   const BinnedColumns bins(d);
@@ -128,8 +128,8 @@ TEST(BinnedColumns, CategoricalGroupsInValueOrder) {
 /// power of two so uniform weights are dyadic and every weight sum is
 /// exact in double — any accumulation order gives the same bits, making
 /// "binned == exact" a strict equality check.
-Dataset small_distinct_dataset() {
-  Dataset d({{"a", false}, {"b", false}, {"c", true}});
+FeatureArena small_distinct_dataset() {
+  FeatureArena d({{"a", false}, {"b", false}, {"c", true}});
   util::Rng rng(11);
   for (int i = 0; i < 256; ++i) {
     const float a = static_cast<float>(rng.uniform_index(17));
@@ -146,7 +146,7 @@ Dataset small_distinct_dataset() {
 }
 
 TEST(BinnedSearch, IdenticalToExactOnSmallDistinctData) {
-  const Dataset d = small_distinct_dataset();
+  const FeatureArena d = small_distinct_dataset();
   const auto weights = uniform_weights(d.n_rows());
   const SortedColumns sorted(d);
   const BinnedColumns bins(d);
@@ -160,7 +160,7 @@ TEST(BinnedSearch, IdenticalToExactOnSmallDistinctData) {
 }
 
 TEST(BinnedTraining, MatchesExactStumpSequenceOnSmallDistinctData) {
-  const Dataset d = small_distinct_dataset();
+  const FeatureArena d = small_distinct_dataset();
   BStumpConfig exact_cfg;
   exact_cfg.iterations = 25;
   BStumpConfig hist_cfg = exact_cfg;
@@ -184,8 +184,8 @@ TEST(BinnedTraining, MatchesExactStumpSequenceOnSmallDistinctData) {
 /// Continuous features with far more than 256 distinct values, so the
 /// histogram path genuinely quantizes. Labels follow a noisy linear
 /// rule — the shape of the encoded ticket-predictor problem.
-Dataset wide_continuous_dataset(std::uint64_t seed, int n) {
-  Dataset d({{"f0", false}, {"f1", false}, {"f2", false}, {"f3", false},
+FeatureArena wide_continuous_dataset(std::uint64_t seed, int n) {
+  FeatureArena d({{"f0", false}, {"f1", false}, {"f2", false}, {"f3", false},
              {"f4", false}, {"f5", false}});
   util::Rng rng(seed);
   for (int i = 0; i < n; ++i) {
@@ -203,8 +203,8 @@ Dataset wide_continuous_dataset(std::uint64_t seed, int n) {
 }
 
 TEST(BinnedTraining, AucParityOnQuantizedData) {
-  const Dataset train = wide_continuous_dataset(21, 3000);
-  const Dataset test = wide_continuous_dataset(22, 1500);
+  const FeatureArena train = wide_continuous_dataset(21, 3000);
+  const FeatureArena test = wide_continuous_dataset(22, 1500);
   BStumpConfig exact_cfg;
   exact_cfg.iterations = 80;
   BStumpConfig hist_cfg = exact_cfg;
@@ -219,7 +219,7 @@ TEST(BinnedTraining, AucParityOnQuantizedData) {
 }
 
 TEST(BinnedTraining, ByteIdenticalAcrossThreadCounts) {
-  const Dataset train = wide_continuous_dataset(31, 2000);
+  const FeatureArena train = wide_continuous_dataset(31, 2000);
   BStumpConfig serial_cfg;
   serial_cfg.iterations = 40;
   serial_cfg.binning = BinningMode::kHistogram;
@@ -235,7 +235,7 @@ TEST(BinnedTraining, ByteIdenticalAcrossThreadCounts) {
 }
 
 TEST(BinnedTraining, RowSubsetsShareOneBinnedMatrix) {
-  const Dataset d = wide_continuous_dataset(41, 2000);
+  const FeatureArena d = wide_continuous_dataset(41, 2000);
   BStumpConfig cfg;
   cfg.iterations = 30;
   cfg.binning = BinningMode::kHistogram;
@@ -261,12 +261,12 @@ TEST(BinnedTraining, RowSubsetsShareOneBinnedMatrix) {
   // And the held-out half is predicted well by the odd-row model.
   std::vector<std::size_t> even_rows;
   for (std::size_t r = 0; r < d.n_rows(); r += 2) even_rows.push_back(r);
-  const Dataset held_out = d.select_rows(even_rows);
-  EXPECT_GT(auc(subset.score_dataset(held_out), held_out.labels()), 0.75);
+  const DatasetView held_out = DatasetView(d).rows(even_rows);
+  EXPECT_GT(auc(subset.score_dataset(held_out), held_out.labels_copy()), 0.75);
 }
 
 TEST(BinnedTraining, RoundsSelectionSharesBins) {
-  const Dataset d = wide_continuous_dataset(51, 1200);
+  const FeatureArena d = wide_continuous_dataset(51, 1200);
   BStumpConfig boost;
   boost.binning = BinningMode::kHistogram;
   const std::size_t candidates[] = {5, 20, 40};
@@ -291,7 +291,7 @@ TEST(BinnedTraining, RoundsSelectionSharesBins) {
 }
 
 TEST(BinnedTraining, CachedExactPathMatchesPlainTraining) {
-  const Dataset d = small_distinct_dataset();
+  const FeatureArena d = small_distinct_dataset();
   BStumpConfig cfg;
   cfg.iterations = 15;
   const TrainCache cache = make_train_cache(d, cfg);

@@ -47,7 +47,7 @@ TEST(MakeFolds, ClampsDegenerateK) {
 }
 
 TEST(CrossValidate, AveragesMetricAcrossFolds) {
-  Dataset d({{"x", false}});
+  FeatureArena d({{"x", false}});
   util::Rng rng(1);
   for (int i = 0; i < 300; ++i) {
     const bool y = rng.bernoulli(0.5);
@@ -55,19 +55,19 @@ TEST(CrossValidate, AveragesMetricAcrossFolds) {
     d.add_row({&x, 1}, y);
   }
   const double metric = cross_validate(
-      d, 3, [](const Dataset& train, const Dataset& validation) {
+      d, 3, [](const DatasetView& train, const DatasetView& validation) {
         BStumpConfig cfg;
         cfg.iterations = 10;
         const auto model = train_bstump(train, cfg);
-        return auc(model.score_dataset(validation), validation.labels());
+        return auc(model.score_dataset(validation), validation.labels_copy());
       });
   EXPECT_GT(metric, 0.9);
 }
 
 TEST(CrossValidate, EmptyDatasetIsZero) {
-  Dataset d({{"x", false}});
+  FeatureArena d({{"x", false}});
   const double metric =
-      cross_validate(d, 3, [](const Dataset&, const Dataset&) { return 1.0; });
+      cross_validate(d, 3, [](const DatasetView&, const DatasetView&) { return 1.0; });
   EXPECT_EQ(metric, 0.0);
 }
 
@@ -75,7 +75,7 @@ TEST(SelectBoostingRounds, PrefersEnoughRounds) {
   // A problem needing several complementary stumps: more rounds help up
   // to saturation; the selector must not pick the tiny candidate.
   util::Rng rng(2);
-  Dataset d({{"a", false}, {"b", false}, {"c", false}});
+  FeatureArena d({{"a", false}, {"b", false}, {"c", false}});
   for (int i = 0; i < 4000; ++i) {
     const bool y = rng.bernoulli(0.2);
     const float row[3] = {
@@ -92,7 +92,7 @@ TEST(SelectBoostingRounds, PrefersEnoughRounds) {
 }
 
 TEST(SelectBoostingRounds, EmptyCandidatesSafe) {
-  Dataset d({{"x", false}});
+  FeatureArena d({{"x", false}});
   const auto sel = select_boosting_rounds(d, {}, 10, 3);
   EXPECT_EQ(sel.best_rounds, 0U);
   EXPECT_TRUE(sel.metric_per_candidate.empty());
@@ -100,7 +100,7 @@ TEST(SelectBoostingRounds, EmptyCandidatesSafe) {
 
 TEST(SelectBoostingRounds, MetricsAreAveraged) {
   util::Rng rng(3);
-  Dataset d({{"x", false}});
+  FeatureArena d({{"x", false}});
   for (int i = 0; i < 600; ++i) {
     const bool y = rng.bernoulli(0.3);
     const float x = static_cast<float>(rng.normal(y ? 1.0 : 0.0, 1.0));

@@ -7,8 +7,8 @@
 namespace nevermind::ml {
 namespace {
 
-Dataset make_small() {
-  Dataset d({{"x", false}, {"y", false}, {"cat", true}});
+FeatureArena make_small() {
+  FeatureArena d({{"x", false}, {"y", false}, {"cat", true}});
   const float rows[][3] = {{1.0F, 10.0F, 0.0F},
                            {2.0F, 20.0F, 1.0F},
                            {3.0F, kMissing, 0.0F},
@@ -18,84 +18,80 @@ Dataset make_small() {
   return d;
 }
 
-TEST(Dataset, Shape) {
-  const Dataset d = make_small();
+TEST(FeatureArena, Shape) {
+  const FeatureArena d = make_small();
   EXPECT_EQ(d.n_rows(), 4U);
   EXPECT_EQ(d.n_cols(), 3U);
   EXPECT_EQ(d.positives(), 2U);
 }
 
-TEST(Dataset, ColumnAccess) {
-  const Dataset d = make_small();
+TEST(FeatureArena, ColumnAccess) {
+  const FeatureArena d = make_small();
   const auto col = d.column(0);
   ASSERT_EQ(col.size(), 4U);
   EXPECT_EQ(col[2], 3.0F);
   EXPECT_TRUE(is_missing(d.at(2, 1)));
 }
 
-TEST(Dataset, ColumnInfoPreserved) {
-  const Dataset d = make_small();
+TEST(FeatureArena, ColumnInfoPreserved) {
+  const FeatureArena d = make_small();
   EXPECT_EQ(d.column_info(2).name, "cat");
   EXPECT_TRUE(d.column_info(2).categorical);
   EXPECT_FALSE(d.column_info(0).categorical);
 }
 
-TEST(Dataset, AddRowRejectsWrongArity) {
-  Dataset d({{"x", false}});
+TEST(FeatureArena, AddRowRejectsWrongArity) {
+  FeatureArena d({{"x", false}});
   const float two[] = {1.0F, 2.0F};
   EXPECT_THROW(d.add_row(two, false), std::invalid_argument);
 }
 
-TEST(Dataset, SelectColumns) {
-  const Dataset d = make_small();
-  const std::size_t cols[] = {2, 0};
-  const Dataset s = d.select_columns(cols);
-  EXPECT_EQ(s.n_cols(), 2U);
-  EXPECT_EQ(s.n_rows(), 4U);
-  EXPECT_EQ(s.column_info(0).name, "cat");
-  EXPECT_EQ(s.at(1, 1), 2.0F);
-  EXPECT_EQ(s.positives(), d.positives());
+TEST(FeatureArena, AtOutOfRangeThrows) {
+  const FeatureArena d = make_small();
+  EXPECT_THROW((void)d.at(4, 0), std::out_of_range);
+  EXPECT_THROW((void)d.at(0, 3), std::out_of_range);
 }
 
-TEST(Dataset, SelectRows) {
-  const Dataset d = make_small();
-  const std::size_t rows[] = {1, 3};
-  const Dataset s = d.select_rows(rows);
-  EXPECT_EQ(s.n_rows(), 2U);
-  EXPECT_EQ(s.positives(), 2U);
-  EXPECT_EQ(s.at(0, 0), 2.0F);
-  EXPECT_EQ(s.at(1, 0), 4.0F);
+TEST(FeatureArena, GrowthBeyondCapacityPreservesData) {
+  // Force repeated restrides from a zero-capacity arena and check the
+  // column-major layout keeps every value and label intact.
+  FeatureArena d({{"a", false}, {"b", false}});
+  for (int i = 0; i < 100; ++i) {
+    const float row[] = {static_cast<float>(i), static_cast<float>(10 * i)};
+    d.add_row(row, i % 3 == 0);
+  }
+  ASSERT_EQ(d.n_rows(), 100U);
+  const auto a = d.column(0);
+  const auto b = d.column(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a[static_cast<std::size_t>(i)], static_cast<float>(i));
+    EXPECT_EQ(b[static_cast<std::size_t>(i)], static_cast<float>(10 * i));
+    EXPECT_EQ(d.label(static_cast<std::size_t>(i)) != 0, i % 3 == 0);
+  }
+  EXPECT_EQ(d.positives(), 34U);
 }
 
-TEST(Dataset, SelectRowsOutOfRangeThrows) {
-  const Dataset d = make_small();
-  const std::size_t rows[] = {99};
-  EXPECT_THROW((void)d.select_rows(rows), std::out_of_range);
+TEST(FeatureArena, PresizedArenaKeepsColumnsContiguous) {
+  // With the row count supplied up front the columns are laid out at
+  // their final stride immediately: adjacent rows of one column are
+  // adjacent floats.
+  FeatureArena d({{"a", false}, {"b", false}}, 8);
+  for (int i = 0; i < 8; ++i) {
+    const float row[] = {static_cast<float>(i), 0.0F};
+    d.add_row(row, false);
+  }
+  const auto a = d.column(0);
+  EXPECT_EQ(&a[7], &a[0] + 7);
 }
 
-TEST(Dataset, Relabel) {
-  Dataset d = make_small();
-  const std::vector<std::uint8_t> labels = {1, 1, 1, 0};
-  d.relabel(labels);
-  EXPECT_EQ(d.positives(), 3U);
-  EXPECT_TRUE(d.label(0));
-  EXPECT_FALSE(d.label(3));
-}
-
-TEST(Dataset, RelabelRejectsWrongSize) {
-  Dataset d = make_small();
-  const std::vector<std::uint8_t> labels = {1};
-  EXPECT_THROW(d.relabel(labels), std::invalid_argument);
-}
-
-TEST(Dataset, MissingSentinelDetected) {
+TEST(FeatureArena, MissingSentinelDetected) {
   EXPECT_TRUE(is_missing(kMissing));
   EXPECT_FALSE(is_missing(0.0F));
   EXPECT_FALSE(is_missing(-1e30F));
 }
 
-TEST(Dataset, EmptyDataset) {
-  Dataset d;
+TEST(FeatureArena, EmptyDataset) {
+  FeatureArena d;
   EXPECT_EQ(d.n_rows(), 0U);
   EXPECT_EQ(d.n_cols(), 0U);
 }

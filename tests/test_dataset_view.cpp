@@ -1,0 +1,233 @@
+// Tests for the zero-copy data plane: DatasetView composition over a
+// FeatureArena must reproduce the semantics the old copying
+// select_rows/select_columns had, and the whole pipeline must stay
+// byte-identical across thread counts when it runs on views.
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/nevermind.hpp"
+#include "dslsim/simulator.hpp"
+#include "exec/exec.hpp"
+
+namespace nevermind::ml {
+namespace {
+
+FeatureArena make_reference() {
+  // 6x4 reference matrix with a missing cell and mixed labels.
+  FeatureArena d(
+      {{"a", false}, {"b", false}, {"c", true}, {"d", false}});
+  const float rows[][4] = {
+      {1.0F, 10.0F, 0.0F, -1.0F},  {2.0F, 20.0F, 1.0F, -2.0F},
+      {3.0F, kMissing, 0.0F, -3.0F}, {4.0F, 40.0F, 1.0F, -4.0F},
+      {5.0F, 50.0F, 2.0F, -5.0F},  {6.0F, 60.0F, 0.0F, -6.0F}};
+  const bool labels[] = {false, true, false, true, true, false};
+  for (int i = 0; i < 6; ++i) d.add_row(rows[i], labels[i]);
+  return d;
+}
+
+/// The old copy semantics, spelled out: gather the listed rows then the
+/// listed columns into a fresh owning matrix.
+FeatureArena copy_select(const FeatureArena& d,
+                         const std::vector<std::size_t>& rows,
+                         const std::vector<std::size_t>& cols) {
+  std::vector<ColumnInfo> infos;
+  for (std::size_t j : cols) infos.push_back(d.columns()[j]);
+  FeatureArena out(std::move(infos), rows.size());
+  std::vector<float> row(cols.size());
+  for (std::size_t i : rows) {
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      row[k] = d.at(i, cols[k]);
+    }
+    out.add_row(row, d.label(i) != 0);
+  }
+  return out;
+}
+
+void expect_view_equals_arena(const DatasetView& view,
+                              const FeatureArena& expected) {
+  ASSERT_EQ(view.n_rows(), expected.n_rows());
+  ASSERT_EQ(view.n_cols(), expected.n_cols());
+  for (std::size_t j = 0; j < view.n_cols(); ++j) {
+    EXPECT_EQ(view.column_info(j).name, expected.column_info(j).name);
+    EXPECT_EQ(view.column_info(j).categorical,
+              expected.column_info(j).categorical);
+    const ColumnView col = view.column(j);
+    ASSERT_EQ(col.size(), expected.n_rows());
+    for (std::size_t i = 0; i < view.n_rows(); ++i) {
+      const float a = view.at(i, j);
+      const float b = expected.at(i, j);
+      if (is_missing(b)) {
+        EXPECT_TRUE(is_missing(a)) << "row " << i << " col " << j;
+        EXPECT_TRUE(is_missing(col[i]));
+      } else {
+        EXPECT_EQ(a, b) << "row " << i << " col " << j;
+        EXPECT_EQ(col[i], b);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < view.n_rows(); ++i) {
+    EXPECT_EQ(view.label(i) != 0, expected.label(i) != 0) << "row " << i;
+  }
+  EXPECT_EQ(view.positives(), expected.positives());
+}
+
+TEST(DatasetView, IdentityViewSeesWholeArena) {
+  const FeatureArena d = make_reference();
+  const DatasetView v(d);
+  expect_view_equals_arena(
+      v, copy_select(d, {0, 1, 2, 3, 4, 5}, {0, 1, 2, 3}));
+}
+
+TEST(DatasetView, RowThenColumnCompositionMatchesCopySemantics) {
+  const FeatureArena d = make_reference();
+  const std::vector<std::size_t> rows = {5, 1, 3};
+  const std::vector<std::size_t> cols = {2, 0};
+  const DatasetView v = DatasetView(d).rows(rows).cols(cols);
+  expect_view_equals_arena(v, copy_select(d, rows, cols));
+  // And the other composition order.
+  const DatasetView w = DatasetView(d).cols(cols).rows(rows);
+  expect_view_equals_arena(w, copy_select(d, rows, cols));
+}
+
+TEST(DatasetView, ViewOfViewComposesWithoutMaterializing) {
+  const FeatureArena d = make_reference();
+  // Row indices of the second selection are positions WITHIN the first
+  // view, exactly like chaining two copying select_rows calls.
+  const std::vector<std::size_t> outer = {5, 4, 3, 2};
+  const std::vector<std::size_t> inner = {3, 0};  // arena rows 2, 5
+  const DatasetView v = DatasetView(d).rows(outer).rows(inner);
+  expect_view_equals_arena(v, copy_select(d, {2, 5}, {0, 1, 2, 3}));
+  EXPECT_EQ(&v.arena(), &d);
+}
+
+TEST(DatasetView, MaterializeRoundTripsTheView) {
+  const FeatureArena d = make_reference();
+  const std::vector<std::size_t> rows = {4, 0, 2};
+  const std::vector<std::size_t> cols = {3, 1};
+  const DatasetView v = DatasetView(d).rows(rows).cols(cols);
+  const FeatureArena copy = materialize(v);
+  expect_view_equals_arena(v, copy);
+  expect_view_equals_arena(DatasetView(copy), copy_select(d, rows, cols));
+}
+
+TEST(DatasetView, EmptyFullAndSingletonIndexSets) {
+  const FeatureArena d = make_reference();
+  const DatasetView none = DatasetView(d).rows(std::vector<std::size_t>{});
+  EXPECT_EQ(none.n_rows(), 0U);
+  EXPECT_EQ(none.n_cols(), 4U);
+  EXPECT_EQ(none.positives(), 0U);
+  EXPECT_TRUE(none.labels_copy().empty());
+
+  const std::vector<std::size_t> all = {0, 1, 2, 3, 4, 5};
+  expect_view_equals_arena(DatasetView(d).rows(all),
+                           copy_select(d, all, {0, 1, 2, 3}));
+
+  const DatasetView one =
+      DatasetView(d).rows(std::vector<std::size_t>{3}).cols(
+          std::vector<std::size_t>{1});
+  ASSERT_EQ(one.n_rows(), 1U);
+  ASSERT_EQ(one.n_cols(), 1U);
+  EXPECT_EQ(one.at(0, 0), 40.0F);
+  EXPECT_EQ(one.positives(), 1U);
+
+  const DatasetView no_cols = DatasetView(d).cols(std::vector<std::size_t>{});
+  EXPECT_EQ(no_cols.n_rows(), 6U);
+  EXPECT_EQ(no_cols.n_cols(), 0U);
+}
+
+TEST(DatasetView, OutOfRangeIndicesThrow) {
+  const FeatureArena d = make_reference();
+  EXPECT_THROW((void)DatasetView(d).rows(std::vector<std::size_t>{6}),
+               std::out_of_range);
+  EXPECT_THROW((void)DatasetView(d).cols(std::vector<std::size_t>{4}),
+               std::out_of_range);
+  // Indices of a sub-view are view-local: row 2 of a 2-row view is out
+  // of range even though the arena has 6 rows.
+  const DatasetView v = DatasetView(d).rows(std::vector<std::size_t>{0, 1});
+  EXPECT_THROW((void)v.rows(std::vector<std::size_t>{2}), std::out_of_range);
+  EXPECT_THROW((void)v.at(2, 0), std::out_of_range);
+}
+
+TEST(DatasetView, RelabelThroughViewForOneVsRestTargets) {
+  // The trouble locator trains 52 one-vs-rest problems against one
+  // shared matrix, each with its own label vector. Relabel must not
+  // disturb the arena and must survive further row composition.
+  const FeatureArena d = make_reference();
+  const std::vector<std::uint8_t> target = {1, 0, 1, 0, 0, 1};
+  const DatasetView v = DatasetView(d).relabel(target);
+
+  EXPECT_EQ(v.positives(), 3U);
+  std::vector<std::uint8_t> storage;
+  const auto labels = v.labels(storage);
+  ASSERT_EQ(labels.size(), 6U);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(labels[i], target[i]);
+  // Arena labels untouched.
+  EXPECT_EQ(d.positives(), 3U);
+  EXPECT_EQ(d.label(0), 0);
+
+  // Row selection carries the override through in view order.
+  const DatasetView sub = v.rows(std::vector<std::size_t>{5, 1, 0});
+  EXPECT_EQ(sub.label(0), 1);
+  EXPECT_EQ(sub.label(1), 0);
+  EXPECT_EQ(sub.label(2), 1);
+  EXPECT_EQ(sub.positives(), 2U);
+
+  EXPECT_THROW((void)v.relabel(std::vector<std::uint8_t>{1}),
+               std::invalid_argument);
+}
+
+TEST(DatasetView, LabelsSpanIsZeroCopyOnIdentityRows) {
+  const FeatureArena d = make_reference();
+  const DatasetView v(d);
+  std::vector<std::uint8_t> storage;
+  const auto labels = v.labels(storage);
+  EXPECT_TRUE(storage.empty());  // no gather happened
+  EXPECT_EQ(labels.data(), d.labels().data());
+}
+
+// ---------------------------------------------------------------------
+// Pipeline-level guarantee: training, locating and ranking through the
+// view-based data plane stays byte-identical at threads {1, 8}.
+// ---------------------------------------------------------------------
+
+TEST(DatasetViewDeterminism, RunWeekByteIdenticalAcrossThreadCounts) {
+  dslsim::SimConfig sim_cfg;
+  sim_cfg.seed = 77;
+  sim_cfg.topology.n_lines = 1500;
+  const dslsim::SimDataset data = dslsim::Simulator(sim_cfg).run();
+
+  const auto run_pipeline = [&](std::size_t threads) {
+    core::NevermindConfig cfg;
+    cfg.exec = threads > 1 ? exec::ExecContext(threads) : exec::ExecContext();
+    cfg.predictor.top_n = 30;
+    cfg.predictor.boost_iterations = 40;
+    cfg.locator.min_occurrences = 6;
+    cfg.locator.boost_iterations = 20;
+    cfg.atds.weekly_capacity = 30;
+    core::Nevermind system(cfg);
+    system.train(data, 30, 38, 20, 36);
+    return system.run_week(data, 43);
+  };
+
+  const core::WeeklyCycle serial = run_pipeline(1);
+  const core::WeeklyCycle wide = run_pipeline(8);
+
+  ASSERT_EQ(serial.predictions.size(), wide.predictions.size());
+  for (std::size_t i = 0; i < serial.predictions.size(); ++i) {
+    ASSERT_EQ(serial.predictions[i].line, wide.predictions[i].line)
+        << "rank " << i;
+    ASSERT_EQ(serial.predictions[i].score, wide.predictions[i].score)
+        << "rank " << i;
+    ASSERT_EQ(serial.predictions[i].probability,
+              wide.predictions[i].probability)
+        << "rank " << i;
+  }
+  EXPECT_EQ(serial.atds.submitted, wide.atds.submitted);
+}
+
+}  // namespace
+}  // namespace nevermind::ml

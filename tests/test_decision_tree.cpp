@@ -18,8 +18,8 @@ std::vector<double> uniform_weights(std::size_t n) {
 /// carves exactly (root on a, child on b). Pure XOR defeats *greedy*
 /// root selection (no single split has gain), so the solvable tests
 /// use the AND form and XOR only demonstrates stump limits.
-Dataset make_and(std::size_t n, util::Rng& rng, double flip = 0.0) {
-  Dataset d({{"a", false}, {"b", false}});
+FeatureArena make_and(std::size_t n, util::Rng& rng, double flip = 0.0) {
+  FeatureArena d({{"a", false}, {"b", false}});
   for (std::size_t i = 0; i < n; ++i) {
     const float a = static_cast<float>(rng.normal());
     const float b = static_cast<float>(rng.normal());
@@ -31,8 +31,8 @@ Dataset make_and(std::size_t n, util::Rng& rng, double flip = 0.0) {
   return d;
 }
 
-Dataset make_xor(std::size_t n, util::Rng& rng) {
-  Dataset d({{"a", false}, {"b", false}});
+FeatureArena make_xor(std::size_t n, util::Rng& rng) {
+  FeatureArena d({{"a", false}, {"b", false}});
   for (std::size_t i = 0; i < n; ++i) {
     const float a = static_cast<float>(rng.normal());
     const float b = static_cast<float>(rng.normal());
@@ -51,7 +51,7 @@ TEST(DecisionTree, EmptyTreeScoresZero) {
 
 TEST(DecisionTree, DepthOneEqualsStumpBehaviour) {
   util::Rng rng(1);
-  Dataset d({{"x", false}});
+  FeatureArena d({{"x", false}});
   for (int i = 0; i < 200; ++i) {
     const float x = static_cast<float>(i);
     d.add_row({&x, 1}, i >= 100);
@@ -68,8 +68,8 @@ TEST(DecisionTree, DepthOneEqualsStumpBehaviour) {
 
 TEST(DecisionTree, DepthTwoSolvesConjunction) {
   util::Rng rng(2);
-  const Dataset train = make_and(3000, rng);
-  const Dataset test = make_and(1500, rng);
+  const FeatureArena train = make_and(3000, rng);
+  const FeatureArena test = make_and(1500, rng);
   TreeConfig cfg;
   cfg.max_depth = 2;
   const DecisionTree tree = train_tree(train, uniform_weights(3000), cfg);
@@ -83,7 +83,7 @@ TEST(DecisionTree, DepthTwoSolvesConjunction) {
 TEST(DecisionTree, StumpCannotSolveXor) {
   // Depth 1 stays near chance on XOR (no single informative split).
   util::Rng rng(3);
-  const Dataset train = make_xor(3000, rng);
+  const FeatureArena train = make_xor(3000, rng);
   TreeConfig cfg;
   cfg.max_depth = 1;
   const DecisionTree tree = train_tree(train, uniform_weights(3000), cfg);
@@ -95,7 +95,7 @@ TEST(DecisionTree, StumpCannotSolveXor) {
 }
 
 TEST(DecisionTree, MissingValuesAbstainAtEachNode) {
-  Dataset d({{"x", false}});
+  FeatureArena d({{"x", false}});
   for (int i = 0; i < 100; ++i) {
     const float x = static_cast<float>(i);
     d.add_row({&x, 1}, i >= 50);
@@ -110,7 +110,7 @@ TEST(DecisionTree, MissingValuesAbstainAtEachNode) {
 
 TEST(DecisionTree, ScoreRowMatchesScoreFeatures) {
   util::Rng rng(4);
-  const Dataset d = make_and(500, rng);
+  const FeatureArena d = make_and(500, rng);
   TreeConfig cfg;
   cfg.max_depth = 3;
   const DecisionTree tree = train_tree(d, uniform_weights(500), cfg);
@@ -124,8 +124,8 @@ TEST(DecisionTree, ScoreRowMatchesScoreFeatures) {
 
 TEST(BoostedTrees, LearnsConjunction) {
   util::Rng rng(5);
-  const Dataset train = make_and(3000, rng);
-  const Dataset test = make_and(1500, rng);
+  const FeatureArena train = make_and(3000, rng);
+  const FeatureArena test = make_and(1500, rng);
   BoostedTreesConfig cfg;
   cfg.iterations = 20;
   cfg.tree.max_depth = 2;
@@ -135,7 +135,7 @@ TEST(BoostedTrees, LearnsConjunction) {
 }
 
 TEST(BoostedTrees, EmptyDatasetSafe) {
-  const Dataset d({{"x", false}});
+  const FeatureArena d({{"x", false}});
   const BoostedTreesModel model = train_boosted_trees(d, {});
   EXPECT_TRUE(model.empty());
 }
@@ -146,8 +146,8 @@ TEST(BoostedTrees, OverfitsNoisyLabelsMoreThanStumps) {
   // worse) than the stump-linear ensemble with the same budget of
   // weak-learner evaluations.
   util::Rng rng(6);
-  Dataset train({{"a", false}, {"b", false}});
-  Dataset test({{"a", false}, {"b", false}});
+  FeatureArena train({{"a", false}, {"b", false}});
+  FeatureArena test({{"a", false}, {"b", false}});
   for (int i = 0; i < 6000; ++i) {
     const bool y = rng.bernoulli(0.5);
     const float row[2] = {
@@ -176,7 +176,7 @@ TEST(BoostedTrees, OverfitsNoisyLabelsMoreThanStumps) {
 TEST(BoostedTrees, TrainingErrorDropsFasterThanStumps) {
   // The flip side: trees are the stronger learner on clean data.
   util::Rng rng(7);
-  const Dataset train = make_and(2000, rng);
+  const FeatureArena train = make_and(2000, rng);
   // One weak learner each: the depth-2 tree expresses the AND, the
   // stump cannot.
   BStumpConfig stump_cfg;

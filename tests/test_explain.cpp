@@ -11,8 +11,8 @@ namespace {
 
 /// Two informative features with opposite signs plus one never-used
 /// noise column.
-ml::Dataset make_data(util::Rng& rng) {
-  ml::Dataset d({{"up", false}, {"down", false}, {"noise", false}});
+ml::FeatureArena make_data(util::Rng& rng) {
+  ml::FeatureArena d({{"up", false}, {"down", false}, {"noise", false}});
   for (int i = 0; i < 2000; ++i) {
     const bool y = rng.bernoulli(0.4);
     const float row[3] = {static_cast<float>(rng.normal(y ? 1.5 : 0.0, 0.7)),
@@ -32,7 +32,7 @@ class ExplainTest : public ::testing::Test {
     cfg.iterations = 40;
     model_ = ml::train_bstump(data_, cfg);
   }
-  ml::Dataset data_{std::vector<ml::ColumnInfo>{}};
+  ml::FeatureArena data_{std::vector<ml::ColumnInfo>{}};
   ml::BStumpModel model_;
 };
 

@@ -11,9 +11,9 @@ namespace {
 
 /// Train/test pair with one strong, one weak and one useless feature.
 struct Problem {
-  Dataset train{std::vector<ColumnInfo>{
+  FeatureArena train{std::vector<ColumnInfo>{
       {"strong", false}, {"weak", false}, {"noise", false}}};
-  Dataset test{std::vector<ColumnInfo>{
+  FeatureArena test{std::vector<ColumnInfo>{
       {"strong", false}, {"weak", false}, {"noise", false}}};
 };
 
@@ -71,7 +71,7 @@ TEST(FeatureSelection, FirstColumnSkipsScoring) {
 
 TEST(FeatureSelection, WrapperRequiresMatchingTest) {
   const Problem p = make_problem(14);
-  const Dataset other({{"x", false}});
+  const FeatureArena other({{"x", false}});
   FeatureScoringConfig cfg;
   EXPECT_THROW(
       (void)score_features(p.train, other, SelectionMethod::kAuc, cfg),
@@ -81,7 +81,7 @@ TEST(FeatureSelection, WrapperRequiresMatchingTest) {
 TEST(FeatureSelection, PcaIsFilterOnly) {
   // PCA scoring ignores the test set entirely (filter method).
   const Problem p = make_problem(15);
-  const Dataset empty_test({{"strong", false}, {"weak", false},
+  const FeatureArena empty_test({{"strong", false}, {"weak", false},
                             {"noise", false}});
   FeatureScoringConfig cfg;
   const auto scores =

@@ -9,8 +9,8 @@
 namespace nevermind::ml {
 namespace {
 
-Dataset make_linear_problem(std::size_t n, util::Rng& rng) {
-  Dataset d({{"a", false}, {"b", false}, {"noise", false}});
+FeatureArena make_linear_problem(std::size_t n, util::Rng& rng) {
+  FeatureArena d({{"a", false}, {"b", false}, {"noise", false}});
   for (std::size_t i = 0; i < n; ++i) {
     const bool y = rng.bernoulli(0.3);
     const float row[3] = {static_cast<float>(rng.normal(y ? 1.0 : 0.0, 1.0)),
@@ -23,8 +23,8 @@ Dataset make_linear_problem(std::size_t n, util::Rng& rng) {
 
 TEST(LinearModel, LearnsLinearlySeparableDirection) {
   util::Rng rng(1);
-  const Dataset train = make_linear_problem(4000, rng);
-  const Dataset test = make_linear_problem(2000, rng);
+  const FeatureArena train = make_linear_problem(4000, rng);
+  const FeatureArena test = make_linear_problem(2000, rng);
   const LinearModel model = train_linear_model(train);
   EXPECT_FALSE(model.empty());
   EXPECT_GT(auc(model.score_dataset(test), test.labels()), 0.75);
@@ -32,7 +32,7 @@ TEST(LinearModel, LearnsLinearlySeparableDirection) {
 
 TEST(LinearModel, ScoreDatasetMatchesScoreFeatures) {
   util::Rng rng(2);
-  const Dataset d = make_linear_problem(500, rng);
+  const FeatureArena d = make_linear_problem(500, rng);
   const LinearModel model = train_linear_model(d);
   const auto scores = model.score_dataset(d);
   std::vector<float> row(3);
@@ -44,7 +44,7 @@ TEST(LinearModel, ScoreDatasetMatchesScoreFeatures) {
 
 TEST(LinearModel, MissingValuesImputeToMean) {
   util::Rng rng(3);
-  Dataset d({{"x", false}});
+  FeatureArena d({{"x", false}});
   for (int i = 0; i < 1000; ++i) {
     const bool y = rng.bernoulli(0.5);
     const float x = static_cast<float>(rng.normal(y ? 1.0 : -1.0, 0.5));
@@ -60,7 +60,7 @@ TEST(LinearModel, MissingValuesImputeToMean) {
 
 TEST(LinearModel, ProbabilityInUnitInterval) {
   util::Rng rng(4);
-  const Dataset d = make_linear_problem(800, rng);
+  const FeatureArena d = make_linear_problem(800, rng);
   const LinearModel model = train_linear_model(d);
   std::vector<float> row(3);
   for (int trial = 0; trial < 50; ++trial) {
@@ -72,7 +72,7 @@ TEST(LinearModel, ProbabilityInUnitInterval) {
 }
 
 TEST(LinearModel, EmptyDatasetSafe) {
-  const Dataset d({{"x", false}});
+  const FeatureArena d({{"x", false}});
   const LinearModel model = train_linear_model(d);
   EXPECT_TRUE(model.empty());
   const float x = 1.0F;
@@ -81,7 +81,7 @@ TEST(LinearModel, EmptyDatasetSafe) {
 
 TEST(LinearModel, RidgeShrinksCoefficients) {
   util::Rng rng(5);
-  const Dataset d = make_linear_problem(2000, rng);
+  const FeatureArena d = make_linear_problem(2000, rng);
   LinearModelConfig weak;
   weak.ridge = 0.01;
   LinearModelConfig strong;
@@ -96,8 +96,8 @@ TEST(LinearModel, CannotExpressThresholdInteractionsAsWellAsStumps) {
   // Motivation for BStump over plain logistic regression: a response
   // driven by a sharp threshold with both-side noise favors stumps.
   util::Rng rng(6);
-  Dataset train({{"x", false}});
-  Dataset test({{"x", false}});
+  FeatureArena train({{"x", false}});
+  FeatureArena test({{"x", false}});
   for (int i = 0; i < 6000; ++i) {
     const float x = static_cast<float>(rng.normal(0.0, 2.0));
     // Positive only inside a band — non-monotone in x.

@@ -62,8 +62,8 @@ TEST(Psi, ConstantColumnSafe) {
   EXPECT_LT(population_stability_index(ref, cur), 1e-9);
 }
 
-ml::Dataset make_block(util::Rng& rng, std::size_t n, double shift_b) {
-  ml::Dataset d({{"a", false}, {"b", false}});
+ml::FeatureArena make_block(util::Rng& rng, std::size_t n, double shift_b) {
+  ml::FeatureArena d({{"a", false}, {"b", false}});
   for (std::size_t i = 0; i < n; ++i) {
     const float row[2] = {
         static_cast<float>(rng.normal()),
@@ -75,8 +75,8 @@ ml::Dataset make_block(util::Rng& rng, std::size_t n, double shift_b) {
 
 TEST(DriftMonitor, FlagsOnlyDriftedColumn) {
   util::Rng rng(6);
-  const ml::Dataset reference = make_block(rng, 10000, 0.0);
-  const ml::Dataset drifted = make_block(rng, 10000, 2.0);
+  const ml::FeatureArena reference = make_block(rng, 10000, 0.0);
+  const ml::FeatureArena drifted = make_block(rng, 10000, 2.0);
   DriftMonitor monitor;
   monitor.fit(reference);
   ASSERT_TRUE(monitor.fitted());
@@ -92,8 +92,8 @@ TEST(DriftMonitor, FlagsOnlyDriftedColumn) {
 
 TEST(DriftMonitor, NoAlertsOnStableStream) {
   util::Rng rng(7);
-  const ml::Dataset reference = make_block(rng, 10000, 0.0);
-  const ml::Dataset fresh = make_block(rng, 10000, 0.0);
+  const ml::FeatureArena reference = make_block(rng, 10000, 0.0);
+  const ml::FeatureArena fresh = make_block(rng, 10000, 0.0);
   DriftMonitor monitor;
   monitor.fit(reference);
   EXPECT_TRUE(monitor.alerts(fresh).empty());
@@ -101,8 +101,8 @@ TEST(DriftMonitor, NoAlertsOnStableStream) {
 
 TEST(DriftMonitor, AlertsSortedBySeverity) {
   util::Rng rng(8);
-  ml::Dataset reference({{"a", false}, {"b", false}});
-  ml::Dataset drifted({{"a", false}, {"b", false}});
+  ml::FeatureArena reference({{"a", false}, {"b", false}});
+  ml::FeatureArena drifted({{"a", false}, {"b", false}});
   for (int i = 0; i < 8000; ++i) {
     const float ref_row[2] = {static_cast<float>(rng.normal()),
                               static_cast<float>(rng.normal())};
@@ -123,7 +123,7 @@ TEST(DriftMonitor, UnfittedIsEmpty) {
   DriftMonitor monitor;
   EXPECT_FALSE(monitor.fitted());
   util::Rng rng(9);
-  const ml::Dataset block = make_block(rng, 100, 0.0);
+  const ml::FeatureArena block = make_block(rng, 100, 0.0);
   EXPECT_TRUE(monitor.column_psi(block).empty());
 }
 

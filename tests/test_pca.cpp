@@ -11,7 +11,7 @@ namespace {
 
 TEST(Pca, RecoversPrincipalDirection) {
   util::Rng rng(1);
-  Dataset d({{"x", false}, {"y", false}});
+  FeatureArena d({{"x", false}, {"y", false}});
   for (int i = 0; i < 3000; ++i) {
     const double t = rng.normal();
     const float row[2] = {static_cast<float>(t + 0.1 * rng.normal()),
@@ -30,7 +30,7 @@ TEST(Pca, RecoversPrincipalDirection) {
 
 TEST(Pca, IndependentColumnsGiveFlatSpectrum) {
   util::Rng rng(2);
-  Dataset d({{"a", false}, {"b", false}, {"c", false}});
+  FeatureArena d({{"a", false}, {"b", false}, {"c", false}});
   for (int i = 0; i < 3000; ++i) {
     const float row[3] = {static_cast<float>(rng.normal()),
                           static_cast<float>(rng.normal()),
@@ -43,7 +43,7 @@ TEST(Pca, IndependentColumnsGiveFlatSpectrum) {
 
 TEST(Pca, EigenvaluesDescending) {
   util::Rng rng(3);
-  Dataset d({{"a", false}, {"b", false}, {"c", false}, {"d", false}});
+  FeatureArena d({{"a", false}, {"b", false}, {"c", false}, {"d", false}});
   for (int i = 0; i < 1000; ++i) {
     const double t = rng.normal();
     const float row[4] = {static_cast<float>(t),
@@ -60,7 +60,7 @@ TEST(Pca, EigenvaluesDescending) {
 
 TEST(Pca, MissingValuesImputedToMean) {
   util::Rng rng(4);
-  Dataset d({{"x", false}, {"y", false}});
+  FeatureArena d({{"x", false}, {"y", false}});
   for (int i = 0; i < 500; ++i) {
     const double t = rng.normal();
     const float row[2] = {
@@ -75,7 +75,7 @@ TEST(Pca, MissingValuesImputedToMean) {
 
 TEST(Pca, SubsamplingApproximatesFull) {
   util::Rng rng(5);
-  Dataset d({{"x", false}, {"y", false}});
+  FeatureArena d({{"x", false}, {"y", false}});
   for (int i = 0; i < 4000; ++i) {
     const double t = rng.normal();
     const float row[2] = {static_cast<float>(t),
@@ -89,7 +89,7 @@ TEST(Pca, SubsamplingApproximatesFull) {
 
 TEST(Pca, FeatureScoresFavorLoadedColumns) {
   util::Rng rng(6);
-  Dataset d({{"signal1", false}, {"signal2", false}, {"noise", false}});
+  FeatureArena d({{"signal1", false}, {"signal2", false}, {"noise", false}});
   for (int i = 0; i < 2000; ++i) {
     const double t = rng.normal();
     const float row[3] = {static_cast<float>(t + 0.1 * rng.normal()),
@@ -104,7 +104,7 @@ TEST(Pca, FeatureScoresFavorLoadedColumns) {
 }
 
 TEST(Pca, EmptyDatasetSafe) {
-  const Dataset d({{"x", false}});
+  const FeatureArena d({{"x", false}});
   const PcaResult pca = fit_pca(d);
   EXPECT_EQ(pca.column_means.size(), 1U);
   const auto scores = pca_feature_scores(pca, 3);
@@ -112,7 +112,7 @@ TEST(Pca, EmptyDatasetSafe) {
 }
 
 TEST(Pca, ConstantColumnHandled) {
-  Dataset d({{"const", false}, {"var", false}});
+  FeatureArena d({{"const", false}, {"var", false}});
   util::Rng rng(7);
   for (int i = 0; i < 200; ++i) {
     const float row[2] = {5.0F, static_cast<float>(rng.normal())};

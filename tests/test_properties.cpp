@@ -14,11 +14,11 @@
 namespace nevermind {
 namespace {
 
-using ml::Dataset;
+using ml::FeatureArena;
 
-Dataset random_problem(util::Rng& rng, std::size_t n, double positive_rate,
+FeatureArena random_problem(util::Rng& rng, std::size_t n, double positive_rate,
                        double signal) {
-  Dataset d({{"a", false}, {"b", false}, {"c", false}});
+  FeatureArena d({{"a", false}, {"b", false}, {"c", false}});
   for (std::size_t i = 0; i < n; ++i) {
     const bool y = rng.bernoulli(positive_rate);
     const float row[3] = {
@@ -36,7 +36,7 @@ class PropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
 /// ensemble is bounded by the product of the per-round normalizers Z_t.
 TEST_P(PropertySweep, AdaBoostTrainingErrorBoundedByProductOfZ) {
   util::Rng rng(GetParam());
-  const Dataset d = random_problem(rng, 1500, 0.3, 1.0);
+  const FeatureArena d = random_problem(rng, 1500, 0.3, 1.0);
   ml::BStumpConfig cfg;
   cfg.iterations = 40;
   ml::TrainDiagnostics diag;
@@ -50,7 +50,7 @@ TEST_P(PropertySweep, AdaBoostTrainingErrorBoundedByProductOfZ) {
 /// is at least as good as abstaining always exists).
 TEST_P(PropertySweep, AdaBoostZNeverExceedsOne) {
   util::Rng rng(GetParam() ^ 0x1111);
-  const Dataset d = random_problem(rng, 800, 0.2, 0.5);
+  const FeatureArena d = random_problem(rng, 800, 0.2, 0.5);
   ml::BStumpConfig cfg;
   cfg.iterations = 25;
   ml::TrainDiagnostics diag;
@@ -62,7 +62,7 @@ TEST_P(PropertySweep, AdaBoostZNeverExceedsOne) {
 /// Z) as any randomly sampled competitor on the same weights.
 TEST_P(PropertySweep, BestStumpBeatsRandomStumps) {
   util::Rng rng(GetParam() ^ 0x2222);
-  const Dataset d = random_problem(rng, 600, 0.4, 0.8);
+  const FeatureArena d = random_problem(rng, 600, 0.4, 0.8);
   const std::vector<double> w(d.n_rows(), 1.0 / static_cast<double>(d.n_rows()));
   const ml::SortedColumns sorted(d);
   const auto best = ml::find_best_stump(d, sorted, w, 0.01);
@@ -133,7 +133,7 @@ TEST_P(PropertySweep, PsiNonNegativeAndReflexiveZero) {
 /// minimizes).
 TEST_P(PropertySweep, ExponentialLossNonIncreasingInRounds) {
   util::Rng rng(GetParam() ^ 0x6666);
-  const Dataset d = random_problem(rng, 1000, 0.3, 0.9);
+  const FeatureArena d = random_problem(rng, 1000, 0.3, 0.9);
   ml::BStumpConfig small;
   small.iterations = 5;
   ml::BStumpConfig large;

@@ -38,7 +38,7 @@ TEST(Stump, EvaluateCategorical) {
 }
 
 TEST(FindBestStump, SeparableContinuous) {
-  Dataset d({{"x", false}});
+  FeatureArena d({{"x", false}});
   for (int i = 0; i < 50; ++i) {
     const float x = static_cast<float>(i);
     d.add_row({&x, 1}, i >= 25);
@@ -56,7 +56,7 @@ TEST(FindBestStump, SeparableContinuous) {
 
 TEST(FindBestStump, SeparableInverted) {
   // Positives BELOW the threshold: score signs flip.
-  Dataset d({{"x", false}});
+  FeatureArena d({{"x", false}});
   for (int i = 0; i < 50; ++i) {
     const float x = static_cast<float>(i);
     d.add_row({&x, 1}, i < 25);
@@ -69,7 +69,7 @@ TEST(FindBestStump, SeparableInverted) {
 }
 
 TEST(FindBestStump, PicksInformativeFeature) {
-  Dataset d({{"noise", false}, {"signal", false}});
+  FeatureArena d({{"noise", false}, {"signal", false}});
   util::Rng rng(3);
   for (int i = 0; i < 400; ++i) {
     const bool positive = i % 2 == 0;
@@ -84,7 +84,7 @@ TEST(FindBestStump, PicksInformativeFeature) {
 }
 
 TEST(FindBestStump, CategoricalEquality) {
-  Dataset d({{"color", true}});
+  FeatureArena d({{"color", true}});
   util::Rng rng(4);
   for (int i = 0; i < 300; ++i) {
     const float v = static_cast<float>(rng.uniform_index(3));
@@ -101,7 +101,7 @@ TEST(FindBestStump, CategoricalEquality) {
 }
 
 TEST(FindBestStump, MissingValuesGetOwnBranch) {
-  Dataset d({{"x", false}});
+  FeatureArena d({{"x", false}});
   // Missing rows are all positive; present rows all negative.
   for (int i = 0; i < 100; ++i) {
     const float v = i < 50 ? kMissing : static_cast<float>(i);
@@ -115,7 +115,7 @@ TEST(FindBestStump, MissingValuesGetOwnBranch) {
 }
 
 TEST(FindBestStump, WeightsShiftTheSplit) {
-  Dataset d({{"x", false}});
+  FeatureArena d({{"x", false}});
   for (int i = 0; i < 10; ++i) {
     const float x = static_cast<float>(i);
     d.add_row({&x, 1}, i >= 5);
@@ -132,7 +132,7 @@ TEST(FindBestStump, WeightsShiftTheSplit) {
 }
 
 TEST(FindBestStumpForFeature, RestrictsSearch) {
-  Dataset d({{"noise", false}, {"signal", false}});
+  FeatureArena d({{"noise", false}, {"signal", false}});
   util::Rng rng(5);
   for (int i = 0; i < 200; ++i) {
     const bool positive = i % 2 == 0;
@@ -150,7 +150,7 @@ TEST(FindBestStumpForFeature, RestrictsSearch) {
 }
 
 TEST(FindBestStump, ConstantFeatureYieldsPriorVote) {
-  Dataset d({{"x", false}});
+  FeatureArena d({{"x", false}});
   const float v = 1.0F;
   for (int i = 0; i < 40; ++i) d.add_row({&v, 1}, i < 30);
   const SortedColumns sorted(d);

@@ -6,11 +6,13 @@ bench_train, bench_serve, bench_net) writes a BENCH_*.json with metric
 fields named by convention: names ending in ``_s`` are timings in
 seconds and names ending in ``_ms`` are timings in milliseconds (both
 lower is better; ``_ms`` values are converted to seconds so --min-time
-applies uniformly), while names ending in ``_per_s`` are throughputs
-(higher is better). This tool diffs a baseline file against a candidate
+applies uniformly), names ending in ``_per_s`` are throughputs (higher
+is better), and names ending in ``_bytes`` are memory footprints
+(lower is better, no minimum floor — bytes do not jitter the way a
+5 ms timing does). This tool diffs a baseline file against a candidate
 file (or two directories of BENCH_*.json files, matched by name) and
-fails when any timing slowed down — or any throughput dropped — by more
-than the threshold (default 20%).
+fails when any timing slowed down — or any throughput dropped, or any
+memory footprint grew — by more than the threshold (default 20%).
 
 Timings below a minimum (default 0.05 s) are skipped: at smoke sizes a
 scheduler hiccup easily doubles a 5 ms measurement, and such fields say
@@ -38,11 +40,12 @@ def metric_fields(obj, prefix=""):
     """Yield (dotted_path, kind, value) for every metric field.
 
     kind is "throughput" for numeric fields ending in _per_s (higher is
-    better) and "time" for other numeric fields ending in _s or _ms
-    (lower is better; _ms values come back in seconds so thresholds and
-    --min-time apply uniformly). The _per_s check runs first — a _per_s
-    name also ends in _s, and classifying it as a timing would invert
-    the comparison.
+    better), "memory" for numeric fields ending in _bytes (lower is
+    better, no --min-time floor), and "time" for other numeric fields
+    ending in _s or _ms (lower is better; _ms values come back in
+    seconds so thresholds and --min-time apply uniformly). The _per_s
+    check runs first — a _per_s name also ends in _s, and classifying
+    it as a timing would invert the comparison.
 
     Lists are keyed by a stable attribute when the elements carry one
     (the benches key runs by "threads") and by index otherwise, so the
@@ -53,6 +56,8 @@ def metric_fields(obj, prefix=""):
             path = f"{prefix}.{key}" if prefix else key
             if key.endswith("_per_s") and isinstance(value, (int, float)):
                 yield path, "throughput", float(value)
+            elif key.endswith("_bytes") and isinstance(value, (int, float)):
+                yield path, "memory", float(value)
             elif key.endswith("_ms") and isinstance(value, (int, float)):
                 yield path, "time", float(value) / 1000.0
             elif key.endswith("_s") and isinstance(value, (int, float)):
@@ -85,6 +90,15 @@ def compare(baseline, candidate, threshold, min_time):
             if ratio > 1.0 + threshold:
                 regressions.append(
                     f"{path}: {base_value:.3f}s -> {cand_value:.3f}s "
+                    f"(+{(ratio - 1.0) * 100.0:.0f}%)"
+                )
+        elif kind == "memory":  # growth is the regression, no time floor
+            if base_value <= 0.0 or cand_value <= 0.0:
+                continue  # unmeasured (e.g. memprobe disabled)
+            ratio = cand_value / base_value
+            if ratio > 1.0 + threshold:
+                regressions.append(
+                    f"{path}: {base_value:.0f}B -> {cand_value:.0f}B "
                     f"(+{(ratio - 1.0) * 100.0:.0f}%)"
                 )
         else:  # throughput: a drop is the regression
@@ -214,6 +228,38 @@ def self_test():
     msgs = compare(net, doubled_ping, 0.2, 0.05)
     assert len(msgs) == 1 and "ping_p50_ms" in msgs[0], msgs
     assert compare(net, doubled_ping, 0.2, 0.1) == []
+
+    # --- memory fields (_bytes, lower is better, no time floor) ------
+    mem = {
+        "bench": "train",
+        "dataplane": {
+            "view_alloc_bytes": 9000000,
+            "view_peak_rss_bytes": 200000,
+            "copy_peak_rss_bytes": 1000000,
+        },
+    }
+    # Unchanged: clean.
+    assert compare(mem, mem, 0.2, 0.05) == []
+    # A 50% allocation-bytes GROWTH is a regression.
+    grown = json.loads(json.dumps(mem))
+    grown["dataplane"]["view_alloc_bytes"] = 13500000
+    msgs = compare(mem, grown, 0.2, 0.05)
+    assert len(msgs) == 1 and "view_alloc_bytes" in msgs[0], msgs
+    # Shrinking memory is an improvement, never flagged.
+    shrunk = json.loads(json.dumps(mem))
+    shrunk["dataplane"]["view_peak_rss_bytes"] = 50000
+    assert compare(mem, shrunk, 0.2, 0.05) == []
+    # The --min-time floor does NOT apply: a small-but-real byte count
+    # doubling is still flagged (0.05 would hide any timing this size).
+    small = json.loads(json.dumps(mem))
+    small["dataplane"]["view_peak_rss_bytes"] = 400000
+    msgs = compare(mem, small, 0.2, 0.05)
+    assert len(msgs) == 1 and "view_peak_rss_bytes" in msgs[0], msgs
+    # Zero (unmeasured, e.g. /proc absent) is skipped in either slot.
+    zero_mem = json.loads(json.dumps(mem))
+    zero_mem["dataplane"]["copy_peak_rss_bytes"] = 0
+    assert compare(zero_mem, mem, 0.2, 0.05) == []
+    assert compare(mem, zero_mem, 0.2, 0.05) == []
     print("check_bench.py self-test passed")
     return 0
 

@@ -22,16 +22,25 @@
 // and peak RSS for each into BENCH_train.json. The two paths must
 // produce identical models and metrics; the bench fails otherwise.
 //
+// A fourth section, store, streams the training matrix into an nmarena
+// feature-store artefact and prices both read paths — eager copy vs
+// zero-copy mmap — in load time, allocator bytes, phase peak RSS, and
+// cold-restart (load + first full pass) time. Both loads must
+// reproduce the in-memory matrix bit for bit or the bench exits 1.
+//
 // Usage: bench_train [--lines N] [--seed S] [--rounds R]
 //                    [--locator-rounds R] [--out FILE] [--tolerance T]
 #define NEVERMIND_MEMPROBE_IMPL
 #include "memprobe.hpp"
 
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -43,10 +52,12 @@
 #include "core/trouble_locator.hpp"
 #include "dslsim/simulator.hpp"
 #include "exec/exec.hpp"
+#include "features/dataset_io.hpp"
 #include "features/encoder.hpp"
 #include "ml/adaboost.hpp"
 #include "ml/cross_validation.hpp"
 #include "ml/feature_selection.hpp"
+#include "ml/feature_store.hpp"
 #include "ml/metrics.hpp"
 
 namespace {
@@ -126,6 +137,7 @@ Timing run_at(std::size_t threads, const dslsim::SimDataset& data,
 
 struct DataplaneStats {
   bool rss_reset_supported = false;
+  bool peak_rss_approx = false;
   double view_s = 0.0;
   double copy_s = 0.0;
   std::uint64_t view_alloc_bytes = 0;
@@ -212,29 +224,30 @@ DataplaneStats run_dataplane(const ml::FeatureArena& train,
   namespace memprobe = bench::memprobe;
   DataplaneStats stats;
   // View phase first: if the kernel cannot reset the peak-RSS
-  // watermark, VmHWM is monotone and the copy phase measured second
-  // still upper-bounds it, keeping copy >= view honest.
-  stats.rss_reset_supported = memprobe::reset_peak_rss();
+  // watermark, the probe degrades to watermark growth and the copy
+  // phase measured second still upper-bounds it, keeping copy >= view
+  // honest.
   std::uint64_t alloc0 = memprobe::bytes_allocated();
-  std::uint64_t rss0 = memprobe::current_rss_bytes();
+  memprobe::PhaseRssProbe view_probe;
+  stats.rss_reset_supported = view_probe.exact();
   auto start = Clock::now();
   const DataplaneOutputs view_out = run_dataplane_workload(train, rounds,
                                                            false);
   stats.view_s = seconds_since(start);
   stats.view_alloc_bytes = memprobe::bytes_allocated() - alloc0;
-  const std::uint64_t view_peak = memprobe::peak_rss_bytes();
-  stats.view_peak_rss_bytes = view_peak > rss0 ? view_peak - rss0 : 0;
+  const memprobe::PhasePeak view_peak = view_probe.sample();
+  stats.view_peak_rss_bytes = view_peak.bytes;
 
-  memprobe::reset_peak_rss();
   alloc0 = memprobe::bytes_allocated();
-  rss0 = memprobe::current_rss_bytes();
+  memprobe::PhaseRssProbe copy_probe;
   start = Clock::now();
   const DataplaneOutputs copy_out = run_dataplane_workload(train, rounds,
                                                            true);
   stats.copy_s = seconds_since(start);
   stats.copy_alloc_bytes = memprobe::bytes_allocated() - alloc0;
-  const std::uint64_t copy_peak = memprobe::peak_rss_bytes();
-  stats.copy_peak_rss_bytes = copy_peak > rss0 ? copy_peak - rss0 : 0;
+  const memprobe::PhasePeak copy_peak = copy_probe.sample();
+  stats.copy_peak_rss_bytes = copy_peak.bytes;
+  stats.peak_rss_approx = !view_peak.exact || !copy_peak.exact;
 
   // The views are a pure representation change: every fold metric,
   // every selection score and the last fold ensemble must match the
@@ -244,6 +257,143 @@ DataplaneStats run_dataplane(const ml::FeatureArena& train,
       view_out.selection_scores == copy_out.selection_scores &&
       same_model(view_out.last_fold_model, copy_out.last_fold_model);
   return stats;
+}
+
+struct StoreStats {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::uint64_t file_bytes = 0;
+  double encode_write_s = 0.0;
+  double write_rows_per_s = 0.0;
+  double mmap_load_s = 0.0;
+  double eager_load_s = 0.0;
+  double mmap_restart_s = 0.0;
+  double eager_restart_s = 0.0;
+  std::uint64_t mmap_alloc_bytes = 0;
+  std::uint64_t eager_alloc_bytes = 0;
+  std::uint64_t mmap_peak_rss_bytes = 0;
+  std::uint64_t eager_peak_rss_bytes = 0;
+  bool peak_rss_approx = false;
+  bool loads_identical = true;
+};
+
+bool same_arena(const ml::FeatureArena& a, const ml::FeatureArena& b) {
+  if (a.n_rows() != b.n_rows() || a.n_cols() != b.n_cols()) return false;
+  for (std::size_t j = 0; j < a.n_cols(); ++j) {
+    for (std::size_t r = 0; r < a.n_rows(); ++r) {
+      if (std::bit_cast<std::uint32_t>(a.value(r, j)) !=
+          std::bit_cast<std::uint32_t>(b.value(r, j))) {
+        return false;
+      }
+    }
+  }
+  for (std::size_t r = 0; r < a.n_rows(); ++r) {
+    if (a.label(r) != b.label(r)) return false;
+  }
+  return true;
+}
+
+/// Full pass over the matrix — for the mapped arena this faults every
+/// payload page in, so a restart timing covers the real first-use cost
+/// rather than just the (lazy) mmap call.
+double touch_all(const ml::FeatureArena& a) {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < a.n_cols(); ++j) {
+    for (std::size_t r = 0; r < a.n_rows(); ++r) {
+      const float v = a.value(r, j);
+      if (!ml::is_missing(v)) acc += v;
+    }
+  }
+  return acc;
+}
+
+/// The feature-store section: stream the training matrix to an nmarena
+/// artefact, load it back both ways, and price each path in time,
+/// allocator bytes, and phase peak RSS. The loaded matrices must match
+/// the in-memory encode bit for bit — the bench fails otherwise.
+StoreStats run_store(const dslsim::SimDataset& data,
+                     const bench::PaperSplits& splits,
+                     const features::EncoderConfig& enc_cfg,
+                     const features::TicketLabeler& labeler,
+                     const ml::FeatureArena& train) {
+  namespace memprobe = bench::memprobe;
+  StoreStats s;
+  s.rows = train.n_rows();
+  s.cols = train.n_cols();
+  const std::string path = "bench_train.nmarena";
+
+  auto start = Clock::now();
+  const ml::StoreStatus wrote = features::save_predictor_dataset(
+      path, data, splits.train_from, splits.train_to, enc_cfg, labeler);
+  s.encode_write_s = seconds_since(start);
+  if (!wrote.ok()) {
+    std::cerr << "ERROR: cannot write " << path << ": " << wrote.message
+              << "\n";
+    s.loads_identical = false;
+    return s;
+  }
+  s.write_rows_per_s = s.encode_write_s > 0.0
+                           ? static_cast<double>(s.rows) / s.encode_write_s
+                           : 0.0;
+  std::error_code ec;
+  s.file_bytes = std::filesystem::file_size(path, ec);
+
+  // Mmap phase first: if the watermark reset is unavailable the probe
+  // degrades to monotone-HWM growth, and the eager copy measured second
+  // still upper-bounds the mapped load, keeping eager >= mmap honest.
+  ml::StoreStatus status;
+  std::uint64_t alloc0 = memprobe::bytes_allocated();
+  memprobe::PhaseRssProbe mmap_probe;
+  start = Clock::now();
+  auto mapped = ml::load_arena(path, {.mode = ml::ArenaLoadMode::kMapped},
+                               &status);
+  s.mmap_load_s = seconds_since(start);
+  s.mmap_alloc_bytes = memprobe::bytes_allocated() - alloc0;
+  const memprobe::PhasePeak mmap_peak = mmap_probe.sample();
+  s.mmap_peak_rss_bytes = mmap_peak.bytes;
+  if (!mapped.has_value()) {
+    std::cerr << "ERROR: mmap load failed: " << status.message << "\n";
+  }
+
+  alloc0 = memprobe::bytes_allocated();
+  memprobe::PhaseRssProbe eager_probe;
+  start = Clock::now();
+  auto eager = ml::load_arena(path, {.mode = ml::ArenaLoadMode::kEager},
+                              &status);
+  s.eager_load_s = seconds_since(start);
+  s.eager_alloc_bytes = memprobe::bytes_allocated() - alloc0;
+  const memprobe::PhasePeak eager_peak = eager_probe.sample();
+  s.eager_peak_rss_bytes = eager_peak.bytes;
+  s.peak_rss_approx = !mmap_peak.exact || !eager_peak.exact;
+  if (!eager.has_value()) {
+    std::cerr << "ERROR: eager load failed: " << status.message << "\n";
+  }
+
+  s.loads_identical = mapped.has_value() && eager.has_value() &&
+                      same_arena(mapped->arena, train) &&
+                      same_arena(eager->arena, train);
+
+  // Cold restarts: drop the loaded matrices, reload, and run one full
+  // pass — the time for a service to come back up from the artefact.
+  mapped.reset();
+  eager.reset();
+  {
+    start = Clock::now();
+    auto re = ml::load_arena(path, {.mode = ml::ArenaLoadMode::kMapped});
+    volatile double sink = re.has_value() ? touch_all(re->arena) : 0.0;
+    (void)sink;
+    s.mmap_restart_s = seconds_since(start);
+  }
+  {
+    start = Clock::now();
+    auto re = ml::load_arena(path, {.mode = ml::ArenaLoadMode::kEager});
+    volatile double sink = re.has_value() ? touch_all(re->arena) : 0.0;
+    (void)sink;
+    s.eager_restart_s = seconds_since(start);
+  }
+
+  std::remove(path.c_str());
+  return s;
 }
 
 }  // namespace
@@ -316,6 +466,9 @@ int main(int argc, char** argv) {
 
   std::cerr << "measuring data-plane memory (view vs copy)...\n";
   const DataplaneStats dp = run_dataplane(train, rounds);
+
+  std::cerr << "measuring feature store (write / eager load / mmap load)...\n";
+  const StoreStats store = run_store(data, splits, enc_cfg, labeler, train);
   const double rss_reduction =
       dp.copy_peak_rss_bytes > 0
           ? 1.0 - static_cast<double>(dp.view_peak_rss_bytes) /
@@ -346,6 +499,8 @@ int main(int argc, char** argv) {
        << "  \"dataplane\": {\n"
        << "    \"rss_reset_supported\": "
        << (dp.rss_reset_supported ? "true" : "false") << ",\n"
+       << "    \"peak_rss_approx\": "
+       << (dp.peak_rss_approx ? "true" : "false") << ",\n"
        << "    \"outputs_identical\": "
        << (dp.outputs_identical ? "true" : "false") << ",\n"
        << "    \"view_s\": " << dp.view_s << ",\n"
@@ -355,6 +510,27 @@ int main(int argc, char** argv) {
        << "    \"view_peak_rss_bytes\": " << dp.view_peak_rss_bytes << ",\n"
        << "    \"copy_peak_rss_bytes\": " << dp.copy_peak_rss_bytes << ",\n"
        << "    \"peak_rss_reduction\": " << rss_reduction << "\n"
+       << "  },\n"
+       << "  \"store\": {\n"
+       << "    \"rows\": " << store.rows << ",\n"
+       << "    \"cols\": " << store.cols << ",\n"
+       << "    \"file_bytes\": " << store.file_bytes << ",\n"
+       << "    \"loads_identical\": "
+       << (store.loads_identical ? "true" : "false") << ",\n"
+       << "    \"peak_rss_approx\": "
+       << (store.peak_rss_approx ? "true" : "false") << ",\n"
+       << "    \"encode_write_s\": " << store.encode_write_s << ",\n"
+       << "    \"write_rows_per_s\": " << store.write_rows_per_s << ",\n"
+       << "    \"mmap_load_s\": " << store.mmap_load_s << ",\n"
+       << "    \"eager_load_s\": " << store.eager_load_s << ",\n"
+       << "    \"mmap_restart_s\": " << store.mmap_restart_s << ",\n"
+       << "    \"eager_restart_s\": " << store.eager_restart_s << ",\n"
+       << "    \"mmap_alloc_bytes\": " << store.mmap_alloc_bytes << ",\n"
+       << "    \"eager_alloc_bytes\": " << store.eager_alloc_bytes << ",\n"
+       << "    \"mmap_peak_rss_bytes\": " << store.mmap_peak_rss_bytes
+       << ",\n"
+       << "    \"eager_peak_rss_bytes\": " << store.eager_peak_rss_bytes
+       << "\n"
        << "  },\n"
        << "  \"runs\": [\n";
   for (std::size_t i = 0; i < timings.size(); ++i) {
@@ -388,6 +564,11 @@ int main(int argc, char** argv) {
   }
   if (!dp.outputs_identical) {
     std::cerr << "ERROR: view and materialized data planes disagree\n";
+    return 1;
+  }
+  if (!store.loads_identical) {
+    std::cerr << "ERROR: feature-store round trip does not reproduce the "
+                 "in-memory matrix\n";
     return 1;
   }
   return 0;

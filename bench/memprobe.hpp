@@ -74,6 +74,52 @@ inline bool reset_peak_rss() noexcept {
   return (std::fclose(f) == 0) && ok;
 }
 
+/// A phase peak-RSS sample: `bytes` is the peak attributable to the
+/// phase, `exact` says whether the kernel watermark reset was available.
+struct PhasePeak {
+  std::uint64_t bytes = 0;
+  bool exact = true;
+};
+
+/// Scoped peak-RSS measurement for one phase of a bench. Construction
+/// attempts the clear_refs watermark reset; when the kernel (or a
+/// container's proc restrictions) refuses it, sample() degrades to the
+/// growth of VmHWM/VmRSS over the phase and flags the result as
+/// approximate instead of reporting a process-lifetime peak as if it
+/// were the phase's.
+class PhaseRssProbe {
+ public:
+  PhaseRssProbe() noexcept
+      : exact_(reset_peak_rss()),
+        baseline_hwm_(exact_ ? 0 : peak_rss_bytes()),
+        baseline_rss_(current_rss_bytes()) {}
+
+  /// Peak RSS the phase added over the RSS at construction. Exact mode
+  /// reads the reset watermark; approximate mode reports how much the
+  /// monotone watermark (or, when the phase stayed under an earlier
+  /// peak, current RSS) grew over the phase.
+  [[nodiscard]] PhasePeak sample() const noexcept {
+    if (exact_) {
+      const std::uint64_t peak = peak_rss_bytes();
+      return {peak > baseline_rss_ ? peak - baseline_rss_ : 0, true};
+    }
+    const std::uint64_t hwm = peak_rss_bytes();
+    const std::uint64_t rss = current_rss_bytes();
+    const std::uint64_t hwm_delta =
+        hwm > baseline_hwm_ ? hwm - baseline_hwm_ : 0;
+    const std::uint64_t rss_delta =
+        rss > baseline_rss_ ? rss - baseline_rss_ : 0;
+    return {hwm_delta > rss_delta ? hwm_delta : rss_delta, false};
+  }
+
+  [[nodiscard]] bool exact() const noexcept { return exact_; }
+
+ private:
+  bool exact_;
+  std::uint64_t baseline_hwm_;
+  std::uint64_t baseline_rss_;
+};
+
 }  // namespace nevermind::bench::memprobe
 
 #ifdef NEVERMIND_MEMPROBE_IMPL

@@ -24,6 +24,51 @@ std::vector<std::size_t> rows_in_weeks(const features::EncodedBlock& block,
   return rows;
 }
 
+/// Validation weeks held out of the selection/training split.
+int validation_weeks(int n_weeks, double fraction) {
+  return std::clamp(static_cast<int>(std::lround(n_weeks * fraction)), 1,
+                    std::max(1, n_weeks - 1));
+}
+
+/// Stage-1 base-feature selection from the per-feature scores.
+std::vector<std::size_t> select_base(const PredictorConfig& config,
+                                     const std::vector<double>& scores) {
+  if (config.selection == ml::SelectionMethod::kTopNAp) {
+    auto selected =
+        ml::select_above_threshold(scores, config.history_threshold);
+    if (selected.empty()) selected = ml::select_top_k(scores, 10);
+    return selected;
+  }
+  return ml::select_top_k(scores, config.max_selected_features);
+}
+
+/// Product pairs implied by stage-1 scores: all pairs over the
+/// `product_pool` strongest base features.
+std::vector<std::pair<std::size_t, std::size_t>> pairs_from_scores(
+    const PredictorConfig& config, const std::vector<double>& base_scores) {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  const auto pool = ml::select_top_k(
+      base_scores, std::min(config.product_pool, base_scores.size()));
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    for (std::size_t j = i + 1; j < pool.size(); ++j) {
+      pairs.emplace_back(pool[i], pool[j]);
+    }
+  }
+  return pairs;
+}
+
+/// True when the non-derived encoder fields agree — the precondition
+/// for training this predictor off an externally encoded block.
+bool same_base_layout(const features::EncoderConfig& a,
+                      const features::EncoderConfig& b) {
+  return a.include_basic == b.include_basic &&
+         a.include_delta == b.include_delta &&
+         a.include_timeseries == b.include_timeseries &&
+         a.include_customer == b.include_customer &&
+         a.min_history_weeks == b.min_history_weeks &&
+         a.no_ticket_days == b.no_ticket_days;
+}
+
 }  // namespace
 
 TicketPredictor::TicketPredictor(PredictorConfig config)
@@ -38,9 +83,7 @@ void TicketPredictor::train(const dslsim::SimDataset& data, int train_from,
     throw std::invalid_argument("TicketPredictor::train: empty week range");
   }
   const int n_weeks = train_to - train_from + 1;
-  const int n_val = std::clamp(
-      static_cast<int>(std::lround(n_weeks * config_.validation_fraction)), 1,
-      std::max(1, n_weeks - 1));
+  const int n_val = validation_weeks(n_weeks, config_.validation_fraction);
   const int sel_train_to = train_to - n_val;  // may equal train_from
 
   const features::TicketLabeler labeler{config_.horizon_days};
@@ -69,36 +112,116 @@ void TicketPredictor::train(const dslsim::SimDataset& data, int train_from,
   // Base features above the history/customer threshold. Baseline
   // methods (Fig 6) have no comparable absolute threshold; they take
   // the top-k directly.
-  std::vector<std::size_t> base_selected;
-  if (config_.selection == ml::SelectionMethod::kTopNAp) {
-    base_selected =
-        ml::select_above_threshold(base_scores, config_.history_threshold);
-    if (base_selected.empty()) {
-      base_selected = ml::select_top_k(base_scores, 10);
-    }
-  } else {
-    base_selected =
-        ml::select_top_k(base_scores, config_.max_selected_features);
-  }
+  std::vector<std::size_t> base_selected = select_base(config_, base_scores);
 
-  // ---- stage 2: derived features over the strongest base features ----
   kernel_.encoder = base_cfg;
-  std::vector<double> full_scores = base_scores;
   if (config_.use_derived_features) {
     kernel_.encoder.include_quadratic = true;
-    const auto pool = ml::select_top_k(
-        base_scores, std::min(config_.product_pool, base_scores.size()));
-    for (std::size_t i = 0; i < pool.size(); ++i) {
-      for (std::size_t j = i + 1; j < pool.size(); ++j) {
-        kernel_.encoder.product_pairs.emplace_back(pool[i], pool[j]);
-      }
-    }
-
-    features::EncodedBlock full_block = features::encode_weeks(
+    kernel_.encoder.product_pairs = pairs_from_scores(config_, base_scores);
+    // One full encode shared by stage-2 derived scoring and the stage-3
+    // final ensemble (formerly two identical encodes).
+    const features::EncodedBlock full_block = features::encode_weeks(
         data, train_from, train_to, kernel_.encoder, labeler);
-    const auto ftrain = rows_in_weeks(full_block, train_from, sel_train_to);
-    const auto fval = rows_in_weeks(full_block, sel_train_to + 1, train_to);
-    const ml::DatasetView full_view(full_block.dataset);
+    finish_train(full_block, base_scores, std::move(base_selected), train_from,
+                 train_to, n_val);
+  } else {
+    // No derived features: the base block already is the full block.
+    finish_train(base_block, base_scores, std::move(base_selected), train_from,
+                 train_to, n_val);
+  }
+}
+
+void TicketPredictor::train_from_block(
+    const features::EncodedBlock& block,
+    const features::EncoderConfig& full_encoder) {
+  const std::size_t n_rows = block.dataset.n_rows();
+  if (n_rows == 0 || block.week_of_row.size() != n_rows) {
+    throw std::invalid_argument(
+        "TicketPredictor::train_from_block: empty or inconsistent block");
+  }
+  if (block.dataset.n_cols() != features::all_columns(full_encoder).size()) {
+    throw std::invalid_argument(
+        "TicketPredictor::train_from_block: column count disagrees with the "
+        "encoder configuration");
+  }
+  features::EncoderConfig base_cfg = config_.encoder;
+  base_cfg.include_quadratic = false;
+  base_cfg.product_pairs.clear();
+  if (!same_base_layout(base_cfg, full_encoder)) {
+    throw std::invalid_argument(
+        "TicketPredictor::train_from_block: dataset artefact was encoded "
+        "under a different base feature configuration");
+  }
+
+  const auto [min_it, max_it] =
+      std::minmax_element(block.week_of_row.begin(), block.week_of_row.end());
+  const int train_from = *min_it;
+  const int train_to = *max_it;
+  const int n_val = validation_weeks(train_to - train_from + 1,
+                                     config_.validation_fraction);
+  const int sel_train_to = train_to - n_val;
+
+  // ---- stage 1 on the base-column prefix of the stored matrix --------
+  // Base columns are a prefix of the full layout with identical values,
+  // and per-feature scoring is column-independent, so these scores
+  // equal a fresh base-only encode's bit for bit.
+  ml::FeatureScoringConfig scoring;
+  scoring.boost_iterations = config_.selection_boost_iterations;
+  scoring.top_n = config_.top_n * static_cast<std::size_t>(n_val);
+  scoring.exec = config_.exec;
+
+  const std::size_t n_base = features::base_columns(base_cfg).size();
+  std::vector<std::size_t> base_cols(n_base);
+  std::iota(base_cols.begin(), base_cols.end(), std::size_t{0});
+
+  const ml::DatasetView full_view(block.dataset);
+  const ml::DatasetView base_view = full_view.cols(base_cols);
+  const ml::DatasetView sel_train =
+      base_view.rows(rows_in_weeks(block, train_from, sel_train_to));
+  const ml::DatasetView sel_val =
+      base_view.rows(rows_in_weeks(block, sel_train_to + 1, train_to));
+
+  const std::vector<double> base_scores =
+      ml::score_features(sel_train, sel_val, config_.selection, scoring);
+  std::vector<std::size_t> base_selected = select_base(config_, base_scores);
+
+  // Recompute the derived layout stage 1 implies and require the
+  // artefact to match — an artefact from a different predictor
+  // configuration would otherwise silently train on the wrong columns.
+  features::EncoderConfig expected = base_cfg;
+  if (config_.use_derived_features) {
+    expected.include_quadratic = true;
+    expected.product_pairs = pairs_from_scores(config_, base_scores);
+  }
+  if (expected.include_quadratic != full_encoder.include_quadratic ||
+      expected.product_pairs != full_encoder.product_pairs) {
+    throw std::invalid_argument(
+        "TicketPredictor::train_from_block: dataset artefact's derived "
+        "features disagree with this predictor configuration");
+  }
+  kernel_.encoder = std::move(expected);
+  finish_train(block, base_scores, std::move(base_selected), train_from,
+               train_to, n_val);
+}
+
+void TicketPredictor::finish_train(const features::EncodedBlock& full_block,
+                                   const std::vector<double>& base_scores,
+                                   std::vector<std::size_t> base_selected,
+                                   int train_from, int train_to, int n_val) {
+  const int sel_train_to = train_to - n_val;
+
+  ml::FeatureScoringConfig scoring;
+  scoring.boost_iterations = config_.selection_boost_iterations;
+  scoring.top_n = config_.top_n * static_cast<std::size_t>(n_val);
+  scoring.exec = config_.exec;
+
+  const auto ftrain = rows_in_weeks(full_block, train_from, sel_train_to);
+  const auto fval = rows_in_weeks(full_block, sel_train_to + 1, train_to);
+  const ml::DatasetView full_view(full_block.dataset);
+
+  // ---- stage 2: derived features over the strongest base features ----
+  std::vector<double> full_scores = base_scores;
+  if (config_.use_derived_features) {
     const ml::DatasetView dsel_train = full_view.rows(ftrain);
     const ml::DatasetView dsel_val = full_view.rows(fval);
 
@@ -111,7 +234,7 @@ void TicketPredictor::train(const dslsim::SimDataset& data, int train_from,
     for (std::size_t j = n_base; j < n_all; ++j) full_scores[j] = all_scores[j];
 
     const std::size_t n_quadratic = n_base;  // one square per base column
-    kernel_.selected = base_selected;
+    kernel_.selected = std::move(base_selected);
     if (config_.selection == ml::SelectionMethod::kTopNAp) {
       for (std::size_t j = n_base; j < n_base + n_quadratic && j < n_all; ++j) {
         if (full_scores[j] > config_.quadratic_threshold) kernel_.selected.push_back(j);
@@ -135,7 +258,7 @@ void TicketPredictor::train(const dslsim::SimDataset& data, int train_from,
       }
     }
   } else {
-    kernel_.selected = base_selected;
+    kernel_.selected = std::move(base_selected);
   }
 
   // Cap the feature count, keeping the strongest.
@@ -149,15 +272,9 @@ void TicketPredictor::train(const dslsim::SimDataset& data, int train_from,
   }
 
   // ---- stage 3: final ensemble on the selected columns ----------------
-  features::EncodedBlock final_block = features::encode_weeks(
-      data, train_from, train_to, kernel_.encoder, labeler);
-  const ml::DatasetView final_view(final_block.dataset);
   const ml::DatasetView final_train =
-      final_view.rows(rows_in_weeks(final_block, train_from, sel_train_to))
-          .cols(kernel_.selected);
-  const ml::DatasetView final_val =
-      final_view.rows(rows_in_weeks(final_block, sel_train_to + 1, train_to))
-          .cols(kernel_.selected);
+      full_view.rows(ftrain).cols(kernel_.selected);
+  const ml::DatasetView final_val = full_view.rows(fval).cols(kernel_.selected);
 
   kernel_.columns = final_train.columns_copy();
 

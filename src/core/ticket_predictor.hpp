@@ -90,6 +90,23 @@ class TicketPredictor {
   /// selection scoring and Platt calibration.
   void train(const dslsim::SimDataset& data, int train_from, int train_to);
 
+  /// Train from a pre-encoded full-featured block — a persisted dataset
+  /// artefact loaded eagerly or mmap'ed (see features/dataset_io.hpp) —
+  /// without touching the simulator. `full_encoder` must be the
+  /// configuration the block was encoded with (the artefact records
+  /// it); the training week range is taken from block.week_of_row.
+  ///
+  /// Produces a kernel byte-identical to train() over the same weeks:
+  /// stage-1 selection runs on the base-column prefix of the stored
+  /// matrix (per-feature scoring is column-independent, so prefix views
+  /// equal a fresh base-only encode), and the derived layout stage 1
+  /// implies is recomputed and checked against `full_encoder` — a
+  /// mismatch (artefact from a different predictor configuration)
+  /// throws std::invalid_argument rather than training on the wrong
+  /// columns.
+  void train_from_block(const features::EncodedBlock& block,
+                        const features::EncoderConfig& full_encoder);
+
   /// Rank all lines at the given test week, best first.
   [[nodiscard]] std::vector<Prediction> predict_week(
       const dslsim::SimDataset& data, int week) const;
@@ -119,6 +136,14 @@ class TicketPredictor {
   [[nodiscard]] const PredictorConfig& config() const { return config_; }
 
  private:
+  /// Stages 2+3 over one full-featured block shared by the derived-
+  /// feature scoring and the final ensemble: derived selection, column
+  /// cap, BStump training and Platt calibration.
+  void finish_train(const features::EncodedBlock& full_block,
+                    const std::vector<double>& base_scores,
+                    std::vector<std::size_t> base_selected, int train_from,
+                    int train_to, int n_val);
+
   PredictorConfig config_;
   ScoringKernel kernel_;
 };

@@ -29,14 +29,33 @@ void TroubleLocator::train(const dslsim::SimDataset& data, int week_from,
                            int week_to) {
   const features::LocatorBlock block =
       features::encode_at_dispatch(data, week_from, week_to, config_.encoder);
+  train_from_block(data, block);
+}
+
+void TroubleLocator::train_from_block(const dslsim::SimDataset& data,
+                                      const features::LocatorBlock& block) {
   const std::size_t n = block.dataset.n_rows();
   if (n == 0) throw std::invalid_argument("TroubleLocator: no dispatches");
+  if (block.note_of_row.size() != n) {
+    throw std::invalid_argument(
+        "TroubleLocator::train_from_block: note mapping size mismatch");
+  }
+  if (block.dataset.n_cols() !=
+      features::all_columns(config_.encoder).size()) {
+    throw std::invalid_argument(
+        "TroubleLocator::train_from_block: column count disagrees with the "
+        "encoder configuration");
+  }
 
   // Truth labels per row.
   std::vector<dslsim::DispositionId> truth(n);
   std::vector<dslsim::MajorLocation> truth_loc(n);
   std::map<dslsim::DispositionId, std::size_t> counts;
   for (std::size_t r = 0; r < n; ++r) {
+    if (block.note_of_row[r] >= data.notes().size()) {
+      throw std::invalid_argument(
+          "TroubleLocator::train_from_block: note index out of range");
+    }
     const auto& note = data.notes()[block.note_of_row[r]];
     truth[r] = note.disposition;
     truth_loc[r] = note.location;

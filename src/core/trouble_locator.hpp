@@ -68,6 +68,15 @@ class TroubleLocator {
   /// weeks [week_from, week_to].
   void train(const dslsim::SimDataset& data, int week_from, int week_to);
 
+  /// Train from a pre-encoded dispatch block — a persisted dataset
+  /// artefact loaded eagerly or mmap'ed (see features/dataset_io.hpp).
+  /// `data` still supplies the disposition notes and catalogue behind
+  /// block.note_of_row; the block's columns must match this locator's
+  /// encoder configuration. Throws std::invalid_argument on layout or
+  /// note-index mismatches.
+  void train_from_block(const dslsim::SimDataset& data,
+                        const features::LocatorBlock& block);
+
   /// Dispositions covered by trained models (>= min_occurrences).
   [[nodiscard]] std::span<const dslsim::DispositionId> covered() const {
     return covered_;

@@ -192,25 +192,24 @@ void encode_window_row(const LineWindow& state, const MetricVector& current,
   }
 }
 
-EncodedBlock encode_weeks(const dslsim::SimDataset& data, int emit_from,
-                          int emit_to, const EncoderConfig& config,
-                          const TicketLabeler& labeler) {
+namespace {
+
+/// Shared week walker behind encode_weeks and encode_weeks_to_store:
+/// advances every line's window in week order and calls
+/// `emit(features, label, line, week)` for each (line, emit-week) pair.
+/// One walker means the arena and streaming paths cannot drift.
+template <typename Emit>
+void walk_week_rows(const dslsim::SimDataset& data, int emit_from, int emit_to,
+                    const EncoderConfig& config, const TicketLabeler& labeler,
+                    Emit&& emit) {
   emit_from = std::max(emit_from, 0);
   emit_to = std::min(emit_to, data.n_weeks() - 1);
 
-  const auto cols = all_columns(config);
   const std::size_t n_base = base_columns(config).size();
   const std::size_t n_lines = data.n_lines();
-  const std::size_t n_emit_weeks =
-      emit_to >= emit_from ? static_cast<std::size_t>(emit_to - emit_from + 1)
-                           : 0;
-
-  EncodedBlock block{ml::FeatureArena(cols, n_lines * n_emit_weeks), {}, {}};
-  block.line_of_row.reserve(n_lines * n_emit_weeks);
-  block.week_of_row.reserve(n_lines * n_emit_weeks);
 
   std::vector<LineWindow> states(n_lines);
-  std::vector<float> row(cols.size());
+  std::vector<float> row(all_columns(config).size());
 
   for (int w = 0; w <= emit_to; ++w) {
     const util::Day day = util::saturday_of_week(w);
@@ -221,26 +220,69 @@ EncodedBlock encode_weeks(const dslsim::SimDataset& data, int emit_from,
                           dslsim::profile(data.plant(u).profile),
                           data.last_edge_ticket_at_or_before(u, day), day,
                           config, n_base, row);
-        block.dataset.add_row(row, labeler(data, u, day));
-        block.line_of_row.push_back(u);
-        block.week_of_row.push_back(w);
+        emit(std::span<const float>(row), labeler(data, u, day), u, w);
       }
       states[u].update(current);
     }
   }
+}
+
+}  // namespace
+
+std::size_t count_week_rows(const dslsim::SimDataset& data, int emit_from,
+                            int emit_to) {
+  emit_from = std::max(emit_from, 0);
+  emit_to = std::min(emit_to, data.n_weeks() - 1);
+  if (emit_to < emit_from) return 0;
+  return data.n_lines() * static_cast<std::size_t>(emit_to - emit_from + 1);
+}
+
+EncodedBlock encode_weeks(const dslsim::SimDataset& data, int emit_from,
+                          int emit_to, const EncoderConfig& config,
+                          const TicketLabeler& labeler) {
+  const std::size_t n_rows = count_week_rows(data, emit_from, emit_to);
+  EncodedBlock block{ml::FeatureArena(all_columns(config), n_rows), {}, {}};
+  block.line_of_row.reserve(n_rows);
+  block.week_of_row.reserve(n_rows);
+  walk_week_rows(data, emit_from, emit_to, config, labeler,
+                 [&](std::span<const float> row, bool label, dslsim::LineId u,
+                     int w) {
+                   block.dataset.add_row(row, label);
+                   block.line_of_row.push_back(u);
+                   block.week_of_row.push_back(w);
+                 });
   return block;
 }
 
-LocatorBlock encode_at_dispatch(const dslsim::SimDataset& data, int week_from,
-                                int week_to, const EncoderConfig& config) {
+void encode_weeks_to_store(const dslsim::SimDataset& data, int emit_from,
+                           int emit_to, const EncoderConfig& config,
+                           const TicketLabeler& labeler,
+                           ml::ArenaStreamWriter& writer) {
+  const std::size_t n_rows = count_week_rows(data, emit_from, emit_to);
+  std::vector<std::uint32_t> line_of_row;
+  std::vector<std::uint32_t> week_of_row;
+  line_of_row.reserve(n_rows);
+  week_of_row.reserve(n_rows);
+  walk_week_rows(data, emit_from, emit_to, config, labeler,
+                 [&](std::span<const float> row, bool label, dslsim::LineId u,
+                     int w) {
+                   writer.append(row, label);
+                   line_of_row.push_back(static_cast<std::uint32_t>(u));
+                   week_of_row.push_back(static_cast<std::uint32_t>(w));
+                 });
+  writer.add_aux("line", line_of_row);
+  writer.add_aux("week", week_of_row);
+}
+
+namespace {
+
+/// Notes grouped by the test week of the most recent measurement at or
+/// before the dispatch day, restricted to [week_from, week_to] after
+/// clamping. Shared by the count, arena and streaming dispatch paths.
+std::vector<std::vector<std::uint32_t>> group_notes_by_week(
+    const dslsim::SimDataset& data, int week_from, int week_to) {
   week_from = std::max(week_from, 0);
   week_to = std::min(week_to, data.n_weeks() - 1);
-
-  const auto cols = all_columns(config);
-  const std::size_t n_base = base_columns(config).size();
-
-  // Group notes by the test week of the most recent measurement at or
-  // before the dispatch day.
   const auto& notes = data.notes();
   std::vector<std::vector<std::uint32_t>> notes_by_week(
       static_cast<std::size_t>(data.n_weeks()));
@@ -250,22 +292,27 @@ LocatorBlock encode_at_dispatch(const dslsim::SimDataset& data, int week_from,
     if (w < week_from || w > week_to) continue;
     notes_by_week[static_cast<std::size_t>(w)].push_back(i);
   }
+  return notes_by_week;
+}
 
-  // Pre-size the arena: the emit loop adds exactly one row per grouped
-  // note, so the exact row count is known before any allocation.
-  std::size_t n_emit_rows = 0;
-  for (const auto& week_notes : notes_by_week) n_emit_rows += week_notes.size();
+/// Shared dispatch walker: calls `emit(features, note_idx)` once per
+/// grouped note, in week order, emitting each week's dispatch rows
+/// before consuming that week's measurement into history (the dispatch
+/// sees the same Saturday record the predictor saw).
+template <typename Emit>
+void walk_dispatch_rows(const dslsim::SimDataset& data, int week_from,
+                        int week_to, const EncoderConfig& config,
+                        Emit&& emit) {
+  week_to = std::min(week_to, data.n_weeks() - 1);
+  const auto notes_by_week = group_notes_by_week(data, week_from, week_to);
+  const auto& notes = data.notes();
+  const std::size_t n_base = base_columns(config).size();
 
-  LocatorBlock block{ml::FeatureArena(cols, n_emit_rows), {}};
-  block.note_of_row.reserve(n_emit_rows);
   std::vector<LineWindow> states(data.n_lines());
-  std::vector<float> row(cols.size());
+  std::vector<float> row(all_columns(config).size());
 
   for (int w = 0; w <= week_to; ++w) {
     const util::Day day = util::saturday_of_week(w);
-    // Emit rows for this week's dispatches before consuming the week's
-    // measurement into history (the dispatch sees the same Saturday
-    // record the predictor saw).
     for (std::uint32_t note_idx : notes_by_week[static_cast<std::size_t>(w)]) {
       const auto& note = notes[note_idx];
       const dslsim::LineId u = note.line;
@@ -274,14 +321,49 @@ LocatorBlock encode_at_dispatch(const dslsim::SimDataset& data, int week_from,
                         dslsim::profile(data.plant(u).profile),
                         data.last_edge_ticket_at_or_before(u, day), day,
                         config, n_base, row);
-      block.dataset.add_row(row, false);
-      block.note_of_row.push_back(note_idx);
+      emit(std::span<const float>(row), note_idx);
     }
     for (dslsim::LineId u = 0; u < data.n_lines(); ++u) {
       states[u].update(data.measurement(w, u));
     }
   }
+}
+
+}  // namespace
+
+std::size_t count_dispatch_rows(const dslsim::SimDataset& data, int week_from,
+                                int week_to) {
+  std::size_t n = 0;
+  for (const auto& week_notes : group_notes_by_week(data, week_from, week_to)) {
+    n += week_notes.size();
+  }
+  return n;
+}
+
+LocatorBlock encode_at_dispatch(const dslsim::SimDataset& data, int week_from,
+                                int week_to, const EncoderConfig& config) {
+  const std::size_t n_rows = count_dispatch_rows(data, week_from, week_to);
+  LocatorBlock block{ml::FeatureArena(all_columns(config), n_rows), {}};
+  block.note_of_row.reserve(n_rows);
+  walk_dispatch_rows(data, week_from, week_to, config,
+                     [&](std::span<const float> row, std::uint32_t note_idx) {
+                       block.dataset.add_row(row, false);
+                       block.note_of_row.push_back(note_idx);
+                     });
   return block;
+}
+
+void encode_dispatch_to_store(const dslsim::SimDataset& data, int week_from,
+                              int week_to, const EncoderConfig& config,
+                              ml::ArenaStreamWriter& writer) {
+  std::vector<std::uint32_t> note_of_row;
+  note_of_row.reserve(count_dispatch_rows(data, week_from, week_to));
+  walk_dispatch_rows(data, week_from, week_to, config,
+                     [&](std::span<const float> row, std::uint32_t note_idx) {
+                       writer.append(row, false);
+                       note_of_row.push_back(note_idx);
+                     });
+  writer.add_aux("note", note_of_row);
 }
 
 }  // namespace nevermind::features

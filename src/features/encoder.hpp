@@ -24,6 +24,7 @@
 
 #include "dslsim/simulator.hpp"
 #include "ml/dataset.hpp"
+#include "ml/feature_store.hpp"
 #include "util/stats.hpp"
 
 namespace nevermind::features {
@@ -119,6 +120,23 @@ struct TicketLabeler {
                                         const EncoderConfig& config,
                                         const TicketLabeler& labeler);
 
+/// Exact number of rows encode_weeks would emit for this week span —
+/// the streaming writer needs the row count before the first append.
+[[nodiscard]] std::size_t count_week_rows(const dslsim::SimDataset& data,
+                                          int emit_from, int emit_to);
+
+/// Streaming encode: walks the same per-line windows as encode_weeks
+/// but appends each row straight into `writer` (declared with
+/// all_columns(config) and count_week_rows(...) rows) instead of
+/// materializing a FeatureArena — peak memory is one row plus the
+/// writer's bounded chunk. The row->line/week mapping is recorded as
+/// aux arrays "line" and "week". The caller still owns set_meta() and
+/// finish().
+void encode_weeks_to_store(const dslsim::SimDataset& data, int emit_from,
+                           int emit_to, const EncoderConfig& config,
+                           const TicketLabeler& labeler,
+                           ml::ArenaStreamWriter& writer);
+
 /// Encode feature rows at dispatch time for the trouble locator: one
 /// row per disposition note whose dispatch lies in test weeks
 /// [week_from, week_to], using the most recent measurement at or before
@@ -131,5 +149,16 @@ struct LocatorBlock {
 [[nodiscard]] LocatorBlock encode_at_dispatch(const dslsim::SimDataset& data,
                                               int week_from, int week_to,
                                               const EncoderConfig& config);
+
+/// Exact number of rows encode_at_dispatch would emit for this span.
+[[nodiscard]] std::size_t count_dispatch_rows(const dslsim::SimDataset& data,
+                                              int week_from, int week_to);
+
+/// Streaming counterpart of encode_at_dispatch: appends each dispatch
+/// row into `writer` and records the row->note mapping as aux array
+/// "note". The caller still owns set_meta() and finish().
+void encode_dispatch_to_store(const dslsim::SimDataset& data, int week_from,
+                              int week_to, const EncoderConfig& config,
+                              ml::ArenaStreamWriter& writer);
 
 }  // namespace nevermind::features

@@ -12,6 +12,37 @@ FeatureArena::FeatureArena(std::vector<ColumnInfo> columns,
   labels_.reserve(row_capacity_);
 }
 
+FeatureArena::FeatureArena(std::vector<ColumnInfo> columns, std::size_t n_rows,
+                           std::vector<float> column_major,
+                           std::vector<std::uint8_t> labels)
+    : columns_(std::move(columns)),
+      data_(std::move(column_major)),
+      labels_(std::move(labels)),
+      n_rows_(n_rows),
+      row_capacity_(n_rows) {
+  if (data_.size() != columns_.size() * n_rows_ || labels_.size() != n_rows_) {
+    throw std::invalid_argument("FeatureArena: buffer/label size mismatch");
+  }
+  for (const std::uint8_t l : labels_) positives_ += l != 0 ? 1 : 0;
+}
+
+FeatureArena FeatureArena::map_external(std::vector<ColumnInfo> columns,
+                                        std::size_t n_rows, const float* data,
+                                        const std::uint8_t* labels,
+                                        std::shared_ptr<const void> keepalive) {
+  FeatureArena arena;
+  arena.columns_ = std::move(columns);
+  arena.n_rows_ = n_rows;
+  arena.row_capacity_ = n_rows;
+  arena.external_data_ = data;
+  arena.external_labels_ = labels;
+  arena.keepalive_ = std::move(keepalive);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    arena.positives_ += labels[r] != 0 ? 1 : 0;
+  }
+  return arena;
+}
+
 void FeatureArena::restride(std::size_t new_capacity) {
   std::vector<float> grown(columns_.size() * new_capacity);
   for (std::size_t j = 0; j < columns_.size(); ++j) {
@@ -23,6 +54,10 @@ void FeatureArena::restride(std::size_t new_capacity) {
 }
 
 void FeatureArena::add_row(std::span<const float> features, bool positive) {
+  if (file_backed()) {
+    throw std::logic_error(
+        "FeatureArena::add_row: file-backed arenas are read-only");
+  }
   if (features.size() != columns_.size()) {
     throw std::invalid_argument("FeatureArena::add_row: feature count mismatch");
   }
@@ -41,7 +76,7 @@ float FeatureArena::at(std::size_t row, std::size_t col) const {
   if (row >= n_rows_ || col >= columns_.size()) {
     throw std::out_of_range("FeatureArena::at");
   }
-  return data_[col * row_capacity_ + row];
+  return data_base()[col * row_capacity_ + row];
 }
 
 std::vector<ColumnInfo> DatasetView::columns_copy() const {

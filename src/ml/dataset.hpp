@@ -49,15 +49,49 @@ struct ColumnInfo {
 /// indices; the caller keeps any mapping from row to (line, week)
 /// outside the arena. Splits and subsets are DatasetViews, never
 /// copies.
+///
+/// Two backings share this one type so every consumer (views, binning,
+/// stump search, scoring) is backing-agnostic:
+///   * heap    — the classic growable arena filled by add_row;
+///   * mapped  — a read-only arena whose column-major payload and label
+///     bytes live in externally owned pages (an mmap'ed nmarena v1
+///     artefact, see ml/feature_store.hpp). The mutation API (add_row,
+///     and with it restride) is runtime-fenced off this path: mutating
+///     a file-backed arena throws std::logic_error.
 class FeatureArena {
  public:
+  enum class Backing : std::uint8_t { kHeap = 0, kMapped };
+
   FeatureArena() = default;
   FeatureArena(std::vector<ColumnInfo> columns, std::size_t expected_rows = 0);
+
+  /// Heap arena adopting a fully materialized column-major buffer with
+  /// stride == n_rows (the eager binary reader's payload). Throws
+  /// std::invalid_argument on size mismatches.
+  FeatureArena(std::vector<ColumnInfo> columns, std::size_t n_rows,
+               std::vector<float> column_major,
+               std::vector<std::uint8_t> labels);
+
+  /// Read-only arena over externally owned column-major pages with
+  /// stride == n_rows (the mmap path). `keepalive` owns the mapping and
+  /// is shared by copies of the arena; `data` and `labels` must stay
+  /// valid for its lifetime.
+  [[nodiscard]] static FeatureArena map_external(
+      std::vector<ColumnInfo> columns, std::size_t n_rows, const float* data,
+      const std::uint8_t* labels, std::shared_ptr<const void> keepalive);
 
   /// Appends one example. `features.size()` must equal `n_cols()`.
   /// Restrides the buffer when full — size the arena up front (the
   /// encoder counts its rows before allocating) to append in place.
+  /// Throws std::logic_error on a file-backed (mapped) arena.
   void add_row(std::span<const float> features, bool positive);
+
+  [[nodiscard]] Backing backing() const noexcept {
+    return external_data_ != nullptr ? Backing::kMapped : Backing::kHeap;
+  }
+  [[nodiscard]] bool file_backed() const noexcept {
+    return external_data_ != nullptr;
+  }
 
   [[nodiscard]] std::size_t n_rows() const noexcept { return n_rows_; }
   [[nodiscard]] std::size_t n_cols() const noexcept { return columns_.size(); }
@@ -66,7 +100,7 @@ class FeatureArena {
   /// builds assert).
   [[nodiscard]] std::span<const float> column(std::size_t j) const noexcept {
     assert(j < columns_.size());
-    return {data_.data() + j * row_capacity_, n_rows_};
+    return {data_base() + j * row_capacity_, n_rows_};
   }
   [[nodiscard]] const ColumnInfo& column_info(std::size_t j) const noexcept {
     assert(j < columns_.size());
@@ -78,28 +112,38 @@ class FeatureArena {
   /// Unchecked element access for hot loops (debug builds assert).
   [[nodiscard]] float value(std::size_t row, std::size_t col) const noexcept {
     assert(row < n_rows_ && col < columns_.size());
-    return data_[col * row_capacity_ + row];
+    return data_base()[col * row_capacity_ + row];
   }
   /// Checked element access for API boundaries.
   [[nodiscard]] float at(std::size_t row, std::size_t col) const;
   [[nodiscard]] bool label(std::size_t row) const noexcept {
     assert(row < n_rows_);
-    return labels_[row] != 0;
+    return labels_base()[row] != 0;
   }
   [[nodiscard]] std::span<const std::uint8_t> labels() const noexcept {
-    return labels_;
+    return {labels_base(), n_rows_};
   }
   [[nodiscard]] std::size_t positives() const noexcept { return positives_; }
 
  private:
   void restride(std::size_t new_capacity);
+  [[nodiscard]] const float* data_base() const noexcept {
+    return external_data_ != nullptr ? external_data_ : data_.data();
+  }
+  [[nodiscard]] const std::uint8_t* labels_base() const noexcept {
+    return external_labels_ != nullptr ? external_labels_ : labels_.data();
+  }
 
   std::vector<ColumnInfo> columns_;
-  std::vector<float> data_;  // column-major, stride row_capacity_
+  std::vector<float> data_;  // column-major, stride row_capacity_ (heap)
   std::vector<std::uint8_t> labels_;
   std::size_t n_rows_ = 0;
   std::size_t row_capacity_ = 0;
   std::size_t positives_ = 0;
+  // Mapped backing: non-null pointers into `keepalive_`-owned pages.
+  const float* external_data_ = nullptr;
+  const std::uint8_t* external_labels_ = nullptr;
+  std::shared_ptr<const void> keepalive_;
 };
 
 /// One logical feature column of a view: a base pointer into the arena

@@ -1,0 +1,804 @@
+#include "ml/feature_store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+// The payload is raw little-endian binary32/u32/u64; reading it back on
+// a big-endian host would silently transpose every value, so the format
+// is compiled out there rather than half-supported.
+static_assert(std::endian::native == std::endian::little,
+              "nmarena v1 is a little-endian format; port the byte-swapping "
+              "before enabling it on this host");
+
+namespace nevermind::ml {
+
+namespace {
+
+constexpr char kMagic[8] = {'N', 'M', 'A', 'R', 'E', 'N', 'A', '\0'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kEndianTag = 0x01020304;
+constexpr std::uint64_t kPayloadOffset = 128;  // preamble 16 + header 112
+constexpr std::uint64_t kHeaderChecksumSpan = 120;  // bytes hashed into it
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(const void* data, std::size_t n,
+                    std::uint64_t hash = kFnvOffset) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= p[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Fixed header fields (bytes [16, 128) of the file). Section order is
+/// payload | labels | aux | meta, every offset recorded explicitly so a
+/// reader never has to trust arithmetic it did not verify.
+struct Header {
+  std::uint64_t n_rows = 0;
+  std::uint64_t n_cols = 0;
+  std::uint64_t n_aux = 0;
+  std::uint64_t payload_offset = kPayloadOffset;
+  std::uint64_t payload_size = 0;
+  std::uint64_t labels_offset = 0;
+  std::uint64_t aux_offset = 0;
+  std::uint64_t meta_offset = 0;
+  std::uint64_t meta_size = 0;
+  std::uint64_t positives = 0;
+  std::uint64_t labels_checksum = 0;
+  std::uint64_t aux_checksum = 0;
+  std::uint64_t meta_checksum = 0;
+  std::uint64_t header_checksum = 0;  // FNV-1a of file bytes [0, 120)
+};
+static_assert(sizeof(Header) == 112, "header layout is part of the format");
+
+void encode_head_block(const Header& header, unsigned char out[128]) {
+  std::memcpy(out, kMagic, 8);
+  std::memcpy(out + 8, &kVersion, 4);
+  std::memcpy(out + 12, &kEndianTag, 4);
+  std::memcpy(out + 16, &header, sizeof(Header));
+  const std::uint64_t checksum = fnv1a(out, kHeaderChecksumSpan);
+  std::memcpy(out + kHeaderChecksumSpan, &checksum, 8);
+}
+
+void append_u16(std::string& out, std::uint16_t v) {
+  out.append(reinterpret_cast<const char*>(&v), 2);
+}
+void append_u32(std::string& out, std::uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), 4);
+}
+void append_u64(std::string& out, std::uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), 8);
+}
+
+/// Serialized meta section: per-column (name, categorical, payload
+/// checksum), aux names, opaque caller blob.
+std::string encode_meta_section(const std::vector<ColumnInfo>& columns,
+                                std::span<const std::uint64_t> col_hash,
+                                std::span<const std::string> aux_names,
+                                const std::string& meta) {
+  std::string out;
+  for (std::size_t j = 0; j < columns.size(); ++j) {
+    append_u16(out, static_cast<std::uint16_t>(columns[j].name.size()));
+    out.append(columns[j].name);
+    out.push_back(columns[j].categorical ? '\1' : '\0');
+    append_u64(out, col_hash[j]);
+  }
+  for (const std::string& name : aux_names) {
+    append_u16(out, static_cast<std::uint16_t>(name.size()));
+    out.append(name);
+  }
+  append_u32(out, static_cast<std::uint32_t>(meta.size()));
+  out.append(meta);
+  return out;
+}
+
+struct MetaSection {
+  std::vector<ColumnInfo> columns;
+  std::vector<std::uint64_t> col_hash;
+  std::vector<std::string> aux_names;
+  std::string meta;
+};
+
+/// Cursor-checked parse of the meta section; nullopt on any overrun or
+/// trailing garbage.
+std::optional<MetaSection> parse_meta_section(std::span<const char> bytes,
+                                              std::size_t n_cols,
+                                              std::size_t n_aux) {
+  MetaSection out;
+  std::size_t pos = 0;
+  const auto take = [&](void* dst, std::size_t n) {
+    if (bytes.size() - pos < n) return false;
+    std::memcpy(dst, bytes.data() + pos, n);
+    pos += n;
+    return true;
+  };
+  const auto take_string = [&](std::string& dst, std::size_t n) {
+    if (bytes.size() - pos < n) return false;
+    dst.assign(bytes.data() + pos, n);
+    pos += n;
+    return true;
+  };
+  for (std::size_t j = 0; j < n_cols; ++j) {
+    std::uint16_t len = 0;
+    ColumnInfo info;
+    std::uint8_t categorical = 0;
+    std::uint64_t hash = 0;
+    if (!take(&len, 2) || !take_string(info.name, len) ||
+        !take(&categorical, 1) || !take(&hash, 8)) {
+      return std::nullopt;
+    }
+    info.categorical = categorical != 0;
+    out.columns.push_back(std::move(info));
+    out.col_hash.push_back(hash);
+  }
+  for (std::size_t a = 0; a < n_aux; ++a) {
+    std::uint16_t len = 0;
+    std::string name;
+    if (!take(&len, 2) || !take_string(name, len)) return std::nullopt;
+    out.aux_names.push_back(std::move(name));
+  }
+  std::uint32_t meta_len = 0;
+  if (!take(&meta_len, 4) || !take_string(out.meta, meta_len)) {
+    return std::nullopt;
+  }
+  if (pos != bytes.size()) return std::nullopt;  // trailing garbage
+  return out;
+}
+
+void fail(StoreStatus* status, StoreError code, std::string message) {
+  if (status != nullptr) {
+    status->code = code;
+    status->message = std::move(message);
+  }
+}
+
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// RAII mapping; shared_ptr copies of this keep a file-backed arena's
+/// pages alive after the StoredArena (and the fd) are gone.
+struct MappedFile {
+  void* base = MAP_FAILED;
+  std::size_t size = 0;
+  ~MappedFile() {
+    if (base != MAP_FAILED) ::munmap(base, size);
+  }
+};
+
+bool pread_all(int fd, void* dst, std::size_t n, std::uint64_t offset) {
+  auto* out = static_cast<unsigned char*>(dst);
+  while (n > 0) {
+    const ::ssize_t got = ::pread(fd, out, n, static_cast<::off_t>(offset));
+    if (got <= 0) return false;
+    out += got;
+    offset += static_cast<std::uint64_t>(got);
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* store_error_name(StoreError e) noexcept {
+  switch (e) {
+    case StoreError::kOk: return "ok";
+    case StoreError::kIoError: return "io-error";
+    case StoreError::kTruncatedHeader: return "truncated-header";
+    case StoreError::kBadMagic: return "bad-magic";
+    case StoreError::kBadVersion: return "bad-version";
+    case StoreError::kBadEndian: return "bad-endian";
+    case StoreError::kShortFile: return "short-file";
+    case StoreError::kChecksumMismatch: return "checksum-mismatch";
+    case StoreError::kMalformedHeader: return "malformed-header";
+    case StoreError::kMalformedMeta: return "malformed-meta";
+    case StoreError::kRowCountMismatch: return "row-count-mismatch";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Streaming writer
+// ---------------------------------------------------------------------------
+
+ArenaStreamWriter::ArenaStreamWriter(std::string path,
+                                     std::vector<ColumnInfo> columns,
+                                     std::size_t n_rows,
+                                     std::size_t chunk_rows)
+    : path_(std::move(path)),
+      columns_(std::move(columns)),
+      n_rows_(n_rows),
+      chunk_rows_(std::max<std::size_t>(chunk_rows, 1)) {
+  if (n_rows_ > (std::uint64_t{1} << 40) ||
+      columns_.size() > (std::uint64_t{1} << 24)) {
+    throw std::invalid_argument("ArenaStreamWriter: implausible dimensions");
+  }
+  for (const ColumnInfo& col : columns_) {
+    if (col.name.size() > std::numeric_limits<std::uint16_t>::max()) {
+      throw std::invalid_argument("ArenaStreamWriter: column name too long");
+    }
+  }
+  chunk_.resize(columns_.size() * chunk_rows_);
+  labels_.reserve(n_rows_);
+  col_hash_.assign(columns_.size(), kFnvOffset);
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  file_ = f;
+  if (f == nullptr) {
+    io_failed_ = true;
+    return;
+  }
+  // Reserve the head block so the payload lands 64-byte aligned at 128;
+  // the real header is rewritten over it by finish().
+  const unsigned char zeros[kPayloadOffset] = {};
+  io_failed_ = std::fwrite(zeros, 1, sizeof(zeros), f) != sizeof(zeros);
+}
+
+ArenaStreamWriter::~ArenaStreamWriter() {
+  if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
+}
+
+void ArenaStreamWriter::append(std::span<const float> features,
+                               bool positive) {
+  if (finished_) {
+    throw std::logic_error("ArenaStreamWriter::append after finish");
+  }
+  if (features.size() != columns_.size()) {
+    throw std::logic_error("ArenaStreamWriter::append: feature count mismatch");
+  }
+  if (appended_ == n_rows_) {
+    throw std::logic_error(
+        "ArenaStreamWriter::append: more rows than declared");
+  }
+  for (std::size_t j = 0; j < features.size(); ++j) {
+    chunk_[j * chunk_rows_ + chunk_fill_] = features[j];
+  }
+  labels_.push_back(positive ? 1 : 0);
+  ++appended_;
+  if (++chunk_fill_ == chunk_rows_) flush_chunk();
+}
+
+void ArenaStreamWriter::flush_chunk() {
+  if (chunk_fill_ == 0 || io_failed_) {
+    chunk_fill_ = 0;
+    return;
+  }
+  auto* f = static_cast<std::FILE*>(file_);
+  for (std::size_t j = 0; j < columns_.size() && !io_failed_; ++j) {
+    const std::uint64_t offset =
+        kPayloadOffset +
+        (static_cast<std::uint64_t>(j) * n_rows_ + flushed_) * sizeof(float);
+    const float* src = chunk_.data() + j * chunk_rows_;
+    io_failed_ = ::fseeko(f, static_cast<::off_t>(offset), SEEK_SET) != 0 ||
+                 std::fwrite(src, sizeof(float), chunk_fill_, f) != chunk_fill_;
+    col_hash_[j] = fnv1a(src, chunk_fill_ * sizeof(float), col_hash_[j]);
+  }
+  flushed_ += chunk_fill_;
+  chunk_fill_ = 0;
+}
+
+void ArenaStreamWriter::set_meta(std::string meta) { meta_ = std::move(meta); }
+
+void ArenaStreamWriter::add_aux(const std::string& name,
+                                std::span<const std::uint32_t> values) {
+  if (finished_) {
+    throw std::logic_error("ArenaStreamWriter::add_aux after finish");
+  }
+  if (values.size() != n_rows_ ||
+      name.size() > std::numeric_limits<std::uint16_t>::max()) {
+    throw std::logic_error("ArenaStreamWriter::add_aux: bad aux array");
+  }
+  aux_names_.push_back(name);
+  aux_.emplace_back(values.begin(), values.end());
+}
+
+StoreStatus ArenaStreamWriter::finish() {
+  if (finished_) {
+    throw std::logic_error("ArenaStreamWriter::finish called twice");
+  }
+  finished_ = true;
+  flush_chunk();
+  auto* f = static_cast<std::FILE*>(file_);
+  if (appended_ != n_rows_) {
+    return {StoreError::kRowCountMismatch,
+            "wrote " + std::to_string(appended_) + " rows, declared " +
+                std::to_string(n_rows_)};
+  }
+
+  Header header;
+  header.n_rows = n_rows_;
+  header.n_cols = columns_.size();
+  header.n_aux = aux_.size();
+  header.payload_size =
+      static_cast<std::uint64_t>(n_rows_) * columns_.size() * sizeof(float);
+  header.labels_offset = kPayloadOffset + header.payload_size;
+  header.aux_offset = header.labels_offset + n_rows_;
+  header.meta_offset =
+      header.aux_offset +
+      static_cast<std::uint64_t>(aux_.size()) * n_rows_ * sizeof(std::uint32_t);
+  for (const std::uint8_t l : labels_) header.positives += l != 0 ? 1 : 0;
+  header.labels_checksum = fnv1a(labels_.data(), labels_.size());
+
+  std::uint64_t aux_hash = kFnvOffset;
+  const std::string meta_section =
+      encode_meta_section(columns_, col_hash_, aux_names_, meta_);
+  header.meta_size = meta_section.size();
+  header.meta_checksum = fnv1a(meta_section.data(), meta_section.size());
+
+  if (!io_failed_ && f != nullptr) {
+    io_failed_ =
+        ::fseeko(f, static_cast<::off_t>(header.labels_offset), SEEK_SET) != 0;
+    if (!io_failed_ && !labels_.empty()) {
+      io_failed_ =
+          std::fwrite(labels_.data(), 1, labels_.size(), f) != labels_.size();
+    }
+    for (const auto& values : aux_) {
+      if (io_failed_) break;
+      aux_hash =
+          fnv1a(values.data(), values.size() * sizeof(std::uint32_t), aux_hash);
+      if (!values.empty()) {
+        io_failed_ = std::fwrite(values.data(), sizeof(std::uint32_t),
+                                 values.size(), f) != values.size();
+      }
+    }
+    header.aux_checksum = aux_hash;
+    if (!io_failed_ && !meta_section.empty()) {
+      io_failed_ = std::fwrite(meta_section.data(), 1, meta_section.size(),
+                               f) != meta_section.size();
+    }
+    unsigned char head[kPayloadOffset];
+    encode_head_block(header, head);
+    io_failed_ = io_failed_ || ::fseeko(f, 0, SEEK_SET) != 0 ||
+                 std::fwrite(head, 1, sizeof(head), f) != sizeof(head) ||
+                 std::fflush(f) != 0;
+  }
+  if (f != nullptr) {
+    io_failed_ = (std::fclose(f) != 0) || io_failed_;
+    file_ = nullptr;
+  }
+  if (io_failed_) {
+    return {StoreError::kIoError, "write failed for " + path_ +
+                                      (errno != 0 ? std::string(": ") +
+                                                        std::strerror(errno)
+                                                  : std::string())};
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Binary readers
+// ---------------------------------------------------------------------------
+
+std::optional<StoredArena> load_arena(const std::string& path,
+                                      const ArenaLoadOptions& options,
+                                      StoreStatus* status) {
+  if (status != nullptr) *status = {};
+  Fd file;
+  file.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (file.fd < 0) {
+    fail(status, StoreError::kIoError,
+         "cannot open " + path + ": " + std::strerror(errno));
+    return std::nullopt;
+  }
+  struct ::stat st{};
+  if (::fstat(file.fd, &st) != 0) {
+    fail(status, StoreError::kIoError,
+         "cannot stat " + path + ": " + std::strerror(errno));
+    return std::nullopt;
+  }
+  const auto file_size = static_cast<std::uint64_t>(st.st_size);
+  if (file_size < kPayloadOffset) {
+    fail(status, StoreError::kTruncatedHeader,
+         path + " is shorter than the nmarena header (" +
+             std::to_string(file_size) + " bytes)");
+    return std::nullopt;
+  }
+
+  unsigned char head[kPayloadOffset];
+  if (!pread_all(file.fd, head, sizeof(head), 0)) {
+    fail(status, StoreError::kIoError, "cannot read header of " + path);
+    return std::nullopt;
+  }
+  if (std::memcmp(head, kMagic, sizeof(kMagic)) != 0) {
+    fail(status, StoreError::kBadMagic,
+         path + " is not an nmarena artefact (bad magic)");
+    return std::nullopt;
+  }
+  std::uint32_t version = 0;
+  std::uint32_t endian_tag = 0;
+  std::memcpy(&version, head + 8, 4);
+  std::memcpy(&endian_tag, head + 12, 4);
+  if (version != kVersion) {
+    fail(status, StoreError::kBadVersion,
+         path + " is nmarena v" + std::to_string(version) +
+             "; this build reads v1");
+    return std::nullopt;
+  }
+  if (endian_tag != kEndianTag) {
+    fail(status, StoreError::kBadEndian,
+         path + " was written by a foreign-endian host");
+    return std::nullopt;
+  }
+  Header header;
+  std::memcpy(&header, head + 16, sizeof(Header));
+  if (fnv1a(head, kHeaderChecksumSpan) != header.header_checksum) {
+    fail(status, StoreError::kChecksumMismatch,
+         "header checksum mismatch in " + path);
+    return std::nullopt;
+  }
+
+  // Recompute every derived offset; a header that disagrees with its
+  // own dimensions is malformed even with a valid checksum.
+  const std::uint64_t n_rows = header.n_rows;
+  const std::uint64_t n_cols = header.n_cols;
+  const std::uint64_t n_aux = header.n_aux;
+  if (n_rows > (std::uint64_t{1} << 40) || n_cols > (std::uint64_t{1} << 24) ||
+      n_aux > (std::uint64_t{1} << 16) ||
+      header.meta_size > (std::uint64_t{1} << 32)) {
+    fail(status, StoreError::kMalformedHeader,
+         "implausible dimensions in " + path);
+    return std::nullopt;
+  }
+  const std::uint64_t payload_size = n_rows * n_cols * sizeof(float);
+  if (header.payload_offset != kPayloadOffset ||
+      header.payload_size != payload_size ||
+      header.labels_offset != kPayloadOffset + payload_size ||
+      header.aux_offset != header.labels_offset + n_rows ||
+      header.meta_offset !=
+          header.aux_offset + n_aux * n_rows * sizeof(std::uint32_t) ||
+      header.positives > n_rows) {
+    fail(status, StoreError::kMalformedHeader,
+         "inconsistent section layout in " + path);
+    return std::nullopt;
+  }
+  const std::uint64_t expected_end = header.meta_offset + header.meta_size;
+  if (file_size < expected_end) {
+    fail(status, StoreError::kShortFile,
+         path + " is " + std::to_string(file_size) + " bytes but declares " +
+             std::to_string(expected_end));
+    return std::nullopt;
+  }
+
+  std::vector<char> meta_bytes(header.meta_size);
+  if (!pread_all(file.fd, meta_bytes.data(), meta_bytes.size(),
+                 header.meta_offset)) {
+    fail(status, StoreError::kIoError, "cannot read meta section of " + path);
+    return std::nullopt;
+  }
+  if (fnv1a(meta_bytes.data(), meta_bytes.size()) != header.meta_checksum) {
+    fail(status, StoreError::kChecksumMismatch,
+         "meta section checksum mismatch in " + path);
+    return std::nullopt;
+  }
+  auto meta = parse_meta_section(meta_bytes, n_cols, n_aux);
+  if (!meta.has_value()) {
+    fail(status, StoreError::kMalformedMeta,
+         "meta section of " + path + " does not parse");
+    return std::nullopt;
+  }
+
+  // Aux arrays are always copied out (they are small and the file
+  // section carries no alignment guarantee for in-place u32 reads).
+  std::uint64_t aux_hash = kFnvOffset;
+  std::vector<std::vector<std::uint32_t>> aux(n_aux);
+  for (std::uint64_t a = 0; a < n_aux; ++a) {
+    aux[a].resize(n_rows);
+    const std::uint64_t offset =
+        header.aux_offset + a * n_rows * sizeof(std::uint32_t);
+    if (n_rows > 0 && !pread_all(file.fd, aux[a].data(),
+                                 n_rows * sizeof(std::uint32_t), offset)) {
+      fail(status, StoreError::kIoError, "cannot read aux section of " + path);
+      return std::nullopt;
+    }
+    aux_hash =
+        fnv1a(aux[a].data(), n_rows * sizeof(std::uint32_t), aux_hash);
+  }
+  if (aux_hash != header.aux_checksum) {
+    fail(status, StoreError::kChecksumMismatch,
+         "aux section checksum mismatch in " + path);
+    return std::nullopt;
+  }
+
+  StoredArena out;
+  out.aux_names = std::move(meta->aux_names);
+  out.aux = std::move(aux);
+  out.meta = std::move(meta->meta);
+
+  if (options.mode == ArenaLoadMode::kEager) {
+    std::vector<std::uint8_t> labels(n_rows);
+    if (n_rows > 0 && !pread_all(file.fd, labels.data(), labels.size(),
+                                 header.labels_offset)) {
+      fail(status, StoreError::kIoError, "cannot read labels of " + path);
+      return std::nullopt;
+    }
+    if (fnv1a(labels.data(), labels.size()) != header.labels_checksum) {
+      fail(status, StoreError::kChecksumMismatch,
+           "label block checksum mismatch in " + path);
+      return std::nullopt;
+    }
+    std::vector<float> payload(n_rows * n_cols);
+    if (payload_size > 0 && !pread_all(file.fd, payload.data(), payload_size,
+                                       kPayloadOffset)) {
+      fail(status, StoreError::kIoError, "cannot read payload of " + path);
+      return std::nullopt;
+    }
+    for (std::uint64_t j = 0; j < n_cols; ++j) {
+      if (fnv1a(payload.data() + j * n_rows, n_rows * sizeof(float)) !=
+          meta->col_hash[j]) {
+        fail(status, StoreError::kChecksumMismatch,
+             "payload checksum mismatch in column " + std::to_string(j) +
+                 " ('" + meta->columns[j].name + "') of " + path);
+        return std::nullopt;
+      }
+    }
+    out.arena = FeatureArena(std::move(meta->columns), n_rows,
+                             std::move(payload), std::move(labels));
+  } else {
+    auto mapping = std::make_shared<MappedFile>();
+    mapping->size = file_size;
+    mapping->base =
+        ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, file.fd, 0);
+    if (mapping->base == MAP_FAILED) {
+      fail(status, StoreError::kIoError,
+           "cannot mmap " + path + ": " + std::strerror(errno));
+      return std::nullopt;
+    }
+    const auto* base = static_cast<const unsigned char*>(mapping->base);
+    const auto* labels =
+        reinterpret_cast<const std::uint8_t*>(base + header.labels_offset);
+    if (fnv1a(labels, n_rows) != header.labels_checksum) {
+      fail(status, StoreError::kChecksumMismatch,
+           "label block checksum mismatch in " + path);
+      return std::nullopt;
+    }
+    const auto* payload =
+        reinterpret_cast<const float*>(base + kPayloadOffset);
+    if (options.verify_payload) {
+      for (std::uint64_t j = 0; j < n_cols; ++j) {
+        if (fnv1a(payload + j * n_rows, n_rows * sizeof(float)) !=
+            meta->col_hash[j]) {
+          fail(status, StoreError::kChecksumMismatch,
+               "payload checksum mismatch in column " + std::to_string(j) +
+                   " ('" + meta->columns[j].name + "') of " + path);
+          return std::nullopt;
+        }
+      }
+    }
+    out.arena = FeatureArena::map_external(std::move(meta->columns), n_rows,
+                                           payload, labels,
+                                           std::move(mapping));
+  }
+  if (out.arena.positives() != header.positives) {
+    fail(status, StoreError::kMalformedHeader,
+         "positive-label count disagrees with the header in " + path);
+    return std::nullopt;
+  }
+  return out;
+}
+
+StoreStatus save_arena(const std::string& path, const FeatureArena& arena,
+                       std::span<const std::string> aux_names,
+                       std::span<const std::vector<std::uint32_t>> aux,
+                       const std::string& meta) {
+  ArenaStreamWriter writer(path, arena.columns(), arena.n_rows());
+  std::vector<float> row(arena.n_cols());
+  for (std::size_t r = 0; r < arena.n_rows(); ++r) {
+    for (std::size_t j = 0; j < arena.n_cols(); ++j) {
+      row[j] = arena.value(r, j);
+    }
+    writer.append(row, arena.label(r));
+  }
+  for (std::size_t a = 0; a < aux_names.size() && a < aux.size(); ++a) {
+    writer.add_aux(aux_names[a], aux[a]);
+  }
+  writer.set_meta(meta);
+  return writer.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Text fallback
+// ---------------------------------------------------------------------------
+
+void save_arena_text(std::ostream& os, const FeatureArena& arena,
+                     std::span<const std::string> aux_names,
+                     std::span<const std::vector<std::uint32_t>> aux,
+                     const std::string& meta) {
+  os << "nmdataset v1\n";
+  os << "meta " << meta.size() << '\n';
+  os.write(meta.data(), static_cast<std::streamsize>(meta.size()));
+  os << '\n';
+  os << "columns " << arena.n_cols() << '\n';
+  for (std::size_t j = 0; j < arena.n_cols(); ++j) {
+    const ColumnInfo& col = arena.column_info(j);
+    os << col.name << ' ' << (col.categorical ? 1 : 0) << '\n';
+  }
+  const std::size_t n_aux = std::min(aux_names.size(), aux.size());
+  os << "aux " << n_aux;
+  for (std::size_t a = 0; a < n_aux; ++a) os << ' ' << aux_names[a];
+  os << '\n';
+  os << "rows " << arena.n_rows() << " positives " << arena.positives()
+     << '\n';
+  os.precision(std::numeric_limits<float>::max_digits10);
+  for (std::size_t r = 0; r < arena.n_rows(); ++r) {
+    os << (arena.label(r) ? 1 : 0);
+    for (std::size_t a = 0; a < n_aux; ++a) os << ' ' << aux[a][r];
+    for (std::size_t j = 0; j < arena.n_cols(); ++j) {
+      const float v = arena.value(r, j);
+      if (is_missing(v)) {
+        os << " NA";
+      } else {
+        os << ' ' << v;
+      }
+    }
+    os << '\n';
+  }
+}
+
+std::optional<StoredArena> load_arena_text(std::istream& is,
+                                           StoreStatus* status) {
+  if (status != nullptr) *status = {};
+  const auto give_up = [&](StoreError code, std::string message)
+      -> std::optional<StoredArena> {
+    fail(status, code, std::move(message));
+    return std::nullopt;
+  };
+  std::string magic;
+  std::string version;
+  if (!(is >> magic >> version) || magic != "nmdataset") {
+    return give_up(StoreError::kBadMagic,
+                   "not an nmdataset text artefact (bad magic)");
+  }
+  if (version != "v1") {
+    return give_up(StoreError::kBadVersion, "unsupported nmdataset version '" +
+                                                version +
+                                                "' (this build reads v1)");
+  }
+  std::string tag;
+  std::size_t meta_len = 0;
+  if (!(is >> tag >> meta_len) || tag != "meta" ||
+      meta_len > (std::size_t{1} << 32)) {
+    return give_up(StoreError::kMalformedMeta, "malformed meta header");
+  }
+  is.get();  // the newline after the byte count
+  StoredArena out;
+  out.meta.resize(meta_len);
+  if (meta_len > 0 &&
+      !is.read(out.meta.data(), static_cast<std::streamsize>(meta_len))) {
+    return give_up(StoreError::kShortFile, "truncated meta blob");
+  }
+
+  std::size_t n_cols = 0;
+  if (!(is >> tag >> n_cols) || tag != "columns" ||
+      n_cols > (std::size_t{1} << 24)) {
+    return give_up(StoreError::kMalformedMeta, "malformed column header");
+  }
+  std::vector<ColumnInfo> columns(n_cols);
+  for (std::size_t j = 0; j < n_cols; ++j) {
+    int categorical = 0;
+    if (!(is >> columns[j].name >> categorical)) {
+      return give_up(StoreError::kShortFile, "truncated column list");
+    }
+    columns[j].categorical = categorical != 0;
+  }
+
+  std::size_t n_aux = 0;
+  if (!(is >> tag >> n_aux) || tag != "aux" || n_aux > (std::size_t{1} << 16)) {
+    return give_up(StoreError::kMalformedMeta, "malformed aux header");
+  }
+  out.aux_names.resize(n_aux);
+  for (std::size_t a = 0; a < n_aux; ++a) {
+    if (!(is >> out.aux_names[a])) {
+      return give_up(StoreError::kShortFile, "truncated aux name list");
+    }
+  }
+
+  std::size_t n_rows = 0;
+  std::size_t positives = 0;
+  std::string positives_tag;
+  if (!(is >> tag >> n_rows >> positives_tag >> positives) || tag != "rows" ||
+      positives_tag != "positives" || n_rows > (std::size_t{1} << 40) ||
+      positives > n_rows) {
+    return give_up(StoreError::kMalformedMeta, "malformed row header");
+  }
+
+  std::vector<float> payload(n_cols * n_rows);
+  std::vector<std::uint8_t> labels(n_rows);
+  out.aux.assign(n_aux, std::vector<std::uint32_t>(n_rows));
+  std::string token;
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    int label = 0;
+    if (!(is >> label) || (label != 0 && label != 1)) {
+      return give_up(StoreError::kShortFile,
+                     "truncated or malformed row " + std::to_string(r));
+    }
+    labels[r] = static_cast<std::uint8_t>(label);
+    for (std::size_t a = 0; a < n_aux; ++a) {
+      if (!(is >> out.aux[a][r])) {
+        return give_up(StoreError::kShortFile,
+                       "truncated aux values in row " + std::to_string(r));
+      }
+    }
+    for (std::size_t j = 0; j < n_cols; ++j) {
+      if (!(is >> token)) {
+        return give_up(StoreError::kShortFile,
+                       "truncated features in row " + std::to_string(r));
+      }
+      if (token == "NA") {
+        payload[j * n_rows + r] = kMissing;
+      } else {
+        // strtof rather than std::stof: glibc flags subnormal results
+        // with ERANGE even though the returned denormal is the correctly
+        // rounded value, and stof turns that into a throw.
+        char* end = nullptr;
+        const float v = std::strtof(token.c_str(), &end);
+        if (end != token.c_str() + token.size()) {
+          // A half-parsed final token means the file was cut mid-number,
+          // not that the content is foreign.
+          if (is.eof()) {
+            return give_up(StoreError::kShortFile,
+                           "truncated features in row " + std::to_string(r));
+          }
+          return give_up(StoreError::kMalformedMeta,
+                         "non-numeric feature value '" + token + "' in row " +
+                             std::to_string(r));
+        }
+        payload[j * n_rows + r] = v;
+      }
+    }
+  }
+  out.arena = FeatureArena(std::move(columns), n_rows, std::move(payload),
+                           std::move(labels));
+  if (out.arena.positives() != positives) {
+    return give_up(StoreError::kMalformedMeta,
+                   "positive-label count disagrees with the row header");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Format sniffing
+// ---------------------------------------------------------------------------
+
+bool is_arena_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  char magic[sizeof(kMagic)] = {};
+  if (!is.read(magic, sizeof(magic))) return false;
+  return std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+}
+
+std::optional<StoredArena> load_arena_auto(const std::string& path,
+                                           const ArenaLoadOptions& options,
+                                           StoreStatus* status) {
+  if (is_arena_file(path)) return load_arena(path, options, status);
+  std::ifstream is(path);
+  if (!is) {
+    if (status != nullptr) {
+      *status = {StoreError::kIoError,
+                 "cannot open " + path + ": " + std::strerror(errno)};
+    }
+    return std::nullopt;
+  }
+  return load_arena_text(is, status);
+}
+
+}  // namespace nevermind::ml

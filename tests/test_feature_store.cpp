@@ -1,0 +1,335 @@
+// nmarena v1 feature store: bit-exact round trips across the three
+// access paths (streaming writer -> eager reader, mmap reader, text
+// fallback), writer misuse, the read-only fence on file-backed arenas,
+// and the table-driven corruption taxonomy — every damaged file must
+// come back as its distinct typed error, never UB (this test runs in
+// the ASan/UBSan job like the rest of the suite).
+#include "ml/feature_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace nevermind::ml {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "nm_feature_store_" + name;
+}
+
+/// Arena with adversarial float content: NaN (missing), signed zero,
+/// denormal, huge, and values that truncate badly at low precision.
+FeatureArena tricky_arena() {
+  FeatureArena arena(
+      {{"alpha", false}, {"beta", true}, {"gamma", false}}, 5);
+  const float rows[5][3] = {
+      {1.0F, 2.0F, kMissing},
+      {-0.0F, std::numeric_limits<float>::denorm_min(), 0.1F},
+      {3.4e38F, -3.4e38F, 1.0F / 3.0F},
+      {kMissing, 42.5F, -7.25F},
+      {0.30000001F, 5.0F, 1e-30F},
+  };
+  const bool labels[5] = {true, false, false, true, false};
+  for (std::size_t r = 0; r < 5; ++r) arena.add_row(rows[r], labels[r]);
+  return arena;
+}
+
+std::vector<std::vector<std::uint32_t>> tricky_aux() {
+  return {{10, 11, 12, 13, 14}, {0, 0, 1, 1, 2}};
+}
+const std::vector<std::string> kAuxNames = {"line", "week"};
+constexpr const char* kMeta = "nmdataset predictor\nencoder v1 stub\n";
+
+/// Bitwise float equality — NaN payloads and signed zeros must survive
+/// every round trip, so EXPECT_EQ on the value is not enough.
+void expect_bit_identical(const FeatureArena& a, const FeatureArena& b) {
+  ASSERT_EQ(a.n_rows(), b.n_rows());
+  ASSERT_EQ(a.n_cols(), b.n_cols());
+  EXPECT_EQ(a.positives(), b.positives());
+  for (std::size_t j = 0; j < a.n_cols(); ++j) {
+    EXPECT_EQ(a.column_info(j).name, b.column_info(j).name);
+    EXPECT_EQ(a.column_info(j).categorical, b.column_info(j).categorical);
+    for (std::size_t r = 0; r < a.n_rows(); ++r) {
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(a.value(r, j)),
+                std::bit_cast<std::uint32_t>(b.value(r, j)))
+          << "row " << r << " col " << j;
+    }
+  }
+  for (std::size_t r = 0; r < a.n_rows(); ++r) {
+    EXPECT_EQ(a.label(r), b.label(r));
+  }
+}
+
+void expect_sidecar_identical(const StoredArena& got) {
+  EXPECT_EQ(got.aux_names, kAuxNames);
+  EXPECT_EQ(got.aux, tricky_aux());
+  EXPECT_EQ(got.meta, kMeta);
+}
+
+std::string write_tricky(const std::string& name) {
+  const std::string path = temp_path(name);
+  const StoreStatus st =
+      save_arena(path, tricky_arena(), kAuxNames, tricky_aux(), kMeta);
+  EXPECT_TRUE(st.ok()) << st.message;
+  return path;
+}
+
+TEST(FeatureStore, EagerRoundTripIsBitExact) {
+  const std::string path = write_tricky("eager.nmarena");
+  StoreStatus st;
+  auto got = load_arena(path, {.mode = ArenaLoadMode::kEager}, &st);
+  ASSERT_TRUE(got.has_value()) << st.message;
+  EXPECT_FALSE(got->arena.file_backed());
+  expect_bit_identical(tricky_arena(), got->arena);
+  expect_sidecar_identical(*got);
+  std::remove(path.c_str());
+}
+
+TEST(FeatureStore, MmapRoundTripIsBitExactAndReadOnly) {
+  const std::string path = write_tricky("mmap.nmarena");
+  StoreStatus st;
+  auto got = load_arena(
+      path, {.mode = ArenaLoadMode::kMapped, .verify_payload = true}, &st);
+  ASSERT_TRUE(got.has_value()) << st.message;
+  EXPECT_TRUE(got->arena.file_backed());
+  EXPECT_EQ(got->arena.backing(), FeatureArena::Backing::kMapped);
+  expect_bit_identical(tricky_arena(), got->arena);
+  expect_sidecar_identical(*got);
+  // The mutation API is fenced off the file-backed path.
+  const float row[3] = {1.0F, 2.0F, 3.0F};
+  EXPECT_THROW(got->arena.add_row(row, false), std::logic_error);
+  // Copies share the mapping keepalive; the original can go away.
+  FeatureArena copy = got->arena;
+  got.reset();
+  EXPECT_EQ(copy.value(2, 2), 1.0F / 3.0F);
+  std::remove(path.c_str());
+}
+
+TEST(FeatureStore, TextRoundTripIsBitExact) {
+  std::stringstream ss;
+  save_arena_text(ss, tricky_arena(), kAuxNames, tricky_aux(), kMeta);
+  StoreStatus st;
+  auto got = load_arena_text(ss, &st);
+  ASSERT_TRUE(got.has_value()) << st.message;
+  expect_bit_identical(tricky_arena(), got->arena);
+  expect_sidecar_identical(*got);
+}
+
+TEST(FeatureStore, StreamingWriterMatchesBulkSaveByteForByte) {
+  // Chunk size 3 does not divide 5 rows: the tail flush and the
+  // per-column scatter seeks must still produce the identical file.
+  const std::string bulk_path = write_tricky("bulk.nmarena");
+  const std::string stream_path = temp_path("stream.nmarena");
+  const FeatureArena arena = tricky_arena();
+  ArenaStreamWriter writer(stream_path, arena.columns(), arena.n_rows(), 3);
+  std::vector<float> row(arena.n_cols());
+  for (std::size_t r = 0; r < arena.n_rows(); ++r) {
+    for (std::size_t j = 0; j < arena.n_cols(); ++j) row[j] = arena.value(r, j);
+    writer.append(row, arena.label(r));
+  }
+  const auto aux = tricky_aux();
+  writer.add_aux(kAuxNames[0], aux[0]);
+  writer.add_aux(kAuxNames[1], aux[1]);
+  writer.set_meta(kMeta);
+  const StoreStatus st = writer.finish();
+  ASSERT_TRUE(st.ok()) << st.message;
+
+  const auto slurp = [](const std::string& p) {
+    std::ifstream is(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(is), {});
+  };
+  EXPECT_EQ(slurp(bulk_path), slurp(stream_path));
+  std::remove(bulk_path.c_str());
+  std::remove(stream_path.c_str());
+}
+
+TEST(FeatureStore, WriterMisuseThrowsAndShortfallIsTyped) {
+  const std::string path = temp_path("misuse.nmarena");
+  {
+    ArenaStreamWriter writer(path, {{"a", false}, {"b", false}}, 3);
+    const float narrow[1] = {1.0F};
+    EXPECT_THROW(writer.append(narrow, false), std::logic_error);
+    const float ok[2] = {1.0F, 2.0F};
+    writer.append(ok, false);
+    const std::vector<std::uint32_t> short_aux = {1, 2};
+    EXPECT_THROW(writer.add_aux("x", short_aux), std::logic_error);
+    // Fewer rows than declared: a typed error, not a corrupt file.
+    const StoreStatus st = writer.finish();
+    EXPECT_EQ(st.code, StoreError::kRowCountMismatch);
+    EXPECT_THROW(writer.append(ok, false), std::logic_error);
+  }
+  {
+    ArenaStreamWriter writer(path, {{"a", false}}, 1);
+    const float one[1] = {1.0F};
+    writer.append(one, true);
+    EXPECT_THROW(writer.append(one, true), std::logic_error);  // over-append
+    ASSERT_TRUE(writer.finish().ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FeatureStore, ZeroRowArtefactRoundTrips) {
+  const std::string path = temp_path("empty.nmarena");
+  const FeatureArena empty({{"only", false}}, 0);
+  ASSERT_TRUE(save_arena(path, empty).ok());
+  for (const auto mode : {ArenaLoadMode::kEager, ArenaLoadMode::kMapped}) {
+    StoreStatus st;
+    auto got = load_arena(path, {.mode = mode, .verify_payload = true}, &st);
+    ASSERT_TRUE(got.has_value()) << st.message;
+    EXPECT_EQ(got->arena.n_rows(), 0U);
+    EXPECT_EQ(got->arena.n_cols(), 1U);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FeatureStore, AutoLoadSniffsBinaryAndText) {
+  const std::string bin_path = write_tricky("auto.nmarena");
+  EXPECT_TRUE(is_arena_file(bin_path));
+  StoreStatus st;
+  auto bin = load_arena_auto(bin_path, {.mode = ArenaLoadMode::kMapped}, &st);
+  ASSERT_TRUE(bin.has_value()) << st.message;
+  EXPECT_TRUE(bin->arena.file_backed());
+
+  const std::string text_path = temp_path("auto.txt");
+  {
+    std::ofstream os(text_path);
+    save_arena_text(os, tricky_arena(), kAuxNames, tricky_aux(), kMeta);
+  }
+  EXPECT_FALSE(is_arena_file(text_path));
+  auto text = load_arena_auto(text_path, {}, &st);
+  ASSERT_TRUE(text.has_value()) << st.message;
+  expect_bit_identical(bin->arena, text->arena);
+
+  auto missing = load_arena_auto(temp_path("does_not_exist"), {}, &st);
+  EXPECT_FALSE(missing.has_value());
+  EXPECT_EQ(st.code, StoreError::kIoError);
+  std::remove(bin_path.c_str());
+  std::remove(text_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption taxonomy — table-driven over both readers
+// ---------------------------------------------------------------------------
+
+std::vector<unsigned char> slurp_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is), {}};
+}
+
+void dump_bytes(const std::string& path,
+                const std::vector<unsigned char>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+}
+
+/// FNV-1a mirror of the format constant, for forging header checksums
+/// in the malformed-header case.
+std::uint64_t fnv1a(const unsigned char* p, std::size_t n) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+struct CorruptionCase {
+  const char* name;
+  StoreError expected;
+  void (*mutate)(std::vector<unsigned char>&);
+};
+
+const CorruptionCase kCorruptionCases[] = {
+    {"truncated_header", StoreError::kTruncatedHeader,
+     [](std::vector<unsigned char>& b) { b.resize(64); }},
+    {"wrong_magic", StoreError::kBadMagic,
+     [](std::vector<unsigned char>& b) { b[0] = 'X'; }},
+    {"future_version", StoreError::kBadVersion,
+     [](std::vector<unsigned char>& b) { b[8] = 99; }},
+    {"foreign_endian", StoreError::kBadEndian,
+     [](std::vector<unsigned char>& b) { std::swap(b[12], b[15]); }},
+    {"header_bit_flip", StoreError::kChecksumMismatch,
+     // Bytes [16,120) are header fields under the header checksum.
+     [](std::vector<unsigned char>& b) { b[40] ^= 0x01; }},
+    {"inconsistent_header", StoreError::kMalformedHeader,
+     [](std::vector<unsigned char>& b) {
+       // Forge n_rows (header offset 16) += 1 WITH a valid checksum:
+       // the recomputed section layout no longer matches.
+       std::uint64_t n_rows = 0;
+       std::memcpy(&n_rows, b.data() + 16, 8);
+       ++n_rows;
+       std::memcpy(b.data() + 16, &n_rows, 8);
+       const std::uint64_t sum = fnv1a(b.data(), 120);
+       std::memcpy(b.data() + 120, &sum, 8);
+     }},
+    {"short_file", StoreError::kShortFile,
+     // Drop the trailing meta section: declared extents exceed the file.
+     [](std::vector<unsigned char>& b) { b.resize(b.size() - 8); }},
+    {"payload_bit_flip", StoreError::kChecksumMismatch,
+     [](std::vector<unsigned char>& b) { b[128 + 5] ^= 0x80; }},
+    {"label_bit_flip", StoreError::kChecksumMismatch,
+     // Labels sit immediately after the 5x3-float payload.
+     [](std::vector<unsigned char>& b) { b[128 + 5 * 3 * 4 + 2] ^= 0x01; }},
+    {"meta_bit_flip", StoreError::kChecksumMismatch,
+     // The meta section is the file tail.
+     [](std::vector<unsigned char>& b) { b[b.size() - 1] ^= 0x01; }},
+};
+
+TEST(FeatureStoreCorruption, EveryDamageModeYieldsItsTypedError) {
+  const std::string good_path = write_tricky("corrupt_src.nmarena");
+  const std::vector<unsigned char> good = slurp_bytes(good_path);
+  ASSERT_GE(good.size(), 128U);
+  std::remove(good_path.c_str());
+
+  for (const auto& c : kCorruptionCases) {
+    std::vector<unsigned char> bytes = good;
+    c.mutate(bytes);
+    const std::string path =
+        temp_path(std::string("corrupt_") + c.name + ".nmarena");
+    dump_bytes(path, bytes);
+    for (const auto mode : {ArenaLoadMode::kEager, ArenaLoadMode::kMapped}) {
+      StoreStatus st;
+      // verify_payload on: the mapped reader must detect payload damage
+      // when asked, exactly like the eager reader always does.
+      auto got = load_arena(path, {.mode = mode, .verify_payload = true}, &st);
+      EXPECT_FALSE(got.has_value())
+          << c.name << " loaded successfully in mode "
+          << static_cast<int>(mode);
+      EXPECT_EQ(st.code, c.expected)
+          << c.name << " mode " << static_cast<int>(mode) << ": got "
+          << store_error_name(st.code) << " (" << st.message << ")";
+      EXPECT_FALSE(st.message.empty()) << c.name;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(FeatureStoreCorruption, TextReaderRejectsForeignAndTruncatedInput) {
+  StoreStatus st;
+  std::istringstream not_ours("kernel v1 whatever");
+  EXPECT_FALSE(load_arena_text(not_ours, &st).has_value());
+  EXPECT_EQ(st.code, StoreError::kBadMagic);
+
+  std::istringstream future("nmdataset v9\nmeta 0\n");
+  EXPECT_FALSE(load_arena_text(future, &st).has_value());
+  EXPECT_EQ(st.code, StoreError::kBadVersion);
+
+  std::stringstream full;
+  save_arena_text(full, tricky_arena(), kAuxNames, tricky_aux(), kMeta);
+  const std::string text = full.str();
+  std::istringstream truncated(text.substr(0, text.size() - 10));
+  EXPECT_FALSE(load_arena_text(truncated, &st).has_value());
+  EXPECT_EQ(st.code, StoreError::kShortFile);
+}
+
+}  // namespace
+}  // namespace nevermind::ml

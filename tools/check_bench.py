@@ -260,6 +260,53 @@ def self_test():
     zero_mem["dataplane"]["copy_peak_rss_bytes"] = 0
     assert compare(zero_mem, mem, 0.2, 0.05) == []
     assert compare(mem, zero_mem, 0.2, 0.05) == []
+
+    # --- bench_train "store" section (nmarena feature store) ---------
+    # Mixed conventions in one section: write throughput (_per_s,
+    # higher is better), load timings (_s), file size and phase peak
+    # RSS (_bytes); the peak_rss_approx marker is a bool, not a metric.
+    store = {
+        "bench": "train",
+        "store": {
+            "rows": 5000,
+            "cols": 120,
+            "file_bytes": 2400000,
+            "encode_write_s": 1.5,
+            "write_rows_per_s": 3300.0,
+            "eager_load_s": 0.4,
+            "mmap_load_s": 0.01,
+            "eager_peak_rss_bytes": 2500000,
+            "mmap_peak_rss_bytes": 300000,
+            "peak_rss_approx": True,
+        },
+    }
+    # Unchanged: clean (bools and count fields are not metrics).
+    assert compare(store, store, 0.2, 0.05) == []
+    # A write-throughput drop is a regression.
+    slow_write = json.loads(json.dumps(store))
+    slow_write["store"]["write_rows_per_s"] = 2000.0
+    msgs = compare(store, slow_write, 0.2, 0.05)
+    assert len(msgs) == 1 and "write_rows_per_s" in msgs[0], msgs
+    # A slower eager load is a regression; the artefact growing is too.
+    slow_load = json.loads(json.dumps(store))
+    slow_load["store"]["eager_load_s"] = 0.8
+    slow_load["store"]["file_bytes"] = 4000000
+    msgs = compare(store, slow_load, 0.2, 0.05)
+    assert len(msgs) == 2, msgs
+    assert any("eager_load_s" in m for m in msgs), msgs
+    assert any("file_bytes" in m for m in msgs), msgs
+    # mmap load sits under the --min-time floor by design: its jitter
+    # must not flag (that is the whole point of the floor).
+    jitter_mmap = json.loads(json.dumps(store))
+    jitter_mmap["store"]["mmap_load_s"] = 0.04
+    assert compare(store, jitter_mmap, 0.2, 0.05) == []
+    # Phase peak RSS growth is flagged even at approx fidelity — the
+    # marker flips comparisons off only by zeroing the metric, never
+    # silently.
+    rss_grown = json.loads(json.dumps(store))
+    rss_grown["store"]["mmap_peak_rss_bytes"] = 600000
+    msgs = compare(store, rss_grown, 0.2, 0.05)
+    assert len(msgs) == 1 and "mmap_peak_rss_bytes" in msgs[0], msgs
     print("check_bench.py self-test passed")
     return 0
 

@@ -24,10 +24,22 @@
 //       print per-op throughput/latency plus the served top-K
 //   nevermind summary  --lines N --seed S
 //       dataset overview (ticket trends, location shares)
+//   nevermind dataset FILE [--verify]
+//       inspect a persisted feature-store artefact (kind, shape, aux
+//       row mappings, checksum verification)
 //
 // Trained artefacts round-trip through --save-models DIR /
 // --load-models DIR: predict and serve use DIR/predictor.kernel
 // ("nmkernel v1"), locate uses DIR/locator.model ("nmlocator v1").
+//
+// Encoded training matrices round-trip through --save-dataset FILE /
+// --load-dataset FILE: a FILE ending in .nmarena is the binary
+// columnar feature store (loaded zero-copy via mmap by default, or
+// eagerly with --dataset-load eager), anything else the portable text
+// fallback. Training from a loaded artefact skips the encode pass and
+// reproduces the directly-trained model byte for byte.
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
@@ -39,6 +51,7 @@
 #include <iostream>
 #include <limits>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "core/scoring_kernel.hpp"
@@ -47,6 +60,8 @@
 #include "exec/exec.hpp"
 #include "dslsim/export.hpp"
 #include "dslsim/summary.hpp"
+#include "features/dataset_io.hpp"
+#include "ml/feature_store.hpp"
 #include "ml/serialization.hpp"
 #include "net/loadgen.hpp"
 #include "net/server.hpp"
@@ -70,6 +85,9 @@ struct CliArgs {
   std::string model_path;
   std::string save_models_dir;
   std::string load_models_dir;
+  std::string save_dataset_path;
+  std::string load_dataset_path;
+  ml::ArenaLoadMode dataset_mode = ml::ArenaLoadMode::kMapped;
   std::size_t threads = 1;
   std::size_t shards = 16;
   ml::BinningMode binning = ml::BinningMode::kExact;
@@ -154,6 +172,20 @@ CliArgs parse(int argc, char** argv, int first) {
       args.save_models_dir = value();
     } else if (flag == "--load-models") {
       args.load_models_dir = value();
+    } else if (flag == "--save-dataset") {
+      args.save_dataset_path = value();
+    } else if (flag == "--load-dataset") {
+      args.load_dataset_path = value();
+    } else if (flag == "--dataset-load") {
+      const std::string mode = value();
+      if (mode == "mmap") {
+        args.dataset_mode = ml::ArenaLoadMode::kMapped;
+      } else if (mode == "eager") {
+        args.dataset_mode = ml::ArenaLoadMode::kEager;
+      } else {
+        die_usage("unknown --dataset-load mode '" + mode +
+                  "' (expected eager|mmap)");
+      }
     } else if (flag == "--threads") {
       // 0 stays accepted as an explicit "serial" (exec() treats <2 as
       // serial); non-numeric input is rejected rather than silently 0.
@@ -257,6 +289,55 @@ bool save_locator(const std::string& dir, const core::TroubleLocator& locator) {
   return true;
 }
 
+/// Upfront validation of every artefact path the run will need, so a
+/// long simulate/train pass cannot end in an unwritable-directory or
+/// missing-file surprise. Violations are usage errors: named flag,
+/// clear message, exit 2.
+void validate_artefact_paths(const CliArgs& args, const std::string& cmd) {
+  namespace fs = std::filesystem;
+  const auto fail = [](const std::string& message) {
+    std::cerr << "error: " << message << "\n";
+    std::exit(2);
+  };
+  if (!args.load_models_dir.empty()) {
+    const char* file = cmd == "locate" ? kLocatorFile : kPredictorFile;
+    const std::string path = args.load_models_dir + "/" + file;
+    if (::access(path.c_str(), R_OK) != 0) {
+      fail("--load-models: cannot read " + path + ": " +
+           std::strerror(errno));
+    }
+  }
+  if (!args.save_models_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(args.save_models_dir, ec);
+    if (!fs::is_directory(args.save_models_dir, ec) ||
+        ::access(args.save_models_dir.c_str(), W_OK) != 0) {
+      fail("--save-models: directory '" + args.save_models_dir +
+           "' is not writable: " + std::strerror(errno));
+    }
+  }
+  if (!args.load_dataset_path.empty()) {
+    std::error_code ec;
+    if (::access(args.load_dataset_path.c_str(), R_OK) != 0 ||
+        fs::is_directory(args.load_dataset_path, ec)) {
+      fail("--load-dataset: cannot read " + args.load_dataset_path + ": " +
+           std::strerror(errno != 0 ? errno : EISDIR));
+    }
+  }
+  if (!args.save_dataset_path.empty()) {
+    fs::path parent = fs::path(args.save_dataset_path).parent_path();
+    if (parent.empty()) parent = ".";
+    std::error_code ec;
+    if (!fs::is_directory(parent, ec)) {
+      fail("--save-dataset: '" + parent.string() + "' is not a directory");
+    }
+    if (::access(parent.c_str(), W_OK) != 0) {
+      fail("--save-dataset: directory '" + parent.string() +
+           "' is not writable: " + std::strerror(errno));
+    }
+  }
+}
+
 dslsim::SimDataset simulate(const CliArgs& args,
                             const exec::ExecContext& exec) {
   dslsim::SimConfig cfg;
@@ -300,8 +381,10 @@ int cmd_simulate(const CliArgs& args) {
 }
 
 /// Predictor for this run: loaded from --load-models when given (no
-/// retraining), otherwise trained on the paper's split and optionally
-/// saved to --save-models.
+/// retraining), trained from a persisted --load-dataset artefact (no
+/// encode pass), otherwise trained on the paper's split; optionally
+/// saved to --save-models, with the encoded training matrix optionally
+/// persisted to --save-dataset.
 std::optional<core::TicketPredictor> make_predictor(
     const CliArgs& args, const exec::ExecContext& exec,
     const dslsim::SimDataset& data) {
@@ -309,6 +392,7 @@ std::optional<core::TicketPredictor> make_predictor(
   cfg.exec = exec;
   cfg.binning = args.binning;
   cfg.top_n = std::max<std::size_t>(args.lines / 100, 10);
+  const int horizon_days = cfg.horizon_days;
   if (!args.load_models_dir.empty()) {
     auto kernel = load_kernel(args.load_models_dir);
     if (!kernel.has_value()) return std::nullopt;
@@ -318,10 +402,44 @@ std::optional<core::TicketPredictor> make_predictor(
   }
   const int train_from = util::test_week_of(util::day_from_date(8, 1));
   const int train_to = util::test_week_of(util::day_from_date(9, 30));
-  std::cerr << "training on weeks " << train_from << "-" << train_to
-            << "...\n";
   core::TicketPredictor predictor(std::move(cfg));
-  predictor.train(data, train_from, train_to);
+  if (!args.load_dataset_path.empty()) {
+    ml::StoreStatus st;
+    auto loaded = features::load_predictor_dataset(args.load_dataset_path,
+                                                   args.dataset_mode, &st);
+    if (!loaded.has_value()) {
+      std::cerr << "cannot load dataset " << args.load_dataset_path << ": "
+                << st.message << "\n";
+      return std::nullopt;
+    }
+    std::cerr << "training from "
+              << (loaded->block.dataset.file_backed() ? "mmap'ed" : "loaded")
+              << " dataset artefact (" << loaded->block.dataset.n_rows()
+              << " x " << loaded->block.dataset.n_cols() << ")...\n";
+    try {
+      predictor.train_from_block(loaded->block, loaded->encoder);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "dataset artefact rejected: " << e.what() << "\n";
+      return std::nullopt;
+    }
+  } else {
+    std::cerr << "training on weeks " << train_from << "-" << train_to
+              << "...\n";
+    predictor.train(data, train_from, train_to);
+  }
+  if (!args.save_dataset_path.empty()) {
+    const features::TicketLabeler labeler{horizon_days};
+    const auto st = features::save_predictor_dataset(
+        args.save_dataset_path, data, train_from, train_to,
+        predictor.full_encoder_config(), labeler);
+    if (!st.ok()) {
+      std::cerr << "cannot write dataset " << args.save_dataset_path << ": "
+                << st.message << "\n";
+      return std::nullopt;
+    }
+    std::cerr << "saved training matrix to " << args.save_dataset_path
+              << "\n";
+  }
   if (!args.save_models_dir.empty() &&
       !save_kernel(args.save_models_dir, predictor.kernel())) {
     return std::nullopt;
@@ -377,9 +495,43 @@ int cmd_locate(const CliArgs& args) {
     cfg.min_occurrences = std::max<std::size_t>(6, args.lines / 2000);
     const int train_from = util::test_week_of(util::day_from_date(8, 1));
     const int train_to = util::test_week_of(util::day_from_date(9, 18));
-    std::cerr << "training locator...\n";
     locator_opt.emplace(cfg);
-    locator_opt->train(data, train_from, train_to);
+    if (!args.load_dataset_path.empty()) {
+      ml::StoreStatus st;
+      auto loaded = features::load_locator_dataset(args.load_dataset_path,
+                                                   args.dataset_mode, &st);
+      if (!loaded.has_value()) {
+        std::cerr << "cannot load dataset " << args.load_dataset_path << ": "
+                  << st.message << "\n";
+        return 1;
+      }
+      std::cerr << "training locator from "
+                << (loaded->block.dataset.file_backed() ? "mmap'ed"
+                                                        : "loaded")
+                << " dataset artefact (" << loaded->block.dataset.n_rows()
+                << " dispatches)...\n";
+      try {
+        locator_opt->train_from_block(data, loaded->block);
+      } catch (const std::invalid_argument& e) {
+        std::cerr << "dataset artefact rejected: " << e.what() << "\n";
+        return 1;
+      }
+    } else {
+      std::cerr << "training locator...\n";
+      locator_opt->train(data, train_from, train_to);
+    }
+    if (!args.save_dataset_path.empty()) {
+      const auto st = features::save_locator_dataset(
+          args.save_dataset_path, data, train_from, train_to,
+          locator_opt->encoder_config());
+      if (!st.ok()) {
+        std::cerr << "cannot write dataset " << args.save_dataset_path
+                  << ": " << st.message << "\n";
+        return 1;
+      }
+      std::cerr << "saved locator matrix to " << args.save_dataset_path
+                << "\n";
+    }
     if (!args.save_models_dir.empty() &&
         !save_locator(args.save_models_dir, *locator_opt)) {
       return 1;
@@ -545,6 +697,76 @@ int cmd_loadgen(const CliArgs& args) {
   return 0;
 }
 
+/// dataset FILE [--verify]: open a feature-store artefact (binary via
+/// mmap, text via the fallback reader) and print what it holds without
+/// training anything. --verify additionally checks every per-column
+/// payload checksum on the mapped path.
+int cmd_dataset(int argc, char** argv) {
+  std::string path;
+  bool verify = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verify") {
+      verify = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      die_usage("unknown argument '" + arg + "' for dataset");
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      die_usage("dataset takes exactly one FILE");
+    }
+  }
+  if (path.empty()) die_usage("dataset requires a FILE to inspect");
+  if (::access(path.c_str(), R_OK) != 0) {
+    std::cerr << "error: cannot read " << path << ": " << std::strerror(errno)
+              << "\n";
+    return 2;
+  }
+
+  const bool binary = ml::is_arena_file(path);
+  ml::ArenaLoadOptions opts;
+  opts.mode = ml::ArenaLoadMode::kMapped;
+  opts.verify_payload = verify;
+  ml::StoreStatus st;
+  const auto stored = ml::load_arena_auto(path, opts, &st);
+  if (!stored.has_value()) {
+    std::cerr << "error: " << path << ": " << st.message << " ["
+              << ml::store_error_name(st.code) << "]\n";
+    return 1;
+  }
+
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  const ml::FeatureArena& arena = stored->arena;
+  std::size_t categorical = 0;
+  for (std::size_t j = 0; j < arena.n_cols(); ++j) {
+    if (arena.column_info(j).categorical) ++categorical;
+  }
+  std::cout << "file: " << path << " ("
+            << (binary ? "binary nmarena v1" : "text nmdataset v1") << ", "
+            << (ec ? 0 : size) << " bytes)\n"
+            << "kind: "
+            << features::dataset_kind(stored->meta).value_or("unknown")
+            << "\n"
+            << "rows: " << arena.n_rows() << " (" << arena.positives()
+            << " positive)\n"
+            << "columns: " << arena.n_cols() << " (" << categorical
+            << " categorical)\n";
+  std::cout << "aux:";
+  if (stored->aux_names.empty()) std::cout << " (none)";
+  for (const auto& name : stored->aux_names) std::cout << ' ' << name;
+  std::cout << "\n"
+            << "meta: " << stored->meta.size() << " bytes\n"
+            << "backing: " << (arena.file_backed() ? "mmap" : "heap") << "\n";
+  if (binary) {
+    std::cout << "checksums: "
+              << (verify ? "payload verified" : "header/meta/labels verified"
+                                                " (use --verify for payload)")
+              << "\n";
+  }
+  return 0;
+}
+
 int cmd_summary(const CliArgs& args) {
   const auto data = simulate(args, args.exec());
   const auto tickets = dslsim::summarize_tickets(data);
@@ -565,14 +787,19 @@ int cmd_summary(const CliArgs& args) {
 
 void usage() {
   std::cerr
-      << "usage: nevermind <simulate|predict|locate|serve|loadgen|summary> "
+      << "usage: nevermind "
+         "<simulate|predict|locate|serve|loadgen|summary|dataset> "
          "[--lines N] [--seed S] [--week W] [--top K] [--out DIR] "
          "[--model FILE] [--save-models DIR] [--load-models DIR] "
+         "[--save-dataset FILE] [--load-dataset FILE] "
+         "[--dataset-load eager|mmap] "
          "[--threads T] [--shards P] [--binning exact|hist]\n"
          "  serve --listen PORT [--deadline-ms D]   expose the scoring "
          "service over TCP (0 = ephemeral port)\n"
          "  loadgen --port P [--host H] [--connections C]   drive a live "
-         "server with the simulated feeds\n";
+         "server with the simulated feeds\n"
+         "  dataset FILE [--verify]   inspect a persisted feature-store "
+         "artefact (.nmarena = binary, else text)\n";
 }
 
 }  // namespace
@@ -583,7 +810,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
+  if (cmd == "dataset") return cmd_dataset(argc, argv);
   const CliArgs args = parse(argc, argv, 2);
+  validate_artefact_paths(args, cmd);
   if (cmd == "simulate") return cmd_simulate(args);
   if (cmd == "predict") return cmd_predict(args);
   if (cmd == "locate") return cmd_locate(args);

@@ -28,6 +28,14 @@
 // cold-restart (load + first full pass) time. Both loads must
 // reproduce the in-memory matrix bit for bit or the bench exits 1.
 //
+// A fifth section, simd, isolates the binned stump search: it replays
+// the histogram boosting loop once per kernel arm (forced scalar,
+// forced AVX2 when the CPU has it, and the auto dispatch) at the same
+// thread count, timing only the find_best_stump_binned calls. The
+// stump sequences must be bit-identical across all arms — the bench
+// exits 1 otherwise — and the scalar/AVX2 time ratio is reported as
+// simd_stump_speedup for tools/check_bench.py.
+//
 // Usage: bench_train [--lines N] [--seed S] [--rounds R]
 //                    [--locator-rounds R] [--out FILE] [--tolerance T]
 #define NEVERMIND_MEMPROBE_IMPL
@@ -57,8 +65,10 @@
 #include "ml/adaboost.hpp"
 #include "ml/cross_validation.hpp"
 #include "ml/feature_selection.hpp"
+#include "ml/binning.hpp"
 #include "ml/feature_store.hpp"
 #include "ml/metrics.hpp"
+#include "ml/simd.hpp"
 
 namespace {
 
@@ -396,6 +406,123 @@ StoreStats run_store(const dslsim::SimDataset& data,
   return s;
 }
 
+/// One replay of the histogram boosting loop under a forced kernel
+/// mode. `stump_s` accumulates only the find_best_stump_binned calls;
+/// the reweight pass between rounds (copied from train_binned so the
+/// weight stream matches real training) is untimed.
+struct SimdRun {
+  double stump_s = 0.0;
+  std::vector<ml::Stump> stumps;
+  std::vector<double> zs;
+  std::vector<int> split_bins;
+};
+
+SimdRun run_simd_boost(const ml::BinnedColumns& bins,
+                       std::span<const std::uint8_t> labels,
+                       std::size_t rounds, ml::simd::Mode mode,
+                       const exec::ExecContext& exec) {
+  ml::simd::set_mode(mode);
+  const std::size_t n = bins.n_rows();
+  const double smoothing = 0.5 / static_cast<double>(n);
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  SimdRun run;
+  for (std::size_t t = 0; t < rounds; ++t) {
+    const auto start = Clock::now();
+    const ml::BinnedStumpResult best =
+        ml::find_best_stump_binned(bins, labels, weights, {}, smoothing, exec);
+    run.stump_s += seconds_since(start);
+    if (!std::isfinite(best.z)) break;
+    run.stumps.push_back(best.stump);
+    run.zs.push_back(best.z);
+    run.split_bins.push_back(best.split_bin);
+
+    const auto& col = bins.column(best.stump.feature);
+    const std::uint8_t missing = col.missing_code();
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t code = col.codes[i];
+      double h;
+      if (code == missing) {
+        h = best.stump.score_missing;
+      } else if (col.categorical ? static_cast<int>(code) == best.split_bin
+                                 : static_cast<int>(code) > best.split_bin) {
+        h = best.stump.score_pass;
+      } else {
+        h = best.stump.score_fail;
+      }
+      const double y = labels[i] != 0 ? 1.0 : -1.0;
+      weights[i] *= std::exp(-y * h);
+      total += weights[i];
+    }
+    if (total <= 0.0) break;
+    const double inv = 1.0 / total;
+    for (auto& w : weights) w *= inv;
+  }
+  ml::simd::set_mode(ml::simd::Mode::kAuto);
+  return run;
+}
+
+/// Bitwise comparison — ±0.0 and NaN must not alias, this is the
+/// scalar≡AVX2 identity contract, not a tolerance check.
+bool same_simd_run(const SimdRun& a, const SimdRun& b) {
+  const auto f32 = [](float v) { return std::bit_cast<std::uint32_t>(v); };
+  const auto f64 = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  if (a.stumps.size() != b.stumps.size()) return false;
+  for (std::size_t t = 0; t < a.stumps.size(); ++t) {
+    const ml::Stump& x = a.stumps[t];
+    const ml::Stump& y = b.stumps[t];
+    if (x.feature != y.feature || x.categorical != y.categorical ||
+        f32(x.threshold) != f32(y.threshold) ||
+        f64(x.score_pass) != f64(y.score_pass) ||
+        f64(x.score_fail) != f64(y.score_fail) ||
+        f64(x.score_missing) != f64(y.score_missing) ||
+        f64(a.zs[t]) != f64(b.zs[t]) || a.split_bins[t] != b.split_bins[t]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct SimdStats {
+  bool avx2_available = false;
+  std::size_t threads = 1;
+  std::size_t rounds = 0;
+  double scalar_stump_s = 0.0;
+  double avx2_stump_s = 0.0;
+  double simd_stump_speedup = 0.0;
+  bool outputs_identical = true;
+};
+
+SimdStats run_simd(const ml::FeatureArena& train, std::size_t rounds,
+                   std::size_t threads) {
+  SimdStats s;
+  s.avx2_available = ml::simd::cpu_supports_avx2();
+  s.threads = threads;
+  // The ratio is per-round and stable well before 800 rounds; cap the
+  // replay so the section stays a fraction of the main timing runs.
+  s.rounds = std::min<std::size_t>(rounds, 200);
+  const exec::ExecContext exec =
+      threads > 1 ? exec::ExecContext(threads) : exec::ExecContext();
+  const ml::BinnedColumns bins(train, {}, {}, exec);
+  const std::span<const std::uint8_t> labels = train.labels();
+
+  const SimdRun scalar =
+      run_simd_boost(bins, labels, s.rounds, ml::simd::Mode::kScalar, exec);
+  s.scalar_stump_s = scalar.stump_s;
+  const SimdRun dispatched =
+      run_simd_boost(bins, labels, s.rounds, ml::simd::Mode::kAuto, exec);
+  s.outputs_identical = same_simd_run(scalar, dispatched);
+  if (s.avx2_available) {
+    const SimdRun avx2 =
+        run_simd_boost(bins, labels, s.rounds, ml::simd::Mode::kAvx2, exec);
+    s.avx2_stump_s = avx2.stump_s;
+    s.outputs_identical = s.outputs_identical && same_simd_run(scalar, avx2);
+    s.simd_stump_speedup =
+        avx2.stump_s > 0.0 ? scalar.stump_s / avx2.stump_s : 0.0;
+  }
+  return s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -469,6 +596,9 @@ int main(int argc, char** argv) {
 
   std::cerr << "measuring feature store (write / eager load / mmap load)...\n";
   const StoreStats store = run_store(data, splits, enc_cfg, labeler, train);
+
+  std::cerr << "measuring simd kernels (scalar vs avx2 stump search)...\n";
+  const SimdStats simd = run_simd(train, rounds, hw);
   const double rss_reduction =
       dp.copy_peak_rss_bytes > 0
           ? 1.0 - static_cast<double>(dp.view_peak_rss_bytes) /
@@ -532,6 +662,17 @@ int main(int argc, char** argv) {
        << "    \"eager_peak_rss_bytes\": " << store.eager_peak_rss_bytes
        << "\n"
        << "  },\n"
+       << "  \"simd\": {\n"
+       << "    \"avx2_available\": " << (simd.avx2_available ? "true" : "false")
+       << ",\n"
+       << "    \"threads\": " << simd.threads << ",\n"
+       << "    \"rounds\": " << simd.rounds << ",\n"
+       << "    \"outputs_identical\": "
+       << (simd.outputs_identical ? "true" : "false") << ",\n"
+       << "    \"scalar_stump_s\": " << simd.scalar_stump_s << ",\n"
+       << "    \"avx2_stump_s\": " << simd.avx2_stump_s << ",\n"
+       << "    \"simd_stump_speedup\": " << simd.simd_stump_speedup << "\n"
+       << "  },\n"
        << "  \"runs\": [\n";
   for (std::size_t i = 0; i < timings.size(); ++i) {
     const Timing& t = timings[i];
@@ -569,6 +710,10 @@ int main(int argc, char** argv) {
   if (!store.loads_identical) {
     std::cerr << "ERROR: feature-store round trip does not reproduce the "
                  "in-memory matrix\n";
+    return 1;
+  }
+  if (!simd.outputs_identical) {
+    std::cerr << "ERROR: simd kernel arms disagree on the stump sequence\n";
     return 1;
   }
   return 0;

@@ -79,7 +79,21 @@ void TroubleLocator::train_from_block(const dslsim::SimDataset& data,
   boost.exec = exec::ExecContext::serial();
   ml::BStumpConfig cache_build = boost;
   cache_build.exec = exec;
-  const ml::TrainCache cache = ml::make_train_cache(block.dataset, cache_build);
+  // A v2 artefact's stored quantization substitutes for re-binning when
+  // it covers this exact matrix at the requested max_bins — the bins
+  // were computed by the same deterministic quantizer at save time, so
+  // training from them is byte-identical to binning here.
+  ml::TrainCache cache;
+  const std::size_t want_max_bins =
+      std::min<std::size_t>(cache_build.binning_config.max_bins, 256);
+  if (config_.binning == ml::BinningMode::kHistogram &&
+      block.bins != nullptr && block.bins->n_rows() == n &&
+      block.bins->n_cols() == block.dataset.n_cols() &&
+      block.bins->max_bins() == want_max_bins) {
+    cache.binned = block.bins;
+  } else {
+    cache = ml::make_train_cache(block.dataset, cache_build);
+  }
 
   // ---- major-location classifiers f_Ci. -------------------------------
   // Each location problem builds its own label vector, trains against

@@ -99,8 +99,22 @@ ml::StoreStatus save_predictor_dataset(const std::string& path,
 ml::StoreStatus save_locator_dataset(const std::string& path,
                                      const dslsim::SimDataset& data,
                                      int week_from, int week_to,
-                                     const EncoderConfig& config) {
+                                     const EncoderConfig& config,
+                                     bool with_bins,
+                                     const ml::BinningConfig& binning) {
   if (is_binary_path(path)) {
+    if (with_bins) {
+      // Quantization needs the whole matrix, which the streaming writer
+      // never materializes — encode in memory and bulk-save (locator
+      // matrices are dispatch-sized, not line-week-sized).
+      const LocatorBlock block =
+          encode_at_dispatch(data, week_from, week_to, config);
+      const ml::BinnedColumns bins(block.dataset, binning);
+      const std::vector<std::string> aux_names = {"note"};
+      const std::vector<std::vector<std::uint32_t>> aux = {block.note_of_row};
+      return ml::save_arena(path, block.dataset, aux_names, aux,
+                            make_meta(kLocatorKind, config), &bins);
+    }
     ml::ArenaStreamWriter writer(path, all_columns(config),
                                  count_dispatch_rows(data, week_from, week_to));
     encode_dispatch_to_store(data, week_from, week_to, config, writer);
@@ -180,9 +194,23 @@ std::optional<LocatorDataset> load_locator_dataset(const std::string& path,
                path + ": column count disagrees with the stored encoder");
     return std::nullopt;
   }
+  if (stored->bins != nullptr) {
+    // The bins parser already validated shape against the header; also
+    // require per-column kind agreement with the stored encoder layout
+    // before handing them to training.
+    for (std::size_t j = 0; j < stored->arena.n_cols(); ++j) {
+      if (stored->bins->column(j).categorical !=
+          stored->arena.column_info(j).categorical) {
+        set_status(status, ml::StoreError::kMalformedBins,
+                   path + ": bin-code section disagrees with column kinds");
+        return std::nullopt;
+      }
+    }
+  }
   LocatorDataset out;
   out.encoder = std::move(*config);
   out.block.note_of_row = *note;
+  out.block.bins = stored->bins;
   out.block.dataset = std::move(stored->arena);
   return out;
 }

@@ -45,9 +45,15 @@ struct LocatorDataset {
     int emit_to, const EncoderConfig& config, const TicketLabeler& labeler);
 
 /// Encode dispatch rows for weeks [week_from, week_to] and persist.
+/// `with_bins` (binary artefacts only — the text form never carries
+/// bins) additionally quantizes the matrix and writes an nmarena v2
+/// artefact whose bin-code section lets train_from_block skip
+/// re-binning; this path encodes the matrix in memory instead of
+/// streaming, which is fine at locator scale (dispatch rows only).
 [[nodiscard]] ml::StoreStatus save_locator_dataset(
     const std::string& path, const dslsim::SimDataset& data, int week_from,
-    int week_to, const EncoderConfig& config);
+    int week_to, const EncoderConfig& config, bool with_bins = false,
+    const ml::BinningConfig& binning = {});
 
 /// Load a persisted predictor matrix. `mode` selects eager vs mmap for
 /// binary artefacts (ignored for text). Returns nullopt with `status`

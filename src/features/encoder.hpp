@@ -144,6 +144,11 @@ void encode_weeks_to_store(const dslsim::SimDataset& data, int emit_from,
 struct LocatorBlock {
   ml::FeatureArena dataset;
   std::vector<std::uint32_t> note_of_row;  // index into data.notes()
+  /// Optional pre-computed histogram-path quantization of `dataset`
+  /// (from a v2 nmarena artefact). Training consumes it instead of
+  /// re-binning when its shape and max_bins match the requested
+  /// configuration; null means bin on demand.
+  std::shared_ptr<const ml::BinnedColumns> bins;
 };
 
 [[nodiscard]] LocatorBlock encode_at_dispatch(const dslsim::SimDataset& data,

@@ -1,0 +1,50 @@
+// Minimal over-aligned allocator so hot byte/double arrays (bin codes,
+// kernel scratch) start on cache-line boundaries — the same 64-byte
+// alignment discipline the nmarena payload keeps on disk and in memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace nevermind::ml {
+
+template <typename T, std::size_t Alignment>
+struct AlignedAlloc {
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+  using value_type = T;
+
+  /// Explicit rebind: the default rebind_alloc cannot re-instantiate a
+  /// template with a non-type (alignment) parameter.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAlloc<U, Alignment>;
+  };
+
+  AlignedAlloc() noexcept = default;
+  template <typename U>
+  AlignedAlloc(const AlignedAlloc<U, Alignment>&) noexcept {}  // NOLINT
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAlloc<U, Alignment>&) const noexcept {
+    return true;
+  }
+};
+
+/// Cache-line-aligned storage for per-row uint8 bin codes.
+using AlignedCodeVector = std::vector<std::uint8_t, AlignedAlloc<std::uint8_t, 64>>;
+
+/// Cache-line-aligned double buffers (kernel weight/histogram scratch).
+using AlignedDoubleVector = std::vector<double, AlignedAlloc<double, 64>>;
+
+}  // namespace nevermind::ml

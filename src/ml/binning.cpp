@@ -1,9 +1,10 @@
 #include "ml/binning.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cmath>
 #include <limits>
+
+#include "ml/simd.hpp"
 
 namespace nevermind::ml {
 
@@ -132,8 +133,10 @@ void bin_categorical(const ColumnView& col, std::size_t max_finite,
 BinnedColumns::BinnedColumns(const DatasetView& data, const BinningConfig& config,
                              std::span<const std::size_t> only,
                              const exec::ExecContext& exec)
-    : n_rows_(data.n_rows()), columns_(data.n_cols()) {
-  const std::size_t max_bins = std::min<std::size_t>(config.max_bins, 256);
+    : n_rows_(data.n_rows()),
+      max_bins_(std::min<std::size_t>(config.max_bins, 256)),
+      columns_(data.n_cols()) {
+  const std::size_t max_bins = max_bins_;
   const std::size_t max_finite = max_bins > 1 ? max_bins - 1 : 1;
 
   std::vector<std::size_t> all;
@@ -156,114 +159,6 @@ BinnedColumns::BinnedColumns(const DatasetView& data, const BinningConfig& confi
   });
 }
 
-namespace {
-
-struct WeightPair {
-  double pos = 0.0;
-  double neg = 0.0;
-
-  void add(bool positive, double w) noexcept {
-    if (positive) {
-      pos += w;
-    } else {
-      neg += w;
-    }
-  }
-  WeightPair operator-(const WeightPair& o) const noexcept {
-    return {pos - o.pos, neg - o.neg};
-  }
-};
-
-double block_z(const WeightPair& w) noexcept {
-  const double p = std::max(w.pos, 0.0);
-  const double n = std::max(w.neg, 0.0);
-  return 2.0 * std::sqrt(p * n);
-}
-
-double block_score(const WeightPair& w, double eps) noexcept {
-  return 0.5 * std::log((std::max(w.pos, 0.0) + eps) /
-                        (std::max(w.neg, 0.0) + eps));
-}
-
-/// One weight histogram per feature: a single sequential pass over the
-/// uint8 codes, then a scan over at most 256 bins.
-BinnedStumpResult scan_feature(const BinnedColumns::Column& col,
-                               std::span<const std::uint8_t> labels,
-                               std::span<const double> weights,
-                               std::span<const std::uint32_t> rows,
-                               double smoothing, std::size_t feature) {
-  std::array<WeightPair, 256> hist{};
-  const std::uint8_t* codes = col.codes.data();
-  if (rows.empty()) {
-    for (std::size_t r = 0; r < col.codes.size(); ++r) {
-      hist[codes[r]].add(labels[r] != 0, weights[r]);
-    }
-  } else {
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const std::uint32_t r = rows[i];
-      hist[codes[r]].add(labels[r] != 0, weights[i]);
-    }
-  }
-
-  const std::size_t n_finite = col.n_finite;
-  WeightPair present;
-  for (std::size_t b = 0; b < n_finite; ++b) {
-    present.pos += hist[b].pos;
-    present.neg += hist[b].neg;
-  }
-  const WeightPair missing = hist[n_finite];
-  const double z_missing = block_z(missing);
-
-  BinnedStumpResult best;
-  best.z = std::numeric_limits<double>::infinity();
-  best.stump.feature = feature;
-  best.stump.categorical = col.categorical;
-
-  if (col.categorical) {
-    for (std::size_t g = 0; g < col.category_values.size(); ++g) {
-      const WeightPair equal = hist[g];
-      const WeightPair rest = present - equal;
-      const double z = block_z(equal) + block_z(rest) + z_missing;
-      if (z < best.z) {
-        best.z = z;
-        best.split_bin = static_cast<int>(g);
-        best.stump.threshold = col.category_values[g];
-        best.stump.score_pass = block_score(equal, smoothing);
-        best.stump.score_fail = block_score(rest, smoothing);
-        best.stump.score_missing = block_score(missing, smoothing);
-      }
-    }
-    return best;
-  }
-
-  const auto consider = [&](float threshold, int split_bin,
-                            const WeightPair& below) {
-    const WeightPair above = present - below;
-    const double z = block_z(below) + block_z(above) + z_missing;
-    if (z < best.z) {
-      best.z = z;
-      best.split_bin = split_bin;
-      best.stump.threshold = threshold;
-      best.stump.score_fail = block_score(below, smoothing);
-      best.stump.score_pass = block_score(above, smoothing);
-      best.stump.score_missing = block_score(missing, smoothing);
-    }
-  };
-
-  // The no-split stump (all present rows pass) first, matching the
-  // exact scan's candidate order.
-  consider(-std::numeric_limits<float>::infinity(), -1, WeightPair{});
-  WeightPair below;
-  for (std::size_t b = 0; b + 1 < n_finite; ++b) {
-    below.pos += hist[b].pos;
-    below.neg += hist[b].neg;
-    consider(col.split_values[b], static_cast<int>(b), below);
-  }
-  return best;
-}
-
-}  // namespace
-
 BinnedStumpResult find_best_stump_binned(const BinnedColumns& bins,
                                          std::span<const std::uint8_t> labels,
                                          std::span<const double> weights,
@@ -272,19 +167,51 @@ BinnedStumpResult find_best_stump_binned(const BinnedColumns& bins,
                                          const exec::ExecContext& exec) {
   BinnedStumpResult init;
   init.z = std::numeric_limits<double>::infinity();
+
+  // Resolve the kernel arm once per search so a concurrent set_mode
+  // cannot mix arms inside one reduce (harmless for results — the arms
+  // are byte-identical — but it would skew benchmarks).
+  const simd::Kernel kernel = simd::active_kernel();
+
+  simd::ScanArgs args;
+  args.bins = &bins;
+  args.labels = labels;
+  args.weights = weights;
+  args.rows = rows;
+  args.smoothing = smoothing;
+
+  // The AVX2 arm wants the interleaved label-selected (pos, neg) weight
+  // stream; hoist it here so it is built once per search, not once per
+  // chunk. Selection (not arithmetic), so values equal the scalar arm's
+  // w * label bit for bit.
+  AlignedDoubleVector wpn;
+  if (kernel == simd::Kernel::kAvx2) {
+    const std::size_t n = weights.size();
+    wpn.resize(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t r =
+          rows.empty() ? static_cast<std::uint32_t>(i) : rows[i];
+      const bool positive = labels[r] != 0;
+      wpn[2 * i] = positive ? weights[i] : 0.0;
+      wpn[2 * i + 1] = positive ? 0.0 : weights[i];
+    }
+    args.wpn = wpn;
+  }
+
+  // One chunk per thread (not the default fine grain): wide chunks let
+  // the AVX2 arm amortize each pass over the rows across many feature
+  // histograms. Per-feature results are chunk-independent, so the
+  // ordered reduce still picks the serial winner.
+  const std::size_t threads = std::max<std::size_t>(exec.threads(), 1);
+  const std::size_t grain =
+      std::max<std::size_t>(1, (bins.n_cols() + threads - 1) / threads);
+
   // Strict `<` in-chunk and `chunk < acc` across chunks: ties resolve
   // to the lowest bin/feature index, the serial scan's winner.
   return exec.parallel_reduce(
-      0, bins.n_cols(), 0, init,
+      0, bins.n_cols(), grain, init,
       [&](std::size_t b, std::size_t e) {
-        BinnedStumpResult best;
-        best.z = std::numeric_limits<double>::infinity();
-        for (std::size_t j = b; j < e; ++j) {
-          BinnedStumpResult candidate = scan_feature(
-              bins.column(j), labels, weights, rows, smoothing, j);
-          if (candidate.z < best.z) best = candidate;
-        }
-        return best;
+        return simd::scan_features(kernel, args, b, e);
       },
       [](BinnedStumpResult acc, BinnedStumpResult chunk) {
         return chunk.z < acc.z ? chunk : acc;

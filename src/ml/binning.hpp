@@ -16,12 +16,14 @@
 // trouble locator's 52 one-vs-rest tasks (one matrix, per-task labels).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "exec/exec.hpp"
+#include "ml/aligned.hpp"
 #include "ml/dataset.hpp"
 #include "ml/stump.hpp"
 
@@ -49,8 +51,10 @@ class BinnedColumns {
     /// Finite bins are codes 0..n_finite-1 in ascending value order;
     /// code n_finite is the missing bin.
     std::uint16_t n_finite = 0;
-    /// One code per row of the source view.
-    std::vector<std::uint8_t> codes;
+    /// One code per row of the source view. Cache-line aligned: the
+    /// kernel arms stream these, and the nmarena bin section keeps the
+    /// same alignment discipline on load.
+    AlignedCodeVector codes;
     /// Continuous columns: split_values[b] is the stump threshold
     /// between bin b and b+1 (size n_finite - 1) — the same midpoint
     /// float the exact scan computes between adjacent observed values.
@@ -68,14 +72,26 @@ class BinnedColumns {
     }
   };
 
+  /// Rehydrates a quantization computed elsewhere (the nmarena bin-code
+  /// section): columns must already carry codes of length `n_rows`.
+  BinnedColumns(std::size_t n_rows, std::size_t max_bins,
+                std::vector<Column> columns)
+      : n_rows_(n_rows),
+        max_bins_(std::min<std::size_t>(max_bins, 256)),
+        columns_(std::move(columns)) {}
+
   [[nodiscard]] std::size_t n_rows() const noexcept { return n_rows_; }
   [[nodiscard]] std::size_t n_cols() const noexcept { return columns_.size(); }
+  /// The max_bins this quantization was built with — stored artefact
+  /// bins are only substitutable when this matches the requested config.
+  [[nodiscard]] std::size_t max_bins() const noexcept { return max_bins_; }
   [[nodiscard]] const Column& column(std::size_t j) const {
     return columns_.at(j);
   }
 
  private:
   std::size_t n_rows_ = 0;
+  std::size_t max_bins_ = 256;
   std::vector<Column> columns_;
 };
 

@@ -30,7 +30,12 @@ namespace nevermind::ml {
 namespace {
 
 constexpr char kMagic[8] = {'N', 'M', 'A', 'R', 'E', 'N', 'A', '\0'};
-constexpr std::uint32_t kVersion = 1;
+/// v1: payload | labels | aux | meta. v2: v1 plus a trailing bin-code
+/// section. A bin-less v2 write is forbidden by construction — writers
+/// pick the version from whether set_bins was called, so files written
+/// without bins stay byte-identical to pre-v2 builds.
+constexpr std::uint32_t kVersionV1 = 1;
+constexpr std::uint32_t kVersionBins = 2;
 constexpr std::uint32_t kEndianTag = 0x01020304;
 constexpr std::uint64_t kPayloadOffset = 128;  // preamble 16 + header 112
 constexpr std::uint64_t kHeaderChecksumSpan = 120;  // bytes hashed into it
@@ -69,9 +74,10 @@ struct Header {
 };
 static_assert(sizeof(Header) == 112, "header layout is part of the format");
 
-void encode_head_block(const Header& header, unsigned char out[128]) {
+void encode_head_block(const Header& header, std::uint32_t version,
+                       unsigned char out[128]) {
   std::memcpy(out, kMagic, 8);
-  std::memcpy(out + 8, &kVersion, 4);
+  std::memcpy(out + 8, &version, 4);
   std::memcpy(out + 12, &kEndianTag, 4);
   std::memcpy(out + 16, &header, sizeof(Header));
   const std::uint64_t checksum = fnv1a(out, kHeaderChecksumSpan);
@@ -108,6 +114,91 @@ std::string encode_meta_section(const std::vector<ColumnInfo>& columns,
   append_u32(out, static_cast<std::uint32_t>(meta.size()));
   out.append(meta);
   return out;
+}
+
+/// Serialized v2 bin-code section content (checksummed separately from
+/// the meta section): u32 max_bins, u32 n_cols, then per column a u8
+/// flag byte (bit0 categorical, bit1 overflow), u16 n_finite, the
+/// length-prefixed split/category float lists, and n_rows uint8 codes.
+std::string encode_bins_section(const BinnedColumns& bins) {
+  std::string out;
+  append_u32(out, static_cast<std::uint32_t>(bins.max_bins()));
+  append_u32(out, static_cast<std::uint32_t>(bins.n_cols()));
+  for (std::size_t j = 0; j < bins.n_cols(); ++j) {
+    const BinnedColumns::Column& col = bins.column(j);
+    const std::uint8_t flags = static_cast<std::uint8_t>(
+        (col.categorical ? 1U : 0U) | (col.overflow ? 2U : 0U));
+    out.push_back(static_cast<char>(flags));
+    append_u16(out, col.n_finite);
+    append_u32(out, static_cast<std::uint32_t>(col.split_values.size()));
+    out.append(reinterpret_cast<const char*>(col.split_values.data()),
+               col.split_values.size() * sizeof(float));
+    append_u32(out, static_cast<std::uint32_t>(col.category_values.size()));
+    out.append(reinterpret_cast<const char*>(col.category_values.data()),
+               col.category_values.size() * sizeof(float));
+    out.append(reinterpret_cast<const char*>(col.codes.data()),
+               col.codes.size());
+  }
+  return out;
+}
+
+/// Cursor-checked parse + validation of a v2 bin-code section. Nullopt
+/// on overrun, trailing garbage, dimensions that disagree with the
+/// header, or codes outside a column's bin range.
+std::optional<BinnedColumns> parse_bins_section(std::span<const char> bytes,
+                                                std::size_t n_rows,
+                                                std::size_t n_cols_expected) {
+  std::size_t pos = 0;
+  const auto take = [&](void* dst, std::size_t n) {
+    if (n == 0) return true;  // empty float lists have a null data()
+    if (bytes.size() - pos < n) return false;
+    std::memcpy(dst, bytes.data() + pos, n);
+    pos += n;
+    return true;
+  };
+  std::uint32_t max_bins = 0;
+  std::uint32_t n_cols = 0;
+  if (!take(&max_bins, 4) || !take(&n_cols, 4)) return std::nullopt;
+  if (max_bins == 0 || max_bins > 256 || n_cols != n_cols_expected) {
+    return std::nullopt;
+  }
+  std::vector<BinnedColumns::Column> columns(n_cols);
+  for (std::uint32_t j = 0; j < n_cols; ++j) {
+    BinnedColumns::Column& col = columns[j];
+    std::uint8_t flags = 0;
+    std::uint16_t n_finite = 0;
+    std::uint32_t n_split = 0;
+    std::uint32_t n_cat = 0;
+    if (!take(&flags, 1) || (flags & ~std::uint8_t{3}) != 0 ||
+        !take(&n_finite, 2) || n_finite > 255) {
+      return std::nullopt;
+    }
+    col.categorical = (flags & 1) != 0;
+    col.overflow = (flags & 2) != 0;
+    col.n_finite = n_finite;
+    if (!take(&n_split, 4)) return std::nullopt;
+    const std::uint32_t want_split =
+        col.categorical ? 0U : (n_finite > 0 ? n_finite - 1U : 0U);
+    if (n_split != want_split) return std::nullopt;
+    col.split_values.resize(n_split);
+    if (!take(col.split_values.data(), n_split * sizeof(float))) {
+      return std::nullopt;
+    }
+    if (!take(&n_cat, 4)) return std::nullopt;
+    if (col.categorical ? n_cat > n_finite : n_cat != 0) return std::nullopt;
+    col.category_values.resize(n_cat);
+    if (!take(col.category_values.data(), n_cat * sizeof(float))) {
+      return std::nullopt;
+    }
+    if (bytes.size() - pos < n_rows) return std::nullopt;
+    col.codes.assign(bytes.data() + pos, bytes.data() + pos + n_rows);
+    pos += n_rows;
+    for (const std::uint8_t code : col.codes) {
+      if (code > n_finite) return std::nullopt;  // past the missing bin
+    }
+  }
+  if (pos != bytes.size()) return std::nullopt;  // trailing garbage
+  return BinnedColumns(n_rows, max_bins, std::move(columns));
 }
 
 struct MetaSection {
@@ -214,6 +305,7 @@ const char* store_error_name(StoreError e) noexcept {
     case StoreError::kMalformedHeader: return "malformed-header";
     case StoreError::kMalformedMeta: return "malformed-meta";
     case StoreError::kRowCountMismatch: return "row-count-mismatch";
+    case StoreError::kMalformedBins: return "malformed-bins";
   }
   return "?";
 }
@@ -312,6 +404,18 @@ void ArenaStreamWriter::add_aux(const std::string& name,
   aux_.emplace_back(values.begin(), values.end());
 }
 
+void ArenaStreamWriter::set_bins(const BinnedColumns& bins) {
+  if (finished_) {
+    throw std::logic_error("ArenaStreamWriter::set_bins after finish");
+  }
+  if (bins.n_rows() != n_rows_ || bins.n_cols() != columns_.size()) {
+    throw std::logic_error(
+        "ArenaStreamWriter::set_bins: bins do not cover the declared matrix");
+  }
+  bins_section_ = encode_bins_section(bins);
+  has_bins_ = true;
+}
+
 StoreStatus ArenaStreamWriter::finish() {
   if (finished_) {
     throw std::logic_error("ArenaStreamWriter::finish called twice");
@@ -366,8 +470,19 @@ StoreStatus ArenaStreamWriter::finish() {
       io_failed_ = std::fwrite(meta_section.data(), 1, meta_section.size(),
                                f) != meta_section.size();
     }
+    if (!io_failed_ && has_bins_) {
+      // v2 trailing section: [u64 size][u64 checksum][content], right
+      // after the meta section (file position is already there).
+      const std::uint64_t bins_size = bins_section_.size();
+      const std::uint64_t bins_checksum =
+          fnv1a(bins_section_.data(), bins_section_.size());
+      io_failed_ = std::fwrite(&bins_size, 8, 1, f) != 1 ||
+                   std::fwrite(&bins_checksum, 8, 1, f) != 1 ||
+                   std::fwrite(bins_section_.data(), 1, bins_section_.size(),
+                               f) != bins_section_.size();
+    }
     unsigned char head[kPayloadOffset];
-    encode_head_block(header, head);
+    encode_head_block(header, has_bins_ ? kVersionBins : kVersionV1, head);
     io_failed_ = io_failed_ || ::fseeko(f, 0, SEEK_SET) != 0 ||
                  std::fwrite(head, 1, sizeof(head), f) != sizeof(head) ||
                  std::fflush(f) != 0;
@@ -428,10 +543,10 @@ std::optional<StoredArena> load_arena(const std::string& path,
   std::uint32_t endian_tag = 0;
   std::memcpy(&version, head + 8, 4);
   std::memcpy(&endian_tag, head + 12, 4);
-  if (version != kVersion) {
+  if (version != kVersionV1 && version != kVersionBins) {
     fail(status, StoreError::kBadVersion,
          path + " is nmarena v" + std::to_string(version) +
-             "; this build reads v1");
+             "; this build reads v1 and v2");
     return std::nullopt;
   }
   if (endian_tag != kEndianTag) {
@@ -471,11 +586,48 @@ std::optional<StoredArena> load_arena(const std::string& path,
          "inconsistent section layout in " + path);
     return std::nullopt;
   }
-  const std::uint64_t expected_end = header.meta_offset + header.meta_size;
+  std::uint64_t expected_end = header.meta_offset + header.meta_size;
+  std::uint64_t bins_offset = 0;
+  std::uint64_t bins_size = 0;
+  std::uint64_t bins_checksum = 0;
+  if (version == kVersionBins) {
+    // The v2 bins subheader sits right after the meta section.
+    if (file_size < expected_end + 16) {
+      fail(status, StoreError::kShortFile,
+           path + " is " + std::to_string(file_size) +
+               " bytes but declares a v2 bins subheader at " +
+               std::to_string(expected_end));
+      return std::nullopt;
+    }
+    unsigned char bins_head[16];
+    if (!pread_all(file.fd, bins_head, sizeof(bins_head), expected_end)) {
+      fail(status, StoreError::kIoError,
+           "cannot read bins subheader of " + path);
+      return std::nullopt;
+    }
+    std::memcpy(&bins_size, bins_head, 8);
+    std::memcpy(&bins_checksum, bins_head + 8, 8);
+    if (bins_size > (std::uint64_t{1} << 40)) {
+      fail(status, StoreError::kMalformedBins,
+           "implausible bins section size in " + path);
+      return std::nullopt;
+    }
+    bins_offset = expected_end + 16;
+    expected_end = bins_offset + bins_size;
+  }
   if (file_size < expected_end) {
     fail(status, StoreError::kShortFile,
          path + " is " + std::to_string(file_size) + " bytes but declares " +
              std::to_string(expected_end));
+    return std::nullopt;
+  }
+  if (file_size != expected_end) {
+    // Strict end for every version: v1 files cannot carry trailing
+    // (unverified) bytes — a would-be bins section on a v1 file is a
+    // malformed artefact, not an ignorable extension.
+    fail(status, StoreError::kMalformedHeader,
+         path + " has " + std::to_string(file_size - expected_end) +
+             " trailing bytes past its declared sections");
     return std::nullopt;
   }
 
@@ -523,6 +675,30 @@ std::optional<StoredArena> load_arena(const std::string& path,
   out.aux_names = std::move(meta->aux_names);
   out.aux = std::move(aux);
   out.meta = std::move(meta->meta);
+
+  if (version == kVersionBins) {
+    // Bins are always copied out into aligned heap vectors (the kernel
+    // arms want 64-byte-aligned code streams; the file section makes no
+    // alignment promise), so eager and mapped loads share this path.
+    std::vector<char> bins_bytes(bins_size);
+    if (bins_size > 0 && !pread_all(file.fd, bins_bytes.data(),
+                                    bins_bytes.size(), bins_offset)) {
+      fail(status, StoreError::kIoError, "cannot read bins section of " + path);
+      return std::nullopt;
+    }
+    if (fnv1a(bins_bytes.data(), bins_bytes.size()) != bins_checksum) {
+      fail(status, StoreError::kChecksumMismatch,
+           "bins section checksum mismatch in " + path);
+      return std::nullopt;
+    }
+    auto bins = parse_bins_section(bins_bytes, n_rows, n_cols);
+    if (!bins.has_value()) {
+      fail(status, StoreError::kMalformedBins,
+           "bins section of " + path + " does not parse");
+      return std::nullopt;
+    }
+    out.bins = std::make_shared<const BinnedColumns>(std::move(*bins));
+  }
 
   if (options.mode == ArenaLoadMode::kEager) {
     std::vector<std::uint8_t> labels(n_rows);
@@ -599,7 +775,7 @@ std::optional<StoredArena> load_arena(const std::string& path,
 StoreStatus save_arena(const std::string& path, const FeatureArena& arena,
                        std::span<const std::string> aux_names,
                        std::span<const std::vector<std::uint32_t>> aux,
-                       const std::string& meta) {
+                       const std::string& meta, const BinnedColumns* bins) {
   ArenaStreamWriter writer(path, arena.columns(), arena.n_rows());
   std::vector<float> row(arena.n_cols());
   for (std::size_t r = 0; r < arena.n_rows(); ++r) {
@@ -612,6 +788,7 @@ StoreStatus save_arena(const std::string& path, const FeatureArena& arena,
     writer.add_aux(aux_names[a], aux[a]);
   }
   writer.set_meta(meta);
+  if (bins != nullptr) writer.set_bins(*bins);
   return writer.finish();
 }
 

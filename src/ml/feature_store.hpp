@@ -1,4 +1,4 @@
-// Persistent columnar feature store: the "nmarena v1" binary artefact
+// Persistent columnar feature store: the "nmarena" binary artefact
 // (extending the nmkernel/nmlocator artefact taxonomy) plus a portable
 // text fallback ("nmdataset v1").
 //
@@ -18,6 +18,17 @@
 //               payload checksum), aux names, and an opaque caller blob
 //               (the features layer stores the encoder configuration
 //               there)
+//   bins        v2 only: [u64 size][u64 FNV-1a checksum][content] — the
+//               histogram-path quantization (per-column bin metadata
+//               plus one uint8 code per row), so training from a loaded
+//               artefact can skip re-binning entirely. Writers emit v1
+//               when no bins are attached (existing artefacts stay
+//               byte-identical) and v2 otherwise; v1-only readers
+//               reject v2 files with kBadVersion. Both versions are
+//               strict about their end: a file longer than its declared
+//               sections is kMalformedHeader, so v1 files cannot smuggle
+//               an unverified bins section past an old reader. The text
+//               fallback never carries bins (it re-bins on use).
 //
 // All integers and floats are little-endian; the build refuses exotic
 // hosts at compile time and the reader refuses foreign files at run
@@ -40,11 +51,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "ml/binning.hpp"
 #include "ml/dataset.hpp"
 
 namespace nevermind::ml {
@@ -64,6 +77,7 @@ enum class StoreError : std::uint8_t {
   kMalformedHeader,   // header fields internally inconsistent
   kMalformedMeta,     // metadata section does not parse
   kRowCountMismatch,  // writer finished with a different row count
+  kMalformedBins,     // v2 bin-code section does not parse / validate
 };
 
 [[nodiscard]] const char* store_error_name(StoreError e) noexcept;
@@ -81,6 +95,10 @@ struct StoredArena {
   std::vector<std::string> aux_names;
   std::vector<std::vector<std::uint32_t>> aux;  // each n_rows() long
   std::string meta;
+  /// v2 artefacts only: the stored histogram-path quantization (always
+  /// materialized into aligned heap vectors, even under mmap loads).
+  /// Null for v1 files and the text fallback.
+  std::shared_ptr<const BinnedColumns> bins;
 };
 
 /// Streaming nmarena writer: rows are appended in encode order and
@@ -111,6 +129,14 @@ class ArenaStreamWriter {
   /// declared row count.
   void add_aux(const std::string& name, std::span<const std::uint32_t> values);
 
+  /// Attaches the histogram-path quantization: the artefact is written
+  /// as nmarena v2 with a trailing bin-code section (without this call
+  /// the writer emits v1, byte-identical to previous builds). The bins
+  /// must cover exactly the declared matrix (n_rows x n_cols) and are
+  /// serialized immediately, so the reference need not outlive the
+  /// call. Throws std::logic_error on misuse.
+  void set_bins(const BinnedColumns& bins);
+
   /// Flushes the tail chunk, writes labels/aux/meta and the final
   /// header, and closes the file. Returns the first error encountered.
   [[nodiscard]] StoreStatus finish();
@@ -135,6 +161,8 @@ class ArenaStreamWriter {
   std::vector<std::string> aux_names_;
   std::vector<std::vector<std::uint32_t>> aux_;
   std::string meta_;
+  std::string bins_section_;  // serialized by set_bins; empty = write v1
+  bool has_bins_ = false;
   void* file_ = nullptr;  // std::FILE*, opaque to keep <cstdio> out
 };
 
@@ -148,18 +176,19 @@ struct ArenaLoadOptions {
   bool verify_payload = false;
 };
 
-/// Load an nmarena v1 file. Returns nullopt with `status` filled on any
-/// failure; never throws on malformed input.
+/// Load an nmarena v1/v2 file. Returns nullopt with `status` filled on
+/// any failure; never throws on malformed input.
 [[nodiscard]] std::optional<StoredArena> load_arena(
     const std::string& path, const ArenaLoadOptions& options = {},
     StoreStatus* status = nullptr);
 
 /// Convenience non-streaming save of an in-memory arena (tests/tools).
+/// Passing `bins` writes a v2 artefact with the bin-code section.
 [[nodiscard]] StoreStatus save_arena(
     const std::string& path, const FeatureArena& arena,
     std::span<const std::string> aux_names = {},
     std::span<const std::vector<std::uint32_t>> aux = {},
-    const std::string& meta = {});
+    const std::string& meta = {}, const BinnedColumns* bins = nullptr);
 
 /// Portable text fallback ("nmdataset v1"): same contents as the binary
 /// artefact, floats at max_digits10 so binary32 values round-trip bit

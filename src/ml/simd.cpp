@@ -1,0 +1,171 @@
+#include "ml/simd.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "ml/simd_internal.hpp"
+
+namespace nevermind::ml::simd {
+
+namespace {
+
+/// Dispatch preference; -1 until first read (then the env default or an
+/// explicit set_mode sticks). Relaxed atomics: the value is a plain
+/// flag, no data is published through it.
+std::atomic<int> g_mode{-1};
+
+}  // namespace
+
+bool cpu_supports_avx2() noexcept {
+#if defined(NEVERMIND_HAVE_AVX2)
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+Mode mode() noexcept {
+  int m = g_mode.load(std::memory_order_relaxed);
+  if (m < 0) {
+    Mode env = Mode::kAuto;
+    if (const char* text = std::getenv("NEVERMIND_SIMD")) {
+      if (const auto parsed = parse_mode(text)) env = *parsed;
+    }
+    int expected = -1;
+    g_mode.compare_exchange_strong(expected, static_cast<int>(env),
+                                   std::memory_order_relaxed);
+    m = g_mode.load(std::memory_order_relaxed);
+  }
+  return static_cast<Mode>(m);
+}
+
+void set_mode(Mode m) noexcept {
+  g_mode.store(static_cast<int>(m), std::memory_order_relaxed);
+}
+
+std::optional<Mode> parse_mode(std::string_view text) noexcept {
+  if (text == "auto") return Mode::kAuto;
+  if (text == "scalar") return Mode::kScalar;
+  if (text == "avx2") return Mode::kAvx2;
+  return std::nullopt;
+}
+
+const char* mode_name(Mode m) noexcept {
+  switch (m) {
+    case Mode::kAuto: return "auto";
+    case Mode::kScalar: return "scalar";
+    case Mode::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+const char* kernel_name(Kernel k) noexcept {
+  switch (k) {
+    case Kernel::kScalar: return "scalar";
+    case Kernel::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+Kernel active_kernel() noexcept {
+  switch (mode()) {
+    case Mode::kScalar: return Kernel::kScalar;
+    case Mode::kAvx2:
+    case Mode::kAuto:
+      return cpu_supports_avx2() ? Kernel::kAvx2 : Kernel::kScalar;
+  }
+  return Kernel::kScalar;
+}
+
+BinnedStumpResult scan_features(Kernel kernel, const ScanArgs& args,
+                                std::size_t first, std::size_t last) {
+#if defined(NEVERMIND_HAVE_AVX2)
+  if (kernel == Kernel::kAvx2 && cpu_supports_avx2()) {
+    return detail::scan_features_avx2(args, first, last);
+  }
+#else
+  (void)kernel;
+#endif
+  return detail::scan_features_scalar(args, first, last);
+}
+
+namespace detail {
+
+/// Portable fallback arm. One feature per pass; the per-row label
+/// branch of the old scan is gone — weights route into the pos/neg
+/// histograms arithmetically (w * label and w * (1 - label), both
+/// bit-identical to the branchy add because the unused side contributes
+/// +0.0 to a non-negative accumulator).
+BinnedStumpResult scan_features_scalar(const ScanArgs& args,
+                                       std::size_t first, std::size_t last) {
+  const BinnedColumns& bins = *args.bins;
+  const std::span<const std::uint8_t> labels = args.labels;
+  const std::span<const double> weights = args.weights;
+  const std::span<const std::uint32_t> rows = args.rows;
+
+  BinnedStumpResult best;
+  best.z = std::numeric_limits<double>::infinity();
+
+  alignas(64) std::array<double, kLanes * 2 * kMaxBins> lanes;
+  alignas(64) std::array<double, 2 * kMaxBins> merged;
+  Candidates cand;
+
+  for (std::size_t j = first; j < last; ++j) {
+    const BinnedColumns::Column& col = bins.column(j);
+    const std::size_t nb2 = interleaved_bins(col);
+    const std::size_t stride = lane_stride(col);
+    std::fill_n(lanes.data(), kLanes * stride, 0.0);
+
+    const std::uint8_t* codes = col.codes.data();
+    if (rows.empty()) {
+      const std::size_t n = weights.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        const double w = weights[i];
+        const double lab = labels[i] != 0 ? 1.0 : 0.0;
+        const double wp = w * lab;
+        const double wn = w * (1.0 - lab);
+        double* h = lanes.data() + (i & (kLanes - 1)) * stride +
+                    2 * static_cast<std::size_t>(codes[i]);
+        h[0] += wp;
+        h[1] += wn;
+      }
+    } else {
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const std::uint32_t r = rows[i];
+        const double w = weights[i];
+        const double lab = labels[r] != 0 ? 1.0 : 0.0;
+        const double wp = w * lab;
+        const double wn = w * (1.0 - lab);
+        double* h = lanes.data() + (i & (kLanes - 1)) * stride +
+                    2 * static_cast<std::size_t>(codes[r]);
+        h[0] += wp;
+        h[1] += wn;
+      }
+    }
+
+    // Fixed lane order; this is the canonical merge both arms share.
+    for (std::size_t k = 0; k < nb2; ++k) {
+      merged[k] = ((lanes[k] + lanes[stride + k]) + lanes[2 * stride + k]) +
+                  lanes[3 * stride + k];
+    }
+
+    build_candidates(col, merged.data(), cand);
+    for (std::size_t k = 0; k < cand.count; ++k) {
+      cand.z[k] = (block_z(cand.pos[k], cand.neg[k]) +
+                   block_z(cand.present_pos - cand.pos[k],
+                           cand.present_neg - cand.neg[k])) +
+                  cand.z_missing;
+    }
+    const BinnedStumpResult candidate =
+        pick_winner(col, cand, args.smoothing, j);
+    if (candidate.z < best.z) best = candidate;
+  }
+  return best;
+}
+
+}  // namespace detail
+
+}  // namespace nevermind::ml::simd

@@ -1,0 +1,95 @@
+// Runtime-dispatched kernels for the histogram training path.
+//
+// Two interchangeable kernel arms scan binned features for the best
+// stump:
+//   * scalar — portable fallback: one feature per pass, branchless
+//     accumulation into split pos/neg histograms (w * label arithmetic
+//     instead of a per-row branch);
+//   * avx2 — AVX2+FMA build of the same math: an interleaved
+//     label-selected (pos, neg) weight stream precomputed once per
+//     round, several feature histograms built per pass over the rows
+//     (weights are loaded once per row block instead of once per
+//     feature), each row's histogram update a single 128-bit paired
+//     add, and vectorized lane merge and split evaluation.
+//
+// Both arms accumulate into kLanes per-lane partial histograms (stream
+// position i feeds lane i % kLanes) and merge them in fixed lane order
+// ((l0 + l1) + l2) + l3, so the floating-point sum order is a property
+// of the *data*, not of the kernel: scalar and AVX2 results are
+// byte-identical, and the PR 1/2 determinism contract (byte-identical
+// ensembles at any thread count) carries over unchanged.
+//
+// Dispatch: the active arm is chosen from an explicit override
+// (set_mode / --simd / NEVERMIND_SIMD env var) or, under kAuto, from a
+// runtime CPUID probe for AVX2+FMA. Builds without AVX2 codegen
+// support compile the scalar arm only and report kAvx2 unavailable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "ml/binning.hpp"
+
+namespace nevermind::ml::simd {
+
+/// User-facing dispatch preference.
+enum class Mode : std::uint8_t { kAuto = 0, kScalar, kAvx2 };
+
+/// Resolved kernel arm.
+enum class Kernel : std::uint8_t { kScalar = 0, kAvx2 };
+
+/// True when this build carries the AVX2 arm *and* the CPU reports
+/// AVX2+FMA. Probed once, then cached.
+[[nodiscard]] bool cpu_supports_avx2() noexcept;
+
+/// Current dispatch preference. Starts from the NEVERMIND_SIMD
+/// environment variable ("auto" | "scalar" | "avx2", default auto)
+/// until set_mode overrides it.
+[[nodiscard]] Mode mode() noexcept;
+
+/// Overrides the dispatch preference process-wide (the CLI's --simd).
+/// kAvx2 on a host without AVX2 support falls back to scalar at
+/// resolution time rather than faulting.
+void set_mode(Mode m) noexcept;
+
+/// Parses "auto" | "scalar" | "avx2"; nullopt on anything else.
+[[nodiscard]] std::optional<Mode> parse_mode(std::string_view text) noexcept;
+
+[[nodiscard]] const char* mode_name(Mode m) noexcept;
+[[nodiscard]] const char* kernel_name(Kernel k) noexcept;
+
+/// The arm the next binned search will run: resolves kAuto (and an
+/// unsatisfiable kAvx2 request) against cpu_supports_avx2().
+[[nodiscard]] Kernel active_kernel() noexcept;
+
+/// Shared argument block of the per-chunk kernel entry point. `labels`
+/// spans the full source view; `weights[i]` belongs to subset position
+/// i (`rows` empty means the subset is every view row). `wpn` is the
+/// interleaved label-selected weight stream — wpn[2i] = weights[i] when
+/// labels[row(i)] != 0 else +0.0, wpn[2i+1] the reverse — precomputed
+/// once per search by the caller for the AVX2 arm, 16-byte aligned so
+/// each (pos, neg) pair loads as one 128-bit vector; the scalar arm
+/// ignores it, and an empty/mis-sized span makes the AVX2 arm build its
+/// own (selection, not arithmetic, so values stay bit-equal).
+struct ScanArgs {
+  const BinnedColumns* bins = nullptr;
+  std::span<const std::uint8_t> labels;
+  std::span<const double> weights;
+  std::span<const std::uint32_t> rows;
+  std::span<const double> wpn;
+  double smoothing = 0.0;
+};
+
+/// Scans features [first, last) of args.bins with the requested arm and
+/// returns the chunk's best result (ties to the lowest bin/feature
+/// index, exactly like the serial scan). Both arms return byte-identical
+/// results for identical inputs.
+[[nodiscard]] BinnedStumpResult scan_features(Kernel kernel,
+                                              const ScanArgs& args,
+                                              std::size_t first,
+                                              std::size_t last);
+
+}  // namespace nevermind::ml::simd

@@ -1,0 +1,241 @@
+// AVX2+FMA arm of the binned stump search. Compiled as its own TU with
+// -mavx2 -mfma (see src/ml/CMakeLists.txt); only reached after a
+// runtime CPUID probe, so the rest of the library stays baseline
+// x86-64.
+//
+// Where the time goes, and what this arm changes versus scalar:
+//   * the label branch and multiply are hoisted out of the row loop
+//     entirely — an interleaved (pos, neg) label-selected weight stream
+//     is built once per search (selection, not arithmetic, so values
+//     are bit-equal);
+//   * the histogram layout interleaves (pos, neg) per bin and both the
+//     weight pair and the histogram slot are 16-byte aligned, so each
+//     row's update is ONE paired 128-bit load-add-store instead of two
+//     scalar read-modify-write chains (vaddpd adds lane-wise — the same
+//     two IEEE additions the scalar arm performs);
+//   * several feature histograms build per pass over the rows (feature
+//     blocks bounded by scratch size), so the weight stream is read
+//     once per row block instead of once per feature;
+//   * the per-lane partial histograms merge with 256-bit adds in the
+//     fixed ((l0 + l1) + l2) + l3 lane order, and the per-split z
+//     evaluation (max, mul, sqrt — all IEEE-exact instructions) runs
+//     four candidates per iteration.
+// The accumulation order is the canonical one of simd_internal.hpp, so
+// results are byte-identical to the scalar arm.
+#if defined(NEVERMIND_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "ml/aligned.hpp"
+#include "ml/simd_internal.hpp"
+
+namespace nevermind::ml::simd::detail {
+
+namespace {
+
+/// Rows scanned per feature-block pass. A multiple of kLanes, so lane
+/// assignment (stream position mod kLanes) is block-invariant.
+constexpr std::size_t kRowBlock = 4096;
+/// Lane-partial scratch cap per feature block (128 KiB of doubles).
+constexpr std::size_t kMaxScratchDoubles = 16384;
+constexpr std::size_t kMaxFeatureBlock = 16;
+
+static_assert(kRowBlock % kLanes == 0);
+
+}  // namespace
+
+BinnedStumpResult scan_features_avx2(const ScanArgs& args, std::size_t first,
+                                     std::size_t last) {
+  const BinnedColumns& bins = *args.bins;
+  const std::span<const std::uint8_t> labels = args.labels;
+  const std::span<const double> weights = args.weights;
+  const std::span<const std::uint32_t> rows = args.rows;
+  const std::size_t n = weights.size();
+
+  // Interleaved label-selected weight stream; normally precomputed once
+  // per search by find_best_stump_binned, rebuilt here only for direct
+  // kernel calls (tests). Selection keeps values bit-equal to
+  // w * label.
+  AlignedDoubleVector wpn_local;
+  std::span<const double> wpn = args.wpn;
+  if (wpn.size() != 2 * n) {
+    wpn_local.resize(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t r =
+          rows.empty() ? static_cast<std::uint32_t>(i) : rows[i];
+      const bool positive = labels[r] != 0;
+      wpn_local[2 * i] = positive ? weights[i] : 0.0;
+      wpn_local[2 * i + 1] = positive ? 0.0 : weights[i];
+    }
+    wpn = wpn_local;
+  }
+
+  BinnedStumpResult best;
+  best.z = std::numeric_limits<double>::infinity();
+
+  AlignedDoubleVector scratch;
+  alignas(64) std::array<double, 2 * kMaxBins> merged;
+  Candidates cand;
+  std::array<const std::uint8_t*, kMaxFeatureBlock> codes{};
+  std::array<std::size_t, kMaxFeatureBlock> offset{};
+  std::array<std::size_t, kMaxFeatureBlock> stride{};
+
+  std::size_t j = first;
+  while (j < last) {
+    // Greedy feature block under the scratch cap (always >= 1 feature).
+    std::size_t fb = 0;
+    std::size_t total = 0;
+    while (j + fb < last && fb < kMaxFeatureBlock) {
+      const BinnedColumns::Column& col = bins.column(j + fb);
+      const std::size_t s = lane_stride(col);
+      if (fb > 0 && total + kLanes * s > kMaxScratchDoubles) break;
+      codes[fb] = col.codes.data();
+      offset[fb] = total;
+      stride[fb] = s;
+      total += kLanes * s;
+      ++fb;
+    }
+    scratch.assign(total, 0.0);
+
+    // One pass over the rows builds every histogram in the block: the
+    // weight streams stay cache-resident across the block's features.
+    for (std::size_t r0 = 0; r0 < n; r0 += kRowBlock) {
+      const std::size_t r1 = std::min(r0 + kRowBlock, n);
+      for (std::size_t f = 0; f < fb; ++f) {
+        const std::uint8_t* c = codes[f];
+        const std::size_t s = stride[f];
+        double* h0 = scratch.data() + offset[f];
+        double* h1 = h0 + s;
+        double* h2 = h1 + s;
+        double* h3 = h2 + s;
+        const double* w2 = wpn.data();
+        // One paired add per row: the (pos, neg) weight pair meets the
+        // feature's (pos, neg) histogram slot in a single addpd. The
+        // four lanes write disjoint partial histograms, so the unrolled
+        // updates never alias each other.
+        const auto bump = [](double* h, const double* w) {
+          _mm_store_pd(h, _mm_add_pd(_mm_load_pd(h), _mm_loadu_pd(w)));
+        };
+        std::size_t i = r0;
+        if (rows.empty()) {
+          // Eight lane codes load as one qword (the kernel is load-port
+          // bound; byte extraction moves to ALU ports instead), feeding
+          // two rounds of the four-lane update per iteration.
+          for (; i + 2 * kLanes <= r1; i += 2 * kLanes) {
+            std::uint64_t cc;
+            std::memcpy(&cc, c + i, sizeof(cc));
+            bump(h0 + 2 * static_cast<std::size_t>(cc & 0xFF), w2 + 2 * i);
+            bump(h1 + 2 * static_cast<std::size_t>((cc >> 8) & 0xFF),
+                 w2 + 2 * i + 2);
+            bump(h2 + 2 * static_cast<std::size_t>((cc >> 16) & 0xFF),
+                 w2 + 2 * i + 4);
+            bump(h3 + 2 * static_cast<std::size_t>((cc >> 24) & 0xFF),
+                 w2 + 2 * i + 6);
+            bump(h0 + 2 * static_cast<std::size_t>((cc >> 32) & 0xFF),
+                 w2 + 2 * i + 8);
+            bump(h1 + 2 * static_cast<std::size_t>((cc >> 40) & 0xFF),
+                 w2 + 2 * i + 10);
+            bump(h2 + 2 * static_cast<std::size_t>((cc >> 48) & 0xFF),
+                 w2 + 2 * i + 12);
+            bump(h3 + 2 * static_cast<std::size_t>(cc >> 56),
+                 w2 + 2 * i + 14);
+          }
+          for (; i + kLanes <= r1; i += kLanes) {
+            std::uint32_t cc;
+            std::memcpy(&cc, c + i, sizeof(cc));
+            bump(h0 + 2 * static_cast<std::size_t>(cc & 0xFF), w2 + 2 * i);
+            bump(h1 + 2 * static_cast<std::size_t>((cc >> 8) & 0xFF),
+                 w2 + 2 * i + 2);
+            bump(h2 + 2 * static_cast<std::size_t>((cc >> 16) & 0xFF),
+                 w2 + 2 * i + 4);
+            bump(h3 + 2 * static_cast<std::size_t>(cc >> 24), w2 + 2 * i + 6);
+          }
+          for (; i < r1; ++i) {
+            bump(h0 + (i & (kLanes - 1)) * s +
+                     2 * static_cast<std::size_t>(c[i]),
+                 w2 + 2 * i);
+          }
+        } else {
+          const std::uint32_t* rr = rows.data();
+          for (; i + kLanes <= r1; i += kLanes) {
+            bump(h0 + 2 * static_cast<std::size_t>(c[rr[i]]), w2 + 2 * i);
+            bump(h1 + 2 * static_cast<std::size_t>(c[rr[i + 1]]),
+                 w2 + 2 * i + 2);
+            bump(h2 + 2 * static_cast<std::size_t>(c[rr[i + 2]]),
+                 w2 + 2 * i + 4);
+            bump(h3 + 2 * static_cast<std::size_t>(c[rr[i + 3]]),
+                 w2 + 2 * i + 6);
+          }
+          for (; i < r1; ++i) {
+            bump(h0 + (i & (kLanes - 1)) * s +
+                     2 * static_cast<std::size_t>(c[rr[i]]),
+                 w2 + 2 * i);
+          }
+        }
+      }
+    }
+
+    for (std::size_t f = 0; f < fb; ++f) {
+      const BinnedColumns::Column& col = bins.column(j + f);
+      const std::size_t s = stride[f];
+      const double* h0 = scratch.data() + offset[f];
+      // Vector lane merge; per-bin order is the canonical
+      // ((l0 + l1) + l2) + l3, four bins per iteration. Strides are
+      // padded to a multiple of 4 doubles (padding stays zero).
+      for (std::size_t k = 0; k < s; k += 4) {
+        const __m256d l0 = _mm256_load_pd(h0 + k);
+        const __m256d l1 = _mm256_load_pd(h0 + s + k);
+        const __m256d l2 = _mm256_load_pd(h0 + 2 * s + k);
+        const __m256d l3 = _mm256_load_pd(h0 + 3 * s + k);
+        _mm256_store_pd(
+            merged.data() + k,
+            _mm256_add_pd(_mm256_add_pd(_mm256_add_pd(l0, l1), l2), l3));
+      }
+
+      build_candidates(col, merged.data(), cand);
+
+      // Vectorized split evaluation: vmaxpd/vmulpd/vsqrtpd/vaddpd are
+      // IEEE-exact, so z values are bit-equal to the scalar formula.
+      const __m256d vzero = _mm256_setzero_pd();
+      const __m256d vtwo = _mm256_set1_pd(2.0);
+      const __m256d vpp = _mm256_set1_pd(cand.present_pos);
+      const __m256d vpn = _mm256_set1_pd(cand.present_neg);
+      const __m256d vzm = _mm256_set1_pd(cand.z_missing);
+      std::size_t k = 0;
+      for (; k + 4 <= cand.count; k += 4) {
+        const __m256d bp = _mm256_load_pd(cand.pos.data() + k);
+        const __m256d bn = _mm256_load_pd(cand.neg.data() + k);
+        const __m256d ap = _mm256_sub_pd(vpp, bp);
+        const __m256d an = _mm256_sub_pd(vpn, bn);
+        const __m256d zb = _mm256_mul_pd(
+            vtwo, _mm256_sqrt_pd(_mm256_mul_pd(_mm256_max_pd(bp, vzero),
+                                               _mm256_max_pd(bn, vzero))));
+        const __m256d za = _mm256_mul_pd(
+            vtwo, _mm256_sqrt_pd(_mm256_mul_pd(_mm256_max_pd(ap, vzero),
+                                               _mm256_max_pd(an, vzero))));
+        _mm256_store_pd(cand.z.data() + k,
+                        _mm256_add_pd(_mm256_add_pd(zb, za), vzm));
+      }
+      for (; k < cand.count; ++k) {
+        cand.z[k] = (block_z(cand.pos[k], cand.neg[k]) +
+                     block_z(cand.present_pos - cand.pos[k],
+                             cand.present_neg - cand.neg[k])) +
+                    cand.z_missing;
+      }
+
+      const BinnedStumpResult candidate =
+          pick_winner(col, cand, args.smoothing, j + f);
+      if (candidate.z < best.z) best = candidate;
+    }
+    j += fb;
+  }
+  return best;
+}
+
+}  // namespace nevermind::ml::simd::detail
+
+#endif  // NEVERMIND_HAVE_AVX2

@@ -1,0 +1,169 @@
+// Shared internals of the simd kernel arms (not part of the public ml
+// API). Everything in here is *order-defining*: the canonical
+// floating-point sum order of the binned stump search is
+//
+//   1. per-lane partial histograms — stream position i accumulates into
+//      lane i % kLanes, sequentially within a lane;
+//   2. fixed lane merge ((l0 + l1) + l2) + l3 per bin;
+//   3. sequential prefix/present sums over bins (b = 0, 1, ...);
+//   4. per-candidate z = (block_z(below) + block_z(above)) + z_missing.
+//
+// Both kernel arms implement exactly this order, so their results are
+// byte-identical; any new arm must too.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "ml/binning.hpp"
+#include "ml/simd.hpp"
+
+namespace nevermind::ml::simd::detail {
+
+/// Lane count of the canonical partial-histogram decomposition. Fixed
+/// by the format of the sum, not by the hardware: 4 doubles is one
+/// 256-bit vector, and the scalar arm uses the same striping.
+inline constexpr std::size_t kLanes = 4;
+
+/// Upper bound on bins per column (uint8 codes, missing included).
+inline constexpr std::size_t kMaxBins = 256;
+
+/// Histogram entries for one feature: interleaved (pos, neg) pairs per
+/// bin code, codes 0..n_finite (missing bin last).
+[[nodiscard]] inline std::size_t interleaved_bins(
+    const BinnedColumns::Column& col) noexcept {
+  return 2 * (static_cast<std::size_t>(col.n_finite) + 1);
+}
+
+/// Per-lane stride in doubles, padded to a multiple of 4 so the vector
+/// lane merge needs no tail handling. Padding entries stay zero.
+[[nodiscard]] inline std::size_t lane_stride(
+    const BinnedColumns::Column& col) noexcept {
+  return (interleaved_bins(col) + 3) & ~std::size_t{3};
+}
+
+[[nodiscard]] inline double block_z(double pos, double neg) noexcept {
+  const double p = std::max(pos, 0.0);
+  const double n = std::max(neg, 0.0);
+  return 2.0 * std::sqrt(p * n);
+}
+
+[[nodiscard]] inline double block_score(double pos, double neg,
+                                        double eps) noexcept {
+  return 0.5 * std::log((std::max(pos, 0.0) + eps) /
+                        (std::max(neg, 0.0) + eps));
+}
+
+/// Split candidates of one feature, derived from its merged histogram.
+/// Continuous: candidate 0 is the no-split stump (below empty) and
+/// candidate k >= 1 puts bins 0..k-1 below the threshold
+/// split_values[k-1]. Categorical: candidate g tests equality with
+/// group g. pos/neg hold the below (continuous) or equal (categorical)
+/// block; z is filled by the kernel arm.
+struct Candidates {
+  alignas(64) std::array<double, kMaxBins> pos;
+  alignas(64) std::array<double, kMaxBins> neg;
+  alignas(64) std::array<double, kMaxBins> z;
+  std::size_t count = 0;
+  double present_pos = 0.0;
+  double present_neg = 0.0;
+  double missing_pos = 0.0;
+  double missing_neg = 0.0;
+  double z_missing = 0.0;
+};
+
+/// Fills candidate blocks (everything except z) from a merged
+/// interleaved histogram. The sequential bin order of the present and
+/// prefix sums is part of the canonical sum order above.
+inline void build_candidates(const BinnedColumns::Column& col,
+                             const double* merged, Candidates& c) noexcept {
+  const std::size_t n_finite = col.n_finite;
+  double pp = 0.0;
+  double pn = 0.0;
+  for (std::size_t b = 0; b < n_finite; ++b) {
+    pp += merged[2 * b];
+    pn += merged[2 * b + 1];
+  }
+  c.present_pos = pp;
+  c.present_neg = pn;
+  c.missing_pos = merged[2 * n_finite];
+  c.missing_neg = merged[2 * n_finite + 1];
+  c.z_missing = block_z(c.missing_pos, c.missing_neg);
+
+  if (col.categorical) {
+    c.count = col.category_values.size();
+    for (std::size_t g = 0; g < c.count; ++g) {
+      c.pos[g] = merged[2 * g];
+      c.neg[g] = merged[2 * g + 1];
+    }
+    return;
+  }
+  c.count = n_finite > 0 ? n_finite : 1;  // the no-split stump always exists
+  c.pos[0] = 0.0;
+  c.neg[0] = 0.0;
+  double bp = 0.0;
+  double bn = 0.0;
+  for (std::size_t b = 0; b + 1 < n_finite; ++b) {
+    bp += merged[2 * b];
+    bn += merged[2 * b + 1];
+    c.pos[b + 1] = bp;
+    c.neg[b + 1] = bn;
+  }
+}
+
+/// Strict-< winner scan over the candidate z array plus score
+/// assembly — shared verbatim by both arms so ties, NaN skipping and
+/// the dead-column case (no candidate beats +inf) behave identically.
+[[nodiscard]] inline BinnedStumpResult pick_winner(
+    const BinnedColumns::Column& col, const Candidates& c, double smoothing,
+    std::size_t feature) noexcept {
+  BinnedStumpResult best;
+  best.z = std::numeric_limits<double>::infinity();
+  best.stump.feature = feature;
+  best.stump.categorical = col.categorical;
+
+  std::ptrdiff_t k_best = -1;
+  for (std::size_t k = 0; k < c.count; ++k) {
+    if (c.z[k] < best.z) {
+      best.z = c.z[k];
+      k_best = static_cast<std::ptrdiff_t>(k);
+    }
+  }
+  if (k_best < 0) return best;
+
+  const auto k = static_cast<std::size_t>(k_best);
+  const double bp = c.pos[k];
+  const double bn = c.neg[k];
+  const double ap = c.present_pos - bp;
+  const double an = c.present_neg - bn;
+  best.stump.score_missing = block_score(c.missing_pos, c.missing_neg,
+                                         smoothing);
+  if (col.categorical) {
+    best.split_bin = static_cast<int>(k);
+    best.stump.threshold = col.category_values[k];
+    best.stump.score_pass = block_score(bp, bn, smoothing);   // equal block
+    best.stump.score_fail = block_score(ap, an, smoothing);   // the rest
+  } else {
+    best.split_bin = static_cast<int>(k) - 1;
+    best.stump.threshold =
+        k == 0 ? -std::numeric_limits<float>::infinity() : col.split_values[k - 1];
+    best.stump.score_fail = block_score(bp, bn, smoothing);   // below
+    best.stump.score_pass = block_score(ap, an, smoothing);   // at or above
+  }
+  return best;
+}
+
+[[nodiscard]] BinnedStumpResult scan_features_scalar(const ScanArgs& args,
+                                                     std::size_t first,
+                                                     std::size_t last);
+#if defined(NEVERMIND_HAVE_AVX2)
+[[nodiscard]] BinnedStumpResult scan_features_avx2(const ScanArgs& args,
+                                                   std::size_t first,
+                                                   std::size_t last);
+#endif
+
+}  // namespace nevermind::ml::simd::detail

@@ -91,6 +91,20 @@ SortedColumns::SortedColumns(const DatasetView& data,
 
 namespace {
 
+/// Per-scan gather buffers. The sorted row index makes every pass over
+/// a feature a random-access walk of labels/weights/values; gathering
+/// the triples into contiguous scratch ONCE (fused with the present
+/// sum) turns the remaining passes into streaming reads. Pure memory
+/// layout: the add order of every weight is unchanged, so results stay
+/// byte-identical to the unblocked scans. Reused across the features
+/// of a chunk, so it allocates once per chunk, not per feature.
+struct GatherScratch {
+  std::vector<float> values;
+  std::vector<std::uint8_t> labels;
+  std::vector<double> weights;
+  std::vector<std::size_t> offsets;  // categorical group bounds
+};
+
 /// Scan one continuous feature: thresholds at value changes in the
 /// sorted order; blocks are {below, at-or-above, missing}. Labels come
 /// in as a span so one matrix can serve many relabelled problems.
@@ -99,9 +113,24 @@ StumpSearchResult scan_continuous(const ColumnView& col,
                                   std::span<const std::uint8_t> labels,
                                   std::span<const double> weights,
                                   double smoothing, std::size_t feature,
-                                  const WeightPair& total) {
+                                  const WeightPair& total,
+                                  GatherScratch& scratch) {
+  const std::size_t n = sorted.size();
+  scratch.values.resize(n);
+  scratch.labels.resize(n);
+  scratch.weights.resize(n);
+
+  // Single gather through the sorted index, fused with the present sum
+  // (same row order as the old present pass).
   WeightPair present;
-  for (std::uint32_t r : sorted) present.add(labels[r] != 0, weights[r]);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t r = sorted[i];
+    const bool positive = labels[r] != 0;
+    scratch.values[i] = col[r];
+    scratch.labels[i] = positive ? 1 : 0;
+    scratch.weights[i] = weights[r];
+    present.add(positive, weights[r]);
+  }
   const WeightPair missing = total - present;
   const double z_missing = block_z(missing);
 
@@ -126,13 +155,14 @@ StumpSearchResult scan_continuous(const ColumnView& col,
   // weak learner too — it votes a constant plus the missing branch.
   consider(-std::numeric_limits<float>::infinity(), WeightPair{});
 
+  // The threshold scan streams the gathered triples instead of chasing
+  // the sorted index again.
   WeightPair below;
-  for (std::size_t i = 0; i + 1 <= sorted.size(); ++i) {
-    const std::uint32_t r = sorted[i];
-    below.add(labels[r] != 0, weights[r]);
-    if (i + 1 < sorted.size()) {
-      const float v = col[r];
-      const float next = col[sorted[i + 1]];
+  for (std::size_t i = 0; i < n; ++i) {
+    below.add(scratch.labels[i] != 0, scratch.weights[i]);
+    if (i + 1 < n) {
+      const float v = scratch.values[i];
+      const float next = scratch.values[i + 1];
       if (next > v) {
         // Midpoint threshold keeps evaluation robust to new data.
         consider(v + (next - v) * 0.5F, below);
@@ -145,26 +175,47 @@ StumpSearchResult scan_continuous(const ColumnView& col,
 StumpSearchResult scan_categorical(
     std::span<const SortedColumns::CategoricalGroup> groups,
     std::span<const std::uint8_t> labels, std::span<const double> weights,
-    double smoothing, std::size_t feature, const WeightPair& total) {
+    double smoothing, std::size_t feature, const WeightPair& total,
+    GatherScratch& scratch) {
+  std::size_t n = 0;
+  for (const auto& g : groups) n += g.rows.size();
+  scratch.labels.resize(n);
+  scratch.weights.resize(n);
+  scratch.offsets.clear();
+
+  // Gather label/weight pairs in group-concatenated order, fused with
+  // the present sum (same row order as the old present pass).
   WeightPair present;
+  std::size_t k = 0;
   for (const auto& g : groups) {
-    for (std::uint32_t r : g.rows) present.add(labels[r] != 0, weights[r]);
+    scratch.offsets.push_back(k);
+    for (std::uint32_t r : g.rows) {
+      const bool positive = labels[r] != 0;
+      scratch.labels[k] = positive ? 1 : 0;
+      scratch.weights[k] = weights[r];
+      present.add(positive, weights[r]);
+      ++k;
+    }
   }
+  scratch.offsets.push_back(k);
   const WeightPair missing = total - present;
   const double z_missing = block_z(missing);
 
   StumpSearchResult best;
   best.z = std::numeric_limits<double>::infinity();
-  for (const auto& g : groups) {
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
     WeightPair equal;
-    for (std::uint32_t r : g.rows) equal.add(labels[r] != 0, weights[r]);
+    for (std::size_t i = scratch.offsets[gi]; i < scratch.offsets[gi + 1];
+         ++i) {
+      equal.add(scratch.labels[i] != 0, scratch.weights[i]);
+    }
     const WeightPair rest = present - equal;
     const double z = block_z(equal) + block_z(rest) + z_missing;
     if (z < best.z) {
       best.z = z;
       best.stump.feature = feature;
       best.stump.categorical = true;
-      best.stump.threshold = g.value;
+      best.stump.threshold = groups[gi].value;
       best.stump.score_pass = block_score(equal, smoothing);
       best.stump.score_fail = block_score(rest, smoothing);
       best.stump.score_missing = block_score(missing, smoothing);
@@ -189,12 +240,13 @@ StumpSearchResult find_best_stump_for_feature(
     std::span<const std::uint8_t> labels, std::span<const double> weights,
     double smoothing, std::size_t feature) {
   const WeightPair total = total_weights(labels, weights);
+  GatherScratch scratch;
   if (data.column_info(feature).categorical) {
     return scan_categorical(sorted.groups(feature), labels, weights, smoothing,
-                            feature, total);
+                            feature, total, scratch);
   }
   return scan_continuous(data.column(feature), sorted.sorted_rows(feature),
-                         labels, weights, smoothing, feature, total);
+                         labels, weights, smoothing, feature, total, scratch);
 }
 
 StumpSearchResult find_best_stump_for_feature(const DatasetView& data,
@@ -224,13 +276,15 @@ StumpSearchResult find_best_stump(const DatasetView& data,
       [&](std::size_t b, std::size_t e) {
         StumpSearchResult best;
         best.z = std::numeric_limits<double>::infinity();
+        GatherScratch scratch;  // per-chunk: reused across its features
         for (std::size_t j = b; j < e; ++j) {
           StumpSearchResult candidate =
               data.column_info(j).categorical
                   ? scan_categorical(sorted.groups(j), labels, weights,
-                                     smoothing, j, total)
+                                     smoothing, j, total, scratch)
                   : scan_continuous(data.column(j), sorted.sorted_rows(j),
-                                    labels, weights, smoothing, j, total);
+                                    labels, weights, smoothing, j, total,
+                                    scratch);
           if (candidate.z < best.z) best = candidate;
         }
         return best;

@@ -5,6 +5,7 @@
 // a served ranking computed from an artefact-trained kernel must match
 // the reference ranking entry for entry.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <sstream>
@@ -29,7 +30,11 @@ constexpr int kLocTo = 34;
 constexpr int kServeWeek = 31;
 
 std::string temp_path(const std::string& name) {
-  return ::testing::TempDir() + "nm_dataset_identity_" + name;
+  // Per-process prefix: ctest runs every case of this suite as its own
+  // process, and each one re-runs SetUpTestSuite — without the pid the
+  // processes race on the same artefact files under `ctest -j`.
+  return ::testing::TempDir() + "nm_dataset_identity_" +
+         std::to_string(::getpid()) + "_" + name;
 }
 
 core::PredictorConfig predictor_config(std::size_t threads) {
@@ -167,6 +172,38 @@ TEST_F(DatasetIdentityTest, LocatorIdenticalAcrossLoadPathsAndThreads) {
       EXPECT_EQ(locator_string(locator), want);
     }
   }
+}
+
+TEST_F(DatasetIdentityTest, LocatorStoredBinsMatchRebinnedTraining) {
+  // A v2 artefact carries the histogram-path quantization; training
+  // from its stored bin codes must be byte-identical to re-binning the
+  // loaded matrix from scratch. Both locators run histogram binning —
+  // the stored bins are only consumed on that path.
+  core::LocatorConfig cfg = locator_config(1);
+  cfg.binning = ml::BinningMode::kHistogram;
+  core::TroubleLocator rebinned(cfg);
+  rebinned.train(*data_, kLocFrom, kLocTo);
+  const std::string want = locator_string(rebinned);
+
+  const std::string path = temp_path("loc_bins.nmarena");
+  const auto st_save = features::save_locator_dataset(
+      path, *data_, kLocFrom, kLocTo, rebinned.encoder_config(),
+      /*with_bins=*/true);
+  ASSERT_TRUE(st_save.ok()) << st_save.message;
+  for (const auto mode :
+       {ml::ArenaLoadMode::kEager, ml::ArenaLoadMode::kMapped}) {
+    SCOPED_TRACE(mode == ml::ArenaLoadMode::kEager ? "eager" : "mmap");
+    ml::StoreStatus st;
+    auto loaded = features::load_locator_dataset(path, mode, &st);
+    ASSERT_TRUE(loaded.has_value()) << st.message;
+    // The stored quantization must actually be surfaced — otherwise the
+    // comparison below would silently test the re-binning path twice.
+    ASSERT_NE(loaded->block.bins, nullptr);
+    core::TroubleLocator locator(cfg);
+    locator.train_from_block(*data_, loaded->block);
+    EXPECT_EQ(locator_string(locator), want);
+  }
+  std::remove(path.c_str());
 }
 
 TEST_F(DatasetIdentityTest, ServedRankingFromMmapTrainedKernelMatches) {

@@ -82,6 +82,40 @@ std::string write_tricky(const std::string& name) {
   return path;
 }
 
+/// The histogram-path quantization of the tricky arena, as written into
+/// v2 artefacts. Deterministic: same arena -> same bins.
+BinnedColumns tricky_bins() { return BinnedColumns(tricky_arena(), {}); }
+
+void expect_bins_identical(const BinnedColumns& a, const BinnedColumns& b) {
+  ASSERT_EQ(a.n_rows(), b.n_rows());
+  ASSERT_EQ(a.n_cols(), b.n_cols());
+  EXPECT_EQ(a.max_bins(), b.max_bins());
+  for (std::size_t j = 0; j < a.n_cols(); ++j) {
+    const BinnedColumns::Column& x = a.column(j);
+    const BinnedColumns::Column& y = b.column(j);
+    EXPECT_EQ(x.categorical, y.categorical) << "col " << j;
+    EXPECT_EQ(x.overflow, y.overflow) << "col " << j;
+    EXPECT_EQ(x.n_finite, y.n_finite) << "col " << j;
+    ASSERT_EQ(x.split_values.size(), y.split_values.size()) << "col " << j;
+    for (std::size_t k = 0; k < x.split_values.size(); ++k) {
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(x.split_values[k]),
+                std::bit_cast<std::uint32_t>(y.split_values[k]))
+          << "col " << j << " split " << k;
+    }
+    ASSERT_EQ(x.category_values.size(), y.category_values.size())
+        << "col " << j;
+    for (std::size_t k = 0; k < x.category_values.size(); ++k) {
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(x.category_values[k]),
+                std::bit_cast<std::uint32_t>(y.category_values[k]))
+          << "col " << j << " category " << k;
+    }
+    ASSERT_EQ(x.codes.size(), y.codes.size()) << "col " << j;
+    for (std::size_t r = 0; r < x.codes.size(); ++r) {
+      EXPECT_EQ(x.codes[r], y.codes[r]) << "col " << j << " row " << r;
+    }
+  }
+}
+
 TEST(FeatureStore, EagerRoundTripIsBitExact) {
   const std::string path = write_tricky("eager.nmarena");
   StoreStatus st;
@@ -121,6 +155,53 @@ TEST(FeatureStore, TextRoundTripIsBitExact) {
   ASSERT_TRUE(got.has_value()) << st.message;
   expect_bit_identical(tricky_arena(), got->arena);
   expect_sidecar_identical(*got);
+}
+
+TEST(FeatureStore, BinsRoundTripWritesV2AndIsBitExact) {
+  const std::string path = temp_path("v2.nmarena");
+  const BinnedColumns bins = tricky_bins();
+  const StoreStatus wrote =
+      save_arena(path, tricky_arena(), kAuxNames, tricky_aux(), kMeta, &bins);
+  ASSERT_TRUE(wrote.ok()) << wrote.message;
+  {
+    std::ifstream is(path, std::ios::binary);
+    char preamble[16] = {};
+    is.read(preamble, sizeof(preamble));
+    EXPECT_EQ(preamble[8], 2) << "bins-carrying artefacts are version 2";
+  }
+  for (const auto mode : {ArenaLoadMode::kEager, ArenaLoadMode::kMapped}) {
+    StoreStatus st;
+    auto got = load_arena(path, {.mode = mode, .verify_payload = true}, &st);
+    ASSERT_TRUE(got.has_value()) << st.message;
+    // The arena itself round-trips exactly as in v1...
+    expect_bit_identical(tricky_arena(), got->arena);
+    expect_sidecar_identical(*got);
+    // ...and the quantization comes back bit for bit: codes, split
+    // thresholds, category values, flags, max_bins.
+    ASSERT_NE(got->bins, nullptr)
+        << "v2 load must surface the stored bins (mode "
+        << static_cast<int>(mode) << ")";
+    expect_bins_identical(bins, *got->bins);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FeatureStore, NoBinsWriteStaysVersionOneByteIdentical) {
+  // The v2 extension must not perturb bins-free artefacts at all:
+  // writers without set_bins emit version 1, byte-identical to the
+  // pre-extension format, and v1 loads report no bins.
+  const std::string path = write_tricky("still_v1.nmarena");
+  {
+    std::ifstream is(path, std::ios::binary);
+    char preamble[16] = {};
+    is.read(preamble, sizeof(preamble));
+    EXPECT_EQ(preamble[8], 1);
+  }
+  StoreStatus st;
+  auto got = load_arena(path, {.mode = ArenaLoadMode::kEager}, &st);
+  ASSERT_TRUE(got.has_value()) << st.message;
+  EXPECT_EQ(got->bins, nullptr);
+  std::remove(path.c_str());
 }
 
 TEST(FeatureStore, StreamingWriterMatchesBulkSaveByteForByte) {
@@ -308,6 +389,104 @@ TEST(FeatureStoreCorruption, EveryDamageModeYieldsItsTypedError) {
           << c.name << " mode " << static_cast<int>(mode) << ": got "
           << store_error_name(st.code) << " (" << st.message << ")";
       EXPECT_FALSE(st.message.empty()) << c.name;
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(FeatureStoreCorruption, V2BinsDamageModesYieldTypedErrors) {
+  // Version-negotiation hardening around the v2 bin-code section. The
+  // v1 and v2 artefacts of the same arena share their leading sections
+  // byte for byte (only the version field and header checksum differ),
+  // so the v1 file size IS the v2 bins-subheader offset.
+  const std::string v1_path = write_tricky("v2src_v1.nmarena");
+  const std::vector<unsigned char> v1 = slurp_bytes(v1_path);
+  std::remove(v1_path.c_str());
+
+  const std::string v2_path = temp_path("v2src_v2.nmarena");
+  const BinnedColumns bins = tricky_bins();
+  ASSERT_TRUE(
+      save_arena(v2_path, tricky_arena(), kAuxNames, tricky_aux(), kMeta, &bins)
+          .ok());
+  const std::vector<unsigned char> v2 = slurp_bytes(v2_path);
+  std::remove(v2_path.c_str());
+  const std::size_t sub = v1.size();  // [u64 size][u64 checksum][content]
+  ASSERT_GT(v2.size(), sub + 16);
+  {
+    // Sanity-check the shared-prefix assumption: the declared bins size
+    // at that offset must match the actual tail length.
+    std::uint64_t declared = 0;
+    std::memcpy(&declared, v2.data() + sub, 8);
+    ASSERT_EQ(declared, v2.size() - sub - 16);
+  }
+
+  struct Damage {
+    const char* name;
+    StoreError expected;
+    std::vector<unsigned char> bytes;
+  };
+  std::vector<Damage> damages;
+
+  // A v1 file with appended trailing bytes: the strict end check must
+  // refuse it — old-format files cannot smuggle an unverified bins
+  // section past the reader.
+  {
+    std::vector<unsigned char> b = v1;
+    b.insert(b.end(), {'b', 'o', 'n', 'u', 's'});
+    damages.push_back({"v1_trailing_garbage", StoreError::kMalformedHeader, b});
+  }
+  // Truncation inside the bins content, and truncation so deep the
+  // declared subheader itself is gone.
+  {
+    std::vector<unsigned char> b = v2;
+    b.resize(b.size() - 4);
+    damages.push_back({"v2_truncated_in_bins", StoreError::kShortFile, b});
+  }
+  {
+    std::vector<unsigned char> b = v2;
+    b.resize(sub + 8);
+    damages.push_back({"v2_missing_subheader", StoreError::kShortFile, b});
+  }
+  // A flipped bit in the bins content with the stored checksum left
+  // alone: checksum mismatch, same as payload damage in v1.
+  {
+    std::vector<unsigned char> b = v2;
+    b.back() ^= 0x01;
+    damages.push_back({"v2_bins_bit_flip", StoreError::kChecksumMismatch, b});
+  }
+  // Content damage WITH a forged (valid) checksum: the parser itself
+  // must reject it — the final byte is the last column's last bin code;
+  // 0xFF is past every column's missing bin.
+  {
+    std::vector<unsigned char> b = v2;
+    b.back() = 0xFF;
+    const std::uint64_t sum = fnv1a(b.data() + sub + 16, b.size() - sub - 16);
+    std::memcpy(b.data() + sub + 8, &sum, 8);
+    damages.push_back({"v2_malformed_bins", StoreError::kMalformedBins, b});
+  }
+  // An implausibly huge declared bins size is malformed, not a short
+  // file (no attempt to allocate or seek terabytes).
+  {
+    std::vector<unsigned char> b = v2;
+    const std::uint64_t huge = std::uint64_t{1} << 41;
+    std::memcpy(b.data() + sub, &huge, 8);
+    damages.push_back({"v2_implausible_size", StoreError::kMalformedBins, b});
+  }
+
+  for (const auto& d : damages) {
+    const std::string path =
+        temp_path(std::string("corrupt_") + d.name + ".nmarena");
+    dump_bytes(path, d.bytes);
+    for (const auto mode : {ArenaLoadMode::kEager, ArenaLoadMode::kMapped}) {
+      StoreStatus st;
+      auto got = load_arena(path, {.mode = mode, .verify_payload = true}, &st);
+      EXPECT_FALSE(got.has_value())
+          << d.name << " loaded successfully in mode "
+          << static_cast<int>(mode);
+      EXPECT_EQ(st.code, d.expected)
+          << d.name << " mode " << static_cast<int>(mode) << ": got "
+          << store_error_name(st.code) << " (" << st.message << ")";
+      EXPECT_FALSE(st.message.empty()) << d.name;
     }
     std::remove(path.c_str());
   }

@@ -1,0 +1,251 @@
+// Property tests for the SIMD kernel family behind the binned stump
+// search: on random matrices (categorical/continuous mix, missing
+// values, dyadic and irrational weights, row subsets) the scalar and
+// AVX2 arms must return BIT-identical results — z, scores, and
+// threshold compared through bit_cast, not tolerances — because both
+// implement the same canonical lane-ordered sum (see ml/simd.hpp).
+// Also covers the dispatch surface: mode parsing, the process-wide
+// override (--simd scalar forced on an AVX2 host), and the graceful
+// fallback when AVX2 is requested but unavailable.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "ml/binning.hpp"
+#include "ml/dataset.hpp"
+#include "ml/simd.hpp"
+
+namespace nevermind::ml {
+namespace {
+
+/// Restores the dispatch preference even when an assertion bails out.
+struct ModeGuard {
+  ~ModeGuard() { simd::set_mode(simd::Mode::kAuto); }
+};
+
+struct RandomDataset {
+  FeatureArena arena;
+  std::vector<std::uint8_t> labels;
+};
+
+/// A small adversarial matrix: continuous columns with heavy ties (so
+/// bin edges land between repeated values), categorical columns, ~10%
+/// missing cells, one all-missing column, one constant column.
+RandomDataset make_dataset(std::uint64_t seed, std::size_t n_rows) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> uf(-2.0F, 2.0F);
+  std::vector<ColumnInfo> cols(8);
+  cols[2].categorical = true;
+  cols[5].categorical = true;
+  RandomDataset out;
+  out.arena = FeatureArena(cols, n_rows);
+  std::vector<float> row(cols.size());
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      const auto roll = rng() % 10;
+      if (j == 3) {
+        row[j] = kMissing;  // all-missing column
+      } else if (j == 6) {
+        row[j] = 1.5F;  // constant column
+      } else if (roll == 0) {
+        row[j] = kMissing;
+      } else if (cols[j].categorical) {
+        row[j] = static_cast<float>(rng() % 5);
+      } else if (roll < 4) {
+        // Heavy ties: a handful of repeated values.
+        row[j] = static_cast<float>(rng() % 4) * 0.25F;
+      } else {
+        row[j] = uf(rng);
+      }
+    }
+    out.arena.add_row(row, (rng() % 3) == 0);
+  }
+  out.labels.assign(out.arena.labels().begin(), out.arena.labels().end());
+  return out;
+}
+
+std::vector<double> dyadic_weights(std::uint64_t seed, std::size_t n) {
+  std::mt19937_64 rng(seed);
+  std::vector<double> w(n);
+  for (auto& x : w) {
+    x = static_cast<double>(1 + rng() % 1024) / 1024.0;  // exact dyadics
+  }
+  return w;
+}
+
+std::vector<double> irrational_weights(std::uint64_t seed, std::size_t n) {
+  std::mt19937_64 rng(seed);
+  std::vector<double> w(n);
+  for (auto& x : w) {
+    // Square roots of non-squares: every add rounds, so any reordering
+    // between the arms would show up bitwise.
+    x = std::sqrt(static_cast<double>(2 + rng() % 97));
+  }
+  return w;
+}
+
+/// Bitwise equality of two search results; EXPECTs with context.
+void expect_bit_identical(const BinnedStumpResult& a,
+                          const BinnedStumpResult& b) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.z), std::bit_cast<std::uint64_t>(b.z));
+  EXPECT_EQ(a.split_bin, b.split_bin);
+  EXPECT_EQ(a.stump.feature, b.stump.feature);
+  EXPECT_EQ(a.stump.categorical, b.stump.categorical);
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(a.stump.threshold),
+            std::bit_cast<std::uint32_t>(b.stump.threshold));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.stump.score_pass),
+            std::bit_cast<std::uint64_t>(b.stump.score_pass));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.stump.score_fail),
+            std::bit_cast<std::uint64_t>(b.stump.score_fail));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.stump.score_missing),
+            std::bit_cast<std::uint64_t>(b.stump.score_missing));
+}
+
+TEST(SimdDispatchTest, ParseModeAcceptsTheThreeNamesOnly) {
+  EXPECT_EQ(simd::parse_mode("auto"), simd::Mode::kAuto);
+  EXPECT_EQ(simd::parse_mode("scalar"), simd::Mode::kScalar);
+  EXPECT_EQ(simd::parse_mode("avx2"), simd::Mode::kAvx2);
+  EXPECT_FALSE(simd::parse_mode("").has_value());
+  EXPECT_FALSE(simd::parse_mode("AVX2").has_value());
+  EXPECT_FALSE(simd::parse_mode("sse").has_value());
+}
+
+TEST(SimdDispatchTest, ScalarOverrideWinsEvenOnAnAvx2Host) {
+  ModeGuard guard;
+  simd::set_mode(simd::Mode::kScalar);
+  EXPECT_EQ(simd::mode(), simd::Mode::kScalar);
+  EXPECT_EQ(simd::active_kernel(), simd::Kernel::kScalar);
+}
+
+TEST(SimdDispatchTest, Avx2RequestFallsBackWhenUnsupported) {
+  ModeGuard guard;
+  simd::set_mode(simd::Mode::kAvx2);
+  // Resolution never promises an arm the host cannot run.
+  const simd::Kernel k = simd::active_kernel();
+  if (simd::cpu_supports_avx2()) {
+    EXPECT_EQ(k, simd::Kernel::kAvx2);
+  } else {
+    EXPECT_EQ(k, simd::Kernel::kScalar);
+  }
+}
+
+TEST(SimdDispatchTest, AutoResolvesToTheProbedArm) {
+  ModeGuard guard;
+  simd::set_mode(simd::Mode::kAuto);
+  EXPECT_EQ(simd::active_kernel(), simd::cpu_supports_avx2()
+                                       ? simd::Kernel::kAvx2
+                                       : simd::Kernel::kScalar);
+}
+
+class SimdKernelIdentityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!simd::cpu_supports_avx2()) {
+      GTEST_SKIP() << "host lacks AVX2+FMA (or build disabled the arm); "
+                      "scalar is the only arm to compare";
+    }
+  }
+  ModeGuard guard_;
+};
+
+TEST_F(SimdKernelIdentityTest, DirectKernelCallsMatchBitForBit) {
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    const RandomDataset data = make_dataset(seed, 257);  // ragged tail
+    const BinnedColumns bins(data.arena, {});
+    for (const bool dyadic : {true, false}) {
+      const std::vector<double> weights =
+          dyadic ? dyadic_weights(seed, data.arena.n_rows())
+                 : irrational_weights(seed, data.arena.n_rows());
+      simd::ScanArgs args;
+      args.bins = &bins;
+      args.labels = data.labels;
+      args.weights = weights;
+      args.smoothing = 1e-5;
+      SCOPED_TRACE(testing::Message() << "seed=" << seed
+                                      << " dyadic=" << dyadic);
+      // No precomputed wpn: the AVX2 arm builds its own stream.
+      const BinnedStumpResult scalar =
+          simd::scan_features(simd::Kernel::kScalar, args, 0, bins.n_cols());
+      const BinnedStumpResult avx2 =
+          simd::scan_features(simd::Kernel::kAvx2, args, 0, bins.n_cols());
+      expect_bit_identical(scalar, avx2);
+      // Partial feature ranges hit different feature-block shapes.
+      for (std::size_t first : {std::size_t{0}, std::size_t{3}}) {
+        const BinnedStumpResult s =
+            simd::scan_features(simd::Kernel::kScalar, args, first, 7);
+        const BinnedStumpResult v =
+            simd::scan_features(simd::Kernel::kAvx2, args, first, 7);
+        expect_bit_identical(s, v);
+      }
+    }
+  }
+}
+
+TEST_F(SimdKernelIdentityTest, FullSearchMatchesAcrossForcedModes) {
+  for (const std::uint64_t seed : {5u, 6u}) {
+    const RandomDataset data = make_dataset(seed, 400);
+    const BinnedColumns bins(data.arena, {});
+    const std::vector<double> weights =
+        irrational_weights(seed, data.arena.n_rows());
+    SCOPED_TRACE(testing::Message() << "seed=" << seed);
+    simd::set_mode(simd::Mode::kScalar);
+    const BinnedStumpResult scalar =
+        find_best_stump_binned(bins, data.labels, weights, {}, 1e-4);
+    simd::set_mode(simd::Mode::kAvx2);
+    const BinnedStumpResult avx2 =
+        find_best_stump_binned(bins, data.labels, weights, {}, 1e-4);
+    simd::set_mode(simd::Mode::kAuto);
+    const BinnedStumpResult dispatched =
+        find_best_stump_binned(bins, data.labels, weights, {}, 1e-4);
+    expect_bit_identical(scalar, avx2);
+    expect_bit_identical(scalar, dispatched);
+  }
+}
+
+TEST_F(SimdKernelIdentityTest, RowSubsetsMatchBitForBit) {
+  const RandomDataset data = make_dataset(77, 300);
+  const BinnedColumns bins(data.arena, {});
+  // Subsets: empty list (= every row), an explicit full list, a strict
+  // subset with repeats-free random order preserved, and a tiny one.
+  std::vector<std::uint32_t> full(data.arena.n_rows());
+  for (std::uint32_t i = 0; i < full.size(); ++i) full[i] = i;
+  std::vector<std::uint32_t> odd;
+  for (std::uint32_t i = 1; i < full.size(); i += 2) odd.push_back(i);
+  const std::vector<std::uint32_t> tiny = {7, 3, 250, 11, 42};
+  const std::vector<std::vector<std::uint32_t>> subsets = {
+      {}, full, odd, tiny};
+  for (const auto& rows : subsets) {
+    const std::size_t n = rows.empty() ? data.arena.n_rows() : rows.size();
+    const std::vector<double> weights = dyadic_weights(n, n);
+    SCOPED_TRACE(testing::Message() << "subset size=" << n);
+    simd::set_mode(simd::Mode::kScalar);
+    const BinnedStumpResult scalar =
+        find_best_stump_binned(bins, data.labels, weights, rows, 1e-4);
+    simd::set_mode(simd::Mode::kAvx2);
+    const BinnedStumpResult avx2 =
+        find_best_stump_binned(bins, data.labels, weights, rows, 1e-4);
+    expect_bit_identical(scalar, avx2);
+  }
+}
+
+TEST(SimdScalarTest, ForcedScalarSearchIsWellFormedEverywhere) {
+  // Runs on every host, AVX2 or not: the scalar arm alone must produce
+  // a finite-or-dead result and respect the all-missing column.
+  ModeGuard guard;
+  simd::set_mode(simd::Mode::kScalar);
+  const RandomDataset data = make_dataset(123, 128);
+  const BinnedColumns bins(data.arena, {});
+  const std::vector<double> weights = dyadic_weights(9, data.arena.n_rows());
+  const BinnedStumpResult best =
+      find_best_stump_binned(bins, data.labels, weights, {}, 1e-4);
+  EXPECT_LT(best.stump.feature, bins.n_cols());
+  EXPECT_NE(best.stump.feature, 3u);  // the all-missing column never wins
+  EXPECT_TRUE(std::isfinite(best.z));
+}
+
+}  // namespace
+}  // namespace nevermind::ml

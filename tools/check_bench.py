@@ -7,12 +7,19 @@ fields named by convention: names ending in ``_s`` are timings in
 seconds and names ending in ``_ms`` are timings in milliseconds (both
 lower is better; ``_ms`` values are converted to seconds so --min-time
 applies uniformly), names ending in ``_per_s`` are throughputs (higher
-is better), and names ending in ``_bytes`` are memory footprints
+is better), names ending in ``_bytes`` are memory footprints
 (lower is better, no minimum floor — bytes do not jitter the way a
-5 ms timing does). This tool diffs a baseline file against a candidate
-file (or two directories of BENCH_*.json files, matched by name) and
-fails when any timing slowed down — or any throughput dropped, or any
+5 ms timing does), and names ending in ``speedup`` are dimensionless
+ratios of a reference time over an optimized time (higher is better —
+e.g. bench_train's ``simd_stump_speedup``, scalar over AVX2). This
+tool diffs a baseline file against a candidate file (or two
+directories of BENCH_*.json files, matched by name) and fails when any
+timing slowed down — or any throughput or speedup dropped, or any
 memory footprint grew — by more than the threshold (default 20%).
+
+A missing baseline is not an error: the first run on a fresh checkout
+(or a brand-new bench) has nothing to compare against, so the tool
+warns and reports success instead of crashing.
 
 Timings below a minimum (default 0.05 s) are skipped: at smoke sizes a
 scheduler hiccup easily doubles a 5 ms measurement, and such fields say
@@ -40,12 +47,14 @@ def metric_fields(obj, prefix=""):
     """Yield (dotted_path, kind, value) for every metric field.
 
     kind is "throughput" for numeric fields ending in _per_s (higher is
-    better), "memory" for numeric fields ending in _bytes (lower is
-    better, no --min-time floor), and "time" for other numeric fields
-    ending in _s or _ms (lower is better; _ms values come back in
-    seconds so thresholds and --min-time apply uniformly). The _per_s
-    check runs first — a _per_s name also ends in _s, and classifying
-    it as a timing would invert the comparison.
+    better), "speedup" for numeric fields ending in speedup (higher is
+    better, dimensionless, no --min-time floor), "memory" for numeric
+    fields ending in _bytes (lower is better, no --min-time floor),
+    and "time" for other numeric fields ending in _s or _ms (lower is
+    better; _ms values come back in seconds so thresholds and
+    --min-time apply uniformly). The _per_s check runs first — a
+    _per_s name also ends in _s, and classifying it as a timing would
+    invert the comparison.
 
     Lists are keyed by a stable attribute when the elements carry one
     (the benches key runs by "threads") and by index otherwise, so the
@@ -56,6 +65,8 @@ def metric_fields(obj, prefix=""):
             path = f"{prefix}.{key}" if prefix else key
             if key.endswith("_per_s") and isinstance(value, (int, float)):
                 yield path, "throughput", float(value)
+            elif key.endswith("speedup") and isinstance(value, (int, float)):
+                yield path, "speedup", float(value)
             elif key.endswith("_bytes") and isinstance(value, (int, float)):
                 yield path, "memory", float(value)
             elif key.endswith("_ms") and isinstance(value, (int, float)):
@@ -101,6 +112,15 @@ def compare(baseline, candidate, threshold, min_time):
                     f"{path}: {base_value:.0f}B -> {cand_value:.0f}B "
                     f"(+{(ratio - 1.0) * 100.0:.0f}%)"
                 )
+        elif kind == "speedup":  # dimensionless ratio: a drop regresses
+            if base_value <= 0.0 or cand_value <= 0.0:
+                continue  # unmeasured (e.g. no AVX2 on the host)
+            ratio = cand_value / base_value
+            if ratio < 1.0 - threshold:
+                regressions.append(
+                    f"{path}: {base_value:.2f}x -> {cand_value:.2f}x "
+                    f"(-{(1.0 - ratio) * 100.0:.0f}%)"
+                )
         else:  # throughput: a drop is the regression
             if base_value <= 0.0 or cand_value <= 0.0:
                 continue
@@ -114,6 +134,12 @@ def compare(baseline, candidate, threshold, min_time):
 
 
 def compare_files(base_path, cand_path, threshold, min_time):
+    # No baseline yet (first run, or a bench that just grew its first
+    # JSON): nothing to regress against — warn and pass.
+    if not Path(base_path).exists():
+        print(f"warning: no baseline at {base_path}; nothing to compare",
+              file=sys.stderr)
+        return []
     with open(base_path) as f:
         baseline = json.load(f)
     with open(cand_path) as f:
@@ -307,6 +333,48 @@ def self_test():
     rss_grown["store"]["mmap_peak_rss_bytes"] = 600000
     msgs = compare(store, rss_grown, 0.2, 0.05)
     assert len(msgs) == 1 and "mmap_peak_rss_bytes" in msgs[0], msgs
+
+    # --- speedup fields (dimensionless ratio, higher is better) ------
+    simd = {
+        "bench": "train",
+        "simd": {
+            "avx2_available": True,
+            "scalar_stump_s": 4.0,
+            "avx2_stump_s": 1.0,
+            "simd_stump_speedup": 4.0,
+        },
+        "runs": [{"threads": 1, "speedup": 3.0, "locator_speedup": 2.5}],
+    }
+    # Unchanged: clean.
+    assert compare(simd, simd, 0.2, 0.05) == []
+    # The AVX2 kernel losing its edge is a regression even though the
+    # component timings (scalar slower, avx2 unchanged) would not flag.
+    eroded = json.loads(json.dumps(simd))
+    eroded["simd"]["simd_stump_speedup"] = 2.0
+    msgs = compare(simd, eroded, 0.2, 0.05)
+    assert len(msgs) == 1 and "simd_stump_speedup" in msgs[0], msgs
+    # A speedup gain is an improvement, never flagged.
+    gained = json.loads(json.dumps(simd))
+    gained["simd"]["simd_stump_speedup"] = 8.0
+    assert compare(simd, gained, 0.2, 0.05) == []
+    # Zero means unmeasured (no AVX2 on that host): skipped both ways.
+    no_avx2 = json.loads(json.dumps(simd))
+    no_avx2["simd"]["simd_stump_speedup"] = 0.0
+    assert compare(no_avx2, simd, 0.2, 0.05) == []
+    assert compare(simd, no_avx2, 0.2, 0.05) == []
+    # Per-run hist-vs-exact speedups are keyed through the runs list.
+    run_drop = json.loads(json.dumps(simd))
+    run_drop["runs"][0]["locator_speedup"] = 1.0
+    msgs = compare(simd, run_drop, 0.2, 0.05)
+    assert len(msgs) == 1 and "locator_speedup" in msgs[0], msgs
+
+    # --- missing baseline: warn-and-pass, not a crash ----------------
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        cand_path = Path(tmp) / "BENCH_train.json"
+        cand_path.write_text(json.dumps(simd))
+        assert compare_files(Path(tmp) / "absent.json", cand_path,
+                             0.2, 0.05) == []
     print("check_bench.py self-test passed")
     return 0
 

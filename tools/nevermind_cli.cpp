@@ -63,6 +63,7 @@
 #include "features/dataset_io.hpp"
 #include "ml/feature_store.hpp"
 #include "ml/serialization.hpp"
+#include "ml/simd.hpp"
 #include "net/loadgen.hpp"
 #include "net/server.hpp"
 #include "serve/line_state_store.hpp"
@@ -218,6 +219,16 @@ CliArgs parse(int argc, char** argv, int first) {
         die_usage("unknown --binning mode '" + mode +
                   "' (expected exact|hist)");
       }
+    } else if (flag == "--simd") {
+      // Process-wide kernel dispatch override; without the flag the
+      // NEVERMIND_SIMD environment variable (default auto) decides.
+      const std::string mode = value();
+      const auto parsed = ml::simd::parse_mode(mode);
+      if (!parsed.has_value()) {
+        die_usage("unknown --simd mode '" + mode +
+                  "' (expected auto|scalar|avx2)");
+      }
+      ml::simd::set_mode(*parsed);
     } else {
       die_usage("unknown argument '" + flag + "'");
     }
@@ -521,9 +532,13 @@ int cmd_locate(const CliArgs& args) {
       locator_opt->train(data, train_from, train_to);
     }
     if (!args.save_dataset_path.empty()) {
+      // Under histogram binning the binary artefact also carries the
+      // bin codes (nmarena v2), so a later --load-dataset run can skip
+      // re-binning entirely.
+      const bool with_bins = args.binning == ml::BinningMode::kHistogram;
       const auto st = features::save_locator_dataset(
           args.save_dataset_path, data, train_from, train_to,
-          locator_opt->encoder_config());
+          locator_opt->encoder_config(), with_bins);
       if (!st.ok()) {
         std::cerr << "cannot write dataset " << args.save_dataset_path
                   << ": " << st.message << "\n";
@@ -742,9 +757,11 @@ int cmd_dataset(int argc, char** argv) {
   for (std::size_t j = 0; j < arena.n_cols(); ++j) {
     if (arena.column_info(j).categorical) ++categorical;
   }
-  std::cout << "file: " << path << " ("
-            << (binary ? "binary nmarena v1" : "text nmdataset v1") << ", "
-            << (ec ? 0 : size) << " bytes)\n"
+  const char* format = !binary             ? "text nmdataset v1"
+                       : stored->bins ? "binary nmarena v2"
+                                      : "binary nmarena v1";
+  std::cout << "file: " << path << " (" << format << ", " << (ec ? 0 : size)
+            << " bytes)\n"
             << "kind: "
             << features::dataset_kind(stored->meta).value_or("unknown")
             << "\n"
@@ -758,6 +775,11 @@ int cmd_dataset(int argc, char** argv) {
   std::cout << "\n"
             << "meta: " << stored->meta.size() << " bytes\n"
             << "backing: " << (arena.file_backed() ? "mmap" : "heap") << "\n";
+  if (stored->bins != nullptr) {
+    std::cout << "bins: " << stored->bins->n_cols()
+              << " columns quantized (max_bins " << stored->bins->max_bins()
+              << ")\n";
+  }
   if (binary) {
     std::cout << "checksums: "
               << (verify ? "payload verified" : "header/meta/labels verified"
@@ -793,7 +815,8 @@ void usage() {
          "[--model FILE] [--save-models DIR] [--load-models DIR] "
          "[--save-dataset FILE] [--load-dataset FILE] "
          "[--dataset-load eager|mmap] "
-         "[--threads T] [--shards P] [--binning exact|hist]\n"
+         "[--threads T] [--shards P] [--binning exact|hist] "
+         "[--simd auto|scalar|avx2]\n"
          "  serve --listen PORT [--deadline-ms D]   expose the scoring "
          "service over TCP (0 = ephemeral port)\n"
          "  loadgen --port P [--host H] [--connections C]   drive a live "

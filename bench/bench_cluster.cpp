@@ -1,0 +1,511 @@
+// Benchmark and correctness gate for the cluster layer: train a
+// predictor, replay the dataset through a single-node ScoringService
+// (the byte-identity reference), then drive a 3-node cluster with
+// replication factor 2 through the same load and kill one node in the
+// middle of it:
+//
+//  1. failover identity — after the kill, every line's score fetched
+//     through the ShardRouter (and the merged TOPN_SHARDS ranking)
+//     must be byte-identical to the single-node replay: synchronous
+//     replica fan-out plus idempotent (line, week) ingest means the
+//     survivors hold exactly the state the reference holds, and raw
+//     IEEE-754 wire floats mean not a bit may differ;
+//  2. detection latency — how fast the routers fail over after the
+//     crash (first map rebuild) and how fast the survivors' failure
+//     detectors declare the peer dead (HEALTH poll);
+//  3. rejoin — a fresh node readmitted at a new port via HANDOFF
+//     streaming must serve byte-identical scores when a *second* node
+//     is killed and the newcomer becomes primary for its shards.
+//
+// Writes BENCH_cluster.json (throughputs are *_per_s — higher is
+// better; latencies are *_ms — lower is better under
+// tools/check_bench.py) and exits 1 on any identity, write, or
+// detection failure.
+//
+// Usage: bench_cluster [--lines N] [--seed S] [--rounds R]
+//                      [--drivers D] [--shards K] [--out FILE]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "cluster/router.hpp"
+#include "cluster/types.hpp"
+#include "core/ticket_predictor.hpp"
+#include "dslsim/simulator.hpp"
+#include "exec/exec.hpp"
+#include "serve/line_state_store.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/replay.hpp"
+#include "serve/scoring_service.hpp"
+#include "util/calendar.hpp"
+
+namespace {
+
+using namespace nevermind;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kScoreWeek = 43;  // the paper's 10/31 proactive Saturday
+constexpr std::size_t kNodes = 3;
+constexpr std::uint32_t kReplication = 2;
+
+double ms(double seconds) { return seconds * 1e3; }
+
+double since_s(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double percentile_ms(std::vector<double>& lat_s, double p) {
+  if (lat_s.empty()) return 0.0;
+  std::sort(lat_s.begin(), lat_s.end());
+  const auto idx =
+      static_cast<std::size_t>(p * static_cast<double>(lat_s.size() - 1));
+  return ms(lat_s[idx]);
+}
+
+bool same_score(const serve::ServeScore& got, const serve::ServeScore& want) {
+  return got.valid && want.valid && got.week == want.week &&
+         got.score == want.score && got.probability == want.probability;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint32_t lines = 2000;
+  std::uint64_t seed = 42;
+  std::size_t rounds = 120;
+  std::size_t drivers = 4;
+  std::uint32_t cluster_shards = 12;
+  std::string out_path = "BENCH_cluster.json";
+  for (int i = 1; i < argc; ++i) {
+    const auto flag = [&](const char* name) {
+      return std::strcmp(argv[i], name) == 0 && i + 1 < argc;
+    };
+    if (flag("--lines")) {
+      lines = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (flag("--seed")) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag("--rounds")) {
+      rounds = std::strtoul(argv[++i], nullptr, 10);
+    } else if (flag("--drivers")) {
+      drivers = std::max<std::size_t>(1, std::strtoul(argv[++i], nullptr, 10));
+    } else if (flag("--shards")) {
+      cluster_shards = std::max<std::uint32_t>(
+          static_cast<std::uint32_t>(kNodes),
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10)));
+    } else if (flag("--out")) {
+      out_path = argv[++i];
+    }
+  }
+
+  const exec::ExecContext exec(2);
+  dslsim::SimConfig sim_cfg;
+  sim_cfg.seed = seed;
+  sim_cfg.topology.n_lines = lines;
+  std::cerr << "simulating " << lines << " lines...\n";
+  const dslsim::SimDataset data = dslsim::Simulator(sim_cfg).run(exec);
+
+  core::PredictorConfig pred_cfg;
+  pred_cfg.exec = exec;
+  pred_cfg.top_n = std::max<std::size_t>(lines / 100, 10);
+  pred_cfg.boost_iterations = rounds;
+  std::cerr << "training predictor (" << rounds << " rounds)...\n";
+  core::TicketPredictor predictor(pred_cfg);
+  predictor.train(data, 30, 38);
+  const core::ScoringKernel& kernel = predictor.kernel();
+
+  // ---- single-node replay: the byte-identity reference ----------------
+  serve::LineStateStore ref_store;
+  serve::ModelRegistry ref_registry;
+  ref_registry.publish(kernel);
+  serve::ServiceConfig svc_cfg;
+  svc_cfg.exec = exec;
+  serve::ScoringService ref_service(ref_store, ref_registry, svc_cfg);
+  serve::ReplayDriver replay(data, ref_store);
+  replay.feed_through(kScoreWeek, exec);
+
+  std::vector<dslsim::LineId> all_lines(data.n_lines());
+  for (std::size_t l = 0; l < all_lines.size(); ++l) {
+    all_lines[l] = static_cast<dslsim::LineId>(l);
+  }
+  const std::vector<serve::ServeScore> ref_scores =
+      ref_service.score_lines(all_lines);
+  const std::uint32_t top_n =
+      static_cast<std::uint32_t>(std::min<std::size_t>(data.n_lines(), 50));
+  const std::vector<serve::ServeScore> ref_ranked = ref_service.top_n(top_n);
+
+  // ---- 3-node cluster on ephemeral ports ------------------------------
+  // Aggressive (bench-scale) failure-detector timings so the membership
+  // layer, not the run length, dominates detection latency.
+  cluster::ClusterNodeConfig node_cfg;
+  node_cfg.heartbeat_interval = std::chrono::milliseconds(25);
+  node_cfg.membership.suspect_after = std::chrono::milliseconds(100);
+  node_cfg.membership.dead_after = std::chrono::milliseconds(300);
+  std::vector<std::unique_ptr<cluster::ClusterNode>> nodes;
+  std::vector<cluster::Endpoint> endpoints;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    cluster::ClusterNodeConfig cfg = node_cfg;
+    cfg.node_id = static_cast<cluster::NodeId>(i);
+    nodes.push_back(std::make_unique<cluster::ClusterNode>(cfg));
+    std::string error;
+    if (!nodes.back()->start(&error)) {
+      std::cerr << "ERROR: node " << i << " start failed: " << error << "\n";
+      return 1;
+    }
+    endpoints.push_back({static_cast<cluster::NodeId>(i), "127.0.0.1",
+                         nodes.back()->port(), true});
+    std::cerr << "node " << i << " listening on 127.0.0.1:"
+              << nodes.back()->port() << "\n";
+  }
+  const cluster::ShardMap map =
+      cluster::make_shard_map(endpoints, cluster_shards, kReplication);
+
+  const auto stop_all = [&](cluster::ClusterNode* extra) {
+    for (auto& node : nodes) {
+      if (node->running()) node->stop();
+    }
+    if (extra != nullptr && extra->running()) extra->stop();
+  };
+
+  const cluster::RouterOptions ropts;  // 250ms connect / 500ms request
+  cluster::ShardRouter coord(map, ropts);
+  if (!coord.connect_all() || !coord.push_model(kernel) ||
+      !coord.broadcast_map()) {
+    std::cerr << "ERROR: cluster bootstrap failed: " << coord.last_error()
+              << "\n";
+    stop_all(nullptr);
+    return 1;
+  }
+
+  // Customer-edge tickets through the scored week's Saturday, in day
+  // order — the same horizon ReplayDriver feeds.
+  std::vector<std::pair<util::Day, dslsim::LineId>> tickets;
+  const util::Day horizon = util::saturday_of_week(kScoreWeek);
+  for (const auto& ticket : data.tickets()) {
+    if (ticket.category == dslsim::TicketCategory::kCustomerEdge &&
+        ticket.reported <= horizon) {
+      tickets.emplace_back(ticket.reported, ticket.line);
+    }
+  }
+  std::stable_sort(
+      tickets.begin(), tickets.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // ---- ingest phase with a mid-run kill of node 2 ----------------------
+  const std::uint64_t total_measurements =
+      static_cast<std::uint64_t>(data.n_lines()) * (kScoreWeek + 1);
+  const std::uint64_t kill_at = total_measurements / 2;
+  std::atomic<std::uint64_t> ingested{0};
+  std::atomic<bool> ingest_failed{false};
+  std::mutex shared_mutex;  // guards error/kill_time/first_failover
+  std::string first_error;
+  std::optional<Clock::time_point> kill_time;
+  std::optional<Clock::time_point> first_failover;
+  double membership_detect_ms = -1.0;
+
+  const auto fail = [&](const std::string& what) {
+    const std::lock_guard<std::mutex> lock(shared_mutex);
+    if (!ingest_failed.exchange(true)) first_error = what;
+  };
+
+  std::thread killer([&] {
+    while (ingested.load() < kill_at && !ingest_failed.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (ingest_failed.load()) return;
+    nodes[2]->kill();  // abrupt: sockets close, no goodbye
+    const auto t_kill = Clock::now();
+    {
+      const std::lock_guard<std::mutex> lock(shared_mutex);
+      kill_time = t_kill;
+    }
+    std::cerr << "killed node 2 after " << ingested.load() << "/"
+              << total_measurements << " measurements\n";
+    // Poll node 0's HEALTH until its failure detector reports the
+    // peer dead — the membership-layer detection latency.
+    cluster::ShardRouter health_router(map, ropts);
+    const auto deadline = t_kill + std::chrono::seconds(15);
+    while (Clock::now() < deadline) {
+      const auto h = health_router.health(0);
+      if (h.has_value()) {
+        for (const cluster::PeerHealth& p : h->peers) {
+          if (p.node == 2 && p.state == cluster::PeerState::kDead) {
+            const std::lock_guard<std::mutex> lock(shared_mutex);
+            membership_detect_ms =
+                ms(std::chrono::duration<double>(Clock::now() - t_kill)
+                       .count());
+            return;
+          }
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  std::uint64_t ingest_count = 0;
+  double ingest_wall_s = 0.0;
+  std::vector<double> ingest_lat_s;
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(drivers);
+    for (std::size_t d = 0; d < drivers; ++d) {
+      workers.emplace_back([&, d] {
+        cluster::ShardRouter router(map, ropts);
+        std::uint64_t count = 0;
+        std::vector<double> lat;
+        bool failover_seen = false;
+        const auto start = Clock::now();
+        if (d == 0) {
+          for (const auto& [day, line] : tickets) {
+            if (!router.ingest_ticket(line, day)) {
+              fail("ingest_ticket: " + router.last_error());
+              return;
+            }
+          }
+        }
+        for (int week = 0; week <= kScoreWeek; ++week) {
+          for (std::size_t l = d; l < data.n_lines(); l += drivers) {
+            serve::LineMeasurement m;
+            m.line = static_cast<dslsim::LineId>(l);
+            m.week = week;
+            m.profile = data.plant(m.line).profile;
+            m.metrics = data.measurement(week, m.line);
+            const auto t0 = Clock::now();
+            if (!router.ingest(m)) {
+              fail("ingest: " + router.last_error());
+              return;
+            }
+            lat.push_back(since_s(t0));
+            ++count;
+            ingested.fetch_add(1, std::memory_order_relaxed);
+            if (!failover_seen && router.stats().nodes_marked_dead > 0) {
+              failover_seen = true;
+              const auto now = Clock::now();
+              const std::lock_guard<std::mutex> lock(shared_mutex);
+              if (!first_failover.has_value() || now < *first_failover) {
+                first_failover = now;
+              }
+            }
+          }
+        }
+        const double wall = since_s(start);
+        const std::lock_guard<std::mutex> lock(shared_mutex);
+        ingest_count += count;
+        ingest_wall_s = std::max(ingest_wall_s, wall);
+        ingest_lat_s.insert(ingest_lat_s.end(), lat.begin(), lat.end());
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  killer.join();
+  if (ingest_failed.load()) {
+    std::cerr << "ERROR: ingest failed: " << first_error << "\n";
+    stop_all(nullptr);
+    return 1;
+  }
+
+  double failover_detect_ms = -1.0;
+  if (kill_time.has_value() && first_failover.has_value()) {
+    failover_detect_ms = std::max(
+        0.0, ms(std::chrono::duration<double>(*first_failover - *kill_time)
+                    .count()));
+  }
+
+  // ---- query phase against the survivors -------------------------------
+  // Routers start from a survivor's post-failover map so query latency
+  // measures serving, not re-discovering the death.
+  const cluster::ShardMap query_map = nodes[0]->map_snapshot();
+  std::vector<serve::ServeScore> scores(data.n_lines());
+  std::vector<serve::ServeScore> ranked;
+  std::atomic<bool> query_failed{false};
+  std::uint64_t query_count = 0;
+  double query_wall_s = 0.0;
+  std::vector<double> query_lat_s;
+  double topn_s = 0.0;
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(drivers);
+    for (std::size_t d = 0; d < drivers; ++d) {
+      workers.emplace_back([&, d] {
+        cluster::ShardRouter router(query_map, ropts);
+        std::uint64_t count = 0;
+        std::vector<double> lat;
+        const auto start = Clock::now();
+        for (std::size_t l = d; l < data.n_lines(); l += drivers) {
+          const auto t0 = Clock::now();
+          const auto s = router.score(static_cast<dslsim::LineId>(l));
+          if (!s.has_value()) {
+            fail("score: " + router.last_error());
+            query_failed.store(true);
+            return;
+          }
+          lat.push_back(since_s(t0));
+          scores[l] = *s;  // partitioned by line: no contention
+          ++count;
+        }
+        const double wall = since_s(start);
+        std::vector<serve::ServeScore> my_ranked;
+        double my_topn_s = 0.0;
+        if (d == 0) {
+          const auto t0 = Clock::now();
+          auto r = router.top_n(top_n);
+          my_topn_s = since_s(t0);
+          if (!r.has_value()) {
+            fail("top_n: " + router.last_error());
+            query_failed.store(true);
+            return;
+          }
+          my_ranked = std::move(*r);
+        }
+        const std::lock_guard<std::mutex> lock(shared_mutex);
+        query_count += count;
+        query_wall_s = std::max(query_wall_s, wall);
+        query_lat_s.insert(query_lat_s.end(), lat.begin(), lat.end());
+        if (d == 0) {
+          ranked = std::move(my_ranked);
+          topn_s = my_topn_s;
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  if (query_failed.load() || ingest_failed.load()) {
+    std::cerr << "ERROR: query failed: " << first_error << "\n";
+    stop_all(nullptr);
+    return 1;
+  }
+
+  // ---- failover identity vs the single-node replay ---------------------
+  std::uint64_t mismatches = 0;
+  for (std::size_t l = 0; l < scores.size(); ++l) {
+    if (!same_score(scores[l], ref_scores[l])) ++mismatches;
+  }
+  bool ranking_ok = ranked.size() == ref_ranked.size();
+  for (std::size_t i = 0; ranking_ok && i < ranked.size(); ++i) {
+    ranking_ok = ranked[i].line == ref_ranked[i].line &&
+                 same_score(ranked[i], ref_ranked[i]);
+  }
+  const bool identical = mismatches == 0 && ranking_ok;
+  std::cerr << "failover identity: " << scores.size() << " lines, "
+            << mismatches << " mismatches, top-" << top_n << " ranking "
+            << (ranking_ok ? "ok" : "MISMATCH") << "\n";
+
+  // ---- rejoin: readmit a fresh node 2 via HANDOFF, then kill node 1 ----
+  cluster::ClusterNodeConfig rejoin_cfg = node_cfg;
+  rejoin_cfg.node_id = 2;
+  cluster::ClusterNode node2b(rejoin_cfg);
+  std::string error;
+  if (!node2b.start(&error)) {
+    std::cerr << "ERROR: rejoin node start failed: " << error << "\n";
+    stop_all(nullptr);
+    return 1;
+  }
+  std::cerr << "node 2 reborn on 127.0.0.1:" << node2b.port() << "\n";
+  cluster::ShardRouter admit(nodes[0]->map_snapshot(), ropts);
+  std::size_t lines_restored = 0;
+  if (!admit.readmit({2, "127.0.0.1", node2b.port(), true}, &kernel,
+                     &lines_restored)) {
+    std::cerr << "ERROR: readmit failed: " << admit.last_error() << "\n";
+    stop_all(&node2b);
+    return 1;
+  }
+  std::cerr << "readmitted node 2: " << lines_restored
+            << " lines streamed back\n";
+
+  // Kill node 1: the shards it shared only with the newcomer must now
+  // be served from the handed-off state — byte-identity here proves the
+  // HANDOFF stream was exact.
+  nodes[1]->kill();
+  std::uint64_t rejoin_mismatches = 0;
+  for (std::size_t l = 0; l < data.n_lines(); ++l) {
+    const auto s = admit.score(static_cast<dslsim::LineId>(l));
+    if (!s.has_value() || !same_score(*s, ref_scores[l])) ++rejoin_mismatches;
+  }
+  bool rejoin_ranking_ok = false;
+  if (const auto r = admit.top_n(top_n); r.has_value()) {
+    rejoin_ranking_ok = r->size() == ref_ranked.size();
+    for (std::size_t i = 0; rejoin_ranking_ok && i < r->size(); ++i) {
+      rejoin_ranking_ok = (*r)[i].line == ref_ranked[i].line &&
+                          same_score((*r)[i], ref_ranked[i]);
+    }
+  }
+  // The newcomer must actually be serving: after the second failover
+  // some shards' only live replica is the readmitted node.
+  std::size_t newcomer_primary_shards = 0;
+  if (const auto idx2 = admit.map().index_of(2); idx2.has_value()) {
+    for (std::uint32_t s = 0; s < admit.map().n_shards; ++s) {
+      if (admit.map().primary_of(s) == idx2) ++newcomer_primary_shards;
+    }
+  }
+  const bool rejoin_ok = rejoin_mismatches == 0 && rejoin_ranking_ok &&
+                         lines_restored > 0 && newcomer_primary_shards > 0;
+  std::cerr << "rejoin identity: " << rejoin_mismatches << " mismatches, "
+            << "ranking " << (rejoin_ranking_ok ? "ok" : "MISMATCH") << ", "
+            << newcomer_primary_shards << " shards led by the newcomer\n";
+
+  stop_all(&node2b);
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"cluster\",\n"
+       << "  \"lines\": " << lines << ",\n"
+       << "  \"seed\": " << seed << ",\n"
+       << "  \"nodes\": " << kNodes << ",\n"
+       << "  \"replication\": " << kReplication << ",\n"
+       << "  \"cluster_shards\": " << cluster_shards << ",\n"
+       << "  \"drivers\": " << drivers << ",\n"
+       << "  \"deterministic\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"rejoin_deterministic\": " << (rejoin_ok ? "true" : "false")
+       << ",\n"
+       << "  \"failover_detect_ms\": " << failover_detect_ms << ",\n"
+       << "  \"membership_detect_ms\": " << membership_detect_ms << ",\n"
+       << "  \"ingest_requests\": " << ingest_count << ",\n"
+       << "  \"ingest_per_s\": "
+       << (ingest_wall_s > 0 ? static_cast<double>(ingest_count) /
+                                   ingest_wall_s
+                             : 0.0)
+       << ",\n"
+       << "  \"ingest_p50_ms\": " << percentile_ms(ingest_lat_s, 0.50)
+       << ",\n"
+       << "  \"ingest_p99_ms\": " << percentile_ms(ingest_lat_s, 0.99)
+       << ",\n"
+       << "  \"query_requests\": " << query_count << ",\n"
+       << "  \"query_per_s\": "
+       << (query_wall_s > 0 ? static_cast<double>(query_count) / query_wall_s
+                            : 0.0)
+       << ",\n"
+       << "  \"query_p50_ms\": " << percentile_ms(query_lat_s, 0.50) << ",\n"
+       << "  \"query_p99_ms\": " << percentile_ms(query_lat_s, 0.99) << ",\n"
+       << "  \"topn_ms\": " << ms(topn_s) << ",\n"
+       << "  \"rejoin_lines_restored\": " << lines_restored << ",\n"
+       << "  \"newcomer_primary_shards\": " << newcomer_primary_shards << "\n"
+       << "}\n";
+
+  std::ofstream(out_path) << json.str();
+  std::cout << json.str();
+  if (!identical) {
+    std::cerr << "ERROR: cluster scores differ from the single-node replay\n";
+    return 1;
+  }
+  if (!rejoin_ok) {
+    std::cerr << "ERROR: readmitted node failed the handoff identity check\n";
+    return 1;
+  }
+  if (failover_detect_ms < 0 || membership_detect_ms < 0) {
+    std::cerr << "ERROR: the kill was never detected\n";
+    return 1;
+  }
+  return 0;
+}

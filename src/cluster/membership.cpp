@@ -1,0 +1,70 @@
+#include "cluster/membership.hpp"
+
+namespace nevermind::cluster {
+
+void Membership::add_peer(NodeId node, TimePoint now, bool alive) {
+  const auto it = peers_.find(node);
+  if (it != peers_.end()) return;
+  Peer p;
+  p.state = alive ? PeerState::kUp : PeerState::kDead;
+  p.last_seen = now;
+  peers_.emplace(node, p);
+}
+
+void Membership::remove_peer(NodeId node) { peers_.erase(node); }
+
+std::vector<Transition> Membership::record_heartbeat(NodeId node,
+                                                     TimePoint now) {
+  std::vector<Transition> out;
+  const auto it = peers_.find(node);
+  if (it == peers_.end()) return out;
+  Peer& p = it->second;
+  p.last_seen = now;
+  if (p.state != PeerState::kUp) {
+    out.push_back({node, p.state, PeerState::kUp});
+    p.state = PeerState::kUp;
+    ++version_;
+  }
+  return out;
+}
+
+std::vector<Transition> Membership::tick(TimePoint now) {
+  std::vector<Transition> out;
+  for (auto& [node, p] : peers_) {
+    if (p.state == PeerState::kDead) continue;
+    const auto silent = now - p.last_seen;
+    if (p.state == PeerState::kUp && silent >= config_.suspect_after) {
+      out.push_back({node, PeerState::kUp, PeerState::kSuspect});
+      p.state = PeerState::kSuspect;
+      ++version_;
+    }
+    if (p.state == PeerState::kSuspect && silent >= config_.dead_after) {
+      out.push_back({node, PeerState::kSuspect, PeerState::kDead});
+      p.state = PeerState::kDead;
+      ++version_;
+    }
+  }
+  return out;
+}
+
+PeerState Membership::state_of(NodeId node) const {
+  const auto it = peers_.find(node);
+  return it != peers_.end() ? it->second.state : PeerState::kDead;
+}
+
+std::vector<NodeId> Membership::dead_peers() const {
+  std::vector<NodeId> out;
+  for (const auto& [node, p] : peers_) {
+    if (p.state == PeerState::kDead) out.push_back(node);
+  }
+  return out;
+}
+
+std::vector<PeerHealth> Membership::snapshot() const {
+  std::vector<PeerHealth> out;
+  out.reserve(peers_.size());
+  for (const auto& [node, p] : peers_) out.push_back({node, p.state});
+  return out;
+}
+
+}  // namespace nevermind::cluster

@@ -1,0 +1,83 @@
+// Heartbeat failure-detection state machine, in the style of periodic-
+// announcement discovery protocols (sACN source-loss detection): every
+// peer is up while announcements keep arriving, becomes suspect after
+// suspect_after without one, dead after dead_after, and rejoins (back
+// to up) the moment one arrives again.
+//
+// The class is a pure state machine over caller-supplied time points —
+// no clock, no threads, no sockets — so the up -> suspect -> dead ->
+// rejoin ladder is unit-testable with a fake clock, and the beacon
+// thread in ClusterNode drives it with steady_clock under a mutex.
+// Peers iterate in ascending id order and transitions are reported in
+// that order, which keeps every observer's view of "who died first"
+// deterministic for a given input sequence.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cluster/types.hpp"
+
+namespace nevermind::cluster {
+
+struct MembershipConfig {
+  /// No heartbeat for this long: up -> suspect.
+  std::chrono::milliseconds suspect_after{250};
+  /// No heartbeat for this long: suspect -> dead.
+  std::chrono::milliseconds dead_after{750};
+};
+
+/// One observed state change, reported by tick()/record_heartbeat().
+struct Transition {
+  NodeId node = 0;
+  PeerState from = PeerState::kUp;
+  PeerState to = PeerState::kUp;
+};
+
+class Membership {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit Membership(MembershipConfig config = {}) noexcept
+      : config_(config) {}
+
+  /// Start tracking a peer (idempotent). A peer added as not-alive
+  /// starts dead — adopting a map that already marks a node down must
+  /// not resurrect it locally.
+  void add_peer(NodeId node, TimePoint now, bool alive = true);
+  void remove_peer(NodeId node);
+
+  /// A heartbeat (or any successful exchange) from `node` arrived at
+  /// `now`. Returns the rejoin transition when the peer was suspect or
+  /// dead, else nothing.
+  std::vector<Transition> record_heartbeat(NodeId node, TimePoint now);
+
+  /// Advance the timeout ladder to `now`; returns every transition it
+  /// caused, in ascending node-id order.
+  std::vector<Transition> tick(TimePoint now);
+
+  [[nodiscard]] PeerState state_of(NodeId node) const;
+  [[nodiscard]] bool knows(NodeId node) const {
+    return peers_.count(node) != 0;
+  }
+  /// Ids of peers currently dead, ascending.
+  [[nodiscard]] std::vector<NodeId> dead_peers() const;
+  /// Snapshot of every peer's state, ascending by id.
+  [[nodiscard]] std::vector<PeerHealth> snapshot() const;
+  /// Bumps on every transition — cheap "did anything change" probe.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+ private:
+  struct Peer {
+    PeerState state = PeerState::kUp;
+    TimePoint last_seen{};
+  };
+
+  MembershipConfig config_;
+  std::map<NodeId, Peer> peers_;  // ordered: deterministic iteration
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace nevermind::cluster

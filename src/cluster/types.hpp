@@ -1,0 +1,169 @@
+// Shared vocabulary of the cluster layer: the versioned ShardMap that
+// routes line -> cluster shard -> replica nodes, and the wire formats
+// of every protocol-v2 op (MODEL_PUSH, SHARD_MAP, HEARTBEAT, HEALTH,
+// HANDOFF, TOPN_SHARDS). The payload (de)serializers live here — on
+// top of net::PayloadWriter/Reader — so `net` stays a pure transport
+// and the cluster owns its own formats.
+//
+// Determinism rules that everything above relies on:
+//   - shard_of_line is a pure function (splitmix64 finalizer mod
+//     n_shards), identical on every node and every router;
+//   - ShardMap updates are epoch-ordered: a node adopts a pushed map
+//     only when its epoch is strictly newer, and rebuild_shard_map is
+//     a pure function of (base map, dead set) — two parties that agree
+//     on who is dead derive byte-identical maps independently;
+//   - floats cross the wire as raw IEEE-754 bits (PayloadWriter::f32/
+//     f64), so replicated state and handed-off state score
+//     byte-identically to the origin node.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "serve/line_state_store.hpp"
+
+namespace nevermind::cluster {
+
+using NodeId = std::uint32_t;
+
+/// Where one node listens, and whether the map currently believes it
+/// is alive. `alive` is part of the map (not local state) so that a
+/// pushed map carries the failover decision with it.
+struct Endpoint {
+  NodeId node = 0;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  bool alive = true;
+};
+
+/// Versioned routing table: line -> shard (shard_of_line) -> replica
+/// set (`replicas[shard]`, indices into `nodes`, primary first).
+struct ShardMap {
+  std::uint64_t epoch = 0;
+  std::uint32_t n_shards = 0;
+  std::uint32_t replication = 1;
+  std::vector<Endpoint> nodes;
+  std::vector<std::vector<std::uint16_t>> replicas;
+
+  [[nodiscard]] bool valid() const noexcept;
+  /// Index into `nodes` of the endpoint with this id.
+  [[nodiscard]] std::optional<std::size_t> index_of(NodeId node) const;
+  /// First alive replica of `shard`, or nullopt when the whole replica
+  /// set is down.
+  [[nodiscard]] std::optional<std::size_t> primary_of(
+      std::uint32_t shard) const;
+};
+
+/// Pure line->shard hash, independent of the store's internal
+/// sharding. Every node and router computes the same value.
+[[nodiscard]] std::uint32_t shard_of_line(dslsim::LineId line,
+                                          std::uint32_t n_shards) noexcept;
+
+/// Initial map at epoch 1: shard s's replicas are nodes
+/// (s + r) % n_nodes for r in [0, replication) — every node is primary
+/// for an equal slice and backup for its successors'.
+[[nodiscard]] ShardMap make_shard_map(std::vector<Endpoint> nodes,
+                                      std::uint32_t n_shards,
+                                      std::uint32_t replication);
+
+/// Deterministic failover rebuild: epoch+1, `dead` nodes marked not
+/// alive, and each shard's replica list rotated minimally so the first
+/// alive replica leads (relative order otherwise preserved — a revived
+/// node does not steal primaryship back). Pure function of its inputs.
+[[nodiscard]] ShardMap rebuild_shard_map(const ShardMap& base,
+                                         const std::vector<NodeId>& dead);
+
+void write_shard_map(net::PayloadWriter& w, const ShardMap& map);
+[[nodiscard]] bool read_shard_map(net::PayloadReader& r, ShardMap& map);
+
+// ---- HEARTBEAT ---------------------------------------------------------
+
+/// Periodic announcement; the receiver echoes with its own id (same
+/// seq), so one roundtrip refreshes liveness in both directions.
+struct Heartbeat {
+  NodeId from = 0;
+  std::uint64_t map_epoch = 0;
+  std::uint64_t seq = 0;
+};
+
+void write_heartbeat(net::PayloadWriter& w, const Heartbeat& hb);
+[[nodiscard]] bool read_heartbeat(net::PayloadReader& r, Heartbeat& hb);
+
+// ---- HEALTH ------------------------------------------------------------
+
+enum class PeerState : std::uint8_t { kUp = 0, kSuspect = 1, kDead = 2 };
+[[nodiscard]] const char* peer_state_name(PeerState s) noexcept;
+
+struct PeerHealth {
+  NodeId node = 0;
+  PeerState state = PeerState::kUp;
+};
+
+/// HEALTH reply: one node's counters plus its membership view.
+struct NodeHealth {
+  NodeId node = 0;
+  std::uint64_t map_epoch = 0;
+  std::uint64_t model_version = 0;
+  std::uint64_t n_lines = 0;
+  std::uint64_t measurements = 0;
+  std::uint64_t tickets = 0;
+  std::vector<PeerHealth> peers;
+};
+
+void write_node_health(net::PayloadWriter& w, const NodeHealth& h);
+[[nodiscard]] bool read_node_health(net::PayloadReader& r, NodeHealth& h);
+
+// ---- HANDOFF -----------------------------------------------------------
+
+/// Paginated exact line-state transfer. Pull mode (push == 0) asks the
+/// target for a page of `shard`'s lines starting at `cursor` (index
+/// into the target's ascending line-id list for that shard); the reply
+/// is a HandoffPage. Push mode (push == 1) carries a page of
+/// ExportedLine records for the target to import; the reply is the
+/// imported count (u32).
+struct HandoffRequest {
+  std::uint8_t push = 0;
+  std::uint32_t shard = 0;
+  /// The sharding the requester used (must match the map's).
+  std::uint32_t n_shards = 0;
+  std::uint32_t cursor = 0;
+  std::uint32_t max_lines = 256;
+};
+
+struct HandoffPage {
+  std::uint32_t next_cursor = 0;
+  std::uint8_t done = 1;
+  std::vector<serve::ExportedLine> lines;
+};
+
+void write_handoff_request(net::PayloadWriter& w, const HandoffRequest& req);
+[[nodiscard]] bool read_handoff_request(net::PayloadReader& r,
+                                        HandoffRequest& req);
+
+void write_exported_line(net::PayloadWriter& w, const serve::ExportedLine& e);
+[[nodiscard]] bool read_exported_line(net::PayloadReader& r,
+                                      serve::ExportedLine& e);
+
+void write_handoff_page(net::PayloadWriter& w, const HandoffPage& page);
+[[nodiscard]] bool read_handoff_page(net::PayloadReader& r,
+                                     HandoffPage& page);
+
+// ---- TOPN_SHARDS -------------------------------------------------------
+
+/// kTopN restricted to the lines of an explicit shard set — the router
+/// asks each node to rank only the shards it is primary for, then
+/// merges. The reply payload is the kTopN format (u32 count + scores).
+struct TopNShardsRequest {
+  std::uint32_t n = 0;
+  std::uint32_t n_shards = 0;
+  std::vector<std::uint32_t> shards;
+};
+
+void write_top_n_shards(net::PayloadWriter& w, const TopNShardsRequest& req);
+[[nodiscard]] bool read_top_n_shards(net::PayloadReader& r,
+                                     TopNShardsRequest& req);
+
+}  // namespace nevermind::cluster

@@ -1,43 +1,76 @@
 #include "net/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 namespace nevermind::net {
+
+std::chrono::milliseconds Backoff::next() noexcept {
+  const std::chrono::milliseconds delay = next_;
+  ++attempts_;
+  const double scaled =
+      static_cast<double>(next_.count()) * (multiplier_ < 1.0 ? 1.0 : multiplier_);
+  const auto capped = static_cast<std::chrono::milliseconds::rep>(
+      scaled > static_cast<double>(max_.count())
+          ? static_cast<double>(max_.count())
+          : scaled);
+  next_ = std::chrono::milliseconds(capped);
+  return delay;
+}
 
 Client::~Client() { close(); }
 
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       next_id_(other.next_id_),
+      options_(other.options_),
       codec_(other.codec_),
       rx_(std::move(other.rx_)),
       rx_off_(other.rx_off_),
       error_(std::move(other.error_)),
-      wire_error_(other.wire_error_) {}
+      wire_error_(other.wire_error_),
+      deadline_armed_(other.deadline_armed_),
+      deadline_(other.deadline_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
     next_id_ = other.next_id_;
+    options_ = other.options_;
     codec_ = other.codec_;
     rx_ = std::move(other.rx_);
     rx_off_ = other.rx_off_;
     error_ = std::move(other.error_);
     wire_error_ = other.wire_error_;
+    deadline_armed_ = other.deadline_armed_;
+    deadline_ = other.deadline_;
   }
   return *this;
 }
 
 void Client::fail(std::string message) { error_ = std::move(message); }
+
+namespace {
+
+[[nodiscard]] bool set_nonblocking(int fd, bool on) noexcept {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, next) == 0;
+}
+
+}  // namespace
 
 bool Client::connect(const std::string& host, std::uint16_t port) {
   close();
@@ -55,15 +88,61 @@ bool Client::connect(const std::string& host, std::uint16_t port) {
     close();
     return false;
   }
+  const bool timed = options_.connect_timeout.count() > 0;
+  if (timed && !set_nonblocking(fd_, true)) {
+    fail(std::string("fcntl: ") + std::strerror(errno));
+    close();
+    return false;
+  }
   if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
-    fail(std::string("connect: ") + std::strerror(errno));
+    if (!timed || errno != EINPROGRESS) {
+      fail(std::string("connect: ") + std::strerror(errno));
+      close();
+      return false;
+    }
+    pollfd p{fd_, POLLOUT, 0};
+    const int rc =
+        ::poll(&p, 1, static_cast<int>(options_.connect_timeout.count()));
+    if (rc <= 0) {
+      fail(rc == 0 ? "connect timed out"
+                   : std::string("poll: ") + std::strerror(errno));
+      close();
+      return false;
+    }
+    int soerr = 0;
+    socklen_t len = sizeof soerr;
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+        soerr != 0) {
+      fail(std::string("connect: ") + std::strerror(soerr ? soerr : errno));
+      close();
+      return false;
+    }
+  }
+  if (timed && !set_nonblocking(fd_, false)) {
+    fail(std::string("fcntl: ") + std::strerror(errno));
     close();
     return false;
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   return true;
+}
+
+bool Client::connect_with_backoff(const std::string& host, std::uint16_t port,
+                                  std::size_t max_attempts, Backoff& backoff) {
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (connect(host, port)) {
+      backoff.reset();
+      return true;
+    }
+    if (attempt + 1 < max_attempts) {
+      std::this_thread::sleep_for(backoff.next());
+    } else {
+      (void)backoff.next();  // keep the schedule advancing across calls
+    }
+  }
+  return false;
 }
 
 void Client::close() {
@@ -73,6 +152,7 @@ void Client::close() {
   }
   rx_.clear();
   rx_off_ = 0;
+  deadline_armed_ = false;
 }
 
 bool Client::send_raw(std::span<const std::uint8_t> bytes) {
@@ -88,6 +168,26 @@ bool Client::send_raw(std::span<const std::uint8_t> bytes) {
     sent += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+bool Client::wait_readable() {
+  if (!deadline_armed_) return true;
+  const auto now = Clock::now();
+  if (now >= deadline_) {
+    fail("request timed out");
+    return false;
+  }
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline_ - now);
+  pollfd p{fd_, POLLIN, 0};
+  const int rc = ::poll(&p, 1, static_cast<int>(left.count()) + 1);
+  if (rc > 0) return true;
+  if (rc == 0) {
+    fail("request timed out");
+  } else {
+    fail(std::string("poll: ") + std::strerror(errno));
+  }
+  return false;
 }
 
 std::optional<Frame> Client::read_frame() {
@@ -106,6 +206,7 @@ std::optional<Frame> Client::read_frame() {
       fail(std::string("undecodable reply: ") + wire_error_name(d.error));
       return std::nullopt;
     }
+    if (!wait_readable()) return std::nullopt;
     char chunk[16384];
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
     if (n > 0) {
@@ -129,10 +230,25 @@ bool Client::roundtrip(Op op, std::span<const std::uint8_t> payload,
     fail("not connected");
     return false;
   }
+  if (options_.request_timeout.count() > 0) {
+    deadline_armed_ = true;
+    deadline_ = Clock::now() + options_.request_timeout;
+  } else {
+    deadline_armed_ = false;
+  }
   const std::uint32_t id = next_id_++;
-  if (!send_raw(codec_.encode(op, id, payload))) return false;
+  if (!send_raw(codec_.encode(op, id, payload))) {
+    close();  // stream state unknown after a partial send
+    return false;
+  }
   auto frame = read_frame();
-  if (!frame.has_value()) return false;
+  deadline_armed_ = false;
+  if (!frame.has_value()) {
+    // Transport failure or deadline expiry: a late reply would desync
+    // the id-checked stream, so the connection cannot be reused.
+    close();
+    return false;
+  }
   if (frame->op == Op::kError) {
     WireError code = WireError::kMalformedFrame;
     std::string message;
@@ -146,6 +262,7 @@ bool Client::roundtrip(Op op, std::span<const std::uint8_t> payload,
   }
   if (frame->op != reply_op(op) || frame->request_id != id) {
     fail("reply does not match request");
+    close();
     return false;
   }
   reply = std::move(*frame);
@@ -217,6 +334,13 @@ std::optional<ModelInfoReply> Client::model_info() {
     return std::nullopt;
   }
   return info;
+}
+
+std::optional<Frame> Client::request(Op op,
+                                     std::span<const std::uint8_t> payload) {
+  Frame reply;
+  if (!roundtrip(op, payload, reply)) return std::nullopt;
+  return reply;
 }
 
 }  // namespace nevermind::net

@@ -49,21 +49,22 @@ void put_le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
 
 void Codec::encode_into(Op op, std::uint32_t request_id,
                         std::span<const std::uint8_t> payload,
-                        std::vector<std::uint8_t>& out) const {
+                        std::vector<std::uint8_t>& out,
+                        std::uint8_t version) const {
   out.reserve(out.size() + kHeaderSize + payload.size());
   put_le16(out, kMagic);
-  out.push_back(kProtocolVersion);
+  out.push_back(version);
   out.push_back(static_cast<std::uint8_t>(op));
   put_le32(out, request_id);
   put_le32(out, static_cast<std::uint32_t>(payload.size()));
   out.insert(out.end(), payload.begin(), payload.end());
 }
 
-std::vector<std::uint8_t> Codec::encode(
-    Op op, std::uint32_t request_id,
-    std::span<const std::uint8_t> payload) const {
+std::vector<std::uint8_t> Codec::encode(Op op, std::uint32_t request_id,
+                                        std::span<const std::uint8_t> payload,
+                                        std::uint8_t version) const {
   std::vector<std::uint8_t> out;
-  encode_into(op, request_id, payload, out);
+  encode_into(op, request_id, payload, out, version);
   return out;
 }
 
@@ -77,6 +78,7 @@ Codec::Decoded Codec::decode(std::span<const std::uint8_t> buffer) const {
     d.error = WireError::kMalformedFrame;
     return d;
   }
+  if (buffer.size() >= 3) d.peer_version = buffer[2];
   if (buffer.size() >= 3 && buffer[2] != kProtocolVersion) {
     d.status = DecodeStatus::kError;
     d.error = WireError::kVersionMismatch;

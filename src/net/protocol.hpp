@@ -2,7 +2,7 @@
 // binary protocol over TCP. Every frame is
 //
 //   offset 0  u16  magic        0x4D4E ("NM" on the wire, little-endian)
-//   offset 2  u8   version      kProtocolVersion (currently 1)
+//   offset 2  u8   version      kProtocolVersion (currently 2)
 //   offset 3  u8   op           request Op, reply Op (request | kReplyBit),
 //                               or kError
 //   offset 4  u32  request_id   echoed verbatim in the reply
@@ -16,6 +16,12 @@
 // with truncated/garbage input in unit tests: it either asks for more
 // bytes, yields a frame, or yields a typed WireError; it never throws
 // and never reads past the buffer.
+//
+// v2 keeps the v1 frame layout and ops byte-for-byte and adds the
+// cluster ops (0x10-0x15). A v1 peer talking to a v2 endpoint gets a
+// typed kVersionMismatch rejection encoded with *its* version byte
+// (Decoded::peer_version + the encode version parameter) so it can
+// decode the error instead of seeing a poisoned stream.
 #pragma once
 
 #include <cstddef>
@@ -32,7 +38,7 @@
 namespace nevermind::net {
 
 inline constexpr std::uint16_t kMagic = 0x4D4E;  // 'N','M' on the wire
-inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint8_t kProtocolVersion = 2;
 inline constexpr std::size_t kHeaderSize = 12;
 inline constexpr std::size_t kDefaultMaxPayload = 1U << 20;
 
@@ -45,6 +51,13 @@ enum class Op : std::uint8_t {
   kIngestMeasurement = 0x04,
   kIngestTicket = 0x05,
   kModelInfo = 0x06,
+  // v2 cluster ops (src/cluster/). kReplyBit (0x40) must stay clear.
+  kModelPush = 0x10,   // kernel artefact -> every replica, RCU hot-swap
+  kShardMap = 0x11,    // versioned line->shard->node map, epoch-ordered
+  kHeartbeat = 0x12,   // periodic peer announcement, echoed back
+  kHealth = 0x13,      // node + membership snapshot for operators
+  kHandoff = 0x14,     // paginated exact line-state transfer on rejoin
+  kTopNShards = 0x15,  // kTopN restricted to a set of cluster shards
   kError = 0x7F,
 };
 inline constexpr std::uint8_t kReplyBit = 0x40;
@@ -55,7 +68,22 @@ inline constexpr std::uint8_t kReplyBit = 0x40;
 [[nodiscard]] constexpr bool is_reply(Op op) noexcept {
   return (static_cast<std::uint8_t>(op) & kReplyBit) != 0 || op == Op::kError;
 }
-/// True for ops a v1 server knows how to serve.
+/// True for the cluster extension ops a plain scoring server only
+/// serves when a ClusterNode installed its op handler.
+[[nodiscard]] constexpr bool is_cluster_request(Op op) noexcept {
+  switch (op) {
+    case Op::kModelPush:
+    case Op::kShardMap:
+    case Op::kHeartbeat:
+    case Op::kHealth:
+    case Op::kHandoff:
+    case Op::kTopNShards:
+      return true;
+    default:
+      return false;
+  }
+}
+/// True for ops any server — clustered or not — knows how to serve.
 [[nodiscard]] constexpr bool is_known_request(Op op) noexcept {
   switch (op) {
     case Op::kPing:
@@ -66,7 +94,7 @@ inline constexpr std::uint8_t kReplyBit = 0x40;
     case Op::kModelInfo:
       return true;
     default:
-      return false;
+      return is_cluster_request(op);
   }
 }
 
@@ -78,7 +106,7 @@ enum class WireError : std::uint8_t {
   kMalformedFrame = 1,   // bad magic / garbage where a header should be
   kVersionMismatch = 2,  // peer speaks a different protocol version
   kOversizedPayload = 3, // length prefix beyond the configured maximum
-  kUnknownOp = 4,        // framing fine, op not in the v1 table
+  kUnknownOp = 4,        // framing fine, op not in the server's table
   kBadPayload = 5,       // op known, payload failed its typed decode
 };
 [[nodiscard]] const char* wire_error_name(WireError code) noexcept;
@@ -100,13 +128,17 @@ class Codec {
     return max_payload_;
   }
 
-  /// Append one framed message to `out`.
+  /// Append one framed message to `out`. `version` is the version byte
+  /// stamped on the frame; the non-default use is replying to a
+  /// version-mismatched peer in *its* dialect (frame layout is shared
+  /// across versions) so the rejection is decodable on its side.
   void encode_into(Op op, std::uint32_t request_id,
                    std::span<const std::uint8_t> payload,
-                   std::vector<std::uint8_t>& out) const;
+                   std::vector<std::uint8_t>& out,
+                   std::uint8_t version = kProtocolVersion) const;
   [[nodiscard]] std::vector<std::uint8_t> encode(
-      Op op, std::uint32_t request_id,
-      std::span<const std::uint8_t> payload) const;
+      Op op, std::uint32_t request_id, std::span<const std::uint8_t> payload,
+      std::uint8_t version = kProtocolVersion) const;
 
   enum class DecodeStatus : std::uint8_t {
     kNeedMore,  // buffer holds a prefix of a valid frame; read more
@@ -118,6 +150,9 @@ class Codec {
     Frame frame;                              // when kFrame
     WireError error = WireError::kMalformedFrame;  // when kError
     std::size_t consumed = 0;                 // when kFrame
+    /// Version byte the peer sent (valid once >= 3 bytes arrived) —
+    /// lets a kVersionMismatch reply be encoded in the peer's dialect.
+    std::uint8_t peer_version = kProtocolVersion;
   };
   /// Decode the first frame of `buffer`. Never throws, never reads past
   /// the span.

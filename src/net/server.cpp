@@ -108,6 +108,11 @@ void Server::request_stop() noexcept {
   loop_.wake();
 }
 
+void Server::stop_now() noexcept {
+  stop_requested_.store(true, std::memory_order_release);
+  loop_.stop();
+}
+
 void Server::on_acceptable() {
   while (true) {
     const int fd =
@@ -196,10 +201,15 @@ void Server::process_frames(Connection& c) {
     if (d.status == Codec::DecodeStatus::kNeedMore) break;
     if (d.status == Codec::DecodeStatus::kError) {
       // The byte stream is poisoned — reply with the typed error and
-      // shut the connection down once the reply flushes.
+      // shut the connection down once the reply flushes. A
+      // version-mismatched peer gets the rejection stamped with *its*
+      // version byte (the frame layout is shared across versions), so
+      // a v1 client sees a decodable typed error, not garbage.
       ++stats_.protocol_errors;
       flush_score_batch(c);
-      reply_error(c, 0, d.error);
+      reply_error(c, 0, d.error,
+                  d.error == WireError::kVersionMismatch ? d.peer_version
+                                                         : kProtocolVersion);
       c.close_after_flush = true;
       c.read_buf.clear();
       c.read_off = 0;
@@ -299,9 +309,23 @@ void Server::dispatch(Connection& c, const Frame& frame) {
       reply(c, Op::kModelInfo, frame.request_id, w.data());
       return;
     }
-    default:
+    default: {
+      if (op_handler_ && !is_reply(frame.op)) {
+        PayloadWriter w;
+        switch (op_handler_(frame, w)) {
+          case OpOutcome::kReply:
+            reply(c, frame.op, frame.request_id, w.data());
+            return;
+          case OpOutcome::kBadPayload:
+            reply_error(c, frame.request_id, WireError::kBadPayload);
+            return;
+          case OpOutcome::kUnhandled:
+            break;
+        }
+      }
       reply_error(c, frame.request_id, WireError::kUnknownOp);
       return;
+    }
   }
   // Known op, payload failed its typed decode: request-scoped error.
   reply_error(c, frame.request_id, WireError::kBadPayload);
@@ -314,9 +338,9 @@ void Server::reply(Connection& c, Op request_op, std::uint32_t request_id,
 }
 
 void Server::reply_error(Connection& c, std::uint32_t request_id,
-                         WireError code) {
+                         WireError code, std::uint8_t version) {
   const auto payload = encode_error_payload(code, wire_error_name(code));
-  codec_.encode_into(Op::kError, request_id, payload, c.write_buf);
+  codec_.encode_into(Op::kError, request_id, payload, c.write_buf, version);
   ++stats_.replies_out;
 }
 

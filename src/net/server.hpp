@@ -26,8 +26,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "net/event_loop.hpp"
@@ -56,6 +58,13 @@ struct ServerConfig {
   /// >0 shrinks SO_SNDBUF per connection — tests use it to trip the
   /// slow-client path without megabytes of traffic.
   int so_sndbuf = 0;
+};
+
+/// What an extension-op handler did with a frame.
+enum class OpOutcome : std::uint8_t {
+  kReply,       // handler filled the reply payload
+  kBadPayload,  // op recognized, payload failed its typed decode
+  kUnhandled,   // not this handler's op -> kUnknownOp to the peer
 };
 
 struct ServerStats {
@@ -93,6 +102,21 @@ class Server {
   /// an eventfd write, so SIGINT/SIGTERM handlers may call it.
   void request_stop() noexcept;
 
+  /// Abrupt stop: the loop exits at the next dispatch opportunity with
+  /// no drain — buffered replies are dropped and connections are left
+  /// to the destructor. This is the failure-injection path
+  /// (ClusterNode::kill, bench_cluster's mid-run node death), not a
+  /// shutdown API. Async-signal-safe like request_stop().
+  void stop_now() noexcept;
+
+  /// Install a handler for ops dispatch() itself does not know
+  /// (the cluster ops). Runs on the event-loop thread. Must be set
+  /// before run(); replies it produces are framed like any other.
+  void set_op_handler(
+      std::function<OpOutcome(const Frame&, PayloadWriter&)> handler) {
+    op_handler_ = std::move(handler);
+  }
+
   [[nodiscard]] bool stop_requested() const noexcept {
     return stop_requested_.load(std::memory_order_acquire);
   }
@@ -116,7 +140,8 @@ class Server {
   void flush_score_batch(Connection& c);
   void reply(Connection& c, Op request_op, std::uint32_t request_id,
              std::span<const std::uint8_t> payload);
-  void reply_error(Connection& c, std::uint32_t request_id, WireError code);
+  void reply_error(Connection& c, std::uint32_t request_id, WireError code,
+                   std::uint8_t version = kProtocolVersion);
   void flush_writes(Connection& c);
   void update_interest(Connection& c);
   void close_connection(int fd);
@@ -126,6 +151,7 @@ class Server {
   const serve::ModelRegistry& registry_;
   ServerConfig config_;
   Codec codec_;
+  std::function<OpOutcome(const Frame&, PayloadWriter&)> op_handler_;
 
   EventLoop loop_;
   int listen_fd_ = -1;

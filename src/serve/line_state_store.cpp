@@ -100,6 +100,50 @@ std::vector<std::pair<int, dslsim::MetricVector>> LineStateStore::recent(
   return out;
 }
 
+std::optional<ExportedLine> LineStateStore::export_line(
+    dslsim::LineId line) const {
+  const Shard& shard = shards_[shard_of(line)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.lines.find(line);
+  if (it == shard.lines.end()) return std::nullopt;
+  const Entry& entry = it->second;
+  ExportedLine e;
+  e.line = line;
+  e.window = entry.window;
+  e.current = entry.current;
+  e.week = entry.week;
+  e.profile = entry.profile;
+  e.has_ticket = entry.has_ticket;
+  e.last_ticket = entry.last_ticket;
+  e.ring.reserve(entry.ring.size());
+  const std::size_t start =
+      entry.ring.size() < window_capacity_ ? 0 : entry.ring_next;
+  for (std::size_t i = 0; i < entry.ring.size(); ++i) {
+    e.ring.push_back(entry.ring[(start + i) % entry.ring.size()]);
+  }
+  return e;
+}
+
+void LineStateStore::import_line(const ExportedLine& e) {
+  Shard& shard = shards_[shard_of(e.line)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  Entry& entry = shard.lines[e.line];
+  entry.window = e.window;
+  entry.current = e.current;
+  entry.week = e.week;
+  entry.profile = e.profile;
+  entry.has_ticket = e.has_ticket;
+  entry.last_ticket = e.last_ticket;
+  // Rebuild the ring oldest-first from slot 0; if the exporter kept a
+  // deeper window, keep only the newest window_capacity_ entries.
+  entry.ring.assign(
+      e.ring.size() <= window_capacity_
+          ? e.ring.begin()
+          : e.ring.end() - static_cast<std::ptrdiff_t>(window_capacity_),
+      e.ring.end());
+  entry.ring_next = entry.ring.size() % window_capacity_;
+}
+
 std::vector<dslsim::LineId> LineStateStore::line_ids() const {
   std::vector<dslsim::LineId> out;
   for (const Shard& shard : shards_) {

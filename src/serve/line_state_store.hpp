@@ -51,6 +51,23 @@ struct LineSnapshot {
   std::optional<util::Day> last_ticket;
 };
 
+/// Exact copy of one line's full serving state — everything the store
+/// keeps per line, in a public shape the cluster handoff can
+/// serialize. The export_line/import_line round trip is bit-exact: an
+/// imported line scores byte-identically to the original, which is the
+/// determinism contract a rejoining replica relies on.
+struct ExportedLine {
+  dslsim::LineId line = 0;
+  features::LineWindow window;
+  dslsim::MetricVector current{};
+  int week = -1;
+  dslsim::ProfileId profile = 1;
+  bool has_ticket = false;
+  util::Day last_ticket = 0;
+  /// Raw recent measurements, oldest first (same order recent() uses).
+  std::vector<std::pair<int, dslsim::MetricVector>> ring;
+};
+
 class LineStateStore {
  public:
   /// `window_capacity` bounds the ring of raw recent measurements kept
@@ -84,6 +101,16 @@ class LineStateStore {
   /// equivalent of the offline encoder's line iteration order, which is
   /// what keeps top_n rankings byte-identical to predict_week.
   [[nodiscard]] std::vector<dslsim::LineId> line_ids() const;
+
+  /// Full state of one line for the cluster handoff, or nullopt when
+  /// the line is unknown. Ticket-only lines (week still -1) export too.
+  [[nodiscard]] std::optional<ExportedLine> export_line(
+      dslsim::LineId line) const;
+
+  /// Install exported state, overwriting any existing entry for the
+  /// line. Does not count as ingest (the measurement/ticket counters
+  /// track traffic, not replication). Takes one shard lock.
+  void import_line(const ExportedLine& e);
 
   [[nodiscard]] std::size_t n_lines() const;
   [[nodiscard]] std::size_t n_shards() const noexcept {

@@ -63,7 +63,11 @@ std::vector<ServeScore> ScoringService::score_lines(
 }
 
 std::vector<ServeScore> ScoringService::top_n(std::size_t n) const {
-  const std::vector<dslsim::LineId> lines = store_.line_ids();
+  return top_n_of(n, store_.line_ids());
+}
+
+std::vector<ServeScore> ScoringService::top_n_of(
+    std::size_t n, std::span<const dslsim::LineId> lines) const {
   std::vector<ServeScore> scored = score_lines(lines);
   // Same comparator and stable merge as the offline weekly ranking
   // (TicketPredictor::predict_week), over the same ascending-line-id

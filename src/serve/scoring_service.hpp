@@ -56,6 +56,13 @@ class ScoringService {
   /// week w this matches predict_week(w)'s head byte for byte.
   [[nodiscard]] std::vector<ServeScore> top_n(std::size_t n) const;
 
+  /// top_n restricted to an explicit ascending-line-id subset — the
+  /// cluster layer ranks each node's primary shards with this and
+  /// merges; because lines are unique, merging per-subset rankings by
+  /// (score desc, line asc) reproduces the global top_n exactly.
+  [[nodiscard]] std::vector<ServeScore> top_n_of(
+      std::size_t n, std::span<const dslsim::LineId> lines) const;
+
   [[nodiscard]] MicroBatcher::Stats batch_stats() const {
     return batcher_.stats();
   }

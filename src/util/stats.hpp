@@ -25,6 +25,30 @@ class RunningStats {
   [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
   [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
 
+  /// Raw Welford M2 (sum of squared deviations) — exposed so an
+  /// accumulator can be serialized exactly (cluster shard handoff).
+  [[nodiscard]] double sum_sq_dev() const noexcept { return m2_; }
+  /// Raw mean, without the n>0 guard — pairs with restore().
+  [[nodiscard]] double raw_mean() const noexcept { return mean_; }
+  [[nodiscard]] double raw_min() const noexcept { return min_; }
+  [[nodiscard]] double raw_max() const noexcept { return max_; }
+
+  /// Rebuild an accumulator from previously exported raw state. The
+  /// round-trip restore(s.count(), s.raw_mean(), s.sum_sq_dev(),
+  /// s.raw_min(), s.raw_max()) reproduces `s` bit for bit — which is
+  /// what keeps scores identical across a cluster shard handoff.
+  [[nodiscard]] static RunningStats restore(std::size_t n, double mean,
+                                            double m2, double min,
+                                            double max) noexcept {
+    RunningStats s;
+    s.n_ = n;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

@@ -1,0 +1,147 @@
+// Concurrency smoke for the cluster layer, built to run under
+// -DNEVERMIND_SANITIZE=thread (ctest -L tsan): three live ClusterNodes
+// (beacon + server threads each), a fleet of driver threads pushing
+// replicated ingest through their own ShardRouters, a publisher thread
+// hot-pushing the model over the wire, and a hard kill in the middle of
+// it all — the races under test are the node's map/membership mutex,
+// the registry's RCU swap against in-flight scoring, and the routers'
+// independent failover decisions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "cluster/router.hpp"
+#include "cluster/types.hpp"
+#include "core/ticket_predictor.hpp"
+#include "dslsim/simulator.hpp"
+
+namespace nevermind::cluster {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ClusterConcurrency, IngestHeartbeatLossAndModelPushRaceSafely) {
+  dslsim::SimConfig cfg;
+  cfg.seed = 77;
+  cfg.topology.n_lines = 200;
+  const dslsim::SimDataset data = dslsim::Simulator(cfg).run();
+
+  core::PredictorConfig pcfg;
+  pcfg.top_n = 10;
+  pcfg.boost_iterations = 8;
+  pcfg.use_derived_features = false;
+  core::TicketPredictor predictor(pcfg);
+  predictor.train(data, 20, 30);
+
+  ClusterNodeConfig node_cfg;
+  node_cfg.heartbeat_interval = 20ms;
+  node_cfg.membership.suspect_after = 80ms;
+  node_cfg.membership.dead_after = 200ms;
+  std::vector<std::unique_ptr<ClusterNode>> nodes;
+  std::vector<Endpoint> endpoints;
+  for (NodeId id = 0; id < 3; ++id) {
+    ClusterNodeConfig c = node_cfg;
+    c.node_id = id;
+    nodes.push_back(std::make_unique<ClusterNode>(c));
+    std::string error;
+    ASSERT_TRUE(nodes.back()->start(&error)) << error;
+    endpoints.push_back({id, "127.0.0.1", nodes.back()->port(), true});
+  }
+  const ShardMap map = make_shard_map(endpoints, 6, 2);
+
+  {
+    ShardRouter boot(map, {});
+    ASSERT_TRUE(boot.connect_all()) << boot.last_error();
+    ASSERT_TRUE(boot.push_model(predictor.kernel()));
+    ASSERT_TRUE(boot.broadcast_map());
+  }
+
+  constexpr std::size_t kDrivers = 4;
+  constexpr int kWeeks = 8;
+  std::atomic<bool> drivers_done{false};
+  std::atomic<bool> killed{false};
+  std::atomic<std::uint64_t> ingested{0};
+  const std::uint64_t kill_at =
+      static_cast<std::uint64_t>(data.n_lines()) * kWeeks / 2;
+
+  // Publisher: hot-pushes the model over the wire while ingest and the
+  // kill are in flight. Pushes to the dead node fail; that is the point.
+  std::thread publisher([&] {
+    ShardRouter router(map, {});
+    while (!drivers_done.load(std::memory_order_acquire)) {
+      (void)router.push_model(predictor.kernel());
+      std::this_thread::sleep_for(5ms);
+    }
+  });
+
+  // Killer: hard-kills node 2 once half the stream is in.
+  std::thread killer([&] {
+    while (ingested.load(std::memory_order_relaxed) < kill_at &&
+           !drivers_done.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(1ms);
+    }
+    nodes[2]->kill();
+    killed.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> drivers;
+  for (std::size_t d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&, d] {
+      ShardRouter router(map, {});  // one router per thread by design
+      for (int week = 0; week < kWeeks; ++week) {
+        for (std::size_t l = d; l < data.n_lines(); l += kDrivers) {
+          serve::LineMeasurement m;
+          m.line = static_cast<dslsim::LineId>(l);
+          m.week = week;
+          m.profile = data.plant(m.line).profile;
+          m.metrics = data.measurement(week, m.line);
+          // Replication 2 guarantees a live replica through the kill.
+          ASSERT_TRUE(router.ingest(m)) << router.last_error();
+          ingested.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      EXPECT_EQ(router.stats().write_failures, 0U);
+    });
+  }
+  for (auto& t : drivers) t.join();
+  drivers_done.store(true, std::memory_order_release);
+  killer.join();
+  publisher.join();
+  ASSERT_TRUE(killed.load());
+
+  // The survivors' own detectors must have rebuilt the map.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  std::uint64_t epoch0 = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    epoch0 = nodes[0]->map_snapshot().epoch;
+    if (epoch0 > map.epoch) break;
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_GT(epoch0, map.epoch) << "node 0 never detected the kill";
+
+  // Every line is still served (possibly by a failed-over replica) and
+  // the cluster-wide ranking still merges.
+  ShardRouter verify(nodes[0]->map_snapshot(), {});
+  for (std::size_t l = 0; l < data.n_lines(); ++l) {
+    const auto s = verify.score(static_cast<dslsim::LineId>(l));
+    ASSERT_TRUE(s.has_value()) << verify.last_error();
+    EXPECT_TRUE(s->valid);
+    EXPECT_EQ(s->week, kWeeks - 1);
+  }
+  const auto ranked = verify.top_n(10);
+  ASSERT_TRUE(ranked.has_value()) << verify.last_error();
+  EXPECT_EQ(ranked->size(), 10U);
+
+  nodes[0]->stop();
+  nodes[1]->stop();
+}
+
+}  // namespace
+}  // namespace nevermind::cluster

@@ -2,8 +2,8 @@
 """Compare two NEVERMIND benchmark JSON files for timing regressions.
 
 Every bench binary that measures wall-clock time (bench_perf_pipeline,
-bench_train, bench_serve, bench_net) writes a BENCH_*.json with metric
-fields named by convention: names ending in ``_s`` are timings in
+bench_train, bench_serve, bench_net, bench_cluster) writes a
+BENCH_*.json with metric fields named by convention: names ending in ``_s`` are timings in
 seconds and names ending in ``_ms`` are timings in milliseconds (both
 lower is better; ``_ms`` values are converted to seconds so --min-time
 applies uniformly), names ending in ``_per_s`` are throughputs (higher
@@ -367,6 +367,45 @@ def self_test():
     run_drop["runs"][0]["locator_speedup"] = 1.0
     msgs = compare(simd, run_drop, 0.2, 0.05)
     assert len(msgs) == 1 and "locator_speedup" in msgs[0], msgs
+
+    # --- bench_cluster (distributed serving) -------------------------
+    # Mixed conventions again: ingest/query throughputs (_per_s),
+    # request latencies and the two failure-detection latencies (_ms);
+    # the byte-identity verdicts are bools and the shard/line counts
+    # are plain integers — none of those are perf metrics.
+    clus = {
+        "bench": "cluster",
+        "nodes": 3,
+        "replication": 2,
+        "deterministic": True,
+        "rejoin_deterministic": True,
+        "failover_detect_ms": 80.0,
+        "membership_detect_ms": 290.0,
+        "ingest_per_s": 40000.0,
+        "ingest_p99_ms": 90.0,
+        "query_per_s": 15000.0,
+        "query_p99_ms": 70.0,
+        "rejoin_lines_restored": 193,
+        "newcomer_primary_shards": 4,
+    }
+    # Unchanged: clean (verdict bools and counts are not metrics).
+    assert compare(clus, clus, 0.2, 0.05) == []
+    # Slower failure detection is a regression — the whole point of the
+    # membership layer is how fast the cluster routes around a death.
+    slow_detect = json.loads(json.dumps(clus))
+    slow_detect["failover_detect_ms"] = 200.0
+    msgs = compare(clus, slow_detect, 0.2, 0.05)
+    assert len(msgs) == 1 and "failover_detect_ms" in msgs[0], msgs
+    # A replicated-ingest throughput drop is a regression; faster
+    # detection plus higher query throughput is never flagged.
+    slow_ingest = json.loads(json.dumps(clus))
+    slow_ingest["ingest_per_s"] = 20000.0
+    msgs = compare(clus, slow_ingest, 0.2, 0.05)
+    assert len(msgs) == 1 and "ingest_per_s" in msgs[0], msgs
+    better = json.loads(json.dumps(clus))
+    better["membership_detect_ms"] = 100.0
+    better["query_per_s"] = 60000.0
+    assert compare(clus, better, 0.2, 0.05) == []
 
     # --- missing baseline: warn-and-pass, not a crash ----------------
     import tempfile

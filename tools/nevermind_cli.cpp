@@ -22,6 +22,16 @@
 //       simulate the same dataset, replay its feeds against a live
 //       server over C connections, fetch every score over the wire and
 //       print per-op throughput/latency plus the served top-K
+//   nevermind cluster-node --listen PORT [--node-id I] [--shards P]
+//       run one member of a serving cluster: idles until a coordinator
+//       pushes a model and shard map, then serves its shard subset,
+//       heartbeats its peers, and fails over around dead ones; runs
+//       until SIGINT/SIGTERM
+//   nevermind serve    ... --cluster HOST:PORT,HOST:PORT,...
+//       coordinator mode: train (or --load-models), push the model and
+//       a fresh shard map to the listed cluster-node processes, replay
+//       the feeds through a replicating ShardRouter, and print the
+//       cluster-merged top-K — byte-identical to single-node serve
 //   nevermind summary  --lines N --seed S
 //       dataset overview (ticket trends, location shares)
 //   nevermind dataset FILE [--verify]
@@ -53,7 +63,12 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "cluster/node.hpp"
+#include "cluster/router.hpp"
+#include "cluster/types.hpp"
 #include "core/scoring_kernel.hpp"
 #include "core/ticket_predictor.hpp"
 #include "core/trouble_locator.hpp"
@@ -98,6 +113,10 @@ struct CliArgs {
   std::uint16_t port = 0;
   std::size_t connections = 8;
   std::size_t deadline_ms = 0;
+  // Cluster coordinator mode (serve --cluster).
+  std::string cluster_peers;
+  std::size_t cluster_shards = 12;
+  std::size_t replication = 2;
 
   /// Shared pool for the run; serial when --threads 1 (the default).
   [[nodiscard]] exec::ExecContext exec() const {
@@ -209,6 +228,14 @@ CliArgs parse(int argc, char** argv, int first) {
     } else if (flag == "--deadline-ms") {
       args.deadline_ms = static_cast<std::size_t>(
           parse_uint("--deadline-ms", value(), 0, 3'600'000));
+    } else if (flag == "--cluster") {
+      args.cluster_peers = value();
+    } else if (flag == "--cluster-shards") {
+      args.cluster_shards = static_cast<std::size_t>(
+          parse_uint("--cluster-shards", value(), 1, 65536));
+    } else if (flag == "--replication") {
+      args.replication = static_cast<std::size_t>(
+          parse_uint("--replication", value(), 1, 64));
     } else if (flag == "--binning") {
       const std::string mode = value();
       if (mode == "hist" || mode == "histogram") {
@@ -632,7 +659,129 @@ int cmd_serve_listen(const CliArgs& args) {
   return 0;
 }
 
+/// "--cluster HOST:PORT,HOST:PORT,..." — node ids are assigned by list
+/// position, so every process given the same list derives the same map.
+std::vector<cluster::Endpoint> parse_cluster_peers(const std::string& spec) {
+  std::vector<cluster::Endpoint> peers;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const auto comma = spec.find(',', start);
+    const std::string item =
+        spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    if (!item.empty()) {
+      const auto colon = item.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == item.size()) {
+        die_usage("--cluster expects HOST:PORT,HOST:PORT,..., got '" + item +
+                  "'");
+      }
+      cluster::Endpoint ep;
+      ep.node = static_cast<cluster::NodeId>(peers.size());
+      ep.host = item.substr(0, colon);
+      ep.port = static_cast<std::uint16_t>(
+          parse_uint("--cluster", item.substr(colon + 1).c_str(), 1, 65535));
+      peers.push_back(std::move(ep));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (peers.empty()) die_usage("--cluster needs at least one HOST:PORT");
+  return peers;
+}
+
+/// serve --cluster: coordinate a fleet of `cluster-node` processes —
+/// push the trained model and an epoch-1 shard map, replay the feeds
+/// through a replicating ShardRouter, and print the merged ranking.
+int cmd_serve_cluster(const CliArgs& args) {
+  const exec::ExecContext exec = args.exec();
+  const auto data = simulate(args, exec);
+  auto predictor_opt = make_predictor(args, exec, data);
+  if (!predictor_opt.has_value()) return 1;
+
+  const std::vector<cluster::Endpoint> peers =
+      parse_cluster_peers(args.cluster_peers);
+  if (args.replication > peers.size()) {
+    die_usage("--replication " + std::to_string(args.replication) +
+              " exceeds the " + std::to_string(peers.size()) +
+              " nodes in --cluster");
+  }
+  const cluster::ShardMap map = cluster::make_shard_map(
+      peers, static_cast<std::uint32_t>(args.cluster_shards),
+      static_cast<std::uint32_t>(args.replication));
+  cluster::ShardRouter router(map, {});
+  if (!router.connect_all() || !router.push_model(predictor_opt->kernel()) ||
+      !router.broadcast_map()) {
+    std::cerr << "cluster bootstrap failed: " << router.last_error() << "\n";
+    return 1;
+  }
+  std::cerr << "pushed model + shard map (" << args.cluster_shards
+            << " shards, replication " << args.replication << ") to "
+            << peers.size() << " nodes; replaying feeds through week "
+            << args.week << "...\n";
+
+  // Same feeds ReplayDriver would apply locally: customer-edge tickets
+  // through the scored week's Saturday in day order, then every week's
+  // measurements.
+  const util::Day horizon = util::saturday_of_week(args.week);
+  std::vector<std::pair<util::Day, dslsim::LineId>> tickets;
+  for (const auto& ticket : data.tickets()) {
+    if (ticket.category == dslsim::TicketCategory::kCustomerEdge &&
+        ticket.reported <= horizon) {
+      tickets.emplace_back(ticket.reported, ticket.line);
+    }
+  }
+  std::stable_sort(
+      tickets.begin(), tickets.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [day, line] : tickets) {
+    if (!router.ingest_ticket(line, day)) {
+      std::cerr << "ingest_ticket failed: " << router.last_error() << "\n";
+      return 1;
+    }
+  }
+  for (int week = 0; week <= args.week; ++week) {
+    for (std::size_t l = 0; l < data.n_lines(); ++l) {
+      serve::LineMeasurement m;
+      m.line = static_cast<dslsim::LineId>(l);
+      m.week = week;
+      m.profile = data.plant(m.line).profile;
+      m.metrics = data.measurement(week, m.line);
+      if (!router.ingest(m)) {
+        std::cerr << "ingest failed: " << router.last_error() << "\n";
+        return 1;
+      }
+    }
+  }
+
+  const auto ranked = router.top_n(static_cast<std::uint32_t>(args.top));
+  if (!ranked.has_value()) {
+    std::cerr << "top_n failed: " << router.last_error() << "\n";
+    return 1;
+  }
+  const cluster::RouterStats& stats = router.stats();
+  std::cerr << "ingested " << data.n_lines() << " lines x "
+            << (args.week + 1) << " weeks + " << tickets.size()
+            << " tickets (" << stats.requests << " requests, "
+            << stats.retries << " retries, " << stats.failovers
+            << " failovers, " << stats.nodes_marked_dead
+            << " nodes marked dead)\n";
+  std::cout << "rank,line,dslam,week,score,probability,model_version\n";
+  for (std::size_t i = 0; i < ranked->size(); ++i) {
+    const auto& s = (*ranked)[i];
+    std::cout << i + 1 << ',' << s.line << ','
+              << data.topology().dslam_of(s.line) << ',' << s.week << ','
+              << s.score << ',' << s.probability << ',' << s.model_version
+              << '\n';
+  }
+  return 0;
+}
+
 int cmd_serve(const CliArgs& args) {
+  if (!args.cluster_peers.empty() && args.listen_port.has_value()) {
+    die_usage("--cluster and --listen are mutually exclusive");
+  }
+  if (!args.cluster_peers.empty()) return cmd_serve_cluster(args);
   if (args.listen_port.has_value()) return cmd_serve_listen(args);
   const exec::ExecContext exec = args.exec();
   const auto data = simulate(args, exec);
@@ -709,6 +858,95 @@ int cmd_loadgen(const CliArgs& args) {
     std::cout << i + 1 << ',' << s.line << ',' << s.week << ',' << s.score
               << ',' << s.probability << ',' << s.model_version << '\n';
   }
+  return 0;
+}
+
+/// The cluster node being stopped by the signal handlers.
+/// ClusterNode::request_stop() is async-signal-safe (atomic store +
+/// eventfd write through the embedded server).
+std::atomic<cluster::ClusterNode*> g_cluster_node{nullptr};
+
+void handle_cluster_shutdown_signal(int) {
+  if (cluster::ClusterNode* node =
+          g_cluster_node.load(std::memory_order_acquire)) {
+    node->request_stop();
+  }
+}
+
+/// cluster-node: run one member of a serving cluster. The node starts
+/// with an empty store, no model, and no shard map — a coordinator
+/// (`serve --cluster` or a ShardRouter) pushes both; from then on the
+/// beacon heartbeats every peer in the adopted map and routes around
+/// deaths on its own.
+int cmd_cluster_node(int argc, char** argv) {
+  cluster::ClusterNodeConfig cfg;
+  bool have_listen = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) die_usage("missing value for " + flag);
+      return argv[++i];
+    };
+    if (flag == "--listen") {
+      cfg.port =
+          static_cast<std::uint16_t>(parse_uint("--listen", value(), 0, 65535));
+      have_listen = true;
+    } else if (flag == "--node-id") {
+      cfg.node_id = static_cast<cluster::NodeId>(
+          parse_uint("--node-id", value(), 0, 0xFFFFFFFFULL));
+    } else if (flag == "--bind") {
+      cfg.bind_address = value();
+    } else if (flag == "--shards") {
+      cfg.store_shards =
+          static_cast<std::size_t>(parse_uint("--shards", value(), 1, 4096));
+    } else if (flag == "--heartbeat-ms") {
+      cfg.heartbeat_interval = std::chrono::milliseconds(
+          parse_uint("--heartbeat-ms", value(), 1, 60'000));
+    } else if (flag == "--suspect-ms") {
+      cfg.membership.suspect_after = std::chrono::milliseconds(
+          parse_uint("--suspect-ms", value(), 1, 600'000));
+    } else if (flag == "--dead-ms") {
+      cfg.membership.dead_after = std::chrono::milliseconds(
+          parse_uint("--dead-ms", value(), 1, 600'000));
+    } else {
+      die_usage("unknown argument '" + flag + "' for cluster-node");
+    }
+  }
+  if (!have_listen) {
+    die_usage("cluster-node requires --listen PORT (0 = ephemeral)");
+  }
+  if (cfg.membership.dead_after <= cfg.membership.suspect_after) {
+    die_usage("--dead-ms must exceed --suspect-ms");
+  }
+
+  cluster::ClusterNode node(cfg);
+  std::string error;
+  if (!node.start(&error)) {
+    std::cerr << "cannot start cluster node on " << cfg.bind_address << ":"
+              << cfg.port << ": " << error << "\n";
+    return 1;
+  }
+
+  g_cluster_node.store(&node, std::memory_order_release);
+  struct sigaction sa{};
+  sa.sa_handler = handle_cluster_shutdown_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  std::cerr << "cluster node " << cfg.node_id << " listening on "
+            << cfg.bind_address << ":" << node.port() << " ("
+            << cfg.store_shards
+            << " store shards); waiting for a model + shard map push; "
+               "SIGINT/SIGTERM drains and exits\n";
+  node.wait();
+  g_cluster_node.store(nullptr, std::memory_order_release);
+  node.stop();
+
+  const cluster::NodeHealth health = node.health_snapshot();
+  std::cerr << "stopped: map epoch " << health.map_epoch << ", model v"
+            << health.model_version << ", " << health.n_lines << " lines, "
+            << health.measurements << " measurements, " << health.tickets
+            << " tickets\n";
   return 0;
 }
 
@@ -810,7 +1048,8 @@ int cmd_summary(const CliArgs& args) {
 void usage() {
   std::cerr
       << "usage: nevermind "
-         "<simulate|predict|locate|serve|loadgen|summary|dataset> "
+         "<simulate|predict|locate|serve|loadgen|cluster-node|summary|"
+         "dataset> "
          "[--lines N] [--seed S] [--week W] [--top K] [--out DIR] "
          "[--model FILE] [--save-models DIR] [--load-models DIR] "
          "[--save-dataset FILE] [--load-dataset FILE] "
@@ -821,6 +1060,12 @@ void usage() {
          "service over TCP (0 = ephemeral port)\n"
          "  loadgen --port P [--host H] [--connections C]   drive a live "
          "server with the simulated feeds\n"
+         "  cluster-node --listen PORT [--node-id I] [--bind H] "
+         "[--shards P] [--heartbeat-ms H] [--suspect-ms S] [--dead-ms D]"
+         "   run one cluster member until SIGINT/SIGTERM\n"
+         "  serve --cluster H:P,H:P,... [--cluster-shards K] "
+         "[--replication R]   coordinate the listed cluster-node "
+         "processes and print the merged ranking\n"
          "  dataset FILE [--verify]   inspect a persisted feature-store "
          "artefact (.nmarena = binary, else text)\n";
 }
@@ -834,6 +1079,7 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   if (cmd == "dataset") return cmd_dataset(argc, argv);
+  if (cmd == "cluster-node") return cmd_cluster_node(argc, argv);
   const CliArgs args = parse(argc, argv, 2);
   validate_artefact_paths(args, cmd);
   if (cmd == "simulate") return cmd_simulate(args);

@@ -7,24 +7,15 @@ namespace nevermind::core {
 
 RollingDeployment::RollingDeployment(DeploymentConfig config)
     : config_(std::move(config)),
-      predictor_(config_.predictor),
+      orchestrator_(config_.retrain_policy(), config_.predictor),
       locator_(config_.locator) {}
 
-void RollingDeployment::train_at(const dslsim::SimDataset& data,
-                                 int week_before) {
+void RollingDeployment::train_locator_at(const dslsim::SimDataset& data,
+                                         int week_before) {
   const int train_to = week_before;
   const int train_from =
       std::max(0, train_to - config_.training_window_weeks + 1);
-  predictor_.train(data, train_from, train_to);
   locator_.train(data, train_from, train_to);
-
-  // Reference distributions for drift monitoring: the selected feature
-  // columns over the training window.
-  const features::TicketLabeler labeler{config_.predictor.horizon_days};
-  const auto block = features::encode_weeks(
-      data, train_from, train_to, predictor_.full_encoder_config(), labeler);
-  drift_.fit(
-      ml::DatasetView(block.dataset).cols(predictor_.selected_features()));
 }
 
 std::vector<DeploymentWeekReport> RollingDeployment::run(
@@ -33,23 +24,23 @@ std::vector<DeploymentWeekReport> RollingDeployment::run(
     throw std::invalid_argument(
         "RollingDeployment: not enough history before first_week");
   }
-  train_at(data, first_week - 1);
+  orchestrator_.bootstrap(data, first_week);
+  train_locator_at(data, first_week - 1);
 
   std::vector<DeploymentWeekReport> reports;
-  int weeks_since_training = 0;
   for (int week = first_week; week <= last_week; ++week) {
     DeploymentWeekReport report;
     report.week = week;
 
-    if (config_.retrain_every_weeks > 0 &&
-        weeks_since_training >= config_.retrain_every_weeks) {
-      train_at(data, week - 1);
-      weeks_since_training = 0;
-      report.retrained = true;
-    }
-    ++weeks_since_training;
+    const RetrainDecision decision = orchestrator_.observe_week(data, week);
+    report.retrained = decision.retrained;
+    report.trigger = decision.trigger;
+    report.drift_alerts = decision.drift_alerts;
+    report.max_psi = decision.max_psi;
+    if (decision.retrained) train_locator_at(data, week - 1);
 
-    const auto predictions = predictor_.predict_week(data, week);
+    const auto predictions =
+        orchestrator_.predictor().predict_week(data, week);
     report.atds = run_proactive_week(data, predictions, locator_,
                                      config_.atds, week,
                                      config_.predictor.horizon_days);
@@ -58,18 +49,6 @@ std::vector<DeploymentWeekReport> RollingDeployment::run(
             ? static_cast<double>(report.atds.would_ticket) /
                   static_cast<double>(report.atds.submitted)
             : 0.0;
-
-    // Drift check on this week's selected-feature stream.
-    const features::TicketLabeler labeler{config_.predictor.horizon_days};
-    const auto block = features::encode_weeks(
-        data, week, week, predictor_.full_encoder_config(), labeler);
-    const auto current =
-        ml::DatasetView(block.dataset).cols(predictor_.selected_features());
-    const auto psi = drift_.column_psi(current);
-    for (double p : psi) {
-      report.max_psi = std::max(report.max_psi, p);
-      report.drift_alerts += p > config_.psi_alert_threshold ? 1 : 0;
-    }
     reports.push_back(report);
   }
   return reports;

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "core/atds.hpp"
-#include "core/monitoring.hpp"
+#include "core/retrain.hpp"
 #include "core/ticket_predictor.hpp"
 #include "core/trouble_locator.hpp"
 
@@ -22,16 +22,37 @@ struct DeploymentConfig {
   AtdsConfig atds;
   /// Trailing measurement weeks each (re)training uses.
   int training_window_weeks = 9;
-  /// Retrain cadence; 0 trains once before the first week and never
-  /// again (the bench_ablation_drift regime).
+  /// Calendar retrain cadence; 0 trains once before the first week and
+  /// never again (the bench_ablation_drift regime).
   int retrain_every_weeks = 0;
   /// PSI above which a feature counts as drifted in the weekly report.
   double psi_alert_threshold = 0.25;
+  /// Drift-triggered retraining, composing with (or replacing) the
+  /// calendar cadence: retrain when at least `drift_min_alerts`
+  /// selected-feature columns alert for `drift_patience_weeks`
+  /// consecutive weeks, no sooner than `drift_cooldown_weeks` after the
+  /// previous training. 0 alerts keeps the calendar-only behaviour.
+  std::size_t drift_min_alerts = 0;
+  int drift_patience_weeks = 1;
+  int drift_cooldown_weeks = 2;
+
+  [[nodiscard]] RetrainPolicy retrain_policy() const {
+    RetrainPolicy policy;
+    policy.training_window_weeks = training_window_weeks;
+    policy.retrain_every_weeks = retrain_every_weeks;
+    policy.psi_alert_threshold = psi_alert_threshold;
+    policy.drift_min_alerts = drift_min_alerts;
+    policy.drift_patience_weeks = drift_patience_weeks;
+    policy.drift_cooldown_weeks = drift_cooldown_weeks;
+    return policy;
+  }
 };
 
 struct DeploymentWeekReport {
   int week = 0;
   bool retrained = false;
+  /// What caused the retrain (kNone when retrained is false).
+  RetrainTrigger trigger = RetrainTrigger::kNone;
   AtdsWeekReport atds;
   /// Precision of the submitted batch (would-ticket / submitted).
   double precision = 0.0;
@@ -46,20 +67,26 @@ class RollingDeployment {
 
   /// Run the proactive loop over measurement weeks [first, last]
   /// (inclusive). Initial training happens on the window ending the
-  /// week before `first`.
+  /// week before `first`. Retraining decisions (calendar and drift)
+  /// are delegated to a RetrainOrchestrator; the locator retrains on
+  /// the same windows alongside the predictor.
   [[nodiscard]] std::vector<DeploymentWeekReport> run(
       const dslsim::SimDataset& data, int first_week, int last_week);
 
-  [[nodiscard]] const TicketPredictor& predictor() const { return predictor_; }
+  [[nodiscard]] const TicketPredictor& predictor() const {
+    return orchestrator_.predictor();
+  }
   [[nodiscard]] const TroubleLocator& locator() const { return locator_; }
+  [[nodiscard]] const RetrainOrchestrator& orchestrator() const {
+    return orchestrator_;
+  }
 
  private:
-  void train_at(const dslsim::SimDataset& data, int week_before);
+  void train_locator_at(const dslsim::SimDataset& data, int week_before);
 
   DeploymentConfig config_;
-  TicketPredictor predictor_;
+  RetrainOrchestrator orchestrator_;
   TroubleLocator locator_;
-  DriftMonitor drift_;
 };
 
 }  // namespace nevermind::core

@@ -1,0 +1,99 @@
+// The closed retraining loop the paper's deployment plan (§8) never
+// got to build: DriftMonitor PSI alerts on the live feature stream —
+// not just a calendar cadence — decide when the predictor retrains on
+// a trailing window, and the fresh ScoringKernel is handed to a
+// publish hook so the serving layer can hot-swap it into the
+// ModelRegistry mid-stream. RollingDeployment runs its weekly loop on
+// top of this orchestrator; bench_drift measures the detection lag and
+// AUC recovery it buys under simulated concept drift.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "core/monitoring.hpp"
+#include "core/ticket_predictor.hpp"
+
+namespace nevermind::core {
+
+struct RetrainPolicy {
+  /// Trailing measurement weeks each (re)training uses.
+  int training_window_weeks = 9;
+  /// Calendar trigger: retrain every N weeks (0 = calendar off).
+  int retrain_every_weeks = 0;
+  /// PSI above which one selected-feature column counts as drifted.
+  double psi_alert_threshold = 0.25;
+  /// Drift trigger: retrain when at least this many columns alert
+  /// (0 = drift trigger off; the monitor still reports).
+  std::size_t drift_min_alerts = 0;
+  /// ...for this many consecutive weeks (debounces one noisy Saturday).
+  int drift_patience_weeks = 1;
+  /// Minimum weeks between a training and a drift-triggered retrain —
+  /// a fresh model needs time before its reference can be "drifted".
+  /// Does not gate the calendar trigger.
+  int drift_cooldown_weeks = 2;
+};
+
+enum class RetrainTrigger : std::uint8_t { kNone = 0, kCalendar, kDrift };
+[[nodiscard]] const char* retrain_trigger_name(RetrainTrigger t) noexcept;
+
+/// What observe_week decided and measured.
+struct RetrainDecision {
+  int week = 0;
+  RetrainTrigger trigger = RetrainTrigger::kNone;
+  bool retrained = false;
+  /// Selected-feature columns whose PSI exceeded the alert threshold
+  /// this week (measured after any retrain, against the then-current
+  /// reference).
+  std::size_t drift_alerts = 0;
+  double max_psi = 0.0;
+};
+
+/// Owns the predictor and its drift monitor; decides weekly whether to
+/// retrain (calendar cadence, PSI alert streak, or both composed) and
+/// announces every fresh kernel through the publish hook. Deterministic:
+/// training and PSI computation inherit the predictor config's exec
+/// contract, and the decision state is pure bookkeeping.
+class RetrainOrchestrator {
+ public:
+  using PublishHook = std::function<void(const ScoringKernel&)>;
+
+  RetrainOrchestrator(RetrainPolicy policy, PredictorConfig predictor_config);
+
+  /// Called with every newly trained kernel (bootstrap and retrains) —
+  /// e.g. [&](const auto& k) { registry.publish(k); }.
+  void set_publish_hook(PublishHook hook) { publish_ = std::move(hook); }
+
+  /// Initial training on the window ending the week before `first_week`;
+  /// fits the drift reference and publishes the kernel.
+  void bootstrap(const dslsim::SimDataset& data, int first_week);
+
+  /// Advance one week: first decide (on evidence through week-1) whether
+  /// to retrain — and do it, republish, reset the reference — then
+  /// measure this week's selected-feature PSI against the current
+  /// reference and update the alert streak.
+  [[nodiscard]] RetrainDecision observe_week(const dslsim::SimDataset& data,
+                                             int week);
+
+  [[nodiscard]] const TicketPredictor& predictor() const { return predictor_; }
+  [[nodiscard]] const DriftMonitor& drift() const { return drift_; }
+  [[nodiscard]] const RetrainPolicy& policy() const { return policy_; }
+  /// Training-window end week of the most recent (re)training, or -1.
+  [[nodiscard]] int last_trained_week() const noexcept {
+    return last_trained_week_;
+  }
+  [[nodiscard]] int alert_streak() const noexcept { return alert_streak_; }
+
+ private:
+  void train_at(const dslsim::SimDataset& data, int week_before);
+
+  RetrainPolicy policy_;
+  TicketPredictor predictor_;
+  DriftMonitor drift_;
+  PublishHook publish_;
+  int weeks_since_training_ = 0;
+  int alert_streak_ = 0;
+  int last_trained_week_ = -1;
+};
+
+}  // namespace nevermind::core

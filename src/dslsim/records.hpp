@@ -58,6 +58,41 @@ struct OutageEvent {
   util::Day outage_end = 0;
 };
 
+/// Kinds of correlated shared-infrastructure events: unlike the i.i.d.
+/// per-line fault catalogue, these strike one piece of shared plant and
+/// degrade its whole subtree together — the spatial structure TelApart-
+/// style network-vs-premise separation exploits.
+enum class InfraEventKind : std::uint8_t {
+  /// Scheduled/maintenance DSLAM outage: hard loss of the whole shelf
+  /// (on top of the random OutageEvent arrival process).
+  kDslamOutage = 0,
+  /// Water or corrosion in a crossbox: every line in the cabinet's F1
+  /// binder degrades, ramping over days.
+  kCrossboxDegradation,
+  /// Regional weather burst: raised noise floor and errored seconds
+  /// across an ATM region, sudden and short.
+  kWeatherBurst,
+  /// Staged firmware rollout gone wrong: the upgraded DSLAM's lines
+  /// see elevated FEC/ES until the rollback.
+  kFirmwareRegression,
+};
+inline constexpr std::size_t kNumInfraEventKinds = 4;
+
+[[nodiscard]] const char* infra_event_kind_name(InfraEventKind kind) noexcept;
+
+/// One correlated infrastructure event. `scope` is a DslamId for
+/// kDslamOutage/kFirmwareRegression, a CrossboxId for
+/// kCrossboxDegradation, and an AtmId for kWeatherBurst. `location` is
+/// the ground-truth major location a perfect technician would blame.
+struct InfraEvent {
+  InfraEventKind kind = InfraEventKind::kDslamOutage;
+  std::uint32_t scope = 0;
+  util::Day start = 0;
+  util::Day end = 0;  // exclusive
+  float severity = 1.0F;
+  MajorLocation location = MajorLocation::kDslam;
+};
+
 /// Ground-truth fault episode (not visible to NEVERMIND; used by tests
 /// and by the §5.2-style analyses of "incorrect" predictions).
 struct FaultEpisode {

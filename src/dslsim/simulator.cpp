@@ -45,6 +45,97 @@ FaultEffects precursor_effects() noexcept {
 
 }  // namespace
 
+const char* infra_event_kind_name(InfraEventKind kind) noexcept {
+  switch (kind) {
+    case InfraEventKind::kDslamOutage:
+      return "dslam-outage";
+    case InfraEventKind::kCrossboxDegradation:
+      return "crossbox-degradation";
+    case InfraEventKind::kWeatherBurst:
+      return "weather-burst";
+    case InfraEventKind::kFirmwareRegression:
+      return "firmware-regression";
+  }
+  return "?";
+}
+
+FaultEffects infra_event_effects(InfraEventKind kind) noexcept {
+  FaultEffects fx;
+  switch (kind) {
+    case InfraEventKind::kDslamOutage:
+      // Hard loss of the shelf: most modems show unreachable, the rest
+      // report a barely-alive line.
+      fx.es_rate = 140.0;
+      fx.fec_rate = 110.0;
+      fx.cv_rate = 55.0;
+      fx.rate_mult = 0.25;
+      fx.modem_off_prob = 0.65;
+      fx.cells_mult = 0.2;
+      break;
+    case InfraEventKind::kCrossboxDegradation:
+      // Water in the cabinet: the whole F1 binder loses margin.
+      fx.atten_db = 5.0;
+      fx.noise_db = 4.0;
+      fx.cv_rate = 26.0;
+      fx.es_rate = 32.0;
+      fx.fec_rate = 45.0;
+      fx.rate_mult = 0.85;
+      fx.instability = 0.35;
+      break;
+    case InfraEventKind::kWeatherBurst:
+      fx.noise_db = 5.0;
+      fx.es_rate = 38.0;
+      fx.cv_rate = 20.0;
+      fx.instability = 0.55;
+      fx.modem_off_prob = 0.04;
+      break;
+    case InfraEventKind::kFirmwareRegression:
+      fx.fec_rate = 70.0;
+      fx.es_rate = 24.0;
+      fx.rate_mult = 0.93;
+      fx.attain_mult = 0.92;
+      fx.instability = 0.45;
+      break;
+  }
+  return fx;
+}
+
+double infra_activity(const InfraEvent& event, util::Day day) noexcept {
+  if (day < event.start || day >= event.end) return 0.0;
+  if (event.kind == InfraEventKind::kCrossboxDegradation) {
+    return std::min(1.0, static_cast<double>(day - event.start + 1) / 10.0);
+  }
+  return 1.0;
+}
+
+std::vector<LineId> infra_event_lines(const Topology& topo,
+                                      const InfraEvent& event) {
+  std::vector<LineId> lines;
+  switch (event.kind) {
+    case InfraEventKind::kDslamOutage:
+    case InfraEventKind::kFirmwareRegression: {
+      const auto span = topo.lines_of_dslam(event.scope);
+      lines.assign(span.begin(), span.end());
+      break;
+    }
+    case InfraEventKind::kCrossboxDegradation: {
+      const auto span = topo.lines_of_crossbox(event.scope);
+      lines.assign(span.begin(), span.end());
+      break;
+    }
+    case InfraEventKind::kWeatherBurst: {
+      const auto [first, last] = topo.dslam_range_of_atm(event.scope);
+      for (DslamId d = first; d < last; ++d) {
+        const auto span = topo.lines_of_dslam(d);
+        lines.insert(lines.end(), span.begin(), span.end());
+      }
+      break;
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
 double episode_activity(const FaultSignature& sig, const FaultEpisode& episode,
                         util::Day day) noexcept {
   if (day < episode.onset || day >= episode.cleared) return 0.0;
@@ -109,6 +200,18 @@ std::optional<double> SimDataset::bytes_on_day(LineId line,
   const auto& series = daily_mb_[static_cast<std::size_t>(idx)];
   if (day < 0 || static_cast<std::size_t>(day) >= series.size()) return 0.0;
   return static_cast<double>(series[static_cast<std::size_t>(day)]);
+}
+
+bool SimDataset::infra_active(LineId line, util::Day day) const {
+  for (std::uint32_t idx : infra_by_dslam_.at(topology_.dslam_of(line))) {
+    const auto& ev = infra_events_[idx];
+    if (ev.kind == InfraEventKind::kCrossboxDegradation &&
+        topology_.crossbox_of(line) != ev.scope) {
+      continue;
+    }
+    if (infra_activity(ev, day) > 0.0) return true;
+  }
+  return false;
 }
 
 bool SimDataset::fault_active(LineId line, util::Day day) const {
@@ -351,6 +454,179 @@ SimDataset Simulator::run(const exec::ExecContext& exec) const {
     }
   }
 
+  // Fork the remaining root streams in one block, in the same order as
+  // ever (plant, customer, outage, fault, measure, bytes) plus the new
+  // infra stream LAST — existing streams, and therefore every dataset
+  // with the infra layer off, stay bit-identical.
+  util::Rng measure_rng = root.fork();
+  util::Rng bytes_rng = root.fork();
+  util::Rng infra_rng = root.fork();
+
+  // ---- correlated infrastructure events --------------------------------
+  // Scripted events first (fixed order), then random arrivals swept
+  // serially per scope unit; both fully deterministic in the seed. The
+  // per-line consequences (metric effects in the measurement sweep,
+  // ticket draws below) are keyed per (event, line), so they are
+  // independent of the thread count.
+  data.infra_by_dslam_.resize(topo.n_dslams());
+  const auto add_infra = [&](InfraEventKind kind, std::uint32_t scope,
+                             util::Day start, util::Day end, float severity) {
+    InfraEvent ev;
+    ev.kind = kind;
+    ev.scope = scope;
+    ev.start = std::max<util::Day>(start, 0);
+    ev.end = std::min<util::Day>(end, horizon);
+    ev.severity = std::clamp(severity, 0.2F, 2.5F);
+    ev.location = kind == InfraEventKind::kCrossboxDegradation
+                      ? MajorLocation::kF1
+                  : kind == InfraEventKind::kWeatherBurst
+                      ? MajorLocation::kF1
+                      : MajorLocation::kDslam;
+    if (ev.end <= ev.start) return;
+    data.infra_events_.push_back(ev);
+  };
+
+  for (const auto& se : config_.scripted_infra) {
+    const std::uint32_t scope_limit =
+        se.kind == InfraEventKind::kCrossboxDegradation ? topo.n_crossboxes()
+        : se.kind == InfraEventKind::kWeatherBurst      ? topo.n_atms()
+                                                        : topo.n_dslams();
+    if (se.scope < scope_limit) {
+      add_infra(se.kind, se.scope, se.start, se.end, se.severity);
+    }
+  }
+
+  const auto infra_arrivals = [&](double per_unit_year, std::uint32_t n_units,
+                                  auto&& emit) {
+    if (per_unit_year <= 0.0) return;
+    const double rate_day = per_unit_year / 365.0;
+    for (std::uint32_t s = 0; s < n_units; ++s) {
+      double day = infra_rng.exponential(rate_day);
+      while (day < static_cast<double>(horizon)) {
+        emit(s, static_cast<util::Day>(day));
+        day += infra_rng.exponential(rate_day);
+      }
+    }
+  };
+  infra_arrivals(config_.infra.dslam_outages_per_dslam_year, topo.n_dslams(),
+                 [&](std::uint32_t d, util::Day day) {
+                   const auto dur = static_cast<util::Day>(
+                       1 + infra_rng.exponential(1.0 / 1.5));
+                   const auto sev = static_cast<float>(
+                       infra_rng.lognormal(0.0, 0.3));
+                   add_infra(InfraEventKind::kDslamOutage, d, day, day + dur,
+                             sev);
+                 });
+  infra_arrivals(config_.infra.crossbox_events_per_crossbox_year,
+                 topo.n_crossboxes(), [&](std::uint32_t c, util::Day day) {
+                   const auto dur = static_cast<util::Day>(
+                       7 + infra_rng.exponential(1.0 / 14.0));
+                   const auto sev = static_cast<float>(
+                       infra_rng.lognormal(0.0, 0.35));
+                   add_infra(InfraEventKind::kCrossboxDegradation, c, day,
+                             day + dur, sev);
+                 });
+  infra_arrivals(config_.infra.weather_bursts_per_region_year, topo.n_atms(),
+                 [&](std::uint32_t a, util::Day day) {
+                   const auto dur = static_cast<util::Day>(
+                       2 + infra_rng.exponential(1.0 / 2.0));
+                   const auto sev = static_cast<float>(
+                       infra_rng.lognormal(0.0, 0.35));
+                   add_infra(InfraEventKind::kWeatherBurst, a, day, day + dur,
+                             sev);
+                 });
+  if (config_.infra.firmware_rollout_start >= 0) {
+    const std::uint32_t per_wave =
+        std::max<std::uint32_t>(config_.infra.firmware_dslams_per_wave, 1);
+    for (DslamId d = 0; d < topo.n_dslams(); ++d) {
+      const auto wave = static_cast<util::Day>(d / per_wave);
+      const util::Day upgrade_day =
+          config_.infra.firmware_rollout_start +
+          wave * std::max(config_.infra.firmware_wave_days, 1);
+      const bool regresses =
+          infra_rng.bernoulli(config_.infra.firmware_regression_prob);
+      if (!regresses || upgrade_day >= horizon) continue;
+      const auto dur = static_cast<util::Day>(
+          7 + infra_rng.exponential(1.0 / 10.0));
+      add_infra(InfraEventKind::kFirmwareRegression, d, upgrade_day,
+                upgrade_day + dur,
+                static_cast<float>(infra_rng.lognormal(0.0, 0.25)));
+    }
+  }
+
+  std::sort(data.infra_events_.begin(), data.infra_events_.end(),
+            [](const InfraEvent& a, const InfraEvent& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.scope != b.scope) return a.scope < b.scope;
+              return a.end < b.end;
+            });
+  for (std::uint32_t ei = 0; ei < data.infra_events_.size(); ++ei) {
+    const auto& ev = data.infra_events_[ei];
+    switch (ev.kind) {
+      case InfraEventKind::kDslamOutage:
+      case InfraEventKind::kFirmwareRegression:
+        data.infra_by_dslam_[ev.scope].push_back(ei);
+        break;
+      case InfraEventKind::kCrossboxDegradation:
+        data.infra_by_dslam_[topo.dslam_of_crossbox(ev.scope)].push_back(ei);
+        break;
+      case InfraEventKind::kWeatherBurst: {
+        const auto [first, last] = topo.dslam_range_of_atm(ev.scope);
+        for (DslamId d = first; d < last; ++d) {
+          data.infra_by_dslam_[d].push_back(ei);
+        }
+        break;
+      }
+    }
+  }
+
+  // Tickets raised by infrastructure events: every affected customer
+  // may notice and call, keyed per (event, line) so the stream is
+  // order-free. DSLAM outages are mostly absorbed by the IVR (§5.2);
+  // the note blames the event's true location, with the usual
+  // technician label noise.
+  const std::uint64_t infra_ticket_seed = infra_rng.next();
+  for (std::uint32_t ei = 0; ei < data.infra_events_.size(); ++ei) {
+    const auto& ev = data.infra_events_[ei];
+    const util::Day dur = ev.end - ev.start;
+    if (dur <= 0) continue;
+    FaultEffects at_full;
+    accumulate_effects(at_full, infra_event_effects(ev.kind), ev.severity);
+    const double perceived = perceived_severity(at_full);
+    for (LineId u : infra_event_lines(topo, ev)) {
+      util::Rng rng = util::Rng::stream(
+          infra_ticket_seed,
+          (static_cast<std::uint64_t>(ei) << 32) | u);
+      const CustomerBehavior& cust = data.customers_[u];
+      double p_call = 1.0 - std::exp(-config_.notice_scale * perceived *
+                                     cust.report_propensity *
+                                     std::min<double>(dur, 14.0) * 0.35);
+      if (ev.kind == InfraEventKind::kDslamOutage) {
+        p_call *= 1.0 - config_.outage_suppression;
+      }
+      if (!rng.bernoulli(p_call)) continue;
+      PendingTicket t;
+      t.line = u;
+      t.reported = ev.start + static_cast<util::Day>(rng.uniform_index(
+                                  static_cast<std::uint64_t>(dur)));
+      t.resolved = t.reported + 1 +
+                   static_cast<util::Day>(
+                       std::min<std::uint64_t>(rng.geometric(0.5), 4));
+      t.category = TicketCategory::kCustomerEdge;
+      t.episode = -1;
+      DispositionId blamed =
+          faults.sample_within_location(rng, ev.location);
+      if (rng.bernoulli(config_.label_noise_any)) {
+        blamed = faults.sample(rng);
+      }
+      t.disposition = blamed;
+      t.location = faults.signature(blamed).location;
+      t.has_note = true;
+      pending.push_back(t);
+    }
+  }
+
   // ---- materialize tickets in chronological order -----------------------
   std::sort(pending.begin(), pending.end(),
             [](const PendingTicket& a, const PendingTicket& b) {
@@ -392,7 +668,6 @@ SimDataset Simulator::run(const exec::ExecContext& exec) const {
   // sweeps its 52 Saturdays from it, so the measurement tables are
   // bit-identical no matter how many threads sweep the lines (and the
   // fault/ticket process above never sees these draws).
-  util::Rng measure_rng = root.fork();
   const std::uint64_t measure_seed = measure_rng.next();
   data.weeks_.resize(static_cast<std::size_t>(config_.n_weeks));
   for (auto& week : data.weeks_) week.resize(topo.n_lines());
@@ -427,6 +702,36 @@ SimDataset Simulator::run(const exec::ExecContext& exec) const {
             accumulate_effects(ctx.fx, precursor_effects(), ramp);
           }
         }
+        // Correlated infrastructure events covering this line's subtree.
+        for (std::uint32_t idx : data.infra_by_dslam_[topo.dslam_of(u)]) {
+          const auto& ev = data.infra_events_[idx];
+          if (ev.kind == InfraEventKind::kCrossboxDegradation &&
+              topo.crossbox_of(u) != ev.scope) {
+            continue;
+          }
+          const double act = infra_activity(ev, day);
+          if (act > 0.0) {
+            accumulate_effects(ctx.fx, infra_event_effects(ev.kind),
+                               ev.severity * act);
+          }
+        }
+        // Environment drift: deterministic, RNG-free shifts shared by
+        // the whole population (concept drift for bench_drift).
+        if (config_.drift.plant_aging_db_per_year > 0.0 &&
+            day >= config_.drift.onset_day) {
+          ctx.fx.atten_db += config_.drift.plant_aging_db_per_year *
+                             static_cast<double>(day -
+                                                 config_.drift.onset_day) /
+                             365.0;
+        }
+        if (config_.drift.seasonal_noise_amp_db > 0.0) {
+          const double phase =
+              2.0 * 3.14159265358979323846 *
+              static_cast<double>(day - config_.drift.seasonal_peak_day) /
+              365.25;
+          ctx.fx.noise_db += config_.drift.seasonal_noise_amp_db * 0.5 *
+                             (1.0 + std::cos(phase));
+        }
 
         // Away customers mostly leave the modem powered (the paper's
         // not-on-site lines still produce Saturday test records); a
@@ -448,7 +753,6 @@ SimDataset Simulator::run(const exec::ExecContext& exec) const {
   // Feed membership and slot order are fixed serially (they follow the
   // topology alone); the per-line series then fill in parallel from
   // per-line streams.
-  util::Rng bytes_rng = root.fork();
   const std::uint64_t bytes_seed = bytes_rng.next();
   data.byte_feed_index_.assign(topo.n_lines(), -1);
   std::vector<LineId> feed_lines;

@@ -67,6 +67,55 @@ struct SimConfig {
     float severity = 1.0F;
   };
   std::vector<ScriptedFault> scripted_faults;
+
+  /// Correlated shared-infrastructure events (the spatial fault layer).
+  /// All rates default to 0: the layer is fully inert unless asked for,
+  /// so default-config datasets are bit-identical with or without it.
+  struct InfraEventRates {
+    /// Scheduled DSLAM outages per DSLAM per year (on top of the random
+    /// OutageEvent process above, which models unscheduled failures).
+    double dslam_outages_per_dslam_year = 0.0;
+    /// Crossbox (F1 binder) degradation events per crossbox per year.
+    double crossbox_events_per_crossbox_year = 0.0;
+    /// Weather bursts per ATM region per year.
+    double weather_bursts_per_region_year = 0.0;
+    /// Staged firmware rollout: first wave upgrades on this day
+    /// (negative = no rollout), each wave `firmware_wave_days` later
+    /// covers the next `firmware_dslams_per_wave` DSLAMs, and each
+    /// upgraded DSLAM regresses with `firmware_regression_prob`.
+    util::Day firmware_rollout_start = -1;
+    int firmware_wave_days = 7;
+    std::uint32_t firmware_dslams_per_wave = 4;
+    double firmware_regression_prob = 0.25;
+  };
+  InfraEventRates infra;
+
+  /// An infrastructure event injected deterministically (controlled
+  /// experiments, tests, bench_drift). Scope semantics as InfraEvent.
+  struct ScriptedInfraEvent {
+    InfraEventKind kind = InfraEventKind::kDslamOutage;
+    std::uint32_t scope = 0;
+    util::Day start = 0;
+    util::Day end = 0;  // exclusive
+    float severity = 1.0F;
+  };
+  std::vector<ScriptedInfraEvent> scripted_infra;
+
+  /// Deterministic concept drift applied arithmetically in the
+  /// measurement sweep (no RNG draws, so enabling it perturbs no other
+  /// stream): slow plant aging plus a seasonal noise cycle. Both
+  /// default off.
+  struct EnvironmentDrift {
+    /// Extra attenuation accumulating linearly from `onset_day` on
+    /// every line (corroding plant), in dB per 365 days.
+    double plant_aging_db_per_year = 0.0;
+    util::Day onset_day = 0;
+    /// Peak-to-trough amplitude of a seasonal noise-floor cycle (dB);
+    /// maximum at `seasonal_peak_day` (day-of-sim, cosine-shaped).
+    double seasonal_noise_amp_db = 0.0;
+    int seasonal_peak_day = 240;
+  };
+  EnvironmentDrift drift;
 };
 
 /// Everything one simulation run produces. Downstream components (the
@@ -142,6 +191,25 @@ class SimDataset {
     return {v.data(), v.size()};
   }
 
+  /// Correlated infrastructure events, sorted by (start, kind, scope).
+  [[nodiscard]] const std::vector<InfraEvent>& infra_events() const noexcept {
+    return infra_events_;
+  }
+
+  /// Indices into infra_events() of every event that can touch lines of
+  /// this DSLAM (crossbox events appear under their DSLAM; weather
+  /// events under every DSLAM of the region).
+  [[nodiscard]] std::span<const std::uint32_t> infra_events_of_dslam(
+      DslamId dslam) const {
+    const auto& v = infra_by_dslam_.at(dslam);
+    return {v.data(), v.size()};
+  }
+
+  /// Ground truth: true if any infrastructure event covering this line
+  /// is active on `day` — the network-side label the spatial stage is
+  /// evaluated against.
+  [[nodiscard]] bool infra_active(LineId line, util::Day day) const;
+
   // --- mutation hooks used only by the Simulator while building -------
   struct Builder;
 
@@ -165,6 +233,10 @@ class SimDataset {
   std::vector<std::vector<float>> daily_mb_;
   /// Per line: episode indices (for fault_active).
   std::vector<std::vector<std::uint32_t>> line_episodes_;
+  /// Correlated infrastructure events and the per-DSLAM index the
+  /// measurement sweep walks.
+  std::vector<InfraEvent> infra_events_;
+  std::vector<std::vector<std::uint32_t>> infra_by_dslam_;
 
   friend class Simulator;
 };
@@ -175,6 +247,20 @@ class SimDataset {
 [[nodiscard]] double episode_activity(const FaultSignature& sig,
                                       const FaultEpisode& episode,
                                       util::Day day) noexcept;
+
+/// Metric perturbations one infrastructure event kind applies at
+/// severity 1.0 to every line in its scope.
+[[nodiscard]] FaultEffects infra_event_effects(InfraEventKind kind) noexcept;
+
+/// Activity of an infrastructure event on a day in [0, 1]: 0 outside
+/// [start, end); crossbox degradations ramp over the first days, the
+/// other kinds hit at full strength immediately.
+[[nodiscard]] double infra_activity(const InfraEvent& event,
+                                    util::Day day) noexcept;
+
+/// Every line in an event's scope, ascending by id.
+[[nodiscard]] std::vector<LineId> infra_event_lines(const Topology& topo,
+                                                    const InfraEvent& event);
 
 class Simulator {
  public:

@@ -1,5 +1,7 @@
 #include "dslsim/topology.hpp"
 
+#include <algorithm>
+
 namespace nevermind::dslsim {
 
 Topology::Topology(const TopologyConfig& config, std::uint64_t seed) {
@@ -14,6 +16,8 @@ Topology::Topology(const TopologyConfig& config, std::uint64_t seed) {
   const std::uint32_t cpd =
       config.crossboxes_per_dslam > 0 ? config.crossboxes_per_dslam : 6;
   n_crossboxes_ = n_dslams_ * cpd;
+  crossboxes_per_dslam_ = cpd;
+  dslams_per_atm_ = dpa;
 
   util::Rng rng(seed ^ 0x70B01061ULL);
 
@@ -47,12 +51,41 @@ Topology::Topology(const TopologyConfig& config, std::uint64_t seed) {
   for (LineId u = 0; u < n_lines_; ++u) {
     dslam_lines_flat_[cursor[line_dslam_[u]]++] = u;
   }
+
+  // Same grouping at crossbox granularity (street cabinets), for the
+  // spatial aggregation layer and crossbox-scoped infrastructure events.
+  crossbox_lines_offset_.assign(n_crossboxes_ + 1, 0);
+  for (LineId u = 0; u < n_lines_; ++u) {
+    ++crossbox_lines_offset_[line_crossbox_[u] + 1];
+  }
+  for (std::uint32_t c = 0; c < n_crossboxes_; ++c) {
+    crossbox_lines_offset_[c + 1] += crossbox_lines_offset_[c];
+  }
+  crossbox_lines_flat_.resize(n_lines_);
+  std::vector<std::uint32_t> ccursor(crossbox_lines_offset_.begin(),
+                                     crossbox_lines_offset_.end() - 1);
+  for (LineId u = 0; u < n_lines_; ++u) {
+    crossbox_lines_flat_[ccursor[line_crossbox_[u]]++] = u;
+  }
 }
 
 std::span<const LineId> Topology::lines_of_dslam(DslamId d) const {
   const std::uint32_t begin = dslam_lines_offset_.at(d);
   const std::uint32_t end = dslam_lines_offset_.at(d + 1);
   return {dslam_lines_flat_.data() + begin, end - begin};
+}
+
+std::span<const LineId> Topology::lines_of_crossbox(CrossboxId c) const {
+  const std::uint32_t begin = crossbox_lines_offset_.at(c);
+  const std::uint32_t end = crossbox_lines_offset_.at(c + 1);
+  return {crossbox_lines_flat_.data() + begin, end - begin};
+}
+
+std::pair<DslamId, DslamId> Topology::dslam_range_of_atm(
+    AtmId a) const noexcept {
+  const DslamId first = a * dslams_per_atm_;
+  const DslamId last = std::min(n_dslams_, first + dslams_per_atm_);
+  return {first, last};
 }
 
 }  // namespace nevermind::dslsim

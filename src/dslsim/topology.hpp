@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -49,11 +50,22 @@ class Topology {
     return line_crossbox_[line];
   }
   [[nodiscard]] AtmId atm_of_dslam(DslamId d) const { return dslam_atm_[d]; }
+  [[nodiscard]] AtmId atm_of_line(LineId line) const {
+    return dslam_atm_[line_dslam_[line]];
+  }
   [[nodiscard]] BrasId bras_of_dslam(DslamId d) const { return dslam_bras_[d]; }
   [[nodiscard]] BrasId bras_of_line(LineId line) const {
     return dslam_bras_[line_dslam_[line]];
   }
+  /// Crossbox ids are global: DSLAM d owns [d*cpd, (d+1)*cpd).
+  [[nodiscard]] DslamId dslam_of_crossbox(CrossboxId c) const noexcept {
+    return c / crossboxes_per_dslam_;
+  }
   [[nodiscard]] std::span<const LineId> lines_of_dslam(DslamId d) const;
+  [[nodiscard]] std::span<const LineId> lines_of_crossbox(CrossboxId c) const;
+  /// DSLAM ids are contiguous per ATM: [first, last) range of ATM a.
+  [[nodiscard]] std::pair<DslamId, DslamId> dslam_range_of_atm(
+      AtmId a) const noexcept;
 
  private:
   std::uint32_t n_lines_ = 0;
@@ -61,12 +73,16 @@ class Topology {
   std::uint32_t n_atms_ = 0;
   std::uint32_t n_bras_ = 0;
   std::uint32_t n_crossboxes_ = 0;
+  std::uint32_t crossboxes_per_dslam_ = 6;
+  std::uint32_t dslams_per_atm_ = 24;
   std::vector<DslamId> line_dslam_;
   std::vector<CrossboxId> line_crossbox_;
   std::vector<AtmId> dslam_atm_;
   std::vector<BrasId> dslam_bras_;
   std::vector<LineId> dslam_lines_flat_;   // grouped by DSLAM
   std::vector<std::uint32_t> dslam_lines_offset_;
+  std::vector<LineId> crossbox_lines_flat_;  // grouped by crossbox
+  std::vector<std::uint32_t> crossbox_lines_offset_;
 };
 
 }  // namespace nevermind::dslsim

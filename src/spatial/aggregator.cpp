@@ -1,0 +1,281 @@
+#include "spatial/aggregator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nevermind::spatial {
+
+namespace {
+
+using dslsim::LineMetric;
+using dslsim::metric_index;
+
+/// Metrics watched for anomalies, with the direction that is "bad":
+/// error counters and attenuation rise under a fault; rates, margins
+/// and relative capacity fall.
+struct WatchedMetric {
+  LineMetric metric;
+  bool higher_is_bad;
+};
+constexpr WatchedMetric kWatched[] = {
+    {LineMetric::kDnCvCnt1, true},      {LineMetric::kDnCvCnt2, true},
+    {LineMetric::kDnCvCnt3, true},      {LineMetric::kDnEsCnt1, true},
+    {LineMetric::kDnEsCnt2, true},      {LineMetric::kDnFecCnt1, true},
+    {LineMetric::kDnAttenuation, true}, {LineMetric::kUpAttenuation, true},
+    {LineMetric::kDnBitRate, false},    {LineMetric::kUpBitRate, false},
+    {LineMetric::kDnNoiseMargin, false}, {LineMetric::kUpNoiseMargin, false},
+    {LineMetric::kDnRelCap, false},     {LineMetric::kUpRelCap, false},
+    {LineMetric::kDnMaxAttainBr, false}, {LineMetric::kUpMaxAttainBr, false},
+};
+
+constexpr double kZCap = 20.0;
+
+}  // namespace
+
+const char* group_scope_name(GroupScope scope) noexcept {
+  switch (scope) {
+    case GroupScope::kCrossbox:
+      return "crossbox";
+    case GroupScope::kDslam:
+      return "dslam";
+    case GroupScope::kAtm:
+      return "atm";
+  }
+  return "?";
+}
+
+const char* line_verdict_name(LineVerdict v) noexcept {
+  switch (v) {
+    case LineVerdict::kHealthy:
+      return "healthy";
+    case LineVerdict::kPremise:
+      return "premise";
+    case LineVerdict::kNetwork:
+      return "network";
+  }
+  return "?";
+}
+
+LineEvidence evaluate_line(const features::LineWindow& window,
+                           const dslsim::MetricVector& current,
+                           const SpatialConfig& config) {
+  LineEvidence ev;
+  const std::uint32_t seen = window.tests_seen;
+  if (seen < static_cast<std::uint32_t>(config.min_history_weeks)) {
+    return ev;  // not enough history to judge anything
+  }
+
+  if (!dslsim::record_present(current)) {
+    // Unreachable modem: strong evidence only when this line usually
+    // answers (a DSLAM outage turns a whole shelf dark at once).
+    const double off_rate =
+        static_cast<double>(window.tests_off) / static_cast<double>(seen);
+    if (off_rate <= config.max_historic_off_rate) {
+      ev.evaluated = true;
+      ev.missing = true;
+      ev.anomalous = true;
+      ev.anomaly = static_cast<float>(kZCap);
+    }
+    return ev;
+  }
+
+  double worst = 0.0;
+  bool any_metric = false;
+  for (const auto& w : kWatched) {
+    const std::size_t i = metric_index(w.metric);
+    const float x = current[i];
+    if (std::isnan(x)) continue;
+    const util::RunningStats& h = window.history[i];
+    if (h.count() < static_cast<std::size_t>(config.min_history_weeks)) {
+      continue;
+    }
+    any_metric = true;
+    // Floor the spread so near-constant counters (healthy lines report
+    // mostly zeros) still produce finite, capped z-scores.
+    const double sd =
+        std::max(h.stddev(), 1e-3 + 0.02 * std::abs(h.mean()));
+    const double z = (static_cast<double>(x) - h.mean()) / sd;
+    const double bad = w.higher_is_bad ? z : -z;
+    worst = std::max(worst, std::min(bad, kZCap));
+  }
+  if (!any_metric) return ev;
+  ev.evaluated = true;
+  ev.anomaly = static_cast<float>(worst);
+  ev.anomalous = worst >= config.line_z_threshold;
+  return ev;
+}
+
+SpatialAggregator::SpatialAggregator(const dslsim::Topology& topology,
+                                     SpatialConfig config)
+    : topology_(topology), config_(config) {}
+
+SpatialReport SpatialAggregator::aggregate(std::vector<LineEvidence> lines,
+                                           int week) const {
+  const dslsim::Topology& topo = topology_;
+  SpatialReport report;
+  report.week = week;
+  report.lines = std::move(lines);
+  report.verdicts.assign(topo.n_lines(), LineVerdict::kHealthy);
+  report.line_confidence.assign(topo.n_lines(), 0.0F);
+
+  for (const LineEvidence& ev : report.lines) {
+    if (!ev.evaluated) continue;
+    ++report.evaluated;
+    if (ev.anomalous) ++report.anomalous_lines;
+  }
+  report.baseline_rate =
+      report.evaluated > 0
+          ? static_cast<double>(report.anomalous_lines) /
+                static_cast<double>(report.evaluated)
+          : 0.0;
+  // The binomial baseline: at least a whisper of noise so a perfectly
+  // quiet population still yields finite z-scores.
+  const double p = std::clamp(report.baseline_rate, 1e-4, 0.9);
+
+  const auto judge = [&](GroupScope scope, std::uint32_t id,
+                         std::span<const dslsim::LineId> members) {
+    GroupFinding g;
+    g.scope = scope;
+    g.id = id;
+    double prior_sum = 0.0;
+    std::uint32_t prior_n = 0;
+    for (dslsim::LineId u : members) {
+      const LineEvidence& ev = report.lines[u];
+      if (!ev.evaluated) continue;
+      ++g.lines;
+      if (ev.anomalous) {
+        ++g.anomalous;
+        if (ev.network_prior > 0.0F) {
+          prior_sum += ev.network_prior;
+          ++prior_n;
+        }
+      }
+    }
+    if (g.lines == 0) return g;
+    const double n = g.lines;
+    g.rate = static_cast<double>(g.anomalous) / n;
+    g.baseline = report.baseline_rate;
+    g.zscore = (static_cast<double>(g.anomalous) - n * p) /
+               std::sqrt(n * p * (1.0 - p));
+    g.network_side = g.lines >= config_.min_group_lines && g.anomalous >= 2 &&
+                     g.rate - report.baseline_rate >= config_.min_excess_rate &&
+                     g.zscore >= config_.group_alert_z;
+    if (g.network_side) {
+      const double conf_z =
+          1.0 - std::exp(-(g.zscore - config_.group_alert_z + 1.0) / 4.0);
+      if (prior_n > 0) {
+        // Locator evidence available on dispatched lines in the group:
+        // blend it with the co-impairment evidence.
+        g.confidence = std::clamp(
+            0.5 * conf_z + 0.5 * (prior_sum / static_cast<double>(prior_n)),
+            0.0, 1.0);
+      } else {
+        g.confidence = std::clamp(conf_z, 0.0, 1.0);
+      }
+    }
+    return g;
+  };
+
+  report.crossboxes.reserve(topo.n_crossboxes());
+  for (std::uint32_t c = 0; c < topo.n_crossboxes(); ++c) {
+    report.crossboxes.push_back(
+        judge(GroupScope::kCrossbox, c, topo.lines_of_crossbox(c)));
+  }
+  report.dslams.reserve(topo.n_dslams());
+  for (std::uint32_t d = 0; d < topo.n_dslams(); ++d) {
+    report.dslams.push_back(
+        judge(GroupScope::kDslam, d, topo.lines_of_dslam(d)));
+  }
+  report.atms.reserve(topo.n_atms());
+  for (std::uint32_t a = 0; a < topo.n_atms(); ++a) {
+    std::vector<dslsim::LineId> members;
+    const auto [first, last] = topo.dslam_range_of_atm(a);
+    for (std::uint32_t d = first; d < last; ++d) {
+      const auto span = topo.lines_of_dslam(d);
+      members.insert(members.end(), span.begin(), span.end());
+    }
+    report.atms.push_back(judge(GroupScope::kAtm, a, members));
+  }
+
+  for (const auto* groups : {&report.crossboxes, &report.dslams, &report.atms}) {
+    for (const GroupFinding& g : *groups) {
+      if (g.network_side) report.network_findings.push_back(g);
+    }
+  }
+  std::sort(report.network_findings.begin(), report.network_findings.end(),
+            [](const GroupFinding& a, const GroupFinding& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              if (a.scope != b.scope) return a.scope < b.scope;
+              return a.id < b.id;
+            });
+
+  // Per-line verdict: network when any enclosing group flagged (with
+  // the strongest enclosing confidence), else premise when the line
+  // itself is anomalous, else healthy.
+  for (dslsim::LineId u = 0; u < topo.n_lines(); ++u) {
+    const LineEvidence& ev = report.lines[u];
+    if (!ev.evaluated) continue;
+    double conf = 0.0;
+    const GroupFinding& cb = report.crossboxes[topo.crossbox_of(u)];
+    if (cb.network_side) conf = std::max(conf, cb.confidence);
+    const GroupFinding& ds = report.dslams[topo.dslam_of(u)];
+    if (ds.network_side) conf = std::max(conf, ds.confidence);
+    const GroupFinding& at = report.atms[topo.atm_of_line(u)];
+    if (at.network_side) conf = std::max(conf, at.confidence);
+    if (conf > 0.0) {
+      report.verdicts[u] = LineVerdict::kNetwork;
+      report.line_confidence[u] = static_cast<float>(conf);
+    } else if (ev.anomalous) {
+      report.verdicts[u] = LineVerdict::kPremise;
+    }
+  }
+  return report;
+}
+
+SpatialReport SpatialAggregator::analyze_week(
+    const dslsim::SimDataset& data, int week,
+    std::span<const float> network_priors,
+    const exec::ExecContext& exec) const {
+  std::vector<LineEvidence> evidence(topology_.n_lines());
+  exec.parallel_for(0, topology_.n_lines(), 0,
+                    [&](std::size_t ub, std::size_t ue) {
+    for (auto u = static_cast<dslsim::LineId>(ub); u < ue; ++u) {
+      features::LineWindow window;
+      for (int w = 0; w < week; ++w) window.update(data.measurement(w, u));
+      evidence[u] =
+          evaluate_line(window, data.measurement(week, u), config_);
+      if (u < network_priors.size() && network_priors[u] > 0.0F) {
+        evidence[u].network_prior = network_priors[u];
+      }
+    }
+  });
+  return aggregate(std::move(evidence), week);
+}
+
+SpatialReport SpatialAggregator::analyze_store(
+    const serve::LineStateStore& store, std::span<const float> network_priors,
+    const exec::ExecContext& exec) const {
+  const std::vector<dslsim::LineId> ids = store.line_ids();
+  std::vector<LineEvidence> evidence(topology_.n_lines());
+  std::vector<int> weeks(ids.size(), -1);
+  exec.parallel_for(0, ids.size(), 0, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const dslsim::LineId u = ids[i];
+      if (u >= evidence.size()) continue;
+      const auto snap = store.snapshot(u);
+      if (!snap) continue;
+      evidence[u] = evaluate_line(snap->window, snap->current, config_);
+      if (u < network_priors.size() && network_priors[u] > 0.0F) {
+        evidence[u].network_prior = network_priors[u];
+      }
+      weeks[i] = snap->week;
+    }
+  });
+  int week = -1;
+  for (int w : weeks) week = std::max(week, w);
+  return aggregate(std::move(evidence), week);
+}
+
+}  // namespace nevermind::spatial

@@ -1,0 +1,144 @@
+// Spatial localization: separate network-side from premise-side
+// problems by aggregating per-line evidence up the line -> crossbox ->
+// DSLAM -> ATM hierarchy of Fig 1.
+//
+// The paper's per-line locator sees one line at a time; a flooded
+// crossbox or a dying DSLAM shelf degrades *dozens* of lines at once,
+// and that co-impairment is visible long before any single line's
+// evidence is conclusive (TelApart and the Duke proactive-network-
+// maintenance work cluster subscribers the same way — see PAPERS.md).
+// The aggregator scores every line's Saturday test against its own
+// history (bad-direction z-scores plus unreachable-though-usually-
+// reachable modems), counts anomalous lines per shared-plant group,
+// and flags groups whose anomaly rate is binomially incompatible with
+// the population baseline as network-side events.
+//
+// Two entry points share one per-line evaluation:
+//   * analyze_week  — offline batch over a SimDataset, walking the same
+//     features::LineWindow state the encoder builds;
+//   * analyze_store — online, snapshotting serve's LineStateStore.
+// After ReplayDriver::feed_through(w) both paths see bit-identical
+// window state, so their reports agree exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dslsim/simulator.hpp"
+#include "exec/exec.hpp"
+#include "features/encoder.hpp"
+#include "serve/line_state_store.hpp"
+
+namespace nevermind::spatial {
+
+enum class GroupScope : std::uint8_t { kCrossbox = 0, kDslam, kAtm };
+[[nodiscard]] const char* group_scope_name(GroupScope scope) noexcept;
+
+enum class LineVerdict : std::uint8_t { kHealthy = 0, kPremise, kNetwork };
+[[nodiscard]] const char* line_verdict_name(LineVerdict v) noexcept;
+
+struct SpatialConfig {
+  /// A line counts as anomalous when its worst bad-direction z-score
+  /// against its own history reaches this.
+  double line_z_threshold = 3.0;
+  /// Minimum history samples before a line can be judged at all.
+  int min_history_weeks = 4;
+  /// An unreachable modem only counts as anomalous when the line's
+  /// historical off-rate is at most this (usually-reachable lines).
+  double max_historic_off_rate = 0.3;
+  /// A group flags as network-side when its anomaly count is this many
+  /// binomial standard deviations above the population baseline...
+  double group_alert_z = 3.0;
+  /// ...and its anomaly rate exceeds the baseline by at least this.
+  double min_excess_rate = 0.08;
+  /// Groups smaller than this never flag (one noisy line is not plant).
+  std::size_t min_group_lines = 4;
+};
+
+/// Evidence extracted from one line's current Saturday test.
+struct LineEvidence {
+  float anomaly = 0.0F;        // worst bad-direction z (capped)
+  float network_prior = 0.0F;  // optional locator P(network) evidence
+  bool evaluated = false;      // enough history to judge
+  bool anomalous = false;
+  bool missing = false;        // unreachable though usually reachable
+};
+
+/// One shared-plant group's verdict.
+struct GroupFinding {
+  GroupScope scope = GroupScope::kDslam;
+  std::uint32_t id = 0;
+  std::uint32_t lines = 0;      // evaluated lines in the group
+  std::uint32_t anomalous = 0;  // of which anomalous (incl. missing)
+  double rate = 0.0;
+  double baseline = 0.0;
+  double zscore = 0.0;
+  double confidence = 0.0;  // in [0, 1); 0 unless network_side
+  bool network_side = false;
+};
+
+struct SpatialReport {
+  int week = -1;
+  std::vector<LineEvidence> lines;      // indexed by LineId
+  std::vector<LineVerdict> verdicts;    // indexed by LineId
+  std::vector<float> line_confidence;   // network confidence per line
+  std::vector<GroupFinding> crossboxes;  // all groups, by id
+  std::vector<GroupFinding> dslams;
+  std::vector<GroupFinding> atms;
+  /// Flagged groups only, highest confidence first.
+  std::vector<GroupFinding> network_findings;
+  double baseline_rate = 0.0;
+  std::size_t evaluated = 0;
+  std::size_t anomalous_lines = 0;
+};
+
+/// Score one line's current measurement against its window history —
+/// THE single per-line evidence implementation both the offline and the
+/// store-fed paths use. Pure; no RNG.
+[[nodiscard]] LineEvidence evaluate_line(const features::LineWindow& window,
+                                         const dslsim::MetricVector& current,
+                                         const SpatialConfig& config);
+
+class SpatialAggregator {
+ public:
+  /// Borrows the topology; it must outlive the aggregator.
+  explicit SpatialAggregator(const dslsim::Topology& topology,
+                             SpatialConfig config = {});
+
+  /// Offline batch: walk every line's window through week-1 (exactly as
+  /// the feature encoder does) and judge week `week`'s measurements.
+  /// `network_priors`, when non-empty, carries per-line P(network-side)
+  /// evidence from the trouble locator (indexed by LineId, negative =
+  /// no evidence) folded into group confidence. Deterministic at every
+  /// thread count.
+  [[nodiscard]] SpatialReport analyze_week(
+      const dslsim::SimDataset& data, int week,
+      std::span<const float> network_priors = {},
+      const exec::ExecContext& exec = exec::ExecContext::serial()) const;
+
+  /// Online: snapshot the live store (fed by ReplayDriver or the real
+  /// feed handlers) and judge each line's current week. Lines the store
+  /// has never seen stay unevaluated.
+  [[nodiscard]] SpatialReport analyze_store(
+      const serve::LineStateStore& store,
+      std::span<const float> network_priors = {},
+      const exec::ExecContext& exec = exec::ExecContext::serial()) const;
+
+  /// Group per-line evidence up the hierarchy — exposed so callers with
+  /// their own evidence source (tests, replays) can reuse the verdict
+  /// logic. `lines` must be indexed by LineId over the full topology.
+  [[nodiscard]] SpatialReport aggregate(std::vector<LineEvidence> lines,
+                                        int week) const;
+
+  [[nodiscard]] const SpatialConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const dslsim::Topology& topology() const noexcept {
+    return topology_;
+  }
+
+ private:
+  const dslsim::Topology& topology_;
+  SpatialConfig config_;
+};
+
+}  // namespace nevermind::spatial

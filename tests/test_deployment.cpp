@@ -93,5 +93,89 @@ TEST_F(DeploymentTest, InsufficientHistoryThrows) {
   EXPECT_THROW((void)deployment.run(*data_, 3, 5), std::invalid_argument);
 }
 
+// The orchestrator's decision mechanics are tested with a forced alert
+// threshold (-1.0 makes every column "drifted" every week) so patience
+// and cooldown are exercised deterministically without needing a
+// non-stationary dataset; bench_drift covers real PSI detection.
+
+TEST_F(DeploymentTest, DriftTriggerFiresWithoutCalendar) {
+  DeploymentConfig cfg = small_config();
+  cfg.retrain_every_weeks = 0;
+  cfg.psi_alert_threshold = -1.0;
+  cfg.drift_min_alerts = 1;
+  cfg.drift_patience_weeks = 2;
+  cfg.drift_cooldown_weeks = 3;
+  RetrainOrchestrator orchestrator(cfg.retrain_policy(), cfg.predictor);
+  std::size_t publishes = 0;
+  orchestrator.set_publish_hook([&](const ScoringKernel&) { ++publishes; });
+  orchestrator.bootstrap(*data_, 40);
+  EXPECT_EQ(publishes, 1U);
+  std::vector<RetrainDecision> decisions;
+  for (int week = 40; week <= 46; ++week) {
+    decisions.push_back(orchestrator.observe_week(*data_, week));
+  }
+  // Alerts accumulate from week 40; the 2-week patience is met after
+  // week 41 but the 3-week cooldown holds the retrain until week 43,
+  // and the cycle then repeats at week 46.
+  for (const auto& d : decisions) {
+    EXPECT_GE(d.drift_alerts, 1U) << "week " << d.week;
+    EXPECT_EQ(d.retrained, d.week == 43 || d.week == 46) << "week " << d.week;
+    if (d.retrained) EXPECT_EQ(d.trigger, RetrainTrigger::kDrift);
+  }
+  EXPECT_EQ(publishes, 3U);
+  EXPECT_EQ(orchestrator.last_trained_week(), 45);
+}
+
+TEST_F(DeploymentTest, DriftPreemptsSlowCalendar) {
+  DeploymentConfig cfg = small_config();
+  cfg.retrain_every_weeks = 6;
+  cfg.psi_alert_threshold = -1.0;
+  cfg.drift_min_alerts = 1;
+  cfg.drift_patience_weeks = 1;
+  cfg.drift_cooldown_weeks = 2;
+  RetrainOrchestrator orchestrator(cfg.retrain_policy(), cfg.predictor);
+  orchestrator.bootstrap(*data_, 40);
+  for (int week = 40; week <= 46; ++week) {
+    const auto d = orchestrator.observe_week(*data_, week);
+    // The cooldown paces drift retrains every 2 weeks — always ahead
+    // of the 6-week calendar, so the calendar trigger never lands.
+    EXPECT_EQ(d.retrained, week == 42 || week == 44 || week == 46)
+        << "week " << week;
+    if (d.retrained) EXPECT_EQ(d.trigger, RetrainTrigger::kDrift);
+  }
+}
+
+TEST_F(DeploymentTest, DriftTriggerOffIsCalendarOnly) {
+  // drift_min_alerts = 0 keeps the trigger off no matter how loud the
+  // monitor is — alerts are still *reported* so operators see them.
+  DeploymentConfig cfg = small_config();
+  cfg.retrain_every_weeks = 0;
+  cfg.psi_alert_threshold = -1.0;
+  cfg.drift_min_alerts = 0;
+  RetrainOrchestrator orchestrator(cfg.retrain_policy(), cfg.predictor);
+  orchestrator.bootstrap(*data_, 40);
+  for (int week = 40; week <= 44; ++week) {
+    const auto d = orchestrator.observe_week(*data_, week);
+    EXPECT_FALSE(d.retrained) << "week " << week;
+    EXPECT_GE(d.drift_alerts, 1U) << "week " << week;
+  }
+}
+
+TEST_F(DeploymentTest, DeploymentReportsDriftTrigger) {
+  DeploymentConfig cfg = small_config();
+  cfg.psi_alert_threshold = -1.0;
+  cfg.drift_min_alerts = 1;
+  cfg.drift_patience_weeks = 1;
+  cfg.drift_cooldown_weeks = 2;
+  RollingDeployment deployment(cfg);
+  const auto reports = deployment.run(*data_, 40, 44);
+  ASSERT_EQ(reports.size(), 5U);
+  for (const auto& r : reports) {
+    EXPECT_EQ(r.retrained, r.week == 42 || r.week == 44) << "week " << r.week;
+    EXPECT_EQ(r.trigger, r.retrained ? RetrainTrigger::kDrift
+                                     : RetrainTrigger::kNone);
+  }
+}
+
 }  // namespace
 }  // namespace nevermind::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/rng.hpp"
 
 namespace nevermind::core {
@@ -117,6 +119,80 @@ TEST(DriftMonitor, AlertsSortedBySeverity) {
   ASSERT_EQ(alerts.size(), 2U);
   EXPECT_EQ(alerts[0].name, "b");
   EXPECT_GE(alerts[0].psi, alerts[1].psi);
+}
+
+TEST(Psi, DirectionSwapBothFlag) {
+  // PSI is computed against bins fitted on whichever sample plays the
+  // reference role; a real shift must alarm from either side.
+  util::Rng rng(20);
+  const auto a = sample_normal(rng, 20000, 0.0, 1.0);
+  const auto b = sample_normal(rng, 20000, 1.5, 1.0);
+  EXPECT_GT(population_stability_index(a, b), 0.25);
+  EXPECT_GT(population_stability_index(b, a), 0.25);
+}
+
+TEST(DriftMonitor, EmptyCurrentBlockIsFinite) {
+  // Week with no rows at all (e.g. a feed outage): PSI must stay
+  // finite — the kFloor clamp keeps the logs defined — and register as
+  // a large shift rather than crashing or returning NaN.
+  util::Rng rng(21);
+  const ml::FeatureArena reference = make_block(rng, 5000, 0.0);
+  DriftMonitor monitor;
+  monitor.fit(reference);
+  const ml::FeatureArena empty({{"a", false}, {"b", false}});
+  const auto psi = monitor.column_psi(empty);
+  ASSERT_EQ(psi.size(), 2U);
+  for (const double p : psi) {
+    EXPECT_TRUE(std::isfinite(p));
+    EXPECT_GE(p, 0.0);
+  }
+}
+
+TEST(DriftMonitor, AllMissingColumnHandled) {
+  // A column that is missing in every reference row has no quantile
+  // edges; its whole expected mass sits in the missing bin. Staying
+  // all-missing is stable, values appearing is a flagged shift.
+  ml::FeatureArena reference({{"a", false}, {"gone", false}});
+  ml::FeatureArena still_missing({{"a", false}, {"gone", false}});
+  ml::FeatureArena now_present({{"a", false}, {"gone", false}});
+  util::Rng rng(22);
+  for (int i = 0; i < 4000; ++i) {
+    const auto a = static_cast<float>(rng.normal());
+    const float ref_row[2] = {a, ml::kMissing};
+    reference.add_row(ref_row, false);
+    still_missing.add_row(ref_row, false);
+    const float present_row[2] = {a, static_cast<float>(rng.normal())};
+    now_present.add_row(present_row, false);
+  }
+  DriftMonitor monitor;
+  monitor.fit(reference);
+  const auto stable = monitor.column_psi(still_missing);
+  ASSERT_EQ(stable.size(), 2U);
+  EXPECT_LT(stable[1], 0.02);
+  const auto shifted = monitor.column_psi(now_present);
+  EXPECT_GT(shifted[1], 0.25);
+}
+
+TEST(DriftMonitor, FewerDistinctValuesThanBins) {
+  // A near-binary column cannot fill 10 equal-frequency bins; the
+  // deduplicated edges must still give PSI ~ 0 on the same
+  // distribution and alarm when the class balance flips.
+  ml::FeatureArena reference({{"flag", false}});
+  ml::FeatureArena same({{"flag", false}});
+  ml::FeatureArena flipped({{"flag", false}});
+  util::Rng rng(23);
+  for (int i = 0; i < 8000; ++i) {
+    const float ref_row[1] = {rng.bernoulli(0.2) ? 1.0F : 0.0F};
+    reference.add_row(ref_row, false);
+    const float same_row[1] = {rng.bernoulli(0.2) ? 1.0F : 0.0F};
+    same.add_row(same_row, false);
+    const float flip_row[1] = {rng.bernoulli(0.8) ? 1.0F : 0.0F};
+    flipped.add_row(flip_row, false);
+  }
+  DriftMonitor monitor;
+  monitor.fit(reference);
+  EXPECT_LT(monitor.column_psi(same)[0], 0.05);
+  EXPECT_GT(monitor.column_psi(flipped)[0], 0.25);
 }
 
 TEST(DriftMonitor, UnfittedIsEmpty) {

@@ -1,0 +1,238 @@
+// Spatial localization: per-line anomaly evidence aggregated up the
+// line -> crossbox -> DSLAM -> ATM hierarchy into network-vs-premise
+// verdicts. Covers the single shared evaluate_line implementation, the
+// group verdict logic against scripted shared-plant events, and the
+// offline (SimDataset walk) vs online (LineStateStore snapshot) parity
+// the serving layer depends on.
+#include "spatial/aggregator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "dslsim/simulator.hpp"
+#include "serve/line_state_store.hpp"
+#include "serve/replay.hpp"
+#include "util/calendar.hpp"
+
+namespace nevermind::spatial {
+namespace {
+
+using dslsim::LineMetric;
+using dslsim::MetricVector;
+
+/// A healthy, fully present Saturday record with mild per-week wobble.
+MetricVector healthy_record(int week) {
+  MetricVector m{};
+  m.fill(0.0F);
+  const float wobble = (week % 2 == 0) ? 0.5F : -0.5F;
+  m[static_cast<std::size_t>(LineMetric::kState)] = 1.0F;
+  m[static_cast<std::size_t>(LineMetric::kDnBitRate)] = 6000.0F + wobble;
+  m[static_cast<std::size_t>(LineMetric::kUpBitRate)] = 800.0F + wobble;
+  m[static_cast<std::size_t>(LineMetric::kDnNoiseMargin)] = 12.0F + wobble;
+  m[static_cast<std::size_t>(LineMetric::kUpNoiseMargin)] = 11.0F + wobble;
+  m[static_cast<std::size_t>(LineMetric::kDnAttenuation)] = 30.0F + wobble;
+  m[static_cast<std::size_t>(LineMetric::kUpAttenuation)] = 18.0F + wobble;
+  m[static_cast<std::size_t>(LineMetric::kDnCvCnt1)] = 4.0F + wobble;
+  m[static_cast<std::size_t>(LineMetric::kDnEsCnt1)] = 2.0F + wobble;
+  m[static_cast<std::size_t>(LineMetric::kDnFecCnt1)] = 10.0F + wobble;
+  m[static_cast<std::size_t>(LineMetric::kDnRelCap)] = 80.0F + wobble;
+  m[static_cast<std::size_t>(LineMetric::kUpRelCap)] = 78.0F + wobble;
+  m[static_cast<std::size_t>(LineMetric::kDnMaxAttainBr)] = 7000.0F + wobble;
+  m[static_cast<std::size_t>(LineMetric::kUpMaxAttainBr)] = 900.0F + wobble;
+  return m;
+}
+
+MetricVector modem_off_record() {
+  MetricVector m{};
+  m.fill(std::numeric_limits<float>::quiet_NaN());
+  m[static_cast<std::size_t>(LineMetric::kState)] = 0.0F;
+  return m;
+}
+
+features::LineWindow history_of(int weeks, int off_weeks = 0) {
+  features::LineWindow window;
+  for (int w = 0; w < weeks; ++w) window.update(healthy_record(w));
+  for (int w = 0; w < off_weeks; ++w) window.update(modem_off_record());
+  return window;
+}
+
+TEST(EvaluateLine, StableLineIsNotAnomalous) {
+  const auto window = history_of(10);
+  const auto evidence =
+      evaluate_line(window, healthy_record(10), SpatialConfig{});
+  EXPECT_TRUE(evidence.evaluated);
+  EXPECT_FALSE(evidence.anomalous);
+  EXPECT_FALSE(evidence.missing);
+}
+
+TEST(EvaluateLine, InsufficientHistoryIsNotEvaluated) {
+  const auto window = history_of(2);  // below min_history_weeks = 4
+  MetricVector bad = healthy_record(2);
+  bad[static_cast<std::size_t>(LineMetric::kDnCvCnt1)] = 500.0F;
+  const auto evidence = evaluate_line(window, bad, SpatialConfig{});
+  EXPECT_FALSE(evidence.evaluated);
+  EXPECT_FALSE(evidence.anomalous);
+}
+
+TEST(EvaluateLine, BadDirectionSpikeIsAnomalous) {
+  const auto window = history_of(10);
+  MetricVector bad = healthy_record(10);
+  bad[static_cast<std::size_t>(LineMetric::kDnCvCnt1)] = 500.0F;
+  const auto evidence = evaluate_line(window, bad, SpatialConfig{});
+  EXPECT_TRUE(evidence.evaluated);
+  EXPECT_TRUE(evidence.anomalous);
+  EXPECT_GT(evidence.anomaly, 3.0F);
+}
+
+TEST(EvaluateLine, GoodDirectionSpikeIsNotAnomalous) {
+  // A big move in the *good* direction (bit rate way up, error counts
+  // way down) is not a problem signal.
+  const auto window = history_of(10);
+  MetricVector good = healthy_record(10);
+  good[static_cast<std::size_t>(LineMetric::kDnBitRate)] = 20000.0F;
+  good[static_cast<std::size_t>(LineMetric::kDnCvCnt1)] = 0.0F;
+  const auto evidence = evaluate_line(window, good, SpatialConfig{});
+  EXPECT_TRUE(evidence.evaluated);
+  EXPECT_FALSE(evidence.anomalous);
+}
+
+TEST(EvaluateLine, UnreachableUsuallyReachableModemIsAnomalous) {
+  const auto window = history_of(10);  // never off before
+  const auto evidence =
+      evaluate_line(window, modem_off_record(), SpatialConfig{});
+  EXPECT_TRUE(evidence.evaluated);
+  EXPECT_TRUE(evidence.anomalous);
+  EXPECT_TRUE(evidence.missing);
+}
+
+TEST(EvaluateLine, ChronicallyOffModemIsNotAnomalous) {
+  // Half the history is modem-off: unreachability is this line's
+  // normal, not evidence of a fresh network event. Such a line carries
+  // no information this week, so it is excluded from evaluation
+  // entirely (`missing` is reserved for usually-reachable lines).
+  const auto window = history_of(6, 6);
+  const auto evidence =
+      evaluate_line(window, modem_off_record(), SpatialConfig{});
+  EXPECT_FALSE(evidence.evaluated);
+  EXPECT_FALSE(evidence.anomalous);
+  EXPECT_FALSE(evidence.missing);
+}
+
+class SpatialSimTest : public ::testing::Test {
+ protected:
+  static constexpr int kEventWeek = 30;
+
+  static void SetUpTestSuite() {
+    dslsim::SimConfig cfg;
+    cfg.seed = 55;
+    cfg.topology.n_lines = 1200;
+    const util::Day day = util::saturday_of_week(kEventWeek);
+    cfg.scripted_infra.push_back(
+        {dslsim::InfraEventKind::kDslamOutage, 2, day - 1, day + 3, 1.5F});
+    cfg.scripted_infra.push_back({dslsim::InfraEventKind::kCrossboxDegradation,
+                                  1, day - 20, day + 8, 1.4F});
+    data_ = new dslsim::SimDataset(dslsim::Simulator(cfg).run());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static const dslsim::SimDataset* data_;
+};
+
+const dslsim::SimDataset* SpatialSimTest::data_ = nullptr;
+
+TEST_F(SpatialSimTest, FlagsScriptedEventsAsNetworkSide) {
+  const SpatialAggregator aggregator(data_->topology());
+  const auto report = aggregator.analyze_week(*data_, kEventWeek);
+
+  bool dslam2_flagged = false;
+  for (const auto& f : report.network_findings) {
+    if (f.scope == GroupScope::kDslam && f.id == 2) dslam2_flagged = true;
+  }
+  EXPECT_TRUE(dslam2_flagged);
+  bool crossbox1_flagged = false;
+  for (const auto& f : report.network_findings) {
+    if (f.scope == GroupScope::kCrossbox && f.id == 1) {
+      crossbox1_flagged = true;
+    }
+  }
+  EXPECT_TRUE(crossbox1_flagged);
+
+  // Most lines under the dead DSLAM carry a network verdict...
+  const auto& topo = data_->topology();
+  std::size_t network = 0, total = 0;
+  for (dslsim::LineId u = 0; u < data_->n_lines(); ++u) {
+    if (topo.dslam_of(u) != 2) continue;
+    ++total;
+    network += report.verdicts[u] == LineVerdict::kNetwork ? 1 : 0;
+  }
+  ASSERT_GT(total, 0U);
+  EXPECT_GT(network * 2, total);
+
+  // ...and the findings are ranked by confidence.
+  for (std::size_t i = 1; i < report.network_findings.size(); ++i) {
+    EXPECT_GE(report.network_findings[i - 1].confidence,
+              report.network_findings[i].confidence);
+  }
+}
+
+TEST_F(SpatialSimTest, QuietWeekHasNoDslamFinding) {
+  const SpatialAggregator aggregator(data_->topology());
+  const auto report = aggregator.analyze_week(*data_, 20);
+  for (const auto& f : report.network_findings) {
+    EXPECT_FALSE(f.scope == GroupScope::kDslam && f.id == 2)
+        << "DSLAM 2 flagged 10 weeks before its outage";
+  }
+}
+
+TEST_F(SpatialSimTest, OfflineAndStoreFedReportsAgree) {
+  const SpatialAggregator aggregator(data_->topology());
+  const auto offline = aggregator.analyze_week(*data_, kEventWeek);
+
+  serve::LineStateStore store(8);
+  serve::ReplayDriver replay(*data_, store);
+  replay.feed_through(kEventWeek);
+  const auto online = aggregator.analyze_store(store);
+
+  ASSERT_EQ(online.week, offline.week);
+  ASSERT_EQ(online.verdicts.size(), offline.verdicts.size());
+  for (std::size_t u = 0; u < offline.verdicts.size(); ++u) {
+    ASSERT_EQ(online.verdicts[u], offline.verdicts[u]) << "line " << u;
+    ASSERT_EQ(online.line_confidence[u], offline.line_confidence[u])
+        << "line " << u;
+    ASSERT_EQ(online.lines[u].anomaly, offline.lines[u].anomaly)
+        << "line " << u;
+  }
+  EXPECT_EQ(online.baseline_rate, offline.baseline_rate);
+  EXPECT_EQ(online.evaluated, offline.evaluated);
+  EXPECT_EQ(online.anomalous_lines, offline.anomalous_lines);
+  ASSERT_EQ(online.network_findings.size(), offline.network_findings.size());
+  for (std::size_t i = 0; i < offline.network_findings.size(); ++i) {
+    const auto& a = online.network_findings[i];
+    const auto& b = offline.network_findings[i];
+    EXPECT_EQ(a.scope, b.scope);
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.zscore, b.zscore);
+    EXPECT_EQ(a.confidence, b.confidence);
+  }
+}
+
+TEST_F(SpatialSimTest, LocatorPriorsLiftConfidence) {
+  const SpatialAggregator aggregator(data_->topology());
+  const auto plain = aggregator.analyze_week(*data_, kEventWeek);
+  // Feed a uniform strong "network" prior: flagged-group confidence
+  // blends it in, so every finding's confidence must not decrease.
+  const std::vector<float> priors(data_->n_lines(), 1.0F);
+  const auto primed = aggregator.analyze_week(*data_, kEventWeek, priors);
+  ASSERT_EQ(primed.network_findings.size(), plain.network_findings.size());
+  for (std::size_t i = 0; i < plain.network_findings.size(); ++i) {
+    EXPECT_GE(primed.network_findings[i].confidence,
+              plain.network_findings[i].confidence - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace nevermind::spatial

@@ -1,0 +1,78 @@
+// Thread contract for the spatial layer: analyze_week fans the
+// per-line window replay out over an ExecContext, and the whole report
+// — evidence, verdicts, group findings — must be bit-identical at
+// every thread count (grain-based chunking, no shared mutable state).
+// Runs under -L tsan in the thread-sanitizer CI job.
+#include "spatial/aggregator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dslsim/simulator.hpp"
+#include "exec/exec.hpp"
+#include "serve/line_state_store.hpp"
+#include "serve/replay.hpp"
+#include "util/calendar.hpp"
+
+namespace nevermind::spatial {
+namespace {
+
+void expect_identical(const SpatialReport& a, const SpatialReport& b) {
+  ASSERT_EQ(a.week, b.week);
+  ASSERT_EQ(a.lines.size(), b.lines.size());
+  for (std::size_t u = 0; u < a.lines.size(); ++u) {
+    ASSERT_EQ(a.lines[u].anomaly, b.lines[u].anomaly) << "line " << u;
+    ASSERT_EQ(a.lines[u].evaluated, b.lines[u].evaluated) << "line " << u;
+    ASSERT_EQ(a.lines[u].anomalous, b.lines[u].anomalous) << "line " << u;
+    ASSERT_EQ(a.lines[u].missing, b.lines[u].missing) << "line " << u;
+    ASSERT_EQ(a.verdicts[u], b.verdicts[u]) << "line " << u;
+    ASSERT_EQ(a.line_confidence[u], b.line_confidence[u]) << "line " << u;
+  }
+  ASSERT_EQ(a.baseline_rate, b.baseline_rate);
+  ASSERT_EQ(a.network_findings.size(), b.network_findings.size());
+  for (std::size_t i = 0; i < a.network_findings.size(); ++i) {
+    ASSERT_EQ(a.network_findings[i].scope, b.network_findings[i].scope);
+    ASSERT_EQ(a.network_findings[i].id, b.network_findings[i].id);
+    ASSERT_EQ(a.network_findings[i].zscore, b.network_findings[i].zscore);
+    ASSERT_EQ(a.network_findings[i].confidence,
+              b.network_findings[i].confidence);
+  }
+}
+
+TEST(SpatialConcurrency, AnalyzeWeekIdenticalAtThreads1And8) {
+  dslsim::SimConfig cfg;
+  cfg.seed = 77;
+  cfg.topology.n_lines = 1000;
+  const util::Day day = util::saturday_of_week(30);
+  cfg.scripted_infra.push_back(
+      {dslsim::InfraEventKind::kDslamOutage, 1, day - 1, day + 2, 1.4F});
+  cfg.infra.crossbox_events_per_crossbox_year = 0.5;
+  const dslsim::SimDataset data = dslsim::Simulator(cfg).run();
+
+  const SpatialAggregator aggregator(data.topology());
+  const auto serial =
+      aggregator.analyze_week(data, 30, {}, exec::ExecContext());
+  const auto threaded =
+      aggregator.analyze_week(data, 30, {}, exec::ExecContext(8));
+  expect_identical(serial, threaded);
+}
+
+TEST(SpatialConcurrency, StoreAnalysisIdenticalAtThreads1And8) {
+  dslsim::SimConfig cfg;
+  cfg.seed = 78;
+  cfg.topology.n_lines = 600;
+  const dslsim::SimDataset data = dslsim::Simulator(cfg).run();
+
+  serve::LineStateStore store(8);
+  serve::ReplayDriver replay(data, store);
+  replay.feed_through(25);
+
+  const SpatialAggregator aggregator(data.topology());
+  const auto serial =
+      aggregator.analyze_store(store, {}, exec::ExecContext());
+  const auto threaded =
+      aggregator.analyze_store(store, {}, exec::ExecContext(8));
+  expect_identical(serial, threaded);
+}
+
+}  // namespace
+}  // namespace nevermind::spatial

@@ -9,7 +9,12 @@ lower is better; ``_ms`` values are converted to seconds so --min-time
 applies uniformly), names ending in ``_per_s`` are throughputs (higher
 is better), names ending in ``_bytes`` are memory footprints
 (lower is better, no minimum floor — bytes do not jitter the way a
-5 ms timing does), and names ending in ``speedup`` are dimensionless
+5 ms timing does), names ending in ``_weeks`` are detection latencies
+in whole weeks (lower is better, no minimum floor; ratios are computed
+on value+1 so a perfect zero-week lag neither divides by zero nor
+flags an infinite regression when it slips to one week — e.g.
+bench_drift's ``detection_lag_weeks``), and names ending in
+``speedup`` are dimensionless
 ratios of a reference time over an optimized time (higher is better —
 e.g. bench_train's ``simd_stump_speedup``, scalar over AVX2). This
 tool diffs a baseline file against a candidate file (or two
@@ -50,6 +55,8 @@ def metric_fields(obj, prefix=""):
     better), "speedup" for numeric fields ending in speedup (higher is
     better, dimensionless, no --min-time floor), "memory" for numeric
     fields ending in _bytes (lower is better, no --min-time floor),
+    "weeks" for numeric fields ending in _weeks (lower is better, no
+    --min-time floor, compared on value+1 so zero-week lags work),
     and "time" for other numeric fields ending in _s or _ms (lower is
     better; _ms values come back in seconds so thresholds and
     --min-time apply uniformly). The _per_s check runs first — a
@@ -69,6 +76,8 @@ def metric_fields(obj, prefix=""):
                 yield path, "speedup", float(value)
             elif key.endswith("_bytes") and isinstance(value, (int, float)):
                 yield path, "memory", float(value)
+            elif key.endswith("_weeks") and isinstance(value, (int, float)):
+                yield path, "weeks", float(value)
             elif key.endswith("_ms") and isinstance(value, (int, float)):
                 yield path, "time", float(value) / 1000.0
             elif key.endswith("_s") and isinstance(value, (int, float)):
@@ -110,6 +119,15 @@ def compare(baseline, candidate, threshold, min_time):
             if ratio > 1.0 + threshold:
                 regressions.append(
                     f"{path}: {base_value:.0f}B -> {cand_value:.0f}B "
+                    f"(+{(ratio - 1.0) * 100.0:.0f}%)"
+                )
+        elif kind == "weeks":  # detection lag: growth regresses, +1 basis
+            if base_value < 0.0 or cand_value < 0.0:
+                continue  # -1 means the detector never fired: unmeasured
+            ratio = (cand_value + 1.0) / (base_value + 1.0)
+            if ratio > 1.0 + threshold:
+                regressions.append(
+                    f"{path}: {base_value:.0f}wk -> {cand_value:.0f}wk "
                     f"(+{(ratio - 1.0) * 100.0:.0f}%)"
                 )
         elif kind == "speedup":  # dimensionless ratio: a drop regresses
@@ -406,6 +424,49 @@ def self_test():
     better["membership_detect_ms"] = 100.0
     better["query_per_s"] = 60000.0
     assert compare(clus, better, 0.2, 0.05) == []
+
+    # --- bench_drift (detection lag in weeks, lower is better) -------
+    # The AUC fields carry no metric suffix on purpose (quality, not
+    # perf); the lag is compared on value+1 so a zero-week detection
+    # neither divides by zero nor flags an infinite regression.
+    drift = {
+        "bench": "drift",
+        "spatial": {"spatial_auc": 0.97, "locator_auc": 0.62},
+        "drift": {
+            "onset_week": 34,
+            "detection_lag_weeks": 2.0,
+            "auc_recovery": 0.05,
+            "replay_1t_s": 30.0,
+        },
+    }
+    # Unchanged: clean (AUCs and week numbers are not perf metrics).
+    assert compare(drift, drift, 0.2, 0.05) == []
+    # Slower detection is a regression: 2wk -> 5wk is (5+1)/(2+1) = 2x.
+    slow_lag = json.loads(json.dumps(drift))
+    slow_lag["drift"]["detection_lag_weeks"] = 5.0
+    msgs = compare(drift, slow_lag, 0.2, 0.05)
+    assert len(msgs) == 1 and "detection_lag_weeks" in msgs[0], msgs
+    # Faster detection is an improvement, never flagged.
+    fast_lag = json.loads(json.dumps(drift))
+    fast_lag["drift"]["detection_lag_weeks"] = 0.0
+    assert compare(drift, fast_lag, 0.2, 0.05) == []
+    # A zero-week baseline slipping to one week is (1+1)/(0+1) = 2x:
+    # flagged, with no division blow-up on the zero.
+    zero_lag = json.loads(json.dumps(fast_lag))
+    one_lag = json.loads(json.dumps(fast_lag))
+    one_lag["drift"]["detection_lag_weeks"] = 1.0
+    msgs = compare(zero_lag, one_lag, 0.2, 0.05)
+    assert len(msgs) == 1 and "detection_lag_weeks" in msgs[0], msgs
+    # -1 means the monitor never fired: unmeasured, skipped both ways.
+    never = json.loads(json.dumps(drift))
+    never["drift"]["detection_lag_weeks"] = -1.0
+    assert compare(never, drift, 0.2, 0.05) == []
+    assert compare(drift, never, 0.2, 0.05) == []
+    # The replay timing still obeys the ordinary _s convention.
+    slow_replay = json.loads(json.dumps(drift))
+    slow_replay["drift"]["replay_1t_s"] = 60.0
+    msgs = compare(drift, slow_replay, 0.2, 0.05)
+    assert len(msgs) == 1 and "replay_1t_s" in msgs[0], msgs
 
     # --- missing baseline: warn-and-pass, not a crash ----------------
     import tempfile

@@ -32,6 +32,11 @@
 //       a fresh shard map to the listed cluster-node processes, replay
 //       the feeds through a replicating ShardRouter, and print the
 //       cluster-merged top-K — byte-identical to single-node serve
+//   nevermind spatial  --lines N --seed S [--week W]
+//       simulate a year with correlated infrastructure faults enabled,
+//       aggregate per-line anomaly evidence up the crossbox/DSLAM/ATM
+//       hierarchy for week W, and print network-vs-premise verdicts
+//       next to the injected ground-truth events
 //   nevermind summary  --lines N --seed S
 //       dataset overview (ticket trends, location shares)
 //   nevermind dataset FILE [--verify]
@@ -82,6 +87,7 @@
 #include "net/loadgen.hpp"
 #include "net/server.hpp"
 #include "serve/line_state_store.hpp"
+#include "spatial/aggregator.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/replay.hpp"
 #include "serve/scoring_service.hpp"
@@ -94,6 +100,10 @@ namespace {
 
 struct CliArgs {
   std::uint32_t lines = 10000;
+  // Plant shape knobs (Fig 1 hierarchy): defaults match TopologyConfig.
+  std::uint32_t lines_per_dslam = 48;
+  std::uint32_t dslams_per_atm = 24;
+  std::uint32_t crossboxes_per_dslam = 6;
   std::uint64_t seed = 42;
   int week = util::test_week_of(util::day_from_date(10, 31));
   std::size_t top = 25;
@@ -176,6 +186,15 @@ CliArgs parse(int argc, char** argv, int first) {
     if (flag == "--lines") {
       args.lines = static_cast<std::uint32_t>(
           parse_uint("--lines", value(), 1, 10'000'000));
+    } else if (flag == "--lines-per-dslam") {
+      args.lines_per_dslam = static_cast<std::uint32_t>(
+          parse_uint("--lines-per-dslam", value(), 1, 4096));
+    } else if (flag == "--dslams-per-atm") {
+      args.dslams_per_atm = static_cast<std::uint32_t>(
+          parse_uint("--dslams-per-atm", value(), 1, 4096));
+    } else if (flag == "--crossboxes-per-dslam") {
+      args.crossboxes_per_dslam = static_cast<std::uint32_t>(
+          parse_uint("--crossboxes-per-dslam", value(), 1, 1024));
     } else if (flag == "--seed") {
       args.seed = parse_uint("--seed", value(), 0,
                              std::numeric_limits<std::uint64_t>::max());
@@ -376,11 +395,21 @@ void validate_artefact_paths(const CliArgs& args, const std::string& cmd) {
   }
 }
 
-dslsim::SimDataset simulate(const CliArgs& args,
-                            const exec::ExecContext& exec) {
+/// SimConfig shared by every command: the dataset shape comes from the
+/// CLI knobs, everything else stays at the paper defaults.
+dslsim::SimConfig sim_config(const CliArgs& args) {
   dslsim::SimConfig cfg;
   cfg.seed = args.seed;
   cfg.topology.n_lines = args.lines;
+  cfg.topology.lines_per_dslam = args.lines_per_dslam;
+  cfg.topology.dslams_per_atm = args.dslams_per_atm;
+  cfg.topology.crossboxes_per_dslam = args.crossboxes_per_dslam;
+  return cfg;
+}
+
+dslsim::SimDataset simulate(const CliArgs& args,
+                            const exec::ExecContext& exec) {
+  const dslsim::SimConfig cfg = sim_config(args);
   std::cerr << "simulating " << args.lines << " lines (seed " << args.seed
             << ", " << exec.threads() << " thread(s))...\n";
   return dslsim::Simulator(cfg).run(exec);
@@ -1045,12 +1074,91 @@ int cmd_summary(const CliArgs& args) {
   return 0;
 }
 
+/// Spatial localization demo: simulate a year *with* correlated
+/// infrastructure faults turned on (the default rates are 0 so every
+/// other command's datasets stay untouched), aggregate per-line
+/// evidence up the plant hierarchy for the requested week, and print
+/// the network-side findings next to the injected ground truth.
+int cmd_spatial(const CliArgs& args) {
+  const auto exec = args.exec();
+  dslsim::SimConfig cfg = sim_config(args);
+  // Demo rates: enough shared-plant events in a year that most weeks
+  // have something to localize, without drowning the premise baseline.
+  cfg.infra.dslam_outages_per_dslam_year = 0.6;
+  cfg.infra.crossbox_events_per_crossbox_year = 0.25;
+  cfg.infra.weather_bursts_per_region_year = 1.0;
+  cfg.infra.firmware_rollout_start = util::day_from_date(6, 1);
+  std::cerr << "simulating " << args.lines << " lines with infrastructure "
+            << "events (seed " << args.seed << ")...\n";
+  const auto data = dslsim::Simulator(cfg).run(exec);
+
+  const spatial::SpatialAggregator aggregator(data.topology());
+  const auto report = aggregator.analyze_week(data, args.week, {}, exec);
+
+  std::cout << "week " << report.week << ": " << report.evaluated
+            << " lines evaluated, " << report.anomalous_lines
+            << " anomalous (baseline rate "
+            << util::fmt_percent(report.baseline_rate) << ")\n\n";
+
+  std::size_t healthy = 0, premise = 0, network = 0;
+  for (const auto v : report.verdicts) {
+    healthy += v == spatial::LineVerdict::kHealthy ? 1 : 0;
+    premise += v == spatial::LineVerdict::kPremise ? 1 : 0;
+    network += v == spatial::LineVerdict::kNetwork ? 1 : 0;
+  }
+  std::cout << "verdicts: " << healthy << " healthy, " << premise
+            << " premise-side, " << network << " network-side\n\n";
+
+  util::Table findings({"scope", "id", "lines", "anomalous", "rate",
+                        "baseline", "z", "confidence"});
+  const std::size_t shown =
+      std::min(report.network_findings.size(), args.top);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto& f = report.network_findings[i];
+    findings.add_row({spatial::group_scope_name(f.scope),
+                      std::to_string(f.id), std::to_string(f.lines),
+                      std::to_string(f.anomalous), util::fmt_percent(f.rate),
+                      util::fmt_percent(f.baseline),
+                      util::fmt_double(f.zscore, 1),
+                      util::fmt_double(f.confidence, 3)});
+  }
+  if (report.network_findings.empty()) {
+    std::cout << "no network-side findings this week\n";
+  } else {
+    std::cout << "network-side findings (top " << shown << " of "
+              << report.network_findings.size() << "):\n";
+    findings.print(std::cout);
+  }
+
+  // Injected ground truth active in this week, for eyeballing recall.
+  const util::Day week_day = util::saturday_of_week(report.week);
+  std::size_t active = 0;
+  for (const auto& ev : data.infra_events()) {
+    if (week_day < ev.start || week_day >= ev.end) continue;
+    ++active;
+  }
+  std::cout << "\nground truth: " << active
+            << " infrastructure event(s) active on test day " << week_day
+            << " (of " << data.infra_events().size() << " all year)\n";
+  util::Table truth({"kind", "scope", "start", "end", "severity"});
+  for (const auto& ev : data.infra_events()) {
+    if (week_day < ev.start || week_day >= ev.end) continue;
+    truth.add_row({dslsim::infra_event_kind_name(ev.kind),
+                   std::to_string(ev.scope), std::to_string(ev.start),
+                   std::to_string(ev.end), util::fmt_double(ev.severity, 2)});
+  }
+  if (active > 0) truth.print(std::cout);
+  return 0;
+}
+
 void usage() {
   std::cerr
       << "usage: nevermind "
-         "<simulate|predict|locate|serve|loadgen|cluster-node|summary|"
-         "dataset> "
+         "<simulate|predict|locate|serve|loadgen|cluster-node|spatial|"
+         "summary|dataset> "
          "[--lines N] [--seed S] [--week W] [--top K] [--out DIR] "
+         "[--lines-per-dslam L] [--dslams-per-atm D] "
+         "[--crossboxes-per-dslam C] "
          "[--model FILE] [--save-models DIR] [--load-models DIR] "
          "[--save-dataset FILE] [--load-dataset FILE] "
          "[--dataset-load eager|mmap] "
@@ -1067,7 +1175,10 @@ void usage() {
          "[--replication R]   coordinate the listed cluster-node "
          "processes and print the merged ranking\n"
          "  dataset FILE [--verify]   inspect a persisted feature-store "
-         "artefact (.nmarena = binary, else text)\n";
+         "artefact (.nmarena = binary, else text)\n"
+         "  spatial [--lines N] [--seed S] [--week W]   simulate with "
+         "correlated infrastructure faults and print network-vs-premise "
+         "verdicts for week W\n";
 }
 
 }  // namespace
@@ -1087,6 +1198,7 @@ int main(int argc, char** argv) {
   if (cmd == "locate") return cmd_locate(args);
   if (cmd == "serve") return cmd_serve(args);
   if (cmd == "loadgen") return cmd_loadgen(args);
+  if (cmd == "spatial") return cmd_spatial(args);
   if (cmd == "summary") return cmd_summary(args);
   usage();
   return 2;

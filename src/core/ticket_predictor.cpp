@@ -204,6 +204,51 @@ void TicketPredictor::train_from_block(
                train_to, n_val);
 }
 
+features::EncoderConfig TicketPredictor::plan_full_encoder(
+    const features::EncodedBlock& base_block) const {
+  const std::size_t n_rows = base_block.dataset.n_rows();
+  if (n_rows == 0 || base_block.week_of_row.size() != n_rows) {
+    throw std::invalid_argument(
+        "TicketPredictor::plan_full_encoder: empty or inconsistent block");
+  }
+  features::EncoderConfig base_cfg = config_.encoder;
+  base_cfg.include_quadratic = false;
+  base_cfg.product_pairs.clear();
+  if (base_block.dataset.n_cols() != features::all_columns(base_cfg).size()) {
+    throw std::invalid_argument(
+        "TicketPredictor::plan_full_encoder: block is not a base-only "
+        "encode of this predictor's feature configuration");
+  }
+
+  const auto [min_it, max_it] = std::minmax_element(
+      base_block.week_of_row.begin(), base_block.week_of_row.end());
+  const int train_from = *min_it;
+  const int train_to = *max_it;
+  const int n_val = validation_weeks(train_to - train_from + 1,
+                                     config_.validation_fraction);
+  const int sel_train_to = train_to - n_val;
+
+  ml::FeatureScoringConfig scoring;
+  scoring.boost_iterations = config_.selection_boost_iterations;
+  scoring.top_n = config_.top_n * static_cast<std::size_t>(n_val);
+  scoring.exec = config_.exec;
+
+  const ml::DatasetView base_view(base_block.dataset);
+  const ml::DatasetView sel_train =
+      base_view.rows(rows_in_weeks(base_block, train_from, sel_train_to));
+  const ml::DatasetView sel_val =
+      base_view.rows(rows_in_weeks(base_block, sel_train_to + 1, train_to));
+  const std::vector<double> base_scores =
+      ml::score_features(sel_train, sel_val, config_.selection, scoring);
+
+  features::EncoderConfig full = base_cfg;
+  if (config_.use_derived_features) {
+    full.include_quadratic = true;
+    full.product_pairs = pairs_from_scores(config_, base_scores);
+  }
+  return full;
+}
+
 void TicketPredictor::finish_train(const features::EncodedBlock& full_block,
                                    const std::vector<double>& base_scores,
                                    std::vector<std::size_t> base_selected,

@@ -107,6 +107,20 @@ class TicketPredictor {
   void train_from_block(const features::EncodedBlock& block,
                         const features::EncoderConfig& full_encoder);
 
+  /// Stage-1 planning for externally encoded pipelines: run base
+  /// feature selection over `base_block` (which must be encoded under
+  /// this predictor's encoder with derived features disabled — the
+  /// training week range is taken from block.week_of_row) and return
+  /// the full encoder configuration train() would derive from it. A
+  /// streamed pipeline encodes its training artefact with this
+  /// configuration and train_from_block then accepts it; because the
+  /// scoring is column-independent, the plan equals what
+  /// train_from_block recomputes from the full matrix's base prefix,
+  /// bit for bit. Throws std::invalid_argument on an empty block or a
+  /// column layout that is not this predictor's base layout.
+  [[nodiscard]] features::EncoderConfig plan_full_encoder(
+      const features::EncodedBlock& base_block) const;
+
   /// Rank all lines at the given test week, best first.
   [[nodiscard]] std::vector<Prediction> predict_week(
       const dslsim::SimDataset& data, int week) const;

@@ -31,26 +31,38 @@ void export_measurements_csv(const SimDataset& data, std::ostream& os,
                              int week_from, int week_to) {
   week_from = std::max(week_from, 0);
   week_to = std::min(week_to, data.n_weeks() - 1);
+  export_measurements_csv_header(os);
+  for (int w = week_from; w <= week_to; ++w) {
+    export_measurements_csv_chunk(
+        WeekChunk{w, util::saturday_of_week(w), data.week_measurements(w)},
+        os);
+  }
+}
+
+void export_measurements_csv_header(std::ostream& os) {
   util::CsvWriter csv(os);
   std::vector<std::string> header = {"week", "line", "date"};
   for (std::size_t i = 0; i < kNumLineMetrics; ++i) {
     header.emplace_back(metric_name(i));
   }
   csv.write_row(header);
+}
+
+void export_measurements_csv_chunk(const WeekChunk& chunk, std::ostream& os) {
+  util::CsvWriter csv(os);
   std::vector<std::string> row;
-  for (int w = week_from; w <= week_to; ++w) {
-    const util::Day day = util::saturday_of_week(w);
-    for (LineId u = 0; u < data.n_lines(); ++u) {
-      const MetricVector& m = data.measurement(w, u);
-      row.clear();
-      row.push_back(std::to_string(w));
-      row.push_back(std::to_string(u));
-      row.push_back(util::format_date(day));
-      for (std::size_t i = 0; i < kNumLineMetrics; ++i) {
-        row.push_back(cell(m[i]));
-      }
-      csv.write_row(row);
+  const std::string week_str = std::to_string(chunk.week);
+  const std::string date_str = util::format_date(chunk.day);
+  for (std::size_t u = 0; u < chunk.measurements.size(); ++u) {
+    const MetricVector& m = chunk.measurements[u];
+    row.clear();
+    row.push_back(week_str);
+    row.push_back(std::to_string(u));
+    row.push_back(date_str);
+    for (std::size_t i = 0; i < kNumLineMetrics; ++i) {
+      row.push_back(cell(m[i]));
     }
+    csv.write_row(row);
   }
 }
 

@@ -18,6 +18,13 @@ namespace nevermind::dslsim {
 void export_measurements_csv(const SimDataset& data, std::ostream& os,
                              int week_from, int week_to);
 
+/// Streamed counterpart of export_measurements_csv: write the header
+/// once, then one chunk per week as Simulator::stream_weeks delivers
+/// them. Chunks written in week order produce a byte-identical file
+/// without a materialized measurement table.
+void export_measurements_csv_header(std::ostream& os);
+void export_measurements_csv_chunk(const WeekChunk& chunk, std::ostream& os);
+
 /// One row per ticket: id, line, reported date, category, resolved
 /// date, disposition code (empty when no dispatch ran).
 void export_tickets_csv(const SimDataset& data, std::ostream& os);

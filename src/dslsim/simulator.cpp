@@ -222,7 +222,7 @@ bool SimDataset::fault_active(LineId line, util::Day day) const {
   return false;
 }
 
-SimDataset Simulator::run(const exec::ExecContext& exec) const {
+SimDataset Simulator::build_tables(const exec::ExecContext& exec) const {
   util::Rng root(config_.seed);
   Topology topology(config_.topology, root.next());
   FaultCatalog catalog(config_.seed, config_.minor_variants_per_location);
@@ -283,6 +283,18 @@ SimDataset Simulator::run(const exec::ExecContext& exec) const {
   data.line_episodes_.resize(topo.n_lines());
   data.edge_tickets_.resize(topo.n_lines());
 
+  // Reserve from the arrival rates so the per-line loop never
+  // re-allocates the shared tables mid-sweep at 1M lines.
+  const double expected_episodes =
+      static_cast<double>(topo.n_lines()) * config_.weekly_fault_rate *
+          (static_cast<double>(horizon) / 7.0) +
+      static_cast<double>(config_.scripted_faults.size());
+  const double expected_billing = static_cast<double>(topo.n_lines()) *
+                                  config_.billing_tickets_per_line_year *
+                                  static_cast<double>(horizon) / 365.0;
+  data.episodes_.reserve(
+      static_cast<std::size_t>(expected_episodes * 1.1) + 16);
+
   struct PendingTicket {
     LineId line;
     util::Day reported;
@@ -294,6 +306,9 @@ SimDataset Simulator::run(const exec::ExecContext& exec) const {
     bool has_note;
   };
   std::vector<PendingTicket> pending;
+  pending.reserve(
+      static_cast<std::size_t>((expected_episodes + expected_billing) * 1.1) +
+      16);
 
   // Life of one fault episode: notice -> call -> dispatch -> fix (or
   // silent self-clearing). Shared between random arrivals and any
@@ -407,21 +422,28 @@ SimDataset Simulator::run(const exec::ExecContext& exec) const {
   };
 
   // Scripted faults grouped by line (controlled experiments, tests).
-  std::vector<std::vector<std::uint32_t>> scripted_by_line(topo.n_lines());
-  for (std::uint32_t i = 0; i < config_.scripted_faults.size(); ++i) {
-    const auto& sf = config_.scripted_faults[i];
-    if (sf.line < topo.n_lines() && sf.disposition < faults.size()) {
-      scripted_by_line[sf.line].push_back(i);
+  // The per-line index is only built when scripts exist — the common
+  // unscripted run pays nothing for it.
+  std::vector<std::vector<std::uint32_t>> scripted_by_line;
+  if (!config_.scripted_faults.empty()) {
+    scripted_by_line.resize(topo.n_lines());
+    for (std::uint32_t i = 0; i < config_.scripted_faults.size(); ++i) {
+      const auto& sf = config_.scripted_faults[i];
+      if (sf.line < topo.n_lines() && sf.disposition < faults.size()) {
+        scripted_by_line[sf.line].push_back(i);
+      }
     }
   }
 
   for (LineId u = 0; u < topo.n_lines(); ++u) {
     util::Rng rng = fault_rng.fork();
 
-    for (std::uint32_t idx : scripted_by_line[u]) {
-      const auto& sf = config_.scripted_faults[idx];
-      run_episode(u, sf.onset, sf.disposition,
-                  std::clamp(sf.severity, 0.15F, 2.5F), rng);
+    if (!scripted_by_line.empty()) {
+      for (std::uint32_t idx : scripted_by_line[u]) {
+        const auto& sf = config_.scripted_faults[idx];
+        run_episode(u, sf.onset, sf.disposition,
+                    std::clamp(sf.severity, 0.15F, 2.5F), rng);
+      }
     }
 
     double onset_f = rng.exponential(config_.weekly_fault_rate) * 7.0;
@@ -453,6 +475,8 @@ SimDataset Simulator::run(const exec::ExecContext& exec) const {
       pending.push_back(t);
     }
   }
+  // Per-line scratch is done; release it before the heavier phases.
+  std::vector<std::vector<std::uint32_t>>().swap(scripted_by_line);
 
   // Fork the remaining root streams in one block, in the same order as
   // ever (plant, customer, outage, fault, measure, bytes) plus the new
@@ -634,6 +658,9 @@ SimDataset Simulator::run(const exec::ExecContext& exec) const {
               return a.line < b.line;
             });
   data.tickets_.reserve(pending.size());
+  data.notes_.reserve(static_cast<std::size_t>(
+      std::count_if(pending.begin(), pending.end(),
+                    [](const PendingTicket& p) { return p.has_note; })));
   for (const auto& p : pending) {
     Ticket t;
     t.id = static_cast<TicketId>(data.tickets_.size());
@@ -662,92 +689,14 @@ SimDataset Simulator::run(const exec::ExecContext& exec) const {
     }
     data.tickets_.push_back(t);
   }
+  // The pending scratch is the last per-ticket intermediate; release it
+  // before the byte-feed series allocate.
+  std::vector<PendingTicket>().swap(pending);
 
-  // ---- weekly Saturday measurements -------------------------------------
-  // Every line owns an independent RNG stream keyed by (seed, line) and
-  // sweeps its 52 Saturdays from it, so the measurement tables are
-  // bit-identical no matter how many threads sweep the lines (and the
-  // fault/ticket process above never sees these draws).
-  const std::uint64_t measure_seed = measure_rng.next();
-  data.weeks_.resize(static_cast<std::size_t>(config_.n_weeks));
-  for (auto& week : data.weeks_) week.resize(topo.n_lines());
-  exec.parallel_for(0, topo.n_lines(), 0, [&](std::size_t ub, std::size_t ue) {
-    for (LineId u = static_cast<LineId>(ub); u < ue; ++u) {
-      util::Rng rng = util::Rng::stream(measure_seed, u);
-      const CustomerBehavior& cust = data.customers_[u];
-      for (int w = 0; w < config_.n_weeks; ++w) {
-        const util::Day day = util::saturday_of_week(w);
-        auto& week = data.weeks_[static_cast<std::size_t>(w)];
-        const bool away = is_away(cust, day);
-
-        MeasurementContext ctx;
-        for (std::uint32_t idx : data.line_episodes_[u]) {
-          const auto& e = data.episodes_[idx];
-          const double act = episode_activity(
-              faults.signature(e.disposition), e, day);
-          if (act > 0.0) {
-            accumulate_effects(ctx.fx, faults.signature(e.disposition).effects,
-                               e.severity * act);
-          }
-        }
-        // DSLAM outage / precursor degradation.
-        for (std::uint32_t idx : data.dslam_outages_[topo.dslam_of(u)]) {
-          const auto& o = data.outages_[idx];
-          if (day >= o.outage_start && day < o.outage_end) {
-            accumulate_effects(ctx.fx, outage_effects(), 1.0);
-          } else if (day >= o.precursor_start && day < o.outage_start) {
-            const double ramp =
-                static_cast<double>(day - o.precursor_start + 1) /
-                static_cast<double>(o.outage_start - o.precursor_start + 1);
-            accumulate_effects(ctx.fx, precursor_effects(), ramp);
-          }
-        }
-        // Correlated infrastructure events covering this line's subtree.
-        for (std::uint32_t idx : data.infra_by_dslam_[topo.dslam_of(u)]) {
-          const auto& ev = data.infra_events_[idx];
-          if (ev.kind == InfraEventKind::kCrossboxDegradation &&
-              topo.crossbox_of(u) != ev.scope) {
-            continue;
-          }
-          const double act = infra_activity(ev, day);
-          if (act > 0.0) {
-            accumulate_effects(ctx.fx, infra_event_effects(ev.kind),
-                               ev.severity * act);
-          }
-        }
-        // Environment drift: deterministic, RNG-free shifts shared by
-        // the whole population (concept drift for bench_drift).
-        if (config_.drift.plant_aging_db_per_year > 0.0 &&
-            day >= config_.drift.onset_day) {
-          ctx.fx.atten_db += config_.drift.plant_aging_db_per_year *
-                             static_cast<double>(day -
-                                                 config_.drift.onset_day) /
-                             365.0;
-        }
-        if (config_.drift.seasonal_noise_amp_db > 0.0) {
-          const double phase =
-              2.0 * 3.14159265358979323846 *
-              static_cast<double>(day - config_.drift.seasonal_peak_day) /
-              365.25;
-          ctx.fx.noise_db += config_.drift.seasonal_noise_amp_db * 0.5 *
-                             (1.0 + std::cos(phase));
-        }
-
-        // Away customers mostly leave the modem powered (the paper's
-        // not-on-site lines still produce Saturday test records); a
-        // modest share powers down before leaving.
-        const double customer_off =
-            std::min(1.0, cust.modem_off_base + (away ? 0.2 : 0.0));
-        if (rng.bernoulli(modem_off_probability(customer_off, ctx.fx))) {
-          week[u] = missing_record();
-          continue;
-        }
-        ctx.usage_mb_week = usage_on_day(cust, day) * 7.0 *
-                            rng.lognormal(0.0, 0.25);
-        week[u] = measure_line(data.plants_[u], ctx, rng);
-      }
-    }
-  });
+  // Root of the per-line measurement streams. Drawn here — in the same
+  // stream position as ever — but the sweep itself runs later, in run()
+  // (line-major, materialized) or stream_weeks (week-major, chunked).
+  data.measure_seed_ = measure_rng.next();
 
   // ---- daily byte feed (two BRAS servers) -------------------------------
   // Feed membership and slot order are fixed serially (they follow the
@@ -781,6 +730,138 @@ SimDataset Simulator::run(const exec::ExecContext& exec) const {
       });
 
   return data;
+}
+
+MetricVector Simulator::measure_cell(const SimDataset& data, LineId u,
+                                     util::Day day, util::Rng& rng) {
+  const SimConfig& config = data.config_;
+  const Topology& topo = data.topology_;
+  const FaultCatalog& faults = data.catalog_;
+  const CustomerBehavior& cust = data.customers_[u];
+  const bool away = is_away(cust, day);
+
+  MeasurementContext ctx;
+  for (std::uint32_t idx : data.line_episodes_[u]) {
+    const auto& e = data.episodes_[idx];
+    const double act =
+        episode_activity(faults.signature(e.disposition), e, day);
+    if (act > 0.0) {
+      accumulate_effects(ctx.fx, faults.signature(e.disposition).effects,
+                         e.severity * act);
+    }
+  }
+  // DSLAM outage / precursor degradation.
+  for (std::uint32_t idx : data.dslam_outages_[topo.dslam_of(u)]) {
+    const auto& o = data.outages_[idx];
+    if (day >= o.outage_start && day < o.outage_end) {
+      accumulate_effects(ctx.fx, outage_effects(), 1.0);
+    } else if (day >= o.precursor_start && day < o.outage_start) {
+      const double ramp =
+          static_cast<double>(day - o.precursor_start + 1) /
+          static_cast<double>(o.outage_start - o.precursor_start + 1);
+      accumulate_effects(ctx.fx, precursor_effects(), ramp);
+    }
+  }
+  // Correlated infrastructure events covering this line's subtree.
+  for (std::uint32_t idx : data.infra_by_dslam_[topo.dslam_of(u)]) {
+    const auto& ev = data.infra_events_[idx];
+    if (ev.kind == InfraEventKind::kCrossboxDegradation &&
+        topo.crossbox_of(u) != ev.scope) {
+      continue;
+    }
+    const double act = infra_activity(ev, day);
+    if (act > 0.0) {
+      accumulate_effects(ctx.fx, infra_event_effects(ev.kind),
+                         ev.severity * act);
+    }
+  }
+  // Environment drift: deterministic, RNG-free shifts shared by
+  // the whole population (concept drift for bench_drift).
+  if (config.drift.plant_aging_db_per_year > 0.0 &&
+      day >= config.drift.onset_day) {
+    ctx.fx.atten_db += config.drift.plant_aging_db_per_year *
+                       static_cast<double>(day - config.drift.onset_day) /
+                       365.0;
+  }
+  if (config.drift.seasonal_noise_amp_db > 0.0) {
+    const double phase =
+        2.0 * 3.14159265358979323846 *
+        static_cast<double>(day - config.drift.seasonal_peak_day) / 365.25;
+    ctx.fx.noise_db +=
+        config.drift.seasonal_noise_amp_db * 0.5 * (1.0 + std::cos(phase));
+  }
+
+  // Away customers mostly leave the modem powered (the paper's
+  // not-on-site lines still produce Saturday test records); a
+  // modest share powers down before leaving.
+  const double customer_off =
+      std::min(1.0, cust.modem_off_base + (away ? 0.2 : 0.0));
+  if (rng.bernoulli(modem_off_probability(customer_off, ctx.fx))) {
+    return missing_record();
+  }
+  ctx.usage_mb_week = usage_on_day(cust, day) * 7.0 * rng.lognormal(0.0, 0.25);
+  return measure_line(data.plants_[u], ctx, rng);
+}
+
+SimDataset Simulator::run(const exec::ExecContext& exec) const {
+  SimDataset data = build_tables(exec);
+
+  // ---- weekly Saturday measurements -------------------------------------
+  // Line-major: every line owns an independent RNG stream keyed by
+  // (measure_seed_, line) and sweeps its 52 Saturdays from it, so the
+  // measurement tables are bit-identical no matter how many threads
+  // sweep the lines (and the fault/ticket process above never sees
+  // these draws). stream_weeks advances the same per-line streams in
+  // the same order week-major, so the two sweeps agree byte for byte.
+  const std::uint32_t n_lines = data.topology_.n_lines();
+  data.weeks_.resize(static_cast<std::size_t>(config_.n_weeks));
+  for (auto& week : data.weeks_) week.resize(n_lines);
+  exec.parallel_for(0, n_lines, 0, [&](std::size_t ub, std::size_t ue) {
+    for (LineId u = static_cast<LineId>(ub); u < ue; ++u) {
+      util::Rng rng = util::Rng::stream(data.measure_seed_, u);
+      for (int w = 0; w < config_.n_weeks; ++w) {
+        data.weeks_[static_cast<std::size_t>(w)][u] =
+            measure_cell(data, u, util::saturday_of_week(w), rng);
+      }
+    }
+  });
+  return data;
+}
+
+void Simulator::stream_weeks(const SimDataset& tables,
+                             const exec::ExecContext& exec,
+                             const WeekSink& sink, int through_week) const {
+  const int last = through_week < 0
+                       ? config_.n_weeks - 1
+                       : std::min(through_week, config_.n_weeks - 1);
+  const std::uint32_t n_lines = tables.topology_.n_lines();
+  // Persistent per-line streams: util::Rng caches the second Box–Muller
+  // normal across draws, so the week-major sweep must carry each line's
+  // generator from week to week to match the line-major sweep exactly.
+  std::vector<util::Rng> rngs;
+  rngs.reserve(n_lines);
+  for (LineId u = 0; u < n_lines; ++u) {
+    rngs.push_back(util::Rng::stream(tables.measure_seed_, u));
+  }
+  WeeklyMeasurements buffer(n_lines);
+  for (int w = 0; w <= last; ++w) {
+    const util::Day day = util::saturday_of_week(w);
+    // parallel_for returns only after every chunk has completed — the
+    // barrier between week w's sweep and the sink (and week w+1).
+    exec.parallel_for(0, n_lines, 0, [&](std::size_t ub, std::size_t ue) {
+      for (LineId u = static_cast<LineId>(ub); u < ue; ++u) {
+        buffer[u] = measure_cell(tables, u, day, rngs[u]);
+      }
+    });
+    sink(WeekChunk{w, day, {buffer.data(), buffer.size()}});
+  }
+}
+
+SimDataset Simulator::run_stream(const exec::ExecContext& exec,
+                                 const WeekSink& sink) const {
+  SimDataset tables = build_tables(exec);
+  stream_weeks(tables, exec, sink);
+  return tables;
 }
 
 }  // namespace nevermind::dslsim

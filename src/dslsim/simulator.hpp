@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -118,6 +119,21 @@ struct SimConfig {
   EnvironmentDrift drift;
 };
 
+/// One week of Saturday measurements handed to a streaming sink: the
+/// test-week index, its Saturday, and one MetricVector per line (indexed
+/// by LineId). The span aliases a buffer the producer reuses for the
+/// next week — consumers must copy anything they keep.
+struct WeekChunk {
+  int week = 0;
+  util::Day day = 0;
+  std::span<const MetricVector> measurements;
+};
+
+/// Consumer callback for Simulator::stream_weeks / run_stream. Called
+/// once per week, in ascending week order, after the week's parallel
+/// sweep has fully completed (the parallel_for return is the barrier).
+using WeekSink = std::function<void(const WeekChunk&)>;
+
 /// Everything one simulation run produces. Downstream components (the
 /// feature encoder, predictor, locator, benches) only read from this.
 class SimDataset {
@@ -137,6 +153,20 @@ class SimDataset {
 
   [[nodiscard]] const MetricVector& measurement(int week, LineId line) const {
     return weeks_.at(static_cast<std::size_t>(week))[line];
+  }
+
+  /// The full week's measurement table, one MetricVector per line.
+  [[nodiscard]] std::span<const MetricVector> week_measurements(
+      int week) const {
+    const auto& wk = weeks_.at(static_cast<std::size_t>(week));
+    return {wk.data(), wk.size()};
+  }
+
+  /// False for a tables-only dataset from Simulator::build_tables /
+  /// run_stream — every accessor except measurement/week_measurements
+  /// works on one; measurements arrive through the week sink instead.
+  [[nodiscard]] bool has_measurements() const noexcept {
+    return !weeks_.empty();
   }
 
   [[nodiscard]] const LinePlant& plant(LineId line) const {
@@ -237,6 +267,9 @@ class SimDataset {
   /// measurement sweep walks.
   std::vector<InfraEvent> infra_events_;
   std::vector<std::vector<std::uint32_t>> infra_by_dslam_;
+  /// Root of the per-line measurement RNG streams; stored so the weekly
+  /// sweep can run later (and repeatedly) against a tables-only dataset.
+  std::uint64_t measure_seed_ = 0;
 
   friend class Simulator;
 };
@@ -275,7 +308,37 @@ class Simulator {
   /// bit-identical at every thread count — including threads = 1.
   [[nodiscard]] SimDataset run(const exec::ExecContext& exec) const;
 
+  /// Everything run() produces EXCEPT the weekly measurement tables:
+  /// plants, customers, outages, fault episodes, tickets, notes, the
+  /// infrastructure layer and the byte feed. The returned dataset has
+  /// has_measurements() == false; stream_weeks sweeps the measurements
+  /// against it on demand. All RNG streams are forked in run()'s order,
+  /// so build_tables + a full sweep is bit-identical to run().
+  [[nodiscard]] SimDataset build_tables(const exec::ExecContext& exec) const;
+
+  /// Week-streaming measurement sweep over a dataset from build_tables
+  /// (or run): for each week 0..through_week (default: all n_weeks), the
+  /// per-line measurements are generated in parallel under `exec`, then
+  /// — after the week's barrier — handed to `sink` as one WeekChunk.
+  /// Every line keeps one persistent RNG advanced across the weeks, so
+  /// the emitted chunks are bit-identical to run()'s measurement tables
+  /// at every thread count, including the chunk a Box–Muller cache
+  /// straddles. The chunk buffer is reused between weeks.
+  void stream_weeks(const SimDataset& tables, const exec::ExecContext& exec,
+                    const WeekSink& sink, int through_week = -1) const;
+
+  /// Convenience: build_tables + stream_weeks over every week. Returns
+  /// the tables-only dataset (no measurement tables resident).
+  [[nodiscard]] SimDataset run_stream(const exec::ExecContext& exec,
+                                      const WeekSink& sink) const;
+
  private:
+  /// One (line, Saturday) measurement cell — THE shared implementation
+  /// behind run()'s line-major sweep and stream_weeks' week-major sweep;
+  /// both draw the same stream from `rng` in the same order.
+  static MetricVector measure_cell(const SimDataset& data, LineId line,
+                                   util::Day day, util::Rng& rng);
+
   SimConfig config_;
 };
 

@@ -1,8 +1,11 @@
 #include "features/dataset_io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <utility>
+
+#include "features/stream_buffer.hpp"
 
 namespace nevermind::features {
 
@@ -170,6 +173,79 @@ std::optional<PredictorDataset> load_predictor_dataset(const std::string& path,
   }
   out.block.dataset = std::move(stored->arena);
   return out;
+}
+
+ml::StoreStatus stream_save_predictor_dataset(
+    const std::string& path, const dslsim::Simulator& sim,
+    const dslsim::SimDataset& tables, const exec::ExecContext& exec,
+    int emit_from, int emit_to, const EncoderConfig& config,
+    const TicketLabeler& labeler, const StreamPipelineOptions& options) {
+  if (!is_binary_path(path)) {
+    return {ml::StoreError::kIoError,
+            "streamed dataset save requires a .nmarena path: " + path};
+  }
+  const std::size_t n_rows = count_week_rows(tables, emit_from, emit_to);
+  ml::ArenaStreamWriter writer(path, all_columns(config), n_rows);
+  std::vector<std::uint32_t> line_of_row;
+  std::vector<std::uint32_t> week_of_row;
+  line_of_row.reserve(n_rows);
+  week_of_row.reserve(n_rows);
+  WeekEncoder encoder(tables, emit_from, emit_to, config, labeler,
+                      [&](std::span<const float> row, bool label,
+                          dslsim::LineId u, int w) {
+                        writer.append(row, label);
+                        line_of_row.push_back(static_cast<std::uint32_t>(u));
+                        week_of_row.push_back(static_cast<std::uint32_t>(w));
+                      });
+  // The encoder reads each week through the rolling buffer — the
+  // residency bound the 1M-line pipeline is built around — and the tap
+  // sees the raw chunk afterwards.
+  WeekWindowBuffer buffer(tables.n_lines(), options.window_weeks);
+  const int through = std::max(encoder.emit_to(), options.stream_through);
+  sim.stream_weeks(tables, exec,
+                   [&](const dslsim::WeekChunk& chunk) {
+                     buffer.push(chunk);
+                     encoder.on_week(chunk.week, buffer.week(chunk.week));
+                     if (options.tap) options.tap(chunk);
+                   },
+                   through);
+  writer.add_aux("line", line_of_row);
+  writer.add_aux("week", week_of_row);
+  writer.set_meta(make_meta(kPredictorKind, config));
+  return writer.finish();
+}
+
+ml::StoreStatus stream_save_locator_dataset(
+    const std::string& path, const dslsim::Simulator& sim,
+    const dslsim::SimDataset& tables, const exec::ExecContext& exec,
+    int week_from, int week_to, const EncoderConfig& config,
+    const StreamPipelineOptions& options) {
+  if (!is_binary_path(path)) {
+    return {ml::StoreError::kIoError,
+            "streamed dataset save requires a .nmarena path: " + path};
+  }
+  const std::size_t n_rows = count_dispatch_rows(tables, week_from, week_to);
+  ml::ArenaStreamWriter writer(path, all_columns(config), n_rows);
+  std::vector<std::uint32_t> note_of_row;
+  note_of_row.reserve(n_rows);
+  DispatchEncoder encoder(tables, week_from, week_to, config,
+                          [&](std::span<const float> row,
+                              std::uint32_t note_idx) {
+                            writer.append(row, false);
+                            note_of_row.push_back(note_idx);
+                          });
+  WeekWindowBuffer buffer(tables.n_lines(), options.window_weeks);
+  const int through = std::max(encoder.week_to(), options.stream_through);
+  sim.stream_weeks(tables, exec,
+                   [&](const dslsim::WeekChunk& chunk) {
+                     buffer.push(chunk);
+                     encoder.on_week(chunk.week, buffer.week(chunk.week));
+                     if (options.tap) options.tap(chunk);
+                   },
+                   through);
+  writer.add_aux("note", note_of_row);
+  writer.set_meta(make_meta(kLocatorKind, config));
+  return writer.finish();
 }
 
 std::optional<LocatorDataset> load_locator_dataset(const std::string& path,

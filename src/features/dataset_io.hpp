@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 
+#include "exec/exec.hpp"
 #include "features/encoder.hpp"
 #include "ml/feature_store.hpp"
 
@@ -71,5 +72,46 @@ struct LocatorDataset {
 /// "locator"), or nullopt if the blob does not parse. Exposed for the
 /// CLI `dataset` inspect subcommand.
 [[nodiscard]] std::optional<std::string> dataset_kind(const std::string& meta);
+
+/// Knobs for the streamed simulate→encode pipeline savers below.
+struct StreamPipelineOptions {
+  /// Rolling residency bound: the encoder reads each week through a
+  /// WeekWindowBuffer holding at most this many weeks of measurements.
+  int window_weeks = 8;
+  /// Stream at least through this test week even when it lies past the
+  /// last emitted week (a tap may need later weeks — e.g. the serving
+  /// replay feeding the prediction week). -1 = stop at the last
+  /// emitted/dispatch week.
+  int stream_through = -1;
+  /// Optional observer invoked with every week chunk after the encoder
+  /// has consumed it: serving replay, CSV export, extra encoders,
+  /// divergence hashing in tests and bench_scale. The chunk's span is
+  /// only valid during the call.
+  dslsim::WeekSink tap;
+};
+
+/// Stream-encode weeks [emit_from, emit_to] into a binary predictor
+/// dataset at `path` (must end in ".nmarena") WITHOUT materialized
+/// measurement tables: `tables` is a (possibly tables-only) dataset
+/// from Simulator::build_tables or run, and the weekly measurements are
+/// generated on the fly by sim.stream_weeks and consumed through a
+/// bounded WeekWindowBuffer. The artefact is byte-identical to
+/// save_predictor_dataset over a materialized run() at every thread
+/// count. Peak residency: window_weeks chunks + one writer chunk + the
+/// row mappings.
+[[nodiscard]] ml::StoreStatus stream_save_predictor_dataset(
+    const std::string& path, const dslsim::Simulator& sim,
+    const dslsim::SimDataset& tables, const exec::ExecContext& exec,
+    int emit_from, int emit_to, const EncoderConfig& config,
+    const TicketLabeler& labeler, const StreamPipelineOptions& options = {});
+
+/// Streamed counterpart of save_locator_dataset (always without bins —
+/// quantization needs the whole matrix, which this path never holds).
+/// Byte-identical to save_locator_dataset(..., with_bins=false).
+[[nodiscard]] ml::StoreStatus stream_save_locator_dataset(
+    const std::string& path, const dslsim::Simulator& sim,
+    const dslsim::SimDataset& tables, const exec::ExecContext& exec,
+    int week_from, int week_to, const EncoderConfig& config,
+    const StreamPipelineOptions& options = {});
 
 }  // namespace nevermind::features

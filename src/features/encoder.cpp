@@ -5,6 +5,7 @@
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 
 #include "dslsim/profile.hpp"
@@ -192,38 +193,65 @@ void encode_window_row(const LineWindow& state, const MetricVector& current,
   }
 }
 
+WeekEncoder::WeekEncoder(const dslsim::SimDataset& data, int emit_from,
+                         int emit_to, const EncoderConfig& config,
+                         const TicketLabeler& labeler, RowSink sink)
+    : data_(data),
+      config_(config),
+      labeler_(labeler),
+      sink_(std::move(sink)),
+      emit_from_(std::max(emit_from, 0)),
+      emit_to_(std::min(emit_to, data.n_weeks() - 1)),
+      n_base_(base_columns(config).size()),
+      states_(data.n_lines()),
+      row_(all_columns(config).size()) {}
+
+void WeekEncoder::on_week(int week,
+                          std::span<const dslsim::MetricVector> measurements) {
+  if (week != next_week_) {
+    throw std::logic_error("WeekEncoder: expected week " +
+                           std::to_string(next_week_) + ", got " +
+                           std::to_string(week));
+  }
+  if (measurements.size() != states_.size()) {
+    throw std::invalid_argument("WeekEncoder: chunk has " +
+                                std::to_string(measurements.size()) +
+                                " lines, dataset has " +
+                                std::to_string(states_.size()));
+  }
+  const util::Day day = util::saturday_of_week(week);
+  const bool emitting = week >= emit_from_ && week <= emit_to_;
+  const auto n_lines = static_cast<dslsim::LineId>(states_.size());
+  for (dslsim::LineId u = 0; u < n_lines; ++u) {
+    const MetricVector& current = measurements[u];
+    if (emitting) {
+      encode_window_row(states_[u], current,
+                        dslsim::profile(data_.plant(u).profile),
+                        data_.last_edge_ticket_at_or_before(u, day), day,
+                        config_, n_base_, row_);
+      sink_(std::span<const float>(row_), labeler_(data_, u, day), u, week);
+      ++rows_;
+    }
+    states_[u].update(current);
+  }
+  ++next_week_;
+}
+
 namespace {
 
 /// Shared week walker behind encode_weeks and encode_weeks_to_store:
-/// advances every line's window in week order and calls
-/// `emit(features, label, line, week)` for each (line, emit-week) pair.
-/// One walker means the arena and streaming paths cannot drift.
+/// drives the streaming WeekEncoder over a materialized dataset's
+/// weeks. One walker means the arena, store and streamed paths cannot
+/// drift.
 template <typename Emit>
 void walk_week_rows(const dslsim::SimDataset& data, int emit_from, int emit_to,
                     const EncoderConfig& config, const TicketLabeler& labeler,
                     Emit&& emit) {
-  emit_from = std::max(emit_from, 0);
-  emit_to = std::min(emit_to, data.n_weeks() - 1);
-
-  const std::size_t n_base = base_columns(config).size();
-  const std::size_t n_lines = data.n_lines();
-
-  std::vector<LineWindow> states(n_lines);
-  std::vector<float> row(all_columns(config).size());
-
-  for (int w = 0; w <= emit_to; ++w) {
-    const util::Day day = util::saturday_of_week(w);
-    for (dslsim::LineId u = 0; u < n_lines; ++u) {
-      const MetricVector& current = data.measurement(w, u);
-      if (w >= emit_from) {
-        encode_window_row(states[u], current,
-                          dslsim::profile(data.plant(u).profile),
-                          data.last_edge_ticket_at_or_before(u, day), day,
-                          config, n_base, row);
-        emit(std::span<const float>(row), labeler(data, u, day), u, w);
-      }
-      states[u].update(current);
-    }
+  WeekEncoder encoder(data, emit_from, emit_to, config, labeler,
+                      [&emit](std::span<const float> row, bool label,
+                              dslsim::LineId u, int w) { emit(row, label, u, w); });
+  for (int w = 0; w <= encoder.emit_to(); ++w) {
+    encoder.on_week(w, data.week_measurements(w));
   }
 }
 
@@ -295,37 +323,70 @@ std::vector<std::vector<std::uint32_t>> group_notes_by_week(
   return notes_by_week;
 }
 
-/// Shared dispatch walker: calls `emit(features, note_idx)` once per
-/// grouped note, in week order, emitting each week's dispatch rows
-/// before consuming that week's measurement into history (the dispatch
-/// sees the same Saturday record the predictor saw).
+}  // namespace
+
+DispatchEncoder::DispatchEncoder(const dslsim::SimDataset& data, int week_from,
+                                 int week_to, const EncoderConfig& config,
+                                 RowSink sink)
+    : data_(data),
+      config_(config),
+      sink_(std::move(sink)),
+      week_to_(std::min(week_to, data.n_weeks() - 1)),
+      n_base_(base_columns(config).size()),
+      notes_by_week_(group_notes_by_week(data, week_from, week_to)),
+      states_(data.n_lines()),
+      row_(all_columns(config).size()) {}
+
+void DispatchEncoder::on_week(
+    int week, std::span<const dslsim::MetricVector> measurements) {
+  if (week != next_week_) {
+    throw std::logic_error("DispatchEncoder: expected week " +
+                           std::to_string(next_week_) + ", got " +
+                           std::to_string(week));
+  }
+  if (measurements.size() != states_.size()) {
+    throw std::invalid_argument("DispatchEncoder: chunk has " +
+                                std::to_string(measurements.size()) +
+                                " lines, dataset has " +
+                                std::to_string(states_.size()));
+  }
+  const util::Day day = util::saturday_of_week(week);
+  const auto& notes = data_.notes();
+  if (week <= week_to_) {
+    for (std::uint32_t note_idx :
+         notes_by_week_[static_cast<std::size_t>(week)]) {
+      const dslsim::LineId u = notes[note_idx].line;
+      encode_window_row(states_[u], measurements[u],
+                        dslsim::profile(data_.plant(u).profile),
+                        data_.last_edge_ticket_at_or_before(u, day), day,
+                        config_, n_base_, row_);
+      sink_(std::span<const float>(row_), note_idx);
+      ++rows_;
+    }
+  }
+  const auto n_lines = static_cast<dslsim::LineId>(states_.size());
+  for (dslsim::LineId u = 0; u < n_lines; ++u) {
+    states_[u].update(measurements[u]);
+  }
+  ++next_week_;
+}
+
+namespace {
+
+/// Shared dispatch walker behind encode_at_dispatch and
+/// encode_dispatch_to_store: drives the streaming DispatchEncoder over
+/// a materialized dataset's weeks.
 template <typename Emit>
 void walk_dispatch_rows(const dslsim::SimDataset& data, int week_from,
                         int week_to, const EncoderConfig& config,
                         Emit&& emit) {
-  week_to = std::min(week_to, data.n_weeks() - 1);
-  const auto notes_by_week = group_notes_by_week(data, week_from, week_to);
-  const auto& notes = data.notes();
-  const std::size_t n_base = base_columns(config).size();
-
-  std::vector<LineWindow> states(data.n_lines());
-  std::vector<float> row(all_columns(config).size());
-
-  for (int w = 0; w <= week_to; ++w) {
-    const util::Day day = util::saturday_of_week(w);
-    for (std::uint32_t note_idx : notes_by_week[static_cast<std::size_t>(w)]) {
-      const auto& note = notes[note_idx];
-      const dslsim::LineId u = note.line;
-      const MetricVector& current = data.measurement(w, u);
-      encode_window_row(states[u], current,
-                        dslsim::profile(data.plant(u).profile),
-                        data.last_edge_ticket_at_or_before(u, day), day,
-                        config, n_base, row);
-      emit(std::span<const float>(row), note_idx);
-    }
-    for (dslsim::LineId u = 0; u < data.n_lines(); ++u) {
-      states[u].update(data.measurement(w, u));
-    }
+  DispatchEncoder encoder(
+      data, week_from, week_to, config,
+      [&emit](std::span<const float> row, std::uint32_t note_idx) {
+        emit(row, note_idx);
+      });
+  for (int w = 0; w <= encoder.week_to(); ++w) {
+    encoder.on_week(w, data.week_measurements(w));
   }
 }
 

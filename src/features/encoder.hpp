@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <optional>
 #include <span>
@@ -137,6 +138,51 @@ void encode_weeks_to_store(const dslsim::SimDataset& data, int emit_from,
                            const TicketLabeler& labeler,
                            ml::ArenaStreamWriter& writer);
 
+/// Streaming form of the week walker: feed each week's measurements in
+/// ascending order (starting at week 0) and rows for weeks in
+/// [emit_from, emit_to] are emitted through the sink as the week
+/// arrives. `data` may be a tables-only dataset from
+/// Simulator::build_tables — only tickets, plants and the topology are
+/// read from it; measurements come exclusively through on_week. This is
+/// the ONE walker: encode_weeks / encode_weeks_to_store drive it over a
+/// materialized dataset, the streaming pipeline drives it from
+/// Simulator::stream_weeks chunks, so the two paths cannot drift.
+/// Resident state is one LineWindow per line plus one row buffer —
+/// independent of the number of weeks streamed.
+class WeekEncoder {
+ public:
+  using RowSink = std::function<void(std::span<const float> row, bool label,
+                                     dslsim::LineId line, int week)>;
+
+  WeekEncoder(const dslsim::SimDataset& data, int emit_from, int emit_to,
+              const EncoderConfig& config, const TicketLabeler& labeler,
+              RowSink sink);
+
+  /// Consume week `week`'s measurements (one MetricVector per line);
+  /// `week` must equal next_week(). Weeks past emit_to() still advance
+  /// the per-line windows (a later consumer — serving replay, a test
+  /// tap — may need the post-training state) but emit nothing.
+  void on_week(int week, std::span<const dslsim::MetricVector> measurements);
+
+  [[nodiscard]] int next_week() const noexcept { return next_week_; }
+  [[nodiscard]] int emit_from() const noexcept { return emit_from_; }
+  [[nodiscard]] int emit_to() const noexcept { return emit_to_; }
+  [[nodiscard]] std::size_t rows_emitted() const noexcept { return rows_; }
+
+ private:
+  const dslsim::SimDataset& data_;
+  EncoderConfig config_;
+  TicketLabeler labeler_;
+  RowSink sink_;
+  int emit_from_;
+  int emit_to_;
+  int next_week_ = 0;
+  std::size_t n_base_;
+  std::vector<LineWindow> states_;
+  std::vector<float> row_;
+  std::size_t rows_ = 0;
+};
+
 /// Encode feature rows at dispatch time for the trouble locator: one
 /// row per disposition note whose dispatch lies in test weeks
 /// [week_from, week_to], using the most recent measurement at or before
@@ -165,5 +211,39 @@ struct LocatorBlock {
 void encode_dispatch_to_store(const dslsim::SimDataset& data, int week_from,
                               int week_to, const EncoderConfig& config,
                               ml::ArenaStreamWriter& writer);
+
+/// Streaming form of the dispatch walker (trouble-locator rows): feed
+/// weeks in ascending order from week 0; each week's dispatch rows are
+/// emitted BEFORE that week's measurements fold into the per-line
+/// windows (the dispatch sees the same Saturday record the predictor
+/// saw). Notes are grouped from the tables up front, so `data` may be
+/// tables-only. Like WeekEncoder, this is the one walker behind
+/// encode_at_dispatch / encode_dispatch_to_store and the streamed path.
+class DispatchEncoder {
+ public:
+  using RowSink =
+      std::function<void(std::span<const float> row, std::uint32_t note_idx)>;
+
+  DispatchEncoder(const dslsim::SimDataset& data, int week_from, int week_to,
+                  const EncoderConfig& config, RowSink sink);
+
+  void on_week(int week, std::span<const dslsim::MetricVector> measurements);
+
+  [[nodiscard]] int next_week() const noexcept { return next_week_; }
+  [[nodiscard]] int week_to() const noexcept { return week_to_; }
+  [[nodiscard]] std::size_t rows_emitted() const noexcept { return rows_; }
+
+ private:
+  const dslsim::SimDataset& data_;
+  EncoderConfig config_;
+  RowSink sink_;
+  int week_to_;
+  int next_week_ = 0;
+  std::size_t n_base_;
+  std::vector<std::vector<std::uint32_t>> notes_by_week_;
+  std::vector<LineWindow> states_;
+  std::vector<float> row_;
+  std::size_t rows_ = 0;
+};
 
 }  // namespace nevermind::features

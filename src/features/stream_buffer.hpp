@@ -1,0 +1,108 @@
+// Bounded rolling window over streamed week chunks: keeps the most
+// recent `window_weeks` weeks of per-line measurements resident and
+// evicts the rest, so a streaming consumer's memory is
+// O(window_weeks × n_lines) — independent of how many weeks flow
+// through. This is the residency bound behind the 1M-line pipeline:
+// the encoder reads the current week (and any recent-history taps)
+// through the buffer instead of a materialized SimDataset.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dslsim/simulator.hpp"
+
+namespace nevermind::features {
+
+class WeekWindowBuffer {
+ public:
+  /// `window_weeks` >= 1 slots of `n_lines` measurements each.
+  WeekWindowBuffer(std::uint32_t n_lines, int window_weeks)
+      : n_lines_(n_lines),
+        window_(window_weeks) {
+    if (window_weeks < 1) {
+      throw std::invalid_argument("WeekWindowBuffer: window_weeks must be >= 1");
+    }
+    ring_.resize(static_cast<std::size_t>(window_));
+  }
+
+  /// Copy week `chunk.week`'s measurements into the ring, evicting the
+  /// slot `window_weeks` back. Weeks must arrive in ascending order
+  /// with no gaps (the streaming producer's contract).
+  void push(const dslsim::WeekChunk& chunk) { push(chunk.week, chunk.measurements); }
+
+  void push(int week, std::span<const dslsim::MetricVector> measurements) {
+    if (week != newest_ + 1) {
+      throw std::logic_error("WeekWindowBuffer: expected week " +
+                             std::to_string(newest_ + 1) + ", got " +
+                             std::to_string(week));
+    }
+    if (measurements.size() != n_lines_) {
+      throw std::invalid_argument("WeekWindowBuffer: chunk has " +
+                                  std::to_string(measurements.size()) +
+                                  " lines, buffer expects " +
+                                  std::to_string(n_lines_));
+    }
+    auto& slot = ring_[slot_of(week)];
+    slot.assign(measurements.begin(), measurements.end());
+    newest_ = week;
+  }
+
+  [[nodiscard]] bool contains(int week) const noexcept {
+    return week >= oldest_week() && week <= newest_;
+  }
+
+  /// The resident week's measurements; throws if it was never pushed or
+  /// has already been evicted.
+  [[nodiscard]] std::span<const dslsim::MetricVector> week(int week) const {
+    if (!contains(week)) {
+      throw std::out_of_range("WeekWindowBuffer: week " +
+                              std::to_string(week) +
+                              " is not resident (window [" +
+                              std::to_string(oldest_week()) + ", " +
+                              std::to_string(newest_) + "])");
+    }
+    const auto& slot = ring_[slot_of(week)];
+    return {slot.data(), slot.size()};
+  }
+
+  [[nodiscard]] const dslsim::MetricVector& measurement(
+      int at_week, dslsim::LineId line) const {
+    return week(at_week)[line];
+  }
+
+  /// Oldest week still resident (-1 before the first push).
+  [[nodiscard]] int oldest_week() const noexcept {
+    if (newest_ < 0) return -1;
+    return std::max(0, newest_ - window_ + 1);
+  }
+  [[nodiscard]] int newest_week() const noexcept { return newest_; }
+  [[nodiscard]] int window_weeks() const noexcept { return window_; }
+  [[nodiscard]] std::uint32_t n_lines() const noexcept { return n_lines_; }
+
+  /// Bytes held by the resident measurement slots — what "bounded by
+  /// the rolling window" means for bench_scale.
+  [[nodiscard]] std::size_t resident_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const auto& slot : ring_) {
+      total += slot.capacity() * sizeof(dslsim::MetricVector);
+    }
+    return total;
+  }
+
+ private:
+  [[nodiscard]] std::size_t slot_of(int week) const noexcept {
+    return static_cast<std::size_t>(week % window_);
+  }
+
+  std::uint32_t n_lines_;
+  int window_;
+  int newest_ = -1;
+  std::vector<dslsim::WeeklyMeasurements> ring_;
+};
+
+}  // namespace nevermind::features

@@ -1,6 +1,8 @@
 #include "serve/replay.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "util/calendar.hpp"
 
@@ -50,6 +52,37 @@ int ReplayDriver::feed_next_week(const exec::ExecContext& exec) {
   measurements_fed_ += n_lines;
   ++next_week_;
   return week;
+}
+
+void ReplayDriver::feed_week_chunk(const dslsim::WeekChunk& chunk,
+                                   const exec::ExecContext& exec) {
+  if (chunk.week != next_week_) {
+    throw std::logic_error("ReplayDriver: expected week " +
+                           std::to_string(next_week_) + ", got chunk for " +
+                           std::to_string(chunk.week));
+  }
+  const util::Day day = chunk.day;
+  while (ticket_cursor_ < tickets_.size() &&
+         tickets_[ticket_cursor_].first <= day) {
+    store_.ingest_ticket(tickets_[ticket_cursor_].second,
+                         tickets_[ticket_cursor_].first);
+    ++ticket_cursor_;
+  }
+
+  const std::size_t n_lines = chunk.measurements.size();
+  exec.parallel_for(0, n_lines, 0, [&](std::size_t b, std::size_t e) {
+    for (std::size_t u = b; u < e; ++u) {
+      const auto line = static_cast<dslsim::LineId>(u);
+      LineMeasurement m;
+      m.line = line;
+      m.week = chunk.week;
+      m.profile = data_.plant(line).profile;
+      m.metrics = chunk.measurements[u];
+      store_.ingest(m);
+    }
+  });
+  measurements_fed_ += n_lines;
+  ++next_week_;
 }
 
 void ReplayDriver::feed_through(int week, const exec::ExecContext& exec) {

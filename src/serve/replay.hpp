@@ -35,6 +35,18 @@ class ReplayDriver {
   void feed_through(int week, const exec::ExecContext& exec =
                                   exec::ExecContext::serial());
 
+  /// Streamed counterpart of feed_next_week: ingest a week chunk from
+  /// Simulator::stream_weeks instead of reading data.measurement().
+  /// Tickets still come from the (tables-only) dataset, measurements
+  /// from the chunk, so the store ends in exactly the state
+  /// feed_next_week leaves it in. chunk.week must equal next_week();
+  /// throws std::logic_error otherwise. Use as the streamed pipeline's
+  /// tap: `[&](const dslsim::WeekChunk& c) { driver.feed_week_chunk(c,
+  /// exec); }`.
+  void feed_week_chunk(const dslsim::WeekChunk& chunk,
+                       const exec::ExecContext& exec =
+                           exec::ExecContext::serial());
+
   /// The week the next feed_next_week() call will ingest.
   [[nodiscard]] int next_week() const noexcept { return next_week_; }
   [[nodiscard]] bool exhausted() const noexcept {

@@ -2,7 +2,7 @@
 """Compare two NEVERMIND benchmark JSON files for timing regressions.
 
 Every bench binary that measures wall-clock time (bench_perf_pipeline,
-bench_train, bench_serve, bench_net, bench_cluster) writes a
+bench_train, bench_serve, bench_net, bench_cluster, bench_scale) writes a
 BENCH_*.json with metric fields named by convention: names ending in ``_s`` are timings in
 seconds and names ending in ``_ms`` are timings in milliseconds (both
 lower is better; ``_ms`` values are converted to seconds so --min-time
@@ -64,8 +64,9 @@ def metric_fields(obj, prefix=""):
     invert the comparison.
 
     Lists are keyed by a stable attribute when the elements carry one
-    (the benches key runs by "threads") and by index otherwise, so the
-    same run matches across files even if ordering changed.
+    (the benches key runs by "threads"; bench_scale keys its runs by
+    "lines") and by index otherwise, so the same run matches across
+    files even if ordering changed.
     """
     if isinstance(obj, dict):
         for key, value in sorted(obj.items()):
@@ -89,6 +90,8 @@ def metric_fields(obj, prefix=""):
             label = i
             if isinstance(item, dict) and "threads" in item:
                 label = f"threads={item['threads']}"
+            elif isinstance(item, dict) and "lines" in item:
+                label = f"lines={item['lines']}"
             yield from metric_fields(item, f"{prefix}[{label}]")
 
 
@@ -467,6 +470,50 @@ def self_test():
     slow_replay["drift"]["replay_1t_s"] = 60.0
     msgs = compare(drift, slow_replay, 0.2, 0.05)
     assert len(msgs) == 1 and "replay_1t_s" in msgs[0], msgs
+
+    # --- bench_scale (streaming pipeline, runs keyed by "lines") -----
+    # Each run mixes conventions: stream throughputs (_per_s, higher is
+    # better), phase timings (_s), phase-peak RSS and the artefact size
+    # (_bytes, lower is better); the identity verdicts and rss_bounded
+    # are bools and the lines/rows counts are plain integers — none of
+    # those are perf metrics.
+    scale = {
+        "bench": "scale",
+        "window_weeks": 8,
+        "identity": {"lines": 10000, "chunks_identical": True,
+                     "artefact_identical": True, "kernel_identical": True},
+        "runs": [
+            {"lines": 10000, "tables_s": 0.4, "stream_encode_s": 2.0,
+             "stream_lines_per_s": 5000.0, "stream_line_weeks_per_s": 200000.0,
+             "stream_peak_rss_bytes": 30000000,
+             "artefact_file_bytes": 25000000, "rss_bounded": True},
+            {"lines": 1000000, "tables_s": 40.0, "stream_encode_s": 210.0,
+             "stream_lines_per_s": 4700.0, "stream_line_weeks_per_s": 190000.0,
+             "stream_peak_rss_bytes": 1200000000,
+             "artefact_file_bytes": 2500000000, "rss_bounded": True},
+        ],
+    }
+    # Unchanged: clean (verdict bools, window/lines counts not metrics).
+    assert compare(scale, scale, 0.2, 0.05) == []
+    # A streamed-throughput drop at 1M lines is a regression, matched by
+    # the "lines" key even when the run order flips.
+    slow_stream = json.loads(json.dumps(scale))
+    slow_stream["runs"][1]["stream_lines_per_s"] = 2000.0
+    slow_stream["runs"].reverse()
+    msgs = compare(scale, slow_stream, 0.2, 0.05)
+    assert len(msgs) == 1 and "lines=1000000" in msgs[0], msgs
+    assert "stream_lines_per_s" in msgs[0], msgs
+    # Peak RSS growing past the threshold is a regression — the whole
+    # point of the streaming pipeline is the residency bound.
+    rss_up = json.loads(json.dumps(scale))
+    rss_up["runs"][1]["stream_peak_rss_bytes"] = 5200000000
+    msgs = compare(scale, rss_up, 0.2, 0.05)
+    assert len(msgs) == 1 and "stream_peak_rss_bytes" in msgs[0], msgs
+    # A faster encode phase is an improvement, never flagged.
+    fast_scale = json.loads(json.dumps(scale))
+    fast_scale["runs"][0]["stream_encode_s"] = 1.0
+    fast_scale["runs"][0]["stream_lines_per_s"] = 10000.0
+    assert compare(scale, fast_scale, 0.2, 0.05) == []
 
     # --- missing baseline: warn-and-pass, not a crash ----------------
     import tempfile

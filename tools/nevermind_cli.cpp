@@ -53,6 +53,13 @@
 // eagerly with --dataset-load eager), anything else the portable text
 // fallback. Training from a loaded artefact skips the encode pass and
 // reproduces the directly-trained model byte for byte.
+//
+// --stream (simulate/predict/locate/serve) runs the same workflows
+// without materializing the year of weekly measurements: the simulator
+// streams per-week chunks into the encoder and the serving replay
+// through a bounded rolling window (--window-weeks, default 8),
+// training goes through a .nmarena artefact + mmap load, and every
+// output is byte-identical to the materialized command.
 #include <unistd.h>
 
 #include <algorithm>
@@ -68,6 +75,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -127,6 +135,13 @@ struct CliArgs {
   std::string cluster_peers;
   std::size_t cluster_shards = 12;
   std::size_t replication = 2;
+  // Streamed pipeline (--stream): simulate→encode→train without a
+  // materialized year of measurements; --window-weeks bounds how many
+  // weeks the rolling chunk buffer keeps resident.
+  bool stream = false;
+  std::optional<int> window_weeks;
+
+  [[nodiscard]] int window() const { return window_weeks.value_or(8); }
 
   /// Shared pool for the run; serial when --threads 1 (the default).
   [[nodiscard]] exec::ExecContext exec() const {
@@ -247,6 +262,11 @@ CliArgs parse(int argc, char** argv, int first) {
     } else if (flag == "--deadline-ms") {
       args.deadline_ms = static_cast<std::size_t>(
           parse_uint("--deadline-ms", value(), 0, 3'600'000));
+    } else if (flag == "--stream") {
+      args.stream = true;
+    } else if (flag == "--window-weeks") {
+      args.window_weeks =
+          static_cast<int>(parse_uint("--window-weeks", value(), 1, 52));
     } else if (flag == "--cluster") {
       args.cluster_peers = value();
     } else if (flag == "--cluster-shards") {
@@ -395,6 +415,45 @@ void validate_artefact_paths(const CliArgs& args, const std::string& cmd) {
   }
 }
 
+/// Flag-combination checks for the streamed pipeline, in the same
+/// exit-2 discipline as the artefact path validation: every rejected
+/// combination names the flags and dies before any simulation runs.
+void validate_stream_flags(const CliArgs& args, const std::string& cmd) {
+  if (!args.stream) {
+    if (args.window_weeks.has_value()) {
+      die_usage("--window-weeks only applies to --stream runs");
+    }
+    return;
+  }
+  if (cmd != "simulate" && cmd != "predict" && cmd != "locate" &&
+      cmd != "serve") {
+    die_usage("--stream is not supported for '" + cmd + "'");
+  }
+  if (!args.load_dataset_path.empty()) {
+    die_usage("--stream and --load-dataset are mutually exclusive (a loaded "
+              "artefact replaces the pipeline being streamed)");
+  }
+  if (!args.load_models_dir.empty()) {
+    die_usage("--stream and --load-models are mutually exclusive (a loaded "
+              "model skips the streamed training pass)");
+  }
+  if (args.listen_port.has_value()) {
+    die_usage("--stream is not supported with --listen");
+  }
+  if (!args.cluster_peers.empty()) {
+    die_usage("--stream is not supported with --cluster");
+  }
+  if (!args.save_dataset_path.empty()) {
+    constexpr std::string_view kExt = ".nmarena";
+    const std::string& p = args.save_dataset_path;
+    if (p.size() < kExt.size() ||
+        p.compare(p.size() - kExt.size(), kExt.size(), kExt) != 0) {
+      die_usage("--save-dataset with --stream requires a binary .nmarena "
+                "path (the text form cannot be streamed)");
+    }
+  }
+}
+
 /// SimConfig shared by every command: the dataset shape comes from the
 /// CLI knobs, everything else stays at the paper defaults.
 dslsim::SimConfig sim_config(const CliArgs& args) {
@@ -415,35 +474,74 @@ dslsim::SimDataset simulate(const CliArgs& args,
   return dslsim::Simulator(cfg).run(exec);
 }
 
-int cmd_simulate(const CliArgs& args) {
-  const auto data = simulate(args, args.exec());
-  const auto write = [&](const char* name, auto&& writer) {
-    const std::string path = args.out_dir + "/" + name;
-    std::ofstream os(path);
-    if (!os) {
-      std::cerr << "cannot write " << path << "\n";
-      return false;
-    }
-    writer(os);
-    std::cerr << "wrote " << path << "\n";
-    return true;
-  };
+bool write_csv(const CliArgs& args, const char* name, auto&& writer) {
+  const std::string path = args.out_dir + "/" + name;
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  writer(os);
+  std::cerr << "wrote " << path << "\n";
+  return true;
+}
+
+/// The four feeds that only need the simulation tables (no weekly
+/// measurements) — shared by the materialized and streamed exports.
+bool write_table_csvs(const CliArgs& args, const dslsim::SimDataset& data) {
   bool ok = true;
-  ok &= write("measurements.csv", [&](std::ostream& os) {
-    dslsim::export_measurements_csv(data, os, 0, data.n_weeks() - 1);
-  });
-  ok &= write("tickets.csv", [&](std::ostream& os) {
+  ok &= write_csv(args, "tickets.csv", [&](std::ostream& os) {
     dslsim::export_tickets_csv(data, os);
   });
-  ok &= write("notes.csv", [&](std::ostream& os) {
+  ok &= write_csv(args, "notes.csv", [&](std::ostream& os) {
     dslsim::export_notes_csv(data, os);
   });
-  ok &= write("profiles.csv", [&](std::ostream& os) {
+  ok &= write_csv(args, "profiles.csv", [&](std::ostream& os) {
     dslsim::export_profiles_csv(data, os);
   });
-  ok &= write("outages.csv", [&](std::ostream& os) {
+  ok &= write_csv(args, "outages.csv", [&](std::ostream& os) {
     dslsim::export_outages_csv(data, os);
   });
+  return ok;
+}
+
+/// simulate --stream: build the tables only, then stream the weekly
+/// measurements straight into measurements.csv one chunk at a time —
+/// the year of measurements is never resident, and the file is byte
+/// identical to the materialized export.
+int cmd_simulate_stream(const CliArgs& args) {
+  const exec::ExecContext exec = args.exec();
+  const dslsim::Simulator sim(sim_config(args));
+  std::cerr << "streaming " << args.lines << " lines (seed " << args.seed
+            << ", " << exec.threads() << " thread(s))...\n";
+  const dslsim::SimDataset tables = sim.build_tables(exec);
+
+  const std::string path = args.out_dir + "/measurements.csv";
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  dslsim::export_measurements_csv_header(os);
+  sim.stream_weeks(tables, exec, [&](const dslsim::WeekChunk& chunk) {
+    dslsim::export_measurements_csv_chunk(chunk, os);
+  });
+  os.flush();
+  if (!os) {
+    std::cerr << "write failed for " << path << "\n";
+    return 1;
+  }
+  std::cerr << "wrote " << path << " (streamed)\n";
+  return write_table_csvs(args, tables) ? 0 : 1;
+}
+
+int cmd_simulate(const CliArgs& args) {
+  if (args.stream) return cmd_simulate_stream(args);
+  const auto data = simulate(args, args.exec());
+  bool ok = write_csv(args, "measurements.csv", [&](std::ostream& os) {
+    dslsim::export_measurements_csv(data, os, 0, data.n_weeks() - 1);
+  });
+  ok &= write_table_csvs(args, data);
   return ok ? 0 : 1;
 }
 
@@ -514,27 +612,196 @@ std::optional<core::TicketPredictor> make_predictor(
   return predictor;
 }
 
+/// Scratch artefact path for streamed runs that did not ask to keep
+/// the training matrix (--save-dataset); removed after training.
+std::string temp_artefact_path(const char* tag) {
+  std::error_code ec;
+  auto dir = std::filesystem::temp_directory_path(ec);
+  if (ec) dir = ".";
+  return (dir / ("nevermind_stream_" + std::string(tag) + "_" +
+                 std::to_string(::getpid()) + ".nmarena"))
+      .string();
+}
+
+/// Save the --model bundle exactly as cmd_predict does.
+void maybe_save_bundle(const CliArgs& args,
+                       const core::TicketPredictor& predictor) {
+  if (args.model_path.empty()) return;
+  ml::ModelBundle bundle;
+  bundle.model = predictor.model();
+  for (const auto& col : predictor.selected_columns()) {
+    bundle.feature_names.push_back(col.name);
+  }
+  std::ofstream os(args.model_path);
+  if (os) {
+    ml::save_bundle(os, bundle);
+    std::cerr << "saved model bundle to " << args.model_path << "\n";
+  } else {
+    std::cerr << "cannot write " << args.model_path << "\n";
+  }
+}
+
+/// predict/serve --stream: the full pipeline without a materialized
+/// year of measurements. Two streaming passes over the simulated
+/// weeks, both through a bounded rolling window:
+///
+///   pass 1  encodes the base-feature training matrix (the stage-1
+///           planning input) while feeding the serving replay through
+///           the scored week, so the line store ends in exactly the
+///           state the offline encoder sees;
+///   plan    runs stage-1 feature selection on the mmap'ed base
+///           artefact to derive the full encoder configuration train()
+///           would use;
+///   pass 2  encodes the full derived-feature matrix to --save-dataset
+///           (or a scratch artefact), which is mmap'ed and fed to
+///           train_from_block — byte-identical to train() over a
+///           materialized run.
+///
+/// The ranking comes from the scoring service over the replayed store,
+/// which matches predict_week byte for byte, so `predict --stream`
+/// prints exactly what `predict` does.
+int run_stream_scoring(const CliArgs& args, bool serve_format) {
+  const exec::ExecContext exec = args.exec();
+  const dslsim::Simulator sim(sim_config(args));
+  std::cerr << "streaming " << args.lines << " lines (seed " << args.seed
+            << ", " << exec.threads() << " thread(s), window "
+            << args.window() << " weeks)...\n";
+  const dslsim::SimDataset tables = sim.build_tables(exec);
+
+  core::PredictorConfig cfg;
+  cfg.exec = exec;
+  cfg.binning = args.binning;
+  cfg.top_n = std::max<std::size_t>(args.lines / 100, 10);
+  const int horizon_days = cfg.horizon_days;
+  const int train_from = util::test_week_of(util::day_from_date(8, 1));
+  const int train_to = util::test_week_of(util::day_from_date(9, 30));
+  core::TicketPredictor predictor(std::move(cfg));
+  const features::TicketLabeler labeler{horizon_days};
+
+  features::EncoderConfig base_cfg = predictor.config().encoder;
+  base_cfg.include_quadratic = false;
+  base_cfg.product_pairs.clear();
+
+  serve::LineStateStore store(args.shards);
+  serve::ReplayDriver replay(tables, store);
+
+  // ---- pass 1: base matrix + serving replay ------------------------
+  const std::string base_path = temp_artefact_path("base");
+  features::StreamPipelineOptions base_opts;
+  base_opts.window_weeks = args.window();
+  base_opts.stream_through = args.week;
+  base_opts.tap = [&](const dslsim::WeekChunk& chunk) {
+    if (chunk.week <= args.week) replay.feed_week_chunk(chunk, exec);
+  };
+  std::cerr << "pass 1/2: streaming base matrix (weeks " << train_from << "-"
+            << train_to << ") + replay through week " << args.week
+            << "...\n";
+  ml::StoreStatus st = features::stream_save_predictor_dataset(
+      base_path, sim, tables, exec, train_from, train_to, base_cfg, labeler,
+      base_opts);
+  if (!st.ok()) {
+    std::cerr << "cannot write " << base_path << ": " << st.message << "\n";
+    return 1;
+  }
+
+  features::EncoderConfig full_cfg;
+  {
+    auto base_loaded =
+        features::load_predictor_dataset(base_path, args.dataset_mode, &st);
+    if (!base_loaded.has_value()) {
+      std::cerr << "cannot load " << base_path << ": " << st.message << "\n";
+      return 1;
+    }
+    try {
+      full_cfg = predictor.plan_full_encoder(base_loaded->block);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "stage-1 planning failed: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  std::filesystem::remove(base_path);
+
+  // ---- pass 2: full matrix → mmap → train_from_block ---------------
+  const bool keep_dataset = !args.save_dataset_path.empty();
+  const std::string full_path =
+      keep_dataset ? args.save_dataset_path : temp_artefact_path("full");
+  features::StreamPipelineOptions full_opts;
+  full_opts.window_weeks = args.window();
+  std::cerr << "pass 2/2: streaming full matrix (weeks " << train_from << "-"
+            << train_to << ")...\n";
+  st = features::stream_save_predictor_dataset(full_path, sim, tables, exec,
+                                               train_from, train_to, full_cfg,
+                                               labeler, full_opts);
+  if (!st.ok()) {
+    std::cerr << "cannot write " << full_path << ": " << st.message << "\n";
+    return 1;
+  }
+  if (keep_dataset) {
+    std::cerr << "saved training matrix to " << full_path << "\n";
+  }
+  {
+    auto loaded =
+        features::load_predictor_dataset(full_path, args.dataset_mode, &st);
+    if (!loaded.has_value()) {
+      std::cerr << "cannot load " << full_path << ": " << st.message << "\n";
+      return 1;
+    }
+    std::cerr << "training from "
+              << (loaded->block.dataset.file_backed() ? "mmap'ed" : "loaded")
+              << " streamed artefact (" << loaded->block.dataset.n_rows()
+              << " x " << loaded->block.dataset.n_cols() << ")...\n";
+    try {
+      predictor.train_from_block(loaded->block, loaded->encoder);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "dataset artefact rejected: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  if (!keep_dataset) std::filesystem::remove(full_path);
+  if (!args.save_models_dir.empty() &&
+      !save_kernel(args.save_models_dir, predictor.kernel())) {
+    return 1;
+  }
+  if (!serve_format) maybe_save_bundle(args, predictor);
+
+  serve::ModelRegistry registry;
+  const std::uint64_t version = registry.publish(predictor.kernel());
+  serve::ServiceConfig service_cfg;
+  service_cfg.exec = exec;
+  serve::ScoringService service(store, registry, service_cfg);
+  std::cerr << "ranking from the replayed store (" << args.shards
+            << " shards, model v" << version << ", "
+            << store.measurements_ingested() << " measurements, "
+            << store.tickets_ingested() << " tickets)...\n";
+  const auto ranked = service.top_n(args.top);
+  if (serve_format) {
+    std::cout << "rank,line,dslam,week,score,probability,model_version\n";
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+      std::cout << i + 1 << ',' << ranked[i].line << ','
+                << tables.topology().dslam_of(ranked[i].line) << ','
+                << ranked[i].week << ',' << ranked[i].score << ','
+                << ranked[i].probability << ',' << ranked[i].model_version
+                << '\n';
+    }
+  } else {
+    std::cout << "rank,line,dslam,score,probability\n";
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+      std::cout << i + 1 << ',' << ranked[i].line << ','
+                << tables.topology().dslam_of(ranked[i].line) << ','
+                << ranked[i].score << ',' << ranked[i].probability << '\n';
+    }
+  }
+  return 0;
+}
+
 int cmd_predict(const CliArgs& args) {
+  if (args.stream) return run_stream_scoring(args, /*serve_format=*/false);
   const exec::ExecContext exec = args.exec();
   const auto data = simulate(args, exec);
   auto predictor_opt = make_predictor(args, exec, data);
   if (!predictor_opt.has_value()) return 1;
   const core::TicketPredictor& predictor = *predictor_opt;
-
-  if (!args.model_path.empty()) {
-    ml::ModelBundle bundle;
-    bundle.model = predictor.model();
-    for (const auto& col : predictor.selected_columns()) {
-      bundle.feature_names.push_back(col.name);
-    }
-    std::ofstream os(args.model_path);
-    if (os) {
-      ml::save_bundle(os, bundle);
-      std::cerr << "saved model bundle to " << args.model_path << "\n";
-    } else {
-      std::cerr << "cannot write " << args.model_path << "\n";
-    }
-  }
+  maybe_save_bundle(args, predictor);
 
   const auto ranked = predictor.predict_week(data, args.week);
   std::cout << "rank,line,dslam,score,probability\n";
@@ -546,7 +813,98 @@ int cmd_predict(const CliArgs& args) {
   return 0;
 }
 
+/// locate --stream: one streaming pass encodes the training matrix to
+/// a (possibly scratch) .nmarena artefact while a second dispatch
+/// encoder riding the same chunks captures week --week's ranking rows
+/// in memory; the locator then trains from the mmap'ed artefact.
+int cmd_locate_stream(const CliArgs& args) {
+  const exec::ExecContext exec = args.exec();
+  const dslsim::Simulator sim(sim_config(args));
+  std::cerr << "streaming " << args.lines << " lines (seed " << args.seed
+            << ", " << exec.threads() << " thread(s), window "
+            << args.window() << " weeks)...\n";
+  const dslsim::SimDataset tables = sim.build_tables(exec);
+
+  core::LocatorConfig cfg;
+  cfg.exec = exec;
+  cfg.binning = args.binning;
+  cfg.min_occurrences = std::max<std::size_t>(6, args.lines / 2000);
+  const int train_from = util::test_week_of(util::day_from_date(8, 1));
+  const int train_to = util::test_week_of(util::day_from_date(9, 18));
+  core::TroubleLocator locator(cfg);
+
+  std::vector<std::vector<float>> rank_rows;
+  std::vector<std::uint32_t> rank_notes;
+  features::DispatchEncoder rank_encoder(
+      tables, args.week, args.week, locator.encoder_config(),
+      [&](std::span<const float> row, std::uint32_t note_idx) {
+        rank_rows.emplace_back(row.begin(), row.end());
+        rank_notes.push_back(note_idx);
+      });
+
+  const bool keep_dataset = !args.save_dataset_path.empty();
+  const std::string path =
+      keep_dataset ? args.save_dataset_path : temp_artefact_path("locator");
+  features::StreamPipelineOptions opts;
+  opts.window_weeks = args.window();
+  opts.stream_through = args.week;
+  opts.tap = [&](const dslsim::WeekChunk& chunk) {
+    rank_encoder.on_week(chunk.week, chunk.measurements);
+  };
+  std::cerr << "streaming locator matrix (weeks " << train_from << "-"
+            << train_to << ") + week " << args.week
+            << " dispatch rows...\n";
+  ml::StoreStatus st = features::stream_save_locator_dataset(
+      path, sim, tables, exec, train_from, train_to, locator.encoder_config(),
+      opts);
+  if (!st.ok()) {
+    std::cerr << "cannot write " << path << ": " << st.message << "\n";
+    return 1;
+  }
+  if (keep_dataset) {
+    std::cerr << "saved locator matrix to " << path << "\n";
+  }
+  {
+    auto loaded =
+        features::load_locator_dataset(path, args.dataset_mode, &st);
+    if (!loaded.has_value()) {
+      std::cerr << "cannot load " << path << ": " << st.message << "\n";
+      return 1;
+    }
+    std::cerr << "training locator from "
+              << (loaded->block.dataset.file_backed() ? "mmap'ed" : "loaded")
+              << " streamed artefact (" << loaded->block.dataset.n_rows()
+              << " dispatches)...\n";
+    try {
+      locator.train_from_block(tables, loaded->block);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "dataset artefact rejected: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  if (!keep_dataset) std::filesystem::remove(path);
+  if (!args.save_models_dir.empty() &&
+      !save_locator(args.save_models_dir, locator)) {
+    return 1;
+  }
+
+  std::cout << "ticket,line,plan\n";
+  for (std::size_t r = 0; r < rank_rows.size(); ++r) {
+    const auto& note = tables.notes()[rank_notes[r]];
+    const auto plan =
+        locator.rank(rank_rows[r], core::LocatorModelKind::kCombined);
+    std::cout << note.ticket_id << ',' << note.line << ',';
+    for (std::size_t i = 0; i < 5 && i < plan.size(); ++i) {
+      if (i != 0) std::cout << '|';
+      std::cout << tables.catalog().signature(plan[i].disposition).code;
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}
+
 int cmd_locate(const CliArgs& args) {
+  if (args.stream) return cmd_locate_stream(args);
   const exec::ExecContext exec = args.exec();
   const auto data = simulate(args, exec);
   std::optional<core::TroubleLocator> locator_opt;
@@ -812,6 +1170,7 @@ int cmd_serve(const CliArgs& args) {
   }
   if (!args.cluster_peers.empty()) return cmd_serve_cluster(args);
   if (args.listen_port.has_value()) return cmd_serve_listen(args);
+  if (args.stream) return run_stream_scoring(args, /*serve_format=*/true);
   const exec::ExecContext exec = args.exec();
   const auto data = simulate(args, exec);
   auto predictor_opt = make_predictor(args, exec, data);
@@ -1163,7 +1522,13 @@ void usage() {
          "[--save-dataset FILE] [--load-dataset FILE] "
          "[--dataset-load eager|mmap] "
          "[--threads T] [--shards P] [--binning exact|hist] "
-         "[--simd auto|scalar|avx2]\n"
+         "[--simd auto|scalar|avx2] [--stream] [--window-weeks W]\n"
+         "  --stream (simulate|predict|locate|serve)   run the streamed "
+         "pipeline: weekly measurements are generated, encoded and "
+         "consumed chunk-wise through a rolling --window-weeks buffer "
+         "(default 8) instead of materializing the year; training goes "
+         "through a .nmarena artefact + mmap, and the output is byte-"
+         "identical to the materialized command\n"
          "  serve --listen PORT [--deadline-ms D]   expose the scoring "
          "service over TCP (0 = ephemeral port)\n"
          "  loadgen --port P [--host H] [--connections C]   drive a live "
@@ -1192,6 +1557,7 @@ int main(int argc, char** argv) {
   if (cmd == "dataset") return cmd_dataset(argc, argv);
   if (cmd == "cluster-node") return cmd_cluster_node(argc, argv);
   const CliArgs args = parse(argc, argv, 2);
+  validate_stream_flags(args, cmd);
   validate_artefact_paths(args, cmd);
   if (cmd == "simulate") return cmd_simulate(args);
   if (cmd == "predict") return cmd_predict(args);
